@@ -1,0 +1,32 @@
+//! Ablation: the effect of processing only the active columns
+//! (G-PR-First vs G-PR-NoShr vs G-PR-Shr), the design choice behind the
+//! 14–84% improvement the paper reports for the active-list kernels.
+//!
+//! Run with `cargo bench -p gpm-bench --bench ablation_active_list`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_bench::runner::{measure, prepare_instance};
+use gpm_core::solver::Algorithm;
+use gpm_core::{GprVariant, GrStrategy};
+use gpm_graph::instances::{by_name, Scale};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpr_variants");
+    group.sample_size(10);
+    for name in ["kron_g500-logn20", "amazon0505"] {
+        let spec = by_name(name).expect("known instance");
+        let instance = prepare_instance(&spec, Scale::Tiny);
+        for variant in [GprVariant::First, GprVariant::ActiveList, GprVariant::Shrink] {
+            let alg = Algorithm::GpuPushRelabel(variant, GrStrategy::paper_default());
+            group.bench_with_input(
+                BenchmarkId::new(variant.label(), name),
+                &alg,
+                |b, &alg| b.iter(|| measure(&instance, alg, None).seconds),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench of the paper's four-algorithm comparison (Table I /
+//! Figures 2–4) on representative tiny-scale instances.
+//!
+//! Run with `cargo bench -p gpm-bench --bench algorithms`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_bench::runner::{measure, paper_algorithms, prepare_instance};
+use gpm_graph::instances::{by_name, Scale};
+
+fn bench_paper_algorithms(c: &mut Criterion) {
+    // One representative per structural family: social (kron), road, mesh.
+    let names = ["kron_g500-logn20", "roadNet-PA", "hugetrace-00000"];
+    let mut group = c.benchmark_group("paper_algorithms");
+    group.sample_size(10);
+    for name in names {
+        let spec = by_name(name).expect("known instance");
+        let instance = prepare_instance(&spec, Scale::Tiny);
+        for alg in paper_algorithms() {
+            group.bench_with_input(
+                BenchmarkId::new(alg.label(), name),
+                &alg,
+                |b, &alg| b.iter(|| measure(&instance, alg, None).seconds),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench of the global-relabeling strategies (the Figure 1 sweep)
+//! for the best-performing variant, G-PR-Shr.
+//!
+//! Run with `cargo bench -p gpm-bench --bench gr_strategies`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_bench::runner::{measure, prepare_instance};
+use gpm_core::solver::Algorithm;
+use gpm_core::{strategy::figure1_strategies, GprVariant};
+use gpm_graph::instances::{by_name, Scale};
+
+fn bench_gr_strategies(c: &mut Criterion) {
+    let spec = by_name("kron_g500-logn20").expect("known instance");
+    let instance = prepare_instance(&spec, Scale::Tiny);
+    let mut group = c.benchmark_group("gr_strategies");
+    group.sample_size(10);
+    for strategy in figure1_strategies() {
+        let alg = Algorithm::GpuPushRelabel(GprVariant::Shrink, strategy);
+        group.bench_with_input(
+            BenchmarkId::new("G-PR-Shr", strategy.label()),
+            &alg,
+            |b, &alg| b.iter(|| measure(&instance, alg, None).seconds),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gr_strategies);
+criterion_main!(benches);

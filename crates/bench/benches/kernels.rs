@@ -1,0 +1,52 @@
+//! Criterion microbenches of the virtual-GPU building blocks: kernel launch
+//! overhead, device prefix sum, and the global-relabeling BFS kernels.
+//!
+//! Run with `cargo bench -p gpm-bench --bench kernels`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpm_core::device::DeviceState;
+use gpm_core::ggr::global_relabel;
+use gpm_gpu::{primitives, DeviceBuffer, VirtualGpu};
+use gpm_graph::heuristics::cheap_matching;
+use gpm_graph::instances::{by_name, Scale};
+
+fn bench_launch_overhead(c: &mut Criterion) {
+    let gpu = VirtualGpu::parallel();
+    let mut group = c.benchmark_group("kernel_launch");
+    for &n in &[1usize, 1_000, 100_000] {
+        let buf = DeviceBuffer::<u32>::new(n, 0);
+        group.bench_with_input(BenchmarkId::new("identity_kernel", n), &n, |b, _| {
+            b.iter(|| gpu.launch("bench_identity", buf.len(), |ctx| buf.set(ctx.global_id, 1)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefix_sum(c: &mut Criterion) {
+    let gpu = VirtualGpu::parallel();
+    let mut group = c.benchmark_group("prefix_sum");
+    for &n in &[1_000usize, 100_000] {
+        let data: Vec<u64> = (0..n as u64).map(|i| i % 3).collect();
+        let buf = DeviceBuffer::from_slice(&data);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| primitives::exclusive_prefix_sum(&gpu, &buf).1)
+        });
+    }
+    group.finish();
+}
+
+fn bench_global_relabel(c: &mut Criterion) {
+    let gpu = VirtualGpu::parallel();
+    let spec = by_name("roadNet-PA").expect("known instance");
+    let graph = spec.generate(Scale::Tiny).expect("generation");
+    let matching = cheap_matching(&graph);
+    c.bench_function("global_relabel_roadnet_tiny", |b| {
+        b.iter(|| {
+            let state = DeviceState::upload(&graph, &matching);
+            global_relabel(&gpu, &graph, &state).max_level
+        })
+    });
+}
+
+criterion_group!(benches, bench_launch_overhead, bench_prefix_sum, bench_global_relabel);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Figure 1 of the paper: geometric-mean runtime of the three
+//! G-PR variants under the seven global-relabeling strategies.
+//!
+//! ```text
+//! cargo run -p gpm-bench --release --bin fig1_gr_strategies [-- --scale small --suite full]
+//! ```
+
+use gpm_bench::{cli, figures};
+
+fn main() {
+    let opts = cli::parse_or_exit();
+    eprintln!(
+        "Figure 1 sweep: {} instances at {:?} scale, 3 variants x 7 strategies",
+        opts.suite.len(),
+        opts.scale
+    );
+    let result = figures::figure1(&opts);
+    println!("{}", result.render());
+    cli::maybe_write_json(&opts, &result);
+}

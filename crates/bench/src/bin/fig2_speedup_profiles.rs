@@ -1,0 +1,16 @@
+//! Regenerates Figure 2 of the paper: speedup profiles of G-PR, G-HKDW, and
+//! P-DBFS with respect to the sequential PR baseline.
+//!
+//! ```text
+//! cargo run -p gpm-bench --release --bin fig2_speedup_profiles [-- --scale small --suite full]
+//! ```
+
+use gpm_bench::{cli, figures};
+
+fn main() {
+    let opts = cli::parse_or_exit();
+    let measurements = figures::run_paper_comparison(&opts);
+    let (text, _) = figures::figure2(&measurements);
+    println!("{text}");
+    cli::maybe_write_json(&opts, &measurements);
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 3 of the paper: performance profiles of the parallel
+//! algorithms (fraction of instances within a factor x of the best).
+//!
+//! ```text
+//! cargo run -p gpm-bench --release --bin fig3_performance_profiles [-- --scale small --suite full]
+//! ```
+
+use gpm_bench::{cli, figures};
+
+fn main() {
+    let opts = cli::parse_or_exit();
+    let measurements = figures::run_paper_comparison(&opts);
+    let (text, _) = figures::figure3(&measurements);
+    println!("{text}");
+    cli::maybe_write_json(&opts, &measurements);
+}

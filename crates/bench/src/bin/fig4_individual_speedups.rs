@@ -1,0 +1,16 @@
+//! Regenerates Figure 4 of the paper: the individual speedup of G-PR over
+//! sequential PR on each instance, ordered by increasing number of rows.
+//!
+//! ```text
+//! cargo run -p gpm-bench --release --bin fig4_individual_speedups [-- --scale small --suite full]
+//! ```
+
+use gpm_bench::{cli, figures};
+
+fn main() {
+    let opts = cli::parse_or_exit();
+    let measurements = figures::run_paper_comparison(&opts);
+    let (text, _) = figures::figure4(&measurements);
+    println!("{text}");
+    cli::maybe_write_json(&opts, &measurements);
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table I of the paper: per-instance sizes, initial/maximum
+//! matching cardinalities, and runtimes of G-PR, G-HKDW, P-DBFS, and PR, with
+//! geometric means in the bottom row.
+//!
+//! ```text
+//! cargo run -p gpm-bench --release --bin table1_runtimes [-- --scale small --suite full]
+//! ```
+
+use gpm_bench::{cli, figures};
+
+fn main() {
+    let opts = cli::parse_or_exit();
+    let measurements = figures::run_paper_comparison(&opts);
+    println!("{}", figures::table1(&measurements, &opts));
+    let (fig4_text, _) = figures::figure4(&measurements);
+    eprintln!("{fig4_text}");
+    cli::maybe_write_json(&opts, &measurements);
+}

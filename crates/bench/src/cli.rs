@@ -1,0 +1,144 @@
+//! Minimal command-line parsing shared by the figure/table binaries.
+//!
+//! All binaries accept:
+//!
+//! * `--scale tiny|small|medium|large` — instance scale (default: `small`);
+//! * `--suite mini|full` — the 8-instance mini suite or the full 28-instance
+//!   suite (default: `full`);
+//! * `--json <path>` — additionally write the raw measurements as JSON.
+
+use gpm_graph::instances::{self, InstanceSpec, Scale};
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Instance scale.
+    pub scale: Scale,
+    /// Selected instance specs.
+    pub suite: Vec<InstanceSpec>,
+    /// Human-readable suite name ("full" or "mini").
+    pub suite_name: String,
+    /// Optional path for a JSON dump of the measurements.
+    pub json_path: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Small,
+            suite: instances::paper_suite(),
+            suite_name: "full".to_string(),
+            json_path: None,
+        }
+    }
+}
+
+/// Parses options from an argument iterator (excluding the program name).
+/// Unknown arguments produce an error message listing the supported flags.
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = it.next().ok_or("--scale requires a value")?;
+                opts.scale = match value.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    "large" => Scale::Large,
+                    other => return Err(format!("unknown scale '{other}'")),
+                };
+            }
+            "--suite" => {
+                let value = it.next().ok_or("--suite requires a value")?;
+                match value.as_str() {
+                    "full" => {
+                        opts.suite = instances::paper_suite();
+                        opts.suite_name = "full".into();
+                    }
+                    "mini" => {
+                        opts.suite = instances::mini_suite();
+                        opts.suite_name = "mini".into();
+                    }
+                    other => return Err(format!("unknown suite '{other}'")),
+                }
+            }
+            "--json" => {
+                opts.json_path = Some(it.next().ok_or("--json requires a path")?);
+            }
+            "--help" | "-h" => {
+                return Err(usage());
+            }
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// Usage string shared by all binaries.
+pub fn usage() -> String {
+    "usage: <binary> [--scale tiny|small|medium|large] [--suite full|mini] [--json <path>]"
+        .to_string()
+}
+
+/// Parses `std::env::args()` and exits with a message on error.
+pub fn parse_or_exit() -> Options {
+    match parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Writes measurements as JSON if `--json` was given.
+pub fn maybe_write_json<T: serde::Serialize>(opts: &Options, value: &T) {
+    if let Some(path) = &opts.json_path {
+        match serde_json::to_string_pretty(value) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("warning: could not write {path}: {e}");
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialize results: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_small_full() {
+        let o = parse(args(&[])).unwrap();
+        assert_eq!(o.scale, Scale::Small);
+        assert_eq!(o.suite.len(), 28);
+        assert_eq!(o.suite_name, "full");
+        assert!(o.json_path.is_none());
+    }
+
+    #[test]
+    fn parses_scale_suite_and_json() {
+        let o = parse(args(&["--scale", "tiny", "--suite", "mini", "--json", "/tmp/x.json"]))
+            .unwrap();
+        assert_eq!(o.scale, Scale::Tiny);
+        assert!(o.suite.len() < 28);
+        assert_eq!(o.json_path.as_deref(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn rejects_unknown_arguments_and_values() {
+        assert!(parse(args(&["--scale", "huge"])).is_err());
+        assert!(parse(args(&["--suite", "everything"])).is_err());
+        assert!(parse(args(&["--frobnicate"])).is_err());
+        assert!(parse(args(&["--scale"])).is_err());
+        assert!(parse(args(&["--help"])).is_err());
+    }
+}

@@ -1,0 +1,428 @@
+//! Regeneration of every figure and table of the paper's evaluation section.
+//!
+//! Each `figureN` / `table1` function takes the prepared measurements (or the
+//! CLI options) and returns a plain-text report that mirrors the content of
+//! the corresponding artefact; the binaries in `src/bin/` print it.  The
+//! functions also return the underlying numbers so tests (and
+//! `EXPERIMENTS.md`) can check the *shape* of the results against the paper.
+
+use crate::cli::Options;
+use crate::profiles::{self, ProfilePoint};
+use crate::report;
+use crate::runner::{self, measure, prepare_instance, Measurement};
+use gpm_core::solver::Algorithm;
+use gpm_core::GprVariant;
+use gpm_gpu::VirtualGpu;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Runs the paper's four-algorithm comparison (G-PR-Shr, G-HKDW, P-DBFS, PR)
+/// over the configured suite, returning one measurement per (instance,
+/// algorithm) pair.  Progress is reported on stderr because full-suite runs
+/// take a while.
+pub fn run_paper_comparison(opts: &Options) -> Vec<Measurement> {
+    let gpu = VirtualGpu::parallel();
+    let algorithms = runner::paper_algorithms();
+    let mut measurements = Vec::new();
+    for (i, spec) in opts.suite.iter().enumerate() {
+        eprintln!(
+            "[{}/{}] preparing {} ({:?})",
+            i + 1,
+            opts.suite.len(),
+            spec.name,
+            opts.scale
+        );
+        let instance = prepare_instance(spec, opts.scale);
+        for &alg in &algorithms {
+            let m = measure(&instance, alg, Some(&gpu));
+            eprintln!("    {:>8}: {:>9.4}s", m.algorithm, m.seconds);
+            measurements.push(m);
+        }
+    }
+    measurements
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------------
+
+/// One cell of Figure 1: a G-PR variant under a GR strategy.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure1Cell {
+    /// Variant label (G-PR-First / G-PR-NoShr / G-PR-Shr).
+    pub variant: String,
+    /// Strategy label ("adaptive, 0.7", "fix, 10", …).
+    pub strategy: String,
+    /// Geometric-mean comparable seconds over the suite.
+    pub geomean_seconds: f64,
+}
+
+/// Result of the Figure 1 sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure1Result {
+    /// All (variant, strategy) cells.
+    pub cells: Vec<Figure1Cell>,
+}
+
+impl Figure1Result {
+    /// Geometric-mean seconds of a given (variant, strategy) pair.
+    pub fn geomean(&self, variant: &str, strategy: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.variant == variant && c.strategy == strategy)
+            .map(|c| c.geomean_seconds)
+    }
+
+    /// The (variant, strategy) pair with the smallest geometric mean.
+    pub fn best(&self) -> &Figure1Cell {
+        self.cells
+            .iter()
+            .min_by(|a, b| a.geomean_seconds.total_cmp(&b.geomean_seconds))
+            .expect("figure 1 sweep produced no cells")
+    }
+
+    /// Renders the figure as a table: one row per variant, one column per
+    /// strategy — the layout of the data table under the paper's Figure 1.
+    pub fn render(&self) -> String {
+        let strategies: Vec<String> = {
+            let mut seen = Vec::new();
+            for c in &self.cells {
+                if !seen.contains(&c.strategy) {
+                    seen.push(c.strategy.clone());
+                }
+            }
+            seen
+        };
+        let variants: Vec<String> = {
+            let mut seen = Vec::new();
+            for c in &self.cells {
+                if !seen.contains(&c.variant) {
+                    seen.push(c.variant.clone());
+                }
+            }
+            seen
+        };
+        let mut headers: Vec<&str> = vec!["variant"];
+        let strategy_refs: Vec<&str> = strategies.iter().map(|s| s.as_str()).collect();
+        headers.extend(strategy_refs);
+        let rows: Vec<Vec<String>> = variants
+            .iter()
+            .map(|v| {
+                let mut row = vec![v.clone()];
+                for s in &strategies {
+                    row.push(report::fmt_secs(self.geomean(v, s).unwrap_or(f64::NAN)));
+                }
+                row
+            })
+            .collect();
+        let mut out = String::from(
+            "Figure 1 — geometric-mean runtime (seconds) of the G-PR variants under\n\
+             different global-relabeling strategies\n\n",
+        );
+        out.push_str(&report::render_table(&headers, &rows));
+        let best = self.best();
+        out.push_str(&format!(
+            "\nbest configuration: {} with ({})\n",
+            best.variant, best.strategy
+        ));
+        out
+    }
+}
+
+/// Runs the Figure 1 sweep: three G-PR variants × the paper's seven
+/// global-relabeling strategies over the configured suite.
+pub fn figure1(opts: &Options) -> Figure1Result {
+    let gpu = VirtualGpu::parallel();
+    let variants = [GprVariant::First, GprVariant::ActiveList, GprVariant::Shrink];
+    let strategies = gpm_core::strategy::figure1_strategies();
+    // seconds[variant][strategy] = per-instance seconds
+    let mut seconds: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
+
+    for (i, spec) in opts.suite.iter().enumerate() {
+        eprintln!("[{}/{}] {} ({:?})", i + 1, opts.suite.len(), spec.name, opts.scale);
+        let instance = prepare_instance(spec, opts.scale);
+        for &variant in &variants {
+            for &strategy in &strategies {
+                let alg = Algorithm::GpuPushRelabel(variant, strategy);
+                let m = measure(&instance, alg, Some(&gpu));
+                seconds
+                    .entry((variant.label().to_string(), strategy.label()))
+                    .or_default()
+                    .push(m.seconds.max(1e-9));
+            }
+        }
+    }
+
+    let cells = variants
+        .iter()
+        .flat_map(|v| {
+            let seconds = &seconds;
+            strategies.iter().map(move |s| {
+                let key = (v.label().to_string(), s.label());
+                Figure1Cell {
+                    variant: key.0.clone(),
+                    strategy: key.1.clone(),
+                    geomean_seconds: report::geometric_mean(&seconds[&key]),
+                }
+            })
+        })
+        .collect();
+    Figure1Result { cells }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 2–4 and Table I (built from the shared comparison measurements)
+// ---------------------------------------------------------------------------
+
+/// Figure 2: speedup profiles of the parallel algorithms w.r.t. sequential PR.
+pub fn figure2(measurements: &[Measurement]) -> (String, BTreeMap<String, Vec<ProfilePoint>>) {
+    let pr = report::seconds_of(measurements, "PR");
+    let thresholds = profiles::figure2_thresholds();
+    let mut curves = BTreeMap::new();
+    let mut out = String::from(
+        "Figure 2 — speedup profiles w.r.t. sequential PR\n\
+         (a point (x, y): with probability y the algorithm is at least x times faster than PR)\n\n",
+    );
+    for alg in ["G-HKDW", "G-PR-Shr", "P-DBFS"] {
+        let secs = report::seconds_of(measurements, alg);
+        if secs.is_empty() {
+            continue;
+        }
+        let curve = profiles::speedup_profile(&pr, &secs, &thresholds);
+        out.push_str(&report::render_profile(alg, &curve));
+        out.push('\n');
+        curves.insert(alg.to_string(), curve);
+    }
+    // The headline numbers quoted in the paper's text.
+    for alg in ["G-PR-Shr", "G-HKDW", "P-DBFS"] {
+        let secs = report::seconds_of(measurements, alg);
+        if secs.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "P(speedup >= 5) for {:>8}: {:.2}   (paper: G-PR 0.39, G-HKDW 0.21, P-DBFS 0.14)\n",
+            alg,
+            profiles::fraction_at_least(&pr, &secs, 5.0)
+        ));
+    }
+    let gpr = report::seconds_of(measurements, "G-PR-Shr");
+    out.push_str(&format!(
+        "fraction of graphs where G-PR beats PR: {:.2}   (paper: 0.82)\n",
+        profiles::fraction_at_least(&pr, &gpr, 1.0)
+    ));
+    (out, curves)
+}
+
+/// Figure 3: performance profiles of the parallel algorithms.
+pub fn figure3(measurements: &[Measurement]) -> (String, BTreeMap<String, Vec<ProfilePoint>>) {
+    let mut all = BTreeMap::new();
+    for alg in ["G-PR-Shr", "G-HKDW", "P-DBFS"] {
+        let secs = report::seconds_of(measurements, alg);
+        if !secs.is_empty() {
+            all.insert(alg.to_string(), secs);
+        }
+    }
+    let curves = profiles::performance_profiles(&all, &profiles::figure3_thresholds());
+    let mut out = String::from(
+        "Figure 3 — performance profiles of the parallel algorithms\n\
+         (a point (x, y): with probability y the algorithm is at most x times worse than the best)\n\n",
+    );
+    for (alg, curve) in &curves {
+        out.push_str(&report::render_profile(alg, curve));
+        out.push('\n');
+    }
+    // Headline numbers: fraction within 1.5× of the best, and fraction best.
+    for (alg, curve) in &curves {
+        if let Some(p) = curve.iter().find(|p| (p.x - 1.5).abs() < 1e-9) {
+            out.push_str(&format!(
+                "P(within 1.5x of best) for {:>8}: {:.2}   (paper: G-PR 0.75, G-HKDW 0.46, P-DBFS 0.14)\n",
+                alg, p.y
+            ));
+        }
+    }
+    if let Some(best_fraction) = fraction_best(&all, "G-PR-Shr") {
+        out.push_str(&format!(
+            "fraction of graphs where G-PR is the fastest: {best_fraction:.2}   (paper: 0.61)\n"
+        ));
+    }
+    (out, curves)
+}
+
+fn fraction_best(all: &BTreeMap<String, BTreeMap<u32, f64>>, target: &str) -> Option<f64> {
+    let target_secs = all.get(target)?;
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for (id, &secs) in target_secs {
+        let best_other = all
+            .iter()
+            .filter(|(alg, _)| alg.as_str() != target)
+            .filter_map(|(_, m)| m.get(id))
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        total += 1;
+        if secs <= best_other {
+            wins += 1;
+        }
+    }
+    (total > 0).then(|| wins as f64 / total as f64)
+}
+
+/// Figure 4: individual speedups of G-PR over sequential PR per instance,
+/// ordered by increasing number of rows (instance id).
+pub fn figure4(measurements: &[Measurement]) -> (String, BTreeMap<u32, f64>) {
+    let pr = report::seconds_of(measurements, "PR");
+    let gpr = report::seconds_of(measurements, "G-PR-Shr");
+    let mut speedups: BTreeMap<u32, f64> = BTreeMap::new();
+    for (&id, &gpr_secs) in &gpr {
+        if let Some(&pr_secs) = pr.get(&id) {
+            speedups.insert(id, pr_secs / gpr_secs);
+        }
+    }
+    let names: BTreeMap<u32, String> = measurements
+        .iter()
+        .map(|m| (m.instance_id, m.instance_name.clone()))
+        .collect();
+    let mut out = String::from(
+        "Figure 4 — individual speedups of G-PR w.r.t. sequential PR (instances ordered by #rows)\n\n",
+    );
+    let rows: Vec<Vec<String>> = speedups
+        .iter()
+        .map(|(id, s)| {
+            let bar = "#".repeat((s * 4.0).round().min(120.0) as usize);
+            vec![id.to_string(), names[id].clone(), format!("{s:.2}"), bar]
+        })
+        .collect();
+    out.push_str(&report::render_table(&["id", "graph", "speedup", ""], &rows));
+    if !speedups.is_empty() {
+        let values: Vec<f64> = speedups.values().copied().collect();
+        let above_one = values.iter().filter(|&&s| s >= 1.0).count();
+        out.push_str(&format!(
+            "\nspeedup > 1 on {}/{} graphs (paper: 23/28); min {:.2}, max {:.2}, geomean {:.2} \
+             (paper: min 0.31, max 12.60, avg 3.05)\n",
+            above_one,
+            values.len(),
+            values.iter().cloned().fold(f64::INFINITY, f64::min),
+            values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            report::geometric_mean(&values),
+        ));
+    }
+    (out, speedups)
+}
+
+/// Table I: per-instance sizes, IM/MM cardinalities, and runtimes of the four
+/// compared algorithms, with geometric means in the bottom row.
+pub fn table1(measurements: &[Measurement], opts: &Options) -> String {
+    let algorithms = ["G-PR-Shr", "G-HKDW", "P-DBFS", "PR"];
+    let mut out = String::from("Table I — per-instance runtimes (comparable seconds)\n\n");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for spec in &opts.suite {
+        let per_alg: BTreeMap<&str, f64> = algorithms
+            .iter()
+            .filter_map(|&alg| {
+                measurements
+                    .iter()
+                    .find(|m| m.instance_id == spec.id && m.algorithm == alg)
+                    .map(|m| (alg, m.seconds))
+            })
+            .collect();
+        if per_alg.is_empty() {
+            continue;
+        }
+        let sample = measurements
+            .iter()
+            .find(|m| m.instance_id == spec.id)
+            .expect("instance measured");
+        rows.push(vec![
+            spec.id.to_string(),
+            spec.name.to_string(),
+            sample.initial_cardinality.to_string(),
+            sample.maximum_cardinality.to_string(),
+            report::fmt_secs(per_alg.get("G-PR-Shr").copied().unwrap_or(f64::NAN)),
+            report::fmt_secs(per_alg.get("G-HKDW").copied().unwrap_or(f64::NAN)),
+            report::fmt_secs(per_alg.get("P-DBFS").copied().unwrap_or(f64::NAN)),
+            report::fmt_secs(per_alg.get("PR").copied().unwrap_or(f64::NAN)),
+        ]);
+    }
+    let geomeans = report::geomean_by_algorithm(measurements);
+    rows.push(vec![
+        String::new(),
+        "GEOMEAN".to_string(),
+        String::new(),
+        String::new(),
+        report::fmt_secs(geomeans.get("G-PR-Shr").copied().unwrap_or(f64::NAN)),
+        report::fmt_secs(geomeans.get("G-HKDW").copied().unwrap_or(f64::NAN)),
+        report::fmt_secs(geomeans.get("P-DBFS").copied().unwrap_or(f64::NAN)),
+        report::fmt_secs(geomeans.get("PR").copied().unwrap_or(f64::NAN)),
+    ]);
+    out.push_str(&report::render_table(
+        &["ID", "Graph", "IM", "MM", "G-PR", "G-HKDW", "P-DBFS", "PR"],
+        &rows,
+    ));
+    // Headline ratios quoted in the paper: G-PR is 1.30x faster than G-HKDW
+    // and 2.82x faster than P-DBFS in geometric mean.
+    if let (Some(gpr), Some(ghkdw), Some(pdbfs), Some(pr)) = (
+        geomeans.get("G-PR-Shr"),
+        geomeans.get("G-HKDW"),
+        geomeans.get("P-DBFS"),
+        geomeans.get("PR"),
+    ) {
+        out.push_str(&format!(
+            "\ngeomean ratios: G-HKDW/G-PR = {:.2} (paper 1.30), P-DBFS/G-PR = {:.2} (paper 2.82), PR/G-PR = {:.2} (paper 3.07)\n",
+            ghkdw / gpr,
+            pdbfs / gpr,
+            pr / gpr
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::instances::Scale;
+
+    fn tiny_mini_options() -> Options {
+        Options {
+            scale: Scale::Tiny,
+            suite: gpm_graph::instances::mini_suite().into_iter().take(2).collect(),
+            suite_name: "mini".into(),
+            json_path: None,
+        }
+    }
+
+    #[test]
+    fn comparison_measurements_cover_all_algorithms_and_instances() {
+        let opts = tiny_mini_options();
+        let ms = run_paper_comparison(&opts);
+        assert_eq!(ms.len(), opts.suite.len() * 4);
+        for m in &ms {
+            assert_eq!(m.cardinality, m.maximum_cardinality);
+        }
+        let t = table1(&ms, &opts);
+        assert!(t.contains("GEOMEAN"));
+        let (f2, curves2) = figure2(&ms);
+        assert!(f2.contains("G-PR-Shr"));
+        assert_eq!(curves2.len(), 3);
+        let (f3, curves3) = figure3(&ms);
+        assert!(f3.contains("performance profiles"));
+        assert_eq!(curves3.len(), 3);
+        let (f4, speedups) = figure4(&ms);
+        assert!(f4.contains("speedup"));
+        assert_eq!(speedups.len(), opts.suite.len());
+    }
+
+    #[test]
+    fn figure1_sweep_has_21_cells_and_renders() {
+        let opts = Options {
+            suite: gpm_graph::instances::mini_suite().into_iter().take(1).collect(),
+            ..tiny_mini_options()
+        };
+        let fig1 = figure1(&opts);
+        assert_eq!(fig1.cells.len(), 21);
+        assert!(fig1.geomean("G-PR-Shr", "adaptive, 0.7").is_some());
+        let text = fig1.render();
+        assert!(text.contains("G-PR-First"));
+        assert!(text.contains("adaptive, 0.7"));
+        assert!(text.contains("best configuration"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # gpm-bench — benchmark harness for the paper's evaluation
+//!
+//! One binary per table/figure of the paper (Section IV):
+//!
+//! | Target | Paper artefact |
+//! |---|---|
+//! | `fig1_gr_strategies` | Figure 1 — G-PR variants × global-relabeling strategies |
+//! | `fig2_speedup_profiles` | Figure 2 — speedup profiles of G-PR, G-HKDW, P-DBFS vs PR |
+//! | `fig3_performance_profiles` | Figure 3 — performance profiles of the parallel algorithms |
+//! | `fig4_individual_speedups` | Figure 4 — per-instance speedup of G-PR over PR |
+//! | `table1_runtimes` | Table I — per-instance runtimes of G-PR, G-HKDW, P-DBFS, PR |
+//!
+//! plus Criterion micro/ablation benches under `benches/`.
+//!
+//! The library part contains the pieces the binaries share: instance
+//! preparation ([`runner`]), profile computations ([`profiles`]), and report
+//! formatting ([`report`]).  All measurements use
+//! [`gpm_core::solver::SolveReport::comparable_seconds`]: modelled device
+//! time for the GPU algorithms and host wall-clock for the CPU ones — see
+//! `EXPERIMENTS.md` for the methodology and its limitations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod figures;
+pub mod profiles;
+pub mod report;
+pub mod runner;
+
+pub use runner::{prepare_instance, InstanceRun, Measurement};

@@ -1,0 +1,162 @@
+//! Speedup and performance profiles (Figures 2 and 3 of the paper).
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One point of a profile curve.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct ProfilePoint {
+    /// The threshold on the x axis (speedup or performance ratio).
+    pub x: f64,
+    /// The fraction of test cases meeting the threshold (0.0–1.0).
+    pub y: f64,
+}
+
+/// Speedup profile: for each threshold `x`, the fraction of instances on
+/// which `algorithm_seconds` achieves a speedup of at least `x` over
+/// `baseline_seconds` (Figure 2: "a point (x, y) corresponds to the
+/// probability y of obtaining at least x speedup").
+///
+/// Both maps are keyed by instance id; only instances present in both are
+/// considered.
+pub fn speedup_profile(
+    baseline_seconds: &BTreeMap<u32, f64>,
+    algorithm_seconds: &BTreeMap<u32, f64>,
+    thresholds: &[f64],
+) -> Vec<ProfilePoint> {
+    let speedups: Vec<f64> = algorithm_seconds
+        .iter()
+        .filter_map(|(id, &alg)| baseline_seconds.get(id).map(|&base| base / alg))
+        .collect();
+    thresholds
+        .iter()
+        .map(|&x| {
+            let hits = speedups.iter().filter(|&&s| s >= x).count();
+            ProfilePoint { x, y: if speedups.is_empty() { 0.0 } else { hits as f64 / speedups.len() as f64 } }
+        })
+        .collect()
+}
+
+/// Performance profile: for each ratio `x`, the fraction of instances on
+/// which the algorithm is within a factor `x` of the best algorithm on that
+/// instance (Figure 3).  `all_seconds` maps algorithm label → (instance id →
+/// seconds); the returned map is algorithm label → profile curve.
+pub fn performance_profiles(
+    all_seconds: &BTreeMap<String, BTreeMap<u32, f64>>,
+    thresholds: &[f64],
+) -> BTreeMap<String, Vec<ProfilePoint>> {
+    // Best time per instance across algorithms.
+    let mut best: BTreeMap<u32, f64> = BTreeMap::new();
+    for per_instance in all_seconds.values() {
+        for (&id, &secs) in per_instance {
+            best.entry(id).and_modify(|b| *b = b.min(secs)).or_insert(secs);
+        }
+    }
+    all_seconds
+        .iter()
+        .map(|(label, per_instance)| {
+            let ratios: Vec<f64> = per_instance
+                .iter()
+                .filter_map(|(id, &secs)| best.get(id).map(|&b| secs / b))
+                .collect();
+            let curve = thresholds
+                .iter()
+                .map(|&x| ProfilePoint {
+                    x,
+                    y: if ratios.is_empty() {
+                        0.0
+                    } else {
+                        ratios.iter().filter(|&&r| r <= x).count() as f64 / ratios.len() as f64
+                    },
+                })
+                .collect();
+            (label.clone(), curve)
+        })
+        .collect()
+}
+
+/// The x-axis grid the paper uses for Figure 2 (0 to 10 in steps of 1).
+pub fn figure2_thresholds() -> Vec<f64> {
+    (0..=10).map(f64::from).collect()
+}
+
+/// The x-axis grid the paper uses for Figure 3 (1.0 to 5.0 in steps of 0.5).
+pub fn figure3_thresholds() -> Vec<f64> {
+    (0..=8).map(|i| 1.0 + 0.5 * f64::from(i)).collect()
+}
+
+/// Fraction of instances where the algorithm achieves a speedup ≥ `x` —
+/// convenience accessor for single thresholds quoted in the paper's text
+/// (e.g. "with 39% probability it obtains a speedup at least 5").
+pub fn fraction_at_least(
+    baseline_seconds: &BTreeMap<u32, f64>,
+    algorithm_seconds: &BTreeMap<u32, f64>,
+    x: f64,
+) -> f64 {
+    speedup_profile(baseline_seconds, algorithm_seconds, &[x])[0].y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(u32, f64)]) -> BTreeMap<u32, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn speedup_profile_counts_thresholds() {
+        let base = map(&[(1, 10.0), (2, 10.0), (3, 10.0), (4, 10.0)]);
+        let alg = map(&[(1, 1.0), (2, 2.0), (3, 5.0), (4, 20.0)]);
+        // speedups: 10, 5, 2, 0.5
+        let profile = speedup_profile(&base, &alg, &[0.0, 1.0, 2.0, 5.0, 10.0, 11.0]);
+        let ys: Vec<f64> = profile.iter().map(|p| p.y).collect();
+        assert_eq!(ys, vec![1.0, 0.75, 0.75, 0.5, 0.25, 0.0]);
+    }
+
+    #[test]
+    fn speedup_profile_ignores_unmatched_instances() {
+        let base = map(&[(1, 4.0)]);
+        let alg = map(&[(1, 2.0), (9, 1.0)]);
+        let profile = speedup_profile(&base, &alg, &[1.0]);
+        assert_eq!(profile[0].y, 1.0);
+    }
+
+    #[test]
+    fn performance_profiles_relative_to_best() {
+        let mut all = BTreeMap::new();
+        all.insert("A".to_string(), map(&[(1, 1.0), (2, 4.0)]));
+        all.insert("B".to_string(), map(&[(1, 2.0), (2, 2.0)]));
+        let profiles = performance_profiles(&all, &[1.0, 2.0]);
+        // best: instance 1 → 1.0 (A), instance 2 → 2.0 (B)
+        // A's ratios: 1.0, 2.0 ; B's ratios: 2.0, 1.0
+        assert_eq!(profiles["A"][0].y, 0.5);
+        assert_eq!(profiles["A"][1].y, 1.0);
+        assert_eq!(profiles["B"][0].y, 0.5);
+        assert_eq!(profiles["B"][1].y, 1.0);
+    }
+
+    #[test]
+    fn threshold_grids_match_paper_axes() {
+        assert_eq!(figure2_thresholds().len(), 11);
+        assert_eq!(figure2_thresholds()[10], 10.0);
+        assert_eq!(figure3_thresholds().len(), 9);
+        assert_eq!(figure3_thresholds()[0], 1.0);
+        assert_eq!(figure3_thresholds()[8], 5.0);
+    }
+
+    #[test]
+    fn fraction_at_least_single_threshold() {
+        let base = map(&[(1, 10.0), (2, 10.0)]);
+        let alg = map(&[(1, 1.0), (2, 10.0)]);
+        assert_eq!(fraction_at_least(&base, &alg, 5.0), 0.5);
+        assert_eq!(fraction_at_least(&base, &alg, 1.0), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_give_zero_probabilities() {
+        let empty = BTreeMap::new();
+        let profile = speedup_profile(&empty, &empty, &[1.0]);
+        assert_eq!(profile[0].y, 0.0);
+    }
+}

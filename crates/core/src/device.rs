@@ -1,0 +1,157 @@
+//! Device-side state shared by the GPU matching kernels.
+//!
+//! The paper keeps two arrays on the device: the label array `ψ(·)` and the
+//! matching array `µ(·)`, both indexed by vertex (rows first, then columns).
+//! For clarity this module splits each into its row and column halves, but
+//! the semantics — including the sentinel values `µ = −1` (unmatched) and
+//! `µ = −2` (unmatchable column) — are identical.
+
+use gpm_gpu::DeviceBuffer;
+use gpm_graph::{BipartiteCsr, Matching, VertexId};
+
+/// `µ` sentinel: vertex is unmatched.
+pub const MU_UNMATCHED: i64 = -1;
+/// `µ` sentinel: column has been proven unmatchable ("inactive").
+pub const MU_UNMATCHABLE: i64 = -2;
+
+/// Device-resident matching and label state.
+///
+/// The graph's CSR arrays are read-only and shared with the host — the
+/// virtual GPU has no separate address space, so "copying the graph to the
+/// device" is represented by kernels capturing `&BipartiteCsr`.
+pub struct DeviceState {
+    /// Labels of row vertices (`ψ(u)` for `u ∈ V_R`).
+    pub psi_row: DeviceBuffer<u32>,
+    /// Labels of column vertices (`ψ(v)` for `v ∈ V_C`).
+    pub psi_col: DeviceBuffer<u32>,
+    /// Matching entries of row vertices (`µ(u)`).
+    pub mu_row: DeviceBuffer<i64>,
+    /// Matching entries of column vertices (`µ(v)`).
+    pub mu_col: DeviceBuffer<i64>,
+    /// The label value meaning "unreachable" (`m + n`).
+    pub unreachable: u32,
+}
+
+impl DeviceState {
+    /// Uploads the initial matching to the device and initializes labels to
+    /// the paper's starting values (`ψ(u) = 0`, `ψ(v) = 1`).
+    pub fn upload(graph: &BipartiteCsr, initial: &Matching) -> Self {
+        let m = graph.num_rows();
+        let n = graph.num_cols();
+        assert_eq!(initial.num_rows(), m, "initial matching shape mismatch");
+        assert_eq!(initial.num_cols(), n, "initial matching shape mismatch");
+        Self {
+            psi_row: DeviceBuffer::new(m, 0),
+            psi_col: DeviceBuffer::new(n, 1),
+            mu_row: DeviceBuffer::from_slice(initial.row_mates()),
+            mu_col: DeviceBuffer::from_slice(initial.col_mates()),
+            unreachable: (m + n) as u32,
+        }
+    }
+
+    /// `true` when column `v` is *active*: not marked unmatchable, and either
+    /// unmatched or matched inconsistently (`µ(µ(v)) ≠ v`) — the condition of
+    /// line 3 of the paper's G-PR-KRNL.
+    #[inline]
+    pub fn is_col_active(&self, v: VertexId) -> bool {
+        let mu_v = self.mu_col.get(v as usize);
+        if mu_v == MU_UNMATCHABLE {
+            return false;
+        }
+        if mu_v == MU_UNMATCHED {
+            return true;
+        }
+        self.mu_row.get(mu_v as usize) != v as i64
+    }
+
+    /// Downloads `µ` from the device and repairs column-side inconsistencies
+    /// (the `FIXMATCHING` kernel runs on the device first; this also converts
+    /// the raw arrays into a host [`Matching`]).
+    pub fn download_matching(&self) -> Matching {
+        let mut matching = Matching::from_raw(self.mu_row.to_vec(), self.mu_col.to_vec());
+        matching.fix_from_rows();
+        matching
+    }
+
+    /// Number of row vertices.
+    pub fn num_rows(&self) -> usize {
+        self.mu_row.len()
+    }
+
+    /// Number of column vertices.
+    pub fn num_cols(&self) -> usize {
+        self.mu_col.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::heuristics::cheap_matching;
+    use gpm_graph::{gen, Matching};
+
+    #[test]
+    fn upload_initializes_labels_like_the_paper() {
+        let g = gen::uniform_random(10, 12, 30, 1).unwrap();
+        let st = DeviceState::upload(&g, &Matching::empty_for(&g));
+        assert_eq!(st.psi_row.to_vec(), vec![0u32; 10]);
+        assert_eq!(st.psi_col.to_vec(), vec![1u32; 12]);
+        assert_eq!(st.unreachable, 22);
+        assert_eq!(st.num_rows(), 10);
+        assert_eq!(st.num_cols(), 12);
+    }
+
+    #[test]
+    fn upload_carries_initial_matching() {
+        let g = gen::planted_perfect(20, 40, 2).unwrap();
+        let im = cheap_matching(&g);
+        let st = DeviceState::upload(&g, &im);
+        assert_eq!(st.mu_row.to_vec(), im.row_mates());
+        assert_eq!(st.mu_col.to_vec(), im.col_mates());
+        let down = st.download_matching();
+        assert_eq!(down.cardinality(), im.cardinality());
+    }
+
+    #[test]
+    fn active_column_conditions() {
+        let g = gen::uniform_random(4, 4, 10, 3).unwrap();
+        let st = DeviceState::upload(&g, &Matching::empty_for(&g));
+        // all columns unmatched → active
+        for v in 0..4u32 {
+            assert!(st.is_col_active(v));
+        }
+        // a consistent match → inactive
+        st.mu_col.set(0, 2);
+        st.mu_row.set(2, 0);
+        assert!(!st.is_col_active(0));
+        // an inconsistent match → active again
+        st.mu_row.set(2, 3);
+        assert!(st.is_col_active(0));
+        // unmatchable → inactive
+        st.mu_col.set(1, MU_UNMATCHABLE);
+        assert!(!st.is_col_active(1));
+    }
+
+    #[test]
+    fn download_repairs_column_inconsistencies() {
+        let g = gen::uniform_random(3, 3, 9, 4).unwrap();
+        let st = DeviceState::upload(&g, &Matching::empty_for(&g));
+        // both columns 0 and 1 claim row 0; the row agrees with column 1
+        st.mu_col.set(0, 0);
+        st.mu_col.set(1, 0);
+        st.mu_row.set(0, 1);
+        let m = st.download_matching();
+        assert!(m.is_consistent());
+        assert_eq!(m.cardinality(), 1);
+        assert_eq!(m.col_mate(1), Some(0));
+        assert_eq!(m.col_mate(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn upload_rejects_mismatched_matching() {
+        let g = gen::uniform_random(4, 4, 8, 5).unwrap();
+        let wrong = Matching::empty(3, 4);
+        let _ = DeviceState::upload(&g, &wrong);
+    }
+}

@@ -1,0 +1,198 @@
+//! GPU global relabeling (Algorithms 4 and 5 of the paper).
+//!
+//! `G-GR` recomputes exact distance labels with a level-synchronous BFS that
+//! starts simultaneously from every unmatched row:
+//!
+//! 1. `INITRELABEL` sets `ψ(u) = 0` for unmatched rows and `ψ = m + n` for
+//!    every other vertex;
+//! 2. `G-GR-KRNL` is launched once per BFS level; every thread owns one row
+//!    vertex `u` and, when `ψ(u)` equals the current level, labels its
+//!    unvisited column neighbours with `cLevel + 1` and their matched rows
+//!    with `cLevel + 2`.
+//!
+//! Several threads may write the same `ψ` entry, but always with the same
+//! value, so the kernel needs no atomics — exactly the argument of the paper.
+
+use crate::device::{DeviceState, MU_UNMATCHED};
+use gpm_gpu::{DeviceBuffer, VirtualGpu};
+use gpm_graph::BipartiteCsr;
+
+/// Result of one global relabeling pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GlobalRelabelOutcome {
+    /// The deepest label assigned (`maxLevel` in Algorithm 4); feeds the
+    /// adaptive scheduling strategy.
+    pub max_level: u32,
+    /// Number of BFS level kernels launched.
+    pub levels: u32,
+}
+
+/// Runs `G-GR` on the device, overwriting `ψ` with exact distances.
+pub fn global_relabel(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    state: &DeviceState,
+) -> GlobalRelabelOutcome {
+    let m = graph.num_rows();
+    let unreachable = state.unreachable;
+
+    // INITRELABEL: one thread per row plus one per column.
+    gpu.launch("INITRELABEL_rows", m, |ctx| {
+        let u = ctx.global_id;
+        ctx.add_work(1);
+        if state.mu_row.get(u) == MU_UNMATCHED {
+            state.psi_row.set(u, 0);
+        } else {
+            state.psi_row.set(u, unreachable);
+        }
+    });
+    gpu.launch("INITRELABEL_cols", state.num_cols(), |ctx| {
+        ctx.add_work(1);
+        state.psi_col.set(ctx.global_id, unreachable);
+    });
+
+    // Level-synchronous BFS: one G-GR-KRNL launch per level.
+    let u_added = DeviceBuffer::<bool>::new(1, true);
+    let mut c_level: u32 = 0;
+    let mut levels = 0u32;
+    while u_added.get(0) {
+        u_added.set(0, false);
+        gpu.launch("G-GR-KRNL", m, |ctx| {
+            let u = ctx.global_id;
+            ctx.add_work(1);
+            if state.psi_row.get(u) == c_level {
+                for &v in graph.row_neighbors(u as u32) {
+                    ctx.add_work(1);
+                    let v = v as usize;
+                    if state.psi_col.get(v) == unreachable {
+                        state.psi_col.set(v, c_level + 1);
+                        let mate = state.mu_col.get(v);
+                        if mate > MU_UNMATCHED && state.mu_row.get(mate as usize) == v as i64 {
+                            state.psi_row.set(mate as usize, c_level + 2);
+                            u_added.set(0, true);
+                        }
+                    }
+                }
+            }
+        });
+        c_level += 2;
+        levels += 1;
+    }
+
+    // maxLevel is the level counter reached when the BFS stopped adding rows
+    // (Algorithm 4 line 8).
+    GlobalRelabelOutcome { max_level: c_level, levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::heuristics::cheap_matching;
+    use gpm_graph::{gen, BipartiteCsr, Matching};
+
+    fn exact_labels_host(g: &BipartiteCsr, m: &Matching) -> (Vec<u32>, Vec<u32>) {
+        // Reference BFS on the host (same as the sequential GR).
+        let unreachable = (g.num_rows() + g.num_cols()) as u32;
+        let mut psi_row = vec![unreachable; g.num_rows()];
+        let mut psi_col = vec![unreachable; g.num_cols()];
+        let mut queue = std::collections::VecDeque::new();
+        for r in 0..g.num_rows() as u32 {
+            if !m.is_row_matched(r) {
+                psi_row[r as usize] = 0;
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let du = psi_row[u as usize];
+            for &v in g.row_neighbors(u) {
+                if psi_col[v as usize] == unreachable {
+                    psi_col[v as usize] = du + 1;
+                    if let Some(w) = m.col_mate(v) {
+                        if psi_row[w as usize] == unreachable {
+                            psi_row[w as usize] = du + 2;
+                            queue.push_back(w);
+                        }
+                    }
+                }
+            }
+        }
+        (psi_row, psi_col)
+    }
+
+    #[test]
+    fn labels_match_host_bfs_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = gen::uniform_random(50, 50, 220, seed).unwrap();
+            let matching = cheap_matching(&g);
+            for gpu in [VirtualGpu::sequential(), VirtualGpu::parallel()] {
+                let state = DeviceState::upload(&g, &matching);
+                global_relabel(&gpu, &g, &state);
+                let (er, ec) = exact_labels_host(&g, &matching);
+                assert_eq!(state.psi_row.to_vec(), er, "rows, seed {seed}");
+                assert_eq!(state.psi_col.to_vec(), ec, "cols, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matching_gives_level_one_columns() {
+        let g = gen::uniform_random(20, 20, 80, 9).unwrap();
+        let gpu = VirtualGpu::sequential();
+        let state = DeviceState::upload(&g, &Matching::empty_for(&g));
+        let out = global_relabel(&gpu, &g, &state);
+        // every row unmatched → ψ(u) = 0; every column with a neighbor → 1
+        for u in 0..20 {
+            assert_eq!(state.psi_row.get(u), 0);
+        }
+        for c in 0..20u32 {
+            let expected = if g.col_degree(c) > 0 { 1 } else { 40 };
+            assert_eq!(state.psi_col.get(c as usize), expected);
+        }
+        assert!(out.levels >= 1);
+    }
+
+    #[test]
+    fn unreachable_vertices_get_m_plus_n() {
+        // Perfect matching on a 1x1 component plus an isolated matched pair
+        // that cannot reach any unmatched row.
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let mut m = Matching::empty_for(&g);
+        m.match_pair(0, 0);
+        m.match_pair(1, 1);
+        let gpu = VirtualGpu::sequential();
+        let state = DeviceState::upload(&g, &m);
+        let out = global_relabel(&gpu, &g, &state);
+        assert_eq!(state.psi_row.to_vec(), vec![4, 4]);
+        assert_eq!(state.psi_col.to_vec(), vec![4, 4]);
+        assert_eq!(out.max_level, 2); // loop ran once with no additions
+    }
+
+    #[test]
+    fn max_level_tracks_longest_alternating_path() {
+        // Path graph: c0-r0-c1-r1-c2-r2 with matching {r0-c1, r1-c2}; the
+        // only unmatched row r2 is 4 alternating levels away from c0.
+        let g = BipartiteCsr::from_edges(3, 3, &[(0, 0), (0, 1), (1, 1), (1, 2), (2, 2)]).unwrap();
+        let mut m = Matching::empty_for(&g);
+        m.match_pair(0, 1);
+        m.match_pair(1, 2);
+        let gpu = VirtualGpu::sequential();
+        let state = DeviceState::upload(&g, &m);
+        let out = global_relabel(&gpu, &g, &state);
+        // r2 = 0, c2 = 1, r1 = 2, c1 = 3, r0 = 4, c0 = 5
+        assert_eq!(state.psi_row.to_vec(), vec![4, 2, 0]);
+        assert_eq!(state.psi_col.to_vec(), vec![5, 3, 1]);
+        assert!(out.max_level >= 4);
+    }
+
+    #[test]
+    fn kernel_launch_counts_are_recorded() {
+        let g = gen::uniform_random(30, 30, 100, 2).unwrap();
+        let gpu = VirtualGpu::sequential();
+        let state = DeviceState::upload(&g, &cheap_matching(&g));
+        global_relabel(&gpu, &g, &state);
+        let stats = gpu.stats();
+        assert_eq!(stats.launches_of("INITRELABEL_rows"), 1);
+        assert_eq!(stats.launches_of("INITRELABEL_cols"), 1);
+        assert!(stats.launches_of("G-GR-KRNL") >= 1);
+    }
+}

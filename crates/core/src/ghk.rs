@@ -1,0 +1,571 @@
+//! G-HK and G-HKDW — the GPU augmenting-path baselines.
+//!
+//! The paper compares G-PR against the authors' earlier GPU implementations
+//! of Hopcroft–Karp (G-HK) and its Duff–Wiberg variant (G-HKDW).  Those
+//! codes locate shortest augmenting paths with level-synchronous BFS kernels
+//! and then augment along a maximal set of vertex-disjoint paths with
+//! DFS-based searches restricted to the BFS layers.
+//!
+//! The reproduction keeps the same kernel structure on the virtual GPU:
+//!
+//! * `G-HK-BFS-KRNL` — one launch per BFS level, one thread per column,
+//!   labelling columns with their layer (like `G-GR-KRNL` but rooted at the
+//!   unmatched *columns*);
+//! * `G-HK-DFS-KRNL` — one thread per unmatched column builds a tentative
+//!   level-respecting augmenting path into its private slice of a path
+//!   buffer (no races: each thread writes only its own region);
+//! * a commit pass applies the tentative paths, skipping any path that
+//!   conflicts with one already committed in this phase (those columns are
+//!   simply retried in the next phase).  The commit is executed on the host
+//!   because it is inherently sequential, but it is charged to the cost model
+//!   as a kernel (`G-HK-COMMIT`) whose work is the total committed path
+//!   length, so modelled device time accounts for it.
+//! * G-HKDW adds an extra sweep (`G-HKDW-DW-KRNL`) that builds unrestricted
+//!   augmenting paths from the remaining unmatched *rows* before the next
+//!   BFS, mirroring HKDW's extra DFS set.
+//!
+//! The deviation (host-side commit) is documented in DESIGN.md; the paper's
+//! own G-HK/G-HKDW resolve conflicts with re-traversals whose cost is of the
+//! same order.
+
+use crate::device::{DeviceState, MU_UNMATCHED};
+use gpm_gpu::{DeviceBuffer, DeviceStats, VirtualGpu};
+use gpm_graph::{BipartiteCsr, Matching, VertexId};
+
+const INF: u32 = u32::MAX;
+
+/// Which GPU augmenting-path baseline to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GhkVariant {
+    /// Plain Hopcroft–Karp phases.
+    Hk,
+    /// HK plus the Duff–Wiberg extra sweep from unmatched rows.
+    Hkdw,
+}
+
+impl GhkVariant {
+    /// Name used in figures and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GhkVariant::Hk => "G-HK",
+            GhkVariant::Hkdw => "G-HKDW",
+        }
+    }
+}
+
+/// Counters and outcome of a G-HK / G-HKDW run.
+#[derive(Clone, Debug, Default)]
+pub struct GhkRunStats {
+    /// Variant label.
+    pub variant: &'static str,
+    /// Number of BFS phases executed.
+    pub phases: u64,
+    /// Number of augmenting paths applied.
+    pub augmentations: u64,
+    /// Number of tentative paths discarded because of conflicts.
+    pub conflicts: u64,
+    /// Device statistics for this run.
+    pub device: DeviceStats,
+    /// Host wall-clock time, seconds.
+    pub seconds: f64,
+}
+
+/// Result of a G-HK / G-HKDW run.
+#[derive(Clone, Debug)]
+pub struct GhkResult {
+    /// The maximum matching.
+    pub matching: Matching,
+    /// Run statistics.
+    pub stats: GhkRunStats,
+}
+
+/// Runs G-HK or G-HKDW on the virtual GPU, starting from `initial`.
+pub fn run(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    initial: &Matching,
+    variant: GhkVariant,
+) -> GhkResult {
+    let start = std::time::Instant::now();
+    let base_stats = gpu.stats();
+    let state = DeviceState::upload(graph, initial);
+    let mut stats = GhkRunStats { variant: variant.label(), ..Default::default() };
+
+    let n = graph.num_cols();
+    let m = graph.num_rows();
+    let dist_col = DeviceBuffer::<u32>::new(n, INF);
+    let frontier_nonempty = DeviceBuffer::<bool>::new(1, false);
+    let found_free_row = DeviceBuffer::<bool>::new(1, false);
+
+    loop {
+        // ---- BFS phase (level-synchronous kernels over columns) ----
+        gpu.launch("G-HK-BFS-INIT", n, |ctx| {
+            let v = ctx.global_id;
+            ctx.add_work(1);
+            let level = if state.mu_col.get(v) == MU_UNMATCHED { 0 } else { INF };
+            dist_col.set(v, level);
+        });
+        found_free_row.set(0, false);
+        let mut level = 0u32;
+        loop {
+            frontier_nonempty.set(0, false);
+            gpu.launch("G-HK-BFS-KRNL", n, |ctx| {
+                let v = ctx.global_id;
+                ctx.add_work(1);
+                if dist_col.get(v) != level {
+                    return;
+                }
+                for &u in graph.col_neighbors(v as u32) {
+                    ctx.add_work(1);
+                    let mate = state.mu_row.get(u as usize);
+                    if mate == MU_UNMATCHED {
+                        found_free_row.set(0, true);
+                    } else {
+                        let w = mate as usize;
+                        if dist_col.get(w) == INF {
+                            dist_col.set(w, level + 1);
+                            frontier_nonempty.set(0, true);
+                        }
+                    }
+                }
+            });
+            if found_free_row.get(0) || !frontier_nonempty.get(0) {
+                break;
+            }
+            level += 1;
+        }
+        if !found_free_row.get(0) {
+            break; // no augmenting path: maximum reached
+        }
+        stats.phases += 1;
+
+        // ---- DFS kernel: tentative level-respecting paths ----
+        let free_cols: Vec<i64> = (0..n)
+            .filter(|&v| state.mu_col.get(v) == MU_UNMATCHED)
+            .map(|v| v as i64)
+            .collect();
+        let max_path = (level as usize + 2).max(2);
+        let paths = build_paths_kernel(gpu, graph, &state, &dist_col, &free_cols, max_path);
+
+        // ---- Commit pass ----
+        let (applied, conflicts, committed_work) = commit_paths(&state, &paths, m, n);
+        gpu.launch("G-HK-COMMIT", applied.max(1), |ctx| {
+            // The commit's cost is proportional to the total committed path
+            // length; charge it to the thread representing each applied path.
+            if ctx.global_id == 0 {
+                ctx.add_work(committed_work);
+            }
+        });
+        stats.augmentations += applied as u64;
+        stats.conflicts += conflicts as u64;
+
+        // ---- Optional Duff–Wiberg extra sweep from unmatched rows ----
+        let mut progress = applied as u64;
+        if variant == GhkVariant::Hkdw {
+            let extra = dw_sweep(gpu, graph, &state);
+            stats.augmentations += extra;
+            progress += extra;
+        }
+
+        if progress == 0 {
+            // Every tentative path conflicted (which should be impossible for
+            // a non-empty phase, but is guarded against so that a bug cannot
+            // turn into a hang): apply a single host-side augmentation or
+            // stop if none exists.
+            if host_augment_one(graph, &state) {
+                stats.augmentations += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    // G-HK/G-HKDW keep µ consistent; download directly.
+    let matching = state.download_matching();
+    let mut run_device = gpu.stats();
+    subtract(&mut run_device, &base_stats);
+    stats.device = run_device;
+    stats.seconds = start.elapsed().as_secs_f64();
+    GhkResult { matching, stats }
+}
+
+fn subtract(total: &mut DeviceStats, base: &DeviceStats) {
+    for (name, b) in &base.kernels {
+        if let Some(t) = total.kernels.get_mut(name) {
+            t.launches -= b.launches;
+            t.total_threads -= b.total_threads;
+            t.total_work -= b.total_work;
+            t.modelled_time_ns -= b.modelled_time_ns;
+            t.wall_time_ns -= b.wall_time_ns;
+        }
+    }
+    total.kernels.retain(|_, k| k.launches > 0);
+}
+
+/// Runs the DFS kernel: one thread per free column builds a tentative
+/// level-respecting augmenting path into its private region of `paths`.
+/// A path is stored as a sequence of `(row, col)` pairs, terminated by `-1`.
+fn build_paths_kernel(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    state: &DeviceState,
+    dist_col: &DeviceBuffer<u32>,
+    free_cols: &[i64],
+    max_path: usize,
+) -> Vec<Vec<(VertexId, VertexId)>> {
+    let k = free_cols.len();
+    let stride = 2 * max_path + 2;
+    let path_buf = DeviceBuffer::<i64>::new(k * stride, -1);
+    let free_cols_dev = DeviceBuffer::from_slice(free_cols);
+    // Dead-end marker shared by all threads.  Whether a column can reach a
+    // free row through level-increasing edges depends only on (ψ levels, µ),
+    // which are constant during this kernel, so the flag is thread-agnostic
+    // and the racy (unordered, same-value) writes are benign — the same
+    // argument the paper makes for its own kernels.  Without it a DFS on a
+    // grid-like layered graph revisits columns exponentially often.
+    let dead = DeviceBuffer::<bool>::new(graph.num_cols(), false);
+
+    gpu.launch("G-HK-DFS-KRNL", k, |ctx| {
+        let i = ctx.global_id;
+        let root = free_cols_dev.get(i);
+        if root < 0 {
+            return;
+        }
+        // Iterative level-respecting DFS over (column, next-neighbor-index)
+        // frames.  Levels strictly increase along the stack, so no cycle
+        // check is needed.
+        let mut stack: Vec<(usize, usize)> = vec![(root as usize, 0)];
+        let mut chosen_rows: Vec<i64> = vec![-1];
+        let mut out: Vec<(i64, i64)> = Vec::new();
+        loop {
+            let Some(&(c, idx)) = stack.last() else { break };
+            let nbrs = graph.col_neighbors(c as u32);
+            if idx >= nbrs.len() {
+                dead.set(c, true);
+                stack.pop();
+                chosen_rows.pop();
+                continue;
+            }
+            stack.last_mut().expect("non-empty stack").1 += 1;
+            let u = nbrs[idx] as usize;
+            ctx.add_work(1);
+            let mate = state.mu_row.get(u);
+            if mate == MU_UNMATCHED {
+                // Found a free row: record the full path.
+                let depth = stack.len() - 1;
+                chosen_rows[depth] = u as i64;
+                for (d, &(col, _)) in stack.iter().enumerate() {
+                    out.push((chosen_rows[d], col as i64));
+                }
+                break;
+            }
+            let w = mate as usize;
+            let level_c = dist_col.get(c);
+            if !dead.get(w) && dist_col.get(w) == level_c.saturating_add(1) {
+                let depth = stack.len() - 1;
+                chosen_rows[depth] = u as i64;
+                stack.push((w, 0));
+                chosen_rows.push(-1);
+            }
+        }
+        // Write the tentative path to the private region.
+        let base = i * stride;
+        for (j, &(u, c)) in out.iter().enumerate() {
+            path_buf.set(base + 2 * j, u);
+            path_buf.set(base + 2 * j + 1, c);
+        }
+    });
+
+    // Host-side decode of the private regions.
+    let raw = path_buf.to_vec();
+    (0..k)
+        .map(|i| {
+            let base = i * stride;
+            let mut path = Vec::new();
+            let mut j = 0;
+            while 2 * j + 1 < stride {
+                let u = raw[base + 2 * j];
+                let c = raw[base + 2 * j + 1];
+                if u < 0 || c < 0 {
+                    break;
+                }
+                path.push((u as VertexId, c as VertexId));
+                j += 1;
+            }
+            path
+        })
+        .collect()
+}
+
+/// Applies non-conflicting tentative paths to the device matching.  Returns
+/// (paths applied, paths discarded, total committed pairs).
+///
+/// The tentative paths were built against the matching as it stood at the
+/// start of the phase; the only writers since then are earlier iterations of
+/// this very loop, so tracking the rows/columns they touched is sufficient to
+/// detect every conflict.
+fn commit_paths(
+    state: &DeviceState,
+    paths: &[Vec<(VertexId, VertexId)>],
+    num_rows: usize,
+    num_cols: usize,
+) -> (usize, usize, u64) {
+    let mut used_row = vec![false; num_rows];
+    let mut used_col = vec![false; num_cols];
+    let mut applied = 0usize;
+    let mut conflicts = 0usize;
+    let mut committed_pairs = 0u64;
+    for path in paths {
+        if path.is_empty() {
+            continue;
+        }
+        let clash = path.iter().any(|&(u, c)| used_row[u as usize] || used_col[c as usize]);
+        if clash {
+            conflicts += 1;
+            continue;
+        }
+        for &(u, c) in path {
+            state.mu_row.set(u as usize, c as i64);
+            state.mu_col.set(c as usize, u as i64);
+            used_row[u as usize] = true;
+            used_col[c as usize] = true;
+            committed_pairs += 1;
+        }
+        applied += 1;
+    }
+    (applied, conflicts, committed_pairs)
+}
+
+/// The Duff–Wiberg extra sweep: one thread per unmatched row builds an
+/// unrestricted alternating path toward a free column; paths are committed
+/// host-side like the HK phase.  Returns the number of augmentations.
+fn dw_sweep(gpu: &VirtualGpu, graph: &BipartiteCsr, state: &DeviceState) -> u64 {
+    let m = graph.num_rows();
+    let free_rows: Vec<i64> =
+        (0..m).filter(|&u| state.mu_row.get(u) == MU_UNMATCHED).map(|u| u as i64).collect();
+    if free_rows.is_empty() {
+        return 0;
+    }
+    let k = free_rows.len();
+    let free_rows_dev = DeviceBuffer::from_slice(&free_rows);
+    // Collect tentative paths (row, col) pairs per thread, bounded depth to
+    // keep the sweep cheap — longer paths are left for the next BFS phase.
+    const MAX_DEPTH: usize = 64;
+    let stride = 2 * MAX_DEPTH + 2;
+    let path_buf = DeviceBuffer::<i64>::new(k * stride, -1);
+
+    gpu.launch("G-HKDW-DW-KRNL", k, |ctx| {
+        let i = ctx.global_id;
+        let root = free_rows_dev.get(i) as usize;
+        // Iterative alternating DFS row → column → matched row …, depth-bounded.
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        let mut chosen_cols: Vec<i64> = vec![-1];
+        let mut out: Vec<(i64, i64)> = Vec::new();
+        let mut visited_cols: Vec<usize> = Vec::new();
+        loop {
+            let Some(&(r, idx)) = stack.last() else { break };
+            if stack.len() > MAX_DEPTH {
+                break;
+            }
+            let nbrs = graph.row_neighbors(r as u32);
+            if idx >= nbrs.len() {
+                stack.pop();
+                chosen_cols.pop();
+                continue;
+            }
+            stack.last_mut().expect("non-empty stack").1 += 1;
+            let c = nbrs[idx] as usize;
+            ctx.add_work(1);
+            if visited_cols.contains(&c) {
+                continue;
+            }
+            visited_cols.push(c);
+            let mate = state.mu_col.get(c);
+            if mate == MU_UNMATCHED {
+                let depth = stack.len() - 1;
+                chosen_cols[depth] = c as i64;
+                for (d, &(row, _)) in stack.iter().enumerate() {
+                    out.push((row as i64, chosen_cols[d]));
+                }
+                break;
+            }
+            if mate >= 0 && state.mu_row.get(mate as usize) == c as i64 {
+                let depth = stack.len() - 1;
+                chosen_cols[depth] = c as i64;
+                stack.push((mate as usize, 0));
+                chosen_cols.push(-1);
+            }
+        }
+        let base = i * stride;
+        for (j, &(u, c)) in out.iter().enumerate() {
+            path_buf.set(base + 2 * j, u);
+            path_buf.set(base + 2 * j + 1, c);
+        }
+    });
+
+    let raw = path_buf.to_vec();
+    let mut used_row = vec![false; graph.num_rows()];
+    let mut used_col = vec![false; graph.num_cols()];
+    let mut applied = 0u64;
+    for i in 0..k {
+        let base = i * stride;
+        let mut path = Vec::new();
+        let mut j = 0;
+        while 2 * j + 1 < stride {
+            let u = raw[base + 2 * j];
+            let c = raw[base + 2 * j + 1];
+            if u < 0 || c < 0 {
+                break;
+            }
+            path.push((u as usize, c as usize));
+            j += 1;
+        }
+        if path.is_empty() {
+            continue;
+        }
+        if path.iter().any(|&(u, c)| used_row[u] || used_col[c]) {
+            continue;
+        }
+        for &(u, c) in &path {
+            state.mu_row.set(u, c as i64);
+            state.mu_col.set(c, u as i64);
+            used_row[u] = true;
+            used_col[c] = true;
+        }
+        applied += 1;
+    }
+    applied
+}
+
+/// Host-side single augmentation fallback used only if every tentative path
+/// of a phase conflicted.  Returns `true` if an augmenting path was applied.
+fn host_augment_one(graph: &BipartiteCsr, state: &DeviceState) -> bool {
+    let n = graph.num_cols();
+    for root in 0..n {
+        if state.mu_col.get(root) != MU_UNMATCHED {
+            continue;
+        }
+        // Plain alternating BFS with parent tracking.
+        let mut parent_col_of_row: Vec<i64> = vec![-2; graph.num_rows()];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(root);
+        let mut seen_cols = vec![false; n];
+        seen_cols[root] = true;
+        while let Some(v) = queue.pop_front() {
+            for &u in graph.col_neighbors(v as u32) {
+                let u = u as usize;
+                if parent_col_of_row[u] != -2 {
+                    continue;
+                }
+                parent_col_of_row[u] = v as i64;
+                let mate = state.mu_row.get(u);
+                if mate == MU_UNMATCHED {
+                    // augment
+                    let mut cur_row = u;
+                    loop {
+                        let via = parent_col_of_row[cur_row] as usize;
+                        let next = state.mu_col.get(via);
+                        state.mu_row.set(cur_row, via as i64);
+                        state.mu_col.set(via, cur_row as i64);
+                        if next == MU_UNMATCHED || via == root {
+                            return true;
+                        }
+                        cur_row = next as usize;
+                    }
+                }
+                let w = mate as usize;
+                if !seen_cols[w] {
+                    seen_cols[w] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::heuristics::cheap_matching;
+    use gpm_graph::verify::{is_maximum, maximum_matching_cardinality};
+    use gpm_graph::{gen, Matching};
+
+    fn check(g: &BipartiteCsr, gpu: &VirtualGpu) {
+        let opt = maximum_matching_cardinality(g);
+        let init = cheap_matching(g);
+        for variant in [GhkVariant::Hk, GhkVariant::Hkdw] {
+            let r = run(gpu, g, &init, variant);
+            assert_eq!(
+                r.matching.cardinality(),
+                opt,
+                "{} found {} instead of {}",
+                variant.label(),
+                r.matching.cardinality(),
+                opt
+            );
+            assert!(is_maximum(g, &r.matching));
+            r.matching.validate_against(g).unwrap();
+        }
+    }
+
+    #[test]
+    fn small_square_both_variants() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        check(&g, &VirtualGpu::sequential());
+        check(&g, &VirtualGpu::parallel());
+    }
+
+    #[test]
+    fn random_graphs_both_backends() {
+        for seed in 0..3u64 {
+            let g = gen::uniform_random(70, 65, 350, seed + 11).unwrap();
+            check(&g, &VirtualGpu::sequential());
+            check(&g, &VirtualGpu::parallel());
+        }
+    }
+
+    #[test]
+    fn structured_families() {
+        let gpu = VirtualGpu::parallel();
+        for g in [
+            gen::road_network(18, 18, 0.1, 6).unwrap(),
+            gen::rmat(gen::RmatParams::graph500(8, 4), 6).unwrap(),
+            gen::delaunay_like(12, 12, 6).unwrap(),
+        ] {
+            check(&g, &gpu);
+        }
+    }
+
+    #[test]
+    fn planted_perfect_found() {
+        let gpu = VirtualGpu::parallel();
+        let g = gen::planted_perfect(200, 600, 13).unwrap();
+        check(&g, &gpu);
+    }
+
+    #[test]
+    fn empty_graph_and_perfect_initial() {
+        let gpu = VirtualGpu::sequential();
+        let g = BipartiteCsr::empty(5, 5);
+        let r = run(&gpu, &g, &Matching::empty_for(&g), GhkVariant::Hkdw);
+        assert_eq!(r.matching.cardinality(), 0);
+
+        let g = gen::planted_perfect(64, 0, 7).unwrap();
+        let init = cheap_matching(&g);
+        let r = run(&gpu, &g, &init, GhkVariant::Hk);
+        assert_eq!(r.matching.cardinality(), 64);
+        assert_eq!(r.stats.phases, 0);
+    }
+
+    #[test]
+    fn stats_record_bfs_kernels() {
+        let gpu = VirtualGpu::sequential();
+        let g = gen::uniform_random(150, 150, 700, 4).unwrap();
+        let r = run(&gpu, &g, &cheap_matching(&g), GhkVariant::Hkdw);
+        assert!(r.stats.device.launches_of("G-HK-BFS-KRNL") >= 1);
+        assert!(r.stats.device.launches_of("G-HK-DFS-KRNL") >= r.stats.phases);
+        assert_eq!(r.stats.variant, "G-HKDW");
+        assert!(r.stats.device.modelled_time_secs() > 0.0);
+    }
+}

@@ -1,0 +1,688 @@
+//! G-PR — the paper's GPU push-relabel bipartite matching algorithm.
+//!
+//! Three variants are implemented, matching the three curves of Figure 1:
+//!
+//! * [`GprVariant::First`] — Algorithm 3 with the kernel of Algorithm 6: every
+//!   column vertex gets a thread in every iteration; active columns perform a
+//!   push-relabel step, others return immediately.
+//! * [`GprVariant::ActiveList`] ("G-PR-NoShr") — Algorithm 7 with the
+//!   `G-PR-INITKRNL` (Algorithm 8) and `G-PR-PUSHKRNL` (Algorithm 9) kernels:
+//!   threads are launched only for the entries of an active-column list,
+//!   maintained with the two-array `A_c`/`A_p` scheme plus the `iA` stamp
+//!   array that prevents duplicate processing.
+//! * [`GprVariant::Shrink`] ("G-PR-Shr") — additionally compacts the
+//!   active-column arrays with `G-PR-SHRKRNL` (a count / prefix-sum / scatter
+//!   pass) after every global relabeling, as long as the list still has at
+//!   least [`GprConfig::shrink_threshold`] entries.
+//!
+//! All kernels are lock- and atomic-free: device words are written with plain
+//! (relaxed) stores, races are benign by the paper's argument, and remaining
+//! matching inconsistencies are repaired by `FIXMATCHING` at the very end.
+
+use crate::device::{DeviceState, MU_UNMATCHABLE, MU_UNMATCHED};
+use crate::ggr::global_relabel;
+use crate::strategy::GrStrategy;
+use gpm_gpu::{primitives, DeviceBuffer, DeviceStats, VirtualGpu};
+use gpm_graph::{BipartiteCsr, Matching};
+
+/// Which G-PR variant to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GprVariant {
+    /// Algorithm 3/6: one thread per column every iteration ("G-PR-First").
+    First,
+    /// Algorithm 7/8/9 without list shrinking ("G-PR-NoShr").
+    ActiveList,
+    /// Algorithm 7/8/9 with `G-PR-SHRKRNL` list compaction ("G-PR-Shr").
+    Shrink,
+}
+
+impl GprVariant {
+    /// Name used in figures and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GprVariant::First => "G-PR-First",
+            GprVariant::ActiveList => "G-PR-NoShr",
+            GprVariant::Shrink => "G-PR-Shr",
+        }
+    }
+}
+
+/// Configuration of a G-PR run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GprConfig {
+    /// Which variant to run.
+    pub variant: GprVariant,
+    /// Global-relabeling schedule.
+    pub strategy: GrStrategy,
+    /// Minimum active-list length for which the shrink kernel is worth its
+    /// overhead (the paper uses 512; line 11 of Algorithm 7).
+    pub shrink_threshold: usize,
+    /// Safety cap on main-loop iterations.  The algorithm terminates long
+    /// before this in theory and practice; the cap turns a hypothetical
+    /// livelock (e.g. from a future modification) into a loud panic instead
+    /// of a hang.
+    pub max_loops: u64,
+}
+
+impl GprConfig {
+    /// The paper's best configuration: G-PR-Shr with (adaptive, 0.7).
+    pub fn paper_default() -> Self {
+        Self {
+            variant: GprVariant::Shrink,
+            strategy: GrStrategy::paper_default(),
+            shrink_threshold: 512,
+            max_loops: 0, // 0 = derive from graph size at run time
+        }
+    }
+
+    /// Same configuration but for a specific variant.
+    pub fn with_variant(variant: GprVariant) -> Self {
+        Self { variant, ..Self::paper_default() }
+    }
+
+    /// Same configuration but for a specific GR strategy.
+    pub fn with_strategy(strategy: GrStrategy) -> Self {
+        Self { strategy, ..Self::paper_default() }
+    }
+
+    fn effective_max_loops(&self, graph: &BipartiteCsr) -> u64 {
+        if self.max_loops > 0 {
+            self.max_loops
+        } else {
+            16 * (graph.num_vertices() as u64) + 4096
+        }
+    }
+}
+
+impl Default for GprConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Counters and outcome of a G-PR run.
+#[derive(Clone, Debug, Default)]
+pub struct GprRunStats {
+    /// Variant label.
+    pub variant: &'static str,
+    /// GR-strategy label.
+    pub strategy: String,
+    /// Number of main-loop iterations executed.
+    pub loops: u64,
+    /// Number of global relabelings performed.
+    pub global_relabels: u64,
+    /// Number of shrink (list compaction) passes performed.
+    pub shrinks: u64,
+    /// Device statistics accumulated during this run (kernel launches,
+    /// modelled time, wall time).
+    pub device: DeviceStats,
+    /// Host wall-clock time of the whole solve, seconds.
+    pub seconds: f64,
+}
+
+/// Result of a G-PR run: the maximum matching plus counters.
+#[derive(Clone, Debug)]
+pub struct GprResult {
+    /// The (consistent, repaired) maximum matching.
+    pub matching: Matching,
+    /// Run statistics.
+    pub stats: GprRunStats,
+}
+
+/// Runs G-PR on the given virtual GPU, starting from `initial` (normally the
+/// cheap greedy matching, as in the paper).
+pub fn run(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    initial: &Matching,
+    config: GprConfig,
+) -> GprResult {
+    let start = std::time::Instant::now();
+    let base_stats = gpu.stats();
+    let state = DeviceState::upload(graph, initial);
+    let mut stats = GprRunStats {
+        variant: config.variant.label(),
+        strategy: config.strategy.label(),
+        ..Default::default()
+    };
+
+    match config.variant {
+        GprVariant::First => run_first(gpu, graph, &state, &config, &mut stats),
+        GprVariant::ActiveList | GprVariant::Shrink => {
+            run_active_list(gpu, graph, &state, &config, &mut stats)
+        }
+    }
+
+    fix_matching(gpu, &state);
+    let matching = state.download_matching();
+
+    // Report only the device work done by this run, even if the caller
+    // reuses one VirtualGpu across runs.
+    let mut run_device = gpu.stats();
+    subtract_stats(&mut run_device, &base_stats);
+    stats.device = run_device;
+    stats.seconds = start.elapsed().as_secs_f64();
+    GprResult { matching, stats }
+}
+
+/// Subtracts `base` (a previous snapshot) from `total`, leaving only the work
+/// performed after the snapshot was taken.
+fn subtract_stats(total: &mut DeviceStats, base: &DeviceStats) {
+    for (name, b) in &base.kernels {
+        if let Some(t) = total.kernels.get_mut(name) {
+            t.launches -= b.launches;
+            t.total_threads -= b.total_threads;
+            t.total_work -= b.total_work;
+            t.modelled_time_ns -= b.modelled_time_ns;
+            t.wall_time_ns -= b.wall_time_ns;
+        }
+    }
+    total.kernels.retain(|_, k| k.launches > 0);
+}
+
+/// The push-relabel step shared by Algorithm 6 and Algorithm 9: scans `Γ(v)`
+/// for the row with minimum `ψ`, then either performs the (racy) push and
+/// relabel or reports that `v` is unmatchable.
+///
+/// Returns `Some(Some(w))` when a push happened and displaced column `w`,
+/// `Some(None)` when a push happened without displacing anyone (single push),
+/// and `None` when no push was possible (`ψ_min = m + n`).
+#[inline]
+fn push_relabel_step(
+    graph: &BipartiteCsr,
+    state: &DeviceState,
+    ctx: &gpm_gpu::ThreadCtx,
+    v: usize,
+    guard_active_stamp: Option<(&DeviceBuffer<i64>, i64)>,
+) -> PushOutcome {
+    let unreachable = state.unreachable;
+    let mut psi_min = unreachable;
+    let mut best: i64 = -1;
+    let target = state.psi_col.get(v).saturating_sub(1);
+    for &u in graph.col_neighbors(v as u32) {
+        ctx.add_work(1);
+        let pu = state.psi_row.get(u as usize);
+        if pu < psi_min {
+            psi_min = pu;
+            best = u as i64;
+            if psi_min == target {
+                break;
+            }
+        }
+    }
+    if psi_min >= unreachable {
+        state.mu_col.set(v, MU_UNMATCHABLE);
+        return PushOutcome::Unmatchable;
+    }
+    let u = best as usize;
+    let displaced = state.mu_row.get(u);
+    if let Some((i_a, loop_stamp)) = guard_active_stamp {
+        // Algorithm 9 line 13: do not displace a column that is itself being
+        // processed in this very iteration.
+        if displaced >= 0 && i_a.get(displaced as usize) == loop_stamp {
+            return PushOutcome::Deferred;
+        }
+    }
+    state.mu_row.set(u, v as i64);
+    state.mu_col.set(v, u as i64);
+    state.psi_col.set(v, psi_min + 1);
+    state.psi_row.set(u, psi_min + 2);
+    if displaced >= 0 {
+        PushOutcome::Pushed(Some(displaced))
+    } else {
+        PushOutcome::Pushed(None)
+    }
+}
+
+/// Outcome of one push-relabel attempt on a column.
+enum PushOutcome {
+    /// Push performed; holds the displaced column (double push) or `None`
+    /// (single push).
+    Pushed(Option<i64>),
+    /// `ψ_min = m + n`: the column was marked unmatchable.
+    Unmatchable,
+    /// The push was deferred because the target row's mate is active in the
+    /// current iteration (active-list variants only).
+    Deferred,
+}
+
+// ---------------------------------------------------------------------------
+// Variant 1: G-PR-First (Algorithms 3 and 6)
+// ---------------------------------------------------------------------------
+
+fn run_first(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    state: &DeviceState,
+    config: &GprConfig,
+    stats: &mut GprRunStats,
+) {
+    let n = graph.num_cols();
+    let mut loop_iter: u64 = 0;
+    let mut iter_gr: u64 = 0;
+    let act_exists = DeviceBuffer::<bool>::new(1, true);
+    let max_loops = config.effective_max_loops(graph);
+
+    let mut active_exists = true;
+    while active_exists {
+        assert!(
+            loop_iter < max_loops,
+            "G-PR-First exceeded the safety iteration cap ({max_loops}); this indicates a bug"
+        );
+        if loop_iter == iter_gr {
+            let outcome = global_relabel(gpu, graph, state);
+            stats.global_relabels += 1;
+            iter_gr = config.strategy.next_relabel_iteration(outcome.max_level, loop_iter);
+        }
+        act_exists.set(0, false);
+        gpu.launch("G-PR-KRNL", n, |ctx| {
+            let v = ctx.global_id;
+            ctx.add_work(1);
+            if !state.is_col_active(v as u32) {
+                return;
+            }
+            act_exists.set(0, true);
+            let _ = push_relabel_step(graph, state, ctx, v, None);
+        });
+        active_exists = act_exists.get(0);
+        loop_iter += 1;
+    }
+    stats.loops = loop_iter;
+}
+
+// ---------------------------------------------------------------------------
+// Variants 2 and 3: active-column lists (Algorithms 7, 8, 9) and shrinking
+// ---------------------------------------------------------------------------
+
+const SLOT_EMPTY: i64 = -1;
+
+fn run_active_list(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    state: &DeviceState,
+    config: &GprConfig,
+    stats: &mut GprRunStats,
+) {
+    let n = graph.num_cols();
+    let max_loops = config.effective_max_loops(graph);
+
+    // Initially both arrays hold the unmatched column indices.
+    let initially_active: Vec<i64> = (0..n)
+        .filter(|&v| state.mu_col.get(v) == MU_UNMATCHED)
+        .map(|v| v as i64)
+        .collect();
+    if initially_active.is_empty() {
+        stats.loops = 0;
+        return;
+    }
+    let mut a_current = DeviceBuffer::from_slice(&initially_active);
+    let mut a_previous = DeviceBuffer::from_slice(&initially_active);
+    let i_a = DeviceBuffer::<i64>::new(n, -1);
+
+    let act_exists = DeviceBuffer::<bool>::new(1, true);
+    let mut loop_iter: u64 = 0;
+    let mut iter_gr: u64 = 0;
+    let mut shrink_pending = false;
+    let mut active_exists = true;
+
+    while active_exists {
+        assert!(
+            loop_iter < max_loops,
+            "G-PR active-list variant exceeded the safety iteration cap ({max_loops}); this indicates a bug"
+        );
+        if loop_iter == iter_gr {
+            let outcome = global_relabel(gpu, graph, state);
+            stats.global_relabels += 1;
+            iter_gr = config.strategy.next_relabel_iteration(outcome.max_level, loop_iter);
+            shrink_pending = true;
+        }
+        act_exists.set(0, false);
+        let list_len = a_current.len();
+        let loop_stamp = loop_iter as i64;
+
+        let do_shrink = config.variant == GprVariant::Shrink
+            && shrink_pending
+            && list_len >= config.shrink_threshold;
+        if do_shrink {
+            let (new_ac, new_ap) = shrink_kernel(
+                gpu,
+                state,
+                &a_current,
+                &a_previous,
+                &i_a,
+                loop_stamp,
+                &act_exists,
+            );
+            a_current = new_ac;
+            a_previous = new_ap;
+            stats.shrinks += 1;
+            shrink_pending = false;
+        } else {
+            // G-PR-INITKRNL (Algorithm 8).
+            gpu.launch("G-PR-INITKRNL", list_len, |ctx| {
+                let i = ctx.global_id;
+                ctx.add_work(1);
+                let prev = a_previous.get(i);
+                if prev != SLOT_EMPTY && state.is_col_active(prev as u32) {
+                    // The push performed on `prev` was rolled back by a
+                    // conflict (or never happened): retry it.
+                    a_current.set(i, prev);
+                }
+                let v = a_current.get(i);
+                if v != SLOT_EMPTY {
+                    i_a.set(v as usize, loop_stamp);
+                    act_exists.set(0, true);
+                }
+            });
+        }
+
+        active_exists = act_exists.get(0);
+        if active_exists {
+            // G-PR-PUSHKRNL (Algorithm 9).
+            let list_len = a_current.len();
+            gpu.launch("G-PR-PUSHKRNL", list_len, |ctx| {
+                let i = ctx.global_id;
+                ctx.add_work(1);
+                let v = a_current.get(i);
+                if v == SLOT_EMPTY {
+                    a_previous.set(i, SLOT_EMPTY);
+                    return;
+                }
+                match push_relabel_step(graph, state, ctx, v as usize, Some((&i_a, loop_stamp))) {
+                    PushOutcome::Pushed(displaced) => {
+                        a_previous.set(i, displaced.unwrap_or(SLOT_EMPTY));
+                    }
+                    PushOutcome::Unmatchable => {
+                        a_current.set(i, SLOT_EMPTY);
+                        a_previous.set(i, SLOT_EMPTY);
+                    }
+                    PushOutcome::Deferred => {
+                        // Leave the column in place; it will be retried after
+                        // the conflicting column finishes.
+                        a_previous.set(i, SLOT_EMPTY);
+                    }
+                }
+            });
+            std::mem::swap(&mut a_current, &mut a_previous);
+        }
+        loop_iter += 1;
+    }
+    stats.loops = loop_iter;
+}
+
+/// `G-PR-SHRKRNL`: compacts the active-column list to its live entries using
+/// a count pass, a device prefix sum, and a scatter pass.
+#[allow(clippy::too_many_arguments)]
+fn shrink_kernel(
+    gpu: &VirtualGpu,
+    state: &DeviceState,
+    a_current: &DeviceBuffer<i64>,
+    a_previous: &DeviceBuffer<i64>,
+    i_a: &DeviceBuffer<i64>,
+    loop_stamp: i64,
+    act_exists: &DeviceBuffer<bool>,
+) -> (DeviceBuffer<i64>, DeviceBuffer<i64>) {
+    let len = a_current.len();
+    // Pass 1: resolve each slot (same logic as INITKRNL) and count survivors.
+    let resolved = DeviceBuffer::<i64>::new(len, SLOT_EMPTY);
+    let counts = DeviceBuffer::<u64>::new(len, 0);
+    gpu.launch("G-PR-SHRKRNL_count", len, |ctx| {
+        let i = ctx.global_id;
+        ctx.add_work(1);
+        let prev = a_previous.get(i);
+        let mut v = a_current.get(i);
+        if prev != SLOT_EMPTY && state.is_col_active(prev as u32) {
+            v = prev;
+        }
+        // Only keep genuinely active columns; consumed or unmatchable slots
+        // are dropped by the compaction.
+        if v != SLOT_EMPTY && state.is_col_active(v as u32) {
+            resolved.set(i, v);
+            counts.set(i, 1);
+        }
+    });
+
+    // Pass 2: exclusive prefix sum of the counts gives each slot's write
+    // position in the compacted array.
+    let (offsets, total) = primitives::exclusive_prefix_sum(gpu, &counts);
+    let new_len = total as usize;
+    let new_ac = DeviceBuffer::<i64>::new(new_len.max(1), SLOT_EMPTY);
+
+    // Pass 3: scatter the surviving columns into their private regions.
+    gpu.launch("G-PR-SHRKRNL_scatter", len, |ctx| {
+        let i = ctx.global_id;
+        ctx.add_work(1);
+        let v = resolved.get(i);
+        if v != SLOT_EMPTY {
+            let pos = offsets.get(i) as usize;
+            new_ac.set(pos, v);
+            i_a.set(v as usize, loop_stamp);
+            act_exists.set(0, true);
+        }
+    });
+
+    let new_ac = if new_len == 0 {
+        DeviceBuffer::<i64>::new(0, SLOT_EMPTY)
+    } else {
+        new_ac
+    };
+    let new_ap = DeviceBuffer::from_slice(&new_ac.to_vec());
+    (new_ac, new_ap)
+}
+
+/// The `FIXMATCHING` kernel: `µ(v) ← −1` for every column whose mate does not
+/// point back at it.
+fn fix_matching(gpu: &VirtualGpu, state: &DeviceState) {
+    gpu.launch("FIXMATCHING", state.num_cols(), |ctx| {
+        let v = ctx.global_id;
+        ctx.add_work(1);
+        let mu_v = state.mu_col.get(v);
+        if mu_v >= 0 && state.mu_row.get(mu_v as usize) != v as i64 {
+            state.mu_col.set(v, MU_UNMATCHED);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::heuristics::cheap_matching;
+    use gpm_graph::verify::{is_maximum, maximum_matching_cardinality};
+    use gpm_graph::{gen, Matching};
+
+    fn all_variants() -> Vec<GprVariant> {
+        vec![GprVariant::First, GprVariant::ActiveList, GprVariant::Shrink]
+    }
+
+    fn check_graph(g: &BipartiteCsr, gpu: &VirtualGpu) {
+        let opt = maximum_matching_cardinality(g);
+        let init = cheap_matching(g);
+        for variant in all_variants() {
+            let result = run(gpu, g, &init, GprConfig::with_variant(variant));
+            assert_eq!(
+                result.matching.cardinality(),
+                opt,
+                "{} found {} instead of {}",
+                variant.label(),
+                result.matching.cardinality(),
+                opt
+            );
+            assert!(is_maximum(g, &result.matching), "{} not maximum", variant.label());
+            result.matching.validate_against(g).unwrap();
+        }
+    }
+
+    #[test]
+    fn tiny_square_graph_all_variants() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        check_graph(&g, &VirtualGpu::sequential());
+        check_graph(&g, &VirtualGpu::parallel());
+    }
+
+    #[test]
+    fn random_graphs_sequential_backend() {
+        let gpu = VirtualGpu::sequential();
+        for seed in 0..4u64 {
+            let g = gen::uniform_random(60, 55, 300, seed).unwrap();
+            check_graph(&g, &gpu);
+        }
+    }
+
+    #[test]
+    fn random_graphs_parallel_backend() {
+        let gpu = VirtualGpu::parallel();
+        for seed in 0..4u64 {
+            let g = gen::uniform_random(80, 80, 480, seed + 40).unwrap();
+            check_graph(&g, &gpu);
+        }
+    }
+
+    #[test]
+    fn structured_families_all_variants() {
+        let gpu = VirtualGpu::parallel();
+        let graphs = vec![
+            gen::road_network(20, 20, 0.1, 3).unwrap(),
+            gen::delaunay_like(14, 14, 3).unwrap(),
+            gen::rmat(gen::RmatParams::graph500(8, 5), 3).unwrap(),
+            gen::power_law(300, 300, 1500, 2.2, 3).unwrap(),
+        ];
+        for g in &graphs {
+            check_graph(g, &gpu);
+        }
+    }
+
+    #[test]
+    fn planted_perfect_matching_is_found() {
+        let gpu = VirtualGpu::parallel();
+        let g = gen::planted_perfect(256, 768, 11).unwrap();
+        let init = cheap_matching(&g);
+        for variant in all_variants() {
+            let r = run(&gpu, &g, &init, GprConfig::with_variant(variant));
+            assert_eq!(r.matching.cardinality(), 256, "{}", variant.label());
+        }
+    }
+
+    #[test]
+    fn empty_initial_matching_works() {
+        let gpu = VirtualGpu::sequential();
+        let g = gen::uniform_random(50, 50, 250, 5).unwrap();
+        let opt = maximum_matching_cardinality(&g);
+        for variant in all_variants() {
+            let r = run(&gpu, &g, &Matching::empty_for(&g), GprConfig::with_variant(variant));
+            assert_eq!(r.matching.cardinality(), opt, "{}", variant.label());
+        }
+    }
+
+    #[test]
+    fn graphs_with_unmatchable_columns() {
+        // More columns than rows: at least 3 columns must end unmatchable.
+        let gpu = VirtualGpu::sequential();
+        let g = gen::uniform_random(10, 13, 60, 8).unwrap();
+        check_graph(&g, &gpu);
+    }
+
+    #[test]
+    fn empty_graph_and_no_active_columns() {
+        let gpu = VirtualGpu::sequential();
+        let g = BipartiteCsr::empty(6, 6);
+        for variant in all_variants() {
+            let r = run(&gpu, &g, &Matching::empty_for(&g), GprConfig::with_variant(variant));
+            assert_eq!(r.matching.cardinality(), 0);
+        }
+        // A graph whose cheap matching is already perfect: the active-list
+        // variants must exit without any push kernel.
+        let g = gen::planted_perfect(64, 0, 1).unwrap();
+        let init = cheap_matching(&g);
+        assert_eq!(init.cardinality(), 64);
+        let r = run(&gpu, &g, &init, GprConfig::with_variant(GprVariant::Shrink));
+        assert_eq!(r.matching.cardinality(), 64);
+    }
+
+    #[test]
+    fn all_figure1_strategies_give_maximum() {
+        let gpu = VirtualGpu::parallel();
+        let g = gen::rmat(gen::RmatParams::web_like(8, 4), 9).unwrap();
+        let init = cheap_matching(&g);
+        let opt = maximum_matching_cardinality(&g);
+        for strategy in crate::strategy::figure1_strategies() {
+            for variant in all_variants() {
+                let config = GprConfig {
+                    variant,
+                    strategy,
+                    ..GprConfig::paper_default()
+                };
+                let r = run(&gpu, &g, &init, config);
+                assert_eq!(
+                    r.matching.cardinality(),
+                    opt,
+                    "{} with {}",
+                    variant.label(),
+                    strategy.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_kernels_and_relabels() {
+        let gpu = VirtualGpu::sequential();
+        let g = gen::uniform_random(200, 200, 900, 14).unwrap();
+        let init = cheap_matching(&g);
+        let r = run(&gpu, &g, &init, GprConfig::with_variant(GprVariant::First));
+        assert!(r.stats.global_relabels >= 1);
+        assert!(r.stats.loops >= 1);
+        assert!(r.stats.device.launches_of("G-PR-KRNL") >= 1);
+        assert!(r.stats.device.launches_of("FIXMATCHING") == 1);
+        assert!(r.stats.device.modelled_time_secs() > 0.0);
+        assert_eq!(r.stats.variant, "G-PR-First");
+
+        let r = run(&gpu, &g, &init, GprConfig::with_variant(GprVariant::ActiveList));
+        assert!(r.stats.device.launches_of("G-PR-PUSHKRNL") >= 1);
+        assert!(r.stats.device.launches_of("G-PR-INITKRNL") >= 1);
+        assert_eq!(r.stats.device.launches_of("G-PR-SHRKRNL_count"), 0);
+    }
+
+    #[test]
+    fn shrink_variant_uses_shrink_kernel_on_large_lists() {
+        let gpu = VirtualGpu::sequential();
+        // RMAT graphs have a large deficiency, so the active list starts with
+        // well over 512 entries at this scale.
+        let g = gen::rmat(gen::RmatParams::graph500(11, 4), 4).unwrap();
+        let init = cheap_matching(&g);
+        let config = GprConfig::with_variant(GprVariant::Shrink);
+        let r = run(&gpu, &g, &init, config);
+        assert!(r.stats.shrinks >= 1, "expected at least one shrink pass");
+        assert!(r.stats.device.launches_of("G-PR-SHRKRNL_count") >= 1);
+        assert_eq!(r.matching.cardinality(), maximum_matching_cardinality(&g));
+    }
+
+    #[test]
+    fn active_list_variant_launches_fewer_threads_than_first() {
+        let gpu = VirtualGpu::sequential();
+        let g = gen::rmat(gen::RmatParams::web_like(10, 4), 6).unwrap();
+        let init = cheap_matching(&g);
+        let first = run(&gpu, &g, &init, GprConfig::with_variant(GprVariant::First));
+        let active = run(&gpu, &g, &init, GprConfig::with_variant(GprVariant::ActiveList));
+        let first_threads = first.stats.device.kernels["G-PR-KRNL"].total_threads;
+        let active_threads = active.stats.device.kernels["G-PR-PUSHKRNL"].total_threads;
+        assert!(
+            active_threads < first_threads,
+            "active-list should launch fewer threads ({active_threads} vs {first_threads})"
+        );
+    }
+
+    #[test]
+    fn per_run_device_stats_are_isolated() {
+        let gpu = VirtualGpu::sequential();
+        let g = gen::uniform_random(80, 80, 400, 3).unwrap();
+        let init = cheap_matching(&g);
+        let a = run(&gpu, &g, &init, GprConfig::paper_default());
+        let b = run(&gpu, &g, &init, GprConfig::paper_default());
+        // Same work both times: the second run's stats must not include the
+        // first run's launches.
+        assert_eq!(
+            a.stats.device.launches_of("G-PR-PUSHKRNL"),
+            b.stats.device.launches_of("G-PR-PUSHKRNL")
+        );
+    }
+}

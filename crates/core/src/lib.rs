@@ -1,0 +1,46 @@
+//! # gpm-core — GPU push-relabel bipartite matching (the paper's contribution)
+//!
+//! This crate implements the algorithms of Deveci, Kaya, Uçar, Çatalyürek,
+//! *"A Push-Relabel-Based Maximum Cardinality Bipartite Matching Algorithm on
+//! GPUs"* (ICPP 2013) on the virtual GPU provided by `gpm-gpu`:
+//!
+//! * [`gpr`] — **G-PR**, the paper's lock- and atomic-free push-relabel
+//!   kernels, in all three variants (Figure 1): `G-PR-First`, `G-PR-NoShr`
+//!   (active-column lists) and `G-PR-Shr` (dynamic list compression).
+//! * [`ggr`] — **G-GR**, the GPU global relabeling (level-synchronous BFS
+//!   kernels, Algorithms 4–5).
+//! * [`strategy`] — the global-relabeling schedules (`GETITERGR`): fixed
+//!   intervals and the adaptive `k × maxLevel` rule the paper introduces.
+//! * [`ghk`] — **G-HK / G-HKDW**, the GPU augmenting-path baselines the paper
+//!   compares against.
+//! * [`solver`] — a unified front-end over every algorithm in the workspace
+//!   (GPU and CPU), used by the examples and the benchmark harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gpm_core::solver::{solve, Algorithm};
+//! use gpm_graph::gen;
+//!
+//! let graph = gen::planted_perfect(500, 2_000, 7).unwrap();
+//! let report = solve(&graph, Algorithm::gpr_default());
+//! assert_eq!(report.cardinality, 500);
+//! println!("{} matched {} pairs using {:.3} ms of modelled device time",
+//!     report.algorithm, report.cardinality,
+//!     report.modelled_device_seconds.unwrap() * 1e3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod ggr;
+pub mod ghk;
+pub mod gpr;
+pub mod solver;
+pub mod strategy;
+
+pub use ghk::GhkVariant;
+pub use gpr::{GprConfig, GprResult, GprVariant};
+pub use solver::{solve, solve_with_initial, Algorithm, SolveReport};
+pub use strategy::GrStrategy;

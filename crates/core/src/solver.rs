@@ -1,0 +1,260 @@
+//! Unified front-end over every matching algorithm in the workspace.
+//!
+//! This is the API a downstream user is expected to call: pick an
+//! [`Algorithm`], hand it a graph (and optionally an initial matching and a
+//! device), get back a verified [`SolveReport`] with the matching, its
+//! cardinality, and the relevant statistics.  The benchmark harness in
+//! `gpm-bench` is built entirely on top of this module.
+
+use crate::ghk::{self, GhkVariant};
+use crate::gpr::{self, GprConfig, GprVariant};
+use crate::strategy::GrStrategy;
+use gpm_cpu::{hkdw, hopcroft_karp, pdbfs, pothen_fan, sequential_pr, PdbfsConfig, PrConfig};
+use gpm_gpu::{DeviceStats, VirtualGpu};
+use gpm_graph::heuristics::cheap_matching;
+use gpm_graph::{BipartiteCsr, Matching};
+
+/// Every matching algorithm available in the workspace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algorithm {
+    /// G-PR (GPU push-relabel), any of the three variants, with a GR strategy.
+    GpuPushRelabel(GprVariant, GrStrategy),
+    /// G-HK or G-HKDW (GPU augmenting path).
+    GpuHopcroftKarp(GhkVariant),
+    /// Sequential push-relabel (the paper's "PR" baseline), with the GR
+    /// frequency factor `k` (the paper uses 0.5).
+    SequentialPushRelabel(f64),
+    /// Pothen–Fan with lookahead (PF+).
+    PothenFan,
+    /// Hopcroft–Karp.
+    HopcroftKarp,
+    /// HKDW (HK with the Duff–Wiberg extra sweep).
+    Hkdw,
+    /// Multicore P-DBFS with the given number of threads (the paper uses 8).
+    Pdbfs(usize),
+}
+
+impl Algorithm {
+    /// The paper's headline configuration of G-PR: shrinking lists and the
+    /// (adaptive, 0.7) global-relabeling strategy.
+    pub fn gpr_default() -> Self {
+        Algorithm::GpuPushRelabel(GprVariant::Shrink, GrStrategy::paper_default())
+    }
+
+    /// Short display name, matching the labels used in the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            Algorithm::GpuPushRelabel(variant, _) => variant.label().to_string(),
+            Algorithm::GpuHopcroftKarp(variant) => variant.label().to_string(),
+            Algorithm::SequentialPushRelabel(_) => "PR".to_string(),
+            Algorithm::PothenFan => "PFP".to_string(),
+            Algorithm::HopcroftKarp => "HK".to_string(),
+            Algorithm::Hkdw => "HKDW".to_string(),
+            Algorithm::Pdbfs(_) => "P-DBFS".to_string(),
+        }
+    }
+
+    /// `true` for the algorithms that run on the virtual GPU.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, Algorithm::GpuPushRelabel(..) | Algorithm::GpuHopcroftKarp(..))
+    }
+}
+
+/// Outcome of one solve.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// The computed matching (consistent; maximum cardinality).
+    pub matching: Matching,
+    /// Cardinality of the matching.
+    pub cardinality: usize,
+    /// Cardinality of the initial matching the solver started from.
+    pub initial_cardinality: usize,
+    /// Host wall-clock seconds spent in the solver (excluding the common
+    /// initialization, matching the paper's methodology).
+    pub wall_seconds: f64,
+    /// Modelled device seconds (GPU algorithms only).
+    pub modelled_device_seconds: Option<f64>,
+    /// Per-kernel device statistics (GPU algorithms only).
+    pub device_stats: Option<DeviceStats>,
+}
+
+impl SolveReport {
+    /// The time used for cross-algorithm comparisons: modelled device time
+    /// for GPU algorithms, host wall-clock time for CPU algorithms.  This is
+    /// the quantity the benchmark harness treats as the analogue of the
+    /// paper's reported seconds.
+    pub fn comparable_seconds(&self) -> f64 {
+        self.modelled_device_seconds.unwrap_or(self.wall_seconds)
+    }
+}
+
+/// Solves with the given algorithm, starting from the cheap greedy matching
+/// (the paper's common initialization).  A fresh parallel virtual GPU is
+/// created for GPU algorithms.
+pub fn solve(graph: &BipartiteCsr, algorithm: Algorithm) -> SolveReport {
+    let initial = cheap_matching(graph);
+    solve_with_initial(graph, &initial, algorithm, None)
+}
+
+/// Solves with the given algorithm and initial matching; GPU algorithms run
+/// on `gpu` when provided (otherwise on a fresh auto-sized parallel device).
+pub fn solve_with_initial(
+    graph: &BipartiteCsr,
+    initial: &Matching,
+    algorithm: Algorithm,
+    gpu: Option<&VirtualGpu>,
+) -> SolveReport {
+    let initial_cardinality = initial.cardinality();
+    let owned_gpu;
+    let device = match (algorithm.is_gpu(), gpu) {
+        (true, Some(d)) => Some(d),
+        (true, None) => {
+            owned_gpu = VirtualGpu::parallel();
+            Some(&owned_gpu)
+        }
+        (false, _) => None,
+    };
+
+    let (matching, wall_seconds, device_stats) = match algorithm {
+        Algorithm::GpuPushRelabel(variant, strategy) => {
+            let config = GprConfig { variant, strategy, ..GprConfig::paper_default() };
+            let r = gpr::run(device.expect("gpu"), graph, initial, config);
+            (r.matching, r.stats.seconds, Some(r.stats.device))
+        }
+        Algorithm::GpuHopcroftKarp(variant) => {
+            let r = ghk::run(device.expect("gpu"), graph, initial, variant);
+            (r.matching, r.stats.seconds, Some(r.stats.device))
+        }
+        Algorithm::SequentialPushRelabel(k) => {
+            let r = sequential_pr(
+                graph,
+                initial,
+                PrConfig { global_relabel_k: k, ..PrConfig::default() },
+            );
+            (r.matching, r.stats.seconds, None)
+        }
+        Algorithm::PothenFan => {
+            let r = pothen_fan(graph, initial);
+            (r.matching, r.stats.seconds, None)
+        }
+        Algorithm::HopcroftKarp => {
+            let r = hopcroft_karp(graph, initial);
+            (r.matching, r.stats.seconds, None)
+        }
+        Algorithm::Hkdw => {
+            let r = hkdw(graph, initial);
+            (r.matching, r.stats.seconds, None)
+        }
+        Algorithm::Pdbfs(threads) => {
+            let r = pdbfs(graph, initial, PdbfsConfig { threads });
+            (r.matching, r.stats.seconds, None)
+        }
+    };
+
+    let cardinality = matching.cardinality();
+    let modelled_device_seconds = device_stats.as_ref().map(|s| s.modelled_time_secs());
+    SolveReport {
+        algorithm: algorithm.label(),
+        matching,
+        cardinality,
+        initial_cardinality,
+        wall_seconds,
+        modelled_device_seconds,
+        device_stats,
+    }
+}
+
+/// The algorithm set compared in the paper's Figures 2–4 and Table I:
+/// G-PR (best configuration), G-HKDW, P-DBFS (8 threads), and sequential PR.
+pub fn paper_comparison_set() -> Vec<Algorithm> {
+    vec![
+        Algorithm::gpr_default(),
+        Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw),
+        Algorithm::Pdbfs(8),
+        Algorithm::SequentialPushRelabel(0.5),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen;
+    use gpm_graph::verify::{is_maximum, maximum_matching_cardinality};
+
+    fn all_algorithms() -> Vec<Algorithm> {
+        vec![
+            Algorithm::GpuPushRelabel(GprVariant::First, GrStrategy::paper_default()),
+            Algorithm::GpuPushRelabel(GprVariant::ActiveList, GrStrategy::Fixed(10)),
+            Algorithm::gpr_default(),
+            Algorithm::GpuHopcroftKarp(GhkVariant::Hk),
+            Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw),
+            Algorithm::SequentialPushRelabel(0.5),
+            Algorithm::PothenFan,
+            Algorithm::HopcroftKarp,
+            Algorithm::Hkdw,
+            Algorithm::Pdbfs(4),
+        ]
+    }
+
+    #[test]
+    fn every_algorithm_finds_the_same_maximum() {
+        let g = gen::uniform_random(120, 110, 650, 42).unwrap();
+        let opt = maximum_matching_cardinality(&g);
+        for alg in all_algorithms() {
+            let report = solve(&g, alg);
+            assert_eq!(report.cardinality, opt, "{}", report.algorithm);
+            assert!(is_maximum(&g, &report.matching), "{}", report.algorithm);
+            assert!(report.initial_cardinality <= opt);
+            assert!(report.wall_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gpu_algorithms_report_device_stats() {
+        let g = gen::rmat(gen::RmatParams::web_like(8, 4), 3).unwrap();
+        let report = solve(&g, Algorithm::gpr_default());
+        assert!(report.device_stats.is_some());
+        assert!(report.modelled_device_seconds.unwrap() > 0.0);
+        assert!(report.comparable_seconds() > 0.0);
+
+        let report = solve(&g, Algorithm::SequentialPushRelabel(0.5));
+        assert!(report.device_stats.is_none());
+        assert_eq!(report.comparable_seconds(), report.wall_seconds);
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(Algorithm::gpr_default().label(), "G-PR-Shr");
+        assert_eq!(Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw).label(), "G-HKDW");
+        assert_eq!(Algorithm::SequentialPushRelabel(0.5).label(), "PR");
+        assert_eq!(Algorithm::Pdbfs(8).label(), "P-DBFS");
+        assert!(Algorithm::gpr_default().is_gpu());
+        assert!(!Algorithm::PothenFan.is_gpu());
+    }
+
+    #[test]
+    fn paper_comparison_set_has_four_algorithms() {
+        let set = paper_comparison_set();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.iter().filter(|a| a.is_gpu()).count(), 2);
+    }
+
+    #[test]
+    fn shared_gpu_device_can_be_reused() {
+        let g = gen::uniform_random(80, 80, 400, 5).unwrap();
+        let init = cheap_matching(&g);
+        let gpu = VirtualGpu::sequential();
+        let a = solve_with_initial(&g, &init, Algorithm::gpr_default(), Some(&gpu));
+        let b =
+            solve_with_initial(&g, &init, Algorithm::GpuHopcroftKarp(GhkVariant::Hk), Some(&gpu));
+        assert_eq!(a.cardinality, b.cardinality);
+        // The device accumulated launches from both runs, but each report
+        // contains only its own.
+        let total = gpu.stats().total_launches();
+        let sum = a.device_stats.unwrap().total_launches()
+            + b.device_stats.unwrap().total_launches();
+        assert_eq!(total, sum);
+    }
+}

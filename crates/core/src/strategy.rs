@@ -1,0 +1,128 @@
+//! Global-relabeling scheduling strategies (`GETITERGR` in Algorithm 3/7).
+//!
+//! Sequential push-relabel implementations trigger a global relabel every
+//! `k·(m+n)` *pushes*, but counting pushes inside GPU kernels is expensive,
+//! so the paper proposes two kernel-level strategies:
+//!
+//! * **Fixed(k)** — relabel after every `k` push-relabel kernel executions;
+//! * **Adaptive(k)** — relabel after `k × maxLevel` kernel executions, where
+//!   `maxLevel` is the deepest BFS level reached by the previous global
+//!   relabeling.  The rationale (Theorem 2 of the paper) is that `maxLevel`
+//!   tracks the length of the remaining augmenting paths, i.e. how many more
+//!   kernel iterations are likely needed before labels go stale.
+//!
+//! Figure 1 of the paper sweeps `k ∈ {0.3, 0.7, 1, 1.5, 2}` for the adaptive
+//! strategy and `k ∈ {10, 50}` for the fixed one; (adaptive, 0.7) wins.
+
+use serde::{Deserialize, Serialize};
+
+/// When to run the next global relabeling.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum GrStrategy {
+    /// Relabel after every `k` push-relabel kernel executions.
+    Fixed(u32),
+    /// Relabel after `k × maxLevel` push-relabel kernel executions, where
+    /// `maxLevel` comes from the previous global relabeling.
+    Adaptive(f64),
+}
+
+impl GrStrategy {
+    /// The configuration the paper selects for all cross-algorithm
+    /// comparisons: (adaptive, 0.7).
+    pub fn paper_default() -> Self {
+        GrStrategy::Adaptive(0.7)
+    }
+
+    /// The `GETITERGR` function: given the `maxLevel` of the relabeling that
+    /// just ran and the current loop iteration, returns the iteration at
+    /// which the next global relabeling should run.
+    pub fn next_relabel_iteration(&self, max_level: u32, loop_iter: u64) -> u64 {
+        let delta = match *self {
+            GrStrategy::Fixed(k) => u64::from(k.max(1)),
+            GrStrategy::Adaptive(k) => {
+                let d = (k * f64::from(max_level.max(1))).ceil();
+                (d as u64).max(1)
+            }
+        };
+        loop_iter + delta
+    }
+
+    /// Short label used in reports and figures, e.g. `"adaptive, 0.7"`.
+    pub fn label(&self) -> String {
+        match *self {
+            GrStrategy::Fixed(k) => format!("fix, {k}"),
+            GrStrategy::Adaptive(k) => format!("adaptive, {k}"),
+        }
+    }
+}
+
+/// The strategy grid of Figure 1: adaptive k ∈ {0.3, 0.7, 1, 1.5, 2} and
+/// fixed k ∈ {10, 50}.
+pub fn figure1_strategies() -> Vec<GrStrategy> {
+    vec![
+        GrStrategy::Adaptive(0.3),
+        GrStrategy::Adaptive(0.7),
+        GrStrategy::Adaptive(1.0),
+        GrStrategy::Adaptive(1.5),
+        GrStrategy::Adaptive(2.0),
+        GrStrategy::Fixed(10),
+        GrStrategy::Fixed(50),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_strategy_ignores_max_level() {
+        let s = GrStrategy::Fixed(10);
+        assert_eq!(s.next_relabel_iteration(3, 0), 10);
+        assert_eq!(s.next_relabel_iteration(1000, 0), 10);
+        assert_eq!(s.next_relabel_iteration(5, 42), 52);
+    }
+
+    #[test]
+    fn adaptive_strategy_scales_with_max_level() {
+        let s = GrStrategy::Adaptive(0.5);
+        assert_eq!(s.next_relabel_iteration(10, 0), 5);
+        assert_eq!(s.next_relabel_iteration(100, 0), 50);
+        assert_eq!(s.next_relabel_iteration(100, 7), 57);
+    }
+
+    #[test]
+    fn next_iteration_always_advances() {
+        for s in figure1_strategies() {
+            for max_level in [0u32, 1, 3, 17] {
+                for loop_iter in [0u64, 1, 99] {
+                    assert!(
+                        s.next_relabel_iteration(max_level, loop_iter) > loop_iter,
+                        "{s:?} did not advance at maxLevel {max_level}, loop {loop_iter}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fixed_interval_is_clamped() {
+        let s = GrStrategy::Fixed(0);
+        assert_eq!(s.next_relabel_iteration(5, 3), 4);
+    }
+
+    #[test]
+    fn labels_match_figure_1_captions() {
+        assert_eq!(GrStrategy::Adaptive(0.7).label(), "adaptive, 0.7");
+        assert_eq!(GrStrategy::Fixed(50).label(), "fix, 50");
+    }
+
+    #[test]
+    fn figure1_grid_has_seven_strategies() {
+        assert_eq!(figure1_strategies().len(), 7);
+    }
+
+    #[test]
+    fn paper_default_is_adaptive_07() {
+        assert_eq!(GrStrategy::paper_default(), GrStrategy::Adaptive(0.7));
+    }
+}

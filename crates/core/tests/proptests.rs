@@ -1,0 +1,79 @@
+//! Property-based tests for the GPU algorithms: on arbitrary random bipartite
+//! graphs, every variant of G-PR and G-HK/G-HKDW must return a valid matching
+//! whose cardinality equals the independent oracle's, on both virtual-GPU
+//! backends, from both an empty and a greedy initial matching.
+
+use gpm_core::gpr::{self, GprConfig, GprVariant};
+use gpm_core::{ghk, GhkVariant, GrStrategy};
+use gpm_gpu::VirtualGpu;
+use gpm_graph::heuristics::cheap_matching;
+use gpm_graph::verify::{is_maximum, maximum_matching_cardinality};
+use gpm_graph::{BipartiteCsr, Matching, VertexId};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = BipartiteCsr> {
+    (1usize..30, 1usize..30).prop_flat_map(|(m, n)| {
+        let edge = (0..m as VertexId, 0..n as VertexId);
+        proptest::collection::vec(edge, 0..150).prop_map(move |edges| {
+            BipartiteCsr::from_edges(m, n, &edges).expect("in-bounds edges")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gpr_variants_match_oracle_on_sequential_backend(g in arb_graph()) {
+        let gpu = VirtualGpu::sequential();
+        let opt = maximum_matching_cardinality(&g);
+        let init = cheap_matching(&g);
+        for variant in [GprVariant::First, GprVariant::ActiveList, GprVariant::Shrink] {
+            let r = gpr::run(&gpu, &g, &init, GprConfig::with_variant(variant));
+            prop_assert_eq!(r.matching.cardinality(), opt, "{}", variant.label());
+            prop_assert!(is_maximum(&g, &r.matching));
+            prop_assert!(r.matching.validate_against(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn gpr_shrink_matches_oracle_on_parallel_backend(g in arb_graph()) {
+        let gpu = VirtualGpu::parallel();
+        let opt = maximum_matching_cardinality(&g);
+        let init = cheap_matching(&g);
+        let r = gpr::run(&gpu, &g, &init, GprConfig::paper_default());
+        prop_assert_eq!(r.matching.cardinality(), opt);
+        prop_assert!(is_maximum(&g, &r.matching));
+    }
+
+    #[test]
+    fn gpr_from_empty_matching_matches_oracle(g in arb_graph()) {
+        let gpu = VirtualGpu::sequential();
+        let opt = maximum_matching_cardinality(&g);
+        let r = gpr::run(&gpu, &g, &Matching::empty_for(&g), GprConfig::paper_default());
+        prop_assert_eq!(r.matching.cardinality(), opt);
+    }
+
+    #[test]
+    fn ghk_variants_match_oracle(g in arb_graph()) {
+        let gpu = VirtualGpu::sequential();
+        let opt = maximum_matching_cardinality(&g);
+        let init = cheap_matching(&g);
+        for variant in [GhkVariant::Hk, GhkVariant::Hkdw] {
+            let r = ghk::run(&gpu, &g, &init, variant);
+            prop_assert_eq!(r.matching.cardinality(), opt, "{}", variant.label());
+            prop_assert!(is_maximum(&g, &r.matching));
+        }
+    }
+
+    #[test]
+    fn all_gr_strategies_agree(g in arb_graph(), k in 1u32..20) {
+        let gpu = VirtualGpu::sequential();
+        let opt = maximum_matching_cardinality(&g);
+        let init = cheap_matching(&g);
+        for strategy in [GrStrategy::Fixed(k), GrStrategy::Adaptive(f64::from(k) / 5.0)] {
+            let r = gpr::run(&gpu, &g, &init, GprConfig::with_strategy(strategy));
+            prop_assert_eq!(r.matching.cardinality(), opt, "{}", strategy.label());
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Pothen–Fan with lookahead (PF+).
+//!
+//! The classic DFS-based augmenting-path algorithm: for every unmatched
+//! column a DFS looks for an augmenting path, but before descending into a
+//! row's matched column it first *looks ahead* for any unmatched row among
+//! the current column's neighbors (the "cheap" step that gives the algorithm
+//! its practical speed).  Passes over the unmatched columns repeat until one
+//! full pass finds no augmenting path, at which point the matching is maximum
+//! by Berge's theorem.
+//!
+//! The paper uses PF+ (together with HK and PR) to filter its instance set to
+//! graphs where sequential algorithms need more than one second.
+
+use crate::{CpuRunResult, CpuStats};
+use gpm_graph::{BipartiteCsr, Matching, VertexId};
+
+/// One DFS with lookahead from unmatched column `c`.
+///
+/// `visited_row` carries a per-pass stamp so it does not need clearing
+/// between starting columns of the same pass (they must stay disjoint) but is
+/// reset between passes.
+fn dfs_lookahead(
+    g: &BipartiteCsr,
+    m: &mut Matching,
+    visited_row: &mut [u32],
+    stamp: u32,
+    lookahead_ptr: &mut [usize],
+    c: VertexId,
+    stats: &mut CpuStats,
+) -> bool {
+    // Lookahead: scan for an unmatched row first, resuming where the last
+    // lookahead on this column stopped (the "pointer" trick of PF+).
+    let nbrs = g.col_neighbors(c);
+    let start_ptr = lookahead_ptr[c as usize];
+    for (offset, &u) in nbrs.iter().enumerate().skip(start_ptr) {
+        stats.edges_scanned += 1;
+        if !m.is_row_matched(u) && visited_row[u as usize] != stamp {
+            visited_row[u as usize] = stamp;
+            lookahead_ptr[c as usize] = offset + 1;
+            m.match_pair(u, c);
+            return true;
+        }
+    }
+    lookahead_ptr[c as usize] = nbrs.len();
+
+    // Regular DFS step: descend through matched rows.
+    for &u in nbrs {
+        stats.edges_scanned += 1;
+        if visited_row[u as usize] == stamp {
+            continue;
+        }
+        visited_row[u as usize] = stamp;
+        if let Some(w) = m.row_mate(u) {
+            if dfs_lookahead(g, m, visited_row, stamp, lookahead_ptr, w, stats) {
+                m.match_pair(u, c);
+                return true;
+            }
+        } else {
+            m.match_pair(u, c);
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs Pothen–Fan with lookahead starting from `initial`.
+pub fn pothen_fan(g: &BipartiteCsr, initial: &Matching) -> CpuRunResult {
+    let start = std::time::Instant::now();
+    let mut stats = CpuStats { algorithm: "PFP", ..Default::default() };
+    let mut matching = initial.clone();
+    let mut visited_row = vec![0u32; g.num_rows()];
+    let mut stamp = 0u32;
+
+    loop {
+        stats.phases += 1;
+        let mut augmented_this_pass = false;
+        // Lookahead pointers reset every pass (edges may have been re-matched).
+        let mut lookahead_ptr = vec![0usize; g.num_cols()];
+        stamp += 1;
+        for c in 0..g.num_cols() as VertexId {
+            if matching.is_col_matched(c) {
+                continue;
+            }
+            if dfs_lookahead(
+                g,
+                &mut matching,
+                &mut visited_row,
+                stamp,
+                &mut lookahead_ptr,
+                c,
+                &mut stats,
+            ) {
+                stats.augmentations += 1;
+                augmented_this_pass = true;
+            }
+        }
+        if !augmented_this_pass {
+            break;
+        }
+        // Disjointness is only required within a pass; reset for the next.
+        stamp += 1;
+    }
+
+    stats.seconds = start.elapsed().as_secs_f64();
+    CpuRunResult { matching, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::heuristics::cheap_matching;
+    use gpm_graph::verify::{is_maximum, maximum_matching_cardinality};
+    use gpm_graph::{gen, Matching};
+
+    #[test]
+    fn maximum_on_small_square() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]).unwrap();
+        let r = pothen_fan(&g, &Matching::empty_for(&g));
+        assert_eq!(r.matching.cardinality(), 2);
+        assert!(is_maximum(&g, &r.matching));
+    }
+
+    #[test]
+    fn maximum_on_random_graphs() {
+        for seed in 0..6u64 {
+            let g = gen::uniform_random(70, 90, 500, seed + 100).unwrap();
+            let r = pothen_fan(&g, &cheap_matching(&g));
+            assert_eq!(
+                r.matching.cardinality(),
+                maximum_matching_cardinality(&g),
+                "seed {seed}"
+            );
+            r.matching.validate_against(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn maximum_on_structured_families() {
+        let road = gen::road_network(24, 24, 0.1, 4).unwrap();
+        let mesh = gen::delaunay_like(16, 16, 4).unwrap();
+        for g in [road, mesh] {
+            let r = pothen_fan(&g, &cheap_matching(&g));
+            assert_eq!(r.matching.cardinality(), maximum_matching_cardinality(&g));
+        }
+    }
+
+    #[test]
+    fn planted_perfect_found() {
+        let g = gen::planted_perfect(150, 300, 12).unwrap();
+        let r = pothen_fan(&g, &cheap_matching(&g));
+        assert_eq!(r.matching.cardinality(), 150);
+    }
+
+    #[test]
+    fn terminates_in_one_extra_pass_when_initial_is_maximum() {
+        let g = gen::planted_perfect(60, 0, 8).unwrap();
+        let first = pothen_fan(&g, &Matching::empty_for(&g));
+        let again = pothen_fan(&g, &first.matching);
+        assert_eq!(again.stats.augmentations, 0);
+        assert_eq!(again.stats.phases, 1);
+        assert_eq!(again.matching.cardinality(), 60);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteCsr::empty(3, 3);
+        let r = pothen_fan(&g, &Matching::empty_for(&g));
+        assert_eq!(r.matching.cardinality(), 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Device memory buffers with GPU word-access semantics.
+//!
+//! CUDA guarantees that naturally-aligned 32-/64-bit loads and stores are
+//! indivisible, but gives no ordering and no mutual exclusion between threads
+//! of a grid.  The paper's kernels rely on exactly that: several threads may
+//! write the same `ψ(u)` or `µ(u)` entry in a launch, and the algorithm is
+//! designed so any interleaving of *whole-word* values is acceptable.
+//!
+//! In Rust, a plain `&[Cell<T>]` shared across threads would be a data race
+//! (undefined behaviour), so each word of a [`DeviceBuffer`] is stored in a
+//! platform atomic accessed with `Ordering::Relaxed`.  Relaxed atomics
+//! compile to plain loads/stores on every relevant ISA, carry no ordering —
+//! and therefore model the device memory semantics faithfully without UB.
+//! The matching kernels never use read-modify-write operations, preserving
+//! the paper's "atomic-free" claim (relaxed loads/stores are not the CUDA
+//! `atomicAdd`-style operations the paper avoids).
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// A scalar type that can live in device memory.
+///
+/// Implementations map the scalar onto an atomic cell used with relaxed
+/// ordering; see the module documentation for why.
+pub trait DeviceScalar: Copy + Send + Sync + 'static {
+    /// The backing cell type.
+    type Cell: Send + Sync;
+
+    /// Creates a cell holding `v`.
+    fn new_cell(v: Self) -> Self::Cell;
+    /// Reads the cell (relaxed).
+    fn load(cell: &Self::Cell) -> Self;
+    /// Writes the cell (relaxed).
+    fn store(cell: &Self::Cell, v: Self);
+}
+
+macro_rules! impl_device_scalar {
+    ($ty:ty, $atomic:ty) => {
+        impl DeviceScalar for $ty {
+            type Cell = $atomic;
+
+            #[inline]
+            fn new_cell(v: Self) -> Self::Cell {
+                <$atomic>::new(v)
+            }
+
+            #[inline]
+            fn load(cell: &Self::Cell) -> Self {
+                cell.load(Ordering::Relaxed)
+            }
+
+            #[inline]
+            fn store(cell: &Self::Cell, v: Self) {
+                cell.store(v, Ordering::Relaxed)
+            }
+        }
+    };
+}
+
+impl_device_scalar!(i64, AtomicI64);
+impl_device_scalar!(u32, AtomicU32);
+impl_device_scalar!(u64, AtomicU64);
+impl_device_scalar!(usize, AtomicUsize);
+impl_device_scalar!(bool, AtomicBool);
+
+impl DeviceScalar for i32 {
+    type Cell = std::sync::atomic::AtomicI32;
+
+    #[inline]
+    fn new_cell(v: Self) -> Self::Cell {
+        std::sync::atomic::AtomicI32::new(v)
+    }
+
+    #[inline]
+    fn load(cell: &Self::Cell) -> Self {
+        cell.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn store(cell: &Self::Cell, v: Self) {
+        cell.store(v, Ordering::Relaxed)
+    }
+}
+
+/// A device-resident array of `T` with word-granular, unordered access.
+///
+/// Cloning a handle is not supported; kernels receive `&DeviceBuffer<T>` and
+/// may read and write concurrently from many threads.
+pub struct DeviceBuffer<T: DeviceScalar> {
+    cells: Vec<T::Cell>,
+}
+
+impl<T: DeviceScalar> DeviceBuffer<T> {
+    /// Allocates a buffer of `len` words, each initialized to `init`.
+    pub fn new(len: usize, init: T) -> Self {
+        Self { cells: (0..len).map(|_| T::new_cell(init)).collect() }
+    }
+
+    /// Copies a host slice to a new device buffer (host → device transfer).
+    pub fn from_slice(host: &[T]) -> Self {
+        Self { cells: host.iter().map(|&v| T::new_cell(v)).collect() }
+    }
+
+    /// Number of words in the buffer.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when the buffer holds no words.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Reads word `i` (device load, relaxed).
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        T::load(&self.cells[i])
+    }
+
+    /// Writes word `i` (device store, relaxed).
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        T::store(&self.cells[i], v)
+    }
+
+    /// Copies the device buffer back to a host vector (device → host).
+    pub fn to_vec(&self) -> Vec<T> {
+        self.cells.iter().map(T::load).collect()
+    }
+
+    /// Overwrites every word with `v`.
+    pub fn fill(&self, v: T) {
+        for cell in &self.cells {
+            T::store(cell, v);
+        }
+    }
+
+    /// Copies the contents of a host slice into the buffer.
+    ///
+    /// # Panics
+    /// Panics if the slice length differs from the buffer length.
+    pub fn copy_from_slice(&self, host: &[T]) {
+        assert_eq!(host.len(), self.len(), "host/device length mismatch");
+        for (cell, &v) in self.cells.iter().zip(host) {
+            T::store(cell, v);
+        }
+    }
+}
+
+impl<T: DeviceScalar + std::fmt::Debug> std::fmt::Debug for DeviceBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceBuffer").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_initializes_all_words() {
+        let b = DeviceBuffer::<i64>::new(5, -1);
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        assert_eq!(b.to_vec(), vec![-1; 5]);
+    }
+
+    #[test]
+    fn from_slice_and_back_round_trips() {
+        let host = vec![3u32, 1, 4, 1, 5, 9, 2, 6];
+        let b = DeviceBuffer::from_slice(&host);
+        assert_eq!(b.to_vec(), host);
+    }
+
+    #[test]
+    fn get_set_single_words() {
+        let b = DeviceBuffer::<i64>::new(3, 0);
+        b.set(1, 42);
+        assert_eq!(b.get(0), 0);
+        assert_eq!(b.get(1), 42);
+        b.set(1, -7);
+        assert_eq!(b.get(1), -7);
+    }
+
+    #[test]
+    fn fill_overwrites_everything() {
+        let b = DeviceBuffer::<u32>::new(4, 1);
+        b.fill(9);
+        assert_eq!(b.to_vec(), vec![9; 4]);
+    }
+
+    #[test]
+    fn copy_from_slice_replaces_contents() {
+        let b = DeviceBuffer::<usize>::new(3, 0);
+        b.copy_from_slice(&[7, 8, 9]);
+        assert_eq!(b.to_vec(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn copy_from_slice_length_mismatch_panics() {
+        let b = DeviceBuffer::<usize>::new(3, 0);
+        b.copy_from_slice(&[1, 2]);
+    }
+
+    #[test]
+    fn bool_buffer_works_as_flag_array() {
+        let b = DeviceBuffer::<bool>::new(2, false);
+        b.set(1, true);
+        assert!(!b.get(0));
+        assert!(b.get(1));
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let b = DeviceBuffer::<i32>::new(0, 0);
+        assert!(b.is_empty());
+        assert_eq!(b.to_vec(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn concurrent_writes_land_as_whole_words() {
+        // Many threads hammer the same cells; every observed value must be
+        // one that some thread wrote (no torn words).
+        let b = std::sync::Arc::new(DeviceBuffer::<i64>::new(4, 0));
+        let mut handles = Vec::new();
+        for t in 1..=8i64 {
+            let b = std::sync::Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000usize {
+                    b.set(i % 4, t * 1_000_000 + i as i64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for v in b.to_vec() {
+            let t = v / 1_000_000;
+            let i = v % 1_000_000;
+            assert!((1..=8).contains(&t), "torn or invalid word: {v}");
+            assert!(i < 1000);
+        }
+    }
+}

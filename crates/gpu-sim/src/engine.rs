@@ -1,0 +1,351 @@
+//! The virtual GPU device and its kernel-launch engine.
+
+use crate::perfmodel::PerfModel;
+use crate::stats::DeviceStats;
+use parking_lot::Mutex;
+use std::cell::Cell;
+
+/// How kernel threads are executed on the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// All logical threads run on the calling host thread, in increasing
+    /// thread-id order.  Fully deterministic; used by tests that need a
+    /// reproducible interleaving and as the reference for cross-backend
+    /// equivalence checks.
+    Sequential,
+    /// Logical threads are partitioned over `workers` host threads which run
+    /// truly concurrently, so the benign races the paper's kernels allow
+    /// actually happen.  This is the default for benchmarks.
+    Parallel {
+        /// Number of host worker threads.
+        workers: usize,
+    },
+}
+
+impl Backend {
+    /// A parallel backend sized to the host's available parallelism.
+    pub fn parallel_auto() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Backend::Parallel { workers }
+    }
+}
+
+/// Configuration of a virtual GPU device.
+#[derive(Clone, Debug)]
+pub struct GpuConfig {
+    /// Human-readable device name (shows up in reports).
+    pub name: String,
+    /// Host execution backend.
+    pub backend: Backend,
+    /// Analytical cost model used for modelled device time.
+    pub perf: PerfModel,
+    /// Grids smaller than this run inline on the calling thread even with a
+    /// parallel backend; mirrors the fact that tiny CUDA grids cannot fill
+    /// the device and their cost is dominated by launch overhead.
+    pub parallel_threshold: usize,
+}
+
+impl GpuConfig {
+    /// Tesla C2050-like configuration with the given backend.
+    pub fn tesla_c2050(backend: Backend) -> Self {
+        Self {
+            name: "Virtual Tesla C2050".to_string(),
+            backend,
+            perf: PerfModel::tesla_c2050(),
+            parallel_threshold: 2048,
+        }
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::tesla_c2050(Backend::parallel_auto())
+    }
+}
+
+/// Per-logical-thread execution context handed to kernels.
+///
+/// `global_id` plays the role of
+/// `blockIdx.x * blockDim.x + threadIdx.x` in the CUDA kernels of the paper.
+pub struct ThreadCtx {
+    /// Global thread index within the launch (0-based).
+    pub global_id: usize,
+    /// Total number of logical threads in the launch.
+    pub grid_size: usize,
+    work: Cell<u64>,
+}
+
+impl ThreadCtx {
+    fn new(global_id: usize, grid_size: usize) -> Self {
+        Self { global_id, grid_size, work: Cell::new(0) }
+    }
+
+    /// Reports `units` of memory work (one unit ≈ one adjacency entry /
+    /// global-memory transaction).  Feeds the cost model; has no effect on
+    /// algorithm semantics.
+    #[inline]
+    pub fn add_work(&self, units: u64) {
+        self.work.set(self.work.get() + units);
+    }
+
+    /// Work reported so far by this thread.
+    #[inline]
+    pub fn work(&self) -> u64 {
+        self.work.get()
+    }
+}
+
+/// Outcome of a single kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LaunchRecord {
+    /// Grid size of the launch.
+    pub threads: usize,
+    /// Total work units reported by all threads.
+    pub work: u64,
+    /// Maximum work reported by a single thread (divergence indicator).
+    pub max_thread_work: u64,
+    /// Modelled device time of the launch, nanoseconds.
+    pub modelled_time_ns: f64,
+    /// Host wall-clock time of the launch, nanoseconds.
+    pub wall_time_ns: f64,
+}
+
+/// The virtual GPU device.
+///
+/// A `VirtualGpu` owns no memory; [`crate::DeviceBuffer`]s are created
+/// independently and captured by kernel closures, mirroring how CUDA kernels
+/// receive device pointers.
+pub struct VirtualGpu {
+    config: GpuConfig,
+    stats: Mutex<DeviceStats>,
+}
+
+impl VirtualGpu {
+    /// Creates a device with the given configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        Self { config, stats: Mutex::new(DeviceStats::default()) }
+    }
+
+    /// Tesla C2050-like device with the given backend.
+    pub fn tesla_c2050(backend: Backend) -> Self {
+        Self::new(GpuConfig::tesla_c2050(backend))
+    }
+
+    /// Tesla C2050-like device with a deterministic sequential backend.
+    pub fn sequential() -> Self {
+        Self::tesla_c2050(Backend::Sequential)
+    }
+
+    /// Tesla C2050-like device with an auto-sized parallel backend.
+    pub fn parallel() -> Self {
+        Self::tesla_c2050(Backend::parallel_auto())
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Launches a kernel over `grid` logical threads and blocks until every
+    /// thread has finished (the implicit barrier at the end of a CUDA launch
+    /// on the default stream).
+    ///
+    /// The kernel closure is invoked once per logical thread with a
+    /// [`ThreadCtx`]; it typically captures [`crate::DeviceBuffer`]
+    /// references and indexes them with `ctx.global_id`.
+    pub fn launch<F>(&self, name: &str, grid: usize, kernel: F) -> LaunchRecord
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        let start = std::time::Instant::now();
+        let (work, max_thread_work) = match self.config.backend {
+            Backend::Sequential => Self::run_range(0, grid, grid, &kernel),
+            Backend::Parallel { workers } => {
+                if grid < self.config.parallel_threshold || workers <= 1 {
+                    Self::run_range(0, grid, grid, &kernel)
+                } else {
+                    self.run_parallel(grid, workers, &kernel)
+                }
+            }
+        };
+        let wall_time_ns = start.elapsed().as_nanos() as f64;
+        let modelled_time_ns = self.config.perf.launch_cost_ns(grid, work, max_thread_work);
+        let record = LaunchRecord {
+            threads: grid,
+            work,
+            max_thread_work,
+            modelled_time_ns,
+            wall_time_ns,
+        };
+        self.stats.lock().record(name, grid, work, modelled_time_ns, wall_time_ns);
+        record
+    }
+
+    fn run_range<F>(start: usize, end: usize, grid: usize, kernel: &F) -> (u64, u64)
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        let mut total = 0u64;
+        let mut max = 0u64;
+        for id in start..end {
+            let ctx = ThreadCtx::new(id, grid);
+            kernel(&ctx);
+            let w = ctx.work();
+            total += w;
+            max = max.max(w);
+        }
+        (total, max)
+    }
+
+    fn run_parallel<F>(&self, grid: usize, workers: usize, kernel: &F) -> (u64, u64)
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        let chunk = grid.div_ceil(workers);
+        let mut results: Vec<(u64, u64)> = Vec::with_capacity(workers);
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for w in 0..workers {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(grid);
+                if start >= end {
+                    break;
+                }
+                handles.push(scope.spawn(move |_| Self::run_range(start, end, grid, kernel)));
+            }
+            for h in handles {
+                results.push(h.join().expect("virtual GPU worker panicked"));
+            }
+        })
+        .expect("virtual GPU scope panicked");
+        results.iter().fold((0, 0), |(t, m), &(w, mw)| (t + w, m.max(mw)))
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats.lock().clone()
+    }
+
+    /// Clears the accumulated statistics.
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = DeviceStats::default();
+    }
+}
+
+impl std::fmt::Debug for VirtualGpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualGpu")
+            .field("name", &self.config.name)
+            .field("backend", &self.config.backend)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::DeviceBuffer;
+
+    #[test]
+    fn launch_runs_every_thread_exactly_once() {
+        for gpu in [VirtualGpu::sequential(), VirtualGpu::parallel()] {
+            let out = DeviceBuffer::<u32>::new(10_000, 0);
+            gpu.launch("mark", out.len(), |ctx| {
+                out.set(ctx.global_id, ctx.global_id as u32 + 1);
+            });
+            let host = out.to_vec();
+            for (i, v) in host.iter().enumerate() {
+                assert_eq!(*v, i as u32 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_grid_launch_is_fine() {
+        let gpu = VirtualGpu::parallel();
+        let rec = gpu.launch("empty", 0, |_ctx| panic!("no threads should run"));
+        assert_eq!(rec.threads, 0);
+        assert_eq!(rec.work, 0);
+        assert_eq!(gpu.stats().launches_of("empty"), 1);
+    }
+
+    #[test]
+    fn work_accounting_sums_and_maxes() {
+        let gpu = VirtualGpu::sequential();
+        let rec = gpu.launch("work", 4, |ctx| {
+            ctx.add_work(ctx.global_id as u64);
+            assert_eq!(ctx.work(), ctx.global_id as u64);
+        });
+        assert_eq!(rec.work, 0 + 1 + 2 + 3);
+        assert_eq!(rec.max_thread_work, 3);
+        assert!(rec.modelled_time_ns > 0.0);
+    }
+
+    #[test]
+    fn parallel_backend_covers_all_threads_above_threshold() {
+        let gpu = VirtualGpu::new(GpuConfig {
+            parallel_threshold: 8,
+            ..GpuConfig::tesla_c2050(Backend::Parallel { workers: 4 })
+        });
+        let grid = 100_000;
+        let out = DeviceBuffer::<u32>::new(grid, 0);
+        gpu.launch("cover", grid, |ctx| out.set(ctx.global_id, 1));
+        assert_eq!(out.to_vec().iter().map(|&v| v as usize).sum::<usize>(), grid);
+    }
+
+    #[test]
+    fn stats_accumulate_across_launches_and_reset() {
+        let gpu = VirtualGpu::sequential();
+        gpu.launch("a", 10, |_| {});
+        gpu.launch("a", 20, |_| {});
+        gpu.launch("b", 5, |ctx| ctx.add_work(2));
+        let s = gpu.stats();
+        assert_eq!(s.total_launches(), 3);
+        assert_eq!(s.launches_of("a"), 2);
+        assert_eq!(s.kernels["a"].total_threads, 30);
+        assert_eq!(s.kernels["b"].total_work, 10);
+        assert!(s.modelled_time_secs() > 0.0);
+        gpu.reset_stats();
+        assert_eq!(gpu.stats().total_launches(), 0);
+    }
+
+    #[test]
+    fn grid_size_is_visible_to_threads() {
+        let gpu = VirtualGpu::sequential();
+        gpu.launch("grid", 17, |ctx| assert_eq!(ctx.grid_size, 17));
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_on_data_parallel_kernels() {
+        // For kernels with disjoint writes the two backends must produce the
+        // same memory image.
+        let input: Vec<i64> = (0..50_000).map(|i| (i * 7919) % 1000 - 500).collect();
+        let mut images = Vec::new();
+        for gpu in [VirtualGpu::sequential(), VirtualGpu::parallel()] {
+            let src = DeviceBuffer::from_slice(&input);
+            let dst = DeviceBuffer::<i64>::new(input.len(), 0);
+            gpu.launch("map", input.len(), |ctx| {
+                let i = ctx.global_id;
+                dst.set(i, src.get(i).abs() * 2);
+                ctx.add_work(2);
+            });
+            images.push(dst.to_vec());
+        }
+        assert_eq!(images[0], images[1]);
+    }
+
+    #[test]
+    fn backend_parallel_auto_has_at_least_one_worker() {
+        match Backend::parallel_auto() {
+            Backend::Parallel { workers } => assert!(workers >= 1),
+            _ => panic!("expected parallel backend"),
+        }
+    }
+
+    #[test]
+    fn debug_formatting_mentions_device_name() {
+        let gpu = VirtualGpu::sequential();
+        let s = format!("{gpu:?}");
+        assert!(s.contains("C2050"));
+    }
+}

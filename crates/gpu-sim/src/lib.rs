@@ -1,0 +1,44 @@
+//! # gpm-gpu — a virtual SIMT GPU
+//!
+//! The paper's algorithms are CUDA kernels running on an NVIDIA Tesla C2050.
+//! No GPU (and no mature Rust toolchain for custom kernels) is available in
+//! this reproduction, so this crate provides a **virtual GPU**: a software
+//! device that preserves the three properties the paper's results depend on,
+//! while running on CPU threads.
+//!
+//! 1. **Bulk-synchronous kernels.** A launch executes one logical thread per
+//!    grid index; *all* threads of the launch run concurrently (or in an
+//!    arbitrary sequential interleaving, see [`Backend`]), and the launch
+//!    returns only after every thread finished — the implicit device-wide
+//!    barrier of CUDA's default stream.
+//! 2. **Lock- and atomic-free kernel semantics.** Device memory is exposed as
+//!    [`buffer::DeviceBuffer`]s of 32/64-bit words whose loads and stores are
+//!    individually indivisible but carry **no ordering and no mutual
+//!    exclusion** — exactly the guarantees naturally-aligned word accesses
+//!    have on a real GPU.  (Under the hood each word is a Rust atomic used
+//!    with `Ordering::Relaxed`; this is the only way to express the paper's
+//!    *benign races* without undefined behaviour.  No read-modify-write
+//!    operation is ever used by the matching kernels.)
+//! 3. **A calibrated cost model.** Each launch is charged launch overhead,
+//!    warp issue cost, and per-work-item memory cost
+//!    ([`perfmodel::PerfModel`]), so that *modelled device time* can be
+//!    compared across algorithms the same way the paper compares wall-clock
+//!    seconds on the C2050.  Wall-clock host time is recorded as well.
+//!
+//! The crate also ships device-wide primitives ([`primitives`]) — reduction
+//! and exclusive prefix sum — implemented as multi-pass kernels, because the
+//! paper's shrink kernel (`G-PR-SHRKRNL`) needs a device prefix sum.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod engine;
+pub mod perfmodel;
+pub mod primitives;
+pub mod stats;
+
+pub use buffer::{DeviceBuffer, DeviceScalar};
+pub use engine::{Backend, GpuConfig, LaunchRecord, ThreadCtx, VirtualGpu};
+pub use perfmodel::PerfModel;
+pub use stats::{DeviceStats, KernelStats};

@@ -1,0 +1,191 @@
+//! Device-wide primitives implemented as kernels.
+//!
+//! The dynamic compression of active-column lists (`G-PR-SHRKRNL`,
+//! Section III-C2 of the paper) performs a per-thread count, a prefix sum
+//! over the counts, and a scatter into private regions.  These primitives
+//! reproduce the prefix-sum and reduction steps as multi-pass kernel
+//! launches on the virtual GPU, so the kernel-launch statistics of the
+//! shrink path match the structure of the CUDA implementation.
+
+use crate::buffer::DeviceBuffer;
+use crate::engine::VirtualGpu;
+
+/// Number of logical threads per block used by the block-wise passes.
+const BLOCK: usize = 256;
+
+/// Device-wide sum reduction of a `u64` buffer.
+///
+/// Implemented as repeated block-reduction kernels until a single value
+/// remains, mimicking the standard CUDA reduction pattern.
+pub fn reduce_sum(gpu: &VirtualGpu, input: &DeviceBuffer<u64>) -> u64 {
+    if input.is_empty() {
+        return 0;
+    }
+    let mut current: DeviceBuffer<u64> = DeviceBuffer::from_slice(&input.to_vec());
+    while current.len() > 1 {
+        let blocks = current.len().div_ceil(BLOCK);
+        let next = DeviceBuffer::<u64>::new(blocks, 0);
+        gpu.launch("reduce_sum", blocks, |ctx| {
+            let b = ctx.global_id;
+            let start = b * BLOCK;
+            let end = ((b + 1) * BLOCK).min(current.len());
+            let mut acc = 0u64;
+            for i in start..end {
+                acc += current.get(i);
+                ctx.add_work(1);
+            }
+            next.set(b, acc);
+        });
+        current = next;
+    }
+    current.get(0)
+}
+
+/// Device-wide maximum reduction of a `u64` buffer (0 for an empty buffer).
+pub fn reduce_max(gpu: &VirtualGpu, input: &DeviceBuffer<u64>) -> u64 {
+    if input.is_empty() {
+        return 0;
+    }
+    let mut current: DeviceBuffer<u64> = DeviceBuffer::from_slice(&input.to_vec());
+    while current.len() > 1 {
+        let blocks = current.len().div_ceil(BLOCK);
+        let next = DeviceBuffer::<u64>::new(blocks, 0);
+        gpu.launch("reduce_max", blocks, |ctx| {
+            let b = ctx.global_id;
+            let start = b * BLOCK;
+            let end = ((b + 1) * BLOCK).min(current.len());
+            let mut acc = 0u64;
+            for i in start..end {
+                acc = acc.max(current.get(i));
+                ctx.add_work(1);
+            }
+            next.set(b, acc);
+        });
+        current = next;
+    }
+    current.get(0)
+}
+
+/// Exclusive prefix sum (scan) of a `u64` buffer, returning a new device
+/// buffer of the same length plus the total sum.
+///
+/// `output[i] = input[0] + … + input[i-1]`, `output[0] = 0`.
+///
+/// Implemented as the classic three-phase GPU scan: block-local scan,
+/// scan of block totals (recursively), then a uniform add pass.
+pub fn exclusive_prefix_sum(
+    gpu: &VirtualGpu,
+    input: &DeviceBuffer<u64>,
+) -> (DeviceBuffer<u64>, u64) {
+    let n = input.len();
+    let output = DeviceBuffer::<u64>::new(n, 0);
+    if n == 0 {
+        return (output, 0);
+    }
+    let blocks = n.div_ceil(BLOCK);
+    let block_totals = DeviceBuffer::<u64>::new(blocks, 0);
+
+    // Phase 1: per-block exclusive scan.
+    gpu.launch("scan_block", blocks, |ctx| {
+        let b = ctx.global_id;
+        let start = b * BLOCK;
+        let end = ((b + 1) * BLOCK).min(n);
+        let mut acc = 0u64;
+        for i in start..end {
+            output.set(i, acc);
+            acc += input.get(i);
+            ctx.add_work(2);
+        }
+        block_totals.set(b, acc);
+    });
+
+    // Phase 2: scan of block totals (host-side recursion over device passes).
+    let (block_offsets, total) = if blocks > 1 {
+        exclusive_prefix_sum(gpu, &block_totals)
+    } else {
+        (DeviceBuffer::<u64>::new(1, 0), block_totals.get(0))
+    };
+
+    // Phase 3: uniform add of each block's offset.
+    if blocks > 1 {
+        gpu.launch("scan_uniform_add", blocks, |ctx| {
+            let b = ctx.global_id;
+            let offset = block_offsets.get(b);
+            if offset != 0 {
+                let start = b * BLOCK;
+                let end = ((b + 1) * BLOCK).min(n);
+                for i in start..end {
+                    output.set(i, output.get(i) + offset);
+                    ctx.add_work(2);
+                }
+            }
+        });
+    }
+    (output, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::VirtualGpu;
+
+    fn gpus() -> Vec<VirtualGpu> {
+        vec![VirtualGpu::sequential(), VirtualGpu::parallel()]
+    }
+
+    #[test]
+    fn reduce_sum_matches_host() {
+        for gpu in gpus() {
+            for n in [0usize, 1, 7, 256, 257, 10_000] {
+                let host: Vec<u64> = (0..n as u64).map(|i| i % 13).collect();
+                let buf = DeviceBuffer::from_slice(&host);
+                assert_eq!(reduce_sum(&gpu, &buf), host.iter().sum::<u64>(), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_max_matches_host() {
+        for gpu in gpus() {
+            for n in [0usize, 1, 255, 256, 1000, 5000] {
+                let host: Vec<u64> = (0..n as u64).map(|i| (i * 37) % 101).collect();
+                let buf = DeviceBuffer::from_slice(&host);
+                assert_eq!(
+                    reduce_max(&gpu, &buf),
+                    host.iter().copied().max().unwrap_or(0),
+                    "n = {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sum_matches_host() {
+        for gpu in gpus() {
+            for n in [0usize, 1, 2, 255, 256, 257, 4096, 70_001] {
+                let host: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % 5).collect();
+                let buf = DeviceBuffer::from_slice(&host);
+                let (scan, total) = exclusive_prefix_sum(&gpu, &buf);
+                let mut expected = Vec::with_capacity(n);
+                let mut acc = 0u64;
+                for &v in &host {
+                    expected.push(acc);
+                    acc += v;
+                }
+                assert_eq!(scan.to_vec(), expected, "n = {n}");
+                assert_eq!(total, acc, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn primitives_record_kernel_launches() {
+        let gpu = VirtualGpu::sequential();
+        let buf = DeviceBuffer::from_slice(&vec![1u64; 1000]);
+        let _ = reduce_sum(&gpu, &buf);
+        let _ = exclusive_prefix_sum(&gpu, &buf);
+        let stats = gpu.stats();
+        assert!(stats.launches_of("reduce_sum") >= 1);
+        assert!(stats.launches_of("scan_block") >= 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Execution statistics collected by the virtual GPU.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-kernel aggregate statistics.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Number of launches of this kernel.
+    pub launches: u64,
+    /// Total threads across all launches.
+    pub total_threads: u64,
+    /// Total work items (memory transactions) reported by kernel threads.
+    pub total_work: u64,
+    /// Total modelled device time in nanoseconds.
+    pub modelled_time_ns: f64,
+    /// Total host wall-clock time spent executing the launches, nanoseconds.
+    pub wall_time_ns: f64,
+    /// Largest single-launch grid size seen.
+    pub max_grid: u64,
+}
+
+/// Device-wide statistics: per-kernel breakdown plus totals.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Statistics keyed by kernel name.
+    pub kernels: BTreeMap<String, KernelStats>,
+}
+
+impl DeviceStats {
+    /// Records one launch.
+    pub fn record(
+        &mut self,
+        kernel: &str,
+        threads: usize,
+        work: u64,
+        modelled_time_ns: f64,
+        wall_time_ns: f64,
+    ) {
+        let entry = self.kernels.entry(kernel.to_string()).or_default();
+        entry.launches += 1;
+        entry.total_threads += threads as u64;
+        entry.total_work += work;
+        entry.modelled_time_ns += modelled_time_ns;
+        entry.wall_time_ns += wall_time_ns;
+        entry.max_grid = entry.max_grid.max(threads as u64);
+    }
+
+    /// Total number of kernel launches.
+    pub fn total_launches(&self) -> u64 {
+        self.kernels.values().map(|k| k.launches).sum()
+    }
+
+    /// Total modelled device time across all kernels, in seconds.
+    pub fn modelled_time_secs(&self) -> f64 {
+        self.kernels.values().map(|k| k.modelled_time_ns).sum::<f64>() / 1e9
+    }
+
+    /// Total host wall-clock time spent inside kernel launches, in seconds.
+    pub fn wall_time_secs(&self) -> f64 {
+        self.kernels.values().map(|k| k.wall_time_ns).sum::<f64>() / 1e9
+    }
+
+    /// Total work items across all kernels.
+    pub fn total_work(&self) -> u64 {
+        self.kernels.values().map(|k| k.total_work).sum()
+    }
+
+    /// Launch count for a specific kernel (0 if it never ran).
+    pub fn launches_of(&self, kernel: &str) -> u64 {
+        self.kernels.get(kernel).map(|k| k.launches).unwrap_or(0)
+    }
+
+    /// Merges another statistics block into this one.
+    pub fn merge(&mut self, other: &DeviceStats) {
+        for (name, k) in &other.kernels {
+            let entry = self.kernels.entry(name.clone()).or_default();
+            entry.launches += k.launches;
+            entry.total_threads += k.total_threads;
+            entry.total_work += k.total_work;
+            entry.modelled_time_ns += k.modelled_time_ns;
+            entry.wall_time_ns += k.wall_time_ns;
+            entry.max_grid = entry.max_grid.max(k.max_grid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_kernel() {
+        let mut s = DeviceStats::default();
+        s.record("push", 100, 500, 1000.0, 2000.0);
+        s.record("push", 50, 100, 500.0, 700.0);
+        s.record("relabel", 10, 10, 10.0, 20.0);
+        assert_eq!(s.total_launches(), 3);
+        assert_eq!(s.launches_of("push"), 2);
+        assert_eq!(s.launches_of("relabel"), 1);
+        assert_eq!(s.launches_of("missing"), 0);
+        let push = &s.kernels["push"];
+        assert_eq!(push.total_threads, 150);
+        assert_eq!(push.total_work, 600);
+        assert_eq!(push.max_grid, 100);
+        assert!((s.modelled_time_secs() - 1.51e-6).abs() < 1e-12);
+        assert!((s.wall_time_secs() - 2.72e-6).abs() < 1e-12);
+        assert_eq!(s.total_work(), 610);
+    }
+
+    #[test]
+    fn merge_combines_blocks() {
+        let mut a = DeviceStats::default();
+        a.record("k", 10, 10, 1.0, 1.0);
+        let mut b = DeviceStats::default();
+        b.record("k", 20, 5, 2.0, 2.0);
+        b.record("j", 1, 1, 1.0, 1.0);
+        a.merge(&b);
+        assert_eq!(a.total_launches(), 3);
+        assert_eq!(a.kernels["k"].total_threads, 30);
+        assert_eq!(a.kernels["k"].max_grid, 20);
+        assert_eq!(a.launches_of("j"), 1);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let s = DeviceStats::default();
+        assert_eq!(s.total_launches(), 0);
+        assert_eq!(s.modelled_time_secs(), 0.0);
+        assert_eq!(s.total_work(), 0);
+    }
+}

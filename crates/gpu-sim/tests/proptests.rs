@@ -1,0 +1,69 @@
+//! Property-based tests for the virtual GPU: launch coverage, buffer
+//! round-trips, and device primitives vs host references, on both backends.
+
+use gpm_gpu::{primitives, Backend, DeviceBuffer, GpuConfig, VirtualGpu};
+use proptest::prelude::*;
+
+fn gpus() -> Vec<VirtualGpu> {
+    vec![
+        VirtualGpu::sequential(),
+        VirtualGpu::new(GpuConfig { parallel_threshold: 16, ..GpuConfig::tesla_c2050(Backend::Parallel { workers: 3 }) }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_thread_runs_exactly_once(grid in 0usize..5000) {
+        for gpu in gpus() {
+            let hits = DeviceBuffer::<u32>::new(grid, 0);
+            gpu.launch("prop_cover", grid, |ctx| {
+                hits.set(ctx.global_id, hits.get(ctx.global_id) + 1);
+            });
+            prop_assert!(hits.to_vec().iter().all(|&h| h == 1));
+        }
+    }
+
+    #[test]
+    fn buffer_round_trips_arbitrary_contents(data in proptest::collection::vec(any::<i64>(), 0..500)) {
+        let buf = DeviceBuffer::from_slice(&data);
+        prop_assert_eq!(buf.to_vec(), data);
+    }
+
+    #[test]
+    fn prefix_sum_matches_host_reference(data in proptest::collection::vec(0u64..1000, 0..2000)) {
+        for gpu in gpus() {
+            let buf = DeviceBuffer::from_slice(&data);
+            let (scan, total) = primitives::exclusive_prefix_sum(&gpu, &buf);
+            let mut expected = Vec::with_capacity(data.len());
+            let mut acc = 0u64;
+            for &v in &data {
+                expected.push(acc);
+                acc += v;
+            }
+            prop_assert_eq!(scan.to_vec(), expected);
+            prop_assert_eq!(total, acc);
+        }
+    }
+
+    #[test]
+    fn reductions_match_host_reference(data in proptest::collection::vec(0u64..10_000, 0..1500)) {
+        for gpu in gpus() {
+            let buf = DeviceBuffer::from_slice(&data);
+            prop_assert_eq!(primitives::reduce_sum(&gpu, &buf), data.iter().sum::<u64>());
+            prop_assert_eq!(
+                primitives::reduce_max(&gpu, &buf),
+                data.iter().copied().max().unwrap_or(0)
+            );
+        }
+    }
+
+    #[test]
+    fn modelled_cost_is_monotone_in_work(threads in 1usize..100_000, work in 0u64..1_000_000) {
+        let model = gpm_gpu::PerfModel::tesla_c2050();
+        let base = model.launch_cost_ns(threads, work, work / threads.max(1) as u64 + 1);
+        let more = model.launch_cost_ns(threads, work * 2 + 1, work / threads.max(1) as u64 + 1);
+        prop_assert!(more >= base);
+    }
+}

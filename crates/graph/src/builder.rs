@@ -1,0 +1,170 @@
+//! Incremental construction of bipartite graphs.
+//!
+//! [`GraphBuilder`] collects edges one at a time (or in bulk), tolerates
+//! duplicates, and produces a validated [`BipartiteCsr`].  All generators in
+//! [`crate::gen`] and the Matrix Market reader in [`crate::io`] are built on
+//! top of it.
+
+use crate::{BipartiteCsr, GraphError, Result, VertexId};
+
+/// Incremental edge-list builder for [`BipartiteCsr`].
+///
+/// # Example
+///
+/// ```
+/// use gpm_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(2, 3);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_edge(1, 2).unwrap();
+/// b.add_edge(0, 1).unwrap(); // duplicates are fine
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_rows: usize,
+    num_cols: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_rows` row vertices and
+    /// `num_cols` column vertices.
+    pub fn new(num_rows: usize, num_cols: usize) -> Self {
+        Self { num_rows, num_cols, edges: Vec::new() }
+    }
+
+    /// Creates a builder and reserves space for `edge_capacity` edges.
+    pub fn with_capacity(num_rows: usize, num_cols: usize, edge_capacity: usize) -> Self {
+        Self { num_rows, num_cols, edges: Vec::with_capacity(edge_capacity) }
+    }
+
+    /// Number of row vertices the built graph will have.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of column vertices the built graph will have.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of edges added so far (duplicates included).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` if no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Adds the edge `(row, col)`, validating bounds.
+    pub fn add_edge(&mut self, row: VertexId, col: VertexId) -> Result<()> {
+        if (row as usize) >= self.num_rows {
+            return Err(GraphError::RowOutOfBounds { row, num_rows: self.num_rows });
+        }
+        if (col as usize) >= self.num_cols {
+            return Err(GraphError::ColOutOfBounds { col, num_cols: self.num_cols });
+        }
+        self.edges.push((row, col));
+        Ok(())
+    }
+
+    /// Adds the edge without bounds checking of the *logical* dimensions;
+    /// still panics in debug builds if indices overflow the declared shape
+    /// when the graph is built.  Intended for trusted generators.
+    pub(crate) fn add_edge_unchecked(&mut self, row: VertexId, col: VertexId) {
+        debug_assert!((row as usize) < self.num_rows);
+        debug_assert!((col as usize) < self.num_cols);
+        self.edges.push((row, col));
+    }
+
+    /// Adds every edge from an iterator, validating bounds.
+    pub fn extend_edges<I>(&mut self, edges: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        for (r, c) in edges {
+            self.add_edge(r, c)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the builder and produces the CSR graph.  Duplicate edges are
+    /// collapsed and adjacency lists sorted.
+    pub fn build(mut self) -> BipartiteCsr {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        BipartiteCsr::from_sorted_dedup_edges(self.num_rows, self.num_cols, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_expected_graph() {
+        let mut b = GraphBuilder::new(3, 3);
+        b.add_edge(0, 0).unwrap();
+        b.add_edge(2, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 0));
+        assert!(g.has_edge(2, 1));
+        assert!(g.has_edge(1, 2));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let mut b = GraphBuilder::new(2, 2);
+        assert!(b.add_edge(2, 0).is_err());
+        assert!(b.add_edge(0, 2).is_err());
+        assert!(b.add_edge(1, 1).is_ok());
+    }
+
+    #[test]
+    fn duplicates_collapse_on_build() {
+        let mut b = GraphBuilder::new(1, 1);
+        for _ in 0..10 {
+            b.add_edge(0, 0).unwrap();
+        }
+        assert_eq!(b.len(), 10);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn extend_edges_bulk() {
+        let mut b = GraphBuilder::with_capacity(3, 3, 4);
+        b.extend_edges(vec![(0, 0), (1, 1), (2, 2)]).unwrap();
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn extend_edges_fails_fast_on_bad_edge() {
+        let mut b = GraphBuilder::new(2, 2);
+        let res = b.extend_edges(vec![(0, 0), (9, 0), (1, 1)]);
+        assert!(res.is_err());
+        // the edge before the failure was recorded
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let b = GraphBuilder::new(5, 7);
+        assert!(b.is_empty());
+        let g = b.build();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_rows(), 5);
+        assert_eq!(g.num_cols(), 7);
+        g.validate().unwrap();
+    }
+}

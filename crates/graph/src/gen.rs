@@ -1,0 +1,442 @@
+//! Synthetic bipartite-graph generators.
+//!
+//! The paper evaluates on 28 SuiteSparse/UFL matrices spanning a handful of
+//! structural families.  Those files cannot be redistributed here, so every
+//! family gets a generator that reproduces the structural features that
+//! matter for matching behaviour:
+//!
+//! | Paper family (examples) | Generator | Feature reproduced |
+//! |---|---|---|
+//! | road networks (`roadNet-*`, `italy_osm`) | [`road_network`] | near-planar grid, low degree, long augmenting paths |
+//! | Delaunay meshes (`delaunay_n2x`) | [`delaunay_like`] | bounded degree ≈ 6, perfect matchings exist |
+//! | Kronecker / social (`kron_g500`, `soc-LiveJournal1`, `flickr`) | [`rmat`] | heavy-tailed degrees, small diameter, large deficiency |
+//! | web crawls / co-purchase (`eu-2005`, `amazon*`, `wb-edu`) | [`rmat`] with milder skew | moderate skew, moderate deficiency |
+//! | huge meshes with near-perfect initial matching (`hugetrace-*`, `hugebubbles`) | [`near_perfect_mesh`] | tiny deficiency but very long augmenting paths |
+//! | sanity/oracle workloads | [`uniform_random`], [`planted_perfect`] | controlled density / known optimum |
+//!
+//! All generators are deterministic given the seed.
+
+use crate::{BipartiteCsr, GraphBuilder, GraphError, Result, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform Erdős–Rényi-style bipartite graph: each of the `num_edges`
+/// attempted edges picks its endpoints uniformly at random (duplicates are
+/// collapsed, so the result may have slightly fewer edges).
+pub fn uniform_random(
+    num_rows: usize,
+    num_cols: usize,
+    num_edges: usize,
+    seed: u64,
+) -> Result<BipartiteCsr> {
+    if num_rows == 0 || num_cols == 0 {
+        return Err(GraphError::InvalidGenerator(
+            "uniform_random requires at least one row and one column".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(num_rows, num_cols, num_edges);
+    for _ in 0..num_edges {
+        let r = rng.gen_range(0..num_rows) as VertexId;
+        let c = rng.gen_range(0..num_cols) as VertexId;
+        b.add_edge_unchecked(r, c);
+    }
+    Ok(b.build())
+}
+
+/// A bipartite graph with a *planted perfect matching*: edge `(i, π(i))` is
+/// present for a random permutation `π`, plus `extra_edges` random edges.
+/// The maximum matching cardinality is therefore exactly `n`, which tests use
+/// as a known optimum.
+pub fn planted_perfect(n: usize, extra_edges: usize, seed: u64) -> Result<BipartiteCsr> {
+    if n == 0 {
+        return Err(GraphError::InvalidGenerator("planted_perfect requires n > 0".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fisher–Yates permutation
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut b = GraphBuilder::with_capacity(n, n, n + extra_edges);
+    for (i, &p) in perm.iter().enumerate() {
+        b.add_edge_unchecked(i as VertexId, p);
+    }
+    for _ in 0..extra_edges {
+        let r = rng.gen_range(0..n) as VertexId;
+        let c = rng.gen_range(0..n) as VertexId;
+        b.add_edge_unchecked(r, c);
+    }
+    Ok(b.build())
+}
+
+/// Parameters of the RMAT / Kronecker generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// log2 of the number of rows (and of columns).
+    pub scale: u32,
+    /// Average number of edges per row.
+    pub edge_factor: usize,
+    /// RMAT quadrant probabilities; must sum to ~1.  Graph500 uses
+    /// (0.57, 0.19, 0.19, 0.05).
+    pub a: f64,
+    /// Probability of the upper-right quadrant.
+    pub b: f64,
+    /// Probability of the lower-left quadrant.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 parameterization used by the `kron_g500` instances of the
+    /// paper: strongly skewed degree distribution.
+    pub fn graph500(scale: u32, edge_factor: usize) -> Self {
+        Self { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19 }
+    }
+
+    /// A milder skew approximating web-crawl / co-purchase graphs.
+    pub fn web_like(scale: u32, edge_factor: usize) -> Self {
+        Self { scale, edge_factor, a: 0.45, b: 0.22, c: 0.22 }
+    }
+}
+
+/// RMAT (recursive-matrix) generator producing Kronecker-like bipartite
+/// graphs with heavy-tailed degree distributions.
+pub fn rmat(params: RmatParams, seed: u64) -> Result<BipartiteCsr> {
+    let RmatParams { scale, edge_factor, a, b, c } = params;
+    if scale == 0 || scale > 28 {
+        return Err(GraphError::InvalidGenerator(format!(
+            "rmat scale must be in 1..=28, got {scale}"
+        )));
+    }
+    let d = 1.0 - a - b - c;
+    if !(0.0..=1.0).contains(&d) || a < 0.0 || b < 0.0 || c < 0.0 {
+        return Err(GraphError::InvalidGenerator(
+            "rmat probabilities must be non-negative and sum to at most 1".into(),
+        ));
+    }
+    let n = 1usize << scale;
+    let num_edges = n * edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, n, num_edges);
+    for _ in 0..num_edges {
+        let (mut r, mut col) = (0usize, 0usize);
+        let mut size = n >> 1;
+        while size >= 1 {
+            let p: f64 = rng.gen();
+            // Add a little noise per level as in the Graph500 reference code
+            // to avoid exact self-similarity artefacts.
+            let noise = 1.0 + 0.1 * (rng.gen::<f64>() - 0.5);
+            let aa = a * noise;
+            let bb = b * noise;
+            let cc = c * noise;
+            let total = aa + bb + cc + d.max(0.0) * noise;
+            let p = p * total;
+            if p < aa {
+                // upper-left: nothing to add
+            } else if p < aa + bb {
+                col += size;
+            } else if p < aa + bb + cc {
+                r += size;
+            } else {
+                r += size;
+                col += size;
+            }
+            size >>= 1;
+        }
+        builder.add_edge_unchecked(r as VertexId, col as VertexId);
+    }
+    Ok(builder.build())
+}
+
+/// A road-network-like graph: rows and columns are the two vertex classes of
+/// a bipartition of a 2-D grid with random perturbations (missing edges and a
+/// few shortcut edges), giving low, almost-uniform degree and very long
+/// shortest paths — the structure that makes `roadNet-*` and `italy_osm`
+/// hard for G-PR in the paper (speedups below 1).
+pub fn road_network(
+    width: usize,
+    height: usize,
+    drop_probability: f64,
+    seed: u64,
+) -> Result<BipartiteCsr> {
+    if width < 2 || height < 2 {
+        return Err(GraphError::InvalidGenerator("road_network requires width, height >= 2".into()));
+    }
+    if !(0.0..1.0).contains(&drop_probability) {
+        return Err(GraphError::InvalidGenerator("drop_probability must be in [0, 1)".into()));
+    }
+    // 2-coloring of the grid: cell (x, y) is a row vertex when (x + y) is
+    // even, a column vertex otherwise.  Grid edges therefore always connect a
+    // row to a column, giving a bipartite graph whose structure mirrors the
+    // (near-planar, bounded-degree) road networks.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cell = |x: usize, y: usize| -> (bool, usize) {
+        let idx = y * width + x;
+        ((x + y) % 2 == 0, idx / 2)
+    };
+    // Number of row/col vertices: split of width*height by parity.
+    let total = width * height;
+    let num_rows = (total + 1) / 2;
+    let num_cols = total / 2;
+    // Vertex ids are shuffled so that the greedy cheap-matching heuristic
+    // sees the vertices in an order unrelated to the geometry — exactly what
+    // happens for the real (renumbered) SuiteSparse road networks, and the
+    // reason their cheap matchings leave a nontrivial deficiency.
+    let row_perm = random_permutation(num_rows, &mut rng);
+    let col_perm = random_permutation(num_cols, &mut rng);
+    let mut b = GraphBuilder::with_capacity(num_rows, num_cols, 2 * total);
+    let add = |b: &mut GraphBuilder, x1: usize, y1: usize, x2: usize, y2: usize| {
+        let (is_row1, i1) = cell(x1, y1);
+        let (_, i2) = cell(x2, y2);
+        let (r, c) = if is_row1 { (i1, i2) } else { (i2, i1) };
+        b.add_edge_unchecked(row_perm[r], col_perm[c]);
+    };
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width && rng.gen::<f64>() >= drop_probability {
+                add(&mut b, x, y, x + 1, y);
+            }
+            if y + 1 < height && rng.gen::<f64>() >= drop_probability {
+                add(&mut b, x, y, x, y + 1);
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Fisher–Yates permutation of `0..n`.
+fn random_permutation(n: usize, rng: &mut StdRng) -> Vec<VertexId> {
+    let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// A Delaunay-like mesh: a triangulated grid (grid edges plus one diagonal
+/// per cell), bipartitioned by parity.  Degrees are bounded (≈ 6) and perfect
+/// matchings exist for even-sized grids, matching the `delaunay_n2x`
+/// instances where IM is already ~95% of MM and MM is perfect.
+pub fn delaunay_like(width: usize, height: usize, seed: u64) -> Result<BipartiteCsr> {
+    if width < 2 || height < 2 {
+        return Err(GraphError::InvalidGenerator("delaunay_like requires width, height >= 2".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total = width * height;
+    let num_rows = (total + 1) / 2;
+    let num_cols = total / 2;
+    let cell = |x: usize, y: usize| -> (bool, usize) {
+        let idx = y * width + x;
+        ((x + y) % 2 == 0, idx / 2)
+    };
+    // Shuffled ids, for the same reason as in `road_network`: the real
+    // Delaunay matrices are renumbered, which is what leaves the cheap
+    // matching a few percent short of the (perfect) maximum.
+    let row_perm = random_permutation(num_rows, &mut rng);
+    let col_perm = random_permutation(num_cols, &mut rng);
+    let mut b = GraphBuilder::with_capacity(num_rows, num_cols, 3 * total);
+    let add = |b: &mut GraphBuilder, x1: usize, y1: usize, x2: usize, y2: usize| {
+        let (is_row1, i1) = cell(x1, y1);
+        let (is_row2, i2) = cell(x2, y2);
+        if is_row1 == is_row2 {
+            return; // diagonal between same-parity cells: not bipartite, skip
+        }
+        let (r, c) = if is_row1 { (i1, i2) } else { (i2, i1) };
+        b.add_edge_unchecked(row_perm[r], col_perm[c]);
+    };
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                add(&mut b, x, y, x + 1, y);
+            }
+            if y + 1 < height {
+                add(&mut b, x, y, x, y + 1);
+            }
+            // One longer-range edge per cell, chosen at random, standing in
+            // for the Delaunay diagonals.  A true grid diagonal connects
+            // same-parity cells and would break bipartiteness, so we use the
+            // (2, 1) / (1, 2) offsets, which flip parity and keep degrees ≈ 6.
+            if x + 2 < width && y + 1 < height && rng.gen::<bool>() {
+                add(&mut b, x, y, x + 2, y + 1);
+            } else if x + 1 < width && y + 2 < height {
+                add(&mut b, x, y, x + 1, y + 2);
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// A "hugetrace"-like mesh: a long, thin triangulated strip whose cheap
+/// matching leaves only a *tiny* deficiency, but whose remaining augmenting
+/// paths are extremely long.  This is the family where the paper's G-PR is
+/// *slower* than sequential PR (speedup 0.31 on `hugetrace-00000`), so
+/// reproducing it matters for the shape of Figures 2–4.
+pub fn near_perfect_mesh(length: usize, girth: usize, seed: u64) -> Result<BipartiteCsr> {
+    if length < 4 || girth < 2 {
+        return Err(GraphError::InvalidGenerator(
+            "near_perfect_mesh requires length >= 4 and girth >= 2".into(),
+        ));
+    }
+    // A long strip of `length` columns of `girth` cells each, triangulated.
+    delaunay_like(length, girth, seed)
+}
+
+/// Power-law column degrees with uniform rows ("scale-free-ish"): used for
+/// the co-paper/co-purchase families where one side is much denser.
+pub fn power_law(
+    num_rows: usize,
+    num_cols: usize,
+    num_edges: usize,
+    exponent: f64,
+    seed: u64,
+) -> Result<BipartiteCsr> {
+    if num_rows == 0 || num_cols == 0 {
+        return Err(GraphError::InvalidGenerator("power_law requires nonzero dimensions".into()));
+    }
+    if exponent <= 1.0 {
+        return Err(GraphError::InvalidGenerator("power_law exponent must be > 1".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Zipf-like sampling of columns via inverse CDF over ranks.
+    let mut b = GraphBuilder::with_capacity(num_rows, num_cols, num_edges);
+    for _ in 0..num_edges {
+        let r = rng.gen_range(0..num_rows) as VertexId;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        // rank ∈ [1, num_cols], heavier mass on small ranks
+        let rank = (num_cols as f64).powf(u.powf(1.0 / (exponent - 1.0)));
+        let c = (rank as usize).min(num_cols) - 1;
+        b.add_edge_unchecked(r, c as VertexId);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::maximum_matching_cardinality;
+
+    #[test]
+    fn uniform_random_is_deterministic_and_valid() {
+        let g1 = uniform_random(100, 100, 500, 42).unwrap();
+        let g2 = uniform_random(100, 100, 500, 42).unwrap();
+        assert_eq!(g1, g2);
+        g1.validate().unwrap();
+        assert!(g1.num_edges() <= 500);
+        assert!(g1.num_edges() > 300); // collisions are rare at this density
+        let g3 = uniform_random(100, 100, 500, 43).unwrap();
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn uniform_random_rejects_empty_sides() {
+        assert!(uniform_random(0, 10, 5, 1).is_err());
+        assert!(uniform_random(10, 0, 5, 1).is_err());
+    }
+
+    #[test]
+    fn planted_perfect_has_perfect_matching() {
+        let g = planted_perfect(50, 100, 7).unwrap();
+        g.validate().unwrap();
+        assert_eq!(maximum_matching_cardinality(&g), 50);
+        assert!(g.num_edges() >= 50);
+    }
+
+    #[test]
+    fn planted_perfect_rejects_zero() {
+        assert!(planted_perfect(0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn rmat_produces_skewed_degrees() {
+        let g = rmat(RmatParams::graph500(10, 8), 123).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.num_rows(), 1024);
+        assert_eq!(g.num_cols(), 1024);
+        let max_deg = (0..1024u32).map(|c| g.col_degree(c)).max().unwrap();
+        let avg_deg = g.num_edges() as f64 / 1024.0;
+        // Heavy tail: max degree far above average, and many isolated columns.
+        assert!(max_deg as f64 > 4.0 * avg_deg, "max {max_deg} avg {avg_deg}");
+        assert!(g.isolated_cols() > 0);
+    }
+
+    #[test]
+    fn rmat_rejects_bad_params() {
+        assert!(rmat(RmatParams { scale: 0, edge_factor: 2, a: 0.5, b: 0.2, c: 0.2 }, 1).is_err());
+        assert!(rmat(RmatParams { scale: 40, edge_factor: 2, a: 0.5, b: 0.2, c: 0.2 }, 1).is_err());
+        assert!(rmat(RmatParams { scale: 4, edge_factor: 2, a: 0.9, b: 0.2, c: 0.2 }, 1).is_err());
+        assert!(rmat(RmatParams { scale: 4, edge_factor: 2, a: -0.1, b: 0.2, c: 0.2 }, 1).is_err());
+    }
+
+    #[test]
+    fn road_network_has_bounded_degree() {
+        let g = road_network(40, 40, 0.05, 9).unwrap();
+        g.validate().unwrap();
+        let max_row_deg = (0..g.num_rows() as u32).map(|r| g.row_degree(r)).max().unwrap();
+        let max_col_deg = (0..g.num_cols() as u32).map(|c| g.col_degree(c)).max().unwrap();
+        assert!(max_row_deg <= 4);
+        assert!(max_col_deg <= 4);
+        assert!(g.num_edges() > 2000);
+    }
+
+    #[test]
+    fn road_network_rejects_bad_params() {
+        assert!(road_network(1, 10, 0.0, 1).is_err());
+        assert!(road_network(10, 10, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn delaunay_like_has_perfect_matching_on_even_grid() {
+        let g = delaunay_like(20, 20, 5).unwrap();
+        g.validate().unwrap();
+        assert_eq!(g.num_rows(), 200);
+        assert_eq!(g.num_cols(), 200);
+        // even grid with all horizontal/vertical edges → perfect matching exists
+        assert_eq!(maximum_matching_cardinality(&g), 200);
+        let max_deg = (0..200u32).map(|r| g.row_degree(r)).max().unwrap();
+        assert!(max_deg <= 8);
+    }
+
+    #[test]
+    fn near_perfect_mesh_has_small_deficiency() {
+        let g = near_perfect_mesh(100, 4, 3).unwrap();
+        g.validate().unwrap();
+        let im = crate::heuristics::cheap_matching(&g).cardinality();
+        let mm = maximum_matching_cardinality(&g);
+        assert!(mm > 0);
+        let deficiency = mm - im.min(mm);
+        // cheap matching already gets within a few percent on meshes
+        assert!(
+            (deficiency as f64) < 0.1 * mm as f64,
+            "deficiency {deficiency} too large vs mm {mm}"
+        );
+    }
+
+    #[test]
+    fn power_law_concentrates_on_low_ranks() {
+        let g = power_law(2000, 2000, 10000, 2.2, 11).unwrap();
+        g.validate().unwrap();
+        let deg0 = g.col_degree(0);
+        let avg = g.num_edges() as f64 / 2000.0;
+        assert!(deg0 as f64 > 3.0 * avg, "deg0 {deg0} avg {avg}");
+    }
+
+    #[test]
+    fn power_law_rejects_bad_exponent() {
+        assert!(power_law(10, 10, 10, 1.0, 1).is_err());
+        assert!(power_law(0, 10, 10, 2.0, 1).is_err());
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        assert_eq!(rmat(RmatParams::web_like(8, 4), 5).unwrap(), rmat(RmatParams::web_like(8, 4), 5).unwrap());
+        assert_eq!(road_network(10, 10, 0.1, 5).unwrap(), road_network(10, 10, 0.1, 5).unwrap());
+        assert_eq!(delaunay_like(10, 10, 5).unwrap(), delaunay_like(10, 10, 5).unwrap());
+        assert_eq!(planted_perfect(30, 60, 5).unwrap(), planted_perfect(30, 60, 5).unwrap());
+        assert_eq!(
+            power_law(100, 100, 400, 2.0, 5).unwrap(),
+            power_law(100, 100, 400, 2.0, 5).unwrap()
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! The paper's 28-instance test set, as scaled synthetic stand-ins.
+//!
+//! Table I of the paper lists 28 UFL/SuiteSparse matrices together with their
+//! sizes, the cardinality of the cheap initial matching (IM), the maximum
+//! matching (MM), and the runtimes of G-PR, G-HKDW, P-DBFS, and sequential
+//! PR.  The matrices themselves are multi-gigabyte downloads and cannot be
+//! bundled; instead each instance is mapped to the synthetic generator of its
+//! structural family (see [`crate::gen`]) and scaled down by a configurable
+//! factor.  The *paper-reported* numbers are kept alongside so the benchmark
+//! harness can print "paper vs. measured" rows (see `EXPERIMENTS.md`).
+
+use crate::gen::{self, RmatParams};
+use crate::{BipartiteCsr, Result};
+use serde::{Deserialize, Serialize};
+
+/// Structural family of an instance, determining which generator builds its
+/// stand-in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Family {
+    /// Web crawl / co-purchase graphs (`amazon*`, `eu-2005`, `in-2004`,
+    /// `wb-edu`, `patents`): RMAT with mild skew.
+    WebLike,
+    /// Social / Kronecker graphs (`kron_g500*`, `soc-LiveJournal1`, `flickr`,
+    /// `as-Skitter`, `wikipedia`, `*livejournal*`): RMAT with Graph500 skew.
+    Social,
+    /// Co-paper graphs (`coPapersDBLP`): power-law column degrees.
+    CoPaper,
+    /// Road networks (`roadNet-*`, `italy_osm`): near-planar grids.
+    Road,
+    /// Delaunay triangulations (`delaunay_n*`): bounded-degree meshes with
+    /// perfect matchings.
+    Delaunay,
+    /// Huge near-perfectly-matched meshes (`hugetrace-*`, `hugebubbles-*`):
+    /// tiny deficiency, very long augmenting paths.
+    HugeMesh,
+    /// Square matrices with a known perfect matching and random fill
+    /// (`Hamrle3`): planted permutation plus noise.
+    PlantedPerfect,
+    /// Large rectangular combinatorial matrices (`GL7d19`): uniform random
+    /// with a row/column imbalance.
+    RectangularUniform,
+}
+
+/// How much the paper-scale instance is shrunk.
+///
+/// The divisor is applied to the paper's row count; the edge factor
+/// (edges/row) of the original graph is preserved, so density and degree
+/// distribution stay faithful while the vertex count becomes laptop-sized.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~1/2048 of paper size (minimum 256 rows): unit/property tests.
+    Tiny,
+    /// ~1/256 of paper size (minimum 1024 rows): default for figures/tables.
+    Small,
+    /// ~1/64 of paper size: slower, closer-to-paper runs.
+    Medium,
+    /// ~1/16 of paper size: stress runs.
+    Large,
+}
+
+impl Scale {
+    /// Divisor applied to the paper's row count.
+    pub fn divisor(self) -> usize {
+        match self {
+            Scale::Tiny => 2048,
+            Scale::Small => 256,
+            Scale::Medium => 64,
+            Scale::Large => 16,
+        }
+    }
+
+    /// Minimum number of rows an instance is allowed to shrink to.
+    pub fn min_rows(self) -> usize {
+        match self {
+            Scale::Tiny => 256,
+            Scale::Small => 1024,
+            Scale::Medium => 4096,
+            Scale::Large => 8192,
+        }
+    }
+}
+
+/// Runtime (seconds) reported in Table I of the paper for one instance.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PaperRuntimes {
+    /// G-PR (the paper's contribution, (adaptive, 0.7), with shrinking).
+    pub g_pr: f64,
+    /// G-HKDW (GPU Hopcroft–Karp variant).
+    pub g_hkdw: f64,
+    /// P-DBFS (multicore, 8 threads).
+    pub p_dbfs: f64,
+    /// Sequential push-relabel.
+    pub pr: f64,
+}
+
+/// One entry of the paper's Table I plus the generator mapping.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// 1-based instance id, matching the x-axis of Figure 4.
+    pub id: u32,
+    /// Name of the original UFL matrix.
+    pub name: &'static str,
+    /// Structural family / generator used for the stand-in.
+    pub family: Family,
+    /// Paper: number of rows.
+    pub paper_rows: usize,
+    /// Paper: number of columns.
+    pub paper_cols: usize,
+    /// Paper: number of edges (nonzeros).
+    pub paper_edges: usize,
+    /// Paper: cardinality of the cheap initial matching (IM).
+    pub paper_initial_matching: usize,
+    /// Paper: maximum matching cardinality (MM).
+    pub paper_maximum_matching: usize,
+    /// Paper: Table I runtimes in seconds.
+    pub paper_runtimes: PaperRuntimes,
+}
+
+impl InstanceSpec {
+    /// Edge factor (average row degree) of the original matrix.
+    pub fn edge_factor(&self) -> usize {
+        (self.paper_edges / self.paper_rows).max(1)
+    }
+
+    /// Paper-reported speedup of G-PR over sequential PR.
+    pub fn paper_speedup_gpr(&self) -> f64 {
+        self.paper_runtimes.pr / self.paper_runtimes.g_pr
+    }
+
+    /// Number of rows of the scaled stand-in.
+    pub fn scaled_rows(&self, scale: Scale) -> usize {
+        (self.paper_rows / scale.divisor()).max(scale.min_rows())
+    }
+
+    /// Generates the scaled stand-in graph for this instance.
+    ///
+    /// Deterministic: the seed is derived from the instance id, so repeated
+    /// calls (and different processes) build identical graphs.
+    pub fn generate(&self, scale: Scale) -> Result<BipartiteCsr> {
+        let rows = self.scaled_rows(scale);
+        let seed = 0xC2050_u64 * 31 + self.id as u64;
+        let ef = self.edge_factor();
+        match self.family {
+            Family::WebLike => {
+                let log2 = (rows as f64).log2().round().max(8.0) as u32;
+                gen::rmat(RmatParams::web_like(log2, ef.max(3)), seed)
+            }
+            Family::Social => {
+                let log2 = (rows as f64).log2().round().max(8.0) as u32;
+                gen::rmat(RmatParams::graph500(log2, ef.max(4)), seed)
+            }
+            Family::CoPaper => {
+                gen::power_law(rows, rows, rows * ef.max(8), 2.1, seed)
+            }
+            Family::Road => {
+                // rows ≈ total/2 where total = width * height
+                let side = ((2 * rows) as f64).sqrt().ceil() as usize;
+                gen::road_network(side.max(4), side.max(4), 0.08, seed)
+            }
+            Family::Delaunay => {
+                let side = ((2 * rows) as f64).sqrt().ceil() as usize;
+                gen::delaunay_like(side.max(4), side.max(4), seed)
+            }
+            Family::HugeMesh => {
+                let girth = 8usize;
+                let length = (2 * rows / girth).max(8);
+                gen::near_perfect_mesh(length, girth, seed)
+            }
+            Family::PlantedPerfect => gen::planted_perfect(rows, rows * ef.max(2), seed),
+            Family::RectangularUniform => {
+                let cols = rows * self.paper_cols / self.paper_rows.max(1);
+                gen::uniform_random(rows, cols.max(rows), rows * ef.max(4), seed)
+            }
+        }
+    }
+}
+
+/// The full 28-instance suite in the order of Table I (increasing row count).
+pub fn paper_suite() -> Vec<InstanceSpec> {
+    use Family::*;
+    let spec = |id,
+                name,
+                family,
+                paper_rows,
+                paper_cols,
+                paper_edges,
+                im,
+                mm,
+                g_pr,
+                g_hkdw,
+                p_dbfs,
+                pr| InstanceSpec {
+        id,
+        name,
+        family,
+        paper_rows,
+        paper_cols,
+        paper_edges,
+        paper_initial_matching: im,
+        paper_maximum_matching: mm,
+        paper_runtimes: PaperRuntimes { g_pr, g_hkdw, p_dbfs, pr },
+    };
+    vec![
+        spec(1, "amazon0505", WebLike, 410_236, 410_236, 3_356_824, 332_972, 395_397, 0.09, 0.18, 22.70, 0.52),
+        spec(2, "coPapersDBLP", CoPaper, 540_486, 540_486, 15_245_729, 510_992, 540_226, 0.62, 0.42, 6.27, 0.59),
+        spec(3, "amazon-2008", WebLike, 735_323, 735_323, 5_158_388, 587_877, 641_379, 0.12, 0.11, 0.18, 0.93),
+        spec(4, "flickr", Social, 820_878, 820_878, 9_837_214, 285_241, 367_147, 0.13, 0.22, 0.35, 0.99),
+        spec(5, "eu-2005", WebLike, 862_664, 862_664, 19_235_140, 642_027, 652_328, 0.40, 1.54, 0.94, 0.80),
+        spec(6, "delaunay_n20", Delaunay, 1_048_576, 1_048_576, 3_145_686, 993_174, 1_048_576, 0.06, 0.04, 0.09, 0.32),
+        spec(7, "kron_g500-logn20", Social, 1_048_576, 1_048_576, 44_620_272, 431_854, 513_334, 0.38, 0.60, 8.19, 1.24),
+        spec(8, "roadNet-PA", Road, 1_090_920, 1_090_920, 1_541_898, 916_444, 1_059_398, 0.33, 0.14, 0.29, 0.59),
+        spec(9, "in-2004", WebLike, 1_382_908, 1_382_908, 16_917_053, 781_063, 804_245, 0.58, 1.44, 2.16, 0.56),
+        spec(10, "roadNet-TX", Road, 1_393_383, 1_393_383, 1_921_660, 1_158_420, 1_342_440, 0.45, 0.14, 0.33, 0.69),
+        spec(11, "Hamrle3", PlantedPerfect, 1_447_360, 1_447_360, 5_514_242, 1_211_049, 1_447_360, 0.94, 1.36, 2.70, 0.56),
+        spec(12, "as-Skitter", Social, 1_696_415, 1_696_415, 11_095_298, 891_280, 1_035_521, 0.34, 0.49, 1.89, 1.13),
+        spec(13, "GL7d19", RectangularUniform, 1_911_130, 1_955_309, 37_322_725, 1_904_144, 1_911_130, 0.24, 0.58, 0.38, 1.38),
+        spec(14, "roadNet-CA", Road, 1_971_281, 1_971_281, 2_766_607, 1_668_268, 1_913_589, 0.68, 0.34, 0.53, 1.55),
+        spec(15, "delaunay_n21", Delaunay, 2_097_152, 2_097_152, 6_291_408, 1_987_326, 2_097_152, 0.18, 0.13, 0.21, 1.06),
+        spec(16, "kron_g500-logn21", Social, 2_097_152, 2_097_152, 91_042_010, 812_883, 964_679, 0.68, 0.99, 1.50, 2.77),
+        spec(17, "wikipedia-20070206", Social, 3_566_907, 3_566_907, 45_030_389, 1_623_931, 1_992_408, 0.62, 1.09, 5.24, 3.11),
+        spec(18, "patents", WebLike, 3_774_768, 3_774_768, 14_970_767, 1_892_820, 2_011_083, 0.54, 0.88, 0.84, 3.65),
+        spec(19, "com-livejournal", Social, 3_997_962, 3_997_962, 34_681_189, 2_577_642, 3_608_272, 2.08, 4.58, 22.46, 9.67),
+        spec(20, "hugetrace-00000", HugeMesh, 4_588_484, 4_588_484, 6_879_133, 4_581_148, 4_588_484, 2.71, 1.96, 0.83, 0.84),
+        spec(21, "soc-LiveJournal1", Social, 4_847_571, 4_847_571, 68_993_773, 2_831_783, 3_835_002, 1.35, 3.32, 14.35, 12.66),
+        spec(22, "ljournal-2008", Social, 5_363_260, 5_363_260, 79_023_142, 3_941_073, 4_355_699, 1.54, 2.37, 10.30, 10.01),
+        spec(23, "italy_osm", Road, 6_686_493, 6_686_493, 7_013_978, 6_438_492, 6_644_390, 5.46, 5.86, 1.20, 6.84),
+        spec(24, "delaunay_n23", Delaunay, 8_388_608, 8_388_608, 25_165_784, 7_950_070, 8_388_608, 0.81, 0.96, 1.26, 8.86),
+        spec(25, "wb-edu", WebLike, 9_845_725, 9_845_725, 57_156_537, 4_810_825, 5_000_334, 2.00, 33.82, 8.61, 3.94),
+        spec(26, "hugetrace-00020", HugeMesh, 16_002_413, 16_002_413, 23_998_813, 15_535_760, 16_002_413, 14.19, 7.90, 393.13, 28.69),
+        spec(27, "delaunay_n24", Delaunay, 16_777_216, 16_777_216, 50_331_601, 15_892_194, 16_777_216, 1.83, 1.98, 2.41, 23.01),
+        spec(28, "hugebubbles-00000", HugeMesh, 18_318_143, 18_318_143, 27_470_081, 18_303_614, 18_318_143, 13.65, 13.16, 3.55, 13.51),
+    ]
+}
+
+/// A reduced suite (one representative per family) for quick runs and tests.
+pub fn mini_suite() -> Vec<InstanceSpec> {
+    let suite = paper_suite();
+    let picks = [1u32, 2, 6, 7, 8, 11, 13, 20];
+    suite.into_iter().filter(|s| picks.contains(&s.id)).collect()
+}
+
+/// Looks up an instance by its Table I name.
+pub fn by_name(name: &str) -> Option<InstanceSpec> {
+    paper_suite().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::cheap_matching;
+
+    #[test]
+    fn suite_matches_table_1_shape() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 28);
+        // ids are 1..=28 in order, rows non-decreasing (Table I ordering)
+        for (i, s) in suite.iter().enumerate() {
+            assert_eq!(s.id as usize, i + 1);
+        }
+        for w in suite.windows(2) {
+            assert!(w[0].paper_rows <= w[1].paper_rows);
+        }
+        // paper geometric means (bottom row of Table I): 0.70, 0.92, 1.99, 2.15
+        let gm = |f: &dyn Fn(&InstanceSpec) -> f64| {
+            let v: Vec<f64> = suite.iter().map(f).collect();
+            crate::stats::geometric_mean(&v)
+        };
+        assert!((gm(&|s| s.paper_runtimes.g_pr) - 0.70).abs() < 0.02);
+        assert!((gm(&|s| s.paper_runtimes.g_hkdw) - 0.92).abs() < 0.02);
+        assert!((gm(&|s| s.paper_runtimes.p_dbfs) - 1.99).abs() < 0.03);
+        assert!((gm(&|s| s.paper_runtimes.pr) - 2.15).abs() < 0.03);
+    }
+
+    #[test]
+    fn paper_speedups_match_reported_extremes() {
+        let suite = paper_suite();
+        let speedups: Vec<f64> = suite.iter().map(|s| s.paper_speedup_gpr()).collect();
+        let max = speedups.iter().cloned().fold(f64::MIN, f64::max);
+        let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
+        // "The maximum speedup achieved is on delaunay n24 as 12.60, while the
+        //  minimum speedup is obtained as 0.31 on hugetrace-00000"
+        assert!((max - 12.60).abs() < 0.05, "max speedup {max}");
+        assert!((min - 0.31).abs() < 0.01, "min speedup {min}");
+        let d24 = by_name("delaunay_n24").unwrap();
+        assert!((d24.paper_speedup_gpr() - 12.57).abs() < 0.1);
+        // "averaging 3.05" — the paper's average is the ratio of geometric
+        // means (2.15 / 0.70 ≈ 3.07), not the arithmetic mean of the ratios.
+        let avg = crate::stats::geometric_mean(&speedups);
+        assert!((avg - 3.05).abs() < 0.1, "avg speedup {avg}");
+    }
+
+    #[test]
+    fn every_instance_generates_at_tiny_scale() {
+        for s in paper_suite() {
+            let g = s.generate(Scale::Tiny).unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            g.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(g.num_rows() >= 64, "{} too small: {}", s.name, g.num_rows());
+            assert!(g.num_edges() > 0, "{} has no edges", s.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = by_name("kron_g500-logn20").unwrap();
+        assert_eq!(s.generate(Scale::Tiny).unwrap(), s.generate(Scale::Tiny).unwrap());
+    }
+
+    #[test]
+    fn families_reproduce_structural_contrast() {
+        // The key structural contrast the paper relies on: Kronecker/social
+        // instances have a much larger *relative* deficiency after cheap
+        // matching than mesh/road instances.
+        let kron = by_name("kron_g500-logn20").unwrap().generate(Scale::Tiny).unwrap();
+        let mesh = by_name("hugetrace-00000").unwrap().generate(Scale::Tiny).unwrap();
+        let rel_def = |g: &BipartiteCsr| {
+            let im = cheap_matching(g).cardinality() as f64;
+            let mm = crate::verify::maximum_matching_cardinality(g) as f64;
+            1.0 - im / mm
+        };
+        let kron_def = rel_def(&kron);
+        let mesh_def = rel_def(&mesh);
+        assert!(
+            kron_def > mesh_def,
+            "expected kron deficiency {kron_def} > mesh deficiency {mesh_def}"
+        );
+    }
+
+    #[test]
+    fn scaled_rows_respects_divisor_and_minimum() {
+        let s = by_name("amazon0505").unwrap();
+        assert_eq!(s.scaled_rows(Scale::Small), (410_236 / 256).max(1024));
+        assert_eq!(s.scaled_rows(Scale::Tiny), 256.max(410_236 / 2048));
+        let huge = by_name("hugebubbles-00000").unwrap();
+        assert!(huge.scaled_rows(Scale::Small) > s.scaled_rows(Scale::Small));
+    }
+
+    #[test]
+    fn mini_suite_is_a_subset_with_one_per_family() {
+        let mini = mini_suite();
+        assert!(mini.len() >= 6);
+        let full: Vec<u32> = paper_suite().iter().map(|s| s.id).collect();
+        for s in &mini {
+            assert!(full.contains(&s.id));
+        }
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("eu-2005").is_some());
+        assert!(by_name("not-a-graph").is_none());
+    }
+
+    #[test]
+    fn edge_factor_reasonable() {
+        assert_eq!(by_name("kron_g500-logn21").unwrap().edge_factor(), 43);
+        assert_eq!(by_name("roadNet-PA").unwrap().edge_factor(), 1);
+    }
+}

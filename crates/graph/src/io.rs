@@ -1,0 +1,290 @@
+//! Matrix Market (`.mtx`) reading and writing.
+//!
+//! The paper's instances come from the UFL (SuiteSparse) collection, which is
+//! distributed in Matrix Market coordinate format.  This module lets users
+//! run the suite on the real matrices when they have them on disk; the
+//! built-in experiments use the synthetic stand-ins from [`crate::instances`]
+//! instead.
+//!
+//! Supported features of the format:
+//!
+//! * `matrix coordinate` objects with `pattern`, `real`, `integer`, or
+//!   `complex` fields (values are discarded — only the sparsity pattern
+//!   matters for matching);
+//! * `general`, `symmetric`, and `skew-symmetric` symmetry (symmetric entries
+//!   are mirrored);
+//! * comment lines (`%`) and blank lines anywhere after the header.
+
+use crate::{BipartiteCsr, GraphBuilder, GraphError, Result, VertexId};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// How a Matrix Market file stores symmetry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a bipartite graph from a Matrix Market file on disk.
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<BipartiteCsr> {
+    let file = std::fs::File::open(path)?;
+    read_matrix_market(BufReader::new(file))
+}
+
+/// Reads a bipartite graph from any buffered reader containing Matrix Market
+/// data.  Rows of the matrix become row vertices, columns become column
+/// vertices, and every stored entry becomes an edge.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<BipartiteCsr> {
+    let mut lines = reader.lines();
+
+    // ---- header line ----
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => return Err(GraphError::MatrixMarket("empty file".into())),
+        }
+    };
+    let header_lc = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = header_lc.split_whitespace().collect();
+    if tokens.len() < 4 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(GraphError::MatrixMarket(format!("bad header line: {header}")));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(GraphError::MatrixMarket(format!(
+            "only 'coordinate' matrices are supported, got '{}'",
+            tokens[2]
+        )));
+    }
+    let field = tokens[3];
+    if !matches!(field, "pattern" | "real" | "integer" | "complex") {
+        return Err(GraphError::MatrixMarket(format!("unsupported field type '{field}'")));
+    }
+    let symmetry = match tokens.get(4).copied().unwrap_or("general") {
+        "general" => Symmetry::General,
+        "symmetric" | "hermitian" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => {
+            return Err(GraphError::MatrixMarket(format!("unsupported symmetry '{other}'")))
+        }
+    };
+
+    // ---- size line ----
+    let size_line = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('%') {
+                    continue;
+                }
+                break line;
+            }
+            None => return Err(GraphError::MatrixMarket("missing size line".into())),
+        }
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(GraphError::MatrixMarket(format!("bad size line: {size_line}")));
+    }
+    let parse_dim = |s: &str| -> Result<usize> {
+        s.parse::<usize>()
+            .map_err(|_| GraphError::MatrixMarket(format!("bad integer '{s}' in size line")))
+    };
+    let num_rows = parse_dim(dims[0])?;
+    let num_cols = parse_dim(dims[1])?;
+    let declared_entries = parse_dim(dims[2])?;
+
+    let mut builder = GraphBuilder::with_capacity(
+        num_rows,
+        num_cols,
+        if symmetry == Symmetry::General { declared_entries } else { 2 * declared_entries },
+    );
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| GraphError::MatrixMarket(format!("bad entry line: {trimmed}")))?
+            .parse()
+            .map_err(|_| GraphError::MatrixMarket(format!("bad row index in: {trimmed}")))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| GraphError::MatrixMarket(format!("bad entry line: {trimmed}")))?
+            .parse()
+            .map_err(|_| GraphError::MatrixMarket(format!("bad column index in: {trimmed}")))?;
+        if r == 0 || c == 0 {
+            return Err(GraphError::MatrixMarket(
+                "matrix market indices are 1-based; found a 0 index".into(),
+            ));
+        }
+        let (r, c) = (r - 1, c - 1);
+        if r >= num_rows {
+            return Err(GraphError::RowOutOfBounds { row: r as VertexId, num_rows });
+        }
+        if c >= num_cols {
+            return Err(GraphError::ColOutOfBounds { col: c as VertexId, num_cols });
+        }
+        builder.add_edge(r as VertexId, c as VertexId)?;
+        if symmetry != Symmetry::General && r != c {
+            // mirrored entry: (c, r) — valid because symmetric matrices are square
+            if c >= num_rows || r >= num_cols {
+                return Err(GraphError::MatrixMarket(
+                    "symmetric matrix is not square".into(),
+                ));
+            }
+            builder.add_edge(c as VertexId, r as VertexId)?;
+        }
+        seen += 1;
+    }
+    if seen != declared_entries {
+        return Err(GraphError::MatrixMarket(format!(
+            "declared {declared_entries} entries but found {seen}"
+        )));
+    }
+    Ok(builder.build())
+}
+
+/// Writes a graph as a `pattern general` Matrix Market file.
+pub fn write_matrix_market<W: Write>(graph: &BipartiteCsr, mut writer: W) -> Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate pattern general")?;
+    writeln!(writer, "% written by gpm-graph")?;
+    writeln!(writer, "{} {} {}", graph.num_rows(), graph.num_cols(), graph.num_edges())?;
+    for (r, c) in graph.edges() {
+        writeln!(writer, "{} {}", r + 1, c + 1)?;
+    }
+    Ok(())
+}
+
+/// Writes a graph to a `.mtx` file on disk.
+pub fn write_matrix_market_file<P: AsRef<Path>>(graph: &BipartiteCsr, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_matrix_market(graph, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SMALL_PATTERN: &str = "%%MatrixMarket matrix coordinate pattern general\n\
+        % a comment\n\
+        3 4 5\n\
+        1 1\n\
+        1 3\n\
+        2 2\n\
+        3 2\n\
+        3 4\n";
+
+    #[test]
+    fn reads_pattern_general() {
+        let g = read_matrix_market(Cursor::new(SMALL_PATTERN)).unwrap();
+        assert_eq!(g.num_rows(), 3);
+        assert_eq!(g.num_cols(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.has_edge(0, 0));
+        assert!(g.has_edge(2, 3));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn reads_real_values_discarding_them() {
+        let data = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 3.5\n2 2 -1.0e3\n";
+        let g = read_matrix_market(Cursor::new(data)).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 0));
+        assert!(g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn reads_symmetric_mirroring_entries() {
+        let data = "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 3\n2 1\n3 1\n3 3\n";
+        let g = read_matrix_market(Cursor::new(data)).unwrap();
+        // (2,1),(1,2),(3,1),(1,3),(3,3) → 5 edges
+        assert_eq!(g.num_edges(), 5);
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 0));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(read_matrix_market(Cursor::new("")).is_err());
+        assert!(read_matrix_market(Cursor::new("%%MatrixMarket tensor coordinate real\n")).is_err());
+        assert!(read_matrix_market(Cursor::new("%%MatrixMarket matrix array real general\n1 1\n1.0\n")).is_err());
+        assert!(read_matrix_market(Cursor::new("%%MatrixMarket matrix coordinate funky general\n1 1 0\n")).is_err());
+        assert!(read_matrix_market(Cursor::new(
+            "%%MatrixMarket matrix coordinate pattern weird\n1 1 0\n"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        // 0-based index
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        assert!(read_matrix_market(Cursor::new(data)).is_err());
+        // out-of-range row
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(read_matrix_market(Cursor::new(data)).is_err());
+        // garbage index
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\nx 1\n";
+        assert!(read_matrix_market(Cursor::new(data)).is_err());
+        // wrong entry count
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 1\n2 2\n";
+        assert!(read_matrix_market(Cursor::new(data)).is_err());
+        // missing size line
+        let data = "%%MatrixMarket matrix coordinate pattern general\n";
+        assert!(read_matrix_market(Cursor::new(data)).is_err());
+        // bad size line
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2\n";
+        assert!(read_matrix_market(Cursor::new(data)).is_err());
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let g = crate::gen::uniform_random(20, 30, 100, 77).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let g2 = read_matrix_market(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("gpm_graph_io_roundtrip_test.mtx");
+        let g = crate::gen::planted_perfect(16, 32, 3).unwrap();
+        write_matrix_market_file(&g, &path).unwrap();
+        let g2 = read_matrix_market_file(&path).unwrap();
+        assert_eq!(g, g2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = read_matrix_market_file("/nonexistent/definitely/not/here.mtx").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+
+    #[test]
+    fn header_case_insensitive_and_blank_lines_ok() {
+        let data = "\n%%matrixmarket MATRIX coordinate PATTERN general\n% c\n\n2 2 1\n\n1 2\n";
+        let g = read_matrix_market(Cursor::new(data)).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(0, 1));
+    }
+}

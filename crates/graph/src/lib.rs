@@ -1,0 +1,143 @@
+//! # gpm-graph — bipartite graph substrate
+//!
+//! This crate provides every graph-side building block used by the
+//! push-relabel GPU matching reproduction (Deveci, Kaya, Uçar, Çatalyürek,
+//! *"A Push-Relabel-Based Maximum Cardinality Bipartite Matching Algorithm on
+//! GPUs"*, ICPP 2013):
+//!
+//! * [`csr::BipartiteCsr`] — compressed sparse row storage of a bipartite
+//!   graph in **both** orientations (rows → columns and columns → rows), the
+//!   layout every matching kernel in the workspace traverses.
+//! * [`builder::GraphBuilder`] — incremental edge-list construction with
+//!   de-duplication and validation.
+//! * [`io`] — Matrix Market (`.mtx`) reading and writing so the suite can run
+//!   on real SuiteSparse/UFL matrices when they are available.
+//! * [`gen`] — synthetic workload generators covering the structural families
+//!   of the paper's 28-instance test set (uniform random, Kronecker/RMAT
+//!   power-law, road-like grids, Delaunay-like meshes, near-perfect meshes,
+//!   and planted-perfect-matching graphs).
+//! * [`instances`] — the scaled stand-in suite for the paper's Table I.
+//! * [`matching::Matching`] — the mutual `µ(·)` representation used by all
+//!   algorithms, with invariant checks.
+//! * [`verify`] — independent maximality / maximum-cardinality certificates
+//!   (augmenting-path search and a König-style vertex-cover witness) used as
+//!   oracles by the test suites of every other crate.
+//! * [`heuristics`] — the *cheap matching* greedy initializer the paper uses
+//!   for all algorithms, plus Karp–Sipser.
+//!
+//! The crate is deliberately free of any parallelism; it is the shared,
+//! deterministic foundation under both the CPU baselines (`gpm-cpu`) and the
+//! virtual-GPU algorithms (`gpm-core`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod heuristics;
+pub mod instances;
+pub mod io;
+pub mod matching;
+pub mod stats;
+pub mod verify;
+
+pub use builder::GraphBuilder;
+pub use csr::BipartiteCsr;
+pub use matching::{Matching, UNMATCHED};
+
+/// Vertex index type used throughout the workspace.
+///
+/// The paper's largest instance (`hugebubbles-00000`) has ~18.3 M rows, well
+/// within `u32`; using 32-bit indices also matches what the CUDA kernels of
+/// the original implementation would ship to the device.
+pub type VertexId = u32;
+
+/// Result alias for fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced while building, loading, or validating bipartite graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a row vertex outside `0..num_rows`.
+    RowOutOfBounds {
+        /// Offending row index.
+        row: VertexId,
+        /// Number of rows in the graph.
+        num_rows: usize,
+    },
+    /// An edge referenced a column vertex outside `0..num_cols`.
+    ColOutOfBounds {
+        /// Offending column index.
+        col: VertexId,
+        /// Number of columns in the graph.
+        num_cols: usize,
+    },
+    /// The CSR arrays are structurally inconsistent.
+    InvalidCsr(String),
+    /// A Matrix Market file could not be parsed.
+    MatrixMarket(String),
+    /// An I/O error occurred while reading or writing a file.
+    Io(String),
+    /// A generator was asked for an impossible configuration.
+    InvalidGenerator(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::RowOutOfBounds { row, num_rows } => {
+                write!(f, "row vertex {row} out of bounds (num_rows = {num_rows})")
+            }
+            GraphError::ColOutOfBounds { col, num_cols } => {
+                write!(f, "column vertex {col} out of bounds (num_cols = {num_cols})")
+            }
+            GraphError::InvalidCsr(msg) => write!(f, "invalid CSR structure: {msg}"),
+            GraphError::MatrixMarket(msg) => write!(f, "matrix market parse error: {msg}"),
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GraphError::InvalidGenerator(msg) => {
+                write!(f, "invalid generator configuration: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_messages_are_informative() {
+        let e = GraphError::RowOutOfBounds { row: 7, num_rows: 5 };
+        assert!(e.to_string().contains("row vertex 7"));
+        assert!(e.to_string().contains("num_rows = 5"));
+
+        let e = GraphError::ColOutOfBounds { col: 9, num_cols: 3 };
+        assert!(e.to_string().contains("column vertex 9"));
+
+        let e = GraphError::InvalidCsr("row_ptr not monotone".into());
+        assert!(e.to_string().contains("row_ptr not monotone"));
+
+        let e = GraphError::MatrixMarket("bad header".into());
+        assert!(e.to_string().contains("bad header"));
+
+        let e = GraphError::InvalidGenerator("zero rows".into());
+        assert!(e.to_string().contains("zero rows"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(e.to_string().contains("nope"));
+    }
+}

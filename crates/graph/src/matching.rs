@@ -1,0 +1,407 @@
+//! Matching representation shared by every algorithm in the workspace.
+//!
+//! The paper stores a single array `µ(·)` over all vertices, with the
+//! conventions (Section III):
+//!
+//! * matched pair: `µ(u) = v` and `µ(v) = u`;
+//! * unmatched row `u`: `µ(u) = −1`;
+//! * inactive (unmatchable) column `v`: `µ(v) = −2`;
+//! * a column may transiently hold `µ(v) = u` even though `µ(u) ≠ v` — the
+//!   benign inconsistency the GPU kernels allow and `FIXMATCHING` repairs.
+//!
+//! [`Matching`] keeps two separate arrays (`row_mate`, `col_mate`) with the
+//! same sentinel conventions, which is how the device buffers are laid out as
+//! well (rows first, then columns, in one `µ` array of length `m + n`).
+
+use crate::{BipartiteCsr, VertexId};
+
+/// Sentinel: vertex is unmatched (the paper's `µ = −1`).
+pub const UNMATCHED: i64 = -1;
+
+/// Sentinel: column vertex has been proven unmatchable / inactive (the
+/// paper's `µ = −2`).
+pub const UNMATCHABLE: i64 = -2;
+
+/// A (partial) matching of a bipartite graph.
+///
+/// Both sides are stored explicitly; `row_mate[r]` is the column matched to
+/// row `r` (or a sentinel), `col_mate[c]` the row matched to column `c` (or a
+/// sentinel).  A matching is *consistent* when the two arrays are mutual
+/// inverses on matched pairs; the GPU algorithms intentionally relax this
+/// during execution and call [`Matching::fix_from_rows`] at the end
+/// (`FIXMATCHING` in the paper).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matching {
+    row_mate: Vec<i64>,
+    col_mate: Vec<i64>,
+}
+
+impl Matching {
+    /// Creates an empty matching for a graph with `num_rows` rows and
+    /// `num_cols` columns.
+    pub fn empty(num_rows: usize, num_cols: usize) -> Self {
+        Self { row_mate: vec![UNMATCHED; num_rows], col_mate: vec![UNMATCHED; num_cols] }
+    }
+
+    /// Creates an empty matching shaped like `graph`.
+    pub fn empty_for(graph: &BipartiteCsr) -> Self {
+        Self::empty(graph.num_rows(), graph.num_cols())
+    }
+
+    /// Builds a matching from raw mate arrays (sentinels as in the paper).
+    ///
+    /// No consistency check is performed; call [`Matching::is_consistent`] or
+    /// [`Matching::fix_from_rows`] if the arrays come from a concurrent run.
+    pub fn from_raw(row_mate: Vec<i64>, col_mate: Vec<i64>) -> Self {
+        Self { row_mate, col_mate }
+    }
+
+    /// Number of row vertices covered by this matching's shape.
+    pub fn num_rows(&self) -> usize {
+        self.row_mate.len()
+    }
+
+    /// Number of column vertices covered by this matching's shape.
+    pub fn num_cols(&self) -> usize {
+        self.col_mate.len()
+    }
+
+    /// The column matched to row `r`, if any.
+    #[inline]
+    pub fn row_mate(&self, r: VertexId) -> Option<VertexId> {
+        let m = self.row_mate[r as usize];
+        (m >= 0).then_some(m as VertexId)
+    }
+
+    /// The row matched to column `c`, if any.
+    #[inline]
+    pub fn col_mate(&self, c: VertexId) -> Option<VertexId> {
+        let m = self.col_mate[c as usize];
+        (m >= 0).then_some(m as VertexId)
+    }
+
+    /// Raw mate value for row `r` (may be a sentinel).
+    #[inline]
+    pub fn row_mate_raw(&self, r: VertexId) -> i64 {
+        self.row_mate[r as usize]
+    }
+
+    /// Raw mate value for column `c` (may be a sentinel).
+    #[inline]
+    pub fn col_mate_raw(&self, c: VertexId) -> i64 {
+        self.col_mate[c as usize]
+    }
+
+    /// Access to the raw row-side mate array.
+    pub fn row_mates(&self) -> &[i64] {
+        &self.row_mate
+    }
+
+    /// Access to the raw column-side mate array.
+    pub fn col_mates(&self) -> &[i64] {
+        &self.col_mate
+    }
+
+    /// `true` if row `r` is matched.
+    #[inline]
+    pub fn is_row_matched(&self, r: VertexId) -> bool {
+        self.row_mate[r as usize] >= 0
+    }
+
+    /// `true` if column `c` is matched (consistently, from the column's view).
+    #[inline]
+    pub fn is_col_matched(&self, c: VertexId) -> bool {
+        self.col_mate[c as usize] >= 0
+    }
+
+    /// `true` if column `c` has been marked unmatchable (`µ = −2`).
+    #[inline]
+    pub fn is_col_unmatchable(&self, c: VertexId) -> bool {
+        self.col_mate[c as usize] == UNMATCHABLE
+    }
+
+    /// Matches row `r` with column `c`, overwriting previous mates of both
+    /// (the previous partners, if any, become unmatched).
+    pub fn match_pair(&mut self, r: VertexId, c: VertexId) {
+        if let Some(old_c) = self.row_mate(r) {
+            self.col_mate[old_c as usize] = UNMATCHED;
+        }
+        if let Some(old_r) = self.col_mate(c) {
+            self.row_mate[old_r as usize] = UNMATCHED;
+        }
+        self.row_mate[r as usize] = c as i64;
+        self.col_mate[c as usize] = r as i64;
+    }
+
+    /// Unmatches row `r` (and its partner, if consistent).
+    pub fn unmatch_row(&mut self, r: VertexId) {
+        if let Some(c) = self.row_mate(r) {
+            if self.col_mate[c as usize] == r as i64 {
+                self.col_mate[c as usize] = UNMATCHED;
+            }
+        }
+        self.row_mate[r as usize] = UNMATCHED;
+    }
+
+    /// Marks column `c` unmatchable (the paper's `µ(v) ← −2`).
+    pub fn mark_col_unmatchable(&mut self, c: VertexId) {
+        self.col_mate[c as usize] = UNMATCHABLE;
+    }
+
+    /// Cardinality of the matching, counted from the row side.
+    ///
+    /// The paper guarantees that after the GPU kernels finish, "the row
+    /// matching will be correct", so the row side is the authoritative count
+    /// even before `FIXMATCHING` runs.
+    pub fn cardinality(&self) -> usize {
+        self.row_mate.iter().filter(|&&m| m >= 0).count()
+    }
+
+    /// Cardinality counted from the column side (only meaningful when the
+    /// matching is consistent).
+    pub fn col_cardinality(&self) -> usize {
+        self.col_mate.iter().filter(|&&m| m >= 0).count()
+    }
+
+    /// Deficiency with respect to the smaller side: `min(m, n) − |M|`.
+    pub fn deficiency_upper_bound(&self) -> usize {
+        self.num_rows().min(self.num_cols()).saturating_sub(self.cardinality())
+    }
+
+    /// `true` when the two mate arrays are mutual inverses and contain no
+    /// out-of-range values.
+    pub fn is_consistent(&self) -> bool {
+        for (r, &c) in self.row_mate.iter().enumerate() {
+            if c >= 0 {
+                if c as usize >= self.col_mate.len() {
+                    return false;
+                }
+                if self.col_mate[c as usize] != r as i64 {
+                    return false;
+                }
+            } else if c != UNMATCHED {
+                // rows never carry the −2 sentinel
+                return false;
+            }
+        }
+        for (c, &r) in self.col_mate.iter().enumerate() {
+            if r >= 0 {
+                if r as usize >= self.row_mate.len() {
+                    return false;
+                }
+                if self.row_mate[r as usize] != c as i64 {
+                    return false;
+                }
+            } else if r != UNMATCHED && r != UNMATCHABLE {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The paper's `FIXMATCHING` kernel: for any column `v` with
+    /// `µ(µ(v)) ≠ v`, reset `µ(v) ← −1`.  The row side is taken as the source
+    /// of truth and the column side rebuilt from it.
+    pub fn fix_from_rows(&mut self) {
+        for c in 0..self.col_mate.len() {
+            let r = self.col_mate[c];
+            if r >= 0 {
+                let r_us = r as usize;
+                if r_us >= self.row_mate.len() || self.row_mate[r_us] != c as i64 {
+                    self.col_mate[c] = UNMATCHED;
+                }
+            }
+        }
+        // Also project rows onto columns so that every row-claimed pair is
+        // visible from the column side.
+        for r in 0..self.row_mate.len() {
+            let c = self.row_mate[r];
+            if c >= 0 {
+                self.col_mate[c as usize] = r as i64;
+            }
+        }
+    }
+
+    /// Checks that every matched pair is an edge of `graph` and that the
+    /// matching is consistent.  Returns a human-readable error otherwise.
+    pub fn validate_against(&self, graph: &BipartiteCsr) -> std::result::Result<(), String> {
+        if self.num_rows() != graph.num_rows() || self.num_cols() != graph.num_cols() {
+            return Err(format!(
+                "matching shape {}x{} does not match graph {}x{}",
+                self.num_rows(),
+                self.num_cols(),
+                graph.num_rows(),
+                graph.num_cols()
+            ));
+        }
+        if !self.is_consistent() {
+            return Err("matching arrays are not mutual inverses".into());
+        }
+        for r in 0..graph.num_rows() as VertexId {
+            if let Some(c) = self.row_mate(r) {
+                if !graph.has_edge(r, c) {
+                    return Err(format!("matched pair ({r}, {c}) is not an edge"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterates over matched `(row, col)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.row_mate.iter().enumerate().filter_map(|(r, &c)| {
+            (c >= 0).then_some((r as VertexId, c as VertexId))
+        })
+    }
+
+    /// Unmatched row vertices.
+    pub fn unmatched_rows(&self) -> Vec<VertexId> {
+        self.row_mate
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &c)| (c < 0).then_some(r as VertexId))
+            .collect()
+    }
+
+    /// Unmatched column vertices (unmatchable ones excluded when
+    /// `include_unmatchable` is false).
+    pub fn unmatched_cols(&self, include_unmatchable: bool) -> Vec<VertexId> {
+        self.col_mate
+            .iter()
+            .enumerate()
+            .filter_map(|(c, &r)| {
+                let unmatched = r == UNMATCHED || (include_unmatchable && r == UNMATCHABLE);
+                unmatched.then_some(c as VertexId)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matching_has_zero_cardinality() {
+        let m = Matching::empty(3, 4);
+        assert_eq!(m.cardinality(), 0);
+        assert_eq!(m.col_cardinality(), 0);
+        assert!(m.is_consistent());
+        assert_eq!(m.unmatched_rows(), vec![0, 1, 2]);
+        assert_eq!(m.unmatched_cols(false), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn match_pair_updates_both_sides() {
+        let mut m = Matching::empty(2, 2);
+        m.match_pair(0, 1);
+        assert_eq!(m.row_mate(0), Some(1));
+        assert_eq!(m.col_mate(1), Some(0));
+        assert!(m.is_row_matched(0));
+        assert!(m.is_col_matched(1));
+        assert_eq!(m.cardinality(), 1);
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn rematching_releases_old_partners() {
+        let mut m = Matching::empty(2, 2);
+        m.match_pair(0, 0);
+        m.match_pair(1, 0); // steals column 0 from row 0
+        assert_eq!(m.row_mate(0), None);
+        assert_eq!(m.row_mate(1), Some(0));
+        assert_eq!(m.col_mate(0), Some(1));
+        assert!(m.is_consistent());
+        assert_eq!(m.cardinality(), 1);
+
+        m.match_pair(1, 1); // row 1 moves to column 1, freeing column 0
+        assert_eq!(m.col_mate(0), None);
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn unmatch_row_clears_pair() {
+        let mut m = Matching::empty(2, 2);
+        m.match_pair(0, 1);
+        m.unmatch_row(0);
+        assert_eq!(m.cardinality(), 0);
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn unmatchable_column_sentinel() {
+        let mut m = Matching::empty(1, 2);
+        m.mark_col_unmatchable(1);
+        assert!(m.is_col_unmatchable(1));
+        assert!(!m.is_col_matched(1));
+        assert!(m.is_consistent());
+        assert_eq!(m.unmatched_cols(false), vec![0]);
+        assert_eq!(m.unmatched_cols(true), vec![0, 1]);
+    }
+
+    #[test]
+    fn fix_from_rows_repairs_inconsistencies() {
+        // Simulate the benign race the paper allows: both columns claim row 0,
+        // the row agrees with column 1 only.
+        let row_mate = vec![1i64];
+        let col_mate = vec![0i64, 0i64];
+        let mut m = Matching::from_raw(row_mate, col_mate);
+        assert!(!m.is_consistent());
+        m.fix_from_rows();
+        assert!(m.is_consistent());
+        assert_eq!(m.row_mate(0), Some(1));
+        assert_eq!(m.col_mate(0), None);
+        assert_eq!(m.col_mate(1), Some(0));
+        assert_eq!(m.cardinality(), 1);
+    }
+
+    #[test]
+    fn fix_from_rows_preserves_unmatchable_sentinel() {
+        let row_mate = vec![UNMATCHED];
+        let col_mate = vec![UNMATCHABLE];
+        let mut m = Matching::from_raw(row_mate, col_mate);
+        m.fix_from_rows();
+        assert!(m.is_col_unmatchable(0));
+        assert_eq!(m.cardinality(), 0);
+    }
+
+    #[test]
+    fn validate_against_rejects_non_edges_and_shape_mismatch() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let mut m = Matching::empty_for(&g);
+        m.match_pair(0, 1); // not an edge
+        assert!(m.validate_against(&g).unwrap_err().contains("not an edge"));
+
+        let m2 = Matching::empty(3, 2);
+        assert!(m2.validate_against(&g).unwrap_err().contains("shape"));
+
+        let mut ok = Matching::empty_for(&g);
+        ok.match_pair(0, 0);
+        ok.match_pair(1, 1);
+        ok.validate_against(&g).unwrap();
+    }
+
+    #[test]
+    fn pairs_iterator_lists_matched_edges() {
+        let mut m = Matching::empty(3, 3);
+        m.match_pair(0, 2);
+        m.match_pair(2, 0);
+        let mut pairs: Vec<_> = m.pairs().collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn deficiency_upper_bound_uses_smaller_side() {
+        let mut m = Matching::empty(3, 5);
+        assert_eq!(m.deficiency_upper_bound(), 3);
+        m.match_pair(0, 0);
+        assert_eq!(m.deficiency_upper_bound(), 2);
+    }
+
+    #[test]
+    fn inconsistent_out_of_range_mate_detected() {
+        let m = Matching::from_raw(vec![5], vec![UNMATCHED, UNMATCHED]);
+        assert!(!m.is_consistent());
+    }
+}

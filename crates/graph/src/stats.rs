@@ -1,0 +1,164 @@
+//! Structural statistics of bipartite graphs.
+//!
+//! The instance suite ([`crate::instances`]) uses these summaries to check
+//! that each synthetic stand-in reproduces the structural features (degree
+//! distribution, deficiency after cheap matching, path lengths) that drive
+//! the behaviour differences between the paper's graph families.
+
+use crate::{heuristics, verify, BipartiteCsr};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a bipartite graph relevant to matching behaviour.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of row vertices.
+    pub num_rows: usize,
+    /// Number of column vertices.
+    pub num_cols: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Average row degree.
+    pub avg_row_degree: f64,
+    /// Maximum row degree.
+    pub max_row_degree: usize,
+    /// Maximum column degree.
+    pub max_col_degree: usize,
+    /// Number of isolated rows.
+    pub isolated_rows: usize,
+    /// Number of isolated columns.
+    pub isolated_cols: usize,
+    /// Cardinality of the cheap (greedy) initial matching — the paper's "IM".
+    pub initial_matching: usize,
+    /// Cardinality of a maximum matching — the paper's "MM".
+    pub maximum_matching: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics.  The maximum matching is obtained with the
+    /// reference oracle, so this is intended for small/medium instances and
+    /// for tests; large-instance pipelines compute MM with the fast solvers
+    /// instead.
+    pub fn compute(g: &BipartiteCsr) -> Self {
+        Self::compute_with_mm(g, verify::maximum_matching_cardinality(g))
+    }
+
+    /// Computes all statistics, using a pre-computed maximum-matching
+    /// cardinality (e.g. obtained from Hopcroft–Karp on large instances).
+    pub fn compute_with_mm(g: &BipartiteCsr, maximum_matching: usize) -> Self {
+        let num_rows = g.num_rows();
+        let num_cols = g.num_cols();
+        let num_edges = g.num_edges();
+        let max_row_degree =
+            (0..num_rows as u32).map(|r| g.row_degree(r)).max().unwrap_or(0);
+        let max_col_degree =
+            (0..num_cols as u32).map(|c| g.col_degree(c)).max().unwrap_or(0);
+        let initial_matching = heuristics::cheap_matching(g).cardinality();
+        Self {
+            num_rows,
+            num_cols,
+            num_edges,
+            avg_row_degree: if num_rows == 0 { 0.0 } else { num_edges as f64 / num_rows as f64 },
+            max_row_degree,
+            max_col_degree,
+            isolated_rows: g.isolated_rows(),
+            isolated_cols: g.isolated_cols(),
+            initial_matching,
+            maximum_matching,
+        }
+    }
+
+    /// Deficiency of the cheap initial matching: `MM − IM`.  This is the
+    /// number of augmenting paths the matching algorithms still have to find,
+    /// the main driver of their runtime.
+    pub fn initial_deficiency(&self) -> usize {
+        self.maximum_matching.saturating_sub(self.initial_matching)
+    }
+
+    /// Fraction of the maximum matching already found by the initializer.
+    pub fn initial_quality(&self) -> f64 {
+        if self.maximum_matching == 0 {
+            1.0
+        } else {
+            self.initial_matching as f64 / self.maximum_matching as f64
+        }
+    }
+}
+
+/// Geometric mean of a slice of positive values, the aggregate the paper uses
+/// for all runtime comparisons.  Returns 0.0 for an empty slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum_ln: f64 = values.iter().map(|&v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (sum_ln / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_on_small_graph() {
+        let g = BipartiteCsr::from_edges(3, 3, &[(0, 0), (0, 1), (1, 1), (2, 2)]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_rows, 3);
+        assert_eq!(s.num_cols, 3);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_row_degree, 2);
+        assert_eq!(s.max_col_degree, 2);
+        assert_eq!(s.isolated_rows, 0);
+        assert_eq!(s.isolated_cols, 0);
+        assert_eq!(s.maximum_matching, 3);
+        assert!(s.initial_matching <= 3);
+        assert!(s.initial_quality() <= 1.0);
+        assert_eq!(s.initial_deficiency(), s.maximum_matching - s.initial_matching);
+    }
+
+    #[test]
+    fn stats_on_empty_graph() {
+        let g = BipartiteCsr::empty(2, 5);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.isolated_rows, 2);
+        assert_eq!(s.isolated_cols, 5);
+        assert_eq!(s.maximum_matching, 0);
+        assert_eq!(s.initial_quality(), 1.0);
+        assert_eq!(s.avg_row_degree, 0.0);
+    }
+
+    #[test]
+    fn stats_clone_and_equality() {
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.clone(), s);
+    }
+
+    #[test]
+    fn geometric_mean_matches_hand_computation() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        // order invariance
+        assert!(
+            (geometric_mean(&[0.5, 2.0, 8.0]) - geometric_mean(&[8.0, 0.5, 2.0])).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn complete_graph_initial_quality_is_one() {
+        let mut b = GraphBuilder::new(4, 4);
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                b.add_edge(r, c).unwrap();
+            }
+        }
+        let s = GraphStats::compute(&b.build());
+        assert_eq!(s.initial_matching, 4);
+        assert_eq!(s.maximum_matching, 4);
+        assert_eq!(s.initial_quality(), 1.0);
+        assert_eq!(s.initial_deficiency(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the graph substrate.
+//!
+//! These exercise the core invariants every downstream crate relies on:
+//! CSR structural validity, Matrix Market round-tripping, matching/oracle
+//! consistency, and heuristic bounds.
+
+use gpm_graph::gen;
+use gpm_graph::heuristics::{cheap_matching, karp_sipser};
+use gpm_graph::io::{read_matrix_market, write_matrix_market};
+use gpm_graph::verify::{
+    is_maximal, is_maximum, is_valid_matching, koenig_cover, maximum_matching_cardinality,
+    reference_maximum_matching,
+};
+use gpm_graph::{BipartiteCsr, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary small bipartite graph given as shape + edge list.
+fn arb_graph() -> impl Strategy<Value = BipartiteCsr> {
+    (1usize..40, 1usize..40).prop_flat_map(|(m, n)| {
+        let edge = (0..m as VertexId, 0..n as VertexId);
+        proptest::collection::vec(edge, 0..200).prop_map(move |edges| {
+            BipartiteCsr::from_edges(m, n, &edges).expect("in-bounds edges")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_always_validates(g in arb_graph()) {
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn edge_iterator_matches_both_orientations(g in arb_graph()) {
+        let from_rows: usize = (0..g.num_rows() as VertexId).map(|r| g.row_degree(r)).sum();
+        let from_cols: usize = (0..g.num_cols() as VertexId).map(|c| g.col_degree(c)).sum();
+        prop_assert_eq!(from_rows, g.num_edges());
+        prop_assert_eq!(from_cols, g.num_edges());
+        for (r, c) in g.edges() {
+            prop_assert!(g.col_neighbors(c).contains(&r));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(g in arb_graph()) {
+        prop_assert_eq!(g.transpose().transpose(), g);
+    }
+
+    #[test]
+    fn matrix_market_round_trip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let g2 = read_matrix_market(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn cheap_matching_is_valid_maximal_and_at_most_maximum(g in arb_graph()) {
+        let m = cheap_matching(&g);
+        prop_assert!(is_valid_matching(&g, &m));
+        prop_assert!(is_maximal(&g, &m));
+        let opt = maximum_matching_cardinality(&g);
+        prop_assert!(m.cardinality() <= opt);
+        // A maximal matching is at least half the maximum.
+        prop_assert!(2 * m.cardinality() >= opt);
+    }
+
+    #[test]
+    fn karp_sipser_is_valid_maximal_and_at_most_maximum(g in arb_graph()) {
+        let m = karp_sipser(&g);
+        prop_assert!(is_valid_matching(&g, &m));
+        prop_assert!(is_maximal(&g, &m));
+        let opt = maximum_matching_cardinality(&g);
+        prop_assert!(m.cardinality() <= opt);
+        prop_assert!(2 * m.cardinality() >= opt);
+    }
+
+    #[test]
+    fn reference_matching_is_maximum_with_koenig_certificate(g in arb_graph()) {
+        let m = reference_maximum_matching(&g);
+        prop_assert!(is_valid_matching(&g, &m));
+        prop_assert!(is_maximum(&g, &m));
+        let cover = koenig_cover(&g, &m);
+        prop_assert!(cover.covers(&g));
+        prop_assert_eq!(cover.size(), m.cardinality());
+    }
+
+    #[test]
+    fn planted_perfect_generator_always_has_perfect_matching(
+        n in 1usize..60,
+        extra in 0usize..120,
+        seed in any::<u64>(),
+    ) {
+        let g = gen::planted_perfect(n, extra, seed).unwrap();
+        prop_assert_eq!(maximum_matching_cardinality(&g), n);
+    }
+
+    #[test]
+    fn uniform_generator_is_valid_and_within_bounds(
+        m in 1usize..50,
+        n in 1usize..50,
+        edges in 0usize..300,
+        seed in any::<u64>(),
+    ) {
+        let g = gen::uniform_random(m, n, edges, seed).unwrap();
+        g.validate().unwrap();
+        prop_assert!(g.num_edges() <= edges);
+        prop_assert!(g.num_edges() <= m * n);
+    }
+
+    #[test]
+    fn builder_dedups_and_preserves_membership(
+        m in 1usize..20,
+        n in 1usize..20,
+        edges in proptest::collection::vec((0u32..20, 0u32..20), 0..100),
+    ) {
+        let in_bounds: Vec<(VertexId, VertexId)> = edges
+            .into_iter()
+            .filter(|&(r, c)| (r as usize) < m && (c as usize) < n)
+            .collect();
+        let mut b = GraphBuilder::new(m, n);
+        b.extend_edges(in_bounds.iter().copied()).unwrap();
+        let g = b.build();
+        for &(r, c) in &in_bounds {
+            prop_assert!(g.has_edge(r, c));
+        }
+        let mut unique = in_bounds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(g.num_edges(), unique.len());
+    }
+}

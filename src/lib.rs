@@ -1,0 +1,17 @@
+//! # gpu-pr-matching — umbrella crate
+//!
+//! Re-exports the public API of the workspace crates.  See the README for a
+//! tour; the individual crates are:
+//!
+//! * [`graph`] (`gpm-graph`) — bipartite graph substrate, generators, I/O,
+//!   verification oracles, initialization heuristics.
+//! * [`gpu`] (`gpm-gpu`) — the virtual SIMT GPU the kernels run on.
+//! * [`cpu`] (`gpm-cpu`) — sequential and multicore baselines (PR, PF+, HK,
+//!   HKDW, P-DBFS).
+//! * [`core`] (`gpm-core`) — the paper's G-PR algorithm family and the
+//!   G-HK/G-HKDW GPU baselines, plus the unified [`core::solver`] front-end.
+
+pub use gpm_core as core;
+pub use gpm_cpu as cpu;
+pub use gpm_gpu as gpu;
+pub use gpm_graph as graph;

@@ -1,0 +1,155 @@
+//! Cross-crate integration tests: the full pipeline from graph construction
+//! (or Matrix Market input) through the unified solver on both virtual-GPU
+//! backends, verified with the independent oracles.
+
+use gpu_pr_matching::core::solver::{paper_comparison_set, solve, solve_with_initial, Algorithm};
+use gpu_pr_matching::core::{GhkVariant, GprVariant, GrStrategy};
+use gpu_pr_matching::cpu;
+use gpu_pr_matching::gpu::VirtualGpu;
+use gpu_pr_matching::graph::heuristics::cheap_matching;
+use gpu_pr_matching::graph::instances::{mini_suite, Scale};
+use gpu_pr_matching::graph::verify::{is_maximum, koenig_cover, maximum_matching_cardinality};
+use gpu_pr_matching::graph::{gen, io, BipartiteCsr, Matching};
+
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::GpuPushRelabel(GprVariant::First, GrStrategy::paper_default()),
+        Algorithm::GpuPushRelabel(GprVariant::ActiveList, GrStrategy::paper_default()),
+        Algorithm::gpr_default(),
+        Algorithm::GpuHopcroftKarp(GhkVariant::Hk),
+        Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw),
+        Algorithm::SequentialPushRelabel(0.5),
+        Algorithm::PothenFan,
+        Algorithm::HopcroftKarp,
+        Algorithm::Hkdw,
+        Algorithm::Pdbfs(4),
+    ]
+}
+
+#[test]
+fn every_algorithm_agrees_on_every_mini_suite_instance() {
+    for spec in mini_suite() {
+        let graph = spec.generate(Scale::Tiny).expect("generator");
+        let initial = cheap_matching(&graph);
+        let reference = cpu::hopcroft_karp(&graph, &initial).matching.cardinality();
+        for alg in all_algorithms() {
+            let report = solve_with_initial(&graph, &initial, alg, None);
+            assert_eq!(
+                report.cardinality, reference,
+                "{} disagrees on {}",
+                report.algorithm, spec.name
+            );
+            assert!(is_maximum(&graph, &report.matching), "{} on {}", report.algorithm, spec.name);
+            report.matching.validate_against(&graph).unwrap();
+        }
+    }
+}
+
+#[test]
+fn koenig_cover_certifies_gpu_results() {
+    let graph = gen::rmat(gen::RmatParams::graph500(9, 6), 17).unwrap();
+    let report = solve(&graph, Algorithm::gpr_default());
+    let cover = koenig_cover(&graph, &report.matching);
+    assert!(cover.covers(&graph));
+    assert_eq!(cover.size(), report.cardinality);
+}
+
+#[test]
+fn matrix_market_round_trip_through_the_solver() {
+    let graph = gen::power_law(400, 380, 2500, 2.2, 5).unwrap();
+    let path = std::env::temp_dir().join("gpm_integration_roundtrip.mtx");
+    io::write_matrix_market_file(&graph, &path).unwrap();
+    let reread = io::read_matrix_market_file(&path).unwrap();
+    assert_eq!(graph, reread);
+    let a = solve(&graph, Algorithm::gpr_default());
+    let b = solve(&reread, Algorithm::HopcroftKarp);
+    assert_eq!(a.cardinality, b.cardinality);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sequential_and_parallel_backends_agree_on_cardinality() {
+    // The matched edge sets may differ between backends (the paper makes the
+    // same observation about racy executions); the cardinality may not.
+    for seed in 0..3u64 {
+        let graph = gen::uniform_random(300, 300, 2000, seed).unwrap();
+        let initial = cheap_matching(&graph);
+        let seq_gpu = VirtualGpu::sequential();
+        let par_gpu = VirtualGpu::parallel();
+        for alg in [Algorithm::gpr_default(), Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw)] {
+            let s = solve_with_initial(&graph, &initial, alg, Some(&seq_gpu));
+            let p = solve_with_initial(&graph, &initial, alg, Some(&par_gpu));
+            assert_eq!(s.cardinality, p.cardinality, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_are_deterministic_on_the_sequential_backend() {
+    let graph = gen::rmat(gen::RmatParams::web_like(9, 4), 23).unwrap();
+    let initial = cheap_matching(&graph);
+    let run = || {
+        let gpu = VirtualGpu::sequential();
+        let report = solve_with_initial(&graph, &initial, Algorithm::gpr_default(), Some(&gpu));
+        (report.cardinality, report.matching.row_mates().to_vec(), gpu.stats().total_launches())
+    };
+    let (card1, mates1, launches1) = run();
+    let (card2, mates2, launches2) = run();
+    assert_eq!(card1, card2);
+    assert_eq!(mates1, mates2);
+    assert_eq!(launches1, launches2);
+}
+
+#[test]
+fn solver_statistics_are_consistent_with_the_strategy() {
+    let graph = gen::rmat(gen::RmatParams::graph500(10, 6), 3).unwrap();
+    let initial = cheap_matching(&graph);
+    let gpu = VirtualGpu::parallel();
+    let report = solve_with_initial(&graph, &initial, Algorithm::gpr_default(), Some(&gpu));
+    let stats = report.device_stats.expect("gpu stats");
+    assert!(stats.launches_of("G-PR-PUSHKRNL") >= 1);
+    assert!(stats.launches_of("G-GR-KRNL") >= 1);
+    assert_eq!(stats.launches_of("FIXMATCHING"), 1);
+    assert!(stats.modelled_time_secs() > 0.0);
+    assert!(stats.wall_time_secs() > 0.0);
+}
+
+#[test]
+fn rectangular_and_degenerate_graphs_through_the_full_api() {
+    // Rectangular (GL7d19-like), empty, and single-edge graphs must all flow
+    // through the public API without panics.
+    let rect = gen::uniform_random(50, 200, 600, 4).unwrap();
+    let expected = maximum_matching_cardinality(&rect);
+    for alg in paper_comparison_set() {
+        assert_eq!(solve(&rect, alg).cardinality, expected);
+    }
+
+    let empty = BipartiteCsr::empty(10, 10);
+    for alg in paper_comparison_set() {
+        assert_eq!(solve(&empty, alg).cardinality, 0);
+    }
+
+    let single = BipartiteCsr::from_edges(1, 1, &[(0, 0)]).unwrap();
+    for alg in paper_comparison_set() {
+        assert_eq!(solve(&single, alg).cardinality, 1);
+    }
+}
+
+#[test]
+fn initial_matching_is_respected_and_never_worsened() {
+    let graph = gen::planted_perfect(300, 1200, 9).unwrap();
+    // A deliberately poor partial matching.
+    let mut initial = Matching::empty_for(&graph);
+    for r in 0..5u32 {
+        for &c in graph.row_neighbors(r).iter().take(1) {
+            if !initial.is_col_matched(c) {
+                initial.match_pair(r, c);
+            }
+        }
+    }
+    let baseline = initial.cardinality();
+    let report = solve_with_initial(&graph, &initial, Algorithm::gpr_default(), None);
+    assert!(report.cardinality >= baseline);
+    assert_eq!(report.cardinality, 300);
+    assert_eq!(report.initial_cardinality, baseline);
+}
