@@ -18,11 +18,9 @@ fn bench_variants(c: &mut Criterion) {
         let instance = prepare_instance(&spec, Scale::Tiny);
         for variant in [GprVariant::First, GprVariant::ActiveList, GprVariant::Shrink] {
             let alg = Algorithm::GpuPushRelabel(variant, GrStrategy::paper_default());
-            group.bench_with_input(
-                BenchmarkId::new(variant.label(), name),
-                &alg,
-                |b, &alg| b.iter(|| measure(&instance, alg, None).seconds),
-            );
+            group.bench_with_input(BenchmarkId::new(variant.label(), name), &alg, |b, &alg| {
+                b.iter(|| measure(&instance, alg, None).seconds)
+            });
         }
     }
     group.finish();

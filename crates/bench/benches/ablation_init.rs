@@ -24,9 +24,7 @@ fn bench_initialization(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(algorithm.label(), init_name),
                 init,
-                |b, init| {
-                    b.iter(|| solve_with_initial(&graph, init, algorithm, None).cardinality)
-                },
+                |b, init| b.iter(|| solve_with_initial(&graph, init, algorithm, None).cardinality),
             );
         }
     }

@@ -16,11 +16,9 @@ fn bench_paper_algorithms(c: &mut Criterion) {
         let spec = by_name(name).expect("known instance");
         let instance = prepare_instance(&spec, Scale::Tiny);
         for alg in paper_algorithms() {
-            group.bench_with_input(
-                BenchmarkId::new(alg.label(), name),
-                &alg,
-                |b, &alg| b.iter(|| measure(&instance, alg, None).seconds),
-            );
+            group.bench_with_input(BenchmarkId::new(alg.label(), name), &alg, |b, &alg| {
+                b.iter(|| measure(&instance, alg, None).seconds)
+            });
         }
     }
     group.finish();

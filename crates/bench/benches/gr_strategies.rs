@@ -16,11 +16,9 @@ fn bench_gr_strategies(c: &mut Criterion) {
     group.sample_size(10);
     for strategy in figure1_strategies() {
         let alg = Algorithm::GpuPushRelabel(GprVariant::Shrink, strategy);
-        group.bench_with_input(
-            BenchmarkId::new("G-PR-Shr", strategy.label()),
-            &alg,
-            |b, &alg| b.iter(|| measure(&instance, alg, None).seconds),
-        );
+        group.bench_with_input(BenchmarkId::new("G-PR-Shr", strategy.label()), &alg, |b, &alg| {
+            b.iter(|| measure(&instance, alg, None).seconds)
+        });
     }
     group.finish();
 }

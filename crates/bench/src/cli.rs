@@ -126,8 +126,8 @@ mod tests {
 
     #[test]
     fn parses_scale_suite_and_json() {
-        let o = parse(args(&["--scale", "tiny", "--suite", "mini", "--json", "/tmp/x.json"]))
-            .unwrap();
+        let o =
+            parse(args(&["--scale", "tiny", "--suite", "mini", "--json", "/tmp/x.json"])).unwrap();
         assert_eq!(o.scale, Scale::Tiny);
         assert!(o.suite.len() < 28);
         assert_eq!(o.json_path.as_deref(), Some("/tmp/x.json"));

@@ -25,13 +25,7 @@ pub fn run_paper_comparison(opts: &Options) -> Vec<Measurement> {
     let algorithms = runner::paper_algorithms();
     let mut measurements = Vec::new();
     for (i, spec) in opts.suite.iter().enumerate() {
-        eprintln!(
-            "[{}/{}] preparing {} ({:?})",
-            i + 1,
-            opts.suite.len(),
-            spec.name,
-            opts.scale
-        );
+        eprintln!("[{}/{}] preparing {} ({:?})", i + 1, opts.suite.len(), spec.name, opts.scale);
         let instance = prepare_instance(spec, opts.scale);
         for &alg in &algorithms {
             let m = measure(&instance, alg, Some(&gpu));
@@ -121,10 +115,7 @@ impl Figure1Result {
         );
         out.push_str(&report::render_table(&headers, &rows));
         let best = self.best();
-        out.push_str(&format!(
-            "\nbest configuration: {} with ({})\n",
-            best.variant, best.strategy
-        ));
+        out.push_str(&format!("\nbest configuration: {} with ({})\n", best.variant, best.strategy));
         out
     }
 }
@@ -278,10 +269,8 @@ pub fn figure4(measurements: &[Measurement]) -> (String, BTreeMap<u32, f64>) {
             speedups.insert(id, pr_secs / gpr_secs);
         }
     }
-    let names: BTreeMap<u32, String> = measurements
-        .iter()
-        .map(|m| (m.instance_id, m.instance_name.clone()))
-        .collect();
+    let names: BTreeMap<u32, String> =
+        measurements.iter().map(|m| (m.instance_id, m.instance_name.clone())).collect();
     let mut out = String::from(
         "Figure 4 — individual speedups of G-PR w.r.t. sequential PR (instances ordered by #rows)\n\n",
     );
@@ -328,10 +317,8 @@ pub fn table1(measurements: &[Measurement], opts: &Options) -> String {
         if per_alg.is_empty() {
             continue;
         }
-        let sample = measurements
-            .iter()
-            .find(|m| m.instance_id == spec.id)
-            .expect("instance measured");
+        let sample =
+            measurements.iter().find(|m| m.instance_id == spec.id).expect("instance measured");
         rows.push(vec![
             spec.id.to_string(),
             spec.name.to_string(),

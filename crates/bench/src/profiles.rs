@@ -32,7 +32,10 @@ pub fn speedup_profile(
         .iter()
         .map(|&x| {
             let hits = speedups.iter().filter(|&&s| s >= x).count();
-            ProfilePoint { x, y: if speedups.is_empty() { 0.0 } else { hits as f64 / speedups.len() as f64 } }
+            ProfilePoint {
+                x,
+                y: if speedups.is_empty() { 0.0 } else { hits as f64 / speedups.len() as f64 },
+            }
         })
         .collect()
 }

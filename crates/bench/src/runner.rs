@@ -30,13 +30,11 @@ pub struct InstanceRun {
 /// Prepares one instance: generates the graph, builds the cheap matching,
 /// and computes the reference maximum with Hopcroft–Karp.
 pub fn prepare_instance(spec: &InstanceSpec, scale: Scale) -> InstanceRun {
-    let graph = spec
-        .generate(scale)
-        .unwrap_or_else(|e| panic!("generating {} failed: {e}", spec.name));
+    let graph =
+        spec.generate(scale).unwrap_or_else(|e| panic!("generating {} failed: {e}", spec.name));
     let initial = cheap_matching(&graph);
     let initial_cardinality = initial.cardinality();
-    let maximum_cardinality =
-        gpm_cpu::hopcroft_karp(&graph, &initial).matching.cardinality();
+    let maximum_cardinality = gpm_cpu::hopcroft_karp(&graph, &initial).matching.cardinality();
     InstanceRun {
         spec: spec.clone(),
         scale,
@@ -75,9 +73,12 @@ pub struct Measurement {
 /// # Panics
 /// Panics if the solver returns a non-maximum matching — a benchmark result
 /// from a wrong answer is worse than no result.
-pub fn measure(instance: &InstanceRun, algorithm: Algorithm, gpu: Option<&VirtualGpu>) -> Measurement {
-    let report =
-        solver::solve_with_initial(&instance.graph, &instance.initial, algorithm, gpu);
+pub fn measure(
+    instance: &InstanceRun,
+    algorithm: Algorithm,
+    gpu: Option<&VirtualGpu>,
+) -> Measurement {
+    let report = solver::solve_with_initial(&instance.graph, &instance.initial, algorithm, gpu);
     assert_eq!(
         report.cardinality, instance.maximum_cardinality,
         "{} returned a non-maximum matching on {} ({} vs {})",
@@ -128,8 +129,7 @@ mod tests {
 
     #[test]
     fn paper_algorithm_labels() {
-        let labels: Vec<String> =
-            paper_algorithms().iter().map(|a| a.label()).collect();
+        let labels: Vec<String> = paper_algorithms().iter().map(|a| a.label()).collect();
         assert_eq!(labels, vec!["G-PR-Shr", "G-HKDW", "P-DBFS", "PR"]);
     }
 }

@@ -140,10 +140,8 @@ pub fn run(
         stats.phases += 1;
 
         // ---- DFS kernel: tentative level-respecting paths ----
-        let free_cols: Vec<i64> = (0..n)
-            .filter(|&v| state.mu_col.get(v) == MU_UNMATCHED)
-            .map(|v| v as i64)
-            .collect();
+        let free_cols: Vec<i64> =
+            (0..n).filter(|&v| state.mu_col.get(v) == MU_UNMATCHED).map(|v| v as i64).collect();
         let max_path = (level as usize + 2).max(2);
         let paths = build_paths_kernel(gpu, graph, &state, &dist_col, &free_cols, max_path);
 
@@ -237,8 +235,7 @@ fn build_paths_kernel(
         let mut stack: Vec<(usize, usize)> = vec![(root as usize, 0)];
         let mut chosen_rows: Vec<i64> = vec![-1];
         let mut out: Vec<(i64, i64)> = Vec::new();
-        loop {
-            let Some(&(c, idx)) = stack.last() else { break };
+        while let Some(&(c, idx)) = stack.last() {
             let nbrs = graph.col_neighbors(c as u32);
             if idx >= nbrs.len() {
                 dead.set(c, true);
@@ -362,8 +359,7 @@ fn dw_sweep(gpu: &VirtualGpu, graph: &BipartiteCsr, state: &DeviceState) -> u64 
         let mut chosen_cols: Vec<i64> = vec![-1];
         let mut out: Vec<(i64, i64)> = Vec::new();
         let mut visited_cols: Vec<usize> = Vec::new();
-        loop {
-            let Some(&(r, idx)) = stack.last() else { break };
+        while let Some(&(r, idx)) = stack.last() {
             if stack.len() > MAX_DEPTH {
                 break;
             }

@@ -307,10 +307,8 @@ fn run_active_list(
     let max_loops = config.effective_max_loops(graph);
 
     // Initially both arrays hold the unmatched column indices.
-    let initially_active: Vec<i64> = (0..n)
-        .filter(|&v| state.mu_col.get(v) == MU_UNMATCHED)
-        .map(|v| v as i64)
-        .collect();
+    let initially_active: Vec<i64> =
+        (0..n).filter(|&v| state.mu_col.get(v) == MU_UNMATCHED).map(|v| v as i64).collect();
     if initially_active.is_empty() {
         stats.loops = 0;
         return;
@@ -344,15 +342,8 @@ fn run_active_list(
             && shrink_pending
             && list_len >= config.shrink_threshold;
         if do_shrink {
-            let (new_ac, new_ap) = shrink_kernel(
-                gpu,
-                state,
-                &a_current,
-                &a_previous,
-                &i_a,
-                loop_stamp,
-                &act_exists,
-            );
+            let (new_ac, new_ap) =
+                shrink_kernel(gpu, state, &a_current, &a_previous, &i_a, loop_stamp, &act_exists);
             a_current = new_ac;
             a_previous = new_ap;
             stats.shrinks += 1;
@@ -461,11 +452,7 @@ fn shrink_kernel(
         }
     });
 
-    let new_ac = if new_len == 0 {
-        DeviceBuffer::<i64>::new(0, SLOT_EMPTY)
-    } else {
-        new_ac
-    };
+    let new_ac = if new_len == 0 { DeviceBuffer::<i64>::new(0, SLOT_EMPTY) } else { new_ac };
     let new_ap = DeviceBuffer::from_slice(&new_ac.to_vec());
     (new_ac, new_ap)
 }
@@ -606,11 +593,7 @@ mod tests {
         let opt = maximum_matching_cardinality(&g);
         for strategy in crate::strategy::figure1_strategies() {
             for variant in all_variants() {
-                let config = GprConfig {
-                    variant,
-                    strategy,
-                    ..GprConfig::paper_default()
-                };
+                let config = GprConfig { variant, strategy, ..GprConfig::paper_default() };
                 let r = run(&gpu, &g, &init, config);
                 assert_eq!(
                     r.matching.cardinality(),

@@ -253,8 +253,8 @@ mod tests {
         // The device accumulated launches from both runs, but each report
         // contains only its own.
         let total = gpu.stats().total_launches();
-        let sum = a.device_stats.unwrap().total_launches()
-            + b.device_stats.unwrap().total_launches();
+        let sum =
+            a.device_stats.unwrap().total_launches() + b.device_stats.unwrap().total_launches();
         assert_eq!(total, sum);
     }
 }

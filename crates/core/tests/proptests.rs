@@ -8,16 +8,12 @@ use gpm_core::{ghk, GhkVariant, GrStrategy};
 use gpm_gpu::VirtualGpu;
 use gpm_graph::heuristics::cheap_matching;
 use gpm_graph::verify::{is_maximum, maximum_matching_cardinality};
-use gpm_graph::{BipartiteCsr, Matching, VertexId};
+use gpm_graph::{BipartiteCsr, Matching};
+use gpm_testutil::arb_bipartite_with;
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = BipartiteCsr> {
-    (1usize..30, 1usize..30).prop_flat_map(|(m, n)| {
-        let edge = (0..m as VertexId, 0..n as VertexId);
-        proptest::collection::vec(edge, 0..150).prop_map(move |edges| {
-            BipartiteCsr::from_edges(m, n, &edges).expect("in-bounds edges")
-        })
-    })
+    arb_bipartite_with(30, 30, 150)
 }
 
 proptest! {

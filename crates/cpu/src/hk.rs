@@ -149,11 +149,7 @@ mod tests {
         for seed in 0..6u64 {
             let g = gen::uniform_random(90, 80, 450, seed).unwrap();
             let r = hopcroft_karp(&g, &cheap_matching(&g));
-            assert_eq!(
-                r.matching.cardinality(),
-                maximum_matching_cardinality(&g),
-                "seed {seed}"
-            );
+            assert_eq!(r.matching.cardinality(), maximum_matching_cardinality(&g), "seed {seed}");
             r.matching.validate_against(&g).unwrap();
         }
     }

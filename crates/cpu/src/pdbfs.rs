@@ -119,10 +119,8 @@ pub fn pdbfs(g: &BipartiteCsr, initial: &Matching, config: PdbfsConfig) -> CpuRu
 
     // Shared mate arrays (atomics: the multicore algorithm is allowed to use
     // them, unlike the GPU algorithm).
-    let row_mate: Vec<AtomicI64> =
-        initial.row_mates().iter().map(|&v| AtomicI64::new(v)).collect();
-    let col_mate: Vec<AtomicI64> =
-        initial.col_mates().iter().map(|&v| AtomicI64::new(v)).collect();
+    let row_mate: Vec<AtomicI64> = initial.row_mates().iter().map(|&v| AtomicI64::new(v)).collect();
+    let col_mate: Vec<AtomicI64> = initial.col_mates().iter().map(|&v| AtomicI64::new(v)).collect();
     let edges_scanned = AtomicU64::new(0);
     let augmentations = AtomicU64::new(0);
 
@@ -137,7 +135,7 @@ pub fn pdbfs(g: &BipartiteCsr, initial: &Matching, config: PdbfsConfig) -> CpuRu
         let round_augmented = AtomicU64::new(0);
 
         let chunk = unmatched.len().div_ceil(threads).max(1);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (tid, cols) in unmatched.chunks(chunk).enumerate() {
                 let row_mate = &row_mate;
                 let col_mate = &col_mate;
@@ -146,7 +144,7 @@ pub fn pdbfs(g: &BipartiteCsr, initial: &Matching, config: PdbfsConfig) -> CpuRu
                 let edges_scanned = &edges_scanned;
                 let round_augmented = &round_augmented;
                 let augmentations = &augmentations;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let owner_id = tid as i64 + 1;
                     for &c in cols {
                         if col_mate[c as usize].load(Ordering::Acquire) != UNMATCHED {
@@ -174,8 +172,7 @@ pub fn pdbfs(g: &BipartiteCsr, initial: &Matching, config: PdbfsConfig) -> CpuRu
                     }
                 });
             }
-        })
-        .expect("pdbfs worker panicked");
+        });
 
         unmatched.retain(|&c| col_mate[c as usize].load(Ordering::Relaxed) == UNMATCHED);
         if round_augmented.load(Ordering::Relaxed) == 0 || unmatched.is_empty() {

@@ -125,11 +125,7 @@ mod tests {
         for seed in 0..6u64 {
             let g = gen::uniform_random(70, 90, 500, seed + 100).unwrap();
             let r = pothen_fan(&g, &cheap_matching(&g));
-            assert_eq!(
-                r.matching.cardinality(),
-                maximum_matching_cardinality(&g),
-                "seed {seed}"
-            );
+            assert_eq!(r.matching.cardinality(), maximum_matching_cardinality(&g), "seed {seed}");
             r.matching.validate_against(&g).unwrap();
         }
     }

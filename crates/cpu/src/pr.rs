@@ -59,9 +59,7 @@ pub(crate) fn global_relabel(
             queue.push_back(r);
         }
     }
-    for c in 0..g.num_cols() {
-        psi_col[c] = unreachable;
-    }
+    psi_col[..g.num_cols()].fill(unreachable);
     let mut max_level = 0u32;
     while let Some(u) = queue.pop_front() {
         let du = psi_row[u as usize];
@@ -100,9 +98,8 @@ pub fn sequential_pr(g: &BipartiteCsr, initial: &Matching, config: PrConfig) -> 
     let mut psi_col = vec![1u32; n_cols];
 
     // Active columns: unmatched, FIFO (line 3).
-    let mut active: VecDeque<VertexId> = (0..n_cols as VertexId)
-        .filter(|&c| !matching.is_col_matched(c))
-        .collect();
+    let mut active: VecDeque<VertexId> =
+        (0..n_cols as VertexId).filter(|&c| !matching.is_col_matched(c)).collect();
 
     let gr_threshold = ((config.global_relabel_k * (m_rows + n_cols) as f64).ceil() as u64).max(1);
     let mut pushes_since_gr = 0u64;
@@ -199,11 +196,7 @@ mod tests {
         for seed in 0..5u64 {
             let g = gen::uniform_random(80, 70, 400, seed).unwrap();
             let r = solve(&g);
-            assert_eq!(
-                r.matching.cardinality(),
-                maximum_matching_cardinality(&g),
-                "seed {seed}"
-            );
+            assert_eq!(r.matching.cardinality(), maximum_matching_cardinality(&g), "seed {seed}");
             assert!(is_maximum(&g, &r.matching));
             r.matching.validate_against(&g).unwrap();
         }

@@ -2,12 +2,16 @@
 //! round-trips, and device primitives vs host references, on both backends.
 
 use gpm_gpu::{primitives, Backend, DeviceBuffer, GpuConfig, VirtualGpu};
+use gpm_testutil::arb_bipartite;
 use proptest::prelude::*;
 
 fn gpus() -> Vec<VirtualGpu> {
     vec![
         VirtualGpu::sequential(),
-        VirtualGpu::new(GpuConfig { parallel_threshold: 16, ..GpuConfig::tesla_c2050(Backend::Parallel { workers: 3 }) }),
+        VirtualGpu::new(GpuConfig {
+            parallel_threshold: 16,
+            ..GpuConfig::tesla_c2050(Backend::Parallel { workers: 3 })
+        }),
     ]
 }
 
@@ -56,6 +60,27 @@ proptest! {
                 primitives::reduce_max(&gpu, &buf),
                 data.iter().copied().max().unwrap_or(0)
             );
+        }
+    }
+
+    #[test]
+    fn degree_scatter_and_scan_reconstruct_csr_offsets(g in arb_bipartite()) {
+        // The shrink kernel's core pattern: scatter per-column work counts
+        // into a device buffer, prefix-sum them on the device, and check the
+        // offsets against the CSR the graph crate built on the host.
+        for gpu in gpus() {
+            let degrees = DeviceBuffer::<u64>::new(g.num_rows(), 0);
+            gpu.launch("prop_degree_scatter", g.num_rows(), |ctx| {
+                let r = ctx.global_id as gpm_graph::VertexId;
+                degrees.set(ctx.global_id, g.row_degree(r) as u64);
+            });
+            let (offsets, total) = primitives::exclusive_prefix_sum(&gpu, &degrees);
+            prop_assert_eq!(total as usize, g.num_edges());
+            let mut acc = 0u64;
+            for (r, &offset) in offsets.to_vec().iter().enumerate() {
+                prop_assert_eq!(offset, acc);
+                acc += g.row_degree(r as gpm_graph::VertexId) as u64;
+            }
         }
     }
 

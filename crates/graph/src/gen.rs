@@ -161,7 +161,9 @@ pub fn road_network(
     seed: u64,
 ) -> Result<BipartiteCsr> {
     if width < 2 || height < 2 {
-        return Err(GraphError::InvalidGenerator("road_network requires width, height >= 2".into()));
+        return Err(GraphError::InvalidGenerator(
+            "road_network requires width, height >= 2".into(),
+        ));
     }
     if !(0.0..1.0).contains(&drop_probability) {
         return Err(GraphError::InvalidGenerator("drop_probability must be in [0, 1)".into()));
@@ -173,11 +175,11 @@ pub fn road_network(
     let mut rng = StdRng::seed_from_u64(seed);
     let cell = |x: usize, y: usize| -> (bool, usize) {
         let idx = y * width + x;
-        ((x + y) % 2 == 0, idx / 2)
+        ((x + y).is_multiple_of(2), idx / 2)
     };
     // Number of row/col vertices: split of width*height by parity.
     let total = width * height;
-    let num_rows = (total + 1) / 2;
+    let num_rows = total.div_ceil(2);
     let num_cols = total / 2;
     // Vertex ids are shuffled so that the greedy cheap-matching heuristic
     // sees the vertices in an order unrelated to the geometry — exactly what
@@ -221,15 +223,17 @@ fn random_permutation(n: usize, rng: &mut StdRng) -> Vec<VertexId> {
 /// instances where IM is already ~95% of MM and MM is perfect.
 pub fn delaunay_like(width: usize, height: usize, seed: u64) -> Result<BipartiteCsr> {
     if width < 2 || height < 2 {
-        return Err(GraphError::InvalidGenerator("delaunay_like requires width, height >= 2".into()));
+        return Err(GraphError::InvalidGenerator(
+            "delaunay_like requires width, height >= 2".into(),
+        ));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let total = width * height;
-    let num_rows = (total + 1) / 2;
+    let num_rows = total.div_ceil(2);
     let num_cols = total / 2;
     let cell = |x: usize, y: usize| -> (bool, usize) {
         let idx = y * width + x;
-        ((x + y) % 2 == 0, idx / 2)
+        ((x + y).is_multiple_of(2), idx / 2)
     };
     // Shuffled ids, for the same reason as in `road_network`: the real
     // Delaunay matrices are renumbered, which is what leaves the cheap
@@ -430,7 +434,10 @@ mod tests {
 
     #[test]
     fn generators_are_seed_deterministic() {
-        assert_eq!(rmat(RmatParams::web_like(8, 4), 5).unwrap(), rmat(RmatParams::web_like(8, 4), 5).unwrap());
+        assert_eq!(
+            rmat(RmatParams::web_like(8, 4), 5).unwrap(),
+            rmat(RmatParams::web_like(8, 4), 5).unwrap()
+        );
         assert_eq!(road_network(10, 10, 0.1, 5).unwrap(), road_network(10, 10, 0.1, 5).unwrap());
         assert_eq!(delaunay_like(10, 10, 5).unwrap(), delaunay_like(10, 10, 5).unwrap());
         assert_eq!(planted_perfect(30, 60, 5).unwrap(), planted_perfect(30, 60, 5).unwrap());

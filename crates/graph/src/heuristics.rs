@@ -43,23 +43,23 @@ pub fn karp_sipser(g: &BipartiteCsr) -> Matching {
     // Queue of degree-1 vertices; entries are (is_row, id). Stale entries are
     // skipped when popped.
     let mut q: std::collections::VecDeque<(bool, VertexId)> = std::collections::VecDeque::new();
-    for r in 0..g.num_rows() {
-        if row_deg[r] == 1 {
+    for (r, &deg) in row_deg.iter().enumerate() {
+        if deg == 1 {
             q.push_back((true, r as VertexId));
         }
     }
-    for c in 0..g.num_cols() {
-        if col_deg[c] == 1 {
+    for (c, &deg) in col_deg.iter().enumerate() {
+        if deg == 1 {
             q.push_back((false, c as VertexId));
         }
     }
 
     let kill_row = |r: VertexId,
-                        g: &BipartiteCsr,
-                        col_deg: &mut [usize],
-                        col_alive: &[bool],
-                        row_alive: &mut [bool],
-                        q: &mut std::collections::VecDeque<(bool, VertexId)>| {
+                    g: &BipartiteCsr,
+                    col_deg: &mut [usize],
+                    col_alive: &[bool],
+                    row_alive: &mut [bool],
+                    q: &mut std::collections::VecDeque<(bool, VertexId)>| {
         row_alive[r as usize] = false;
         for &c in g.row_neighbors(r) {
             if col_alive[c as usize] {
@@ -71,11 +71,11 @@ pub fn karp_sipser(g: &BipartiteCsr) -> Matching {
         }
     };
     let kill_col = |c: VertexId,
-                        g: &BipartiteCsr,
-                        row_deg: &mut [usize],
-                        row_alive: &[bool],
-                        col_alive: &mut [bool],
-                        q: &mut std::collections::VecDeque<(bool, VertexId)>| {
+                    g: &BipartiteCsr,
+                    row_deg: &mut [usize],
+                    row_alive: &[bool],
+                    col_alive: &mut [bool],
+                    q: &mut std::collections::VecDeque<(bool, VertexId)>| {
         col_alive[c as usize] = false;
         for &r in g.col_neighbors(c) {
             if row_alive[r as usize] {
@@ -197,8 +197,7 @@ mod tests {
     fn karp_sipser_optimal_on_degree1_chains() {
         // A chain where degree-1 processing is required for optimality:
         // r0-c0, r1-c0, r1-c1, r2-c1, r2-c2  — maximum is 3 (r0-c0, r1-c1, r2-c2).
-        let g =
-            BipartiteCsr::from_edges(3, 3, &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]).unwrap();
+        let g = BipartiteCsr::from_edges(3, 3, &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]).unwrap();
         let m = karp_sipser(&g);
         assert_eq!(m.cardinality(), 3);
         assert!(is_valid_matching(&g, &m));

@@ -149,9 +149,7 @@ impl InstanceSpec {
                 let log2 = (rows as f64).log2().round().max(8.0) as u32;
                 gen::rmat(RmatParams::graph500(log2, ef.max(4)), seed)
             }
-            Family::CoPaper => {
-                gen::power_law(rows, rows, rows * ef.max(8), 2.1, seed)
-            }
+            Family::CoPaper => gen::power_law(rows, rows, rows * ef.max(8), 2.1, seed),
             Family::Road => {
                 // rows ≈ total/2 where total = width * height
                 let side = ((2 * rows) as f64).sqrt().ceil() as usize;
@@ -176,6 +174,7 @@ impl InstanceSpec {
 }
 
 /// The full 28-instance suite in the order of Table I (increasing row count).
+#[rustfmt::skip]
 pub fn paper_suite() -> Vec<InstanceSpec> {
     use Family::*;
     let spec = |id,
@@ -328,8 +327,10 @@ mod tests {
     #[test]
     fn scaled_rows_respects_divisor_and_minimum() {
         let s = by_name("amazon0505").unwrap();
-        assert_eq!(s.scaled_rows(Scale::Small), (410_236 / 256).max(1024));
-        assert_eq!(s.scaled_rows(Scale::Tiny), 256.max(410_236 / 2048));
+        // 410 236 rows: /256 = 1602 (above the 1024 floor), /2048 = 200
+        // (clamped up to the 256 floor).
+        assert_eq!(s.scaled_rows(Scale::Small), 1602);
+        assert_eq!(s.scaled_rows(Scale::Tiny), 256);
         let huge = by_name("hugebubbles-00000").unwrap();
         assert!(huge.scaled_rows(Scale::Small) > s.scaled_rows(Scale::Small));
     }

@@ -70,9 +70,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<BipartiteCsr> {
         "general" => Symmetry::General,
         "symmetric" | "hermitian" => Symmetry::Symmetric,
         "skew-symmetric" => Symmetry::SkewSymmetric,
-        other => {
-            return Err(GraphError::MatrixMarket(format!("unsupported symmetry '{other}'")))
-        }
+        other => return Err(GraphError::MatrixMarket(format!("unsupported symmetry '{other}'"))),
     };
 
     // ---- size line ----
@@ -140,9 +138,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<BipartiteCsr> {
         if symmetry != Symmetry::General && r != c {
             // mirrored entry: (c, r) — valid because symmetric matrices are square
             if c >= num_rows || r >= num_cols {
-                return Err(GraphError::MatrixMarket(
-                    "symmetric matrix is not square".into(),
-                ));
+                return Err(GraphError::MatrixMarket("symmetric matrix is not square".into()));
             }
             builder.add_edge(c as VertexId, r as VertexId)?;
         }
@@ -224,8 +220,14 @@ mod tests {
     fn rejects_bad_headers() {
         assert!(read_matrix_market(Cursor::new("")).is_err());
         assert!(read_matrix_market(Cursor::new("%%MatrixMarket tensor coordinate real\n")).is_err());
-        assert!(read_matrix_market(Cursor::new("%%MatrixMarket matrix array real general\n1 1\n1.0\n")).is_err());
-        assert!(read_matrix_market(Cursor::new("%%MatrixMarket matrix coordinate funky general\n1 1 0\n")).is_err());
+        assert!(read_matrix_market(Cursor::new(
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n"
+        ))
+        .is_err());
+        assert!(read_matrix_market(Cursor::new(
+            "%%MatrixMarket matrix coordinate funky general\n1 1 0\n"
+        ))
+        .is_err());
         assert!(read_matrix_market(Cursor::new(
             "%%MatrixMarket matrix coordinate pattern weird\n1 1 0\n"
         ))

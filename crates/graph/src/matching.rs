@@ -249,9 +249,10 @@ impl Matching {
 
     /// Iterates over matched `(row, col)` pairs.
     pub fn pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.row_mate.iter().enumerate().filter_map(|(r, &c)| {
-            (c >= 0).then_some((r as VertexId, c as VertexId))
-        })
+        self.row_mate
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &c)| (c >= 0).then_some((r as VertexId, c as VertexId)))
     }
 
     /// Unmatched row vertices.

@@ -48,10 +48,8 @@ impl GraphStats {
         let num_rows = g.num_rows();
         let num_cols = g.num_cols();
         let num_edges = g.num_edges();
-        let max_row_degree =
-            (0..num_rows as u32).map(|r| g.row_degree(r)).max().unwrap_or(0);
-        let max_col_degree =
-            (0..num_cols as u32).map(|c| g.col_degree(c)).max().unwrap_or(0);
+        let max_row_degree = (0..num_rows as u32).map(|r| g.row_degree(r)).max().unwrap_or(0);
+        let max_col_degree = (0..num_cols as u32).map(|c| g.col_degree(c)).max().unwrap_or(0);
         let initial_matching = heuristics::cheap_matching(g).cardinality();
         Self {
             num_rows,

@@ -169,9 +169,7 @@ pub fn reference_maximum_matching(g: &BipartiteCsr) -> Matching {
             }
             visited_row[u as usize] = stamp;
             let mate = m.row_mate(u);
-            if mate.is_none()
-                || try_augment(g, m, visited_row, stamp, mate.unwrap())
-            {
+            if mate.is_none() || try_augment(g, m, visited_row, stamp, mate.unwrap()) {
                 m.match_pair(u, c);
                 return true;
             }
@@ -216,7 +214,7 @@ mod tests {
         let g = path_graph();
         let mut m = Matching::empty_for(&g);
         m.match_pair(1, 0); // middle edge only: maximal? r0-c0 has r0 free, c0 matched.
-        // edges: (0,0) c0 matched; (1,0) matched; (1,1) r1 matched; (2,1) both free!
+                            // edges: (0,0) c0 matched; (1,0) matched; (1,1) r1 matched; (2,1) both free!
         assert!(!is_maximal(&g, &m));
         m.match_pair(2, 1);
         assert!(is_maximal(&g, &m));

@@ -12,16 +12,13 @@ use gpm_graph::verify::{
     reference_maximum_matching,
 };
 use gpm_graph::{BipartiteCsr, GraphBuilder, VertexId};
+use gpm_testutil::arb_bipartite;
 use proptest::prelude::*;
 
-/// Strategy: an arbitrary small bipartite graph given as shape + edge list.
+/// Strategy: an arbitrary small bipartite graph (≤ 40×40, ≤ 200 edge
+/// draws), from the workspace-wide shrinking-friendly strategy.
 fn arb_graph() -> impl Strategy<Value = BipartiteCsr> {
-    (1usize..40, 1usize..40).prop_flat_map(|(m, n)| {
-        let edge = (0..m as VertexId, 0..n as VertexId);
-        proptest::collection::vec(edge, 0..200).prop_map(move |edges| {
-            BipartiteCsr::from_edges(m, n, &edges).expect("in-bounds edges")
-        })
-    })
+    arb_bipartite()
 }
 
 proptest! {

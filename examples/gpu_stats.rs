@@ -14,8 +14,7 @@ use gpu_pr_matching::graph::heuristics::cheap_matching;
 use gpu_pr_matching::graph::instances::{by_name, Scale};
 
 fn main() {
-    let name =
-        std::env::args().nth(1).unwrap_or_else(|| "kron_g500-logn20".to_string());
+    let name = std::env::args().nth(1).unwrap_or_else(|| "kron_g500-logn20".to_string());
     let spec = by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown instance '{name}'; see gpm_graph::instances::paper_suite()");
         std::process::exit(1);
@@ -31,7 +30,11 @@ fn main() {
 
     for variant in [GprVariant::First, GprVariant::ActiveList, GprVariant::Shrink] {
         let gpu = VirtualGpu::parallel();
-        let config = GprConfig { variant, strategy: GrStrategy::paper_default(), ..GprConfig::paper_default() };
+        let config = GprConfig {
+            variant,
+            strategy: GrStrategy::paper_default(),
+            ..GprConfig::paper_default()
+        };
         let result = gpr::run(&gpu, &graph, &initial, config);
         println!(
             "\n=== {} ===  matching {}  loops {}  global relabels {}  shrinks {}",

@@ -10,6 +10,23 @@
 //!   HKDW, P-DBFS).
 //! * [`core`] (`gpm-core`) — the paper's G-PR algorithm family and the
 //!   G-HK/G-HKDW GPU baselines, plus the unified [`core::solver`] front-end.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gpu_pr_matching::core::solver::{solve, Algorithm};
+//! use gpu_pr_matching::graph::{gen, verify};
+//!
+//! // A 300-row graph with a planted perfect matching plus 1 200 noise edges.
+//! let graph = gen::planted_perfect(300, 1_200, 7).unwrap();
+//!
+//! // The paper's headline algorithm: G-PR-Shr with the (adaptive, 0.7)
+//! // global-relabeling strategy, run on the virtual GPU.
+//! let report = solve(&graph, Algorithm::gpr_default());
+//!
+//! assert_eq!(report.cardinality, 300);
+//! assert!(verify::is_maximum(&graph, &report.matching));
+//! ```
 
 pub use gpm_core as core;
 pub use gpm_cpu as cpu;

@@ -49,7 +49,9 @@ fn generators_reject_impossible_configurations() {
     assert!(gen::delaunay_like(5, 1, 1).is_err());
     assert!(gen::near_perfect_mesh(2, 1, 1).is_err());
     assert!(gen::power_law(10, 10, 10, 0.5, 1).is_err());
-    assert!(gen::rmat(gen::RmatParams { scale: 0, edge_factor: 1, a: 0.5, b: 0.2, c: 0.2 }, 1).is_err());
+    assert!(
+        gen::rmat(gen::RmatParams { scale: 0, edge_factor: 1, a: 0.5, b: 0.2, c: 0.2 }, 1).is_err()
+    );
 }
 
 #[test]
@@ -69,8 +71,8 @@ fn graphs_with_isolated_vertices_and_duplicate_edges_solve_correctly() {
 #[test]
 fn star_and_chain_pathological_shapes() {
     // A star: many rows, one column.
-    let star = BipartiteCsr::from_edges(64, 1, &(0..64u32).map(|r| (r, 0)).collect::<Vec<_>>())
-        .unwrap();
+    let star =
+        BipartiteCsr::from_edges(64, 1, &(0..64u32).map(|r| (r, 0)).collect::<Vec<_>>()).unwrap();
     for alg in paper_comparison_set() {
         assert_eq!(solve(&star, alg).cardinality, 1);
     }

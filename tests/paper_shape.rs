@@ -65,12 +65,8 @@ fn rare_global_relabeling_costs_more_push_work() {
     let graph = spec.generate(Scale::Tiny).unwrap();
     let initial = cheap_matching(&graph);
     let gpu = VirtualGpu::sequential();
-    let tuned = gpr::run(
-        &gpu,
-        &graph,
-        &initial,
-        GprConfig::with_strategy(GrStrategy::paper_default()),
-    );
+    let tuned =
+        gpr::run(&gpu, &graph, &initial, GprConfig::with_strategy(GrStrategy::paper_default()));
     let rare = gpr::run(&gpu, &graph, &initial, GprConfig::with_strategy(GrStrategy::Fixed(50)));
     assert!(tuned.stats.global_relabels >= rare.stats.global_relabels);
     let tuned_work = tuned.stats.device.kernels["G-PR-PUSHKRNL"].total_work;
@@ -93,10 +89,9 @@ fn long_path_instances_need_more_loops_per_augmentation_than_kron() {
     let gpu = VirtualGpu::sequential();
     let loops_per_aug = |graph: &gpu_pr_matching::graph::BipartiteCsr| {
         let initial = cheap_matching(graph);
-        let deficiency = gpu_pr_matching::cpu::hopcroft_karp(graph, &initial)
-            .matching
-            .cardinality()
-            - initial.cardinality();
+        let deficiency =
+            gpu_pr_matching::cpu::hopcroft_karp(graph, &initial).matching.cardinality()
+                - initial.cardinality();
         assert!(deficiency > 0, "test instance must leave some work for the solver");
         let run = gpr::run(&gpu, graph, &initial, GprConfig::paper_default());
         run.stats.loops as f64 / deficiency as f64
@@ -124,8 +119,7 @@ fn gpr_beats_ghkdw_in_modelled_time_on_kron_family() {
     let graph = spec.generate(Scale::Tiny).unwrap();
     let initial = cheap_matching(&graph);
     let gpu = VirtualGpu::parallel();
-    let gpr_report =
-        solve_with_initial(&graph, &initial, Algorithm::gpr_default(), Some(&gpu));
+    let gpr_report = solve_with_initial(&graph, &initial, Algorithm::gpr_default(), Some(&gpu));
     let ghkdw_report = solve_with_initial(
         &graph,
         &initial,

@@ -1,0 +1,83 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy for `Vec`s with element strategy `element` and a length drawn
+/// from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = Vec::new();
+        let min = self.size.start;
+        let len = value.len();
+        // Structural shrinks first: shorter vectors fail faster.
+        if len > min {
+            out.push(value[..min].to_vec());
+            let half = (len / 2).max(min);
+            if half != min && half != len {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..len - 1].to_vec());
+            if len - min > 1 {
+                out.push(value[len - min..].to_vec().clone());
+                out.push(value[1..].to_vec());
+            }
+        }
+        // Then element-wise shrinks on a bounded prefix.
+        for i in 0..len.min(16) {
+            for cand in self.element.shrink(&value[i]).into_iter().take(2) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_lengths_and_elements_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let strat = vec(0u32..7, 2..20);
+        for _ in 0..500 {
+            let v = strat.sample(&mut rng);
+            assert!((2..20).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 7));
+        }
+    }
+
+    #[test]
+    fn shrinks_never_go_below_min_len() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let strat = vec(0u32..7, 2..20);
+        let v = strat.sample(&mut rng);
+        for s in strat.shrink(&v) {
+            assert!(s.len() >= 2);
+            assert!(s.iter().all(|&x| x < 7));
+        }
+    }
+}

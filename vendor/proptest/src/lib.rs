@@ -1,0 +1,82 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! property-testing surface the workspace uses: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range/tuple/`any`/[`collection::vec`]
+//! strategies, the `proptest!`/`prop_assert!` macros, and a runner with
+//! deterministic per-case seeding and greedy shrinking.
+//!
+//! Differences from upstream proptest, by design:
+//!
+//! * Shrinking works on final values via [`Strategy::shrink`] candidates
+//!   rather than proptest's `ValueTree` bisection, so mapped/flat-mapped
+//!   strategies do not shrink through the mapping (custom strategies can
+//!   implement `shrink` directly on their output — see the workspace's
+//!   `gpm-testutil`).
+//! * Cases are seeded deterministically from the test name and case index;
+//!   there is no failure persistence file.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u32..100, ys in proptest::collection::vec(0u64..10, 0..50)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let strategy = ($($strat,)+);
+                $crate::test_runner::run(&config, stringify!($name), strategy, |($($arg,)+)| $body);
+            }
+        )*
+    };
+}

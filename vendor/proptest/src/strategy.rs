@@ -1,0 +1,345 @@
+//! The [`Strategy`] trait and the primitive strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A generator of arbitrary values with optional shrinking.
+///
+/// `sample` draws one value; `shrink` proposes strictly "simpler" candidate
+/// values derived from a failing one (the runner keeps any candidate that
+/// still fails and iterates to a local minimum).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Proposes simpler candidates for `value`. Every candidate must itself
+    /// be a value this strategy could have produced.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
+    /// Maps generated values through `f`.
+    ///
+    /// Mapped strategies do not shrink (the mapping is not invertible);
+    /// implement [`Strategy::shrink`] on a custom strategy to shrink
+    /// structured values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Clone + Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then samples from the strategy `f` builds from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards generated values failing `predicate` (resampling, bounded).
+    fn prop_filter<F>(self, whence: &'static str, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, whence, predicate }
+    }
+
+    /// Erases the strategy's type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T: Clone + Debug> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (**self).sample(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (**self).shrink(value)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// Strategy that always yields a fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Clone + Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.predicate)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up after 1000 rejections: {}", self.whence);
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        self.inner.shrink(value).into_iter().filter(|v| (self.predicate)(v)).collect()
+    }
+}
+
+/// Types with a canonical "any value" strategy, mirroring `proptest::Arbitrary`.
+pub trait Arbitrary: Clone + Debug + Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+
+    /// Proposes simpler candidates (toward zero/false).
+    fn shrink_value(&self) -> Vec<Self>;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy producing any value of `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+
+            fn shrink_value(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    let half = self / 2;
+                    if half != 0 {
+                        out.push(half);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+
+    fn shrink_value(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let v = *value;
+                let mut out = Vec::new();
+                if v > lo {
+                    out.push(lo);
+                    let mid = lo + (v - lo) / 2;
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != lo {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_samples_stay_in_bounds_and_shrink_downward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strat = 5u32..50;
+        for _ in 0..1000 {
+            let v = Strategy::sample(&strat, &mut rng);
+            assert!((5..50).contains(&v));
+            for s in Strategy::shrink(&strat, &v) {
+                assert!(s < v && (5..50).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let strat = (0u32..10, 0u32..10);
+        let shrunk = strat.shrink(&(4, 6));
+        assert!(!shrunk.is_empty());
+        for (a, b) in shrunk {
+            assert!((a, b) != (4, 6));
+            assert!(a == 4 || b == 6);
+        }
+    }
+
+    #[test]
+    fn flat_map_composes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let strat = (1usize..10).prop_flat_map(|n| (0..n as u32, Just(n)));
+        for _ in 0..500 {
+            let (v, n) = strat.sample(&mut rng);
+            assert!((v as usize) < n);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Case execution: deterministic seeding, panic capture, greedy shrinking.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+    /// Upper bound on shrink candidates evaluated after a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 2048 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+/// Runs `test` against `config.cases` sampled values; on failure, shrinks to
+/// a local minimum and panics with the minimal reproducing input.
+pub fn run<S, F>(config: &ProptestConfig, name: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    for case in 0..config.cases {
+        let seed = case_seed(name, case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = strategy.sample(&mut rng);
+        if let Err(payload) = run_case(&test, value.clone()) {
+            let minimal = shrink_failure(config, &strategy, value, &test);
+            panic!(
+                "proptest `{name}` failed at case {case} (seed {seed}).\n\
+                 original failure: {}\n\
+                 minimal failing input: {minimal:#?}",
+                payload_message(payload.as_ref())
+            );
+        }
+    }
+}
+
+fn run_case<V, F: Fn(V)>(test: &F, value: V) -> Result<(), Box<dyn std::any::Any + Send>> {
+    catch_unwind(AssertUnwindSafe(|| test(value)))
+}
+
+fn shrink_failure<S, F>(
+    config: &ProptestConfig,
+    strategy: &S,
+    mut current: S::Value,
+    test: &F,
+) -> S::Value
+where
+    S: Strategy,
+    F: Fn(S::Value),
+{
+    // Silence the panic hook while probing candidates: every failing
+    // candidate panics by design, and up to max_shrink_iters backtraces
+    // would bury the final report. The hook is global, so a concurrently
+    // failing test's first message may be swallowed too — same trade-off
+    // upstream proptest makes.
+    let saved_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut budget = config.max_shrink_iters;
+    'outer: while budget > 0 {
+        for candidate in strategy.shrink(&current) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if run_case(test, candidate.clone()).is_err() {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    std::panic::set_hook(saved_hook);
+    current
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// FNV-1a over the test name, mixed with the case index — deterministic
+/// across runs, distinct across tests and cases.
+fn case_seed(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        run(&ProptestConfig::with_cases(17), "passing", 0u32..100, |v| {
+            counter.set(counter.get() + 1);
+            assert!(v < 100);
+        });
+        assert_eq!(counter.get(), 17);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimum() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run(&ProptestConfig::with_cases(200), "failing", 0u32..1000, |v| {
+                assert!(v < 50, "too big");
+            });
+        }))
+        .expect_err("property must fail");
+        let msg = payload_message(err.as_ref());
+        // Greedy shrinking must land exactly on the boundary value.
+        assert!(msg.contains("minimal failing input: 50"), "got: {msg}");
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        assert_eq!(case_seed("a", 0), case_seed("a", 0));
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for `serde_json`: renders the local `serde` crate's
+//! [`serde::Value`] tree as JSON text. Only the emission half of the API is
+//! provided (`to_string`, `to_string_pretty`) — nothing in the workspace
+//! parses JSON.
+
+pub use serde::Value;
+
+/// Error type for JSON serialization.
+///
+/// Emission over the in-memory [`Value`] tree cannot fail, so this carries
+/// only a message and exists for API compatibility.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Match serde_json: integral floats render with a ".0".
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            } else {
+                // serde_json renders non-finite numbers as null.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            write_delimited(items.iter(), ('[', ']'), indent, depth, out, |item, d, o| {
+                write_value(item, indent, d, o);
+            })
+        }
+        Value::Map(entries) => {
+            write_delimited(entries.iter(), ('{', '}'), indent, depth, out, |(k, val), d, o| {
+                write_string(k, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(val, indent, d, o);
+            })
+        }
+    }
+}
+
+fn write_delimited<I, F>(
+    items: I,
+    (open, close): (char, char),
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(I::Item, usize, &mut String),
+{
+    out.push(open);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(indent, depth + 1, out);
+        write_item(item, depth + 1, out);
+    }
+    if !empty {
+        newline_indent(indent, depth, out);
+    }
+    out.push(close);
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_agree_on_structure() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("a\"b".into())),
+            ("xs".into(), Value::Seq(vec![Value::U64(1), Value::F64(2.0)])),
+            ("none".into(), Value::Null),
+        ]);
+        let compact = to_string(&ValueWrap(v.clone())).unwrap();
+        assert_eq!(compact, r#"{"name":"a\"b","xs":[1,2.0],"none":null}"#);
+        let pretty = to_string_pretty(&ValueWrap(v)).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"a\\\"b\""));
+    }
+
+    struct ValueWrap(Value);
+    impl serde::Serialize for ValueWrap {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn empty_containers_stay_on_one_line() {
+        assert_eq!(to_string_pretty(&ValueWrap(Value::Seq(vec![]))).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&ValueWrap(Value::Map(vec![]))).unwrap(), "{}");
+    }
+}
