@@ -6,20 +6,21 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpm_bench::runner::{measure, prepare_instance};
-use gpm_core::solver::Algorithm;
+use gpm_core::solver::{Algorithm, Solver};
 use gpm_core::{GprVariant, GrStrategy};
 use gpm_graph::instances::{by_name, Scale};
 
 fn bench_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("gpr_variants");
     group.sample_size(10);
+    let mut solver = Solver::builder().build();
     for name in ["kron_g500-logn20", "amazon0505"] {
         let spec = by_name(name).expect("known instance");
         let instance = prepare_instance(&spec, Scale::Tiny);
         for variant in [GprVariant::First, GprVariant::ActiveList, GprVariant::Shrink] {
             let alg = Algorithm::GpuPushRelabel(variant, GrStrategy::paper_default());
             group.bench_with_input(BenchmarkId::new(variant.label(), name), &alg, |b, &alg| {
-                b.iter(|| measure(&instance, alg, None).seconds)
+                b.iter(|| measure(&instance, alg, &mut solver).expect("measure").seconds)
             });
         }
     }

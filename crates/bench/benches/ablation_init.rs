@@ -4,7 +4,7 @@
 //! Run with `cargo bench -p gpm-bench --bench ablation_init`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gpm_core::solver::{solve_with_initial, Algorithm};
+use gpm_core::solver::{Algorithm, Solver};
 use gpm_graph::heuristics::{cheap_matching, karp_sipser};
 use gpm_graph::instances::{by_name, Scale};
 use gpm_graph::Matching;
@@ -19,12 +19,20 @@ fn bench_initialization(c: &mut Criterion) {
     ];
     let mut group = c.benchmark_group("initialization");
     group.sample_size(10);
+    let mut solver = Solver::builder().build();
     for algorithm in [Algorithm::gpr_default(), Algorithm::SequentialPushRelabel(0.5)] {
         for (init_name, init) in &inits {
             group.bench_with_input(
                 BenchmarkId::new(algorithm.label(), init_name),
                 init,
-                |b, init| b.iter(|| solve_with_initial(&graph, init, algorithm, None).cardinality),
+                |b, init| {
+                    b.iter(|| {
+                        solver
+                            .solve_with_initial(&graph, init, algorithm)
+                            .expect("solve")
+                            .cardinality
+                    })
+                },
             );
         }
     }

@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpm_bench::runner::{measure, paper_algorithms, prepare_instance};
+use gpm_core::solver::Solver;
 use gpm_graph::instances::{by_name, Scale};
 
 fn bench_paper_algorithms(c: &mut Criterion) {
@@ -12,12 +13,13 @@ fn bench_paper_algorithms(c: &mut Criterion) {
     let names = ["kron_g500-logn20", "roadNet-PA", "hugetrace-00000"];
     let mut group = c.benchmark_group("paper_algorithms");
     group.sample_size(10);
+    let mut solver = Solver::builder().build();
     for name in names {
         let spec = by_name(name).expect("known instance");
         let instance = prepare_instance(&spec, Scale::Tiny);
         for alg in paper_algorithms() {
             group.bench_with_input(BenchmarkId::new(alg.label(), name), &alg, |b, &alg| {
-                b.iter(|| measure(&instance, alg, None).seconds)
+                b.iter(|| measure(&instance, alg, &mut solver).expect("measure").seconds)
             });
         }
     }

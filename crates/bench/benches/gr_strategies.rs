@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpm_bench::runner::{measure, prepare_instance};
-use gpm_core::solver::Algorithm;
+use gpm_core::solver::{Algorithm, Solver};
 use gpm_core::{strategy::figure1_strategies, GprVariant};
 use gpm_graph::instances::{by_name, Scale};
 
@@ -14,10 +14,11 @@ fn bench_gr_strategies(c: &mut Criterion) {
     let instance = prepare_instance(&spec, Scale::Tiny);
     let mut group = c.benchmark_group("gr_strategies");
     group.sample_size(10);
+    let mut solver = Solver::builder().build();
     for strategy in figure1_strategies() {
         let alg = Algorithm::GpuPushRelabel(GprVariant::Shrink, strategy);
         group.bench_with_input(BenchmarkId::new("G-PR-Shr", strategy.label()), &alg, |b, &alg| {
-            b.iter(|| measure(&instance, alg, None).seconds)
+            b.iter(|| measure(&instance, alg, &mut solver).expect("measure").seconds)
         });
     }
     group.finish();

@@ -5,8 +5,12 @@
 //! * `--scale tiny|small|medium|large` — instance scale (default: `small`);
 //! * `--suite mini|full` — the 8-instance mini suite or the full 28-instance
 //!   suite (default: `full`);
+//! * `--algorithms <spec,...>` — comma-separated algorithm labels parsed via
+//!   `Algorithm::from_str` (e.g. `G-PR-Shr@adaptive:0.7,P-DBFS@4,PR`),
+//!   overriding the paper's four-algorithm comparison set;
 //! * `--json <path>` — additionally write the raw measurements as JSON.
 
+use gpm_core::solver::{self, Algorithm};
 use gpm_graph::instances::{self, InstanceSpec, Scale};
 
 /// Parsed command-line options.
@@ -18,6 +22,8 @@ pub struct Options {
     pub suite: Vec<InstanceSpec>,
     /// Human-readable suite name ("full" or "mini").
     pub suite_name: String,
+    /// Algorithm selection from `--algorithms`, if given.
+    pub algorithms: Option<Vec<Algorithm>>,
     /// Optional path for a JSON dump of the measurements.
     pub json_path: Option<String>,
 }
@@ -28,8 +34,17 @@ impl Default for Options {
             scale: Scale::Small,
             suite: instances::paper_suite(),
             suite_name: "full".to_string(),
+            algorithms: None,
             json_path: None,
         }
+    }
+}
+
+impl Options {
+    /// The algorithms to compare: the `--algorithms` selection, or the
+    /// paper's four-algorithm comparison set.
+    pub fn comparison_algorithms(&self) -> Vec<Algorithm> {
+        self.algorithms.clone().unwrap_or_else(solver::paper_comparison_set)
     }
 }
 
@@ -64,6 +79,22 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
                     other => return Err(format!("unknown suite '{other}'")),
                 }
             }
+            "--algorithms" => {
+                let value = it.next().ok_or("--algorithms requires a comma-separated list")?;
+                let algorithms: Vec<Algorithm> = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        let alg: Algorithm = s.parse().map_err(|e| format!("{e}"))?;
+                        alg.validate().map_err(|e| format!("{e}"))?;
+                        Ok(alg)
+                    })
+                    .collect::<Result<_, String>>()?;
+                if algorithms.is_empty() {
+                    return Err("--algorithms requires at least one algorithm".into());
+                }
+                opts.algorithms = Some(algorithms);
+            }
             "--json" => {
                 opts.json_path = Some(it.next().ok_or("--json requires a path")?);
             }
@@ -78,7 +109,10 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String>
 
 /// Usage string shared by all binaries.
 pub fn usage() -> String {
-    "usage: <binary> [--scale tiny|small|medium|large] [--suite full|mini] [--json <path>]"
+    "usage: <binary> [--scale tiny|small|medium|large] [--suite full|mini] \
+     [--algorithms <spec,...>] [--json <path>]\n\
+     algorithm specs: G-PR-First|G-PR-NoShr|G-PR-Shr[@adaptive:<k>|@fix:<k>], \
+     G-HK, G-HKDW, PR[@<k>], PFP, HK, HKDW, P-DBFS[@<threads>]"
         .to_string()
 }
 
@@ -140,5 +174,31 @@ mod tests {
         assert!(parse(args(&["--frobnicate"])).is_err());
         assert!(parse(args(&["--scale"])).is_err());
         assert!(parse(args(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn parses_algorithm_specs_via_fromstr() {
+        let o = parse(args(&["--algorithms", "G-PR-Shr@adaptive:0.7,P-DBFS@4,PR"])).unwrap();
+        let algs = o.algorithms.unwrap();
+        assert_eq!(algs.len(), 3);
+        assert_eq!(algs[0], gpm_core::solver::Algorithm::gpr_default());
+        assert_eq!(algs[1], gpm_core::solver::Algorithm::Pdbfs(4));
+        assert_eq!(algs[2], gpm_core::solver::Algorithm::SequentialPushRelabel(0.5));
+    }
+
+    #[test]
+    fn default_comparison_set_is_the_papers() {
+        let o = parse(args(&[])).unwrap();
+        assert!(o.algorithms.is_none());
+        assert_eq!(o.comparison_algorithms().len(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_or_invalid_algorithm_specs() {
+        assert!(parse(args(&["--algorithms", "G-XYZ"])).is_err());
+        assert!(parse(args(&["--algorithms", ""])).is_err());
+        assert!(parse(args(&["--algorithms"])).is_err());
+        // Parses but fails validation: zero threads.
+        assert!(parse(args(&["--algorithms", "P-DBFS@0"])).is_err());
     }
 }

@@ -9,26 +9,27 @@
 use crate::cli::Options;
 use crate::profiles::{self, ProfilePoint};
 use crate::report;
-use crate::runner::{self, measure, prepare_instance, Measurement};
-use gpm_core::solver::Algorithm;
+use crate::runner::{measure, prepare_instance, Measurement};
+use gpm_core::solver::{Algorithm, Solver};
 use gpm_core::GprVariant;
-use gpm_gpu::VirtualGpu;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
-/// Runs the paper's four-algorithm comparison (G-PR-Shr, G-HKDW, P-DBFS, PR)
-/// over the configured suite, returning one measurement per (instance,
+/// Runs the comparison set (by default the paper's G-PR-Shr, G-HKDW, P-DBFS,
+/// PR; overridable with `--algorithms`) over the configured suite on one
+/// warm [`Solver`] session, returning one measurement per (instance,
 /// algorithm) pair.  Progress is reported on stderr because full-suite runs
 /// take a while.
 pub fn run_paper_comparison(opts: &Options) -> Vec<Measurement> {
-    let gpu = VirtualGpu::parallel();
-    let algorithms = runner::paper_algorithms();
+    let mut solver = Solver::builder().build();
+    let algorithms = opts.comparison_algorithms();
     let mut measurements = Vec::new();
     for (i, spec) in opts.suite.iter().enumerate() {
         eprintln!("[{}/{}] preparing {} ({:?})", i + 1, opts.suite.len(), spec.name, opts.scale);
         let instance = prepare_instance(spec, opts.scale);
         for &alg in &algorithms {
-            let m = measure(&instance, alg, Some(&gpu));
+            let m = measure(&instance, alg, &mut solver)
+                .unwrap_or_else(|e| panic!("measuring {alg} on {} failed: {e}", spec.name));
             eprintln!("    {:>8}: {:>9.4}s", m.algorithm, m.seconds);
             measurements.push(m);
         }
@@ -123,7 +124,13 @@ impl Figure1Result {
 /// Runs the Figure 1 sweep: three G-PR variants × the paper's seven
 /// global-relabeling strategies over the configured suite.
 pub fn figure1(opts: &Options) -> Figure1Result {
-    let gpu = VirtualGpu::parallel();
+    if opts.algorithms.is_some() {
+        eprintln!(
+            "warning: --algorithms is ignored by the Figure 1 sweep (it always runs the \
+             3 G-PR variants x 7 GR strategies)"
+        );
+    }
+    let mut solver = Solver::builder().build();
     let variants = [GprVariant::First, GprVariant::ActiveList, GprVariant::Shrink];
     let strategies = gpm_core::strategy::figure1_strategies();
     // seconds[variant][strategy] = per-instance seconds
@@ -135,7 +142,8 @@ pub fn figure1(opts: &Options) -> Figure1Result {
         for &variant in &variants {
             for &strategy in &strategies {
                 let alg = Algorithm::GpuPushRelabel(variant, strategy);
-                let m = measure(&instance, alg, Some(&gpu));
+                let m = measure(&instance, alg, &mut solver)
+                    .unwrap_or_else(|e| panic!("measuring {alg} on {} failed: {e}", spec.name));
                 seconds
                     .entry((variant.label().to_string(), strategy.label()))
                     .or_default()
@@ -165,7 +173,9 @@ pub fn figure1(opts: &Options) -> Figure1Result {
 // Figures 2–4 and Table I (built from the shared comparison measurements)
 // ---------------------------------------------------------------------------
 
-/// Figure 2: speedup profiles of the parallel algorithms w.r.t. sequential PR.
+/// Figure 2: speedup profiles of the measured algorithms w.r.t. sequential
+/// PR.  Follows whatever algorithm set was measured; without a "PR" baseline
+/// the profiles cannot be formed and the report says so.
 pub fn figure2(measurements: &[Measurement]) -> (String, BTreeMap<String, Vec<ProfilePoint>>) {
     let pr = report::seconds_of(measurements, "PR");
     let thresholds = profiles::figure2_thresholds();
@@ -174,22 +184,22 @@ pub fn figure2(measurements: &[Measurement]) -> (String, BTreeMap<String, Vec<Pr
         "Figure 2 — speedup profiles w.r.t. sequential PR\n\
          (a point (x, y): with probability y the algorithm is at least x times faster than PR)\n\n",
     );
-    for alg in ["G-HKDW", "G-PR-Shr", "P-DBFS"] {
+    if pr.is_empty() {
+        out.push_str("no PR baseline measured; rerun with PR in --algorithms\n");
+        return (out, curves);
+    }
+    let labels: Vec<String> =
+        report::algorithm_labels(measurements).into_iter().filter(|l| l != "PR").collect();
+    for alg in &labels {
         let secs = report::seconds_of(measurements, alg);
-        if secs.is_empty() {
-            continue;
-        }
         let curve = profiles::speedup_profile(&pr, &secs, &thresholds);
         out.push_str(&report::render_profile(alg, &curve));
         out.push('\n');
-        curves.insert(alg.to_string(), curve);
+        curves.insert(alg.clone(), curve);
     }
     // The headline numbers quoted in the paper's text.
-    for alg in ["G-PR-Shr", "G-HKDW", "P-DBFS"] {
+    for alg in &labels {
         let secs = report::seconds_of(measurements, alg);
-        if secs.is_empty() {
-            continue;
-        }
         out.push_str(&format!(
             "P(speedup >= 5) for {:>8}: {:.2}   (paper: G-PR 0.39, G-HKDW 0.21, P-DBFS 0.14)\n",
             alg,
@@ -197,20 +207,26 @@ pub fn figure2(measurements: &[Measurement]) -> (String, BTreeMap<String, Vec<Pr
         ));
     }
     let gpr = report::seconds_of(measurements, "G-PR-Shr");
-    out.push_str(&format!(
-        "fraction of graphs where G-PR beats PR: {:.2}   (paper: 0.82)\n",
-        profiles::fraction_at_least(&pr, &gpr, 1.0)
-    ));
+    if !gpr.is_empty() {
+        out.push_str(&format!(
+            "fraction of graphs where G-PR beats PR: {:.2}   (paper: 0.82)\n",
+            profiles::fraction_at_least(&pr, &gpr, 1.0)
+        ));
+    }
     (out, curves)
 }
 
-/// Figure 3: performance profiles of the parallel algorithms.
+/// Figure 3: performance profiles of the measured parallel algorithms (the
+/// sequential PR baseline is excluded, as in the paper).
 pub fn figure3(measurements: &[Measurement]) -> (String, BTreeMap<String, Vec<ProfilePoint>>) {
     let mut all = BTreeMap::new();
-    for alg in ["G-PR-Shr", "G-HKDW", "P-DBFS"] {
-        let secs = report::seconds_of(measurements, alg);
+    for alg in report::algorithm_labels(measurements) {
+        if alg == "PR" {
+            continue;
+        }
+        let secs = report::seconds_of(measurements, &alg);
         if !secs.is_empty() {
-            all.insert(alg.to_string(), secs);
+            all.insert(alg, secs);
         }
     }
     let curves = profiles::performance_profiles(&all, &profiles::figure3_thresholds());
@@ -263,6 +279,15 @@ fn fraction_best(all: &BTreeMap<String, BTreeMap<u32, f64>>, target: &str) -> Op
 pub fn figure4(measurements: &[Measurement]) -> (String, BTreeMap<u32, f64>) {
     let pr = report::seconds_of(measurements, "PR");
     let gpr = report::seconds_of(measurements, "G-PR-Shr");
+    let mut out = String::from(
+        "Figure 4 — individual speedups of G-PR w.r.t. sequential PR (instances ordered by #rows)\n\n",
+    );
+    if pr.is_empty() || gpr.is_empty() {
+        out.push_str(
+            "figure 4 needs both G-PR-Shr and PR measurements; rerun with both in --algorithms\n",
+        );
+        return (out, BTreeMap::new());
+    }
     let mut speedups: BTreeMap<u32, f64> = BTreeMap::new();
     for (&id, &gpr_secs) in &gpr {
         if let Some(&pr_secs) = pr.get(&id) {
@@ -271,9 +296,6 @@ pub fn figure4(measurements: &[Measurement]) -> (String, BTreeMap<u32, f64>) {
     }
     let names: BTreeMap<u32, String> =
         measurements.iter().map(|m| (m.instance_id, m.instance_name.clone())).collect();
-    let mut out = String::from(
-        "Figure 4 — individual speedups of G-PR w.r.t. sequential PR (instances ordered by #rows)\n\n",
-    );
     let rows: Vec<Vec<String>> = speedups
         .iter()
         .map(|(id, s)| {
@@ -301,17 +323,19 @@ pub fn figure4(measurements: &[Measurement]) -> (String, BTreeMap<u32, f64>) {
 /// Table I: per-instance sizes, IM/MM cardinalities, and runtimes of the four
 /// compared algorithms, with geometric means in the bottom row.
 pub fn table1(measurements: &[Measurement], opts: &Options) -> String {
-    let algorithms = ["G-PR-Shr", "G-HKDW", "P-DBFS", "PR"];
+    // One runtime column per measured algorithm, in measurement order —
+    // the paper's four by default, or whatever --algorithms selected.
+    let algorithms = report::algorithm_labels(measurements);
     let mut out = String::from("Table I — per-instance runtimes (comparable seconds)\n\n");
     let mut rows: Vec<Vec<String>> = Vec::new();
     for spec in &opts.suite {
         let per_alg: BTreeMap<&str, f64> = algorithms
             .iter()
-            .filter_map(|&alg| {
+            .filter_map(|alg| {
                 measurements
                     .iter()
-                    .find(|m| m.instance_id == spec.id && m.algorithm == alg)
-                    .map(|m| (alg, m.seconds))
+                    .find(|m| m.instance_id == spec.id && &m.algorithm == alg)
+                    .map(|m| (alg.as_str(), m.seconds))
             })
             .collect();
         if per_alg.is_empty() {
@@ -319,32 +343,26 @@ pub fn table1(measurements: &[Measurement], opts: &Options) -> String {
         }
         let sample =
             measurements.iter().find(|m| m.instance_id == spec.id).expect("instance measured");
-        rows.push(vec![
+        let mut row = vec![
             spec.id.to_string(),
             spec.name.to_string(),
             sample.initial_cardinality.to_string(),
             sample.maximum_cardinality.to_string(),
-            report::fmt_secs(per_alg.get("G-PR-Shr").copied().unwrap_or(f64::NAN)),
-            report::fmt_secs(per_alg.get("G-HKDW").copied().unwrap_or(f64::NAN)),
-            report::fmt_secs(per_alg.get("P-DBFS").copied().unwrap_or(f64::NAN)),
-            report::fmt_secs(per_alg.get("PR").copied().unwrap_or(f64::NAN)),
-        ]);
+        ];
+        for alg in &algorithms {
+            row.push(report::fmt_secs(per_alg.get(alg.as_str()).copied().unwrap_or(f64::NAN)));
+        }
+        rows.push(row);
     }
     let geomeans = report::geomean_by_algorithm(measurements);
-    rows.push(vec![
-        String::new(),
-        "GEOMEAN".to_string(),
-        String::new(),
-        String::new(),
-        report::fmt_secs(geomeans.get("G-PR-Shr").copied().unwrap_or(f64::NAN)),
-        report::fmt_secs(geomeans.get("G-HKDW").copied().unwrap_or(f64::NAN)),
-        report::fmt_secs(geomeans.get("P-DBFS").copied().unwrap_or(f64::NAN)),
-        report::fmt_secs(geomeans.get("PR").copied().unwrap_or(f64::NAN)),
-    ]);
-    out.push_str(&report::render_table(
-        &["ID", "Graph", "IM", "MM", "G-PR", "G-HKDW", "P-DBFS", "PR"],
-        &rows,
-    ));
+    let mut geo_row = vec![String::new(), "GEOMEAN".to_string(), String::new(), String::new()];
+    for alg in &algorithms {
+        geo_row.push(report::fmt_secs(geomeans.get(alg).copied().unwrap_or(f64::NAN)));
+    }
+    rows.push(geo_row);
+    let mut headers: Vec<&str> = vec!["ID", "Graph", "IM", "MM"];
+    headers.extend(algorithms.iter().map(|a| a.as_str()));
+    out.push_str(&report::render_table(&headers, &rows));
     // Headline ratios quoted in the paper: G-PR is 1.30x faster than G-HKDW
     // and 2.82x faster than P-DBFS in geometric mean.
     if let (Some(gpr), Some(ghkdw), Some(pdbfs), Some(pr)) = (
@@ -373,6 +391,7 @@ mod tests {
             scale: Scale::Tiny,
             suite: gpm_graph::instances::mini_suite().into_iter().take(2).collect(),
             suite_name: "mini".into(),
+            algorithms: None,
             json_path: None,
         }
     }
@@ -396,6 +415,44 @@ mod tests {
         let (f4, speedups) = figure4(&ms);
         assert!(f4.contains("speedup"));
         assert_eq!(speedups.len(), opts.suite.len());
+    }
+
+    #[test]
+    fn custom_algorithm_sets_flow_through_the_renderers() {
+        let opts = Options {
+            algorithms: Some(vec![Algorithm::HopcroftKarp, Algorithm::SequentialPushRelabel(0.5)]),
+            suite: gpm_graph::instances::mini_suite().into_iter().take(1).collect(),
+            ..tiny_mini_options()
+        };
+        let ms = run_paper_comparison(&opts);
+        assert_eq!(ms.len(), 2);
+        // Table renders columns for exactly the measured algorithms.
+        let t = table1(&ms, &opts);
+        assert!(t.contains("HK"));
+        assert!(t.contains("GEOMEAN"));
+        assert!(!t.contains("G-PR-Shr"));
+        assert!(!t.contains("NaN"));
+        // Speedup profiles follow the measured set (HK vs the PR baseline).
+        let (f2, curves2) = figure2(&ms);
+        assert_eq!(curves2.len(), 1);
+        assert!(f2.contains("HK"));
+        // Figure 4 needs G-PR-Shr; it degrades with a message, not NaN rows.
+        let (f4, speedups) = figure4(&ms);
+        assert!(speedups.is_empty());
+        assert!(f4.contains("rerun with both"));
+    }
+
+    #[test]
+    fn figure2_without_pr_baseline_says_so() {
+        let opts = Options {
+            algorithms: Some(vec![Algorithm::HopcroftKarp]),
+            suite: gpm_graph::instances::mini_suite().into_iter().take(1).collect(),
+            ..tiny_mini_options()
+        };
+        let ms = run_paper_comparison(&opts);
+        let (f2, curves) = figure2(&ms);
+        assert!(curves.is_empty());
+        assert!(f2.contains("no PR baseline"));
     }
 
     #[test]

@@ -10,11 +10,15 @@
 //! | `fig4_individual_speedups` | Figure 4 — per-instance speedup of G-PR over PR |
 //! | `table1_runtimes` | Table I — per-instance runtimes of G-PR, G-HKDW, P-DBFS, PR |
 //!
-//! plus Criterion micro/ablation benches under `benches/`.
+//! plus Criterion micro/ablation benches under `benches/` (including
+//! `solver_reuse`, which quantifies cold-per-call vs warm-session solving).
 //!
 //! The library part contains the pieces the binaries share: instance
 //! preparation ([`runner`]), profile computations ([`profiles`]), and report
-//! formatting ([`report`]).  All measurements use
+//! formatting ([`report`]).  Every binary drives one warm
+//! [`gpm_core::solver::Solver`] session across its whole suite, and accepts
+//! `--algorithms` with round-trippable specs (`G-PR-Shr@adaptive:0.7`,
+//! `P-DBFS@4`, …) parsed by `Algorithm::from_str`.  All measurements use
 //! [`gpm_core::solver::SolveReport::comparable_seconds`]: modelled device
 //! time for the GPU algorithms and host wall-clock for the CPU ones — see
 //! `EXPERIMENTS.md` for the methodology and its limitations.

@@ -19,6 +19,19 @@ pub fn by_algorithm(measurements: &[Measurement]) -> BTreeMap<String, Vec<&Measu
     map
 }
 
+/// Distinct algorithm labels in measurement order (the order the comparison
+/// ran them in), so figure/table rendering follows whatever set was
+/// measured — the paper's four algorithms or a custom `--algorithms` list.
+pub fn algorithm_labels(measurements: &[Measurement]) -> Vec<String> {
+    let mut labels: Vec<String> = Vec::new();
+    for m in measurements {
+        if !labels.contains(&m.algorithm) {
+            labels.push(m.algorithm.clone());
+        }
+    }
+    labels
+}
+
 /// Seconds per instance id for one algorithm.
 pub fn seconds_of(measurements: &[Measurement], algorithm: &str) -> BTreeMap<u32, f64> {
     measurements
@@ -97,6 +110,7 @@ mod tests {
             instance_id: id,
             instance_name: format!("g{id}"),
             algorithm: alg.to_string(),
+            algorithm_spec: alg.to_string(),
             seconds: secs,
             wall_seconds: secs,
             cardinality: 10,

@@ -1,9 +1,8 @@
 //! Instance preparation and measurement plumbing shared by all figure/table
 //! binaries and the Criterion benches.
 
-use gpm_core::solver::{self, Algorithm};
-use gpm_core::GhkVariant;
-use gpm_gpu::VirtualGpu;
+use gpm_core::solver::{self, Algorithm, Solver};
+use gpm_core::{GhkVariant, SolveError};
 use gpm_graph::heuristics::cheap_matching;
 use gpm_graph::instances::{InstanceSpec, Scale};
 use gpm_graph::{BipartiteCsr, Matching};
@@ -54,6 +53,9 @@ pub struct Measurement {
     pub instance_name: String,
     /// Algorithm label (G-PR-Shr, G-HKDW, P-DBFS, PR, …).
     pub algorithm: String,
+    /// Full round-trippable algorithm spec (e.g. `G-PR-Shr@adaptive:0.7`),
+    /// parseable back with `Algorithm::from_str`.
+    pub algorithm_spec: String,
     /// Comparable seconds: modelled device time for GPU algorithms, host
     /// wall-clock for CPU algorithms.
     pub seconds: f64,
@@ -67,33 +69,38 @@ pub struct Measurement {
     pub initial_cardinality: usize,
 }
 
-/// Solves `instance` with `algorithm`, verifies the result against the
-/// reference maximum, and returns the measurement.
+/// Solves `instance` with `algorithm` on the given warm [`Solver`] session,
+/// verifies the result against the reference maximum, and returns the
+/// measurement.  Reusing one session across a suite makes the per-call setup
+/// (device creation, buffer allocation) disappear from the harness, matching
+/// the paper's methodology of excluding common setup from reported times.
 ///
 /// # Panics
 /// Panics if the solver returns a non-maximum matching — a benchmark result
-/// from a wrong answer is worse than no result.
+/// from a wrong answer is worse than no result.  Configuration errors are
+/// returned as [`SolveError`]s instead.
 pub fn measure(
     instance: &InstanceRun,
     algorithm: Algorithm,
-    gpu: Option<&VirtualGpu>,
-) -> Measurement {
-    let report = solver::solve_with_initial(&instance.graph, &instance.initial, algorithm, gpu);
+    solver: &mut Solver,
+) -> Result<Measurement, SolveError> {
+    let report = solver.solve_with_initial(&instance.graph, &instance.initial, algorithm)?;
     assert_eq!(
         report.cardinality, instance.maximum_cardinality,
         "{} returned a non-maximum matching on {} ({} vs {})",
         report.algorithm, instance.spec.name, report.cardinality, instance.maximum_cardinality
     );
-    Measurement {
+    Ok(Measurement {
         instance_id: instance.spec.id,
         instance_name: instance.spec.name.to_string(),
         algorithm: report.algorithm.clone(),
+        algorithm_spec: algorithm.to_string(),
         seconds: report.comparable_seconds(),
         wall_seconds: report.wall_seconds,
         cardinality: report.cardinality,
         maximum_cardinality: instance.maximum_cardinality,
         initial_cardinality: instance.initial_cardinality,
-    }
+    })
 }
 
 /// The four algorithms of the paper's headline comparison (Figures 2–4,
@@ -119,12 +126,25 @@ mod tests {
         assert!(instance.maximum_cardinality >= instance.initial_cardinality);
         assert!(instance.graph.num_rows() >= 256);
 
+        let mut solver = Solver::new();
         for alg in paper_algorithms() {
-            let m = measure(&instance, alg, None);
+            let m = measure(&instance, alg, &mut solver).unwrap();
             assert_eq!(m.cardinality, instance.maximum_cardinality);
             assert!(m.seconds >= 0.0);
             assert_eq!(m.instance_id, 1);
+            assert_eq!(m.algorithm_spec.parse::<Algorithm>().unwrap(), alg);
         }
+        // One warm engine per algorithm was retained by the session.
+        assert_eq!(solver.warm_engine_count(), paper_algorithms().len());
+    }
+
+    #[test]
+    fn measure_surfaces_config_errors_instead_of_panicking() {
+        let spec = instances::by_name("amazon0505").unwrap();
+        let instance = prepare_instance(&spec, Scale::Tiny);
+        let mut solver = Solver::new();
+        let err = measure(&instance, Algorithm::Pdbfs(0), &mut solver).unwrap_err();
+        assert!(matches!(err, SolveError::InvalidConfig { .. }));
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub const MU_UNMATCHABLE: i64 = -2;
 /// The graph's CSR arrays are read-only and shared with the host — the
 /// virtual GPU has no separate address space, so "copying the graph to the
 /// device" is represented by kernels capturing `&BipartiteCsr`.
+#[derive(Debug)]
 pub struct DeviceState {
     /// Labels of row vertices (`ψ(u)` for `u ∈ V_R`).
     pub psi_row: DeviceBuffer<u32>,
@@ -47,6 +48,42 @@ impl DeviceState {
             mu_col: DeviceBuffer::from_slice(initial.col_mates()),
             unreachable: (m + n) as u32,
         }
+    }
+
+    /// Re-uploads a matching into an existing state of the same shape,
+    /// reusing all four device buffers (the warm-session equivalent of
+    /// [`DeviceState::upload`]).
+    ///
+    /// # Panics
+    /// Panics if the graph or matching shape differs from this state's.
+    pub fn reset(&mut self, graph: &BipartiteCsr, initial: &Matching) {
+        assert_eq!(self.num_rows(), graph.num_rows(), "device state shape mismatch");
+        assert_eq!(self.num_cols(), graph.num_cols(), "device state shape mismatch");
+        assert_eq!(initial.num_rows(), graph.num_rows(), "initial matching shape mismatch");
+        assert_eq!(initial.num_cols(), graph.num_cols(), "initial matching shape mismatch");
+        self.psi_row.fill(0);
+        self.psi_col.fill(1);
+        self.mu_row.copy_from_slice(initial.row_mates());
+        self.mu_col.copy_from_slice(initial.col_mates());
+    }
+
+    /// Workspace hook: populates `slot` with an uploaded state, reusing the
+    /// previous allocation when the graph shape matches (warm solve) and
+    /// re-allocating otherwise (cold solve or shape change).
+    pub fn upload_into<'a>(
+        slot: &'a mut Option<DeviceState>,
+        graph: &BipartiteCsr,
+        initial: &Matching,
+    ) -> &'a DeviceState {
+        match slot {
+            Some(state)
+                if state.num_rows() == graph.num_rows() && state.num_cols() == graph.num_cols() =>
+            {
+                state.reset(graph, initial)
+            }
+            _ => *slot = Some(DeviceState::upload(graph, initial)),
+        }
+        slot.as_ref().expect("slot populated above")
     }
 
     /// `true` when column `v` is *active*: not marked unmatchable, and either
@@ -145,6 +182,27 @@ mod tests {
         assert_eq!(m.cardinality(), 1);
         assert_eq!(m.col_mate(1), Some(0));
         assert_eq!(m.col_mate(0), None);
+    }
+
+    #[test]
+    fn upload_into_reuses_matching_shapes() {
+        let g = gen::uniform_random(8, 9, 30, 2).unwrap();
+        let mut slot: Option<DeviceState> = None;
+        {
+            let st = DeviceState::upload_into(&mut slot, &g, &Matching::empty_for(&g));
+            st.mu_col.set(0, 3);
+            st.psi_col.set(0, 17);
+        }
+        // Same shape: buffers are reset in place, stale values are gone.
+        let im = cheap_matching(&g);
+        let st = DeviceState::upload_into(&mut slot, &g, &im);
+        assert_eq!(st.psi_col.get(0), 1);
+        assert_eq!(st.mu_col.to_vec(), im.col_mates());
+        // Different shape: the state is re-allocated.
+        let g2 = gen::uniform_random(5, 5, 12, 3).unwrap();
+        let st = DeviceState::upload_into(&mut slot, &g2, &Matching::empty_for(&g2));
+        assert_eq!(st.num_rows(), 5);
+        assert_eq!(st.num_cols(), 5);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Structured, fallible errors for the solve API.
+//!
+//! The original front-end panicked on misuse (`device.expect("gpu")`,
+//! assertion failures on malformed shapes) — acceptable in a research
+//! harness, not in a service.  Every failure mode of the redesigned
+//! [`crate::solver::Solver`] is a [`SolveError`] variant instead, so batch
+//! pipelines can skip a bad job and keep going.
+
+use std::fmt;
+
+/// Everything that can go wrong when solving through the unified front-end.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// A GPU algorithm was requested but no virtual device is available
+    /// (the solver was built with [`crate::solver::DevicePolicy::CpuOnly`]).
+    DeviceRequired {
+        /// Label of the algorithm that needed a device.
+        algorithm: String,
+    },
+    /// An algorithm was constructed with parameters it cannot run with
+    /// (NaN/negative global-relabel `k`, zero threads, …).
+    InvalidConfig {
+        /// Label of the misconfigured algorithm.
+        algorithm: String,
+        /// Human-readable description of the rejected parameter.
+        reason: String,
+    },
+    /// The supplied initial matching does not have the graph's shape.
+    ShapeMismatch {
+        /// (rows, cols) of the graph.
+        graph: (usize, usize),
+        /// (rows, cols) of the initial matching.
+        initial: (usize, usize),
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::DeviceRequired { algorithm } => {
+                write!(f, "{algorithm} runs on the virtual GPU, but the solver owns no device")
+            }
+            SolveError::InvalidConfig { algorithm, reason } => {
+                write!(f, "invalid configuration for {algorithm}: {reason}")
+            }
+            SolveError::ShapeMismatch { graph, initial } => write!(
+                f,
+                "initial matching shape {}x{} does not match graph shape {}x{}",
+                initial.0, initial.1, graph.0, graph.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Error returned when a string is not a round-trippable [`Algorithm`]
+/// label (see [`Algorithm`]'s [`std::str::FromStr`] impl for the grammar).
+///
+/// [`Algorithm`]: crate::solver::Algorithm
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAlgorithmError {
+    /// The string that failed to parse.
+    pub input: String,
+    /// What the parser expected at the point of failure.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for ParseAlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot parse algorithm label '{}': expected {}", self.input, self.expected)
+    }
+}
+
+impl std::error::Error for ParseAlgorithmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_failure() {
+        let e = SolveError::DeviceRequired { algorithm: "G-PR-Shr".into() };
+        assert!(e.to_string().contains("G-PR-Shr"));
+        assert!(e.to_string().contains("device"));
+        let e = SolveError::InvalidConfig { algorithm: "PR".into(), reason: "k is NaN".into() };
+        assert!(e.to_string().contains("k is NaN"));
+        let e = SolveError::ShapeMismatch { graph: (4, 5), initial: (3, 5) };
+        assert!(e.to_string().contains("3x5"));
+        assert!(e.to_string().contains("4x5"));
+    }
+
+    #[test]
+    fn parse_error_reports_input_and_expectation() {
+        let e = ParseAlgorithmError { input: "G-XX".into(), expected: "a known algorithm name" };
+        assert!(e.to_string().contains("G-XX"));
+        assert!(e.to_string().contains("known algorithm name"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SolveError::DeviceRequired { algorithm: "x".into() });
+        takes_err(&ParseAlgorithmError { input: "x".into(), expected: "y" });
+    }
+}

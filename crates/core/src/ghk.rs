@@ -79,21 +79,58 @@ pub struct GhkResult {
     pub stats: GhkRunStats,
 }
 
-/// Runs G-HK or G-HKDW on the virtual GPU, starting from `initial`.
+/// Reusable G-HK/G-HKDW working memory: the device matching/label state and
+/// the per-phase BFS level array.  Warm solver sessions reuse it across
+/// solves on same-shaped graphs.
+#[derive(Debug, Default)]
+pub struct GhkWorkspace {
+    state: Option<DeviceState>,
+    dist_col: Option<DeviceBuffer<u32>>,
+}
+
+impl GhkWorkspace {
+    /// A fresh (cold) workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the workspace holds buffers for a graph of this shape.
+    pub fn is_warm_for(&self, graph: &BipartiteCsr) -> bool {
+        self.state
+            .as_ref()
+            .is_some_and(|s| s.num_rows() == graph.num_rows() && s.num_cols() == graph.num_cols())
+    }
+}
+
+/// Runs G-HK or G-HKDW on the virtual GPU, starting from `initial`, with a
+/// cold workspace.
 pub fn run(
     gpu: &VirtualGpu,
     graph: &BipartiteCsr,
     initial: &Matching,
     variant: GhkVariant,
 ) -> GhkResult {
+    run_with(gpu, graph, initial, variant, &mut GhkWorkspace::new())
+}
+
+/// Runs G-HK or G-HKDW reusing `workspace` buffers from previous solves
+/// wherever the graph shape allows.
+pub fn run_with(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    initial: &Matching,
+    variant: GhkVariant,
+    workspace: &mut GhkWorkspace,
+) -> GhkResult {
     let start = std::time::Instant::now();
     let base_stats = gpu.stats();
-    let state = DeviceState::upload(graph, initial);
+    let GhkWorkspace { state: state_slot, dist_col: dist_slot } = workspace;
+    let state = DeviceState::upload_into(state_slot, graph, initial);
     let mut stats = GhkRunStats { variant: variant.label(), ..Default::default() };
 
     let n = graph.num_cols();
     let m = graph.num_rows();
-    let dist_col = DeviceBuffer::<u32>::new(n, INF);
+    let dist_col = DeviceBuffer::recycle(dist_slot, n, INF);
     let frontier_nonempty = DeviceBuffer::<bool>::new(1, false);
     let found_free_row = DeviceBuffer::<bool>::new(1, false);
 
@@ -143,10 +180,10 @@ pub fn run(
         let free_cols: Vec<i64> =
             (0..n).filter(|&v| state.mu_col.get(v) == MU_UNMATCHED).map(|v| v as i64).collect();
         let max_path = (level as usize + 2).max(2);
-        let paths = build_paths_kernel(gpu, graph, &state, &dist_col, &free_cols, max_path);
+        let paths = build_paths_kernel(gpu, graph, state, dist_col, &free_cols, max_path);
 
         // ---- Commit pass ----
-        let (applied, conflicts, committed_work) = commit_paths(&state, &paths, m, n);
+        let (applied, conflicts, committed_work) = commit_paths(state, &paths, m, n);
         gpu.launch("G-HK-COMMIT", applied.max(1), |ctx| {
             // The commit's cost is proportional to the total committed path
             // length; charge it to the thread representing each applied path.
@@ -160,7 +197,7 @@ pub fn run(
         // ---- Optional Duff–Wiberg extra sweep from unmatched rows ----
         let mut progress = applied as u64;
         if variant == GhkVariant::Hkdw {
-            let extra = dw_sweep(gpu, graph, &state);
+            let extra = dw_sweep(gpu, graph, state);
             stats.augmentations += extra;
             progress += extra;
         }
@@ -170,7 +207,7 @@ pub fn run(
             // a non-empty phase, but is guarded against so that a bug cannot
             // turn into a hang): apply a single host-side augmentation or
             // stop if none exists.
-            if host_augment_one(graph, &state) {
+            if host_augment_one(graph, state) {
                 stats.augmentations += 1;
             } else {
                 break;
@@ -552,6 +589,27 @@ mod tests {
         let r = run(&gpu, &g, &init, GhkVariant::Hk);
         assert_eq!(r.matching.cardinality(), 64);
         assert_eq!(r.stats.phases, 0);
+    }
+
+    #[test]
+    fn warm_workspace_matches_cold_runs() {
+        let gpu = VirtualGpu::sequential();
+        let mut ws = GhkWorkspace::new();
+        let g1 = gen::uniform_random(50, 50, 260, 21).unwrap();
+        let g2 = gen::uniform_random(50, 50, 280, 22).unwrap();
+        for variant in [GhkVariant::Hk, GhkVariant::Hkdw] {
+            for g in [&g1, &g2] {
+                let init = cheap_matching(g);
+                let warm = run_with(&gpu, g, &init, variant, &mut ws);
+                let cold = run(&gpu, g, &init, variant);
+                assert_eq!(warm.matching.cardinality(), cold.matching.cardinality());
+            }
+            assert!(ws.is_warm_for(&g1));
+        }
+        let g3 = gen::uniform_random(20, 30, 100, 23).unwrap();
+        assert!(!ws.is_warm_for(&g3));
+        let r = run_with(&gpu, &g3, &cheap_matching(&g3), GhkVariant::Hk, &mut ws);
+        assert_eq!(r.matching.cardinality(), maximum_matching_cardinality(&g3));
     }
 
     #[test]

@@ -129,17 +129,58 @@ pub struct GprResult {
     pub stats: GprRunStats,
 }
 
+/// Reusable G-PR working memory: the device-resident matching/label state,
+/// the `iA` stamp array, and the host staging vector for the initial active
+/// list.  A warm [`crate::solver::Solver`] session keeps one workspace per
+/// engine so repeated solves on same-shaped graphs reuse these allocations
+/// (the active-list arrays themselves are rebuilt per solve — their length
+/// tracks the per-instance deficiency, and shrinking replaces them mid-run).
+#[derive(Debug, Default)]
+pub struct GprWorkspace {
+    state: Option<DeviceState>,
+    i_a: Option<DeviceBuffer<i64>>,
+    active_staging: Vec<i64>,
+}
+
+impl GprWorkspace {
+    /// A fresh (cold) workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the workspace holds buffers for a graph of this shape, so
+    /// the next solve will reuse them instead of allocating.
+    pub fn is_warm_for(&self, graph: &BipartiteCsr) -> bool {
+        self.state
+            .as_ref()
+            .is_some_and(|s| s.num_rows() == graph.num_rows() && s.num_cols() == graph.num_cols())
+    }
+}
+
 /// Runs G-PR on the given virtual GPU, starting from `initial` (normally the
-/// cheap greedy matching, as in the paper).
+/// cheap greedy matching, as in the paper), with a cold workspace.
 pub fn run(
     gpu: &VirtualGpu,
     graph: &BipartiteCsr,
     initial: &Matching,
     config: GprConfig,
 ) -> GprResult {
+    run_with(gpu, graph, initial, config, &mut GprWorkspace::new())
+}
+
+/// Runs G-PR reusing `workspace` buffers from previous solves wherever the
+/// graph shape allows.
+pub fn run_with(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    initial: &Matching,
+    config: GprConfig,
+    workspace: &mut GprWorkspace,
+) -> GprResult {
     let start = std::time::Instant::now();
     let base_stats = gpu.stats();
-    let state = DeviceState::upload(graph, initial);
+    let GprWorkspace { state: state_slot, i_a: ia_slot, active_staging } = workspace;
+    let state = DeviceState::upload_into(state_slot, graph, initial);
     let mut stats = GprRunStats {
         variant: config.variant.label(),
         strategy: config.strategy.label(),
@@ -147,13 +188,13 @@ pub fn run(
     };
 
     match config.variant {
-        GprVariant::First => run_first(gpu, graph, &state, &config, &mut stats),
+        GprVariant::First => run_first(gpu, graph, state, &config, &mut stats),
         GprVariant::ActiveList | GprVariant::Shrink => {
-            run_active_list(gpu, graph, &state, &config, &mut stats)
+            run_active_list(gpu, graph, state, &config, &mut stats, ia_slot, active_staging)
         }
     }
 
-    fix_matching(gpu, &state);
+    fix_matching(gpu, state);
     let matching = state.download_matching();
 
     // Report only the device work done by this run, even if the caller
@@ -302,20 +343,24 @@ fn run_active_list(
     state: &DeviceState,
     config: &GprConfig,
     stats: &mut GprRunStats,
+    ia_slot: &mut Option<DeviceBuffer<i64>>,
+    active_staging: &mut Vec<i64>,
 ) {
     let n = graph.num_cols();
     let max_loops = config.effective_max_loops(graph);
 
-    // Initially both arrays hold the unmatched column indices.
-    let initially_active: Vec<i64> =
-        (0..n).filter(|&v| state.mu_col.get(v) == MU_UNMATCHED).map(|v| v as i64).collect();
-    if initially_active.is_empty() {
+    // Initially both arrays hold the unmatched column indices (staged in the
+    // reusable host vector).
+    active_staging.clear();
+    active_staging
+        .extend((0..n).filter(|&v| state.mu_col.get(v) == MU_UNMATCHED).map(|v| v as i64));
+    if active_staging.is_empty() {
         stats.loops = 0;
         return;
     }
-    let mut a_current = DeviceBuffer::from_slice(&initially_active);
-    let mut a_previous = DeviceBuffer::from_slice(&initially_active);
-    let i_a = DeviceBuffer::<i64>::new(n, -1);
+    let mut a_current = DeviceBuffer::from_slice(active_staging);
+    let mut a_previous = DeviceBuffer::from_slice(active_staging);
+    let i_a = DeviceBuffer::recycle(ia_slot, n, -1);
 
     let act_exists = DeviceBuffer::<bool>::new(1, true);
     let mut loop_iter: u64 = 0;
@@ -343,7 +388,7 @@ fn run_active_list(
             && list_len >= config.shrink_threshold;
         if do_shrink {
             let (new_ac, new_ap) =
-                shrink_kernel(gpu, state, &a_current, &a_previous, &i_a, loop_stamp, &act_exists);
+                shrink_kernel(gpu, state, &a_current, &a_previous, i_a, loop_stamp, &act_exists);
             a_current = new_ac;
             a_previous = new_ap;
             stats.shrinks += 1;
@@ -379,7 +424,7 @@ fn run_active_list(
                     a_previous.set(i, SLOT_EMPTY);
                     return;
                 }
-                match push_relabel_step(graph, state, ctx, v as usize, Some((&i_a, loop_stamp))) {
+                match push_relabel_step(graph, state, ctx, v as usize, Some((i_a, loop_stamp))) {
                     PushOutcome::Pushed(displaced) => {
                         a_previous.set(i, displaced.unwrap_or(SLOT_EMPTY));
                     }
@@ -652,6 +697,37 @@ mod tests {
             active_threads < first_threads,
             "active-list should launch fewer threads ({active_threads} vs {first_threads})"
         );
+    }
+
+    #[test]
+    fn warm_workspace_matches_cold_runs_across_shapes() {
+        let gpu = VirtualGpu::sequential();
+        let mut ws = GprWorkspace::new();
+        let g1 = gen::uniform_random(60, 60, 300, 1).unwrap();
+        let g2 = gen::uniform_random(60, 60, 320, 2).unwrap();
+        for variant in all_variants() {
+            let config = GprConfig::with_variant(variant);
+            let init1 = cheap_matching(&g1);
+            let warm1 = run_with(&gpu, &g1, &init1, config, &mut ws);
+            assert_eq!(
+                warm1.matching.cardinality(),
+                run(&gpu, &g1, &init1, config).matching.cardinality()
+            );
+            // Same shape: the second solve reuses the workspace buffers.
+            assert!(ws.is_warm_for(&g2));
+            let init2 = cheap_matching(&g2);
+            let warm2 = run_with(&gpu, &g2, &init2, config, &mut ws);
+            assert_eq!(
+                warm2.matching.cardinality(),
+                run(&gpu, &g2, &init2, config).matching.cardinality()
+            );
+        }
+        // Shape change: the workspace transparently re-allocates.
+        let g3 = gen::uniform_random(30, 45, 200, 3).unwrap();
+        assert!(!ws.is_warm_for(&g3));
+        let r3 = run_with(&gpu, &g3, &cheap_matching(&g3), GprConfig::paper_default(), &mut ws);
+        assert_eq!(r3.matching.cardinality(), maximum_matching_cardinality(&g3));
+        assert!(ws.is_warm_for(&g3));
     }
 
     #[test]

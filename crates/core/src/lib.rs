@@ -13,34 +13,63 @@
 //!   intervals and the adaptive `k × maxLevel` rule the paper introduces.
 //! * [`ghk`] — **G-HK / G-HKDW**, the GPU augmenting-path baselines the paper
 //!   compares against.
-//! * [`solver`] — a unified front-end over every algorithm in the workspace
-//!   (GPU and CPU), used by the examples and the benchmark harness.
+//! * [`engine`] — the uniform, fallible [`engine::Engine`] interface every
+//!   algorithm family (GPU and CPU) implements, with warm per-engine
+//!   workspaces.
+//! * [`solver`] — the session-style front-end: [`solver::Solver`] built via
+//!   `Solver::builder()`, used by the examples and the benchmark harness.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use gpm_core::solver::{solve, Algorithm};
+//! use gpm_core::solver::{Algorithm, Solver};
 //! use gpm_graph::gen;
 //!
+//! // One session, many solves: the solver owns the virtual device and a
+//! // warm workspace per algorithm, so repeated solves skip the setup cost.
+//! let mut solver = Solver::builder().build();
+//!
 //! let graph = gen::planted_perfect(500, 2_000, 7).unwrap();
-//! let report = solve(&graph, Algorithm::gpr_default());
+//! let report = solver.solve(&graph, Algorithm::gpr_default()).unwrap();
 //! assert_eq!(report.cardinality, 500);
 //! println!("{} matched {} pairs using {:.3} ms of modelled device time",
 //!     report.algorithm, report.cardinality,
 //!     report.modelled_device_seconds.unwrap() * 1e3);
+//!
+//! // Batch solving returns one Result per job instead of panicking:
+//! let other = gen::planted_perfect(200, 800, 8).unwrap();
+//! let results = solver.solve_batch(vec![
+//!     (&graph, Algorithm::HopcroftKarp),
+//!     (&other, "P-DBFS@4".parse().unwrap()),
+//! ]);
+//! assert!(results.iter().all(|r| r.is_ok()));
 //! ```
+//!
+//! ### Migrating from the pre-session API
+//!
+//! The free functions `solve` / `solve_with_initial` still exist as shims
+//! over a throwaway [`solver::Solver`], but now return
+//! `Result<SolveReport, SolveError>` instead of panicking on misuse; append
+//! `?` or `.unwrap()` to old call sites, or better, build one `Solver` and
+//! reuse it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod engine;
+pub mod error;
 pub mod ggr;
 pub mod ghk;
 pub mod gpr;
 pub mod solver;
 pub mod strategy;
 
-pub use ghk::GhkVariant;
-pub use gpr::{GprConfig, GprResult, GprVariant};
-pub use solver::{solve, solve_with_initial, Algorithm, SolveReport};
+pub use engine::{Engine, EngineCtx, EngineOutput};
+pub use error::{ParseAlgorithmError, SolveError};
+pub use ghk::{GhkVariant, GhkWorkspace};
+pub use gpr::{GprConfig, GprResult, GprVariant, GprWorkspace};
+pub use solver::{
+    solve, solve_with_initial, Algorithm, DevicePolicy, InitHeuristic, SolveReport, Solver,
+};
 pub use strategy::GrStrategy;

@@ -14,16 +14,82 @@
 //! Figure 1 of the paper sweeps `k ∈ {0.3, 0.7, 1, 1.5, 2}` for the adaptive
 //! strategy and `k ∈ {10, 50}` for the fixed one; (adaptive, 0.7) wins.
 
+use crate::error::ParseAlgorithmError;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::str::FromStr;
 
 /// When to run the next global relabeling.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub enum GrStrategy {
     /// Relabel after every `k` push-relabel kernel executions.
     Fixed(u32),
     /// Relabel after `k × maxLevel` push-relabel kernel executions, where
     /// `maxLevel` comes from the previous global relabeling.
     Adaptive(f64),
+}
+
+// Equality and hashing go through the bit pattern of the adaptive factor so
+// the strategy can key solver-session engine maps.  The solver rejects NaN
+// factors before a strategy is ever stored, so bit equality and semantic
+// equality coincide in practice.
+impl PartialEq for GrStrategy {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (GrStrategy::Fixed(a), GrStrategy::Fixed(b)) => a == b,
+            (GrStrategy::Adaptive(a), GrStrategy::Adaptive(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for GrStrategy {}
+
+impl Hash for GrStrategy {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            GrStrategy::Fixed(k) => {
+                0u8.hash(state);
+                k.hash(state);
+            }
+            GrStrategy::Adaptive(k) => {
+                1u8.hash(state);
+                k.to_bits().hash(state);
+            }
+        }
+    }
+}
+
+/// Compact round-trippable form used inside [`crate::solver::Algorithm`]
+/// labels: `adaptive:0.7` or `fix:10`.
+impl fmt::Display for GrStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GrStrategy::Fixed(k) => write!(f, "fix:{k}"),
+            GrStrategy::Adaptive(k) => write!(f, "adaptive:{k}"),
+        }
+    }
+}
+
+impl FromStr for GrStrategy {
+    type Err = ParseAlgorithmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |expected| ParseAlgorithmError { input: s.to_string(), expected };
+        let (kind, value) = s.split_once(':').ok_or_else(|| err("'adaptive:<k>' or 'fix:<k>'"))?;
+        match kind {
+            "adaptive" => value
+                .parse::<f64>()
+                .map(GrStrategy::Adaptive)
+                .map_err(|_| err("a floating-point adaptive factor")),
+            "fix" => value
+                .parse::<u32>()
+                .map(GrStrategy::Fixed)
+                .map_err(|_| err("an integer fixed interval")),
+            _ => Err(err("'adaptive:<k>' or 'fix:<k>'")),
+        }
+    }
 }
 
 impl GrStrategy {
@@ -124,5 +190,29 @@ mod tests {
     #[test]
     fn paper_default_is_adaptive_07() {
         assert_eq!(GrStrategy::paper_default(), GrStrategy::Adaptive(0.7));
+    }
+
+    #[test]
+    fn compact_form_round_trips() {
+        for s in figure1_strategies() {
+            let parsed: GrStrategy = s.to_string().parse().unwrap();
+            assert_eq!(parsed, s, "{s} did not round-trip");
+        }
+        assert_eq!("adaptive:0.7".parse::<GrStrategy>().unwrap(), GrStrategy::Adaptive(0.7));
+        assert_eq!("fix:50".parse::<GrStrategy>().unwrap(), GrStrategy::Fixed(50));
+        assert!("adaptive".parse::<GrStrategy>().is_err());
+        assert!("adaptive:xyz".parse::<GrStrategy>().is_err());
+        assert!("fix:1.5".parse::<GrStrategy>().is_err());
+        assert!("every:3".parse::<GrStrategy>().is_err());
+    }
+
+    #[test]
+    fn strategies_are_hashable_keys() {
+        let mut set = std::collections::HashSet::new();
+        for s in figure1_strategies() {
+            assert!(set.insert(s));
+        }
+        assert!(!set.insert(GrStrategy::Adaptive(0.7)));
+        assert_eq!(set.len(), 7);
     }
 }

@@ -1,0 +1,183 @@
+//! Tests of the session-style solve API: `Algorithm` label round-tripping
+//! (property-based), warm-session vs cold-solve agreement across every
+//! algorithm family, batch solving, and the structured error paths.
+
+use gpm_core::solver::{
+    paper_comparison_set, solve, Algorithm, DevicePolicy, InitHeuristic, Solver,
+};
+use gpm_core::{GhkVariant, GprVariant, GrStrategy, SolveError};
+use gpm_graph::gen;
+use gpm_graph::verify::maximum_matching_cardinality;
+use gpm_graph::{BipartiteCsr, Matching};
+use proptest::prelude::*;
+
+/// Arbitrary valid algorithm covering all seven families with varied
+/// parameters.
+fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
+    (0usize..10, 1u32..100, 1u32..40, 1usize..16).prop_map(|(which, fix_k, tenths, threads)| {
+        let adaptive = GrStrategy::Adaptive(f64::from(tenths) / 10.0);
+        match which {
+            0 => Algorithm::GpuPushRelabel(GprVariant::First, adaptive),
+            1 => Algorithm::GpuPushRelabel(GprVariant::ActiveList, GrStrategy::Fixed(fix_k)),
+            2 => Algorithm::GpuPushRelabel(GprVariant::Shrink, adaptive),
+            3 => Algorithm::GpuHopcroftKarp(GhkVariant::Hk),
+            4 => Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw),
+            5 => Algorithm::SequentialPushRelabel(f64::from(tenths) / 10.0),
+            6 => Algorithm::PothenFan,
+            7 => Algorithm::HopcroftKarp,
+            8 => Algorithm::Hkdw,
+            _ => Algorithm::Pdbfs(threads),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn algorithm_labels_round_trip_through_display_and_fromstr(alg in arb_algorithm()) {
+        let label = alg.to_string();
+        let parsed: Algorithm = label.parse().unwrap_or_else(|e| panic!("{label}: {e}"));
+        prop_assert_eq!(parsed, alg, "{}", label);
+        // The round-trippable label is also what serde emits.
+        let json = serde_json::to_string(&alg).unwrap();
+        prop_assert_eq!(json, format!("\"{label}\""));
+    }
+}
+
+/// Every algorithm in the workspace: the paper's comparison set plus every
+/// CPU baseline and the remaining GPU variants.
+fn every_algorithm() -> Vec<Algorithm> {
+    let mut algorithms = paper_comparison_set();
+    algorithms.extend([
+        Algorithm::GpuPushRelabel(GprVariant::First, GrStrategy::paper_default()),
+        Algorithm::GpuPushRelabel(GprVariant::ActiveList, GrStrategy::Fixed(10)),
+        Algorithm::GpuHopcroftKarp(GhkVariant::Hk),
+        Algorithm::PothenFan,
+        Algorithm::HopcroftKarp,
+        Algorithm::Hkdw,
+        Algorithm::Pdbfs(2),
+    ]);
+    algorithms
+}
+
+fn corpus() -> Vec<BipartiteCsr> {
+    vec![
+        gen::planted_perfect(60, 240, 5).unwrap(),
+        gen::uniform_random(80, 80, 400, 6).unwrap(),
+        gen::uniform_random(80, 80, 450, 7).unwrap(), // same shape as above: warm path
+        gen::power_law(90, 70, 420, 2.2, 8).unwrap(),
+        gen::uniform_random(40, 110, 390, 9).unwrap(),
+    ]
+}
+
+#[test]
+fn warm_solver_matches_cold_solves_across_all_algorithms() {
+    let mut warm = Solver::builder().device_policy(DevicePolicy::Sequential).build();
+    for g in corpus() {
+        let opt = maximum_matching_cardinality(&g);
+        for alg in every_algorithm() {
+            let warm_report = warm.solve(&g, alg).unwrap();
+            let cold_report = solve(&g, alg).unwrap();
+            assert_eq!(warm_report.cardinality, opt, "warm {alg}");
+            assert_eq!(cold_report.cardinality, opt, "cold {alg}");
+            assert_eq!(warm_report.initial_cardinality, cold_report.initial_cardinality, "{alg}");
+        }
+    }
+    // The session kept exactly one warm engine per distinct algorithm.
+    assert_eq!(warm.warm_engine_count(), every_algorithm().len());
+}
+
+#[test]
+fn one_session_batch_solves_the_full_comparison_over_a_corpus() {
+    // The acceptance scenario: a single Solver runs the paper's comparison
+    // set plus all CPU baselines over a multi-graph corpus via solve_batch,
+    // returning per-job Results.
+    let graphs = corpus();
+    let mut solver = Solver::builder().build();
+    let jobs: Vec<(&BipartiteCsr, Algorithm)> = graphs
+        .iter()
+        .flat_map(|g| every_algorithm().into_iter().map(move |alg| (g, alg)))
+        .collect();
+    let expected_jobs = jobs.len();
+    let results = solver.solve_batch(jobs);
+    assert_eq!(results.len(), expected_jobs);
+    for (i, result) in results.iter().enumerate() {
+        let report = result.as_ref().unwrap_or_else(|e| panic!("job {i} failed: {e}"));
+        let g = &graphs[i / every_algorithm().len()];
+        assert_eq!(report.cardinality, maximum_matching_cardinality(g), "job {i}");
+    }
+}
+
+#[test]
+fn invalid_pr_factor_is_a_structured_error() {
+    let g = gen::uniform_random(20, 20, 80, 1).unwrap();
+    let mut solver = Solver::new();
+    for bad_k in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.5] {
+        let err = solver.solve(&g, Algorithm::SequentialPushRelabel(bad_k)).unwrap_err();
+        match err {
+            SolveError::InvalidConfig { algorithm, reason } => {
+                assert_eq!(algorithm, "PR");
+                assert!(reason.contains("global-relabel factor"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+    // The shim propagates the same error.
+    assert!(matches!(
+        solve(&g, Algorithm::SequentialPushRelabel(f64::NAN)),
+        Err(SolveError::InvalidConfig { .. })
+    ));
+}
+
+#[test]
+fn zero_thread_pdbfs_is_a_structured_error() {
+    let g = gen::uniform_random(20, 20, 80, 2).unwrap();
+    let mut solver = Solver::new();
+    match solver.solve(&g, Algorithm::Pdbfs(0)).unwrap_err() {
+        SolveError::InvalidConfig { algorithm, reason } => {
+            assert_eq!(algorithm, "P-DBFS");
+            assert!(reason.contains("thread count"), "{reason}");
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    // A failed job does not poison the session.
+    assert!(solver.solve(&g, Algorithm::Pdbfs(1)).is_ok());
+}
+
+#[test]
+fn device_required_instead_of_panic_on_cpu_only_sessions() {
+    let g = gen::uniform_random(15, 15, 60, 3).unwrap();
+    let mut solver = Solver::builder()
+        .device_policy(DevicePolicy::CpuOnly)
+        .init_heuristic(InitHeuristic::KarpSipser)
+        .build();
+    let results = solver.solve_batch(vec![
+        (&g, Algorithm::gpr_default()),
+        (&g, Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw)),
+        (&g, Algorithm::HopcroftKarp),
+    ]);
+    assert!(matches!(results[0], Err(SolveError::DeviceRequired { .. })));
+    assert!(matches!(results[1], Err(SolveError::DeviceRequired { .. })));
+    assert_eq!(results[2].as_ref().unwrap().cardinality, maximum_matching_cardinality(&g));
+    assert!(solver.device().is_none());
+
+    // Parameter validation runs before device resolution: an invalid GPU
+    // config on a CPU-only session is InvalidConfig, not DeviceRequired.
+    let bad = Algorithm::GpuPushRelabel(GprVariant::Shrink, GrStrategy::Adaptive(f64::NAN));
+    assert!(matches!(solver.solve(&g, bad), Err(SolveError::InvalidConfig { .. })));
+}
+
+#[test]
+fn shape_mismatch_is_reported_with_both_shapes() {
+    let g = gen::uniform_random(12, 14, 50, 4).unwrap();
+    let wrong = Matching::empty(12, 13);
+    let mut solver = Solver::new();
+    match solver.solve_with_initial(&g, &wrong, Algorithm::HopcroftKarp).unwrap_err() {
+        SolveError::ShapeMismatch { graph, initial } => {
+            assert_eq!(graph, (12, 14));
+            assert_eq!(initial, (12, 13));
+        }
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+}

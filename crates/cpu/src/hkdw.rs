@@ -1,6 +1,6 @@
 //! HKDW — Hopcroft–Karp with the Duff–Wiberg extra DFS sweep.
 //!
-//! The paper describes HKDW as "a variant of HK [that] incorporates
+//! The paper describes HKDW as "a variant of HK \[that\] incorporates
 //! techniques to improve the practical running time while having the same
 //! worst-case time complexity": after the regular HK phase (BFS layering plus
 //! restricted DFS along shortest augmenting paths), an additional set of

@@ -10,9 +10,9 @@
 //! * [`pfp`] — Pothen–Fan with lookahead (PF+), the classic DFS-based
 //!   augmenting-path algorithm, used by the paper for instance filtering.
 //! * [`hk`] — Hopcroft–Karp, the `O(τ√(n+m))` BFS/DFS phase algorithm.
-//! * [`hkdw`] — HKDW, the Duff–Wiberg variant of HK with an extra DFS sweep
+//! * [`mod@hkdw`] — HKDW, the Duff–Wiberg variant of HK with an extra DFS sweep
 //!   per phase; the CPU counterpart of the GPU baseline G-HKDW.
-//! * [`pdbfs`] — P-DBFS, the multicore algorithm (vertex-disjoint parallel
+//! * [`mod@pdbfs`] — P-DBFS, the multicore algorithm (vertex-disjoint parallel
 //!   BFS) the paper compares against with 8 threads.
 //!
 //! All solvers take the graph and an initial matching (the paper always uses
@@ -60,4 +60,4 @@ pub use hk::hopcroft_karp;
 pub use hkdw::hkdw;
 pub use pdbfs::{pdbfs, PdbfsConfig};
 pub use pfp::pothen_fan;
-pub use pr::{sequential_pr, PrConfig};
+pub use pr::{sequential_pr, sequential_pr_with, PrConfig, PrWorkspace};

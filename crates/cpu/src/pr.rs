@@ -81,11 +81,40 @@ pub(crate) fn global_relabel(
     max_level
 }
 
-/// Runs the sequential push-relabel algorithm starting from `initial`.
+/// Reusable working memory of the sequential push-relabel solver: the two
+/// label arrays and the FIFO of active columns.  A warm solver session keeps
+/// one workspace so repeated solves reuse the allocations.
+#[derive(Clone, Debug, Default)]
+pub struct PrWorkspace {
+    psi_row: Vec<u32>,
+    psi_col: Vec<u32>,
+    active: VecDeque<VertexId>,
+}
+
+impl PrWorkspace {
+    /// A fresh (cold) workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Runs the sequential push-relabel algorithm starting from `initial`, with
+/// a cold workspace.
 ///
 /// The initial matching is typically the cheap greedy matching; the reported
 /// time covers only the push-relabel phase, matching the paper's methodology.
 pub fn sequential_pr(g: &BipartiteCsr, initial: &Matching, config: PrConfig) -> CpuRunResult {
+    sequential_pr_with(g, initial, config, &mut PrWorkspace::new())
+}
+
+/// Runs the sequential push-relabel algorithm reusing `workspace`
+/// allocations from previous solves.
+pub fn sequential_pr_with(
+    g: &BipartiteCsr,
+    initial: &Matching,
+    config: PrConfig,
+    workspace: &mut PrWorkspace,
+) -> CpuRunResult {
     let start = std::time::Instant::now();
     let mut stats = CpuStats { algorithm: "PR", ..Default::default() };
     let mut matching = initial.clone();
@@ -93,19 +122,24 @@ pub fn sequential_pr(g: &BipartiteCsr, initial: &Matching, config: PrConfig) -> 
     let n_cols = g.num_cols();
     let unreachable = unreachable_label(g);
 
-    // ψ initialization (lines 1-2 of Algorithm 1).
-    let mut psi_row = vec![0u32; m_rows];
-    let mut psi_col = vec![1u32; n_cols];
+    // ψ initialization (lines 1-2 of Algorithm 1), into reused storage.
+    let psi_row = &mut workspace.psi_row;
+    psi_row.clear();
+    psi_row.resize(m_rows, 0);
+    let psi_col = &mut workspace.psi_col;
+    psi_col.clear();
+    psi_col.resize(n_cols, 1);
 
     // Active columns: unmatched, FIFO (line 3).
-    let mut active: VecDeque<VertexId> =
-        (0..n_cols as VertexId).filter(|&c| !matching.is_col_matched(c)).collect();
+    let active = &mut workspace.active;
+    active.clear();
+    active.extend((0..n_cols as VertexId).filter(|&c| !matching.is_col_matched(c)));
 
     let gr_threshold = ((config.global_relabel_k * (m_rows + n_cols) as f64).ceil() as u64).max(1);
     let mut pushes_since_gr = 0u64;
 
     if config.initial_global_relabel && matching.cardinality() > 0 {
-        global_relabel(g, &matching, &mut psi_row, &mut psi_col, &mut stats.edges_scanned);
+        global_relabel(g, &matching, psi_row, psi_col, &mut stats.edges_scanned);
         stats.phases += 1;
     }
 
@@ -114,7 +148,7 @@ pub fn sequential_pr(g: &BipartiteCsr, initial: &Matching, config: PrConfig) -> 
             continue;
         }
         if pushes_since_gr >= gr_threshold {
-            global_relabel(g, &matching, &mut psi_row, &mut psi_col, &mut stats.edges_scanned);
+            global_relabel(g, &matching, psi_row, psi_col, &mut stats.edges_scanned);
             stats.phases += 1;
             pushes_since_gr = 0;
             // Labels may have proven this column unreachable; the generic
@@ -173,6 +207,19 @@ mod tests {
 
     fn solve(g: &BipartiteCsr) -> CpuRunResult {
         sequential_pr(g, &cheap_matching(g), PrConfig::default())
+    }
+
+    #[test]
+    fn warm_workspace_matches_cold_runs() {
+        let mut ws = PrWorkspace::new();
+        for seed in 0..4u64 {
+            let g = gen::uniform_random(50 + seed as usize * 13, 60, 300, seed).unwrap();
+            let init = cheap_matching(&g);
+            let warm = sequential_pr_with(&g, &init, PrConfig::default(), &mut ws);
+            let cold = sequential_pr(&g, &init, PrConfig::default());
+            assert_eq!(warm.matching.cardinality(), cold.matching.cardinality(), "seed {seed}");
+            assert!(is_maximum(&g, &warm.matching));
+        }
     }
 
     #[test]

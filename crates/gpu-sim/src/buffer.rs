@@ -146,6 +146,19 @@ impl<T: DeviceScalar> DeviceBuffer<T> {
             T::store(cell, v);
         }
     }
+
+    /// Workspace hook: returns a buffer of exactly `len` words, all set to
+    /// `init`, reusing the allocation in `slot` when its length already
+    /// matches.  Warm solver sessions keep their device buffers in `Option`
+    /// slots and recycle them across solves on same-shaped graphs instead of
+    /// re-allocating ("copying to the device") every call.
+    pub fn recycle(slot: &mut Option<Self>, len: usize, init: T) -> &Self {
+        match slot {
+            Some(buf) if buf.len() == len => buf.fill(init),
+            _ => *slot = Some(Self::new(len, init)),
+        }
+        slot.as_ref().expect("slot populated above")
+    }
 }
 
 impl<T: DeviceScalar + std::fmt::Debug> std::fmt::Debug for DeviceBuffer<T> {
@@ -217,6 +230,24 @@ mod tests {
         let b = DeviceBuffer::<i32>::new(0, 0);
         assert!(b.is_empty());
         assert_eq!(b.to_vec(), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn recycle_reuses_matching_allocations() {
+        let mut slot: Option<DeviceBuffer<i64>> = None;
+        {
+            let b = DeviceBuffer::recycle(&mut slot, 4, -1);
+            assert_eq!(b.to_vec(), vec![-1; 4]);
+            b.set(2, 9);
+        }
+        let ptr_before = slot.as_ref().unwrap() as *const _;
+        // Same length: the allocation is reused and re-initialized.
+        let b = DeviceBuffer::recycle(&mut slot, 4, 5);
+        assert_eq!(b.to_vec(), vec![5; 4]);
+        assert_eq!(slot.as_ref().unwrap() as *const _, ptr_before);
+        // Different length: a fresh buffer replaces the old one.
+        let b = DeviceBuffer::recycle(&mut slot, 2, 0);
+        assert_eq!(b.to_vec(), vec![0; 2]);
     }
 
     #[test]

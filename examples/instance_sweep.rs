@@ -5,7 +5,7 @@
 //! cargo run --release --example instance_sweep
 //! ```
 
-use gpu_pr_matching::core::solver::{paper_comparison_set, solve_with_initial};
+use gpu_pr_matching::core::solver::{paper_comparison_set, Solver};
 use gpu_pr_matching::graph::heuristics::cheap_matching;
 use gpu_pr_matching::graph::instances::{mini_suite, Scale};
 
@@ -15,13 +15,16 @@ fn main() {
         "{:<20} {:>8} {:>9} {:>8} {:>8}   {:>10} {:>10} {:>10} {:>10}",
         "instance", "rows", "edges", "IM", "MM", "G-PR", "G-HKDW", "P-DBFS", "PR"
     );
+    // One warm solver session sweeps the whole suite: the device and all
+    // per-algorithm buffers are created once and reused.
+    let mut solver = Solver::builder().build();
     for spec in mini_suite() {
         let graph = spec.generate(scale).expect("generator");
         let initial = cheap_matching(&graph);
         let mut times = Vec::new();
         let mut mm = 0;
         for alg in paper_comparison_set() {
-            let report = solve_with_initial(&graph, &initial, alg, None);
+            let report = solver.solve_with_initial(&graph, &initial, alg).expect("solve");
             mm = report.cardinality;
             times.push(report.comparable_seconds() * 1e3);
         }

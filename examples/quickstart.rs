@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use gpu_pr_matching::core::solver::{solve, Algorithm};
+use gpu_pr_matching::core::solver::{Algorithm, Solver};
 use gpu_pr_matching::graph::verify;
 use gpu_pr_matching::graph::{gen, heuristics};
 
@@ -24,9 +24,10 @@ fn main() {
     let initial = heuristics::cheap_matching(&graph);
     println!("cheap initial matching: {} pairs", initial.cardinality());
 
-    // Run G-PR (shrinking active lists, adaptive global relabeling) on the
-    // virtual GPU.
-    let report = solve(&graph, Algorithm::gpr_default());
+    // A solver session owns the virtual GPU and warm per-algorithm buffers;
+    // run G-PR (shrinking active lists, adaptive global relabeling) on it.
+    let mut solver = Solver::builder().build();
+    let report = solver.solve(&graph, Algorithm::gpr_default()).expect("solve");
     println!(
         "{}: maximum matching of {} pairs ({} found by the initializer)",
         report.algorithm, report.cardinality, report.initial_cardinality

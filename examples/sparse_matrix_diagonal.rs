@@ -13,7 +13,7 @@
 //!
 //! Without an argument a synthetic planted-transversal matrix is used.
 
-use gpu_pr_matching::core::solver::{solve, Algorithm};
+use gpu_pr_matching::core::solver::{Algorithm, Solver};
 use gpu_pr_matching::graph::{gen, io, BipartiteCsr};
 
 fn load_graph() -> BipartiteCsr {
@@ -41,7 +41,11 @@ fn main() {
         graph.num_edges()
     );
 
-    let report = solve(&graph, Algorithm::gpr_default());
+    let mut solver = Solver::builder().build();
+    let report = solver.solve(&graph, Algorithm::gpr_default()).unwrap_or_else(|e| {
+        eprintln!("solve failed: {e}");
+        std::process::exit(1);
+    });
     let matching = &report.matching;
     let structural_rank = report.cardinality;
     println!(

@@ -14,19 +14,34 @@
 //! ## Quick start
 //!
 //! ```
-//! use gpu_pr_matching::core::solver::{solve, Algorithm};
+//! use gpu_pr_matching::core::solver::{Algorithm, Solver};
 //! use gpu_pr_matching::graph::{gen, verify};
+//!
+//! // A solver session: owns the virtual GPU and a warm workspace per
+//! // algorithm, so repeated solves skip the per-call setup.
+//! let mut solver = Solver::builder().build();
 //!
 //! // A 300-row graph with a planted perfect matching plus 1 200 noise edges.
 //! let graph = gen::planted_perfect(300, 1_200, 7).unwrap();
 //!
 //! // The paper's headline algorithm: G-PR-Shr with the (adaptive, 0.7)
 //! // global-relabeling strategy, run on the virtual GPU.
-//! let report = solve(&graph, Algorithm::gpr_default());
+//! let report = solver.solve(&graph, Algorithm::gpr_default()).unwrap();
 //!
 //! assert_eq!(report.cardinality, 300);
 //! assert!(verify::is_maximum(&graph, &report.matching));
+//!
+//! // Algorithms have round-trippable labels, and batches return one
+//! // Result per job:
+//! let alg: Algorithm = "G-PR-Shr@adaptive:0.7".parse().unwrap();
+//! let results = solver.solve_batch(vec![(&graph, alg), (&graph, Algorithm::HopcroftKarp)]);
+//! assert!(results.iter().all(|r| r.is_ok()));
 //! ```
+//!
+//! Migrating from the pre-session API: the free functions
+//! `core::solver::solve` / `solve_with_initial` still exist as shims over a
+//! throwaway `Solver`, but now return `Result` — append `?`/`.unwrap()`, or
+//! switch to a reusable `Solver::builder()` session.
 
 pub use gpm_core as core;
 pub use gpm_cpu as cpu;

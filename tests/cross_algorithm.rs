@@ -47,7 +47,7 @@ fn all_algorithms_agree_with_the_oracle_on_the_corpus() {
     for (name, g) in corpus() {
         let opt = maximum_matching_cardinality(&g);
         for alg in every_algorithm() {
-            let report = solve(&g, alg);
+            let report = solve(&g, alg).unwrap();
             assert_eq!(
                 report.cardinality, opt,
                 "{} returned {} on {name}, oracle says {opt}",
@@ -78,7 +78,7 @@ fn agreement_holds_from_every_initialization() {
     ];
     for (init_name, init) in &inits {
         for alg in every_algorithm() {
-            let report = solve_with_initial(&g, init, alg, None);
+            let report = solve_with_initial(&g, init, alg, None).unwrap();
             assert_eq!(
                 report.cardinality, opt,
                 "{} from {init_name} init returned {} (oracle {opt})",
@@ -93,7 +93,7 @@ fn winner_carries_a_koenig_certificate() {
     // One algorithm's output per corpus entry is certified optimal by a
     // König vertex cover of equal size — a proof, not just oracle agreement.
     for (name, g) in corpus() {
-        let report = solve(&g, Algorithm::gpr_default());
+        let report = solve(&g, Algorithm::gpr_default()).unwrap();
         let cover = koenig_cover(&g, &report.matching);
         assert!(cover.covers(&g), "cover misses an edge on {name}");
         assert_eq!(cover.size(), report.cardinality, "cover size mismatch on {name}");

@@ -33,7 +33,7 @@ fn every_algorithm_agrees_on_every_mini_suite_instance() {
         let initial = cheap_matching(&graph);
         let reference = cpu::hopcroft_karp(&graph, &initial).matching.cardinality();
         for alg in all_algorithms() {
-            let report = solve_with_initial(&graph, &initial, alg, None);
+            let report = solve_with_initial(&graph, &initial, alg, None).unwrap();
             assert_eq!(
                 report.cardinality, reference,
                 "{} disagrees on {}",
@@ -48,7 +48,7 @@ fn every_algorithm_agrees_on_every_mini_suite_instance() {
 #[test]
 fn koenig_cover_certifies_gpu_results() {
     let graph = gen::rmat(gen::RmatParams::graph500(9, 6), 17).unwrap();
-    let report = solve(&graph, Algorithm::gpr_default());
+    let report = solve(&graph, Algorithm::gpr_default()).unwrap();
     let cover = koenig_cover(&graph, &report.matching);
     assert!(cover.covers(&graph));
     assert_eq!(cover.size(), report.cardinality);
@@ -61,8 +61,8 @@ fn matrix_market_round_trip_through_the_solver() {
     io::write_matrix_market_file(&graph, &path).unwrap();
     let reread = io::read_matrix_market_file(&path).unwrap();
     assert_eq!(graph, reread);
-    let a = solve(&graph, Algorithm::gpr_default());
-    let b = solve(&reread, Algorithm::HopcroftKarp);
+    let a = solve(&graph, Algorithm::gpr_default()).unwrap();
+    let b = solve(&reread, Algorithm::HopcroftKarp).unwrap();
     assert_eq!(a.cardinality, b.cardinality);
     let _ = std::fs::remove_file(&path);
 }
@@ -77,8 +77,8 @@ fn sequential_and_parallel_backends_agree_on_cardinality() {
         let seq_gpu = VirtualGpu::sequential();
         let par_gpu = VirtualGpu::parallel();
         for alg in [Algorithm::gpr_default(), Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw)] {
-            let s = solve_with_initial(&graph, &initial, alg, Some(&seq_gpu));
-            let p = solve_with_initial(&graph, &initial, alg, Some(&par_gpu));
+            let s = solve_with_initial(&graph, &initial, alg, Some(&seq_gpu)).unwrap();
+            let p = solve_with_initial(&graph, &initial, alg, Some(&par_gpu)).unwrap();
             assert_eq!(s.cardinality, p.cardinality, "seed {seed}");
         }
     }
@@ -90,7 +90,8 @@ fn repeated_runs_are_deterministic_on_the_sequential_backend() {
     let initial = cheap_matching(&graph);
     let run = || {
         let gpu = VirtualGpu::sequential();
-        let report = solve_with_initial(&graph, &initial, Algorithm::gpr_default(), Some(&gpu));
+        let report =
+            solve_with_initial(&graph, &initial, Algorithm::gpr_default(), Some(&gpu)).unwrap();
         (report.cardinality, report.matching.row_mates().to_vec(), gpu.stats().total_launches())
     };
     let (card1, mates1, launches1) = run();
@@ -105,7 +106,8 @@ fn solver_statistics_are_consistent_with_the_strategy() {
     let graph = gen::rmat(gen::RmatParams::graph500(10, 6), 3).unwrap();
     let initial = cheap_matching(&graph);
     let gpu = VirtualGpu::parallel();
-    let report = solve_with_initial(&graph, &initial, Algorithm::gpr_default(), Some(&gpu));
+    let report =
+        solve_with_initial(&graph, &initial, Algorithm::gpr_default(), Some(&gpu)).unwrap();
     let stats = report.device_stats.expect("gpu stats");
     assert!(stats.launches_of("G-PR-PUSHKRNL") >= 1);
     assert!(stats.launches_of("G-GR-KRNL") >= 1);
@@ -121,17 +123,17 @@ fn rectangular_and_degenerate_graphs_through_the_full_api() {
     let rect = gen::uniform_random(50, 200, 600, 4).unwrap();
     let expected = maximum_matching_cardinality(&rect);
     for alg in paper_comparison_set() {
-        assert_eq!(solve(&rect, alg).cardinality, expected);
+        assert_eq!(solve(&rect, alg).unwrap().cardinality, expected);
     }
 
     let empty = BipartiteCsr::empty(10, 10);
     for alg in paper_comparison_set() {
-        assert_eq!(solve(&empty, alg).cardinality, 0);
+        assert_eq!(solve(&empty, alg).unwrap().cardinality, 0);
     }
 
     let single = BipartiteCsr::from_edges(1, 1, &[(0, 0)]).unwrap();
     for alg in paper_comparison_set() {
-        assert_eq!(solve(&single, alg).cardinality, 1);
+        assert_eq!(solve(&single, alg).unwrap().cardinality, 1);
     }
 }
 
@@ -148,7 +150,7 @@ fn initial_matching_is_respected_and_never_worsened() {
         }
     }
     let baseline = initial.cardinality();
-    let report = solve_with_initial(&graph, &initial, Algorithm::gpr_default(), None);
+    let report = solve_with_initial(&graph, &initial, Algorithm::gpr_default(), None).unwrap();
     assert!(report.cardinality >= baseline);
     assert_eq!(report.cardinality, 300);
     assert_eq!(report.initial_cardinality, baseline);

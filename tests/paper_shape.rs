@@ -119,13 +119,15 @@ fn gpr_beats_ghkdw_in_modelled_time_on_kron_family() {
     let graph = spec.generate(Scale::Tiny).unwrap();
     let initial = cheap_matching(&graph);
     let gpu = VirtualGpu::parallel();
-    let gpr_report = solve_with_initial(&graph, &initial, Algorithm::gpr_default(), Some(&gpu));
+    let gpr_report =
+        solve_with_initial(&graph, &initial, Algorithm::gpr_default(), Some(&gpu)).unwrap();
     let ghkdw_report = solve_with_initial(
         &graph,
         &initial,
         Algorithm::GpuHopcroftKarp(gpu_pr_matching::core::GhkVariant::Hkdw),
         Some(&gpu),
-    );
+    )
+    .unwrap();
     let gpr_secs = gpr_report.modelled_device_seconds.unwrap();
     let ghkdw_secs = ghkdw_report.modelled_device_seconds.unwrap();
     assert!(

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no crates.io access, so this crate provides the
 //! property-testing surface the workspace uses: the [`Strategy`] trait with
-//! `prop_map`/`prop_flat_map`, range/tuple/`any`/[`collection::vec`]
+//! `prop_map`/`prop_flat_map`, range/tuple/`any`/[`collection::vec()`]
 //! strategies, the `proptest!`/`prop_assert!` macros, and a runner with
 //! deterministic per-case seeding and greedy shrinking.
 //!
