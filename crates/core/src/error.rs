@@ -74,6 +74,28 @@ impl fmt::Display for ParseAlgorithmError {
 
 impl std::error::Error for ParseAlgorithmError {}
 
+/// Error returned when a string is not an [`InitHeuristic`] label
+/// (`empty`, `cheap`, or `karp-sipser`).
+///
+/// [`InitHeuristic`]: crate::solver::InitHeuristic
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseInitHeuristicError {
+    /// The string that failed to parse.
+    pub input: String,
+}
+
+impl fmt::Display for ParseInitHeuristicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot parse init heuristic '{}': expected one of empty, cheap, karp-sipser",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseInitHeuristicError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,7 +66,7 @@ pub mod solver;
 pub mod strategy;
 
 pub use engine::{Engine, EngineCtx, EngineOutput};
-pub use error::{ParseAlgorithmError, SolveError};
+pub use error::{ParseAlgorithmError, ParseInitHeuristicError, SolveError};
 pub use ghk::{GhkVariant, GhkWorkspace};
 pub use gpr::{GprConfig, GprResult, GprVariant, GprWorkspace};
 pub use solver::{

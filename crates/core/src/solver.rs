@@ -26,7 +26,7 @@
 //! API remain as thin shims over a throwaway `Solver`.
 
 use crate::engine::{engine_for, Engine, EngineCtx};
-use crate::error::{ParseAlgorithmError, SolveError};
+use crate::error::{ParseAlgorithmError, ParseInitHeuristicError, SolveError};
 use crate::ghk::GhkVariant;
 use crate::gpr::GprVariant;
 use crate::strategy::GrStrategy;
@@ -332,6 +332,32 @@ impl InitHeuristic {
             InitHeuristic::Empty => Matching::empty_for(graph),
             InitHeuristic::Cheap => cheap_matching(graph),
             InitHeuristic::KarpSipser => karp_sipser(graph),
+        }
+    }
+}
+
+/// Round-trippable label: `empty`, `cheap`, or `karp-sipser` — the form job
+/// specs and the `gpm-service` JSON protocol name heuristics with.
+impl fmt::Display for InitHeuristic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InitHeuristic::Empty => "empty",
+            InitHeuristic::Cheap => "cheap",
+            InitHeuristic::KarpSipser => "karp-sipser",
+        })
+    }
+}
+
+/// Parses the labels produced by [`fmt::Display`] (case-sensitive).
+impl FromStr for InitHeuristic {
+    type Err = ParseInitHeuristicError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "empty" => Ok(InitHeuristic::Empty),
+            "cheap" => Ok(InitHeuristic::Cheap),
+            "karp-sipser" => Ok(InitHeuristic::KarpSipser),
+            _ => Err(ParseInitHeuristicError { input: s.to_string() }),
         }
     }
 }
@@ -745,6 +771,18 @@ mod tests {
                 assert_eq!(report.initial_cardinality, 0);
             }
         }
+    }
+
+    #[test]
+    fn init_heuristic_labels_round_trip() {
+        for init in [InitHeuristic::Empty, InitHeuristic::Cheap, InitHeuristic::KarpSipser] {
+            let label = init.to_string();
+            assert_eq!(label.parse::<InitHeuristic>().unwrap(), init, "{label}");
+        }
+        assert_eq!("cheap".parse::<InitHeuristic>().unwrap(), InitHeuristic::Cheap);
+        let err = "greedy".parse::<InitHeuristic>().unwrap_err();
+        assert!(err.to_string().contains("greedy"));
+        assert!(err.to_string().contains("karp-sipser"));
     }
 
     #[test]

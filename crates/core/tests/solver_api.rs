@@ -181,3 +181,24 @@ fn shape_mismatch_is_reported_with_both_shapes() {
         other => panic!("expected ShapeMismatch, got {other:?}"),
     }
 }
+
+/// Compile-time `Send` guarantee: the service layer moves `Solver` sessions
+/// into worker threads, so a future non-`Send` field (an `Rc`, a raw device
+/// handle) must fail this build, not the service at a distance.
+#[test]
+fn solver_and_components_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Solver>();
+    assert_send::<Algorithm>();
+    assert_send::<InitHeuristic>();
+    assert_send::<gpm_core::SolveReport>();
+    assert_send::<SolveError>();
+    // A warm session (device + engines populated) must stay movable too.
+    let mut solver = Solver::builder().device_policy(DevicePolicy::Sequential).build();
+    let g = gen::uniform_random(10, 10, 40, 3).unwrap();
+    solver.solve(&g, Algorithm::gpr_default()).unwrap();
+    let report = std::thread::spawn(move || solver.solve(&g, Algorithm::HopcroftKarp).unwrap())
+        .join()
+        .unwrap();
+    assert!(report.cardinality > 0);
+}

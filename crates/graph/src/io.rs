@@ -36,13 +36,20 @@ pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<BipartiteCsr> 
 /// Reads a bipartite graph from any buffered reader containing Matrix Market
 /// data.  Rows of the matrix become row vertices, columns become column
 /// vertices, and every stored entry becomes an edge.
+///
+/// Parse errors name the 1-based line number and the offending token, so a
+/// bad entry in a multi-million-line file is locatable:
+/// `line 17: bad row index 'x7' in entry 'x7 3'`.
 pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<BipartiteCsr> {
     let mut lines = reader.lines();
+    // 1-based number of the line most recently pulled from the reader.
+    let mut line_no = 0usize;
 
     // ---- header line ----
     let header = loop {
         match lines.next() {
             Some(line) => {
+                line_no += 1;
                 let line = line?;
                 if !line.trim().is_empty() {
                     break line;
@@ -77,6 +84,7 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<BipartiteCsr> {
     let size_line = loop {
         match lines.next() {
             Some(line) => {
+                line_no += 1;
                 let line = line?;
                 let trimmed = line.trim();
                 if trimmed.is_empty() || trimmed.starts_with('%') {
@@ -89,11 +97,16 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<BipartiteCsr> {
     };
     let dims: Vec<&str> = size_line.split_whitespace().collect();
     if dims.len() != 3 {
-        return Err(GraphError::MatrixMarket(format!("bad size line: {size_line}")));
+        return Err(GraphError::MatrixMarket(format!(
+            "line {line_no}: bad size line '{}': expected 'rows cols entries'",
+            size_line.trim()
+        )));
     }
+    let size_line_no = line_no;
     let parse_dim = |s: &str| -> Result<usize> {
-        s.parse::<usize>()
-            .map_err(|_| GraphError::MatrixMarket(format!("bad integer '{s}' in size line")))
+        s.parse::<usize>().map_err(|_| {
+            GraphError::MatrixMarket(format!("line {size_line_no}: bad integer '{s}' in size line"))
+        })
     };
     let num_rows = parse_dim(dims[0])?;
     let num_cols = parse_dim(dims[1])?;
@@ -106,39 +119,54 @@ pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<BipartiteCsr> {
     );
     let mut seen = 0usize;
     for line in lines {
+        line_no += 1;
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
         }
         let mut it = trimmed.split_whitespace();
-        let r: usize = it
-            .next()
-            .ok_or_else(|| GraphError::MatrixMarket(format!("bad entry line: {trimmed}")))?
-            .parse()
-            .map_err(|_| GraphError::MatrixMarket(format!("bad row index in: {trimmed}")))?;
-        let c: usize = it
-            .next()
-            .ok_or_else(|| GraphError::MatrixMarket(format!("bad entry line: {trimmed}")))?
-            .parse()
-            .map_err(|_| GraphError::MatrixMarket(format!("bad column index in: {trimmed}")))?;
+        let parse_index = |token: Option<&str>, which: &str| -> Result<usize> {
+            let token = token.ok_or_else(|| {
+                GraphError::MatrixMarket(format!(
+                    "line {line_no}: truncated entry '{trimmed}': missing {which} index"
+                ))
+            })?;
+            token.parse().map_err(|_| {
+                GraphError::MatrixMarket(format!(
+                    "line {line_no}: bad {which} index '{token}' in entry '{trimmed}'"
+                ))
+            })
+        };
+        let r: usize = parse_index(it.next(), "row")?;
+        let c: usize = parse_index(it.next(), "column")?;
         if r == 0 || c == 0 {
-            return Err(GraphError::MatrixMarket(
-                "matrix market indices are 1-based; found a 0 index".into(),
-            ));
+            return Err(GraphError::MatrixMarket(format!(
+                "line {line_no}: entry '{trimmed}' uses a 0 index; \
+                 Matrix Market indices are 1-based"
+            )));
         }
         let (r, c) = (r - 1, c - 1);
         if r >= num_rows {
-            return Err(GraphError::RowOutOfBounds { row: r as VertexId, num_rows });
+            return Err(GraphError::MatrixMarket(format!(
+                "line {line_no}: row index {} out of range (matrix has {num_rows} rows)",
+                r + 1
+            )));
         }
         if c >= num_cols {
-            return Err(GraphError::ColOutOfBounds { col: c as VertexId, num_cols });
+            return Err(GraphError::MatrixMarket(format!(
+                "line {line_no}: column index {} out of range (matrix has {num_cols} columns)",
+                c + 1
+            )));
         }
         builder.add_edge(r as VertexId, c as VertexId)?;
         if symmetry != Symmetry::General && r != c {
             // mirrored entry: (c, r) — valid because symmetric matrices are square
             if c >= num_rows || r >= num_cols {
-                return Err(GraphError::MatrixMarket("symmetric matrix is not square".into()));
+                return Err(GraphError::MatrixMarket(format!(
+                    "line {line_no}: entry '{trimmed}' mirrors out of range; \
+                     symmetric matrix is not square"
+                )));
             }
             builder.add_edge(c as VertexId, r as VertexId)?;
         }
@@ -254,6 +282,63 @@ mod tests {
         // bad size line
         let data = "%%MatrixMarket matrix coordinate pattern general\n2 2\n";
         assert!(read_matrix_market(Cursor::new(data)).is_err());
+    }
+
+    /// Unwraps the error of a parse that must fail and returns its message.
+    fn parse_error(data: &str) -> String {
+        match read_matrix_market(Cursor::new(data)).unwrap_err() {
+            GraphError::MatrixMarket(msg) => msg,
+            other => panic!("expected MatrixMarket error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_entry_reports_line_and_missing_index() {
+        // Entry on line 4 (header, comment, size line before it) has no
+        // column index.
+        let data = "%%MatrixMarket matrix coordinate pattern general\n% c\n3 3 2\n1 2\n2\n";
+        let msg = parse_error(data);
+        assert!(msg.contains("line 5"), "{msg}");
+        assert!(msg.contains("truncated entry '2'"), "{msg}");
+        assert!(msg.contains("column index"), "{msg}");
+    }
+
+    #[test]
+    fn garbage_token_reports_line_and_token() {
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\nx7 2\n";
+        let msg = parse_error(data);
+        assert!(msg.contains("line 4"), "{msg}");
+        assert!(msg.contains("'x7'"), "{msg}");
+        assert!(msg.contains("row index"), "{msg}");
+    }
+
+    #[test]
+    fn out_of_range_indices_report_line_and_bounds() {
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        let msg = parse_error(data);
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("row index 3"), "{msg}");
+        assert!(msg.contains("2 rows"), "{msg}");
+
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 9\n";
+        let msg = parse_error(data);
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("column index 9"), "{msg}");
+        assert!(msg.contains("2 columns"), "{msg}");
+    }
+
+    #[test]
+    fn zero_index_and_bad_size_line_report_line_numbers() {
+        let data = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        let msg = parse_error(data);
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("1-based"), "{msg}");
+
+        // Blank lines and comments before the size line still count.
+        let data = "%%MatrixMarket matrix coordinate pattern general\n\n% pad\n2 two 1\n";
+        let msg = parse_error(data);
+        assert!(msg.contains("line 4"), "{msg}");
+        assert!(msg.contains("'two'"), "{msg}");
     }
 
     #[test]

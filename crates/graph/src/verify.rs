@@ -22,6 +22,16 @@ pub fn is_valid_matching(g: &BipartiteCsr, m: &Matching) -> bool {
     m.validate_against(g).is_ok()
 }
 
+/// Checks that `m` is a valid matching of `g`, reporting the first violated
+/// invariant as an explanatory message.
+///
+/// Same check as [`is_valid_matching`], but the `Err` names the offending
+/// vertex pair — used by the concurrency stress suites, where a bare `false`
+/// would hide *which* job produced a corrupt matching.
+pub fn check_matching(g: &BipartiteCsr, m: &Matching) -> std::result::Result<(), String> {
+    m.validate_against(g)
+}
+
 /// `true` iff `m` is maximal: there is no edge whose endpoints are both free.
 pub fn is_maximal(g: &BipartiteCsr, m: &Matching) -> bool {
     for (r, c) in g.edges() {

@@ -1,0 +1,77 @@
+//! End-to-end client for a running `gpm-service` server.
+//!
+//! Start the server, run this against it, and read the printed stats:
+//!
+//! ```text
+//! cargo run --release -p gpm-service &               # listens on 127.0.0.1:7878
+//! cargo run --release -p gpm-service --example service_client
+//! ```
+//!
+//! Pass a different address as the first argument (`service_client
+//! 127.0.0.1:7979`).  Set `KEEP_SERVER=1` to skip the final shutdown
+//! request.  The example uploads a graph once, then solves it repeatedly by
+//! fingerprint with three algorithms — the second and later solves are
+//! cache hits, visible in the stats it prints before exiting.
+
+use gpm_core::{Algorithm, InitHeuristic};
+use gpm_graph::gen;
+use gpm_service::Client;
+use serde::Value;
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let mut client = Client::connect(&addr)?;
+    println!("connected to gpm-service at {addr}");
+
+    // One planted-perfect instance: the maximum matching is 300 by design.
+    let graph = gen::planted_perfect(300, 1_200, 7).expect("generate graph");
+    let fingerprint = client.put_graph(&graph)?;
+    println!(
+        "uploaded {}x{} graph ({} edges), fingerprint {fingerprint:#018x}",
+        graph.num_rows(),
+        graph.num_cols(),
+        graph.num_edges()
+    );
+
+    let algorithms = [Algorithm::gpr_default(), Algorithm::HopcroftKarp, Algorithm::PothenFan];
+    for algorithm in algorithms {
+        let response = client.solve_cached(fingerprint, algorithm, InitHeuristic::Cheap)?;
+        let report = response.get("report").expect("report");
+        println!(
+            "{:<24} cardinality {:>4}  cache_hit {}  worker {}  {:.1} ms in service",
+            algorithm.to_string(),
+            report.get("cardinality").and_then(Value::as_u64).unwrap_or(0),
+            response.get("cache_hit").and_then(Value::as_bool).unwrap_or(false),
+            response.get("worker").and_then(Value::as_u64).unwrap_or(0),
+            response.get("service_seconds").and_then(Value::as_f64).unwrap_or(0.0) * 1e3,
+        );
+        let cardinality = report.get("cardinality").and_then(Value::as_u64);
+        assert_eq!(cardinality, Some(300), "{algorithm} must find the planted matching");
+    }
+
+    // An inline solve (graph shipped with the request) for comparison.
+    let small = gen::uniform_random(50, 50, 260, 4).expect("generate");
+    let response = client.solve_inline(&small, Algorithm::Hkdw, InitHeuristic::KarpSipser)?;
+    println!(
+        "inline HKDW on 50x50        cardinality {:>4}",
+        response.get("report").unwrap().get("cardinality").and_then(Value::as_u64).unwrap_or(0)
+    );
+
+    let stats = client.stats()?;
+    let cache = stats.get("cache").expect("cache stats");
+    println!(
+        "server stats: {} completed, {} failed, cache {}/{} hits/misses, peak queue {}",
+        stats.get("completed").and_then(Value::as_u64).unwrap_or(0),
+        stats.get("failed").and_then(Value::as_u64).unwrap_or(0),
+        cache.get("hits").and_then(Value::as_u64).unwrap_or(0),
+        cache.get("misses").and_then(Value::as_u64).unwrap_or(0),
+        stats.get("peak_queue_depth").and_then(Value::as_u64).unwrap_or(0),
+    );
+    assert_eq!(cache.get("hits").and_then(Value::as_u64), Some(3), "cached solves must hit");
+
+    if std::env::var_os("KEEP_SERVER").is_none() {
+        client.shutdown()?;
+        println!("sent shutdown; server is stopping");
+    }
+    Ok(())
+}

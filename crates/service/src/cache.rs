@@ -1,0 +1,264 @@
+//! Content-addressed graph cache with LRU eviction.
+//!
+//! Clients of a long-running matching service solve the same instance many
+//! times (parameter sweeps, algorithm ablations).  The cache keys each graph
+//! by [`BipartiteCsr::fingerprint`], so a repeat upload is recognized as the
+//! same content regardless of the order its edges arrived in, and a job can
+//! name a graph by its 64-bit key instead of re-shipping megabytes of edges.
+
+use gpm_graph::BipartiteCsr;
+use serde::{Serialize, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Snapshot of the cache's counters, serialized into service stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Maximum number of graphs the cache holds (0 disables caching).
+    pub capacity: usize,
+    /// Graphs currently cached.
+    pub len: usize,
+    /// Lookups that found the graph.
+    pub hits: u64,
+    /// Lookups that missed (never inserted, or evicted).
+    pub misses: u64,
+    /// Inserts of content not already present.
+    pub insertions: u64,
+    /// Graphs evicted to make room.
+    pub evictions: u64,
+    /// Same-fingerprint inserts whose content differed (64-bit hash
+    /// collisions); the newest content replaced the old.
+    pub collisions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio over all lookups, or 0.0 before the first lookup.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU cache of [`BipartiteCsr`]s keyed by content fingerprint.
+///
+/// Not internally synchronized — the service wraps it in a mutex shared by
+/// the worker pool and the front-end.
+#[derive(Debug)]
+pub struct GraphCache {
+    capacity: usize,
+    /// fingerprint → (graph, last-touched tick).
+    entries: HashMap<u64, (Arc<BipartiteCsr>, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    collisions: u64,
+}
+
+impl GraphCache {
+    /// A cache holding up to `capacity` graphs (0 disables caching: every
+    /// insert is dropped and every lookup misses).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+            collisions: 0,
+        }
+    }
+
+    /// Inserts `graph`, returning its fingerprint.  Re-inserting content
+    /// already present only refreshes its recency.  Evicts the
+    /// least-recently-used graph when full.
+    pub fn insert(&mut self, graph: Arc<BipartiteCsr>) -> u64 {
+        let fingerprint = graph.fingerprint();
+        self.insert_keyed(fingerprint, graph);
+        fingerprint
+    }
+
+    /// [`Self::insert`] with the fingerprint already computed (callers that
+    /// share the cache across threads hash outside the lock).
+    ///
+    /// `fingerprint` **must** be `graph.fingerprint()`.  If the slot holds
+    /// *different* content under the same 64-bit fingerprint — a hash
+    /// collision, which a non-cryptographic fingerprint cannot rule out for
+    /// untrusted input — the newest upload wins and the event is counted in
+    /// [`CacheStats::collisions`], so the most recent uploader always solves
+    /// the graph it shipped.
+    pub(crate) fn insert_keyed(&mut self, fingerprint: u64, graph: Arc<BipartiteCsr>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&fingerprint) {
+            if *entry.0 != *graph {
+                entry.0 = graph;
+                self.collisions += 1;
+            }
+            entry.1 = self.tick;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            // O(len) scan: capacities are small (graphs are megabytes).
+            if let Some(&lru) =
+                self.entries.iter().min_by_key(|(_, (_, touched))| *touched).map(|(k, _)| k)
+            {
+                self.entries.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(fingerprint, (graph, self.tick));
+        self.insertions += 1;
+    }
+
+    /// Looks up a graph by fingerprint, refreshing its recency.  Counts a
+    /// hit or a miss.
+    pub fn get(&mut self, fingerprint: u64) -> Option<Arc<BipartiteCsr>> {
+        self.tick += 1;
+        match self.entries.get_mut(&fingerprint) {
+            Some((graph, touched)) => {
+                *touched = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(graph))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// `true` iff the fingerprint is cached.  Does not touch recency or
+    /// the hit/miss counters.
+    pub fn contains(&self, fingerprint: u64) -> bool {
+        self.entries.contains_key(&fingerprint)
+    }
+
+    /// Number of graphs currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no graphs are cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            capacity: self.capacity,
+            len: self.entries.len(),
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            collisions: self.collisions,
+        }
+    }
+}
+
+impl Serialize for GraphCache {
+    fn to_value(&self) -> Value {
+        self.stats().to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen;
+
+    fn graph(seed: u64) -> Arc<BipartiteCsr> {
+        Arc::new(gen::uniform_random(20, 20, 60, seed).unwrap())
+    }
+
+    #[test]
+    fn insert_then_get_hits() {
+        let mut cache = GraphCache::new(4);
+        let g = graph(1);
+        let fp = cache.insert(Arc::clone(&g));
+        assert_eq!(fp, g.fingerprint());
+        assert!(cache.contains(fp));
+        let got = cache.get(fp).unwrap();
+        assert_eq!(got.fingerprint(), fp);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 0);
+        assert!(cache.get(fp ^ 1).is_none());
+        assert_eq!(cache.stats().misses, 1);
+        assert!((cache.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reinserting_same_content_is_idempotent() {
+        let mut cache = GraphCache::new(4);
+        let fp1 = cache.insert(graph(1));
+        let fp2 = cache.insert(graph(1)); // same seed → same content
+        assert_eq!(fp1, fp2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = GraphCache::new(2);
+        let a = cache.insert(graph(1));
+        let b = cache.insert(graph(2));
+        // Touch `a` so `b` becomes the LRU entry.
+        cache.get(a).unwrap();
+        let c = cache.insert(graph(3));
+        assert!(cache.contains(a));
+        assert!(!cache.contains(b), "LRU entry should have been evicted");
+        assert!(cache.contains(c));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn colliding_fingerprint_replaces_content_and_is_counted() {
+        // Simulate a 64-bit collision by inserting different content under
+        // the same key (insert_keyed trusts its caller's fingerprint).
+        let mut cache = GraphCache::new(4);
+        let g1 = graph(1);
+        let g2 = graph(2);
+        let fp = cache.insert(Arc::clone(&g1));
+        cache.insert_keyed(fp, Arc::clone(&g2));
+        // Newest content wins: the slot now holds g2.
+        let got = cache.get(fp).unwrap();
+        assert_eq!(*got, *g2);
+        assert_eq!(cache.stats().collisions, 1);
+        assert_eq!(cache.len(), 1);
+        // Re-inserting identical content is not a collision.
+        cache.insert_keyed(fp, g2);
+        assert_eq!(cache.stats().collisions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = GraphCache::new(0);
+        let g = graph(7);
+        let fp = cache.insert(Arc::clone(&g));
+        assert_eq!(fp, g.fingerprint());
+        assert!(cache.is_empty());
+        assert!(cache.get(fp).is_none());
+        assert_eq!(cache.stats().insertions, 0);
+    }
+
+    #[test]
+    fn stats_serialize_as_a_json_object() {
+        let mut cache = GraphCache::new(2);
+        cache.insert(graph(1));
+        let json = serde_json::to_string(&cache).unwrap();
+        assert!(json.contains("\"capacity\":2"), "{json}");
+        assert!(json.contains("\"insertions\":1"), "{json}");
+    }
+}

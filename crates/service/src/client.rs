@@ -1,0 +1,114 @@
+//! A minimal blocking client for the JSON-lines protocol, used by the
+//! in-repo example, the TCP integration tests, and the CI smoke run.
+
+use crate::proto::{fingerprint_from_hex, fingerprint_to_hex, graph_to_fields};
+use gpm_core::{Algorithm, InitHeuristic};
+use gpm_graph::BipartiteCsr;
+use serde::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client.  One request is in flight at a time (the protocol is
+/// strictly request/response per connection); open more clients for
+/// concurrency.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running `gpm-service` server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { writer, reader })
+    }
+
+    /// Sends one request object and returns the parsed response map.
+    /// Protocol-level failures (`"ok":false`) become `io::Error`s carrying
+    /// the server's message.
+    pub fn request(&mut self, fields: Vec<(String, Value)>) -> std::io::Result<Value> {
+        let line = serde_json::to_string(&Value::Map(fields)).expect("JSON emission cannot fail");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let value = serde_json::from_str(response.trim_end()).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad response: {e}"))
+        })?;
+        if value.get("ok").and_then(Value::as_bool) == Some(true) {
+            Ok(value)
+        } else {
+            let message = value
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("malformed error response")
+                .to_string();
+            Err(std::io::Error::other(message))
+        }
+    }
+
+    /// Uploads `graph` into the server's cache, returning its fingerprint.
+    pub fn put_graph(&mut self, graph: &BipartiteCsr) -> std::io::Result<u64> {
+        let mut fields = vec![("op".to_string(), Value::Str("put_graph".to_string()))];
+        fields.extend(graph_to_fields(graph));
+        let response = self.request(fields)?;
+        let hex = response.get("fingerprint").and_then(Value::as_str).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "no fingerprint")
+        })?;
+        fingerprint_from_hex(hex)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Solves a previously uploaded graph by fingerprint.  Returns the full
+    /// response map (`report`, `worker`, `cache_hit`, …).
+    pub fn solve_cached(
+        &mut self,
+        fingerprint: u64,
+        algorithm: Algorithm,
+        init: InitHeuristic,
+    ) -> std::io::Result<Value> {
+        self.request(vec![
+            ("op".to_string(), Value::Str("solve".to_string())),
+            ("algorithm".to_string(), Value::Str(algorithm.to_string())),
+            ("init".to_string(), Value::Str(init.to_string())),
+            ("fingerprint".to_string(), Value::Str(fingerprint_to_hex(fingerprint))),
+        ])
+    }
+
+    /// Solves a graph shipped inline with the request.
+    pub fn solve_inline(
+        &mut self,
+        graph: &BipartiteCsr,
+        algorithm: Algorithm,
+        init: InitHeuristic,
+    ) -> std::io::Result<Value> {
+        let mut fields = vec![
+            ("op".to_string(), Value::Str("solve".to_string())),
+            ("algorithm".to_string(), Value::Str(algorithm.to_string())),
+            ("init".to_string(), Value::Str(init.to_string())),
+        ];
+        fields.extend(graph_to_fields(graph));
+        self.request(fields)
+    }
+
+    /// Fetches the service stats snapshot (the `stats` sub-object).
+    pub fn stats(&mut self) -> std::io::Result<Value> {
+        let response = self.request(vec![("op".to_string(), Value::Str("stats".to_string()))])?;
+        response.get("stats").cloned().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "no stats in response")
+        })
+    }
+
+    /// Asks the server to stop after acknowledging.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        self.request(vec![("op".to_string(), Value::Str("shutdown".to_string()))]).map(|_| ())
+    }
+}

@@ -1,0 +1,81 @@
+//! Failure modes of the matching service, layered over [`SolveError`].
+
+use gpm_core::SolveError;
+use std::fmt;
+
+/// Everything a job submitted to the service can fail with.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The solve itself failed (invalid algorithm parameters, no device for
+    /// a GPU algorithm under a CPU-only policy, shape mismatch, …).
+    Solve(SolveError),
+    /// The job referenced a graph by fingerprint, but the cache holds no
+    /// graph with that fingerprint (never uploaded, or evicted).
+    UnknownGraph {
+        /// The fingerprint the job asked for.
+        fingerprint: u64,
+    },
+    /// The job was submitted after the service began shutting down.
+    ShuttingDown,
+    /// The solve panicked inside a pool worker.  The worker survives (its
+    /// session is rebuilt from scratch), the job reports the panic payload.
+    JobPanicked {
+        /// The panic message, when it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Solve(e) => write!(f, "solve failed: {e}"),
+            ServiceError::UnknownGraph { fingerprint } => write!(
+                f,
+                "no cached graph with fingerprint {fingerprint:#018x} \
+                 (never uploaded, or evicted — re-upload and retry)"
+            ),
+            ServiceError::ShuttingDown => f.write_str("service is shutting down"),
+            ServiceError::JobPanicked { message } => {
+                write!(f, "solve panicked in the worker: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for ServiceError {
+    fn from(e: SolveError) -> Self {
+        ServiceError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = ServiceError::UnknownGraph { fingerprint: 0xabcd };
+        assert!(e.to_string().contains("0x000000000000abcd"));
+        let e = ServiceError::Solve(SolveError::DeviceRequired { algorithm: "G-PR-Shr".into() });
+        assert!(e.to_string().contains("G-PR-Shr"));
+        assert!(ServiceError::ShuttingDown.to_string().contains("shutting down"));
+    }
+
+    #[test]
+    fn solve_errors_convert_and_chain() {
+        let e: ServiceError =
+            SolveError::InvalidConfig { algorithm: "PR".into(), reason: "NaN".into() }.into();
+        assert!(matches!(e, ServiceError::Solve(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ServiceError::ShuttingDown).is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! # gpm-service — a concurrent matching service
+//!
+//! The paper's workload (conf_icpp_DeveciKUC13) is batch sweeps over many
+//! instances; this crate turns the single-threaded [`gpm_core::Solver`]
+//! session into a multi-client service that amortizes warm solver state
+//! across a stream of jobs:
+//!
+//! * [`service::Service`] — a pool of N worker threads, each owning a warm
+//!   `Solver` (device + per-algorithm workspaces), pulling from a shared
+//!   MPMC job queue.  [`Service::submit`] / [`Service::submit_batch`] never
+//!   block on the solve; clients hold a [`job::JobHandle`] and `wait()`.
+//! * [`job::JobSpec`] — algorithm (round-trippable label), init heuristic,
+//!   and a graph **by value or by cache key**.
+//! * [`cache::GraphCache`] — content-addressed by
+//!   [`gpm_graph::BipartiteCsr::fingerprint`], LRU-evicted, hit/miss
+//!   counted: repeated solves on the same instance skip re-upload.
+//! * [`stats::ServiceStats`] — per-algorithm job counts, queue depth, and
+//!   latency aggregates, serialized as JSON.
+//! * [`server`]/[`client`] — a JSON-lines protocol over
+//!   `std::net::TcpListener` (see [`proto`] for the grammar) and the
+//!   matching blocking client; the `gpm-service` binary serves it.
+//!
+//! ```
+//! use gpm_core::Algorithm;
+//! use gpm_service::{JobSpec, Service};
+//! use gpm_graph::gen;
+//!
+//! let service = Service::builder().workers(4).build();
+//! let graph = gen::planted_perfect(200, 800, 7).unwrap();
+//! let fingerprint = service.put_graph(graph);
+//!
+//! // Eight jobs fan out over four warm solvers; the graph is fetched from
+//! // the cache by key each time.
+//! let handles = service.submit_batch((0..8).map(|_| {
+//!     JobSpec::new(gpm_service::GraphSource::Cached(fingerprint), Algorithm::HopcroftKarp)
+//! }));
+//! for handle in handles {
+//!     assert_eq!(handle.wait().unwrap().report.cardinality, 200);
+//! }
+//! assert_eq!(service.stats().cache.hits, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod job;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod stats;
+
+pub use cache::{CacheStats, GraphCache};
+pub use client::Client;
+pub use error::ServiceError;
+pub use job::{GraphSource, JobHandle, JobOutcome, JobSpec};
+pub use server::serve;
+pub use service::{Service, ServiceBuilder};
+pub use stats::{AlgorithmStats, LatencyAgg, ServiceStats};

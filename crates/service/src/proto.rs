@@ -1,0 +1,257 @@
+//! The JSON-lines wire protocol: one JSON object per line, request in,
+//! response out.
+//!
+//! Requests (`op` selects the operation):
+//!
+//! * `{"op":"put_graph","rows":M,"cols":N,"edges":[[r,c],…]}` — upload a
+//!   graph (0-based endpoints) into the cache.  Response carries its
+//!   `fingerprint` as a `0x…` hex string (JSON numbers cannot hold all
+//!   64-bit values exactly).
+//! * `{"op":"solve","algorithm":"G-PR-Shr@adaptive:0.7","init":"cheap",
+//!   "fingerprint":"0x…"}` — solve a cached graph; or inline the graph with
+//!   `rows`/`cols`/`edges` instead of `fingerprint`.  `init` is optional
+//!   (default `cheap`); `"include_matching":true` adds the row-mate array.
+//! * `{"op":"stats"}` — service counters snapshot.
+//! * `{"op":"shutdown"}` — acknowledge, then stop the server.
+//!
+//! Responses always carry `"ok"`: `{"ok":true,…}` or
+//! `{"ok":false,"error":"…"}`.
+
+use gpm_core::{Algorithm, InitHeuristic};
+use gpm_graph::{BipartiteCsr, VertexId};
+use serde::Value;
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Upload a graph into the cache.
+    PutGraph(BipartiteCsr),
+    /// Solve a graph (cached or inline).
+    Solve {
+        /// The algorithm, parsed from its round-trippable label.
+        algorithm: Algorithm,
+        /// Initialization heuristic (wire default: `cheap`).
+        init: InitHeuristic,
+        /// Cached fingerprint or inline graph.
+        graph: RequestGraph,
+        /// Include the row-mate array in the response.
+        include_matching: bool,
+    },
+    /// Snapshot the service counters.
+    Stats,
+    /// Stop the server after acknowledging.
+    Shutdown,
+}
+
+/// How a solve request names its graph.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RequestGraph {
+    /// By cache key.
+    Fingerprint(u64),
+    /// By value.
+    Inline(BipartiteCsr),
+}
+
+/// Renders a fingerprint the way the protocol ships it: `0x` + 16 hex
+/// digits.
+pub fn fingerprint_to_hex(fingerprint: u64) -> String {
+    format!("{fingerprint:#018x}")
+}
+
+/// Parses a `0x…` fingerprint produced by [`fingerprint_to_hex`] (plain
+/// hex without the prefix is accepted too).
+pub fn fingerprint_from_hex(s: &str) -> Result<u64, String> {
+    let digits = s.strip_prefix("0x").unwrap_or(s);
+    u64::from_str_radix(digits, 16).map_err(|_| format!("bad fingerprint '{s}': expected hex"))
+}
+
+/// Parses one request line.  Errors are human-readable strings ready to be
+/// wrapped in an error response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let op = value
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing string field 'op'".to_string())?;
+    match op {
+        "put_graph" => Ok(Request::PutGraph(parse_graph(&value)?)),
+        "solve" => {
+            let algorithm_label = value
+                .get("algorithm")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "solve: missing string field 'algorithm'".to_string())?;
+            let algorithm: Algorithm =
+                algorithm_label.parse().map_err(|e| format!("solve: {e}"))?;
+            let init = match value.get("init").and_then(Value::as_str) {
+                Some(label) => label.parse().map_err(|e| format!("solve: {e}"))?,
+                None => InitHeuristic::default(),
+            };
+            let graph = match value.get("fingerprint").and_then(Value::as_str) {
+                Some(hex) => RequestGraph::Fingerprint(fingerprint_from_hex(hex)?),
+                None => RequestGraph::Inline(parse_graph(&value)?),
+            };
+            let include_matching =
+                value.get("include_matching").and_then(Value::as_bool).unwrap_or(false);
+            Ok(Request::Solve { algorithm, init, graph, include_matching })
+        }
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => {
+            Err(format!("unknown op '{other}': expected put_graph, solve, stats, or shutdown"))
+        }
+    }
+}
+
+/// Extracts `rows`/`cols`/`edges` fields into a validated graph.
+fn parse_graph(value: &Value) -> Result<BipartiteCsr, String> {
+    let dim = |field: &str| -> Result<usize, String> {
+        value
+            .get(field)
+            .and_then(Value::as_u64)
+            .map(|n| n as usize)
+            .ok_or_else(|| format!("missing non-negative integer field '{field}'"))
+    };
+    let rows = dim("rows")?;
+    let cols = dim("cols")?;
+    let edges_value = value
+        .get("edges")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| "missing array field 'edges'".to_string())?;
+    let mut edges = Vec::with_capacity(edges_value.len());
+    for (i, pair) in edges_value.iter().enumerate() {
+        let pair = pair.as_seq().filter(|p| p.len() == 2).ok_or_else(|| {
+            format!("edges[{i}]: expected a [row, col] pair of non-negative integers")
+        })?;
+        let endpoint = |v: &Value, which: &str| -> Result<VertexId, String> {
+            v.as_u64()
+                .and_then(|n| VertexId::try_from(n).ok())
+                .ok_or_else(|| format!("edges[{i}]: bad {which} endpoint"))
+        };
+        edges.push((endpoint(&pair[0], "row")?, endpoint(&pair[1], "column")?));
+    }
+    BipartiteCsr::from_edges(rows, cols, &edges).map_err(|e| format!("bad graph: {e}"))
+}
+
+/// Serializes a graph the way requests inline it (used by the client).
+pub fn graph_to_fields(graph: &BipartiteCsr) -> Vec<(String, Value)> {
+    vec![
+        ("rows".to_string(), Value::U64(graph.num_rows() as u64)),
+        ("cols".to_string(), Value::U64(graph.num_cols() as u64)),
+        (
+            "edges".to_string(),
+            Value::Seq(
+                graph
+                    .edges()
+                    .map(|(r, c)| {
+                        Value::Seq(vec![Value::U64(u64::from(r)), Value::U64(u64::from(c))])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]
+}
+
+/// Builds a `{"ok":true, …}` response line (no trailing newline).
+pub fn ok_response(fields: Vec<(String, Value)>) -> String {
+    let mut entries = vec![("ok".to_string(), Value::Bool(true))];
+    entries.extend(fields);
+    render(Value::Map(entries))
+}
+
+/// Builds a `{"ok":false,"error":…}` response line (no trailing newline).
+pub fn error_response(message: &str) -> String {
+    render(Value::Map(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(message.to_string())),
+    ]))
+}
+
+fn render(value: Value) -> String {
+    serde_json::to_string(&value).expect("JSON emission cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_graph::gen;
+
+    #[test]
+    fn fingerprints_round_trip_through_hex() {
+        for fp in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(fingerprint_from_hex(&fingerprint_to_hex(fp)).unwrap(), fp);
+        }
+        assert_eq!(fingerprint_from_hex("ff").unwrap(), 255);
+        assert!(fingerprint_from_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn parses_put_graph_and_round_trips_inline_graphs() {
+        let g = gen::uniform_random(6, 7, 20, 3).unwrap();
+        let mut fields = vec![("op".to_string(), Value::Str("put_graph".to_string()))];
+        fields.extend(graph_to_fields(&g));
+        let line = serde_json::to_string(&Value::Map(fields)).unwrap();
+        match parse_request(&line).unwrap() {
+            Request::PutGraph(parsed) => assert_eq!(parsed, g),
+            other => panic!("expected PutGraph, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_solve_with_defaults_and_options() {
+        let r = parse_request(r#"{"op":"solve","algorithm":"HK","fingerprint":"0xff"}"#).unwrap();
+        match r {
+            Request::Solve { algorithm, init, graph, include_matching } => {
+                assert_eq!(algorithm, Algorithm::HopcroftKarp);
+                assert_eq!(init, InitHeuristic::Cheap);
+                assert_eq!(graph, RequestGraph::Fingerprint(255));
+                assert!(!include_matching);
+            }
+            other => panic!("{other:?}"),
+        }
+        let r = parse_request(
+            r#"{"op":"solve","algorithm":"PFP","init":"karp-sipser","rows":2,"cols":2,
+               "edges":[[0,0],[1,1]],"include_matching":true}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Solve { init, graph, include_matching, .. } => {
+                assert_eq!(init, InitHeuristic::KarpSipser);
+                assert!(matches!(graph, RequestGraph::Inline(g) if g.num_edges() == 2));
+                assert!(include_matching);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse_request(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_explanations() {
+        let cases = [
+            ("not json", "bad JSON"),
+            (r#"{"no_op":1}"#, "missing string field 'op'"),
+            (r#"{"op":"fly"}"#, "unknown op 'fly'"),
+            (r#"{"op":"solve","algorithm":"G-XX","fingerprint":"0x1"}"#, "cannot parse"),
+            (r#"{"op":"solve","algorithm":"HK","init":"magic","fingerprint":"0x1"}"#, "magic"),
+            (r#"{"op":"solve","algorithm":"HK"}"#, "missing non-negative integer field 'rows'"),
+            (r#"{"op":"put_graph","rows":2,"cols":2,"edges":[[0]]}"#, "edges[0]"),
+            (r#"{"op":"put_graph","rows":2,"cols":2,"edges":[[0,9]]}"#, "bad graph"),
+        ];
+        for (line, want) in cases {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(want), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn responses_have_the_ok_envelope() {
+        let ok = ok_response(vec![("op".to_string(), Value::Str("stats".to_string()))]);
+        assert!(ok.starts_with(r#"{"ok":true"#), "{ok}");
+        let err = error_response("boom \"quoted\"");
+        assert!(err.starts_with(r#"{"ok":false"#), "{err}");
+        assert!(err.contains(r#"\"quoted\""#), "{err}");
+        // Response lines must be single-line (JSON-lines framing).
+        assert!(!ok.contains('\n'));
+        assert!(!err.contains('\n'));
+    }
+}

@@ -1,0 +1,288 @@
+//! JSON-lines TCP front-end over a [`Service`].
+//!
+//! Each accepted connection gets its own thread reading request lines and
+//! writing response lines; the actual solving happens on the service's
+//! worker pool, so N connections share the warm solvers and the graph
+//! cache.  A `shutdown` request stops the accept loop and joins every
+//! connection.
+
+use crate::job::{GraphSource, JobSpec};
+use crate::proto::{
+    error_response, fingerprint_to_hex, ok_response, parse_request, Request, RequestGraph,
+};
+use crate::service::Service;
+use gpm_core::SolveReport;
+use serde::{Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Serves `service` on `listener` until a client sends
+/// `{"op":"shutdown"}`.  Blocks the calling thread; returns once every
+/// connection thread has been joined.
+pub fn serve(listener: TcpListener, service: Service) -> std::io::Result<()> {
+    let service = Arc::new(service);
+    let stop = Arc::new(AtomicBool::new(false));
+    let local_addr = listener.local_addr()?;
+    let mut connections: Vec<(std::thread::JoinHandle<()>, TcpStream)> = Vec::new();
+    let mut consecutive_accept_errors = 0u32;
+    while !stop.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                consecutive_accept_errors = 0;
+                stream
+            }
+            // A transient accept failure (client RST before accept, fd
+            // pressure) must not kill the server and every in-flight
+            // connection; only a persistently failing listener is fatal.
+            Err(e) => {
+                consecutive_accept_errors += 1;
+                if consecutive_accept_errors >= 100 {
+                    return Err(e);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // Prune finished connections so a long-running server does not
+        // accumulate one fd + join handle per connection ever accepted.
+        connections.retain(|(handle, _)| !handle.is_finished());
+        let conn = stream.try_clone()?;
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            // A failed connection only loses that client.
+            let _ = handle_connection(stream, &service, &stop, local_addr);
+        });
+        connections.push((handle, conn));
+    }
+    for (handle, conn) in connections {
+        // Unblock handlers still reading an idle connection: without this a
+        // lingering client would keep the server alive past shutdown.
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Service,
+    stop: &AtomicBool,
+    local_addr: std::net::SocketAddr,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, is_shutdown) = handle_request_line(service, &line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if is_shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // The accept loop is blocked in `accept`; poke it awake so it
+            // observes the stop flag and exits.  A wildcard bind address
+            // (0.0.0.0 / ::) is not connectable everywhere — aim the poke
+            // at the loopback of the same family instead.
+            let mut poke = local_addr;
+            if poke.ip().is_unspecified() {
+                poke.set_ip(match poke.ip() {
+                    std::net::IpAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                    std::net::IpAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                });
+            }
+            let _ = TcpStream::connect(poke);
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Handles one request line, returning the response line (no newline) and
+/// whether the server should stop.  Pure apart from the service calls, so
+/// tests drive it without sockets.
+pub fn handle_request_line(service: &Service, line: &str) -> (String, bool) {
+    match parse_request(line) {
+        Err(message) => (error_response(&message), false),
+        Ok(Request::PutGraph(graph)) => {
+            if !service.cache_enabled() {
+                // Without a cache the upload would be silently discarded and
+                // every later solve-by-fingerprint would fail; tell the
+                // client now instead.
+                return (
+                    error_response(
+                        "graph caching is disabled on this server (cache capacity 0); \
+                         ship graphs inline with each solve request",
+                    ),
+                    false,
+                );
+            }
+            let fingerprint = service.put_graph(graph);
+            (
+                ok_response(vec![
+                    ("op".to_string(), Value::Str("put_graph".to_string())),
+                    ("fingerprint".to_string(), Value::Str(fingerprint_to_hex(fingerprint))),
+                ]),
+                false,
+            )
+        }
+        Ok(Request::Solve { algorithm, init, graph, include_matching }) => {
+            let source = match graph {
+                RequestGraph::Fingerprint(fp) => GraphSource::Cached(fp),
+                RequestGraph::Inline(g) => GraphSource::Inline(Arc::new(g)),
+            };
+            let spec = JobSpec { algorithm, init, graph: source };
+            match service.submit(spec).wait() {
+                Err(e) => (error_response(&e.to_string()), false),
+                Ok(outcome) => {
+                    let mut fields = vec![
+                        ("op".to_string(), Value::Str("solve".to_string())),
+                        ("report".to_string(), outcome.report.to_value()),
+                        ("worker".to_string(), Value::U64(outcome.worker as u64)),
+                        ("cache_hit".to_string(), Value::Bool(outcome.cache_hit)),
+                        ("queue_seconds".to_string(), Value::F64(outcome.queue_seconds)),
+                        ("service_seconds".to_string(), Value::F64(outcome.service_seconds)),
+                    ];
+                    if include_matching {
+                        fields.push(("row_mates".to_string(), row_mates_value(&outcome.report)));
+                    }
+                    (ok_response(fields), false)
+                }
+            }
+        }
+        Ok(Request::Stats) => (
+            ok_response(vec![
+                ("op".to_string(), Value::Str("stats".to_string())),
+                ("stats".to_string(), service.stats().to_value()),
+            ]),
+            false,
+        ),
+        Ok(Request::Shutdown) => {
+            (ok_response(vec![("op".to_string(), Value::Str("shutdown".to_string()))]), true)
+        }
+    }
+}
+
+/// The matching as a row-mate array: `row_mates[r]` is the matched column
+/// of row `r`, or -1 when unmatched.
+fn row_mates_value(report: &SolveReport) -> Value {
+    Value::Seq(report.matching.row_mates().iter().map(|&m| Value::I64(m)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::fingerprint_from_hex;
+    use gpm_graph::gen;
+    use gpm_graph::verify::maximum_matching_cardinality;
+
+    fn parsed_ok(response: &str) -> Value {
+        let v = serde_json::from_str(response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{response}");
+        v
+    }
+
+    #[test]
+    fn put_solve_stats_flow_without_sockets() {
+        let service = Service::builder().workers(2).build();
+        let g = gen::planted_perfect(30, 120, 5).unwrap();
+        let mut put_line = format!(
+            r#"{{"op":"put_graph","rows":{},"cols":{},"edges":["#,
+            g.num_rows(),
+            g.num_cols()
+        );
+        let edges: Vec<String> = g.edges().map(|(r, c)| format!("[{r},{c}]")).collect();
+        put_line.push_str(&edges.join(","));
+        put_line.push_str("]}");
+        let (response, stop) = handle_request_line(&service, &put_line);
+        assert!(!stop);
+        let fp_hex =
+            parsed_ok(&response).get("fingerprint").and_then(Value::as_str).unwrap().to_string();
+        assert_eq!(fingerprint_from_hex(&fp_hex).unwrap(), g.fingerprint());
+
+        let solve_line = format!(
+            r#"{{"op":"solve","algorithm":"HK","fingerprint":"{fp_hex}","include_matching":true}}"#
+        );
+        let (response, stop) = handle_request_line(&service, &solve_line);
+        assert!(!stop);
+        let v = parsed_ok(&response);
+        let report = v.get("report").unwrap();
+        assert_eq!(report.get("cardinality").and_then(Value::as_u64), Some(30));
+        assert_eq!(v.get("cache_hit").and_then(Value::as_bool), Some(true));
+        let mates = v.get("row_mates").and_then(Value::as_seq).unwrap();
+        assert_eq!(mates.len(), 30);
+        assert!(mates.iter().all(|m| m.as_i64().is_some()));
+
+        let (response, _) = handle_request_line(&service, r#"{"op":"stats"}"#);
+        let v = parsed_ok(&response);
+        let stats = v.get("stats").unwrap();
+        assert_eq!(stats.get("completed").and_then(Value::as_u64), Some(1));
+        assert_eq!(stats.get("cache").unwrap().get("hits").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn inline_solve_and_error_envelopes() {
+        let service = Service::builder().workers(1).build();
+        let g = gen::uniform_random(10, 10, 40, 2).unwrap();
+        let opt = maximum_matching_cardinality(&g) as u64;
+        let edges: Vec<String> = g.edges().map(|(r, c)| format!("[{r},{c}]")).collect();
+        let line = format!(
+            r#"{{"op":"solve","algorithm":"PFP","rows":10,"cols":10,"edges":[{}]}}"#,
+            edges.join(",")
+        );
+        let (response, _) = handle_request_line(&service, &line);
+        let v = parsed_ok(&response);
+        assert_eq!(v.get("report").unwrap().get("cardinality").and_then(Value::as_u64), Some(opt));
+
+        // Unknown fingerprint: an error envelope, not a dead server.
+        let (response, stop) = handle_request_line(
+            &service,
+            r#"{"op":"solve","algorithm":"HK","fingerprint":"0x1234"}"#,
+        );
+        assert!(!stop);
+        let v = serde_json::from_str(&response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(v.get("error").and_then(Value::as_str).unwrap().contains("0x0000000000001234"));
+
+        // Garbage line: ditto.
+        let (response, stop) = handle_request_line(&service, "garbage");
+        assert!(!stop);
+        assert!(response.starts_with(r#"{"ok":false"#));
+    }
+
+    #[test]
+    fn put_graph_on_cacheless_server_is_rejected_up_front() {
+        let service = Service::builder().workers(1).cache_capacity(0).build();
+        let (response, stop) = handle_request_line(
+            &service,
+            r#"{"op":"put_graph","rows":1,"cols":1,"edges":[[0,0]]}"#,
+        );
+        assert!(!stop);
+        let v = serde_json::from_str(&response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(v.get("error").and_then(Value::as_str).unwrap().contains("caching is disabled"));
+        // Inline solving still works without a cache.
+        let (response, _) = handle_request_line(
+            &service,
+            r#"{"op":"solve","algorithm":"HK","rows":1,"cols":1,"edges":[[0,0]]}"#,
+        );
+        let v = parsed_ok(&response);
+        assert_eq!(v.get("report").unwrap().get("cardinality").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn shutdown_request_signals_stop() {
+        let service = Service::builder().workers(1).build();
+        let (response, stop) = handle_request_line(&service, r#"{"op":"shutdown"}"#);
+        assert!(stop);
+        parsed_ok(&response);
+    }
+}

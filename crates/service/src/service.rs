@@ -1,0 +1,523 @@
+//! The [`Service`]: a pool of worker threads, each owning a warm
+//! [`Solver`] session, fed from a shared MPMC job queue.
+//!
+//! Submitting is non-blocking: [`Service::submit`] enqueues and returns a
+//! [`JobHandle`]; any number of client threads may submit concurrently.
+//! Workers pull jobs under a `Mutex` + `Condvar`, resolve the graph through
+//! the content-addressed [`GraphCache`], run the solve on their private warm
+//! session, and complete the handle.  Dropping the service drains the queue:
+//! already-accepted jobs still complete, then the workers exit.
+
+use crate::cache::GraphCache;
+use crate::error::ServiceError;
+use crate::job::{GraphSource, JobHandle, JobOutcome, JobSlot, JobSpec};
+use crate::stats::{AlgorithmStats, LatencyAgg, ServiceStats};
+use gpm_core::{DevicePolicy, Solver};
+use gpm_graph::BipartiteCsr;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configures and starts a [`Service`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceBuilder {
+    workers: usize,
+    device_policy: DevicePolicy,
+    cache_capacity: usize,
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        Self { workers: 2, device_policy: DevicePolicy::Sequential, cache_capacity: 32 }
+    }
+}
+
+impl ServiceBuilder {
+    /// Sets the number of pool workers (each owns one warm [`Solver`]).
+    /// A count of 0 is treated as 1.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the device policy each worker's solver is built with.
+    ///
+    /// The default is [`DevicePolicy::Sequential`]: with N workers solving
+    /// concurrently, per-worker sequential devices keep results reproducible
+    /// and avoid oversubscribing the host with N × cores kernel threads.
+    pub fn device_policy(mut self, policy: DevicePolicy) -> Self {
+        self.device_policy = policy;
+        self
+    }
+
+    /// Sets how many graphs the content-addressed cache holds (0 disables
+    /// caching; jobs must then carry their graph inline).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Starts the worker pool.
+    pub fn build(self) -> Service {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
+            available: Condvar::new(),
+            cache: parking_lot::Mutex::new(GraphCache::new(self.cache_capacity)),
+            stats: parking_lot::Mutex::new(StatsInner::default()),
+        });
+        let workers = (0..self.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let policy = self.device_policy;
+                std::thread::Builder::new()
+                    .name(format!("gpm-service-worker-{index}"))
+                    .spawn(move || worker_loop(index, policy, &shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service { shared, workers, worker_count: self.workers }
+    }
+}
+
+/// A concurrent matching service over a warm solver pool.
+///
+/// See the [crate docs](crate) for the architecture; in short:
+///
+/// ```
+/// use gpm_core::Algorithm;
+/// use gpm_service::{JobSpec, Service};
+/// use gpm_graph::gen;
+///
+/// let service = Service::builder().workers(2).build();
+/// let graph = gen::planted_perfect(100, 400, 7).unwrap();
+/// let fingerprint = service.put_graph(graph.clone());
+///
+/// // Submit by value or by cache key; wait in any order.
+/// let a = service.submit(JobSpec::new(graph, Algorithm::HopcroftKarp));
+/// let b = service.submit(JobSpec::new(
+///     gpm_service::GraphSource::Cached(fingerprint),
+///     Algorithm::gpr_default(),
+/// ));
+/// assert_eq!(b.wait().unwrap().report.cardinality, 100);
+/// assert_eq!(a.wait().unwrap().report.cardinality, 100);
+/// ```
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    worker_count: usize,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    available: Condvar,
+    cache: parking_lot::Mutex<GraphCache>,
+    stats: parking_lot::Mutex<StatsInner>,
+}
+
+struct Queue {
+    jobs: VecDeque<QueuedJob>,
+    shutdown: bool,
+}
+
+struct QueuedJob {
+    spec: JobSpec,
+    slot: Arc<JobSlot>,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    peak_queue_depth: usize,
+    queue_wait: LatencyAgg,
+    per_algorithm: BTreeMap<String, AlgorithmStats>,
+}
+
+impl Service {
+    /// Starts configuring a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+
+    /// A service with `workers` pool threads and default cache/device
+    /// settings.
+    pub fn new(workers: usize) -> Self {
+        Self::builder().workers(workers).build()
+    }
+
+    /// Number of pool workers.
+    pub fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Enqueues one job and returns a handle on its result.
+    ///
+    /// Never blocks on the solve itself.  After shutdown has begun the job
+    /// is rejected with an already-completed handle carrying
+    /// [`ServiceError::ShuttingDown`].
+    pub fn submit(&self, spec: JobSpec) -> JobHandle {
+        let slot = Arc::new(JobSlot::default());
+        let handle = JobHandle { slot: Arc::clone(&slot) };
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.shutdown {
+                return JobHandle::completed(Err(ServiceError::ShuttingDown));
+            }
+            queue.jobs.push_back(QueuedJob { spec, slot, enqueued: Instant::now() });
+            let depth = queue.jobs.len();
+            let mut stats = self.shared.stats.lock();
+            stats.submitted += 1;
+            stats.peak_queue_depth = stats.peak_queue_depth.max(depth);
+        }
+        self.shared.available.notify_one();
+        handle
+    }
+
+    /// Enqueues a batch, returning one handle per job in order.
+    ///
+    /// The batch is pushed under a single queue lock, so an N-worker pool
+    /// starts fanning out over it immediately.
+    pub fn submit_batch(&self, specs: impl IntoIterator<Item = JobSpec>) -> Vec<JobHandle> {
+        let now = Instant::now();
+        let mut handles = Vec::new();
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            for spec in specs {
+                if queue.shutdown {
+                    handles.push(JobHandle::completed(Err(ServiceError::ShuttingDown)));
+                    continue;
+                }
+                let slot = Arc::new(JobSlot::default());
+                handles.push(JobHandle { slot: Arc::clone(&slot) });
+                queue.jobs.push_back(QueuedJob { spec, slot, enqueued: now });
+            }
+            let depth = queue.jobs.len();
+            let mut stats = self.shared.stats.lock();
+            stats.submitted += handles.len() as u64;
+            stats.peak_queue_depth = stats.peak_queue_depth.max(depth);
+        }
+        self.shared.available.notify_all();
+        handles
+    }
+
+    /// `true` iff the service caches graphs (built with a non-zero cache
+    /// capacity).  When `false`, [`Service::put_graph`] is a no-op and only
+    /// inline jobs can solve.
+    pub fn cache_enabled(&self) -> bool {
+        self.shared.cache.lock().stats().capacity > 0
+    }
+
+    /// Registers `graph` in the cache without solving, returning its
+    /// fingerprint for use in [`GraphSource::Cached`] jobs.
+    ///
+    /// On a service built with `cache_capacity(0)` the graph is **not**
+    /// retained (the fingerprint is still returned); check
+    /// [`Service::cache_enabled`] first when that configuration is possible.
+    pub fn put_graph(&self, graph: impl Into<Arc<BipartiteCsr>>) -> u64 {
+        let graph = graph.into();
+        // Hash outside the lock: the fingerprint walk is O(E).
+        let fingerprint = graph.fingerprint();
+        self.shared.cache.lock().insert_keyed(fingerprint, graph);
+        fingerprint
+    }
+
+    /// `true` iff a graph with this fingerprint is currently cached.
+    pub fn contains_graph(&self, fingerprint: u64) -> bool {
+        self.shared.cache.lock().contains(fingerprint)
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let queue_depth = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).jobs.len();
+        let cache = self.shared.cache.lock().stats();
+        let stats = self.shared.stats.lock();
+        ServiceStats {
+            workers: self.worker_count,
+            submitted: stats.submitted,
+            completed: stats.completed,
+            failed: stats.failed,
+            queue_depth,
+            peak_queue_depth: stats.peak_queue_depth,
+            queue_wait: stats.queue_wait,
+            cache,
+            per_algorithm: stats.per_algorithm.clone(),
+        }
+    }
+
+    /// Stops accepting jobs, drains the queue, and joins the workers.
+    /// Equivalent to dropping the service, but explicit at call sites.
+    pub fn shutdown(self) {}
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.shutdown = true;
+        }
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked already completed no further jobs;
+            // propagating the panic out of Drop would abort, so swallow it.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.worker_count)
+            .field("queue_depth", &self.shared.queue.lock().map(|q| q.jobs.len()).unwrap_or(0))
+            .finish()
+    }
+}
+
+/// One pool worker: owns a warm [`Solver`] for its whole lifetime, so every
+/// job it runs after the first reuses per-algorithm workspaces and the
+/// session device.
+fn worker_loop(index: usize, policy: DevicePolicy, shared: &Shared) {
+    let mut solver = Solver::builder().device_policy(policy).build();
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.available.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let queue_seconds = job.enqueued.elapsed().as_secs_f64();
+        let started = Instant::now();
+        // A panicking solve must not hang the waiting client (the slot would
+        // never complete) or kill the worker: catch it, fail the job, and
+        // rebuild the session, whose warm state the unwind may have torn.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(index, &mut solver, shared, &job.spec, queue_seconds, started)
+        }))
+        .unwrap_or_else(|payload| {
+            solver = Solver::builder().device_policy(policy).build();
+            Err(ServiceError::JobPanicked { message: panic_message(payload.as_ref()) })
+        });
+        record(shared, &job.spec, queue_seconds, &result);
+        job.slot.complete(result);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Resolves the job's graph (cache or inline), builds the initial matching,
+/// and solves on the worker's warm session.
+fn run_job(
+    index: usize,
+    solver: &mut Solver,
+    shared: &Shared,
+    spec: &JobSpec,
+    queue_seconds: f64,
+    started: Instant,
+) -> Result<JobOutcome, ServiceError> {
+    let (graph, cache_hit) = match &spec.graph {
+        GraphSource::Inline(graph) => {
+            // Register inline uploads so follow-up jobs can go by key.  The
+            // O(E) hash runs before taking the lock so concurrent workers
+            // are not serialized on large-graph hashing.
+            let fingerprint = graph.fingerprint();
+            shared.cache.lock().insert_keyed(fingerprint, Arc::clone(graph));
+            (Arc::clone(graph), false)
+        }
+        GraphSource::Cached(fingerprint) => match shared.cache.lock().get(*fingerprint) {
+            Some(graph) => (graph, true),
+            None => return Err(ServiceError::UnknownGraph { fingerprint: *fingerprint }),
+        },
+    };
+    // Validate before paying for the O(E) init heuristic (solve_with_initial
+    // would reject the config anyway, but only after the init was built).
+    spec.algorithm.validate().map_err(ServiceError::Solve)?;
+    let initial = spec.init.build(&graph);
+    let report =
+        solver.solve_with_initial(&graph, &initial, spec.algorithm).map_err(ServiceError::Solve)?;
+    Ok(JobOutcome {
+        report,
+        worker: index,
+        cache_hit,
+        queue_seconds,
+        service_seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
+fn record(
+    shared: &Shared,
+    spec: &JobSpec,
+    queue_seconds: f64,
+    result: &Result<JobOutcome, ServiceError>,
+) {
+    let mut stats = shared.stats.lock();
+    stats.queue_wait.record(queue_seconds);
+    let per_alg = stats.per_algorithm.entry(spec.algorithm.to_string()).or_default();
+    match result {
+        Ok(outcome) => {
+            per_alg.completed += 1;
+            per_alg.solve.record(outcome.report.wall_seconds);
+            stats.completed += 1;
+        }
+        Err(_) => {
+            per_alg.failed += 1;
+            stats.failed += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_core::{Algorithm, InitHeuristic, SolveError};
+    use gpm_graph::gen;
+    use gpm_graph::verify::maximum_matching_cardinality;
+
+    #[test]
+    fn submit_solves_and_reports() {
+        let service = Service::builder().workers(2).build();
+        let g = gen::uniform_random(60, 60, 300, 11).unwrap();
+        let opt = maximum_matching_cardinality(&g);
+        let outcome = service.submit(JobSpec::new(g, Algorithm::HopcroftKarp)).wait().unwrap();
+        assert_eq!(outcome.report.cardinality, opt);
+        assert!(!outcome.cache_hit);
+        assert!(outcome.queue_seconds >= 0.0);
+        assert!(outcome.service_seconds >= 0.0);
+        assert!(outcome.worker < 2);
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.per_algorithm["HK"].completed, 1);
+    }
+
+    #[test]
+    fn cached_jobs_hit_after_put_graph() {
+        let service = Service::builder().workers(1).build();
+        let g = gen::planted_perfect(50, 200, 3).unwrap();
+        let fp = service.put_graph(g);
+        assert!(service.contains_graph(fp));
+        let outcome = service
+            .submit(JobSpec::new(GraphSource::Cached(fp), Algorithm::PothenFan))
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.report.cardinality, 50);
+        assert!(outcome.cache_hit);
+        assert_eq!(service.stats().cache.hits, 1);
+    }
+
+    #[test]
+    fn unknown_fingerprint_fails_the_job_not_the_pool() {
+        let service = Service::builder().workers(1).build();
+        let err = service
+            .submit(JobSpec::new(GraphSource::Cached(0xdead_beef), Algorithm::HopcroftKarp))
+            .wait()
+            .unwrap_err();
+        assert_eq!(err, ServiceError::UnknownGraph { fingerprint: 0xdead_beef });
+        // The worker survives and keeps serving.
+        let g = gen::uniform_random(20, 20, 80, 5).unwrap();
+        let opt = maximum_matching_cardinality(&g);
+        let ok = service.submit(JobSpec::new(g, Algorithm::HopcroftKarp)).wait().unwrap();
+        assert_eq!(ok.report.cardinality, opt);
+        let stats = service.stats();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn invalid_algorithms_and_gpu_without_device_fail_structurally() {
+        let service = Service::builder().workers(1).device_policy(DevicePolicy::CpuOnly).build();
+        let g = gen::uniform_random(20, 20, 80, 5).unwrap();
+        let err = service.submit(JobSpec::new(g.clone(), Algorithm::Pdbfs(0))).wait().unwrap_err();
+        assert!(matches!(err, ServiceError::Solve(SolveError::InvalidConfig { .. })));
+        let err = service.submit(JobSpec::new(g, Algorithm::gpr_default())).wait().unwrap_err();
+        assert!(matches!(err, ServiceError::Solve(SolveError::DeviceRequired { .. })));
+    }
+
+    #[test]
+    fn batch_fans_out_and_preserves_order() {
+        let service = Service::builder().workers(4).build();
+        let graphs: Vec<_> =
+            (0..8).map(|i| gen::uniform_random(40, 40, 180, 100 + i).unwrap()).collect();
+        let expected: Vec<_> = graphs.iter().map(maximum_matching_cardinality).collect();
+        let handles = service
+            .submit_batch(graphs.iter().map(|g| JobSpec::new(g.clone(), Algorithm::HopcroftKarp)));
+        assert_eq!(handles.len(), 8);
+        for (handle, want) in handles.into_iter().zip(expected) {
+            assert_eq!(handle.wait().unwrap().report.cardinality, want);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.completed, 8);
+        assert!(stats.peak_queue_depth >= 1);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn init_heuristic_is_honored_per_job() {
+        let service = Service::builder().workers(1).build();
+        let g = gen::uniform_random(50, 50, 240, 9).unwrap();
+        let outcome = service
+            .submit(JobSpec::new(g, Algorithm::HopcroftKarp).with_init(InitHeuristic::Empty))
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.report.initial_cardinality, 0);
+    }
+
+    #[test]
+    fn drop_drains_accepted_jobs() {
+        let service = Service::builder().workers(2).build();
+        let g = gen::uniform_random(80, 80, 400, 21).unwrap();
+        let opt = maximum_matching_cardinality(&g);
+        let handles =
+            service.submit_batch((0..16).map(|_| JobSpec::new(g.clone(), Algorithm::HopcroftKarp)));
+        drop(service); // begins shutdown; queued jobs must still complete
+        for handle in handles {
+            assert_eq!(handle.wait().unwrap().report.cardinality, opt);
+        }
+    }
+
+    #[test]
+    fn panic_payloads_become_messages() {
+        let p = std::panic::catch_unwind(|| panic!("boom")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "boom");
+        let p = std::panic::catch_unwind(|| panic!("{} {}", "boom", 2)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "boom 2");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42i32)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
+    fn warm_workers_reuse_engines_across_jobs() {
+        // Same algorithm on one worker: the second job must not re-create
+        // the engine (observable through identical results and a fast path,
+        // here just correctness under repetition).
+        let service = Service::builder().workers(1).build();
+        let g = gen::planted_perfect(64, 256, 13).unwrap();
+        let fp = service.put_graph(g);
+        for _ in 0..3 {
+            let outcome = service
+                .submit(JobSpec::new(GraphSource::Cached(fp), Algorithm::gpr_default()))
+                .wait()
+                .unwrap();
+            assert_eq!(outcome.report.cardinality, 64);
+            assert!(outcome.cache_hit);
+        }
+        assert_eq!(service.stats().cache.hits, 3);
+    }
+}

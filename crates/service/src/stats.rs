@@ -1,0 +1,137 @@
+//! Aggregate service statistics: job counts, queue depth, and latency
+//! aggregates, serialized to JSON for the `stats` request of the wire
+//! protocol.
+
+use crate::cache::CacheStats;
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+
+/// Online aggregate of a latency population (seconds).
+///
+/// Keeps count/total/min/max — enough for a service dashboard without
+/// storing samples.  `min`/`max` report 0.0 while the population is empty so
+/// the JSON stays free of nulls.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyAgg {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples, in seconds.
+    pub total_seconds: f64,
+    /// Smallest sample, in seconds (0.0 when empty).
+    pub min_seconds: f64,
+    /// Largest sample, in seconds (0.0 when empty).
+    pub max_seconds: f64,
+}
+
+impl LatencyAgg {
+    /// Folds one sample into the aggregate.
+    pub fn record(&mut self, seconds: f64) {
+        if self.count == 0 {
+            self.min_seconds = seconds;
+            self.max_seconds = seconds;
+        } else {
+            self.min_seconds = self.min_seconds.min(seconds);
+            self.max_seconds = self.max_seconds.max(seconds);
+        }
+        self.count += 1;
+        self.total_seconds += seconds;
+    }
+
+    /// Arithmetic mean, or 0.0 while empty.
+    pub fn mean_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_seconds / self.count as f64
+        }
+    }
+}
+
+impl Serialize for LatencyAgg {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("count".to_string(), Value::U64(self.count)),
+            ("total_seconds".to_string(), Value::F64(self.total_seconds)),
+            ("mean_seconds".to_string(), Value::F64(self.mean_seconds())),
+            ("min_seconds".to_string(), Value::F64(self.min_seconds)),
+            ("max_seconds".to_string(), Value::F64(self.max_seconds)),
+        ])
+    }
+}
+
+/// Per-algorithm job accounting.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct AlgorithmStats {
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs that returned an error.
+    pub failed: u64,
+    /// Solve-time aggregate over successful jobs (seconds spent in the
+    /// solver, excluding queue wait).
+    pub solve: LatencyAgg,
+}
+
+/// A point-in-time snapshot of the whole service.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServiceStats {
+    /// Number of pool workers.
+    pub workers: usize,
+    /// Jobs accepted so far (including ones still queued or running).
+    pub submitted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs finished with an error.
+    pub failed: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Largest queue depth observed.
+    pub peak_queue_depth: usize,
+    /// Queue-wait aggregate over all dequeued jobs.
+    pub queue_wait: LatencyAgg,
+    /// Graph-cache counters.
+    pub cache: CacheStats,
+    /// Accounting keyed by the algorithm's round-trippable label.
+    pub per_algorithm: BTreeMap<String, AlgorithmStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_agg_tracks_extremes_and_mean() {
+        let mut agg = LatencyAgg::default();
+        assert_eq!(agg.mean_seconds(), 0.0);
+        for s in [0.5, 0.1, 0.9] {
+            agg.record(s);
+        }
+        assert_eq!(agg.count, 3);
+        assert!((agg.min_seconds - 0.1).abs() < 1e-12);
+        assert!((agg.max_seconds - 0.9).abs() < 1e-12);
+        assert!((agg.mean_seconds() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_serializes_with_per_algorithm_keys() {
+        let mut per_algorithm = BTreeMap::new();
+        let mut hk = AlgorithmStats { completed: 2, ..AlgorithmStats::default() };
+        hk.solve.record(0.25);
+        per_algorithm.insert("HK".to_string(), hk);
+        let stats = ServiceStats {
+            workers: 4,
+            submitted: 3,
+            completed: 2,
+            failed: 1,
+            queue_depth: 0,
+            peak_queue_depth: 3,
+            queue_wait: LatencyAgg::default(),
+            cache: CacheStats::default(),
+            per_algorithm,
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"workers\":4"), "{json}");
+        assert!(json.contains("\"HK\""), "{json}");
+        assert!(json.contains("\"mean_seconds\""), "{json}");
+        assert!(json.contains("\"peak_queue_depth\":3"), "{json}");
+    }
+}

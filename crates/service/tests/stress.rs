@@ -1,0 +1,109 @@
+//! Concurrency stress test: one shared [`Service`], 8 client threads
+//! hammering the mixed `mini_suite()` corpus, every returned matching
+//! verified against a single-threaded [`Solver`] oracle and
+//! [`verify::check_matching`].
+//!
+//! This is the acceptance gate for the pool: concurrent results must be
+//! *identical in cardinality* to the single-threaded session and must be
+//! structurally valid matchings of their graph — a data race in the queue,
+//! the cache, or a shared workspace shows up here as a corrupt or
+//! sub-optimal matching.
+
+use gpm_core::solver::{Algorithm, DevicePolicy, Solver};
+use gpm_graph::instances::{mini_suite, Scale};
+use gpm_graph::{verify, BipartiteCsr};
+use gpm_service::{GraphSource, JobSpec, Service};
+use std::sync::Arc;
+
+const CLIENTS: usize = 8;
+
+fn algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::HopcroftKarp,
+        Algorithm::PothenFan,
+        Algorithm::Pdbfs(2),
+        Algorithm::gpr_default(),
+    ]
+}
+
+#[test]
+fn eight_clients_agree_with_the_single_threaded_oracle() {
+    // The corpus: every mini-suite family at tiny scale.
+    let graphs: Vec<Arc<BipartiteCsr>> = mini_suite()
+        .iter()
+        .map(|spec| Arc::new(spec.generate(Scale::Tiny).expect("generate")))
+        .collect();
+    assert!(graphs.len() >= 8, "mini suite should cover all families");
+
+    // Single-threaded oracle: one warm Solver session, same algorithms.
+    let mut oracle = Solver::builder().device_policy(DevicePolicy::Sequential).build();
+    let mut expected = Vec::new();
+    for graph in &graphs {
+        let mut per_graph = Vec::new();
+        for &alg in algorithms().iter() {
+            let report = oracle.solve(graph, alg).expect("oracle solve");
+            verify::check_matching(graph, &report.matching).expect("oracle matching valid");
+            per_graph.push(report.cardinality);
+        }
+        // All algorithms are exact: they must agree with each other.
+        assert!(per_graph.windows(2).all(|w| w[0] == w[1]), "oracle disagreement");
+        expected.push(per_graph[0]);
+    }
+
+    let service = Arc::new(Service::builder().workers(4).cache_capacity(graphs.len()).build());
+    // Pre-register the corpus so clients can submit by fingerprint.
+    let fingerprints: Vec<u64> = graphs.iter().map(|g| service.put_graph(Arc::clone(g))).collect();
+
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let service = Arc::clone(&service);
+            let graphs = &graphs;
+            let expected = &expected;
+            let fingerprints = &fingerprints;
+            scope.spawn(move || {
+                // Each client interleaves differently: rotate the corpus by
+                // its index and alternate cached/inline submission.
+                for (offset, _) in graphs.iter().enumerate() {
+                    let i = (offset + client) % graphs.len();
+                    let algorithm = algorithms()[(offset + client) % algorithms().len()];
+                    let source = if (client + offset) % 2 == 0 {
+                        GraphSource::Cached(fingerprints[i])
+                    } else {
+                        GraphSource::Inline(Arc::clone(&graphs[i]))
+                    };
+                    let outcome = service
+                        .submit(JobSpec::new(source, algorithm))
+                        .wait()
+                        .unwrap_or_else(|e| panic!("client {client} job {offset}: {e}"));
+                    // The matching is a valid matching of *this* graph…
+                    verify::check_matching(&graphs[i], &outcome.report.matching)
+                        .unwrap_or_else(|e| panic!("client {client} graph {i} {algorithm}: {e}"));
+                    // …and exactly as large as the single-threaded result.
+                    assert_eq!(
+                        outcome.report.cardinality, expected[i],
+                        "client {client} graph {i} {algorithm}"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    let total = (CLIENTS * graphs.len()) as u64;
+    assert_eq!(stats.submitted, total);
+    assert_eq!(stats.completed, total);
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.queue_depth, 0);
+    assert!(stats.cache.hits > 0, "cached submissions must hit");
+    // Batch path under contention too: one big mixed batch from the main
+    // thread, fanned over all workers.
+    let batch = service.submit_batch(
+        graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| JobSpec::new(Arc::clone(g), algorithms()[i % algorithms().len()])),
+    );
+    for (i, handle) in batch.into_iter().enumerate() {
+        assert_eq!(handle.wait().unwrap().report.cardinality, expected[i], "batch job {i}");
+    }
+}

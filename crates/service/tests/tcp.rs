@@ -1,0 +1,82 @@
+//! End-to-end test of the JSON-lines protocol over a real localhost socket:
+//! server thread, multiple client connections, graph upload → cached solve →
+//! stats → shutdown.
+
+use gpm_core::{Algorithm, InitHeuristic};
+use gpm_graph::gen;
+use gpm_graph::verify::maximum_matching_cardinality;
+use gpm_service::{serve, Client, Service};
+use serde::Value;
+use std::net::TcpListener;
+
+/// Compile-time `Send` guarantees for everything the service moves across
+/// threads: a future non-`Send` field must fail this build.
+#[test]
+fn service_types_are_send() {
+    fn assert_send<T: Send>() {}
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<gpm_service::JobHandle>();
+    assert_send::<gpm_service::JobSpec>();
+    assert_send::<gpm_service::JobOutcome>();
+    assert_send::<gpm_service::ServiceError>();
+    assert_send_sync::<Service>();
+}
+
+#[test]
+fn full_protocol_round_trip_over_localhost() {
+    // Port 0: the OS picks a free port, so parallel test runs never clash.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind localhost");
+    let addr = listener.local_addr().unwrap();
+    let service = Service::builder().workers(2).cache_capacity(8).build();
+    let server = std::thread::spawn(move || serve(listener, service).expect("serve"));
+
+    let graph = gen::planted_perfect(40, 160, 9).unwrap();
+    let opt = maximum_matching_cardinality(&graph) as u64;
+
+    // First connection: upload, then solve by fingerprint (cache hit) and
+    // inline (no hit).
+    let mut client = Client::connect(addr).expect("connect");
+    let fingerprint = client.put_graph(&graph).expect("put_graph");
+    assert_eq!(fingerprint, graph.fingerprint());
+
+    let response =
+        client.solve_cached(fingerprint, Algorithm::HopcroftKarp, InitHeuristic::Cheap).unwrap();
+    let report = response.get("report").unwrap();
+    assert_eq!(report.get("cardinality").and_then(Value::as_u64), Some(opt));
+    assert_eq!(response.get("cache_hit").and_then(Value::as_bool), Some(true));
+
+    let response =
+        client.solve_inline(&graph, Algorithm::PothenFan, InitHeuristic::KarpSipser).unwrap();
+    assert_eq!(
+        response.get("report").unwrap().get("cardinality").and_then(Value::as_u64),
+        Some(opt)
+    );
+    assert_eq!(response.get("cache_hit").and_then(Value::as_bool), Some(false));
+
+    // Second, concurrent connection shares the same cache and pool.
+    let mut other = Client::connect(addr).expect("second connect");
+    let response =
+        other.solve_cached(fingerprint, Algorithm::gpr_default(), InitHeuristic::Cheap).unwrap();
+    assert_eq!(
+        response.get("report").unwrap().get("cardinality").and_then(Value::as_u64),
+        Some(opt)
+    );
+
+    // Bad requests surface as errors on the same connection, which stays up.
+    let err = other.solve_cached(0xbad, Algorithm::HopcroftKarp, InitHeuristic::Cheap).unwrap_err();
+    assert!(err.to_string().contains("0x0000000000000bad"), "{err}");
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("completed").and_then(Value::as_u64), Some(3));
+    assert_eq!(stats.get("failed").and_then(Value::as_u64), Some(1));
+    assert_eq!(stats.get("workers").and_then(Value::as_u64), Some(2));
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("hits").and_then(Value::as_u64), Some(2));
+    let per_alg = stats.get("per_algorithm").unwrap();
+    assert!(per_alg.get("HK").is_some());
+    assert!(per_alg.get("G-PR-Shr@adaptive:0.7").is_some());
+
+    // Shutdown stops the accept loop; serve() returns and the thread joins.
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
+}

@@ -10,6 +10,9 @@
 //!   HKDW, P-DBFS).
 //! * [`core`] (`gpm-core`) — the paper's G-PR algorithm family and the
 //!   G-HK/G-HKDW GPU baselines, plus the unified [`core::solver`] front-end.
+//! * [`service`] (`gpm-service`) — the concurrent matching service: a warm
+//!   solver pool behind [`service::Service`], a content-addressed graph
+//!   cache, and a JSON-lines TCP front-end (`gpm-service` binary).
 //!
 //! ## Quick start
 //!
@@ -47,3 +50,4 @@ pub use gpm_core as core;
 pub use gpm_cpu as cpu;
 pub use gpm_gpu as gpu;
 pub use gpm_graph as graph;
+pub use gpm_service as service;

@@ -30,6 +30,81 @@ pub enum Value {
     Map(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// For maps: the value under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen losslessly where possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(x) => Some(x),
+            Value::I64(n) => Some(n as f64),
+            Value::U64(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// `true` iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
 /// Types that can lower themselves into a [`Value`] tree.
 ///
 /// Derivable via `#[derive(Serialize)]` for structs with named fields and
@@ -38,6 +113,16 @@ pub trait Serialize {
     /// Lowers `self` into a [`Value`].
     fn to_value(&self) -> Value;
 }
+
+/// A `Value` serializes as itself, so hand-built trees can be passed
+/// straight to `serde_json::to_string`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {}
 
 /// Marker trait for types that declare themselves deserializable.
 ///
@@ -166,6 +251,31 @@ impl<K: ToString, V: Serialize> Serialize for std::collections::HashMap<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn value_accessors_select_the_right_variants() {
+        let v = Value::Map(vec![
+            ("n".into(), Value::U64(7)),
+            ("neg".into(), Value::I64(-2)),
+            ("x".into(), Value::F64(1.5)),
+            ("s".into(), Value::Str("hi".into())),
+            ("b".into(), Value::Bool(true)),
+            ("xs".into(), Value::Seq(vec![Value::Null])),
+        ]);
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(7));
+        assert_eq!(v.get("neg").and_then(Value::as_i64), Some(-2));
+        assert_eq!(v.get("neg").and_then(Value::as_u64), None);
+        assert_eq!(v.get("x").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(v.get("b").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("xs").and_then(Value::as_seq).map(<[Value]>::len), Some(1));
+        assert!(v.get("xs").unwrap().as_seq().unwrap()[0].is_null());
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.as_map().map(<[(String, Value)]>::len), Some(6));
+        assert!(Value::Null.get("n").is_none());
+    }
 
     #[test]
     fn primitives_lower_to_expected_variants() {

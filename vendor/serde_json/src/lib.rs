@@ -1,16 +1,22 @@
 //! Offline stand-in for `serde_json`: renders the local `serde` crate's
-//! [`serde::Value`] tree as JSON text. Only the emission half of the API is
-//! provided (`to_string`, `to_string_pretty`) — nothing in the workspace
-//! parses JSON.
+//! [`serde::Value`] tree as JSON text (`to_string`, `to_string_pretty`) and
+//! parses JSON text back into a [`Value`] tree (`from_str`) — the half the
+//! `gpm-service` JSON-lines protocol reads requests with.
 
 pub use serde::Value;
 
-/// Error type for JSON serialization.
+/// Error type for JSON serialization and parsing.
 ///
-/// Emission over the in-memory [`Value`] tree cannot fail, so this carries
-/// only a message and exists for API compatibility.
+/// Emission over the in-memory [`Value`] tree cannot fail; parse errors
+/// carry the byte offset and a description of what was expected.
 #[derive(Debug)]
 pub struct Error(String);
+
+impl Error {
+    fn parse(offset: usize, msg: impl std::fmt::Display) -> Self {
+        Error(format!("at byte {offset}: {msg}"))
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -19,6 +25,257 @@ impl std::fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// The full JSON grammar is accepted: objects, arrays, strings (with
+/// `\uXXXX` escapes, including surrogate pairs), numbers, booleans, and
+/// `null`.  Integral numbers parse to [`Value::U64`]/[`Value::I64`], all
+/// others to [`Value::F64`].  Trailing content after the document is an
+/// error, so each line of a JSON-lines stream parses independently.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(p.pos, "trailing characters after JSON document"));
+    }
+    Ok(value)
+}
+
+/// Maximum container nesting.  The parser recurses per level, so untrusted
+/// input (the gpm-service wire) must not be able to overflow the stack —
+/// a stack overflow aborts the whole process, not just the connection.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::parse(self.pos, "too deeply nested (max 128 levels)"));
+        }
+        match self.peek() {
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(Error::parse(self.pos, format!("unexpected character '{}'", c as char))),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(self.pos, format!("expected '{lit}'")))
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc =
+                        self.peek().ok_or_else(|| Error::parse(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX low
+                                // surrogate must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        let combined = 0x10000
+                                            + ((u32::from(hi) - 0xD800) << 10)
+                                            + (u32::from(lo) - 0xDC00);
+                                        char::from_u32(combined)
+                                    } else {
+                                        None
+                                    }
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(u32::from(hi))
+                            };
+                            out.push(c.ok_or_else(|| {
+                                Error::parse(self.pos, "invalid \\u escape sequence")
+                            })?);
+                        }
+                        other => {
+                            return Err(Error::parse(
+                                self.pos - 1,
+                                format!("invalid escape '\\{}'", other as char),
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so the
+                    // bytes are valid UTF-8; find the char boundary).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::parse(self.pos, "truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::parse(self.pos, "non-ASCII \\u escape"))?;
+        let v = u16::from_str_radix(hex, 16)
+            .map_err(|_| Error::parse(self.pos, "invalid hex in \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::parse(start, format!("invalid number '{text}'")))
+    }
+}
 
 /// Serializes `value` as a compact JSON string.
 pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
@@ -149,5 +406,83 @@ mod tests {
     fn empty_containers_stay_on_one_line() {
         assert_eq!(to_string_pretty(&ValueWrap(Value::Seq(vec![]))).unwrap(), "[]");
         assert_eq!(to_string_pretty(&ValueWrap(Value::Map(vec![]))).unwrap(), "{}");
+    }
+
+    #[test]
+    fn parses_every_value_kind() {
+        let v = from_str(
+            r#" {"s":"a\n\"b","n":7,"neg":-3,"x":1.5,"e":2e3,"b":[true,false,null],"o":{}} "#,
+        )
+        .unwrap();
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("a\n\"b"));
+        assert_eq!(v.get("n").cloned(), Some(Value::U64(7)));
+        assert_eq!(v.get("neg").cloned(), Some(Value::I64(-3)));
+        assert_eq!(v.get("x").cloned(), Some(Value::F64(1.5)));
+        assert_eq!(v.get("e").cloned(), Some(Value::F64(2000.0)));
+        let seq = v.get("b").and_then(Value::as_seq).unwrap();
+        assert_eq!(seq, &[Value::Bool(true), Value::Bool(false), Value::Null]);
+        assert_eq!(v.get("o").and_then(Value::as_map).map(<[(String, Value)]>::len), Some(0));
+    }
+
+    #[test]
+    fn parses_unicode_escapes_and_raw_utf8() {
+        let v = from_str(r#""café 😀 naïve""#).unwrap();
+        assert_eq!(v.as_str(), Some("café 😀 naïve"));
+    }
+
+    #[test]
+    fn round_trips_through_to_string() {
+        let original = Value::Map(vec![
+            ("algorithm".into(), Value::Str("G-PR-Shr@adaptive:0.7".into())),
+            (
+                "edges".into(),
+                Value::Seq(vec![
+                    Value::Seq(vec![Value::U64(0), Value::U64(1)]),
+                    Value::Seq(vec![Value::U64(2), Value::U64(0)]),
+                ]),
+            ),
+            ("seconds".into(), Value::F64(0.25)),
+            ("device".into(), Value::Null),
+        ]);
+        let text = to_string(&ValueWrap(original.clone())).unwrap();
+        assert_eq!(from_str(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn rejects_malformed_documents_with_offsets() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2", "{'a':1}"] {
+            let err = from_str(bad).unwrap_err();
+            assert!(err.to_string().contains("at byte"), "{bad:?}: {err}");
+        }
+        assert!(from_str("[1] []").unwrap_err().to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn surrogate_pairs_validate_and_malformed_pairs_fail() {
+        assert_eq!(from_str(r#""😀""#).unwrap(), Value::Str("😀".into()));
+        // An escaped surrogate pair decodes to the same character.
+        assert_eq!(from_str(r#""\uD83D\uDE00""#).unwrap(), Value::Str("😀".into()));
+        // High surrogate followed by a non-surrogate must error, not panic.
+        assert!(from_str(r#""\uD800A""#).is_err());
+        // Lone high surrogate, lone low surrogate.
+        assert!(from_str(r#""\uD800""#).is_err());
+        assert!(from_str(r#""\uDC00x""#).is_err());
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // A hostile one-liner must be rejected, not overflow the stack.
+        let deep = "[".repeat(100_000);
+        let err = from_str(&deep).unwrap_err();
+        assert!(err.to_string().contains("deeply nested"), "{err}");
+        // Reasonable nesting still parses.
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn large_integers_stay_exact() {
+        assert_eq!(from_str("18446744073709551615").unwrap(), Value::U64(u64::MAX));
+        assert_eq!(from_str("-9223372036854775808").unwrap(), Value::I64(i64::MIN));
     }
 }
