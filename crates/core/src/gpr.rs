@@ -460,8 +460,11 @@ fn shrink_kernel(
 ) -> (DeviceBuffer<i64>, DeviceBuffer<i64>) {
     let len = a_current.len();
     // Pass 1: resolve each slot (same logic as INITKRNL) and count survivors.
+    // The u64 counts (and the offsets the prefix sum derives from them) come
+    // from the device's scratch arena, so same-length shrinks — notably
+    // repeated solves on the same instance — reuse those allocations.
     let resolved = DeviceBuffer::<i64>::new(len, SLOT_EMPTY);
-    let counts = DeviceBuffer::<u64>::new(len, 0);
+    let counts = gpu.scratch().acquire(len, 0);
     gpu.launch("G-PR-SHRKRNL_count", len, |ctx| {
         let i = ctx.global_id;
         ctx.add_work(1);

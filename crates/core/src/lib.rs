@@ -68,6 +68,7 @@ pub mod strategy;
 pub use engine::{Engine, EngineCtx, EngineOutput};
 pub use error::{ParseAlgorithmError, ParseInitHeuristicError, SolveError};
 pub use ghk::{GhkVariant, GhkWorkspace};
+pub use gpm_gpu::ExecutorConfig;
 pub use gpr::{GprConfig, GprResult, GprVariant, GprWorkspace};
 pub use solver::{
     solve, solve_with_initial, Algorithm, DevicePolicy, InitHeuristic, SolveReport, Solver,

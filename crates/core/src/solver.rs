@@ -30,7 +30,7 @@ use crate::error::{ParseAlgorithmError, ParseInitHeuristicError, SolveError};
 use crate::ghk::GhkVariant;
 use crate::gpr::GprVariant;
 use crate::strategy::GrStrategy;
-use gpm_gpu::{Backend, DeviceStats, VirtualGpu};
+use gpm_gpu::{Backend, DeviceStats, ExecutorConfig, GpuConfig, VirtualGpu};
 use gpm_graph::heuristics::{cheap_matching, karp_sipser};
 use gpm_graph::{BipartiteCsr, Matching};
 use serde::{Deserialize, Serialize, Value};
@@ -300,15 +300,14 @@ pub enum DevicePolicy {
 }
 
 impl DevicePolicy {
-    fn create_device(self) -> Option<VirtualGpu> {
-        match self {
-            DevicePolicy::CpuOnly => None,
-            DevicePolicy::Sequential => Some(VirtualGpu::sequential()),
-            DevicePolicy::Parallel(workers) => {
-                Some(VirtualGpu::tesla_c2050(Backend::Parallel { workers: workers.max(1) }))
-            }
-            DevicePolicy::Auto => Some(VirtualGpu::parallel()),
-        }
+    fn create_device(self, executor: ExecutorConfig) -> Option<VirtualGpu> {
+        let backend = match self {
+            DevicePolicy::CpuOnly => return None,
+            DevicePolicy::Sequential => Backend::Sequential,
+            DevicePolicy::Parallel(workers) => Backend::Parallel { workers: workers.max(1) },
+            DevicePolicy::Auto => Backend::parallel_auto(),
+        };
+        Some(VirtualGpu::new(GpuConfig::tesla_c2050(backend).with_executor(executor)))
     }
 }
 
@@ -367,6 +366,7 @@ impl FromStr for InitHeuristic {
 pub struct SolverBuilder {
     policy: DevicePolicy,
     init: InitHeuristic,
+    executor: ExecutorConfig,
 }
 
 impl SolverBuilder {
@@ -382,10 +382,25 @@ impl SolverBuilder {
         self
     }
 
+    /// Tunes the persistent kernel executor of the session's device (inline
+    /// threshold, chunk size, legacy per-launch spawning).  Applied when the
+    /// device is created on the first GPU solve; irrelevant under
+    /// [`DevicePolicy::CpuOnly`].
+    pub fn executor_config(mut self, executor: ExecutorConfig) -> Self {
+        self.executor = executor;
+        self
+    }
+
     /// Builds the solver session.  No device or engine is allocated until
     /// the first solve that needs it.
     pub fn build(self) -> Solver {
-        Solver { policy: self.policy, init: self.init, device: None, engines: HashMap::new() }
+        Solver {
+            policy: self.policy,
+            init: self.init,
+            executor: self.executor,
+            device: None,
+            engines: HashMap::new(),
+        }
     }
 }
 
@@ -394,6 +409,7 @@ impl SolverBuilder {
 pub struct Solver {
     policy: DevicePolicy,
     init: InitHeuristic,
+    executor: ExecutorConfig,
     device: Option<VirtualGpu>,
     engines: HashMap<Algorithm, Box<dyn Engine + Send>>,
 }
@@ -418,6 +434,12 @@ impl Solver {
     /// The session's initialization heuristic.
     pub fn init_heuristic(&self) -> InitHeuristic {
         self.init
+    }
+
+    /// The executor tuning the session's device is (or will be) created
+    /// with.
+    pub fn executor_config(&self) -> ExecutorConfig {
+        self.executor
     }
 
     /// The session's device, if one has been created by a GPU solve.
@@ -462,7 +484,7 @@ impl Solver {
         // InvalidConfig even on a CPU-only session.
         algorithm.validate()?;
         if algorithm.is_gpu() && self.device.is_none() {
-            self.device = self.policy.create_device();
+            self.device = self.policy.create_device(self.executor);
         }
         let device = match (algorithm.is_gpu(), self.device.as_ref()) {
             (true, Some(d)) => Some(d),

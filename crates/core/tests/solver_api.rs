@@ -5,7 +5,7 @@
 use gpm_core::solver::{
     paper_comparison_set, solve, Algorithm, DevicePolicy, InitHeuristic, Solver,
 };
-use gpm_core::{GhkVariant, GprVariant, GrStrategy, SolveError};
+use gpm_core::{ExecutorConfig, GhkVariant, GprVariant, GrStrategy, SolveError};
 use gpm_graph::gen;
 use gpm_graph::verify::maximum_matching_cardinality;
 use gpm_graph::{BipartiteCsr, Matching};
@@ -201,4 +201,32 @@ fn solver_and_components_are_send() {
         .join()
         .unwrap();
     assert!(report.cardinality > 0);
+}
+
+#[test]
+fn executor_config_reaches_the_session_device() {
+    // The builder's executor tuning must be applied verbatim to the device
+    // the session creates on its first GPU solve — this is the contract the
+    // service layer relies on to keep N workers from oversubscribing the
+    // host.
+    let exec = ExecutorConfig { parallel_threshold: 32, chunk_size: 64, ..Default::default() };
+    let mut solver =
+        Solver::builder().device_policy(DevicePolicy::Parallel(2)).executor_config(exec).build();
+    assert_eq!(solver.executor_config(), exec);
+    assert!(solver.device().is_none(), "device is created lazily");
+
+    let g = gen::uniform_random(60, 60, 300, 17).unwrap();
+    let report = solver.solve(&g, Algorithm::gpr_default()).unwrap();
+    assert_eq!(report.cardinality, maximum_matching_cardinality(&g));
+
+    let device = solver.device().expect("GPU solve created the device");
+    assert_eq!(device.config().executor, exec);
+    // The pooled executor respects the backend sizing: at most the two
+    // configured workers were ever spawned.
+    assert!(device.worker_threads_spawned() <= 2);
+
+    // Warm solves on the same session keep the same device (and pool).
+    let before = device as *const _;
+    solver.solve(&g, Algorithm::gpr_default()).unwrap();
+    assert!(std::ptr::eq(solver.device().unwrap(), before));
 }

@@ -1,9 +1,12 @@
 //! The virtual GPU device and its kernel-launch engine.
 
+use crate::exec::WorkerPool;
 use crate::perfmodel::PerfModel;
+use crate::scratch::ScratchArena;
 use crate::stats::DeviceStats;
 use parking_lot::Mutex;
 use std::cell::Cell;
+use std::sync::OnceLock;
 
 /// How kernel threads are executed on the host.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -13,9 +16,9 @@ pub enum Backend {
     /// reproducible interleaving and as the reference for cross-backend
     /// equivalence checks.
     Sequential,
-    /// Logical threads are partitioned over `workers` host threads which run
-    /// truly concurrently, so the benign races the paper's kernels allow
-    /// actually happen.  This is the default for benchmarks.
+    /// Logical threads run truly concurrently on `workers` persistent host
+    /// threads, so the benign races the paper's kernels allow actually
+    /// happen.  This is the default for benchmarks.
     Parallel {
         /// Number of host worker threads.
         workers: usize,
@@ -30,6 +33,53 @@ impl Backend {
     }
 }
 
+/// Tuning knobs of the persistent kernel executor (the internal `exec`
+/// module).
+///
+/// All knobs are plumbed upward: `gpm-core`'s `Solver::builder()` and
+/// `gpm-service`'s `Service::builder()` accept an `ExecutorConfig` and apply
+/// it to every device they create, so a service with N workers can size its
+/// N devices to the host instead of oversubscribing it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Grids smaller than this run inline on the calling thread even with a
+    /// parallel backend; mirrors the fact that tiny CUDA grids cannot fill
+    /// the device and their cost is dominated by launch overhead.
+    pub parallel_threshold: usize,
+    /// Grid indices per chunk that pool workers claim from the launch's
+    /// shared cursor.  Smaller chunks balance divergent kernels better;
+    /// larger chunks amortize the cursor increment.  A value of 0 is
+    /// treated as 1, and the effective chunk is capped per launch at
+    /// `grid / workers` (rounded up) so every pool worker gets a share of
+    /// mid-sized grids.
+    pub chunk_size: usize,
+    /// Legacy execution strategy: spawn and join scoped host threads on
+    /// every launch (static equal partitions) instead of dispatching to the
+    /// persistent pool.  Kept for A/B benchmarking of the executor itself
+    /// (`benches/launch_overhead.rs`); leave `false` for real use.
+    pub per_launch_spawn: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self { parallel_threshold: 2048, chunk_size: 1024, per_launch_spawn: false }
+    }
+}
+
+impl ExecutorConfig {
+    /// Same configuration with a different inline threshold.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold;
+        self
+    }
+
+    /// Same configuration with a different chunk size.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+}
+
 /// Configuration of a virtual GPU device.
 #[derive(Clone, Debug)]
 pub struct GpuConfig {
@@ -39,10 +89,9 @@ pub struct GpuConfig {
     pub backend: Backend,
     /// Analytical cost model used for modelled device time.
     pub perf: PerfModel,
-    /// Grids smaller than this run inline on the calling thread even with a
-    /// parallel backend; mirrors the fact that tiny CUDA grids cannot fill
-    /// the device and their cost is dominated by launch overhead.
-    pub parallel_threshold: usize,
+    /// Persistent-executor tuning (inline threshold, chunk size, legacy
+    /// per-launch spawning).
+    pub executor: ExecutorConfig,
 }
 
 impl GpuConfig {
@@ -52,8 +101,14 @@ impl GpuConfig {
             name: "Virtual Tesla C2050".to_string(),
             backend,
             perf: PerfModel::tesla_c2050(),
-            parallel_threshold: 2048,
+            executor: ExecutorConfig::default(),
         }
+    }
+
+    /// Same configuration with different executor tuning.
+    pub fn with_executor(mut self, executor: ExecutorConfig) -> Self {
+        self.executor = executor;
+        self
     }
 }
 
@@ -76,7 +131,7 @@ pub struct ThreadCtx {
 }
 
 impl ThreadCtx {
-    fn new(global_id: usize, grid_size: usize) -> Self {
+    pub(crate) fn new(global_id: usize, grid_size: usize) -> Self {
         Self { global_id, grid_size, work: Cell::new(0) }
     }
 
@@ -110,20 +165,89 @@ pub struct LaunchRecord {
     pub wall_time_ns: f64,
 }
 
+/// One launch's raw statistics, queued off the hot path and merged into the
+/// per-kernel [`DeviceStats`] only when a snapshot is requested.
+#[derive(Clone, Copy)]
+struct LaunchEvent {
+    name: &'static str,
+    threads: usize,
+    work: u64,
+    modelled_time_ns: f64,
+    wall_time_ns: f64,
+}
+
+/// Pending launch events plus the merged per-kernel aggregate.  `record` is
+/// a plain `Vec` push; the `BTreeMap` lookups and string allocations happen
+/// in `flush`, i.e. on `stats()` / `reset()` or every `FLUSH_AT` launches.
+#[derive(Default)]
+struct StatsAccum {
+    merged: DeviceStats,
+    pending: Vec<LaunchEvent>,
+}
+
+impl StatsAccum {
+    /// Bound on the pending queue so a snapshot-free workload cannot grow it
+    /// without limit.
+    const FLUSH_AT: usize = 1024;
+
+    fn record(&mut self, event: LaunchEvent) {
+        self.pending.push(event);
+        if self.pending.len() >= Self::FLUSH_AT {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        for event in self.pending.drain(..) {
+            self.merged.record(
+                event.name,
+                event.threads,
+                event.work,
+                event.modelled_time_ns,
+                event.wall_time_ns,
+            );
+        }
+    }
+
+    fn snapshot(&mut self) -> DeviceStats {
+        self.flush();
+        self.merged.clone()
+    }
+
+    fn reset(&mut self) {
+        self.pending.clear();
+        self.merged = DeviceStats::default();
+    }
+}
+
 /// The virtual GPU device.
 ///
-/// A `VirtualGpu` owns no memory; [`crate::DeviceBuffer`]s are created
-/// independently and captured by kernel closures, mirroring how CUDA kernels
-/// receive device pointers.
+/// A `VirtualGpu` owns no user-visible memory; [`crate::DeviceBuffer`]s are
+/// created independently and captured by kernel closures, mirroring how CUDA
+/// kernels receive device pointers.  What it does own is its **execution
+/// engine**: with a parallel backend, a persistent worker pool is spawned on
+/// the first launch that is large enough to go parallel and reused for every
+/// later launch (the internal `exec` module); dropping the device shuts the
+/// pool
+/// down and joins every worker.  It also owns a [`ScratchArena`] the device
+/// primitives draw their working buffers from.
 pub struct VirtualGpu {
     config: GpuConfig,
-    stats: Mutex<DeviceStats>,
+    stats: Mutex<StatsAccum>,
+    scratch: ScratchArena,
+    pool: OnceLock<WorkerPool>,
 }
 
 impl VirtualGpu {
-    /// Creates a device with the given configuration.
+    /// Creates a device with the given configuration.  No host threads are
+    /// spawned until the first launch that needs them.
     pub fn new(config: GpuConfig) -> Self {
-        Self { config, stats: Mutex::new(DeviceStats::default()) }
+        Self {
+            config,
+            stats: Mutex::new(StatsAccum::default()),
+            scratch: ScratchArena::new(),
+            pool: OnceLock::new(),
+        }
     }
 
     /// Tesla C2050-like device with the given backend.
@@ -146,25 +270,51 @@ impl VirtualGpu {
         &self.config
     }
 
+    /// The device's scratch-buffer arena (used by [`crate::primitives`];
+    /// available to any multi-pass kernel sequence needing short-lived `u64`
+    /// working buffers).
+    pub fn scratch(&self) -> &ScratchArena {
+        &self.scratch
+    }
+
+    /// Number of persistent worker threads this device has spawned: 0 before
+    /// the first pooled launch, the backend's worker count afterwards —
+    /// never more, no matter how many launches run.
+    pub fn worker_threads_spawned(&self) -> usize {
+        self.pool.get().map(WorkerPool::workers).unwrap_or(0)
+    }
+
     /// Launches a kernel over `grid` logical threads and blocks until every
     /// thread has finished (the implicit barrier at the end of a CUDA launch
-    /// on the default stream).
+    /// on the default stream).  Concurrent *pooled* launches on one device
+    /// serialize on the pool, like work on the default stream; launches that
+    /// run inline (sequential backend, or grids under
+    /// [`ExecutorConfig::parallel_threshold`]) execute on the calling thread
+    /// and make no cross-launch ordering promise.
     ///
     /// The kernel closure is invoked once per logical thread with a
     /// [`ThreadCtx`]; it typically captures [`crate::DeviceBuffer`]
     /// references and indexes them with `ctx.global_id`.
-    pub fn launch<F>(&self, name: &str, grid: usize, kernel: F) -> LaunchRecord
+    ///
+    /// # Panics
+    /// A panic in the kernel fails this launch (the payload is re-raised on
+    /// the caller) but leaves the device and its worker pool usable: the
+    /// next launch runs normally.
+    pub fn launch<F>(&self, name: &'static str, grid: usize, kernel: F) -> LaunchRecord
     where
         F: Fn(&ThreadCtx) + Sync,
     {
         let start = std::time::Instant::now();
+        let executor = self.config.executor;
         let (work, max_thread_work) = match self.config.backend {
-            Backend::Sequential => Self::run_range(0, grid, grid, &kernel),
+            Backend::Sequential => run_range(0, grid, grid, &kernel),
             Backend::Parallel { workers } => {
-                if grid < self.config.parallel_threshold || workers <= 1 {
-                    Self::run_range(0, grid, grid, &kernel)
+                if grid < executor.parallel_threshold || workers <= 1 {
+                    run_range(0, grid, grid, &kernel)
+                } else if executor.per_launch_spawn {
+                    run_scoped(grid, workers, &kernel)
                 } else {
-                    self.run_parallel(grid, workers, &kernel)
+                    self.pool(workers).run(grid, executor.chunk_size, &kernel)
                 }
             }
         };
@@ -172,58 +322,86 @@ impl VirtualGpu {
         let modelled_time_ns = self.config.perf.launch_cost_ns(grid, work, max_thread_work);
         let record =
             LaunchRecord { threads: grid, work, max_thread_work, modelled_time_ns, wall_time_ns };
-        self.stats.lock().record(name, grid, work, modelled_time_ns, wall_time_ns);
+        self.stats.lock().record(LaunchEvent {
+            name,
+            threads: grid,
+            work,
+            modelled_time_ns,
+            wall_time_ns,
+        });
         record
     }
 
-    fn run_range<F>(start: usize, end: usize, grid: usize, kernel: &F) -> (u64, u64)
-    where
-        F: Fn(&ThreadCtx) + Sync,
-    {
-        let mut total = 0u64;
-        let mut max = 0u64;
-        for id in start..end {
-            let ctx = ThreadCtx::new(id, grid);
-            kernel(&ctx);
-            let w = ctx.work();
-            total += w;
-            max = max.max(w);
-        }
-        (total, max)
-    }
-
-    fn run_parallel<F>(&self, grid: usize, workers: usize, kernel: &F) -> (u64, u64)
-    where
-        F: Fn(&ThreadCtx) + Sync,
-    {
-        let chunk = grid.div_ceil(workers);
-        let mut results: Vec<(u64, u64)> = Vec::with_capacity(workers);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for w in 0..workers {
-                let start = w * chunk;
-                let end = ((w + 1) * chunk).min(grid);
-                if start >= end {
-                    break;
-                }
-                handles.push(scope.spawn(move || Self::run_range(start, end, grid, kernel)));
-            }
-            for h in handles {
-                results.push(h.join().expect("virtual GPU worker panicked"));
-            }
-        });
-        results.iter().fold((0, 0), |(t, m), &(w, mw)| (t + w, m.max(mw)))
+    /// The persistent pool, spawned on first use and reused afterwards.
+    fn pool(&self, workers: usize) -> &WorkerPool {
+        self.pool.get_or_init(|| WorkerPool::spawn(workers))
     }
 
     /// Snapshot of the accumulated statistics.
     pub fn stats(&self) -> DeviceStats {
-        self.stats.lock().clone()
+        self.stats.lock().snapshot()
     }
 
     /// Clears the accumulated statistics.
     pub fn reset_stats(&self) {
-        *self.stats.lock() = DeviceStats::default();
+        self.stats.lock().reset();
     }
+}
+
+/// Runs logical threads `start..end` of a `grid`-sized launch inline,
+/// returning `(total_work, max_thread_work)`.
+fn run_range<F>(start: usize, end: usize, grid: usize, kernel: &F) -> (u64, u64)
+where
+    F: Fn(&ThreadCtx) + Sync,
+{
+    let mut total = 0u64;
+    let mut max = 0u64;
+    for id in start..end {
+        let ctx = ThreadCtx::new(id, grid);
+        kernel(&ctx);
+        let w = ctx.work();
+        total += w;
+        max = max.max(w);
+    }
+    (total, max)
+}
+
+/// The legacy execution strategy: spawn `workers` scoped threads over static
+/// equal partitions and join them, once per launch.  Kept behind
+/// [`ExecutorConfig::per_launch_spawn`] as the benchmark baseline the
+/// persistent pool is measured against.
+fn run_scoped<F>(grid: usize, workers: usize, kernel: &F) -> (u64, u64)
+where
+    F: Fn(&ThreadCtx) + Sync,
+{
+    let chunk = grid.div_ceil(workers);
+    let mut results: Vec<(u64, u64)> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(grid);
+            if start >= end {
+                break;
+            }
+            handles.push(scope.spawn(move || run_range(start, end, grid, kernel)));
+        }
+        // Join everything before re-raising so the first panic's payload
+        // reaches the caller intact — the same contract as the pooled path.
+        let mut panic_payload = None;
+        for h in handles {
+            match h.join() {
+                Ok(result) => results.push(result),
+                Err(payload) => {
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    results.iter().fold((0, 0), |(t, m), &(w, mw)| (t + w, m.max(mw)))
 }
 
 impl std::fmt::Debug for VirtualGpu {
@@ -231,6 +409,8 @@ impl std::fmt::Debug for VirtualGpu {
         f.debug_struct("VirtualGpu")
             .field("name", &self.config.name)
             .field("backend", &self.config.backend)
+            .field("executor", &self.config.executor)
+            .field("workers_spawned", &self.worker_threads_spawned())
             .finish()
     }
 }
@@ -240,9 +420,20 @@ mod tests {
     use super::*;
     use crate::buffer::DeviceBuffer;
 
+    /// A parallel device whose pool engages even for small test grids.
+    fn pooled(workers: usize, threshold: usize, chunk: usize) -> VirtualGpu {
+        VirtualGpu::new(GpuConfig::tesla_c2050(Backend::Parallel { workers }).with_executor(
+            ExecutorConfig {
+                parallel_threshold: threshold,
+                chunk_size: chunk,
+                ..Default::default()
+            },
+        ))
+    }
+
     #[test]
     fn launch_runs_every_thread_exactly_once() {
-        for gpu in [VirtualGpu::sequential(), VirtualGpu::parallel()] {
+        for gpu in [VirtualGpu::sequential(), VirtualGpu::parallel(), pooled(3, 16, 64)] {
             let out = DeviceBuffer::<u32>::new(10_000, 0);
             gpu.launch("mark", out.len(), |ctx| {
                 out.set(ctx.global_id, ctx.global_id as u32 + 1);
@@ -277,15 +468,38 @@ mod tests {
     }
 
     #[test]
+    fn work_accounting_agrees_across_execution_strategies() {
+        let grid = 50_000;
+        let kernel = |ctx: &ThreadCtx| ctx.add_work((ctx.global_id % 97) as u64);
+        let strategies = [
+            VirtualGpu::sequential(),
+            pooled(4, 8, 128),
+            VirtualGpu::new(
+                GpuConfig::tesla_c2050(Backend::Parallel { workers: 4 }).with_executor(
+                    ExecutorConfig {
+                        parallel_threshold: 8,
+                        per_launch_spawn: true,
+                        ..Default::default()
+                    },
+                ),
+            ),
+        ];
+        let records: Vec<LaunchRecord> =
+            strategies.iter().map(|gpu| gpu.launch("acct", grid, kernel)).collect();
+        for rec in &records {
+            assert_eq!(rec.work, records[0].work);
+            assert_eq!(rec.max_thread_work, records[0].max_thread_work);
+        }
+    }
+
+    #[test]
     fn parallel_backend_covers_all_threads_above_threshold() {
-        let gpu = VirtualGpu::new(GpuConfig {
-            parallel_threshold: 8,
-            ..GpuConfig::tesla_c2050(Backend::Parallel { workers: 4 })
-        });
+        let gpu = pooled(4, 8, 1024);
         let grid = 100_000;
         let out = DeviceBuffer::<u32>::new(grid, 0);
         gpu.launch("cover", grid, |ctx| out.set(ctx.global_id, 1));
         assert_eq!(out.to_vec().iter().map(|&v| v as usize).sum::<usize>(), grid);
+        assert_eq!(gpu.worker_threads_spawned(), 4);
     }
 
     #[test]
@@ -305,6 +519,21 @@ mod tests {
     }
 
     #[test]
+    fn deferred_stats_survive_the_flush_boundary() {
+        // More launches than the pending-queue flush threshold: snapshots
+        // must see every one of them exactly once.
+        let gpu = VirtualGpu::sequential();
+        let launches = StatsAccum::FLUSH_AT * 2 + 17;
+        for _ in 0..launches {
+            gpu.launch("flush_me", 3, |ctx| ctx.add_work(1));
+        }
+        let s = gpu.stats();
+        assert_eq!(s.launches_of("flush_me"), launches as u64);
+        assert_eq!(s.kernels["flush_me"].total_work, 3 * launches as u64);
+        assert_eq!(gpu.stats().launches_of("flush_me"), launches as u64);
+    }
+
+    #[test]
     fn grid_size_is_visible_to_threads() {
         let gpu = VirtualGpu::sequential();
         gpu.launch("grid", 17, |ctx| assert_eq!(ctx.grid_size, 17));
@@ -316,7 +545,7 @@ mod tests {
         // same memory image.
         let input: Vec<i64> = (0..50_000).map(|i| (i * 7919) % 1000 - 500).collect();
         let mut images = Vec::new();
-        for gpu in [VirtualGpu::sequential(), VirtualGpu::parallel()] {
+        for gpu in [VirtualGpu::sequential(), VirtualGpu::parallel(), pooled(3, 16, 256)] {
             let src = DeviceBuffer::from_slice(&input);
             let dst = DeviceBuffer::<i64>::new(input.len(), 0);
             gpu.launch("map", input.len(), |ctx| {
@@ -327,6 +556,7 @@ mod tests {
             images.push(dst.to_vec());
         }
         assert_eq!(images[0], images[1]);
+        assert_eq!(images[0], images[2]);
     }
 
     #[test]
@@ -335,6 +565,25 @@ mod tests {
             Backend::Parallel { workers } => assert!(workers >= 1),
             _ => panic!("expected parallel backend"),
         }
+    }
+
+    #[test]
+    fn per_launch_spawn_flag_matches_pooled_results() {
+        let grid = 20_000;
+        let spawned = VirtualGpu::new(
+            GpuConfig::tesla_c2050(Backend::Parallel { workers: 3 }).with_executor(
+                ExecutorConfig {
+                    parallel_threshold: 8,
+                    per_launch_spawn: true,
+                    ..Default::default()
+                },
+            ),
+        );
+        let out = DeviceBuffer::<u32>::new(grid, 0);
+        spawned.launch("legacy", grid, |ctx| out.set(ctx.global_id, 1));
+        assert_eq!(out.to_vec().iter().map(|&v| v as usize).sum::<usize>(), grid);
+        // The legacy strategy never creates the persistent pool.
+        assert_eq!(spawned.worker_threads_spawned(), 0);
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! The persistent kernel executor: a worker pool spawned at most once per
+//! device.
+//!
+//! The original engine spawned and joined fresh OS threads via
+//! `std::thread::scope` on **every** kernel launch.  The paper's algorithms
+//! are launch-heavy — a single solve issues hundreds to thousands of
+//! launches, one per BFS level or push-relabel sweep — so in the launch-bound
+//! regime the cost model is calibrated for, host thread churn dominated the
+//! kernel work itself.  This module replaces that with:
+//!
+//! * **A long-lived pool.** Worker threads are spawned once (lazily, on the
+//!   first launch large enough to go parallel) and parked on a [`Condvar`]
+//!   between launches.  Dropping the pool signals shutdown and joins every
+//!   worker.
+//! * **Dynamic chunk scheduling.** Instead of statically splitting the grid
+//!   into one equal range per worker, workers claim fixed-size chunks of grid
+//!   indices from a shared atomic cursor.  Divergent kernels — the very
+//!   reason `G-PR-SHRKRNL` exists — no longer leave most workers idle behind
+//!   the one that drew the expensive range.
+//! * **Lock-free work accounting.** Each worker accumulates its work counters
+//!   locally and folds them into the launch's atomics once at the end; the
+//!   launch barrier is the only synchronization on the hot path.
+//! * **Panic containment.** A panicking kernel thread poisons the launch (the
+//!   other workers stop claiming chunks), and the payload is re-raised on the
+//!   launcher thread after the barrier.  The pool itself survives: the next
+//!   launch on the same device runs normally.
+//!
+//! ## Why there is `unsafe` here (and why it is sound)
+//!
+//! Kernels borrow their captures (`&DeviceBuffer`, `&BipartiteCsr`, …) from
+//! the launcher's stack, so the closure is not `'static` — but persistent
+//! workers are `'static` threads.  `std::thread::scope` solves exactly this
+//! problem with `unsafe` internally; a persistent pool has no safe standard
+//! building block, so this module erases the kernel's lifetime behind a raw
+//! trait-object pointer ([`KernelPtr`]).  Soundness rests on the launch
+//! barrier: [`WorkerPool::run`] does not return until every worker has
+//! finished the epoch and the dispatch slot holding the pointer has been
+//! cleared, so no worker can observe the pointer after the borrow it was
+//! created from ends.  This is the only `unsafe` in the crate; everything
+//! else remains `#![deny(unsafe_code)]`-clean.
+
+#![allow(unsafe_code)]
+
+use crate::engine::ThreadCtx;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Locks a `std::sync` mutex, ignoring poison: a kernel panic is contained
+/// by `catch_unwind` and re-raised on the launcher, so a poisoned lock only
+/// ever means "a previous launch failed", never "this data is torn".
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A kernel reference with its lifetime erased so the long-lived workers can
+/// hold it for the duration of one launch.  See the module docs for the
+/// soundness argument.
+#[derive(Clone, Copy)]
+struct KernelPtr(*const (dyn Fn(&ThreadCtx) + Sync));
+
+impl KernelPtr {
+    /// Erases the borrow's lifetime.  Callers must guarantee the pointer is
+    /// never dereferenced after the borrow ends; `WorkerPool::run` does so
+    /// with its end-of-launch barrier.
+    fn erase(kernel: &(dyn Fn(&ThreadCtx) + Sync)) -> Self {
+        // SAFETY: a reference-to-reference transmute that only widens the
+        // lifetime; layout is identical, and the barrier argument above
+        // bounds every actual use to the original lifetime.
+        let kernel: &'static (dyn Fn(&ThreadCtx) + Sync) = unsafe { std::mem::transmute(kernel) };
+        Self(kernel)
+    }
+}
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are allowed),
+// and the launch barrier in `WorkerPool::run` guarantees the pointer is never
+// dereferenced outside the lifetime of the borrow it was created from.
+unsafe impl Send for KernelPtr {}
+// SAFETY: as above; `&KernelPtr` only ever exposes the `Sync` pointee.
+unsafe impl Sync for KernelPtr {}
+
+/// Shared per-launch state: the chunk cursor and the lock-free aggregation
+/// targets the workers fold their local counters into.
+struct LaunchBody {
+    /// Total logical threads in the launch.
+    grid: usize,
+    /// Grid indices claimed per cursor increment.
+    chunk: usize,
+    /// Next unclaimed grid index.
+    cursor: AtomicUsize,
+    /// Sum of per-thread work units (folded in once per worker).
+    total_work: AtomicU64,
+    /// Maximum single-thread work (folded in once per worker).
+    max_work: AtomicU64,
+    /// Set by the first panicking worker; stops further chunk claims.
+    poisoned: AtomicBool,
+    /// The first panic payload, re-raised on the launcher after the barrier.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// One dispatched launch: the erased kernel plus its shared state.
+#[derive(Clone)]
+struct Job {
+    kernel: KernelPtr,
+    body: Arc<LaunchBody>,
+}
+
+/// Dispatch slot the workers wait on.
+struct Dispatch {
+    /// Bumped once per launch; workers run each epoch exactly once.
+    epoch: u64,
+    /// The current launch, present while `remaining > 0`.
+    job: Option<Job>,
+    /// Workers that have not yet finished the current epoch.
+    remaining: usize,
+    /// Set by `Drop`; workers exit instead of waiting for the next epoch.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    dispatch: Mutex<Dispatch>,
+    /// Signalled when a new epoch is posted (or shutdown begins).
+    go: Condvar,
+    /// Signalled by the last worker to finish an epoch.
+    done: Condvar,
+}
+
+/// The persistent worker pool owned by a `VirtualGpu` with a parallel
+/// backend.  Spawned at most once per device; dropped with the device.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    /// Serializes launches on one device, like CUDA's default stream.
+    gate: Mutex<()>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` host threads, parked until the first launch.
+    pub(crate) fn spawn(workers: usize) -> Self {
+        debug_assert!(workers >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(PoolShared {
+            dispatch: Mutex::new(Dispatch { epoch: 0, job: None, remaining: 0, shutdown: false }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gpm-gpu-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn virtual GPU worker")
+            })
+            .collect();
+        Self { shared, gate: Mutex::new(()), handles, workers }
+    }
+
+    /// Number of host threads this pool owns.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs one launch over the pool and blocks until every worker reached
+    /// the end-of-launch barrier (the implicit device-wide barrier of a CUDA
+    /// launch).  Returns `(total_work, max_thread_work)`.
+    ///
+    /// Re-raises the payload of the first panicking kernel thread, after the
+    /// barrier, leaving the pool intact for the next launch.
+    pub(crate) fn run(
+        &self,
+        grid: usize,
+        chunk: usize,
+        kernel: &(dyn Fn(&ThreadCtx) + Sync),
+    ) -> (u64, u64) {
+        let _gate = lock(&self.gate);
+        // Every worker participates in the barrier (that is what makes the
+        // erased kernel pointer sound), so clamp the chunk to hand each
+        // woken worker at least one chunk when the grid allows it instead of
+        // letting a few workers claim everything while the rest wake for
+        // nothing.
+        let chunk = chunk.max(1).min(grid.div_ceil(self.workers).max(1));
+        let body = Arc::new(LaunchBody {
+            grid,
+            chunk,
+            cursor: AtomicUsize::new(0),
+            total_work: AtomicU64::new(0),
+            max_work: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut dispatch = lock(&self.shared.dispatch);
+            dispatch.job = Some(Job { kernel: KernelPtr::erase(kernel), body: Arc::clone(&body) });
+            dispatch.epoch += 1;
+            dispatch.remaining = self.workers;
+        }
+        self.shared.go.notify_all();
+        {
+            let mut dispatch = lock(&self.shared.dispatch);
+            while dispatch.remaining > 0 {
+                dispatch = self.shared.done.wait(dispatch).unwrap_or_else(PoisonError::into_inner);
+            }
+            // Clear the erased pointer before returning: after this, no
+            // worker can reach it, so the kernel borrow may safely end.
+            dispatch.job = None;
+        }
+        if body.poisoned.load(Ordering::Relaxed) {
+            let payload =
+                lock(&body.panic).take().unwrap_or_else(|| Box::new("virtual GPU kernel panicked"));
+            resume_unwind(payload);
+        }
+        (body.total_work.load(Ordering::Relaxed), body.max_work.load(Ordering::Relaxed))
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut dispatch = lock(&self.shared.dispatch);
+            dispatch.shutdown = true;
+        }
+        self.shared.go.notify_all();
+        for handle in self.handles.drain(..) {
+            // Workers never panic outside `catch_unwind`, but a failed join
+            // must not abort the program from Drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut dispatch = lock(&shared.dispatch);
+            loop {
+                if dispatch.shutdown {
+                    return;
+                }
+                if dispatch.epoch != seen_epoch {
+                    seen_epoch = dispatch.epoch;
+                    break dispatch.job.clone().expect("a dispatched epoch carries a job");
+                }
+                dispatch = shared.go.wait(dispatch).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        run_chunks(&job);
+        let mut dispatch = lock(&shared.dispatch);
+        dispatch.remaining -= 1;
+        if dispatch.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// Claims chunks from the shared cursor until the grid is exhausted (or the
+/// launch was poisoned by a panic elsewhere), accumulating work counters
+/// locally and folding them into the launch atomics once.
+fn run_chunks(job: &Job) {
+    // SAFETY: `WorkerPool::run` blocks until this worker has decremented
+    // `remaining`, which happens only after this function returns, so the
+    // kernel borrow behind the erased pointer is live for the whole call.
+    let kernel = unsafe { &*job.kernel.0 };
+    let body = &*job.body;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut total = 0u64;
+        let mut max = 0u64;
+        while !body.poisoned.load(Ordering::Relaxed) {
+            let start = body.cursor.fetch_add(body.chunk, Ordering::Relaxed);
+            if start >= body.grid {
+                break;
+            }
+            let end = (start + body.chunk).min(body.grid);
+            for id in start..end {
+                let ctx = ThreadCtx::new(id, body.grid);
+                kernel(&ctx);
+                let work = ctx.work();
+                total += work;
+                max = max.max(work);
+            }
+        }
+        (total, max)
+    }));
+    match outcome {
+        Ok((total, max)) => {
+            body.total_work.fetch_add(total, Ordering::Relaxed);
+            body.max_work.fetch_max(max, Ordering::Relaxed);
+        }
+        Err(payload) => {
+            body.poisoned.store(true, Ordering::Relaxed);
+            let mut slot = lock(&body.panic);
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::DeviceBuffer;
+
+    #[test]
+    fn pool_covers_the_grid_with_dynamic_chunks() {
+        let pool = WorkerPool::spawn(3);
+        let grid = 10_007; // not a multiple of any chunk size
+        let out = DeviceBuffer::<u32>::new(grid, 0);
+        for chunk in [1usize, 7, 64, 1024, 20_000] {
+            out.fill(0);
+            let kernel = |ctx: &ThreadCtx| out.set(ctx.global_id, out.get(ctx.global_id) + 1);
+            pool.run(grid, chunk, &kernel);
+            assert!(out.to_vec().iter().all(|&v| v == 1), "chunk = {chunk}");
+        }
+    }
+
+    #[test]
+    fn work_counters_aggregate_across_workers() {
+        let pool = WorkerPool::spawn(4);
+        let kernel = |ctx: &ThreadCtx| ctx.add_work(ctx.global_id as u64);
+        let (total, max) = pool.run(1000, 16, &kernel);
+        assert_eq!(total, (0..1000u64).sum());
+        assert_eq!(max, 999);
+    }
+
+    #[test]
+    fn panic_poisons_the_launch_but_not_the_pool() {
+        let pool = WorkerPool::spawn(2);
+        let boom = |ctx: &ThreadCtx| {
+            if ctx.global_id == 123 {
+                panic!("injected");
+            }
+        };
+        let err = catch_unwind(AssertUnwindSafe(|| pool.run(1000, 8, &boom))).unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"injected"));
+        // The same pool still runs the next launch to completion.
+        let out = DeviceBuffer::<u32>::new(500, 0);
+        let kernel = |ctx: &ThreadCtx| out.set(ctx.global_id, 1);
+        pool.run(500, 8, &kernel);
+        assert_eq!(out.to_vec().iter().map(|&v| u64::from(v)).sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn zero_grid_run_returns_immediately() {
+        let pool = WorkerPool::spawn(2);
+        let kernel = |_ctx: &ThreadCtx| panic!("no threads should run");
+        assert_eq!(pool.run(0, 8, &kernel), (0, 0));
+    }
+}

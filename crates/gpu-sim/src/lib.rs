@@ -6,11 +6,21 @@
 //! device that preserves the three properties the paper's results depend on,
 //! while running on CPU threads.
 //!
-//! 1. **Bulk-synchronous kernels.** A launch executes one logical thread per
-//!    grid index; *all* threads of the launch run concurrently (or in an
-//!    arbitrary sequential interleaving, see [`Backend`]), and the launch
-//!    returns only after every thread finished — the implicit device-wide
-//!    barrier of CUDA's default stream.
+//! 1. **Bulk-synchronous kernels on a persistent executor.** A launch
+//!    executes one logical thread per grid index and returns only after
+//!    every thread finished — the implicit device-wide barrier of CUDA's
+//!    default stream.  With a parallel [`Backend`] the threads run on a
+//!    **worker pool spawned at most once per device** (the internal `exec`
+//!    module): workers
+//!    park on a condition variable between launches and claim fixed-size
+//!    grid chunks from a shared atomic cursor, so divergent kernels load-
+//!    balance dynamically and the per-launch host cost is a pointer handoff,
+//!    not a `thread::spawn`/`join` round trip.  (The sequential backend runs
+//!    every thread inline in id order, for deterministic interleavings; the
+//!    old spawn-per-launch strategy survives behind
+//!    [`ExecutorConfig::per_launch_spawn`] as a benchmark baseline.)  A
+//!    kernel panic fails its launch but leaves the pool intact; dropping the
+//!    device joins every worker.
 //! 2. **Lock- and atomic-free kernel semantics.** Device memory is exposed as
 //!    [`buffer::DeviceBuffer`]s of 32/64-bit words whose loads and stores are
 //!    individually indivisible but carry **no ordering and no mutual
@@ -23,22 +33,35 @@
 //!    warp issue cost, and per-work-item memory cost
 //!    ([`perfmodel::PerfModel`]), so that *modelled device time* can be
 //!    compared across algorithms the same way the paper compares wall-clock
-//!    seconds on the C2050.  Wall-clock host time is recorded as well.
+//!    seconds on the C2050.  Wall-clock host time is recorded as well, and
+//!    per-kernel statistics are queued off the launch hot path and merged
+//!    only when [`VirtualGpu::stats`] snapshots them.
 //!
 //! The crate also ships device-wide primitives ([`primitives`]) — reduction
 //! and exclusive prefix sum — implemented as multi-pass kernels, because the
-//! paper's shrink kernel (`G-PR-SHRKRNL`) needs a device prefix sum.
+//! paper's shrink kernel (`G-PR-SHRKRNL`) needs a device prefix sum.  Their
+//! working buffers come from a per-device [`scratch::ScratchArena`], so the
+//! launch-heavy shrink path stops allocating once warm.
+//!
+//! Executor tuning (inline threshold, chunk size, the legacy spawn flag)
+//! lives in [`ExecutorConfig`] and is plumbed upward through `gpm-core`'s
+//! `Solver::builder()` and `gpm-service`'s `Service::builder()`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
+// re-allowed only in `exec` for the lifetime erasure the
+// persistent pool needs; see that module's soundness argument.
 #![warn(missing_docs)]
 
 pub mod buffer;
 pub mod engine;
+pub(crate) mod exec;
 pub mod perfmodel;
 pub mod primitives;
+pub mod scratch;
 pub mod stats;
 
 pub use buffer::{DeviceBuffer, DeviceScalar};
-pub use engine::{Backend, GpuConfig, LaunchRecord, ThreadCtx, VirtualGpu};
+pub use engine::{Backend, ExecutorConfig, GpuConfig, LaunchRecord, ThreadCtx, VirtualGpu};
 pub use perfmodel::PerfModel;
+pub use scratch::{ScratchArena, ScratchBuffer, ScratchStats};
 pub use stats::{DeviceStats, KernelStats};

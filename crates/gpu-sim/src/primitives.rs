@@ -6,84 +6,104 @@
 //! reproduce the prefix-sum and reduction steps as multi-pass kernel
 //! launches on the virtual GPU, so the kernel-launch statistics of the
 //! shrink path match the structure of the CUDA implementation.
+//!
+//! All working buffers come from the device's [`ScratchArena`]: the first
+//! pass reads the caller's input buffer in place (no staging copy), and the
+//! block-partial buffers of the reduction ladder / scan recursion are
+//! recycled allocations, so a solve loop that reduces or scans every
+//! iteration stops paying an allocation per call after the first.
+//!
+//! [`ScratchArena`]: crate::scratch::ScratchArena
 
 use crate::buffer::DeviceBuffer;
 use crate::engine::VirtualGpu;
+use crate::scratch::ScratchBuffer;
 
 /// Number of logical threads per block used by the block-wise passes.
 const BLOCK: usize = 256;
+
+/// One block-reduction pass: thread `b` combines the `BLOCK` entries of its
+/// block in `src` into `dst[b]`.
+fn reduce_pass(
+    gpu: &VirtualGpu,
+    name: &'static str,
+    src: &DeviceBuffer<u64>,
+    dst: &DeviceBuffer<u64>,
+    combine: impl Fn(u64, u64) -> u64 + Sync,
+) {
+    let n = src.len();
+    gpu.launch(name, dst.len(), |ctx| {
+        let b = ctx.global_id;
+        let start = b * BLOCK;
+        let end = ((b + 1) * BLOCK).min(n);
+        let mut acc = src.get(start);
+        ctx.add_work(1);
+        for i in start + 1..end {
+            acc = combine(acc, src.get(i));
+            ctx.add_work(1);
+        }
+        dst.set(b, acc);
+    });
+}
+
+/// Shared ladder of block-reduction launches until one value remains.
+fn reduce(
+    gpu: &VirtualGpu,
+    input: &DeviceBuffer<u64>,
+    name: &'static str,
+    identity: u64,
+    combine: impl Fn(u64, u64) -> u64 + Sync + Copy,
+) -> u64 {
+    if input.is_empty() {
+        return identity;
+    }
+    if input.len() == 1 {
+        return input.get(0);
+    }
+    // Pass 1 reads the input buffer directly; only the (much smaller) block
+    // partials live in scratch.
+    let mut current = gpu.scratch().acquire(input.len().div_ceil(BLOCK), identity);
+    reduce_pass(gpu, name, input, &current, combine);
+    while current.len() > 1 {
+        let next = gpu.scratch().acquire(current.len().div_ceil(BLOCK), identity);
+        reduce_pass(gpu, name, &current, &next, combine);
+        current = next;
+    }
+    current.get(0)
+}
 
 /// Device-wide sum reduction of a `u64` buffer.
 ///
 /// Implemented as repeated block-reduction kernels until a single value
 /// remains, mimicking the standard CUDA reduction pattern.
 pub fn reduce_sum(gpu: &VirtualGpu, input: &DeviceBuffer<u64>) -> u64 {
-    if input.is_empty() {
-        return 0;
-    }
-    let mut current: DeviceBuffer<u64> = DeviceBuffer::from_slice(&input.to_vec());
-    while current.len() > 1 {
-        let blocks = current.len().div_ceil(BLOCK);
-        let next = DeviceBuffer::<u64>::new(blocks, 0);
-        gpu.launch("reduce_sum", blocks, |ctx| {
-            let b = ctx.global_id;
-            let start = b * BLOCK;
-            let end = ((b + 1) * BLOCK).min(current.len());
-            let mut acc = 0u64;
-            for i in start..end {
-                acc += current.get(i);
-                ctx.add_work(1);
-            }
-            next.set(b, acc);
-        });
-        current = next;
-    }
-    current.get(0)
+    reduce(gpu, input, "reduce_sum", 0, |a, b| a + b)
 }
 
 /// Device-wide maximum reduction of a `u64` buffer (0 for an empty buffer).
 pub fn reduce_max(gpu: &VirtualGpu, input: &DeviceBuffer<u64>) -> u64 {
-    if input.is_empty() {
-        return 0;
-    }
-    let mut current: DeviceBuffer<u64> = DeviceBuffer::from_slice(&input.to_vec());
-    while current.len() > 1 {
-        let blocks = current.len().div_ceil(BLOCK);
-        let next = DeviceBuffer::<u64>::new(blocks, 0);
-        gpu.launch("reduce_max", blocks, |ctx| {
-            let b = ctx.global_id;
-            let start = b * BLOCK;
-            let end = ((b + 1) * BLOCK).min(current.len());
-            let mut acc = 0u64;
-            for i in start..end {
-                acc = acc.max(current.get(i));
-                ctx.add_work(1);
-            }
-            next.set(b, acc);
-        });
-        current = next;
-    }
-    current.get(0)
+    reduce(gpu, input, "reduce_max", 0, u64::max)
 }
 
-/// Exclusive prefix sum (scan) of a `u64` buffer, returning a new device
-/// buffer of the same length plus the total sum.
+/// Exclusive prefix sum (scan) of a `u64` buffer, returning an arena-backed
+/// device buffer of the same length plus the total sum.
 ///
 /// `output[i] = input[0] + … + input[i-1]`, `output[0] = 0`.
 ///
 /// Implemented as the classic three-phase GPU scan: block-local scan,
-/// scan of block totals (recursively), then a uniform add pass.
-pub fn exclusive_prefix_sum(
-    gpu: &VirtualGpu,
+/// scan of block totals (recursively), then a uniform add pass.  The
+/// returned buffer goes back to the device's scratch arena when dropped.
+pub fn exclusive_prefix_sum<'gpu>(
+    gpu: &'gpu VirtualGpu,
     input: &DeviceBuffer<u64>,
-) -> (DeviceBuffer<u64>, u64) {
+) -> (ScratchBuffer<'gpu>, u64) {
     let n = input.len();
-    let output = DeviceBuffer::<u64>::new(n, 0);
+    let output = gpu.scratch().acquire(n, 0);
     if n == 0 {
         return (output, 0);
     }
     let blocks = n.div_ceil(BLOCK);
-    let block_totals = DeviceBuffer::<u64>::new(blocks, 0);
+    let block_totals = gpu.scratch().acquire(blocks, 0);
 
     // Phase 1: per-block exclusive scan.
     gpu.launch("scan_block", blocks, |ctx| {
@@ -99,28 +119,27 @@ pub fn exclusive_prefix_sum(
         block_totals.set(b, acc);
     });
 
+    if blocks == 1 {
+        let total = block_totals.get(0);
+        return (output, total);
+    }
+
     // Phase 2: scan of block totals (host-side recursion over device passes).
-    let (block_offsets, total) = if blocks > 1 {
-        exclusive_prefix_sum(gpu, &block_totals)
-    } else {
-        (DeviceBuffer::<u64>::new(1, 0), block_totals.get(0))
-    };
+    let (block_offsets, total) = exclusive_prefix_sum(gpu, &block_totals);
 
     // Phase 3: uniform add of each block's offset.
-    if blocks > 1 {
-        gpu.launch("scan_uniform_add", blocks, |ctx| {
-            let b = ctx.global_id;
-            let offset = block_offsets.get(b);
-            if offset != 0 {
-                let start = b * BLOCK;
-                let end = ((b + 1) * BLOCK).min(n);
-                for i in start..end {
-                    output.set(i, output.get(i) + offset);
-                    ctx.add_work(2);
-                }
+    gpu.launch("scan_uniform_add", blocks, |ctx| {
+        let b = ctx.global_id;
+        let offset = block_offsets.get(b);
+        if offset != 0 {
+            let start = b * BLOCK;
+            let end = ((b + 1) * BLOCK).min(n);
+            for i in start..end {
+                output.set(i, output.get(i) + offset);
+                ctx.add_work(2);
             }
-        });
-    }
+        }
+    });
     (output, total)
 }
 
@@ -187,5 +206,34 @@ mod tests {
         let stats = gpu.stats();
         assert!(stats.launches_of("reduce_sum") >= 1);
         assert!(stats.launches_of("scan_block") >= 1);
+    }
+
+    #[test]
+    fn primitives_never_copy_the_input_and_recycle_scratch() {
+        let gpu = VirtualGpu::sequential();
+        let buf = DeviceBuffer::from_slice(&(0..20_000u64).collect::<Vec<_>>());
+        let _ = reduce_sum(&gpu, &buf);
+        let after_first = gpu.scratch().stats();
+        // The reduction ladder never allocates a full-input-sized buffer.
+        assert!(
+            after_first.retained_words < buf.len(),
+            "scratch holds {} words for a {}-word input",
+            after_first.retained_words,
+            buf.len()
+        );
+        // A second identical call reuses every ladder buffer: zero fresh
+        // allocations.
+        let _ = reduce_sum(&gpu, &buf);
+        let after_second = gpu.scratch().stats();
+        assert_eq!(after_second.allocations, after_first.allocations);
+        assert!(after_second.reuses > after_first.reuses);
+
+        // Same for the scan, once its first call has primed the arena.
+        let (scan, _) = exclusive_prefix_sum(&gpu, &buf);
+        drop(scan);
+        let primed = gpu.scratch().stats();
+        let (scan, _) = exclusive_prefix_sum(&gpu, &buf);
+        drop(scan);
+        assert_eq!(gpu.scratch().stats().allocations, primed.allocations);
     }
 }

@@ -1,0 +1,228 @@
+//! A device-resident scratch-buffer arena.
+//!
+//! The multi-pass device primitives ([`crate::primitives`]) need short-lived
+//! `u64` working buffers — block partials for the reductions, block totals
+//! and offsets for the scan.  Allocating fresh [`DeviceBuffer`]s on every
+//! call put a host allocation (and, before the fix, a full input copy) on a
+//! path the paper's shrink kernel hits after every global relabeling.
+//!
+//! The arena keeps returned buffers on a free list and hands them back out
+//! through the same [`DeviceBuffer::recycle`] machinery warm solver
+//! workspaces use: an [`acquire`](ScratchArena::acquire) with a length that
+//! matches a free buffer re-initializes that allocation in place; otherwise
+//! a fresh buffer is allocated.  Buffers return to the arena when their
+//! [`ScratchBuffer`] guard drops, up to a retained-size cap.
+
+use crate::buffer::DeviceBuffer;
+use parking_lot::Mutex;
+use std::ops::Deref;
+
+/// Upper bound on the words kept alive on the free list (4 Mi words ≈ 32 MB
+/// of `u64` cells); buffers released beyond the cap are simply dropped.
+const MAX_RETAINED_WORDS: usize = 1 << 22;
+
+/// Counters describing arena behaviour; see [`ScratchArena::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Total `acquire` calls.
+    pub acquires: u64,
+    /// Acquires served by re-initializing a free-listed allocation.
+    pub reuses: u64,
+    /// Acquires that had to allocate a fresh buffer.
+    pub allocations: u64,
+    /// Buffers currently parked on the free list.
+    pub retained_buffers: usize,
+    /// Total words currently parked on the free list.
+    pub retained_words: usize,
+}
+
+#[derive(Default)]
+struct ArenaInner {
+    free: Vec<DeviceBuffer<u64>>,
+    retained_words: usize,
+    acquires: u64,
+    reuses: u64,
+    allocations: u64,
+}
+
+/// The per-device scratch arena; obtained via `VirtualGpu::scratch`.
+pub struct ScratchArena {
+    inner: Mutex<ArenaInner>,
+}
+
+impl ScratchArena {
+    pub(crate) fn new() -> Self {
+        Self { inner: Mutex::new(ArenaInner::default()) }
+    }
+
+    /// Returns a buffer of exactly `len` words, each set to `init`, reusing
+    /// a free-listed allocation of the same length when one exists.  The
+    /// buffer returns to the arena when the guard drops.
+    pub fn acquire(&self, len: usize, init: u64) -> ScratchBuffer<'_> {
+        let mut slot = {
+            let mut inner = self.inner.lock();
+            inner.acquires += 1;
+            match inner.free.iter().position(|buf| buf.len() == len) {
+                Some(i) => {
+                    inner.reuses += 1;
+                    inner.retained_words -= len;
+                    Some(inner.free.swap_remove(i))
+                }
+                None => {
+                    inner.allocations += 1;
+                    None
+                }
+            }
+        };
+        // Outside the lock: `recycle` either re-fills the reused allocation
+        // or allocates fresh, both O(len).
+        DeviceBuffer::recycle(&mut slot, len, init);
+        ScratchBuffer { buf: slot, arena: self }
+    }
+
+    /// A point-in-time snapshot of the arena counters.
+    pub fn stats(&self) -> ScratchStats {
+        let inner = self.inner.lock();
+        ScratchStats {
+            acquires: inner.acquires,
+            reuses: inner.reuses,
+            allocations: inner.allocations,
+            retained_buffers: inner.free.len(),
+            retained_words: inner.retained_words,
+        }
+    }
+
+    /// Drops every free-listed buffer (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.free.clear();
+        inner.retained_words = 0;
+    }
+
+    fn release(&self, buf: DeviceBuffer<u64>) {
+        let mut inner = self.inner.lock();
+        if inner.retained_words + buf.len() <= MAX_RETAINED_WORDS {
+            inner.retained_words += buf.len();
+            inner.free.push(buf);
+        }
+    }
+}
+
+impl std::fmt::Debug for ScratchArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ScratchArena")
+            .field("retained_buffers", &stats.retained_buffers)
+            .field("retained_words", &stats.retained_words)
+            .finish()
+    }
+}
+
+/// An arena-owned `u64` device buffer; dereferences to [`DeviceBuffer`] and
+/// returns its allocation to the arena on drop.
+pub struct ScratchBuffer<'a> {
+    buf: Option<DeviceBuffer<u64>>,
+    arena: &'a ScratchArena,
+}
+
+impl Deref for ScratchBuffer<'_> {
+    type Target = DeviceBuffer<u64>;
+
+    fn deref(&self) -> &DeviceBuffer<u64> {
+        self.buf.as_ref().expect("scratch buffer present until drop")
+    }
+}
+
+impl Drop for ScratchBuffer<'_> {
+    fn drop(&mut self) {
+        if let Some(buf) = self.buf.take() {
+            self.arena.release(buf);
+        }
+    }
+}
+
+impl std::fmt::Debug for ScratchBuffer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchBuffer").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_initializes_and_reuses_matching_lengths() {
+        let arena = ScratchArena::new();
+        {
+            let buf = arena.acquire(64, 7);
+            assert_eq!(buf.to_vec(), vec![7u64; 64]);
+            buf.set(3, 99);
+        }
+        // Same length: the allocation comes back re-initialized.
+        let buf = arena.acquire(64, 0);
+        assert_eq!(buf.to_vec(), vec![0u64; 64]);
+        let stats = arena.stats();
+        assert_eq!(stats.acquires, 2);
+        assert_eq!(stats.reuses, 1);
+        assert_eq!(stats.allocations, 1);
+    }
+
+    #[test]
+    fn different_lengths_allocate_fresh() {
+        let arena = ScratchArena::new();
+        drop(arena.acquire(100, 0));
+        drop(arena.acquire(50, 0));
+        let stats = arena.stats();
+        assert_eq!(stats.allocations, 2);
+        assert_eq!(stats.reuses, 0);
+        assert_eq!(stats.retained_buffers, 2);
+        assert_eq!(stats.retained_words, 150);
+    }
+
+    #[test]
+    fn concurrent_guards_get_distinct_buffers() {
+        let arena = ScratchArena::new();
+        let a = arena.acquire(32, 1);
+        let b = arena.acquire(32, 2);
+        a.set(0, 10);
+        assert_eq!(b.get(0), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(arena.stats().retained_buffers, 2);
+        // Only one of them is reused per acquire.
+        let c = arena.acquire(32, 0);
+        assert_eq!(arena.stats().retained_buffers, 1);
+        drop(c);
+    }
+
+    #[test]
+    fn clear_empties_the_free_list() {
+        let arena = ScratchArena::new();
+        drop(arena.acquire(16, 0));
+        arena.clear();
+        let stats = arena.stats();
+        assert_eq!(stats.retained_buffers, 0);
+        assert_eq!(stats.retained_words, 0);
+        drop(arena.acquire(16, 0));
+        assert_eq!(arena.stats().allocations, 2);
+    }
+
+    #[test]
+    fn zero_length_buffers_are_fine() {
+        let arena = ScratchArena::new();
+        let buf = arena.acquire(0, 0);
+        assert!(buf.is_empty());
+        drop(buf);
+        let buf = arena.acquire(0, 0);
+        assert_eq!(arena.stats().reuses, 1);
+        drop(buf);
+    }
+
+    #[test]
+    fn oversized_releases_are_dropped_not_retained() {
+        let arena = ScratchArena::new();
+        drop(arena.acquire(MAX_RETAINED_WORDS + 1, 0));
+        assert_eq!(arena.stats().retained_buffers, 0);
+    }
+}

@@ -1,17 +1,17 @@
 //! Property-based tests for the virtual GPU: launch coverage, buffer
 //! round-trips, and device primitives vs host references, on both backends.
 
-use gpm_gpu::{primitives, Backend, DeviceBuffer, GpuConfig, VirtualGpu};
+use gpm_gpu::{primitives, Backend, DeviceBuffer, ExecutorConfig, GpuConfig, VirtualGpu};
 use gpm_testutil::arb_bipartite;
 use proptest::prelude::*;
 
 fn gpus() -> Vec<VirtualGpu> {
     vec![
         VirtualGpu::sequential(),
-        VirtualGpu::new(GpuConfig {
-            parallel_threshold: 16,
-            ..GpuConfig::tesla_c2050(Backend::Parallel { workers: 3 })
-        }),
+        VirtualGpu::new(
+            GpuConfig::tesla_c2050(Backend::Parallel { workers: 3 })
+                .with_executor(ExecutorConfig::default().with_parallel_threshold(16)),
+        ),
     ]
 }
 

@@ -12,7 +12,7 @@ use crate::cache::GraphCache;
 use crate::error::ServiceError;
 use crate::job::{GraphSource, JobHandle, JobOutcome, JobSlot, JobSpec};
 use crate::stats::{AlgorithmStats, LatencyAgg, ServiceStats};
-use gpm_core::{DevicePolicy, Solver};
+use gpm_core::{DevicePolicy, ExecutorConfig, Solver};
 use gpm_graph::BipartiteCsr;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -24,12 +24,18 @@ use std::time::Instant;
 pub struct ServiceBuilder {
     workers: usize,
     device_policy: DevicePolicy,
+    executor: ExecutorConfig,
     cache_capacity: usize,
 }
 
 impl Default for ServiceBuilder {
     fn default() -> Self {
-        Self { workers: 2, device_policy: DevicePolicy::Sequential, cache_capacity: 32 }
+        Self {
+            workers: 2,
+            device_policy: DevicePolicy::Sequential,
+            executor: ExecutorConfig::default(),
+            cache_capacity: 32,
+        }
     }
 }
 
@@ -48,6 +54,17 @@ impl ServiceBuilder {
     /// and avoid oversubscribing the host with N × cores kernel threads.
     pub fn device_policy(mut self, policy: DevicePolicy) -> Self {
         self.device_policy = policy;
+        self
+    }
+
+    /// Tunes the persistent kernel executor of every worker's device — most
+    /// importantly the pool sizing implied by the device policy and the
+    /// inline threshold.  With N service workers each owning a
+    /// [`DevicePolicy::Parallel`] device, this is how the deployment keeps
+    /// N × device-workers within the host's core budget instead of
+    /// oversubscribing it.
+    pub fn executor_config(mut self, executor: ExecutorConfig) -> Self {
+        self.executor = executor;
         self
     }
 
@@ -70,13 +87,14 @@ impl ServiceBuilder {
             .map(|index| {
                 let shared = Arc::clone(&shared);
                 let policy = self.device_policy;
+                let executor = self.executor;
                 std::thread::Builder::new()
                     .name(format!("gpm-service-worker-{index}"))
-                    .spawn(move || worker_loop(index, policy, &shared))
+                    .spawn(move || worker_loop(index, policy, executor, &shared))
                     .expect("spawn service worker")
             })
             .collect();
-        Service { shared, workers, worker_count: self.workers }
+        Service { shared, workers, worker_count: self.workers, executor: self.executor }
     }
 }
 
@@ -106,6 +124,7 @@ pub struct Service {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     worker_count: usize,
+    executor: ExecutorConfig,
 }
 
 struct Shared {
@@ -151,6 +170,12 @@ impl Service {
     /// Number of pool workers.
     pub fn worker_count(&self) -> usize {
         self.worker_count
+    }
+
+    /// The executor tuning every worker's solver (and hence device) was
+    /// built with.
+    pub fn executor_config(&self) -> ExecutorConfig {
+        self.executor
     }
 
     /// Enqueues one job and returns a handle on its result.
@@ -279,8 +304,8 @@ impl std::fmt::Debug for Service {
 /// One pool worker: owns a warm [`Solver`] for its whole lifetime, so every
 /// job it runs after the first reuses per-algorithm workspaces and the
 /// session device.
-fn worker_loop(index: usize, policy: DevicePolicy, shared: &Shared) {
-    let mut solver = Solver::builder().device_policy(policy).build();
+fn worker_loop(index: usize, policy: DevicePolicy, executor: ExecutorConfig, shared: &Shared) {
+    let mut solver = Solver::builder().device_policy(policy).executor_config(executor).build();
     loop {
         let job = {
             let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -303,7 +328,7 @@ fn worker_loop(index: usize, policy: DevicePolicy, shared: &Shared) {
             run_job(index, &mut solver, shared, &job.spec, queue_seconds, started)
         }))
         .unwrap_or_else(|payload| {
-            solver = Solver::builder().device_policy(policy).build();
+            solver = Solver::builder().device_policy(policy).executor_config(executor).build();
             Err(ServiceError::JobPanicked { message: panic_message(payload.as_ref()) })
         });
         record(shared, &job.spec, queue_seconds, &result);

@@ -10,6 +10,7 @@
 //! sub-optimal matching.
 
 use gpm_core::solver::{Algorithm, DevicePolicy, Solver};
+use gpm_core::ExecutorConfig;
 use gpm_graph::instances::{mini_suite, Scale};
 use gpm_graph::{verify, BipartiteCsr};
 use gpm_service::{GraphSource, JobSpec, Service};
@@ -106,4 +107,56 @@ fn eight_clients_agree_with_the_single_threaded_oracle() {
     for (i, handle) in batch.into_iter().enumerate() {
         assert_eq!(handle.wait().unwrap().report.cardinality, expected[i], "batch job {i}");
     }
+}
+
+#[test]
+fn oversubscribed_executor_config_is_honored_and_stays_correct() {
+    // Deliberate oversubscription: 4 service workers, each owning a
+    // 4-worker parallel device — 16 kernel threads however many cores the
+    // host has — with an inline threshold low enough that even the tiny test
+    // graphs actually dispatch to the persistent pools.  The plumbed-down
+    // ExecutorConfig must reach every worker's device, and the results must
+    // still pin to the single-threaded oracle.
+    let exec = ExecutorConfig { parallel_threshold: 16, chunk_size: 32, ..Default::default() };
+    let graphs: Vec<Arc<BipartiteCsr>> = mini_suite()
+        .iter()
+        .take(6)
+        .map(|spec| Arc::new(spec.generate(Scale::Tiny).expect("generate")))
+        .collect();
+    let gpu_algorithms =
+        [Algorithm::gpr_default(), Algorithm::GpuHopcroftKarp(gpm_core::GhkVariant::Hkdw)];
+
+    let mut oracle = Solver::builder().device_policy(DevicePolicy::Sequential).build();
+    let expected: Vec<usize> = graphs
+        .iter()
+        .map(|g| oracle.solve(g, Algorithm::HopcroftKarp).expect("oracle").cardinality)
+        .collect();
+
+    let service = Service::builder()
+        .workers(4)
+        .device_policy(DevicePolicy::Parallel(4))
+        .executor_config(exec)
+        .cache_capacity(graphs.len())
+        .build();
+    assert_eq!(service.executor_config(), exec);
+
+    let specs: Vec<JobSpec> = graphs
+        .iter()
+        .flat_map(|g| {
+            gpu_algorithms
+                .iter()
+                .map(|&alg| JobSpec::new(GraphSource::Inline(Arc::clone(g)), alg))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let handles = service.submit_batch(specs);
+
+    for (j, handle) in handles.into_iter().enumerate() {
+        let outcome = handle.wait().unwrap_or_else(|e| panic!("job {j}: {e}"));
+        let graph_index = j / gpu_algorithms.len();
+        verify::check_matching(&graphs[graph_index], &outcome.report.matching)
+            .unwrap_or_else(|e| panic!("job {j}: {e}"));
+        assert_eq!(outcome.report.cardinality, expected[graph_index], "job {j}");
+    }
+    assert_eq!(service.stats().failed, 0);
 }
