@@ -19,7 +19,7 @@ fn bench_initialization(c: &mut Criterion) {
     ];
     let mut group = c.benchmark_group("initialization");
     group.sample_size(10);
-    let mut solver = Solver::builder().build();
+    let mut solver = Solver::builder().build().expect("valid solver config");
     for algorithm in [Algorithm::gpr_default(), Algorithm::SequentialPushRelabel(0.5)] {
         for (init_name, init) in &inits {
             group.bench_with_input(

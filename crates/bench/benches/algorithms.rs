@@ -13,7 +13,7 @@ fn bench_paper_algorithms(c: &mut Criterion) {
     let names = ["kron_g500-logn20", "roadNet-PA", "hugetrace-00000"];
     let mut group = c.benchmark_group("paper_algorithms");
     group.sample_size(10);
-    let mut solver = Solver::builder().build();
+    let mut solver = Solver::builder().build().expect("valid solver config");
     for name in names {
         let spec = by_name(name).expect("known instance");
         let instance = prepare_instance(&spec, Scale::Tiny);

@@ -14,9 +14,9 @@ fn bench_gr_strategies(c: &mut Criterion) {
     let instance = prepare_instance(&spec, Scale::Tiny);
     let mut group = c.benchmark_group("gr_strategies");
     group.sample_size(10);
-    let mut solver = Solver::builder().build();
+    let mut solver = Solver::builder().build().expect("valid solver config");
     for strategy in figure1_strategies() {
-        let alg = Algorithm::GpuPushRelabel(GprVariant::Shrink, strategy);
+        let alg = Algorithm::gpr(GprVariant::Shrink, strategy);
         group.bench_with_input(BenchmarkId::new("G-PR-Shr", strategy.label()), &alg, |b, &alg| {
             b.iter(|| measure(&instance, alg, &mut solver).expect("measure").seconds)
         });

@@ -74,7 +74,10 @@ fn bench_service_throughput(c: &mut Criterion) {
             for (upload, (_, alg)) in uploads.iter().zip(&batch) {
                 let graph = BipartiteCsr::from_edges(upload.rows, upload.cols, &upload.edges)
                     .expect("re-materialize");
-                let mut solver = Solver::builder().device_policy(DevicePolicy::Sequential).build();
+                let mut solver = Solver::builder()
+                    .device_policy(DevicePolicy::Sequential)
+                    .build()
+                    .expect("valid solver config");
                 total += solver.solve(&graph, *alg).expect("solve").cardinality;
             }
             total

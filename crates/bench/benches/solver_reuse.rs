@@ -20,7 +20,7 @@ fn bench_solver_reuse(c: &mut Criterion) {
     let initial = cheap_matching(&graph);
     let algorithms = [
         Algorithm::gpr_default(),
-        Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw),
+        Algorithm::ghk(GhkVariant::Hkdw),
         Algorithm::SequentialPushRelabel(0.5),
     ];
     let mut group = c.benchmark_group("solver_reuse");
@@ -29,12 +29,18 @@ fn bench_solver_reuse(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cold", alg.label()), &alg, |b, &alg| {
             b.iter(|| {
                 // A fresh session per call: pays device + workspace setup.
-                let mut solver = Solver::builder().device_policy(DevicePolicy::Sequential).build();
+                let mut solver = Solver::builder()
+                    .device_policy(DevicePolicy::Sequential)
+                    .build()
+                    .expect("valid solver config");
                 solver.solve_with_initial(&graph, &initial, alg).expect("solve").cardinality
             })
         });
         group.bench_with_input(BenchmarkId::new("warm", alg.label()), &alg, |b, &alg| {
-            let mut solver = Solver::builder().device_policy(DevicePolicy::Sequential).build();
+            let mut solver = Solver::builder()
+                .device_policy(DevicePolicy::Sequential)
+                .build()
+                .expect("valid solver config");
             // Prime the session so the measured solves reuse warm buffers.
             solver.solve_with_initial(&graph, &initial, alg).expect("solve");
             b.iter(|| solver.solve_with_initial(&graph, &initial, alg).expect("solve").cardinality)

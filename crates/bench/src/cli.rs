@@ -112,7 +112,9 @@ pub fn usage() -> String {
     "usage: <binary> [--scale tiny|small|medium|large] [--suite full|mini] \
      [--algorithms <spec,...>] [--json <path>]\n\
      algorithm specs: G-PR-First|G-PR-NoShr|G-PR-Shr[@adaptive:<k>|@fix:<k>], \
-     G-HK, G-HKDW, PR[@<k>], PFP, HK, HKDW, P-DBFS[@<threads>]"
+     G-HK, G-HKDW, PR[@<k>], PFP, HK, HKDW, P-DBFS[@<threads>]\n\
+     GPU specs accept a worklist suffix +dense|+compacted|+queue \
+     (e.g. G-PR-Shr@adaptive:0.7+queue, G-HKDW+queue)"
         .to_string()
 }
 
@@ -184,6 +186,25 @@ mod tests {
         assert_eq!(algs[0], gpm_core::solver::Algorithm::gpr_default());
         assert_eq!(algs[1], gpm_core::solver::Algorithm::Pdbfs(4));
         assert_eq!(algs[2], gpm_core::solver::Algorithm::SequentialPushRelabel(0.5));
+    }
+
+    #[test]
+    fn parses_worklist_mode_suffixes() {
+        let o = parse(args(&["--algorithms", "G-PR-Shr@adaptive:0.7+queue,G-HKDW+queue"])).unwrap();
+        let algs = o.algorithms.unwrap();
+        assert_eq!(
+            algs[0],
+            gpm_core::solver::Algorithm::gpr_default()
+                .with_worklist(gpm_core::WorklistMode::AtomicQueue)
+        );
+        assert_eq!(
+            algs[1],
+            gpm_core::solver::Algorithm::ghk(gpm_core::GhkVariant::Hkdw)
+                .with_worklist(gpm_core::WorklistMode::AtomicQueue)
+        );
+        // Junk suffixes are rejected with a parse error.
+        assert!(parse(args(&["--algorithms", "G-PR-Shr+stack"])).is_err());
+        assert!(parse(args(&["--algorithms", "HK+queue"])).is_err());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 /// algorithm) pair.  Progress is reported on stderr because full-suite runs
 /// take a while.
 pub fn run_paper_comparison(opts: &Options) -> Vec<Measurement> {
-    let mut solver = Solver::builder().build();
+    let mut solver = Solver::builder().build().expect("valid solver config");
     let algorithms = opts.comparison_algorithms();
     let mut measurements = Vec::new();
     for (i, spec) in opts.suite.iter().enumerate() {
@@ -130,7 +130,7 @@ pub fn figure1(opts: &Options) -> Figure1Result {
              3 G-PR variants x 7 GR strategies)"
         );
     }
-    let mut solver = Solver::builder().build();
+    let mut solver = Solver::builder().build().expect("valid solver config");
     let variants = [GprVariant::First, GprVariant::ActiveList, GprVariant::Shrink];
     let strategies = gpm_core::strategy::figure1_strategies();
     // seconds[variant][strategy] = per-instance seconds
@@ -141,7 +141,7 @@ pub fn figure1(opts: &Options) -> Figure1Result {
         let instance = prepare_instance(spec, opts.scale);
         for &variant in &variants {
             for &strategy in &strategies {
-                let alg = Algorithm::GpuPushRelabel(variant, strategy);
+                let alg = Algorithm::gpr(variant, strategy);
                 let m = measure(&instance, alg, &mut solver)
                     .unwrap_or_else(|e| panic!("measuring {alg} on {} failed: {e}", spec.name));
                 seconds

@@ -111,7 +111,7 @@ pub fn paper_algorithms() -> Vec<Algorithm> {
 
 /// Convenience: G-HKDW as an [`Algorithm`].
 pub fn ghkdw() -> Algorithm {
-    Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw)
+    Algorithm::ghk(GhkVariant::Hkdw)
 }
 
 #[cfg(test)]

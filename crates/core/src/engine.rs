@@ -61,19 +61,31 @@ pub trait Engine {
     ) -> Result<EngineOutput, SolveError>;
 }
 
-/// Builds the engine for `algorithm`, validating its parameters first
+/// Builds the engine for `algorithm` with the paper's default tuning,
+/// validating the algorithm's parameters first
 /// ([`SolveError::InvalidConfig`] on NaN/negative global-relabel factors or
 /// zero thread counts).
 pub fn engine_for(algorithm: Algorithm) -> Result<Box<dyn Engine + Send>, SolveError> {
+    engine_for_tuned(algorithm, &GprConfig::paper_default())
+}
+
+/// Builds the engine for `algorithm` over a caller-supplied G-PR tuning
+/// template (`Solver::builder().gpr_config(..)`): the template's shrink
+/// threshold and loop cap apply, while the variant, strategy, and worklist
+/// representation come from the algorithm itself.
+pub fn engine_for_tuned(
+    algorithm: Algorithm,
+    gpr_base: &GprConfig,
+) -> Result<Box<dyn Engine + Send>, SolveError> {
     algorithm.validate()?;
     Ok(match algorithm {
-        Algorithm::GpuPushRelabel(variant, strategy) => Box::new(GprEngine {
+        Algorithm::GpuPushRelabel(variant, strategy, worklist) => Box::new(GprEngine {
             algorithm,
-            config: GprConfig { variant, strategy, ..GprConfig::paper_default() },
+            config: GprConfig { variant, strategy, worklist, ..*gpr_base },
             workspace: GprWorkspace::new(),
         }),
-        Algorithm::GpuHopcroftKarp(variant) => {
-            Box::new(GhkEngine { algorithm, variant, workspace: GhkWorkspace::new() })
+        Algorithm::GpuHopcroftKarp(variant, worklist) => {
+            Box::new(GhkEngine { algorithm, variant, worklist, workspace: GhkWorkspace::new() })
         }
         Algorithm::SequentialPushRelabel(k) => Box::new(PrEngine {
             algorithm,
@@ -119,6 +131,7 @@ impl Engine for GprEngine {
 struct GhkEngine {
     algorithm: Algorithm,
     variant: GhkVariant,
+    worklist: gpm_gpu::WorklistMode,
     workspace: GhkWorkspace,
 }
 
@@ -134,7 +147,14 @@ impl Engine for GhkEngine {
         ctx: &mut EngineCtx<'_>,
     ) -> Result<EngineOutput, SolveError> {
         let device = ctx.require_device(&self.algorithm)?;
-        let r = ghk::run_with(device, graph, initial, self.variant, &mut self.workspace);
+        let r = ghk::run_with_mode(
+            device,
+            graph,
+            initial,
+            self.variant,
+            self.worklist,
+            &mut self.workspace,
+        );
         Ok(EngineOutput {
             matching: r.matching,
             wall_seconds: r.stats.seconds,
@@ -255,7 +275,7 @@ mod tests {
     fn seven_families() -> Vec<Algorithm> {
         vec![
             Algorithm::gpr_default(),
-            Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw),
+            Algorithm::ghk(GhkVariant::Hkdw),
             Algorithm::SequentialPushRelabel(0.5),
             Algorithm::PothenFan,
             Algorithm::HopcroftKarp,
@@ -288,8 +308,8 @@ mod tests {
         let g = gen::uniform_random(10, 10, 40, 1).unwrap();
         let initial = cheap_matching(&g);
         for alg in [
-            Algorithm::GpuPushRelabel(crate::gpr::GprVariant::First, GrStrategy::paper_default()),
-            Algorithm::GpuHopcroftKarp(GhkVariant::Hk),
+            Algorithm::gpr(crate::gpr::GprVariant::First, GrStrategy::paper_default()),
+            Algorithm::ghk(GhkVariant::Hk),
         ] {
             let mut engine = engine_for(alg).unwrap();
             let mut ctx = EngineCtx { device: None };

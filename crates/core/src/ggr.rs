@@ -12,10 +12,24 @@
 //!
 //! Several threads may write the same `ψ` entry, but always with the same
 //! value, so the kernel needs no atomics — exactly the argument of the paper.
+//!
+//! The BFS frontier itself is managed by the shared [`Worklist`] subsystem:
+//! the default [`WorklistMode::DenseStamp`] reproduces the paper's full-grid
+//! level-synchronous scan exactly, while the compacted and atomic-queue
+//! representations launch only over the frontier rows
+//! ([`global_relabel_with`]).
 
 use crate::device::{DeviceState, MU_UNMATCHED};
-use gpm_gpu::{DeviceBuffer, VirtualGpu};
+use gpm_gpu::{VirtualGpu, Worklist, WorklistKernels, WorklistMode};
 use gpm_graph::BipartiteCsr;
+
+/// Kernel names the G-GR frontier worklist charges its maintenance to.
+const GGR_WORKLIST_KERNELS: WorklistKernels = WorklistKernels {
+    init: "G-GR-WL-INIT",
+    compact_count: "G-GR-WL-COMPACT",
+    compact_scatter: "G-GR-WL-SCATTER",
+    refill: "G-GR-WL-REFILL",
+};
 
 /// Result of one global relabeling pass.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,11 +41,24 @@ pub struct GlobalRelabelOutcome {
     pub levels: u32,
 }
 
-/// Runs `G-GR` on the device, overwriting `ψ` with exact distances.
+/// Runs `G-GR` on the device, overwriting `ψ` with exact distances, with the
+/// paper's dense frontier representation.
 pub fn global_relabel(
     gpu: &VirtualGpu,
     graph: &BipartiteCsr,
     state: &DeviceState,
+) -> GlobalRelabelOutcome {
+    global_relabel_with(gpu, graph, state, WorklistMode::DenseStamp)
+}
+
+/// Runs `G-GR` with an explicit frontier representation.  All modes write
+/// identical labels; they differ in how the row frontier of each BFS level
+/// is stored and launched over.
+pub fn global_relabel_with(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    state: &DeviceState,
+    mode: WorklistMode,
 ) -> GlobalRelabelOutcome {
     let m = graph.num_rows();
     let unreachable = state.unreachable;
@@ -51,32 +78,34 @@ pub fn global_relabel(
         state.psi_col.set(ctx.global_id, unreachable);
     });
 
-    // Level-synchronous BFS: one G-GR-KRNL launch per level.
-    let u_added = DeviceBuffer::<bool>::new(1, true);
+    // Level-synchronous BFS: one G-GR-KRNL launch per level, the frontier
+    // (rows at the current level) managed by the worklist.  The seed (the
+    // unmatched rows, ψ = 0) is gathered device-side — no host scan, and
+    // the cost is charged to the device model like INITRELABEL itself.
+    let mut frontier = Worklist::new(gpu, mode, m, GGR_WORKLIST_KERNELS);
+    frontier.seed_by_predicate(|u| state.mu_row.get(u) == MU_UNMATCHED);
     let mut c_level: u32 = 0;
     let mut levels = 0u32;
-    while u_added.get(0) {
-        u_added.set(0, false);
-        gpu.launch("G-GR-KRNL", m, |ctx| {
-            let u = ctx.global_id;
-            ctx.add_work(1);
-            if state.psi_row.get(u) == c_level {
-                for &v in graph.row_neighbors(u as u32) {
-                    ctx.add_work(1);
-                    let v = v as usize;
-                    if state.psi_col.get(v) == unreachable {
-                        state.psi_col.set(v, c_level + 1);
-                        let mate = state.mu_col.get(v);
-                        if mate > MU_UNMATCHED && state.mu_row.get(mate as usize) == v as i64 {
-                            state.psi_row.set(mate as usize, c_level + 2);
-                            u_added.set(0, true);
-                        }
+    loop {
+        frontier.for_each_frontier("G-GR-KRNL", |ctx, u, frontier| {
+            for &v in graph.row_neighbors(u as u32) {
+                ctx.add_work(1);
+                let v = v as usize;
+                if state.psi_col.get(v) == unreachable {
+                    state.psi_col.set(v, c_level + 1);
+                    let mate = state.mu_col.get(v);
+                    if mate > MU_UNMATCHED && state.mu_row.get(mate as usize) == v as i64 {
+                        state.psi_row.set(mate as usize, c_level + 2);
+                        frontier.push(mate as usize);
                     }
                 }
             }
         });
         c_level += 2;
         levels += 1;
+        if !frontier.advance_frontier() {
+            break;
+        }
     }
 
     // maxLevel is the level counter reached when the BFS stopped adding rows
@@ -132,6 +161,47 @@ mod tests {
                 assert_eq!(state.psi_col.to_vec(), ec, "cols, seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn every_worklist_mode_writes_identical_labels() {
+        for seed in 0..3u64 {
+            let g = gen::power_law(60, 55, 260, 2.0, seed).unwrap();
+            let matching = cheap_matching(&g);
+            let (er, ec) = exact_labels_host(&g, &matching);
+            for gpu in [VirtualGpu::sequential(), VirtualGpu::parallel()] {
+                for mode in gpm_gpu::WorklistMode::all() {
+                    let state = DeviceState::upload(&g, &matching);
+                    let dense_out = global_relabel(&gpu, &g, &state);
+                    let state = DeviceState::upload(&g, &matching);
+                    let out = global_relabel_with(&gpu, &g, &state, mode);
+                    assert_eq!(state.psi_row.to_vec(), er, "{mode}, seed {seed}");
+                    assert_eq!(state.psi_col.to_vec(), ec, "{mode}, seed {seed}");
+                    // The level count (and hence maxLevel, which feeds the
+                    // adaptive GR schedule) is representation-independent.
+                    assert_eq!(out.max_level, dense_out.max_level, "{mode}");
+                    assert_eq!(out.levels, dense_out.levels, "{mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queue_frontier_avoids_full_grid_bfs_scans() {
+        let g = gen::uniform_random(400, 400, 1600, 11).unwrap();
+        let matching = cheap_matching(&g);
+        let dense_gpu = VirtualGpu::sequential();
+        let state = DeviceState::upload(&g, &matching);
+        global_relabel(&dense_gpu, &g, &state);
+        let queue_gpu = VirtualGpu::sequential();
+        let state = DeviceState::upload(&g, &matching);
+        global_relabel_with(&queue_gpu, &g, &state, gpm_gpu::WorklistMode::AtomicQueue);
+        let dense_threads = dense_gpu.stats().kernels["G-GR-KRNL"].total_threads;
+        let queue_threads = queue_gpu.stats().kernels["G-GR-KRNL"].total_threads;
+        assert!(
+            queue_threads < dense_threads,
+            "queue frontier should launch fewer BFS threads ({queue_threads} vs {dense_threads})"
+        );
     }
 
     #[test]

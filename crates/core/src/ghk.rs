@@ -29,10 +29,18 @@
 //! same order.
 
 use crate::device::{DeviceState, MU_UNMATCHED};
-use gpm_gpu::{DeviceBuffer, DeviceStats, VirtualGpu};
+use gpm_gpu::{DeviceBuffer, DeviceStats, VirtualGpu, Worklist, WorklistKernels, WorklistMode};
 use gpm_graph::{BipartiteCsr, Matching, VertexId};
 
 const INF: u32 = u32::MAX;
+
+/// Kernel names the G-HK BFS frontier worklist charges its maintenance to.
+const GHK_WORKLIST_KERNELS: WorklistKernels = WorklistKernels {
+    init: "G-HK-WL-INIT",
+    compact_count: "G-HK-WL-COMPACT",
+    compact_scatter: "G-HK-WL-SCATTER",
+    refill: "G-HK-WL-REFILL",
+};
 
 /// Which GPU augmenting-path baseline to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +58,12 @@ impl GhkVariant {
             GhkVariant::Hk => "G-HK",
             GhkVariant::Hkdw => "G-HKDW",
         }
+    }
+
+    /// The BFS-frontier representation the original codes hand-rolled: a
+    /// dense per-level scan.  Used when no explicit mode is configured.
+    pub fn default_worklist(&self) -> WorklistMode {
+        WorklistMode::DenseStamp
     }
 }
 
@@ -103,7 +117,7 @@ impl GhkWorkspace {
 }
 
 /// Runs G-HK or G-HKDW on the virtual GPU, starting from `initial`, with a
-/// cold workspace.
+/// cold workspace and the default dense BFS frontier.
 pub fn run(
     gpu: &VirtualGpu,
     graph: &BipartiteCsr,
@@ -114,12 +128,26 @@ pub fn run(
 }
 
 /// Runs G-HK or G-HKDW reusing `workspace` buffers from previous solves
-/// wherever the graph shape allows.
+/// wherever the graph shape allows, with the default dense BFS frontier.
 pub fn run_with(
     gpu: &VirtualGpu,
     graph: &BipartiteCsr,
     initial: &Matching,
     variant: GhkVariant,
+    workspace: &mut GhkWorkspace,
+) -> GhkResult {
+    run_with_mode(gpu, graph, initial, variant, variant.default_worklist(), workspace)
+}
+
+/// Runs G-HK or G-HKDW with an explicit BFS-frontier representation (see
+/// [`WorklistMode`]); all representations locate the same shortest
+/// augmenting paths.
+pub fn run_with_mode(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    initial: &Matching,
+    variant: GhkVariant,
+    mode: WorklistMode,
     workspace: &mut GhkWorkspace,
 ) -> GhkResult {
     let start = std::time::Instant::now();
@@ -131,8 +159,10 @@ pub fn run_with(
     let n = graph.num_cols();
     let m = graph.num_rows();
     let dist_col = DeviceBuffer::recycle(dist_slot, n, INF);
-    let frontier_nonempty = DeviceBuffer::<bool>::new(1, false);
     let found_free_row = DeviceBuffer::<bool>::new(1, false);
+    // The BFS frontier (columns at the current layer) is worklist-managed;
+    // the layer array itself stays algorithm state, feeding the DFS.
+    let mut frontier = Worklist::new(gpu, mode, n, GHK_WORKLIST_KERNELS);
 
     loop {
         // ---- BFS phase (level-synchronous kernels over columns) ----
@@ -142,16 +172,13 @@ pub fn run_with(
             let level = if state.mu_col.get(v) == MU_UNMATCHED { 0 } else { INF };
             dist_col.set(v, level);
         });
+        let free_cols: Vec<i64> =
+            (0..n).filter(|&v| state.mu_col.get(v) == MU_UNMATCHED).map(|v| v as i64).collect();
+        frontier.seed(free_cols.iter().map(|&v| v as usize));
         found_free_row.set(0, false);
         let mut level = 0u32;
         loop {
-            frontier_nonempty.set(0, false);
-            gpu.launch("G-HK-BFS-KRNL", n, |ctx| {
-                let v = ctx.global_id;
-                ctx.add_work(1);
-                if dist_col.get(v) != level {
-                    return;
-                }
+            frontier.for_each_frontier("G-HK-BFS-KRNL", |ctx, v, frontier| {
                 for &u in graph.col_neighbors(v as u32) {
                     ctx.add_work(1);
                     let mate = state.mu_row.get(u as usize);
@@ -161,12 +188,12 @@ pub fn run_with(
                         let w = mate as usize;
                         if dist_col.get(w) == INF {
                             dist_col.set(w, level + 1);
-                            frontier_nonempty.set(0, true);
+                            frontier.push(w);
                         }
                     }
                 }
             });
-            if found_free_row.get(0) || !frontier_nonempty.get(0) {
+            if found_free_row.get(0) || !frontier.advance_frontier() {
                 break;
             }
             level += 1;
@@ -177,8 +204,6 @@ pub fn run_with(
         stats.phases += 1;
 
         // ---- DFS kernel: tentative level-respecting paths ----
-        let free_cols: Vec<i64> =
-            (0..n).filter(|&v| state.mu_col.get(v) == MU_UNMATCHED).map(|v| v as i64).collect();
         let max_path = (level as usize + 2).max(2);
         let paths = build_paths_kernel(gpu, graph, state, dist_col, &free_cols, max_path);
 
@@ -610,6 +635,94 @@ mod tests {
         assert!(!ws.is_warm_for(&g3));
         let r = run_with(&gpu, &g3, &cheap_matching(&g3), GhkVariant::Hk, &mut ws);
         assert_eq!(r.matching.cardinality(), maximum_matching_cardinality(&g3));
+    }
+
+    #[test]
+    fn every_frontier_mode_finds_the_maximum() {
+        for gpu in [VirtualGpu::sequential(), VirtualGpu::parallel()] {
+            for seed in 0..2u64 {
+                let g = gen::uniform_random(60, 55, 300, seed + 41).unwrap();
+                let opt = maximum_matching_cardinality(&g);
+                let init = cheap_matching(&g);
+                for variant in [GhkVariant::Hk, GhkVariant::Hkdw] {
+                    for mode in WorklistMode::all() {
+                        let mut ws = GhkWorkspace::new();
+                        let r = run_with_mode(&gpu, &g, &init, variant, mode, &mut ws);
+                        assert_eq!(
+                            r.matching.cardinality(),
+                            opt,
+                            "{} with {mode} frontier",
+                            variant.label()
+                        );
+                        r.matching.validate_against(&g).unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_modes_run_identical_phase_counts() {
+        // The three representations hold the same frontier sets, so on the
+        // deterministic sequential backend every phase finds the same
+        // augmenting paths and the phase/augmentation counters agree.
+        // (Regression test: stale frontier stamps surviving a re-seed once
+        // inflated the dense mode's phase count.)
+        let gpu = VirtualGpu::sequential();
+        for seed in 0..5u64 {
+            let g = gen::uniform_random(120, 110, 600, seed).unwrap();
+            let init = cheap_matching(&g);
+            for variant in [GhkVariant::Hk, GhkVariant::Hkdw] {
+                let runs: Vec<GhkRunStats> = WorklistMode::all()
+                    .into_iter()
+                    .map(|mode| {
+                        run_with_mode(&gpu, &g, &init, variant, mode, &mut GhkWorkspace::new())
+                            .stats
+                    })
+                    .collect();
+                for r in &runs[1..] {
+                    assert_eq!(r.phases, runs[0].phases, "seed {seed}, {}", variant.label());
+                    assert_eq!(
+                        r.augmentations,
+                        runs[0].augmentations,
+                        "seed {seed}, {}",
+                        variant.label()
+                    );
+                    assert_eq!(r.conflicts, runs[0].conflicts, "seed {seed}, {}", variant.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queue_frontier_launches_fewer_bfs_threads_than_dense() {
+        let g = gen::uniform_random(400, 400, 2000, 9).unwrap();
+        let init = cheap_matching(&g);
+        let dense_gpu = VirtualGpu::sequential();
+        let dense = run_with_mode(
+            &dense_gpu,
+            &g,
+            &init,
+            GhkVariant::Hk,
+            WorklistMode::DenseStamp,
+            &mut GhkWorkspace::new(),
+        );
+        let queue_gpu = VirtualGpu::sequential();
+        let queue = run_with_mode(
+            &queue_gpu,
+            &g,
+            &init,
+            GhkVariant::Hk,
+            WorklistMode::AtomicQueue,
+            &mut GhkWorkspace::new(),
+        );
+        assert_eq!(dense.matching.cardinality(), queue.matching.cardinality());
+        let dense_threads = dense.stats.device.kernels["G-HK-BFS-KRNL"].total_threads;
+        let queue_threads = queue.stats.device.kernels["G-HK-BFS-KRNL"].total_threads;
+        assert!(
+            queue_threads < dense_threads,
+            "queue frontier should launch fewer BFS threads ({queue_threads} vs {dense_threads})"
+        );
     }
 
     #[test]

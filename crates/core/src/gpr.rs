@@ -18,12 +18,33 @@
 //! All kernels are lock- and atomic-free: device words are written with plain
 //! (relaxed) stores, races are benign by the paper's argument, and remaining
 //! matching inconsistencies are repaired by `FIXMATCHING` at the very end.
+//! (The optional [`WorklistMode::AtomicQueue`] representation is the one
+//! exception: it appends to the next active list with an atomic fetch-add,
+//! the worklist-centric design of the GPU BFS literature, and skips the
+//! per-iteration `G-PR-INITKRNL` scan entirely.)
+//!
+//! The active-column machinery itself — the two-array `A_c`/`A_p` scheme,
+//! the `iA` stamps, and the `G-PR-SHRKRNL` compaction — lives in the shared
+//! [`Worklist`] subsystem of `gpm-gpu`; this module only decides *when* to
+//! relabel, shrink, and push.  The representation is selected by
+//! [`GprConfig::worklist`].
 
 use crate::device::{DeviceState, MU_UNMATCHABLE, MU_UNMATCHED};
-use crate::ggr::global_relabel;
+use crate::ggr::global_relabel_with;
 use crate::strategy::GrStrategy;
-use gpm_gpu::{primitives, DeviceBuffer, DeviceStats, VirtualGpu};
+use gpm_gpu::{
+    ActiveView, DeviceStats, SlotAction, VirtualGpu, Worklist, WorklistKernels, WorklistMode,
+};
 use gpm_graph::{BipartiteCsr, Matching};
+
+/// Kernel names the G-PR active-column worklist charges its maintenance to
+/// (matching the paper's kernel names for the default representations).
+const GPR_WORKLIST_KERNELS: WorklistKernels = WorklistKernels {
+    init: "G-PR-INITKRNL",
+    compact_count: "G-PR-SHRKRNL_count",
+    compact_scatter: "G-PR-SHRKRNL_scatter",
+    refill: "G-PR-WL-REFILL",
+};
 
 /// Which G-PR variant to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +66,17 @@ impl GprVariant {
             GprVariant::Shrink => "G-PR-Shr",
         }
     }
+
+    /// The worklist representation this variant historically hand-rolled:
+    /// dense stamp-guarded lists for `First`/`NoShr`, compacted lists for
+    /// `Shr`.  Used as the default when no explicit mode is configured, so
+    /// plain variant labels keep their paper behavior.
+    pub fn default_worklist(&self) -> WorklistMode {
+        match self {
+            GprVariant::First | GprVariant::ActiveList => WorklistMode::DenseStamp,
+            GprVariant::Shrink => WorklistMode::Compacted,
+        }
+    }
 }
 
 /// Configuration of a G-PR run.
@@ -54,8 +86,13 @@ pub struct GprConfig {
     pub variant: GprVariant,
     /// Global-relabeling schedule.
     pub strategy: GrStrategy,
+    /// How the active-column set is represented on the device (also governs
+    /// the global-relabeling BFS frontier).  [`GprVariant::First`] predates
+    /// active lists and ignores this knob for its main loop.
+    pub worklist: WorklistMode,
     /// Minimum active-list length for which the shrink kernel is worth its
-    /// overhead (the paper uses 512; line 11 of Algorithm 7).
+    /// overhead (the paper uses 512; line 11 of Algorithm 7).  Must be at
+    /// least 1 ([`GprConfig::validate`]).
     pub shrink_threshold: usize,
     /// Safety cap on main-loop iterations.  The algorithm terminates long
     /// before this in theory and practice; the cap turns a hypothetical
@@ -65,24 +102,46 @@ pub struct GprConfig {
 }
 
 impl GprConfig {
-    /// The paper's best configuration: G-PR-Shr with (adaptive, 0.7).
+    /// The paper's best configuration: G-PR-Shr with (adaptive, 0.7) and
+    /// compacted active lists.
     pub fn paper_default() -> Self {
         Self {
             variant: GprVariant::Shrink,
             strategy: GrStrategy::paper_default(),
+            worklist: GprVariant::Shrink.default_worklist(),
             shrink_threshold: 512,
             max_loops: 0, // 0 = derive from graph size at run time
         }
     }
 
-    /// Same configuration but for a specific variant.
+    /// Same configuration but for a specific variant (with that variant's
+    /// natural worklist representation).
     pub fn with_variant(variant: GprVariant) -> Self {
-        Self { variant, ..Self::paper_default() }
+        Self { variant, worklist: variant.default_worklist(), ..Self::paper_default() }
     }
 
     /// Same configuration but for a specific GR strategy.
     pub fn with_strategy(strategy: GrStrategy) -> Self {
         Self { strategy, ..Self::paper_default() }
+    }
+
+    /// Same configuration but with an explicit worklist representation.
+    pub fn with_worklist(mut self, worklist: WorklistMode) -> Self {
+        self.worklist = worklist;
+        self
+    }
+
+    /// Checks the tuning parameters, returning a human-readable reason when
+    /// a value cannot reach the device loop (`Solver::builder()` maps this
+    /// to a structured `InvalidConfig` error).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shrink_threshold == 0 {
+            return Err(
+                "shrink_threshold must be at least 1 (a zero threshold would compact empty lists)"
+                    .to_string(),
+            );
+        }
+        Ok(())
     }
 
     fn effective_max_loops(&self, graph: &BipartiteCsr) -> u64 {
@@ -105,6 +164,8 @@ impl Default for GprConfig {
 pub struct GprRunStats {
     /// Variant label.
     pub variant: &'static str,
+    /// Worklist-representation label (`dense`, `compacted`, `queue`).
+    pub worklist: &'static str,
     /// GR-strategy label.
     pub strategy: String,
     /// Number of main-loop iterations executed.
@@ -129,17 +190,16 @@ pub struct GprResult {
     pub stats: GprRunStats,
 }
 
-/// Reusable G-PR working memory: the device-resident matching/label state,
-/// the `iA` stamp array, and the host staging vector for the initial active
-/// list.  A warm [`crate::solver::Solver`] session keeps one workspace per
-/// engine so repeated solves on same-shaped graphs reuse these allocations
-/// (the active-list arrays themselves are rebuilt per solve — their length
-/// tracks the per-instance deficiency, and shrinking replaces them mid-run).
+/// Reusable G-PR working memory: the device-resident matching/label state.
+/// A warm [`crate::solver::Solver`] session keeps one workspace per engine
+/// so repeated solves on same-shaped graphs reuse these allocations.  The
+/// active-list arrays, `iA` stamps, and staging that used to live here are
+/// now owned by the per-solve [`Worklist`], which draws every buffer from
+/// the device's scratch arena — warm solves reuse those allocations through
+/// the arena instead of through this struct.
 #[derive(Debug, Default)]
 pub struct GprWorkspace {
     state: Option<DeviceState>,
-    i_a: Option<DeviceBuffer<i64>>,
-    active_staging: Vec<i64>,
 }
 
 impl GprWorkspace {
@@ -179,10 +239,11 @@ pub fn run_with(
 ) -> GprResult {
     let start = std::time::Instant::now();
     let base_stats = gpu.stats();
-    let GprWorkspace { state: state_slot, i_a: ia_slot, active_staging } = workspace;
+    let GprWorkspace { state: state_slot } = workspace;
     let state = DeviceState::upload_into(state_slot, graph, initial);
     let mut stats = GprRunStats {
         variant: config.variant.label(),
+        worklist: config.worklist.label(),
         strategy: config.strategy.label(),
         ..Default::default()
     };
@@ -190,7 +251,7 @@ pub fn run_with(
     match config.variant {
         GprVariant::First => run_first(gpu, graph, state, &config, &mut stats),
         GprVariant::ActiveList | GprVariant::Shrink => {
-            run_active_list(gpu, graph, state, &config, &mut stats, ia_slot, active_staging)
+            run_active_list(gpu, graph, state, &config, &mut stats)
         }
     }
 
@@ -234,7 +295,7 @@ fn push_relabel_step(
     state: &DeviceState,
     ctx: &gpm_gpu::ThreadCtx,
     v: usize,
-    guard_active_stamp: Option<(&DeviceBuffer<i64>, i64)>,
+    guard: Option<&ActiveView<'_>>,
 ) -> PushOutcome {
     let unreachable = state.unreachable;
     let mut psi_min = unreachable;
@@ -257,10 +318,10 @@ fn push_relabel_step(
     }
     let u = best as usize;
     let displaced = state.mu_row.get(u);
-    if let Some((i_a, loop_stamp)) = guard_active_stamp {
+    if let Some(view) = guard {
         // Algorithm 9 line 13: do not displace a column that is itself being
-        // processed in this very iteration.
-        if displaced >= 0 && i_a.get(displaced as usize) == loop_stamp {
+        // processed in this very iteration (the worklist's `iA` stamps).
+        if displaced >= 0 && view.in_current_round(displaced as usize) {
             return PushOutcome::Deferred;
         }
     }
@@ -301,8 +362,11 @@ fn run_first(
     let n = graph.num_cols();
     let mut loop_iter: u64 = 0;
     let mut iter_gr: u64 = 0;
-    let act_exists = DeviceBuffer::<bool>::new(1, true);
     let max_loops = config.effective_max_loops(graph);
+    // G-PR-First predates active lists: every column gets a thread in every
+    // iteration, so the worklist is used only as the domain-scan helper
+    // (the configured representation cannot change the launch shape).
+    let mut worklist = Worklist::new(gpu, WorklistMode::DenseStamp, n, GPR_WORKLIST_KERNELS);
 
     let mut active_exists = true;
     while active_exists {
@@ -311,21 +375,17 @@ fn run_first(
             "G-PR-First exceeded the safety iteration cap ({max_loops}); this indicates a bug"
         );
         if loop_iter == iter_gr {
-            let outcome = global_relabel(gpu, graph, state);
+            let outcome = global_relabel_with(gpu, graph, state, config.worklist);
             stats.global_relabels += 1;
             iter_gr = config.strategy.next_relabel_iteration(outcome.max_level, loop_iter);
         }
-        act_exists.set(0, false);
-        gpu.launch("G-PR-KRNL", n, |ctx| {
-            let v = ctx.global_id;
-            ctx.add_work(1);
+        active_exists = worklist.scan_domain("G-PR-KRNL", |ctx, v, marker| {
             if !state.is_col_active(v as u32) {
                 return;
             }
-            act_exists.set(0, true);
+            marker.mark_active();
             let _ = push_relabel_step(graph, state, ctx, v, None);
         });
-        active_exists = act_exists.get(0);
         loop_iter += 1;
     }
     stats.loops = loop_iter;
@@ -335,34 +395,27 @@ fn run_first(
 // Variants 2 and 3: active-column lists (Algorithms 7, 8, 9) and shrinking
 // ---------------------------------------------------------------------------
 
-const SLOT_EMPTY: i64 = -1;
-
 fn run_active_list(
     gpu: &VirtualGpu,
     graph: &BipartiteCsr,
     state: &DeviceState,
     config: &GprConfig,
     stats: &mut GprRunStats,
-    ia_slot: &mut Option<DeviceBuffer<i64>>,
-    active_staging: &mut Vec<i64>,
 ) {
     let n = graph.num_cols();
     let max_loops = config.effective_max_loops(graph);
 
-    // Initially both arrays hold the unmatched column indices (staged in the
-    // reusable host vector).
-    active_staging.clear();
-    active_staging
-        .extend((0..n).filter(|&v| state.mu_col.get(v) == MU_UNMATCHED).map(|v| v as i64));
-    if active_staging.is_empty() {
+    // The worklist owns the A_c/A_p slot arrays, the iA stamps, and (in
+    // queue mode) the append queue; seeding stages the unmatched columns to
+    // the device.
+    let mut worklist = Worklist::new(gpu, config.worklist, n, GPR_WORKLIST_KERNELS);
+    worklist.seed((0..n).filter(|&v| state.mu_col.get(v) == MU_UNMATCHED));
+    if worklist.is_empty() {
         stats.loops = 0;
         return;
     }
-    let mut a_current = DeviceBuffer::from_slice(active_staging);
-    let mut a_previous = DeviceBuffer::from_slice(active_staging);
-    let i_a = DeviceBuffer::recycle(ia_slot, n, -1);
 
-    let act_exists = DeviceBuffer::<bool>::new(1, true);
+    let is_active = |v: usize| state.is_col_active(v as u32);
     let mut loop_iter: u64 = 0;
     let mut iter_gr: u64 = 0;
     let mut shrink_pending = false;
@@ -374,135 +427,40 @@ fn run_active_list(
             "G-PR active-list variant exceeded the safety iteration cap ({max_loops}); this indicates a bug"
         );
         if loop_iter == iter_gr {
-            let outcome = global_relabel(gpu, graph, state);
+            let outcome = global_relabel_with(gpu, graph, state, config.worklist);
             stats.global_relabels += 1;
             iter_gr = config.strategy.next_relabel_iteration(outcome.max_level, loop_iter);
             shrink_pending = true;
         }
-        act_exists.set(0, false);
-        let list_len = a_current.len();
-        let loop_stamp = loop_iter as i64;
 
-        let do_shrink = config.variant == GprVariant::Shrink
+        // Line 11 of Algorithm 7: compact after a global relabeling, while
+        // the list is still long enough to pay for the shrink kernels.  The
+        // request only takes effect in the Compacted representation; the
+        // queue rebuilds itself and the dense representation never shrinks.
+        let want_shrink = config.variant == GprVariant::Shrink
             && shrink_pending
-            && list_len >= config.shrink_threshold;
-        if do_shrink {
-            let (new_ac, new_ap) =
-                shrink_kernel(gpu, state, &a_current, &a_previous, i_a, loop_stamp, &act_exists);
-            a_current = new_ac;
-            a_previous = new_ap;
+            && worklist.len() >= config.shrink_threshold;
+        active_exists = worklist.begin_round(is_active, want_shrink);
+        if worklist.compacted_last_round() {
             stats.shrinks += 1;
             shrink_pending = false;
-        } else {
-            // G-PR-INITKRNL (Algorithm 8).
-            gpu.launch("G-PR-INITKRNL", list_len, |ctx| {
-                let i = ctx.global_id;
-                ctx.add_work(1);
-                let prev = a_previous.get(i);
-                if prev != SLOT_EMPTY && state.is_col_active(prev as u32) {
-                    // The push performed on `prev` was rolled back by a
-                    // conflict (or never happened): retry it.
-                    a_current.set(i, prev);
-                }
-                let v = a_current.get(i);
-                if v != SLOT_EMPTY {
-                    i_a.set(v as usize, loop_stamp);
-                    act_exists.set(0, true);
-                }
-            });
         }
 
-        active_exists = act_exists.get(0);
         if active_exists {
             // G-PR-PUSHKRNL (Algorithm 9).
-            let list_len = a_current.len();
-            gpu.launch("G-PR-PUSHKRNL", list_len, |ctx| {
-                let i = ctx.global_id;
-                ctx.add_work(1);
-                let v = a_current.get(i);
-                if v == SLOT_EMPTY {
-                    a_previous.set(i, SLOT_EMPTY);
-                    return;
-                }
-                match push_relabel_step(graph, state, ctx, v as usize, Some((i_a, loop_stamp))) {
-                    PushOutcome::Pushed(displaced) => {
-                        a_previous.set(i, displaced.unwrap_or(SLOT_EMPTY));
-                    }
-                    PushOutcome::Unmatchable => {
-                        a_current.set(i, SLOT_EMPTY);
-                        a_previous.set(i, SLOT_EMPTY);
-                    }
-                    PushOutcome::Deferred => {
-                        // Leave the column in place; it will be retried after
-                        // the conflicting column finishes.
-                        a_previous.set(i, SLOT_EMPTY);
-                    }
+            worklist.for_each_active("G-PR-PUSHKRNL", |ctx, v, view| {
+                match push_relabel_step(graph, state, ctx, v, Some(view)) {
+                    PushOutcome::Pushed(Some(displaced)) => SlotAction::Push(displaced as usize),
+                    PushOutcome::Pushed(None) => SlotAction::Finish,
+                    PushOutcome::Unmatchable => SlotAction::Retire,
+                    PushOutcome::Deferred => SlotAction::Defer,
                 }
             });
-            std::mem::swap(&mut a_current, &mut a_previous);
+            worklist.end_round();
         }
         loop_iter += 1;
     }
     stats.loops = loop_iter;
-}
-
-/// `G-PR-SHRKRNL`: compacts the active-column list to its live entries using
-/// a count pass, a device prefix sum, and a scatter pass.
-#[allow(clippy::too_many_arguments)]
-fn shrink_kernel(
-    gpu: &VirtualGpu,
-    state: &DeviceState,
-    a_current: &DeviceBuffer<i64>,
-    a_previous: &DeviceBuffer<i64>,
-    i_a: &DeviceBuffer<i64>,
-    loop_stamp: i64,
-    act_exists: &DeviceBuffer<bool>,
-) -> (DeviceBuffer<i64>, DeviceBuffer<i64>) {
-    let len = a_current.len();
-    // Pass 1: resolve each slot (same logic as INITKRNL) and count survivors.
-    // The u64 counts (and the offsets the prefix sum derives from them) come
-    // from the device's scratch arena, so same-length shrinks — notably
-    // repeated solves on the same instance — reuse those allocations.
-    let resolved = DeviceBuffer::<i64>::new(len, SLOT_EMPTY);
-    let counts = gpu.scratch().acquire(len, 0);
-    gpu.launch("G-PR-SHRKRNL_count", len, |ctx| {
-        let i = ctx.global_id;
-        ctx.add_work(1);
-        let prev = a_previous.get(i);
-        let mut v = a_current.get(i);
-        if prev != SLOT_EMPTY && state.is_col_active(prev as u32) {
-            v = prev;
-        }
-        // Only keep genuinely active columns; consumed or unmatchable slots
-        // are dropped by the compaction.
-        if v != SLOT_EMPTY && state.is_col_active(v as u32) {
-            resolved.set(i, v);
-            counts.set(i, 1);
-        }
-    });
-
-    // Pass 2: exclusive prefix sum of the counts gives each slot's write
-    // position in the compacted array.
-    let (offsets, total) = primitives::exclusive_prefix_sum(gpu, &counts);
-    let new_len = total as usize;
-    let new_ac = DeviceBuffer::<i64>::new(new_len.max(1), SLOT_EMPTY);
-
-    // Pass 3: scatter the surviving columns into their private regions.
-    gpu.launch("G-PR-SHRKRNL_scatter", len, |ctx| {
-        let i = ctx.global_id;
-        ctx.add_work(1);
-        let v = resolved.get(i);
-        if v != SLOT_EMPTY {
-            let pos = offsets.get(i) as usize;
-            new_ac.set(pos, v);
-            i_a.set(v as usize, loop_stamp);
-            act_exists.set(0, true);
-        }
-    });
-
-    let new_ac = if new_len == 0 { DeviceBuffer::<i64>::new(0, SLOT_EMPTY) } else { new_ac };
-    let new_ap = DeviceBuffer::from_slice(&new_ac.to_vec());
-    (new_ac, new_ap)
 }
 
 /// The `FIXMATCHING` kernel: `µ(v) ← −1` for every column whose mate does not
@@ -699,6 +657,98 @@ mod tests {
         assert!(
             active_threads < first_threads,
             "active-list should launch fewer threads ({active_threads} vs {first_threads})"
+        );
+    }
+
+    #[test]
+    fn every_worklist_mode_finds_the_maximum() {
+        for gpu in [VirtualGpu::sequential(), VirtualGpu::parallel()] {
+            for seed in 0..3u64 {
+                let g = gen::uniform_random(70, 65, 340, seed + 30).unwrap();
+                let opt = maximum_matching_cardinality(&g);
+                let init = cheap_matching(&g);
+                for variant in [GprVariant::ActiveList, GprVariant::Shrink] {
+                    for mode in WorklistMode::all() {
+                        let config = GprConfig::with_variant(variant).with_worklist(mode);
+                        let r = run(&gpu, &g, &init, config);
+                        assert_eq!(
+                            r.matching.cardinality(),
+                            opt,
+                            "{} with {mode} worklist",
+                            variant.label()
+                        );
+                        r.matching.validate_against(&g).unwrap();
+                        assert_eq!(r.stats.worklist, mode.label());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queue_worklist_skips_the_init_kernel() {
+        let gpu = VirtualGpu::sequential();
+        let g = gen::rmat(gen::RmatParams::web_like(9, 4), 17).unwrap();
+        let init = cheap_matching(&g);
+        let config =
+            GprConfig::with_variant(GprVariant::Shrink).with_worklist(WorklistMode::AtomicQueue);
+        let r = run(&gpu, &g, &init, config);
+        assert_eq!(r.matching.cardinality(), maximum_matching_cardinality(&g));
+        // No per-iteration scan of any kind: neither INITKRNL nor the shrink
+        // kernels ever launch; the only rebuilds are the drained-queue
+        // termination checks.
+        assert_eq!(r.stats.device.launches_of("G-PR-INITKRNL"), 0);
+        assert_eq!(r.stats.device.launches_of("G-PR-SHRKRNL_count"), 0);
+        assert!(r.stats.device.launches_of("G-PR-WL-REFILL") >= 1);
+        assert_eq!(r.stats.shrinks, 0);
+    }
+
+    #[test]
+    fn queue_worklist_launches_fewer_push_threads_than_dense() {
+        // The launch-bound regime: after the first few iterations only a
+        // handful of columns stay active, and the queue representation
+        // launches exactly that many threads while the dense list keeps its
+        // full width.
+        let gpu = VirtualGpu::sequential();
+        let g = gen::uniform_random(600, 600, 3600, 5).unwrap();
+        let init = cheap_matching(&g);
+        let dense = run(
+            &gpu,
+            &g,
+            &init,
+            GprConfig::with_variant(GprVariant::ActiveList).with_worklist(WorklistMode::DenseStamp),
+        );
+        let queue = run(
+            &gpu,
+            &g,
+            &init,
+            GprConfig::with_variant(GprVariant::ActiveList)
+                .with_worklist(WorklistMode::AtomicQueue),
+        );
+        assert_eq!(dense.matching.cardinality(), queue.matching.cardinality());
+        let dense_threads = dense.stats.device.kernels["G-PR-PUSHKRNL"].total_threads;
+        let queue_threads = queue.stats.device.kernels["G-PR-PUSHKRNL"].total_threads;
+        assert!(
+            queue_threads <= dense_threads,
+            "queue should not launch more push threads ({queue_threads} vs {dense_threads})"
+        );
+    }
+
+    #[test]
+    fn config_validation_rejects_zero_shrink_threshold() {
+        let bad = GprConfig { shrink_threshold: 0, ..GprConfig::paper_default() };
+        assert!(bad.validate().is_err());
+        assert!(GprConfig::paper_default().validate().is_ok());
+    }
+
+    #[test]
+    fn variant_default_worklists_match_the_paper() {
+        assert_eq!(GprVariant::First.default_worklist(), WorklistMode::DenseStamp);
+        assert_eq!(GprVariant::ActiveList.default_worklist(), WorklistMode::DenseStamp);
+        assert_eq!(GprVariant::Shrink.default_worklist(), WorklistMode::Compacted);
+        assert_eq!(
+            GprConfig::with_variant(GprVariant::ActiveList).worklist,
+            WorklistMode::DenseStamp
         );
     }
 

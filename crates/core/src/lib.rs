@@ -27,7 +27,8 @@
 //!
 //! // One session, many solves: the solver owns the virtual device and a
 //! // warm workspace per algorithm, so repeated solves skip the setup cost.
-//! let mut solver = Solver::builder().build();
+//! // `build()` validates the configuration, hence the `Result`.
+//! let mut solver = Solver::builder().build().unwrap();
 //!
 //! let graph = gen::planted_perfect(500, 2_000, 7).unwrap();
 //! let report = solver.solve(&graph, Algorithm::gpr_default()).unwrap();
@@ -68,7 +69,7 @@ pub mod strategy;
 pub use engine::{Engine, EngineCtx, EngineOutput};
 pub use error::{ParseAlgorithmError, ParseInitHeuristicError, SolveError};
 pub use ghk::{GhkVariant, GhkWorkspace};
-pub use gpm_gpu::ExecutorConfig;
+pub use gpm_gpu::{ExecutorConfig, WorklistMode};
 pub use gpr::{GprConfig, GprResult, GprVariant, GprWorkspace};
 pub use solver::{
     solve, solve_with_initial, Algorithm, DevicePolicy, InitHeuristic, SolveReport, Solver,

@@ -13,7 +13,7 @@
 //! use gpm_core::solver::{Algorithm, Solver};
 //! use gpm_graph::gen;
 //!
-//! let mut solver = Solver::builder().build();
+//! let mut solver = Solver::builder().build().unwrap();
 //! let graph = gen::planted_perfect(300, 1_200, 7).unwrap();
 //! let report = solver.solve(&graph, Algorithm::gpr_default()).unwrap();
 //! assert_eq!(report.cardinality, 300);
@@ -25,12 +25,12 @@
 //! The free functions [`solve`] and [`solve_with_initial`] of the original
 //! API remain as thin shims over a throwaway `Solver`.
 
-use crate::engine::{engine_for, Engine, EngineCtx};
+use crate::engine::{engine_for, engine_for_tuned, Engine, EngineCtx};
 use crate::error::{ParseAlgorithmError, ParseInitHeuristicError, SolveError};
 use crate::ghk::GhkVariant;
-use crate::gpr::GprVariant;
+use crate::gpr::{GprConfig, GprVariant};
 use crate::strategy::GrStrategy;
-use gpm_gpu::{Backend, DeviceStats, ExecutorConfig, GpuConfig, VirtualGpu};
+use gpm_gpu::{Backend, DeviceStats, ExecutorConfig, GpuConfig, VirtualGpu, WorklistMode};
 use gpm_graph::heuristics::{cheap_matching, karp_sipser};
 use gpm_graph::{BipartiteCsr, Matching};
 use serde::{Deserialize, Serialize, Value};
@@ -44,14 +44,19 @@ use std::str::FromStr;
 ///
 /// `Algorithm` is a small value type: `Copy`, hashable (it keys the solver's
 /// warm-engine map), and round-trippable through [`fmt::Display`] /
-/// [`FromStr`] with labels like `G-PR-Shr@adaptive:0.7` (see the `FromStr`
-/// impl for the grammar).
+/// [`FromStr`] with labels like `G-PR-Shr@adaptive:0.7` or
+/// `G-PR-Shr@adaptive:0.7+queue` (see the `FromStr` impl for the grammar).
+/// The GPU algorithms carry a [`WorklistMode`] selecting how their active
+/// set / BFS frontier is represented on the device; the `+mode` suffix is
+/// omitted from labels when it equals the variant's paper default.
 #[derive(Clone, Copy, Debug)]
 pub enum Algorithm {
-    /// G-PR (GPU push-relabel), any of the three variants, with a GR strategy.
-    GpuPushRelabel(GprVariant, GrStrategy),
-    /// G-HK or G-HKDW (GPU augmenting path).
-    GpuHopcroftKarp(GhkVariant),
+    /// G-PR (GPU push-relabel), any of the three variants, with a GR
+    /// strategy and a worklist representation.
+    GpuPushRelabel(GprVariant, GrStrategy, WorklistMode),
+    /// G-HK or G-HKDW (GPU augmenting path) with a BFS-frontier
+    /// representation.
+    GpuHopcroftKarp(GhkVariant, WorklistMode),
     /// Sequential push-relabel (the paper's "PR" baseline), with the GR
     /// frequency factor `k` (the paper uses 0.5).
     SequentialPushRelabel(f64),
@@ -69,15 +74,48 @@ impl Algorithm {
     /// The paper's headline configuration of G-PR: shrinking lists and the
     /// (adaptive, 0.7) global-relabeling strategy.
     pub fn gpr_default() -> Self {
-        Algorithm::GpuPushRelabel(GprVariant::Shrink, GrStrategy::paper_default())
+        Algorithm::gpr(GprVariant::Shrink, GrStrategy::paper_default())
+    }
+
+    /// A G-PR algorithm with the variant's default worklist representation.
+    pub fn gpr(variant: GprVariant, strategy: GrStrategy) -> Self {
+        Algorithm::GpuPushRelabel(variant, strategy, variant.default_worklist())
+    }
+
+    /// A G-HK / G-HKDW algorithm with the default dense BFS frontier.
+    pub fn ghk(variant: GhkVariant) -> Self {
+        Algorithm::GpuHopcroftKarp(variant, variant.default_worklist())
+    }
+
+    /// Same algorithm with a different worklist representation.
+    ///
+    /// # Panics
+    /// Panics for CPU algorithms, which have no device worklist.
+    pub fn with_worklist(self, mode: WorklistMode) -> Self {
+        match self {
+            Algorithm::GpuPushRelabel(v, s, _) => Algorithm::GpuPushRelabel(v, s, mode),
+            Algorithm::GpuHopcroftKarp(v, _) => Algorithm::GpuHopcroftKarp(v, mode),
+            other => panic!("{} has no device worklist", other.label()),
+        }
+    }
+
+    /// The worklist representation of a GPU algorithm (`None` for CPU
+    /// algorithms).
+    pub fn worklist(&self) -> Option<WorklistMode> {
+        match self {
+            Algorithm::GpuPushRelabel(_, _, mode) | Algorithm::GpuHopcroftKarp(_, mode) => {
+                Some(*mode)
+            }
+            _ => None,
+        }
     }
 
     /// Short display name, matching the labels used in the paper's figures.
     /// For the full round-trippable form use [`fmt::Display`].
     pub fn label(&self) -> String {
         match self {
-            Algorithm::GpuPushRelabel(variant, _) => variant.label().to_string(),
-            Algorithm::GpuHopcroftKarp(variant) => variant.label().to_string(),
+            Algorithm::GpuPushRelabel(variant, ..) => variant.label().to_string(),
+            Algorithm::GpuHopcroftKarp(variant, _) => variant.label().to_string(),
             Algorithm::SequentialPushRelabel(_) => "PR".to_string(),
             Algorithm::PothenFan => "PFP".to_string(),
             Algorithm::HopcroftKarp => "HK".to_string(),
@@ -105,7 +143,9 @@ impl Algorithm {
                 Err(invalid(format!("global-relabel factor k must be non-negative, got {k}")))
             }
             Algorithm::Pdbfs(0) => Err(invalid("thread count must be at least 1".to_string())),
-            Algorithm::GpuPushRelabel(_, GrStrategy::Adaptive(k)) if !k.is_finite() || k <= 0.0 => {
+            Algorithm::GpuPushRelabel(_, GrStrategy::Adaptive(k), _)
+                if !k.is_finite() || k <= 0.0 =>
+            {
                 Err(invalid(format!("adaptive GR factor must be finite and positive, got {k}")))
             }
             _ => Ok(()),
@@ -116,16 +156,20 @@ impl Algorithm {
     /// numeric parameters.  Backs `Eq`/`Hash` so algorithms can key the
     /// solver's engine map (NaN parameters never get that far — they are
     /// rejected by [`Algorithm::validate`]).
-    fn key(&self) -> (u8, u8, u64) {
+    fn key(&self) -> (u8, u8, u64, u8) {
         match *self {
-            Algorithm::GpuPushRelabel(v, GrStrategy::Fixed(k)) => (0, v as u8, u64::from(k)),
-            Algorithm::GpuPushRelabel(v, GrStrategy::Adaptive(k)) => (1, v as u8, k.to_bits()),
-            Algorithm::GpuHopcroftKarp(v) => (2, v as u8, 0),
-            Algorithm::SequentialPushRelabel(k) => (3, 0, k.to_bits()),
-            Algorithm::PothenFan => (4, 0, 0),
-            Algorithm::HopcroftKarp => (5, 0, 0),
-            Algorithm::Hkdw => (6, 0, 0),
-            Algorithm::Pdbfs(t) => (7, 0, t as u64),
+            Algorithm::GpuPushRelabel(v, GrStrategy::Fixed(k), w) => {
+                (0, v as u8, u64::from(k), w as u8)
+            }
+            Algorithm::GpuPushRelabel(v, GrStrategy::Adaptive(k), w) => {
+                (1, v as u8, k.to_bits(), w as u8)
+            }
+            Algorithm::GpuHopcroftKarp(v, w) => (2, v as u8, 0, w as u8),
+            Algorithm::SequentialPushRelabel(k) => (3, 0, k.to_bits(), 0),
+            Algorithm::PothenFan => (4, 0, 0, 0),
+            Algorithm::HopcroftKarp => (5, 0, 0, 0),
+            Algorithm::Hkdw => (6, 0, 0, 0),
+            Algorithm::Pdbfs(t) => (7, 0, t as u64, 0),
         }
     }
 }
@@ -145,14 +189,26 @@ impl Hash for Algorithm {
 }
 
 /// Round-trippable label: `G-PR-Shr@adaptive:0.7`, `G-HKDW`, `PR@0.5`,
-/// `P-DBFS@8`, `PFP`, `HK`, `HKDW`.
+/// `P-DBFS@8`, `PFP`, `HK`, `HKDW`.  GPU algorithms append `+dense`,
+/// `+compacted`, or `+queue` when the worklist representation differs from
+/// the variant's default (e.g. `G-PR-Shr@adaptive:0.7+queue`, `G-HK+queue`).
 impl fmt::Display for Algorithm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Algorithm::GpuPushRelabel(variant, strategy) => {
-                write!(f, "{}@{strategy}", variant.label())
+            Algorithm::GpuPushRelabel(variant, strategy, worklist) => {
+                write!(f, "{}@{strategy}", variant.label())?;
+                if *worklist != variant.default_worklist() {
+                    write!(f, "+{worklist}")?;
+                }
+                Ok(())
             }
-            Algorithm::GpuHopcroftKarp(variant) => f.write_str(variant.label()),
+            Algorithm::GpuHopcroftKarp(variant, worklist) => {
+                f.write_str(variant.label())?;
+                if *worklist != variant.default_worklist() {
+                    write!(f, "+{worklist}")?;
+                }
+                Ok(())
+            }
             Algorithm::SequentialPushRelabel(k) => write!(f, "PR@{k}"),
             Algorithm::PothenFan => f.write_str("PFP"),
             Algorithm::HopcroftKarp => f.write_str("HK"),
@@ -164,22 +220,55 @@ impl fmt::Display for Algorithm {
 
 /// Parses the labels produced by [`fmt::Display`].  Parameters may be
 /// omitted, in which case the paper's defaults apply: `G-PR-Shr` ≡
-/// `G-PR-Shr@adaptive:0.7`, `PR` ≡ `PR@0.5`, `P-DBFS` ≡ `P-DBFS@8`.
+/// `G-PR-Shr@adaptive:0.7`, `PR` ≡ `PR@0.5`, `P-DBFS` ≡ `P-DBFS@8`.  GPU
+/// algorithms accept a trailing `+dense` / `+compacted` / `+queue` worklist
+/// suffix (default: the variant's paper representation).
 impl FromStr for Algorithm {
     type Err = ParseAlgorithmError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = |expected| ParseAlgorithmError { input: s.to_string(), expected };
-        let (name, param) = match s.split_once('@') {
-            Some((name, param)) => (name, Some(param)),
+        // A worklist suffix is the text after the *last* '+', and only when
+        // it is a mode label — numeric parameters may legitimately carry a
+        // leading '+' sign (`PR@+0.5`), which must keep parsing as before.
+        let (body, worklist) = match s.rsplit_once('+') {
+            Some((body, mode)) => match mode.parse::<WorklistMode>() {
+                Ok(mode) => (body, Some(mode)),
+                Err(_) => (s, None),
+            },
             None => (s, None),
+        };
+        let (name, param) = match body.split_once('@') {
+            Some((name, param)) => (name, Some(param)),
+            None => (body, None),
         };
         let gpr_variant = |variant: GprVariant| -> Result<Algorithm, ParseAlgorithmError> {
             let strategy = match param {
                 Some(p) => p.parse::<GrStrategy>()?,
                 None => GrStrategy::paper_default(),
             };
-            Ok(Algorithm::GpuPushRelabel(variant, strategy))
+            Ok(Algorithm::GpuPushRelabel(
+                variant,
+                strategy,
+                worklist.unwrap_or_else(|| variant.default_worklist()),
+            ))
+        };
+        let ghk_variant = |variant: GhkVariant| -> Result<Algorithm, ParseAlgorithmError> {
+            if param.is_some() {
+                Err(err("no '@' parameter for this algorithm"))
+            } else {
+                Ok(Algorithm::GpuHopcroftKarp(
+                    variant,
+                    worklist.unwrap_or_else(|| variant.default_worklist()),
+                ))
+            }
+        };
+        let cpu = |alg: Result<Algorithm, ParseAlgorithmError>| {
+            if worklist.is_some() {
+                Err(err("no '+' worklist mode for a CPU algorithm"))
+            } else {
+                alg
+            }
         };
         let no_param = |alg: Algorithm| -> Result<Algorithm, ParseAlgorithmError> {
             if param.is_some() {
@@ -192,25 +281,25 @@ impl FromStr for Algorithm {
             "G-PR-First" => gpr_variant(GprVariant::First),
             "G-PR-NoShr" => gpr_variant(GprVariant::ActiveList),
             "G-PR-Shr" => gpr_variant(GprVariant::Shrink),
-            "G-HK" => no_param(Algorithm::GpuHopcroftKarp(GhkVariant::Hk)),
-            "G-HKDW" => no_param(Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw)),
-            "PR" => match param {
+            "G-HK" => ghk_variant(GhkVariant::Hk),
+            "G-HKDW" => ghk_variant(GhkVariant::Hkdw),
+            "PR" => cpu(match param {
                 Some(p) => p
                     .parse::<f64>()
                     .map(Algorithm::SequentialPushRelabel)
                     .map_err(|_| err("a floating-point global-relabel factor")),
                 None => Ok(Algorithm::SequentialPushRelabel(0.5)),
-            },
-            "PFP" => no_param(Algorithm::PothenFan),
-            "HK" => no_param(Algorithm::HopcroftKarp),
-            "HKDW" => no_param(Algorithm::Hkdw),
-            "P-DBFS" => match param {
+            }),
+            "PFP" => cpu(no_param(Algorithm::PothenFan)),
+            "HK" => cpu(no_param(Algorithm::HopcroftKarp)),
+            "HKDW" => cpu(no_param(Algorithm::Hkdw)),
+            "P-DBFS" => cpu(match param {
                 Some(p) => p
                     .parse::<usize>()
                     .map(Algorithm::Pdbfs)
                     .map_err(|_| err("an integer thread count")),
                 None => Ok(Algorithm::Pdbfs(8)),
-            },
+            }),
             _ => Err(err(
                 "one of G-PR-First, G-PR-NoShr, G-PR-Shr, G-HK, G-HKDW, PR, PFP, HK, HKDW, P-DBFS",
             )),
@@ -367,6 +456,7 @@ pub struct SolverBuilder {
     policy: DevicePolicy,
     init: InitHeuristic,
     executor: ExecutorConfig,
+    gpr: GprConfig,
 }
 
 impl SolverBuilder {
@@ -385,22 +475,41 @@ impl SolverBuilder {
     /// Tunes the persistent kernel executor of the session's device (inline
     /// threshold, chunk size, legacy per-launch spawning).  Applied when the
     /// device is created on the first GPU solve; irrelevant under
-    /// [`DevicePolicy::CpuOnly`].
+    /// [`DevicePolicy::CpuOnly`].  Validated by [`SolverBuilder::build`].
     pub fn executor_config(mut self, executor: ExecutorConfig) -> Self {
         self.executor = executor;
         self
     }
 
-    /// Builds the solver session.  No device or engine is allocated until
-    /// the first solve that needs it.
-    pub fn build(self) -> Solver {
-        Solver {
+    /// Sets the session-wide G-PR tuning template (shrink threshold, loop
+    /// cap).  The variant, GR strategy, and worklist representation of each
+    /// solve still come from its [`Algorithm`]; this template supplies the
+    /// remaining knobs.  Validated by [`SolverBuilder::build`].
+    pub fn gpr_config(mut self, gpr: GprConfig) -> Self {
+        self.gpr = gpr;
+        self
+    }
+
+    /// Builds the solver session, validating the configuration first:
+    /// a zero executor chunk size or a zero G-PR shrink threshold is a
+    /// structured [`SolveError::InvalidConfig`] here instead of a surprise
+    /// inside the device loop.  No device or engine is allocated until the
+    /// first solve that needs it.
+    pub fn build(self) -> Result<Solver, SolveError> {
+        if let Err(reason) = self.executor.validate() {
+            return Err(SolveError::InvalidConfig { algorithm: "device executor".into(), reason });
+        }
+        if let Err(reason) = self.gpr.validate() {
+            return Err(SolveError::InvalidConfig { algorithm: "G-PR".into(), reason });
+        }
+        Ok(Solver {
             policy: self.policy,
             init: self.init,
             executor: self.executor,
+            gpr: self.gpr,
             device: None,
             engines: HashMap::new(),
-        }
+        })
     }
 }
 
@@ -410,6 +519,7 @@ pub struct Solver {
     policy: DevicePolicy,
     init: InitHeuristic,
     executor: ExecutorConfig,
+    gpr: GprConfig,
     device: Option<VirtualGpu>,
     engines: HashMap<Algorithm, Box<dyn Engine + Send>>,
 }
@@ -423,7 +533,7 @@ impl Solver {
     /// A solver with the default policy (auto-parallel device, cheap
     /// greedy initialization).
     pub fn new() -> Self {
-        Self::builder().build()
+        Self::builder().build().expect("default solver configuration is valid")
     }
 
     /// The session's device policy.
@@ -440,6 +550,11 @@ impl Solver {
     /// with.
     pub fn executor_config(&self) -> ExecutorConfig {
         self.executor
+    }
+
+    /// The session-wide G-PR tuning template.
+    pub fn gpr_config(&self) -> GprConfig {
+        self.gpr
     }
 
     /// The session's device, if one has been created by a GPU solve.
@@ -495,7 +610,7 @@ impl Solver {
         };
         let engine = match self.engines.entry(algorithm) {
             Entry::Occupied(e) => e.into_mut(),
-            Entry::Vacant(v) => v.insert(engine_for(algorithm)?),
+            Entry::Vacant(v) => v.insert(engine_for_tuned(algorithm, &self.gpr)?),
         };
         run_engine(engine.as_mut(), graph, initial, device)
     }
@@ -591,7 +706,7 @@ pub fn solve_with_initial(
 pub fn paper_comparison_set() -> Vec<Algorithm> {
     vec![
         Algorithm::gpr_default(),
-        Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw),
+        Algorithm::ghk(GhkVariant::Hkdw),
         Algorithm::Pdbfs(8),
         Algorithm::SequentialPushRelabel(0.5),
     ]
@@ -606,11 +721,11 @@ mod tests {
 
     fn all_algorithms() -> Vec<Algorithm> {
         vec![
-            Algorithm::GpuPushRelabel(GprVariant::First, GrStrategy::paper_default()),
-            Algorithm::GpuPushRelabel(GprVariant::ActiveList, GrStrategy::Fixed(10)),
+            Algorithm::gpr(GprVariant::First, GrStrategy::paper_default()),
+            Algorithm::gpr(GprVariant::ActiveList, GrStrategy::Fixed(10)),
             Algorithm::gpr_default(),
-            Algorithm::GpuHopcroftKarp(GhkVariant::Hk),
-            Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw),
+            Algorithm::ghk(GhkVariant::Hk),
+            Algorithm::ghk(GhkVariant::Hkdw),
             Algorithm::SequentialPushRelabel(0.5),
             Algorithm::PothenFan,
             Algorithm::HopcroftKarp,
@@ -648,7 +763,7 @@ mod tests {
     #[test]
     fn labels_match_paper_names() {
         assert_eq!(Algorithm::gpr_default().label(), "G-PR-Shr");
-        assert_eq!(Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw).label(), "G-HKDW");
+        assert_eq!(Algorithm::ghk(GhkVariant::Hkdw).label(), "G-HKDW");
         assert_eq!(Algorithm::SequentialPushRelabel(0.5).label(), "PR");
         assert_eq!(Algorithm::Pdbfs(8).label(), "P-DBFS");
         assert!(Algorithm::gpr_default().is_gpu());
@@ -672,10 +787,7 @@ mod tests {
         assert_eq!("G-PR-Shr".parse::<Algorithm>().unwrap(), Algorithm::gpr_default());
         assert_eq!("PR".parse::<Algorithm>().unwrap(), Algorithm::SequentialPushRelabel(0.5));
         assert_eq!("P-DBFS".parse::<Algorithm>().unwrap(), Algorithm::Pdbfs(8));
-        assert_eq!(
-            "G-HK".parse::<Algorithm>().unwrap(),
-            Algorithm::GpuHopcroftKarp(GhkVariant::Hk)
-        );
+        assert_eq!("G-HK".parse::<Algorithm>().unwrap(), Algorithm::ghk(GhkVariant::Hk));
         assert!("G-XX".parse::<Algorithm>().is_err());
         assert!("HK@3".parse::<Algorithm>().is_err());
         assert!("PR@fast".parse::<Algorithm>().is_err());
@@ -712,18 +824,19 @@ mod tests {
         assert!(Algorithm::SequentialPushRelabel(0.5).validate().is_ok());
         assert!(Algorithm::Pdbfs(0).validate().is_err());
         assert!(Algorithm::Pdbfs(1).validate().is_ok());
-        assert!(Algorithm::GpuPushRelabel(GprVariant::Shrink, GrStrategy::Adaptive(f64::NAN))
+        assert!(Algorithm::gpr(GprVariant::Shrink, GrStrategy::Adaptive(f64::NAN))
             .validate()
             .is_err());
-        assert!(Algorithm::GpuPushRelabel(GprVariant::Shrink, GrStrategy::Adaptive(-1.0))
-            .validate()
-            .is_err());
+        assert!(Algorithm::gpr(GprVariant::Shrink, GrStrategy::Adaptive(-1.0)).validate().is_err());
         assert!(Algorithm::gpr_default().validate().is_ok());
     }
 
     #[test]
     fn solver_session_reuses_warm_engines() {
-        let mut solver = Solver::builder().device_policy(DevicePolicy::Sequential).build();
+        let mut solver = Solver::builder()
+            .device_policy(DevicePolicy::Sequential)
+            .build()
+            .expect("valid solver config");
         let g = gen::uniform_random(80, 80, 420, 5).unwrap();
         let opt = maximum_matching_cardinality(&g);
         assert_eq!(solver.warm_engine_count(), 0);
@@ -741,7 +854,10 @@ mod tests {
 
     #[test]
     fn cpu_only_policy_rejects_gpu_algorithms() {
-        let mut solver = Solver::builder().device_policy(DevicePolicy::CpuOnly).build();
+        let mut solver = Solver::builder()
+            .device_policy(DevicePolicy::CpuOnly)
+            .build()
+            .expect("valid solver config");
         let g = gen::uniform_random(30, 30, 120, 6).unwrap();
         let err = solver.solve(&g, Algorithm::gpr_default()).unwrap_err();
         assert!(matches!(err, SolveError::DeviceRequired { .. }));
@@ -763,7 +879,10 @@ mod tests {
 
     #[test]
     fn solve_batch_mixes_successes_and_failures() {
-        let mut solver = Solver::builder().device_policy(DevicePolicy::Sequential).build();
+        let mut solver = Solver::builder()
+            .device_policy(DevicePolicy::Sequential)
+            .build()
+            .expect("valid solver config");
         let g1 = gen::uniform_random(40, 40, 200, 1).unwrap();
         let g2 = gen::planted_perfect(30, 90, 2).unwrap();
         let jobs = vec![
@@ -786,7 +905,8 @@ mod tests {
             let mut solver = Solver::builder()
                 .device_policy(DevicePolicy::Sequential)
                 .init_heuristic(init)
-                .build();
+                .build()
+                .expect("valid solver config");
             let report = solver.solve(&g, Algorithm::gpr_default()).unwrap();
             assert_eq!(report.cardinality, opt, "{init:?}");
             if init == InitHeuristic::Empty {
@@ -820,9 +940,7 @@ mod tests {
         let init = cheap_matching(&g);
         let gpu = VirtualGpu::sequential();
         let a = solve_with_initial(&g, &init, Algorithm::gpr_default(), Some(&gpu)).unwrap();
-        let b =
-            solve_with_initial(&g, &init, Algorithm::GpuHopcroftKarp(GhkVariant::Hk), Some(&gpu))
-                .unwrap();
+        let b = solve_with_initial(&g, &init, Algorithm::ghk(GhkVariant::Hk), Some(&gpu)).unwrap();
         assert_eq!(a.cardinality, b.cardinality);
         // The device accumulated launches from both runs, but each report
         // contains only its own.

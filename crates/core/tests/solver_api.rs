@@ -5,30 +5,40 @@
 use gpm_core::solver::{
     paper_comparison_set, solve, Algorithm, DevicePolicy, InitHeuristic, Solver,
 };
-use gpm_core::{ExecutorConfig, GhkVariant, GprVariant, GrStrategy, SolveError};
+use gpm_core::{ExecutorConfig, GhkVariant, GprConfig, GprVariant, GrStrategy, SolveError};
+use gpm_gpu::WorklistMode;
 use gpm_graph::gen;
+use gpm_graph::instances::{mini_suite, Scale};
 use gpm_graph::verify::maximum_matching_cardinality;
 use gpm_graph::{BipartiteCsr, Matching};
 use proptest::prelude::*;
 
 /// Arbitrary valid algorithm covering all seven families with varied
-/// parameters.
+/// parameters, including every worklist representation of the GPU families
+/// (so the `+mode` label suffix is exercised by the round-trip property).
 fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
-    (0usize..10, 1u32..100, 1u32..40, 1usize..16).prop_map(|(which, fix_k, tenths, threads)| {
-        let adaptive = GrStrategy::Adaptive(f64::from(tenths) / 10.0);
-        match which {
-            0 => Algorithm::GpuPushRelabel(GprVariant::First, adaptive),
-            1 => Algorithm::GpuPushRelabel(GprVariant::ActiveList, GrStrategy::Fixed(fix_k)),
-            2 => Algorithm::GpuPushRelabel(GprVariant::Shrink, adaptive),
-            3 => Algorithm::GpuHopcroftKarp(GhkVariant::Hk),
-            4 => Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw),
-            5 => Algorithm::SequentialPushRelabel(f64::from(tenths) / 10.0),
-            6 => Algorithm::PothenFan,
-            7 => Algorithm::HopcroftKarp,
-            8 => Algorithm::Hkdw,
-            _ => Algorithm::Pdbfs(threads),
-        }
-    })
+    (0usize..10, 1u32..100, 1u32..40, 1usize..16, 0usize..3).prop_map(
+        |(which, fix_k, tenths, threads, mode)| {
+            let adaptive = GrStrategy::Adaptive(f64::from(tenths) / 10.0);
+            let mode = WorklistMode::all()[mode];
+            match which {
+                0 => Algorithm::GpuPushRelabel(GprVariant::First, adaptive, mode),
+                1 => Algorithm::GpuPushRelabel(
+                    GprVariant::ActiveList,
+                    GrStrategy::Fixed(fix_k),
+                    mode,
+                ),
+                2 => Algorithm::GpuPushRelabel(GprVariant::Shrink, adaptive, mode),
+                3 => Algorithm::GpuHopcroftKarp(GhkVariant::Hk, mode),
+                4 => Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw, mode),
+                5 => Algorithm::SequentialPushRelabel(f64::from(tenths) / 10.0),
+                6 => Algorithm::PothenFan,
+                7 => Algorithm::HopcroftKarp,
+                8 => Algorithm::Hkdw,
+                _ => Algorithm::Pdbfs(threads),
+            }
+        },
+    )
 }
 
 proptest! {
@@ -42,6 +52,16 @@ proptest! {
         // The round-trippable label is also what serde emits.
         let json = serde_json::to_string(&alg).unwrap();
         prop_assert_eq!(json, format!("\"{label}\""));
+        // Default representations stay suffix-free (paper-compatible labels);
+        // non-default ones carry the '+' suffix.
+        if let Some(mode) = alg.worklist() {
+            let default_mode = match alg {
+                Algorithm::GpuPushRelabel(v, ..) => v.default_worklist(),
+                Algorithm::GpuHopcroftKarp(v, _) => v.default_worklist(),
+                _ => unreachable!(),
+            };
+            prop_assert_eq!(label.contains('+'), mode != default_mode, "{}", label);
+        }
     }
 }
 
@@ -50,9 +70,9 @@ proptest! {
 fn every_algorithm() -> Vec<Algorithm> {
     let mut algorithms = paper_comparison_set();
     algorithms.extend([
-        Algorithm::GpuPushRelabel(GprVariant::First, GrStrategy::paper_default()),
-        Algorithm::GpuPushRelabel(GprVariant::ActiveList, GrStrategy::Fixed(10)),
-        Algorithm::GpuHopcroftKarp(GhkVariant::Hk),
+        Algorithm::gpr(GprVariant::First, GrStrategy::paper_default()),
+        Algorithm::gpr(GprVariant::ActiveList, GrStrategy::Fixed(10)),
+        Algorithm::ghk(GhkVariant::Hk),
         Algorithm::PothenFan,
         Algorithm::HopcroftKarp,
         Algorithm::Hkdw,
@@ -73,7 +93,10 @@ fn corpus() -> Vec<BipartiteCsr> {
 
 #[test]
 fn warm_solver_matches_cold_solves_across_all_algorithms() {
-    let mut warm = Solver::builder().device_policy(DevicePolicy::Sequential).build();
+    let mut warm = Solver::builder()
+        .device_policy(DevicePolicy::Sequential)
+        .build()
+        .expect("valid solver config");
     for g in corpus() {
         let opt = maximum_matching_cardinality(&g);
         for alg in every_algorithm() {
@@ -94,7 +117,7 @@ fn one_session_batch_solves_the_full_comparison_over_a_corpus() {
     // set plus all CPU baselines over a multi-graph corpus via solve_batch,
     // returning per-job Results.
     let graphs = corpus();
-    let mut solver = Solver::builder().build();
+    let mut solver = Solver::builder().build().expect("valid solver config");
     let jobs: Vec<(&BipartiteCsr, Algorithm)> = graphs
         .iter()
         .flat_map(|g| every_algorithm().into_iter().map(move |alg| (g, alg)))
@@ -151,10 +174,11 @@ fn device_required_instead_of_panic_on_cpu_only_sessions() {
     let mut solver = Solver::builder()
         .device_policy(DevicePolicy::CpuOnly)
         .init_heuristic(InitHeuristic::KarpSipser)
-        .build();
+        .build()
+        .expect("valid solver config");
     let results = solver.solve_batch(vec![
         (&g, Algorithm::gpr_default()),
-        (&g, Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw)),
+        (&g, Algorithm::ghk(GhkVariant::Hkdw)),
         (&g, Algorithm::HopcroftKarp),
     ]);
     assert!(matches!(results[0], Err(SolveError::DeviceRequired { .. })));
@@ -164,7 +188,7 @@ fn device_required_instead_of_panic_on_cpu_only_sessions() {
 
     // Parameter validation runs before device resolution: an invalid GPU
     // config on a CPU-only session is InvalidConfig, not DeviceRequired.
-    let bad = Algorithm::GpuPushRelabel(GprVariant::Shrink, GrStrategy::Adaptive(f64::NAN));
+    let bad = Algorithm::gpr(GprVariant::Shrink, GrStrategy::Adaptive(f64::NAN));
     assert!(matches!(solver.solve(&g, bad), Err(SolveError::InvalidConfig { .. })));
 }
 
@@ -194,7 +218,10 @@ fn solver_and_components_are_send() {
     assert_send::<gpm_core::SolveReport>();
     assert_send::<SolveError>();
     // A warm session (device + engines populated) must stay movable too.
-    let mut solver = Solver::builder().device_policy(DevicePolicy::Sequential).build();
+    let mut solver = Solver::builder()
+        .device_policy(DevicePolicy::Sequential)
+        .build()
+        .expect("valid solver config");
     let g = gen::uniform_random(10, 10, 40, 3).unwrap();
     solver.solve(&g, Algorithm::gpr_default()).unwrap();
     let report = std::thread::spawn(move || solver.solve(&g, Algorithm::HopcroftKarp).unwrap())
@@ -204,14 +231,119 @@ fn solver_and_components_are_send() {
 }
 
 #[test]
+fn worklist_labels_parse_and_reject_junk() {
+    // Explicit suffixes on GPU algorithms.
+    assert_eq!(
+        "G-PR-Shr@adaptive:0.7+queue".parse::<Algorithm>().unwrap(),
+        Algorithm::gpr_default().with_worklist(WorklistMode::AtomicQueue)
+    );
+    assert_eq!(
+        "G-PR-NoShr+compacted".parse::<Algorithm>().unwrap(),
+        Algorithm::gpr(GprVariant::ActiveList, GrStrategy::paper_default())
+            .with_worklist(WorklistMode::Compacted)
+    );
+    assert_eq!(
+        "G-HK+queue".parse::<Algorithm>().unwrap(),
+        Algorithm::ghk(GhkVariant::Hk).with_worklist(WorklistMode::AtomicQueue)
+    );
+    // A default-mode suffix parses to the same algorithm as no suffix.
+    assert_eq!(
+        "G-PR-Shr+compacted".parse::<Algorithm>().unwrap(),
+        "G-PR-Shr".parse::<Algorithm>().unwrap()
+    );
+    // Defaults print without the suffix; overrides print with it.
+    assert_eq!(Algorithm::gpr_default().to_string(), "G-PR-Shr@adaptive:0.7");
+    assert_eq!(
+        Algorithm::gpr_default().with_worklist(WorklistMode::AtomicQueue).to_string(),
+        "G-PR-Shr@adaptive:0.7+queue"
+    );
+    assert_eq!(
+        Algorithm::ghk(GhkVariant::Hkdw).with_worklist(WorklistMode::Compacted).to_string(),
+        "G-HKDW+compacted"
+    );
+    // Junk modes and CPU algorithms with modes are rejected.
+    assert!("G-PR-Shr+stack".parse::<Algorithm>().is_err());
+    assert!("HK+queue".parse::<Algorithm>().is_err());
+    assert!("PR@0.5+dense".parse::<Algorithm>().is_err());
+    assert!("P-DBFS+compacted".parse::<Algorithm>().is_err());
+    // Plus-signed numeric parameters are not mistaken for worklist modes.
+    assert_eq!("PR@+0.5".parse::<Algorithm>().unwrap(), Algorithm::SequentialPushRelabel(0.5));
+    assert_eq!("P-DBFS@+8".parse::<Algorithm>().unwrap(), Algorithm::Pdbfs(8));
+    assert_eq!(
+        "G-PR-Shr@fix:+10+queue".parse::<Algorithm>().unwrap(),
+        Algorithm::gpr(GprVariant::Shrink, GrStrategy::Fixed(10))
+            .with_worklist(WorklistMode::AtomicQueue)
+    );
+}
+
+/// The cross-representation acceptance test: every worklist mode, under both
+/// the sequential and the pooled executor, produces the oracle cardinality
+/// on every instance family of the mini suite.
+#[test]
+fn all_worklist_modes_match_the_oracle_over_the_mini_suite() {
+    let instances: Vec<_> = mini_suite()
+        .iter()
+        .map(|spec| {
+            let g = spec.generate(Scale::Tiny).expect("generate mini instance");
+            let opt = maximum_matching_cardinality(&g);
+            (spec.name, g, opt)
+        })
+        .collect();
+    for policy in [DevicePolicy::Sequential, DevicePolicy::Parallel(3)] {
+        let mut solver =
+            Solver::builder().device_policy(policy).build().expect("valid solver config");
+        for mode in WorklistMode::all() {
+            for (name, g, opt) in &instances {
+                for alg in [
+                    Algorithm::gpr_default().with_worklist(mode),
+                    Algorithm::ghk(GhkVariant::Hkdw).with_worklist(mode),
+                ] {
+                    let report = solver.solve(g, alg).unwrap();
+                    assert_eq!(report.cardinality, *opt, "{alg} on {name} under {policy:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn builder_rejects_zero_chunk_size_and_zero_shrink_threshold() {
+    let bad_exec = ExecutorConfig { chunk_size: 0, ..Default::default() };
+    match Solver::builder().executor_config(bad_exec).build() {
+        Err(SolveError::InvalidConfig { algorithm, reason }) => {
+            assert_eq!(algorithm, "device executor");
+            assert!(reason.contains("chunk_size"), "{reason}");
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+
+    let bad_gpr = GprConfig { shrink_threshold: 0, ..GprConfig::paper_default() };
+    match Solver::builder().gpr_config(bad_gpr).build() {
+        Err(SolveError::InvalidConfig { algorithm, reason }) => {
+            assert_eq!(algorithm, "G-PR");
+            assert!(reason.contains("shrink_threshold"), "{reason}");
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+
+    // Valid overrides pass through to the session.
+    let tuned = GprConfig { shrink_threshold: 64, ..GprConfig::paper_default() };
+    let solver = Solver::builder().gpr_config(tuned).build().expect("valid tuning");
+    assert_eq!(solver.gpr_config().shrink_threshold, 64);
+}
+
+#[test]
 fn executor_config_reaches_the_session_device() {
     // The builder's executor tuning must be applied verbatim to the device
     // the session creates on its first GPU solve — this is the contract the
     // service layer relies on to keep N workers from oversubscribing the
     // host.
     let exec = ExecutorConfig { parallel_threshold: 32, chunk_size: 64, ..Default::default() };
-    let mut solver =
-        Solver::builder().device_policy(DevicePolicy::Parallel(2)).executor_config(exec).build();
+    let mut solver = Solver::builder()
+        .device_policy(DevicePolicy::Parallel(2))
+        .executor_config(exec)
+        .build()
+        .expect("valid solver config");
     assert_eq!(solver.executor_config(), exec);
     assert!(solver.device().is_none(), "device is created lazily");
 

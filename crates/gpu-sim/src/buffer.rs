@@ -161,6 +161,24 @@ impl<T: DeviceScalar> DeviceBuffer<T> {
     }
 }
 
+impl DeviceBuffer<u64> {
+    /// Atomically adds `delta` to word `i` and returns the previous value —
+    /// the analogue of CUDA's `atomicAdd` on a 64-bit word, with relaxed
+    /// ordering (no fence, no cross-thread ordering guarantee beyond the
+    /// indivisibility of the read-modify-write itself).
+    ///
+    /// This is the one read-modify-write operation the crate exposes.  The
+    /// paper's matching kernels never use it (their races are benign by
+    /// construction); it exists for the worklist subsystem's
+    /// [`AtomicQueue`](crate::worklist::WorklistMode::AtomicQueue)
+    /// representation, whose device-side appends mirror the atomic-append
+    /// frontier queues of the GPU BFS literature.
+    #[inline]
+    pub fn fetch_add(&self, i: usize, delta: u64) -> u64 {
+        self.cells[i].fetch_add(delta, Ordering::Relaxed)
+    }
+}
+
 impl<T: DeviceScalar + std::fmt::Debug> std::fmt::Debug for DeviceBuffer<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DeviceBuffer").field("len", &self.len()).finish()
@@ -248,6 +266,39 @@ mod tests {
         // Different length: a fresh buffer replaces the old one.
         let b = DeviceBuffer::recycle(&mut slot, 2, 0);
         assert_eq!(b.to_vec(), vec![0; 2]);
+    }
+
+    #[test]
+    fn fetch_add_returns_previous_value_and_accumulates() {
+        let b = DeviceBuffer::<u64>::new(2, 10);
+        assert_eq!(b.fetch_add(0, 5), 10);
+        assert_eq!(b.fetch_add(0, 1), 15);
+        assert_eq!(b.get(0), 16);
+        assert_eq!(b.get(1), 10);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_claims_unique_slots() {
+        // The queue-append pattern: every increment must observe a distinct
+        // previous value, even under contention.
+        let tail = std::sync::Arc::new(DeviceBuffer::<u64>::new(1, 0));
+        let claimed = std::sync::Arc::new(DeviceBuffer::<bool>::new(8 * 500, false));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let tail = std::sync::Arc::clone(&tail);
+            let claimed = std::sync::Arc::clone(&claimed);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let pos = tail.fetch_add(0, 1) as usize;
+                    assert!(!claimed.get(pos), "slot {pos} claimed twice");
+                    claimed.set(pos, true);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(tail.get(0), 8 * 500);
     }
 
     #[test]

@@ -48,8 +48,10 @@ pub struct ExecutorConfig {
     pub parallel_threshold: usize,
     /// Grid indices per chunk that pool workers claim from the launch's
     /// shared cursor.  Smaller chunks balance divergent kernels better;
-    /// larger chunks amortize the cursor increment.  A value of 0 is
-    /// treated as 1, and the effective chunk is capped per launch at
+    /// larger chunks amortize the cursor increment.  Must be at least 1
+    /// ([`ExecutorConfig::validate`]; `Solver::builder()` rejects 0 with a
+    /// structured error, and the executor itself clamps to 1 as a last
+    /// resort).  The effective chunk is capped per launch at
     /// `grid / workers` (rounded up) so every pool worker gets a share of
     /// mid-sized grids.
     pub chunk_size: usize,
@@ -77,6 +79,19 @@ impl ExecutorConfig {
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size;
         self
+    }
+
+    /// Checks the configuration for values the executor cannot run with.
+    /// Builders (`Solver::builder()`, `Service::builder()`) call this before
+    /// a device is created so a zero chunk size becomes a structured
+    /// configuration error instead of surprising clamping in the launch
+    /// loop.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.chunk_size == 0 {
+            return Err("executor chunk_size must be at least 1 (pool workers claim grid chunks)"
+                .to_string());
+        }
+        Ok(())
     }
 }
 

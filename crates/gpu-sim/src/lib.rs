@@ -37,11 +37,20 @@
 //!    per-kernel statistics are queued off the launch hot path and merged
 //!    only when [`VirtualGpu::stats`] snapshots them.
 //!
-//! The crate also ships device-wide primitives ([`primitives`]) — reduction
-//! and exclusive prefix sum — implemented as multi-pass kernels, because the
-//! paper's shrink kernel (`G-PR-SHRKRNL`) needs a device prefix sum.  Their
-//! working buffers come from a per-device [`scratch::ScratchArena`], so the
-//! launch-heavy shrink path stops allocating once warm.
+//! The crate also ships device-wide primitives ([`primitives`]) — reduction,
+//! exclusive prefix sum, and an atomic-append [`primitives::DeviceQueue`] —
+//! implemented as multi-pass kernels (the paper's shrink kernel
+//! `G-PR-SHRKRNL` needs a device prefix sum; the queue backs the worklist's
+//! atomic-append representation).  Their working buffers come from a
+//! per-device [`scratch::ScratchArena`], so the launch-heavy shrink path
+//! stops allocating once warm.
+//!
+//! On top of the primitives sits the [`worklist`] module: a [`Worklist`]
+//! type that owns the *active set* every frontier-driven engine iterates,
+//! behind three interchangeable [`WorklistMode`] representations —
+//! dense stamp scans, `G-PR-SHRKRNL`-style compaction, and a device-side
+//! atomic-append queue.  See that module's docs for the round protocols and
+//! the AtomicQueue memory model under the pooled executor.
 //!
 //! Executor tuning (inline threshold, chunk size, the legacy spawn flag)
 //! lives in [`ExecutorConfig`] and is plumbed upward through `gpm-core`'s
@@ -59,9 +68,14 @@ pub mod perfmodel;
 pub mod primitives;
 pub mod scratch;
 pub mod stats;
+pub mod worklist;
 
 pub use buffer::{DeviceBuffer, DeviceScalar};
 pub use engine::{Backend, ExecutorConfig, GpuConfig, LaunchRecord, ThreadCtx, VirtualGpu};
 pub use perfmodel::PerfModel;
 pub use scratch::{ScratchArena, ScratchBuffer, ScratchStats};
 pub use stats::{DeviceStats, KernelStats};
+pub use worklist::{
+    ActiveView, DomainMarker, FrontierView, ParseWorklistModeError, SlotAction, Worklist,
+    WorklistKernels, WorklistMode, WL_EMPTY,
+};

@@ -143,6 +143,76 @@ pub fn exclusive_prefix_sum<'gpu>(
     (output, total)
 }
 
+/// A device-side append-only queue over caller-provided buffers: `items`
+/// (the payload array, whose length is the queue's capacity), a one-word
+/// `tail` counter, and a one-word `overflow` flag.
+///
+/// [`DeviceQueue::push`] claims a slot with an atomic fetch-add on `tail`
+/// (the CUDA `atomicAdd` idiom of worklist-based BFS kernels) and stores the
+/// value with a plain relaxed write.  There is **no ordering** between the
+/// claim and the store becoming visible to other threads of the same launch
+/// — exactly like on a real GPU.  The contract is therefore that queue
+/// contents are only *read* after the launch that filled them has completed:
+/// the end-of-launch barrier (the executor's join, or the implicit barrier
+/// of CUDA's default stream) is what publishes every store.
+///
+/// A push beyond capacity raises `overflow` (word 0 set to 1) and drops the
+/// value; the caller is expected to rebuild the queue from its stamp array
+/// (see [`crate::worklist`]) when that happens.
+pub struct DeviceQueue<'a> {
+    items: &'a DeviceBuffer<u64>,
+    tail: &'a DeviceBuffer<u64>,
+    overflow: &'a DeviceBuffer<u64>,
+}
+
+impl<'a> DeviceQueue<'a> {
+    /// Wraps the three device buffers as a queue view.  `tail` and
+    /// `overflow` must hold at least one word each.
+    pub fn new(
+        items: &'a DeviceBuffer<u64>,
+        tail: &'a DeviceBuffer<u64>,
+        overflow: &'a DeviceBuffer<u64>,
+    ) -> Self {
+        Self { items, tail, overflow }
+    }
+
+    /// Appends `value`, returning `true` on success and `false` (with the
+    /// overflow flag raised) when the queue is full.  Callable from any
+    /// kernel thread.
+    #[inline]
+    pub fn push(&self, value: u64) -> bool {
+        let pos = self.tail.fetch_add(0, 1) as usize;
+        if pos < self.items.len() {
+            self.items.set(pos, value);
+            true
+        } else {
+            self.overflow.set(0, 1);
+            false
+        }
+    }
+
+    /// Number of successfully appended items (tail clamped to capacity).
+    /// Only meaningful after the filling launch has completed.
+    pub fn len(&self) -> usize {
+        (self.tail.get(0) as usize).min(self.items.len())
+    }
+
+    /// `true` when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.tail.get(0) == 0
+    }
+
+    /// Maximum number of items the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when at least one push was dropped for lack of capacity.
+    pub fn overflowed(&self) -> bool {
+        self.overflow.get(0) != 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +276,49 @@ mod tests {
         let stats = gpu.stats();
         assert!(stats.launches_of("reduce_sum") >= 1);
         assert!(stats.launches_of("scan_block") >= 1);
+    }
+
+    #[test]
+    fn device_queue_appends_every_pushed_value_exactly_once() {
+        for gpu in gpus() {
+            let items = DeviceBuffer::<u64>::new(10_000, u64::MAX);
+            let tail = DeviceBuffer::<u64>::new(1, 0);
+            let overflow = DeviceBuffer::<u64>::new(1, 0);
+            let queue = DeviceQueue::new(&items, &tail, &overflow);
+            gpu.launch("queue_fill", 10_000, |ctx| {
+                ctx.add_work(1);
+                assert!(queue.push(ctx.global_id as u64));
+            });
+            assert_eq!(queue.len(), 10_000);
+            assert!(!queue.overflowed());
+            // Every id landed exactly once (order is unspecified).
+            let mut got = items.to_vec();
+            got.sort_unstable();
+            let expected: Vec<u64> = (0..10_000).collect();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn device_queue_overflow_drops_and_flags() {
+        let gpu = VirtualGpu::parallel();
+        let items = DeviceBuffer::<u64>::new(16, u64::MAX);
+        let tail = DeviceBuffer::<u64>::new(1, 0);
+        let overflow = DeviceBuffer::<u64>::new(1, 0);
+        let queue = DeviceQueue::new(&items, &tail, &overflow);
+        let accepted = DeviceBuffer::<u64>::new(1, 0);
+        gpu.launch("queue_overflow", 100, |ctx| {
+            if queue.push(ctx.global_id as u64) {
+                accepted.fetch_add(0, 1);
+            }
+        });
+        assert_eq!(accepted.get(0), 16);
+        assert_eq!(queue.len(), 16);
+        assert!(queue.overflowed());
+        // The 16 retained values are all valid pushes.
+        for v in items.to_vec() {
+            assert!(v < 100);
+        }
     }
 
     #[test]

@@ -76,7 +76,17 @@ impl ServiceBuilder {
     }
 
     /// Starts the worker pool.
+    ///
+    /// # Panics
+    /// Panics when the executor configuration is invalid (e.g. a zero chunk
+    /// size) — the same condition `Solver::builder()` reports as a
+    /// structured `InvalidConfig` error; it is checked here, before any
+    /// worker thread exists, so a misconfiguration cannot take down the
+    /// pool at a distance.
     pub fn build(self) -> Service {
+        if let Err(reason) = self.executor.validate() {
+            panic!("invalid executor configuration for service workers: {reason}");
+        }
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
             available: Condvar::new(),
@@ -301,11 +311,22 @@ impl std::fmt::Debug for Service {
     }
 }
 
+/// Builds one worker's solver session.  The executor configuration was
+/// validated by [`ServiceBuilder::build`] before any worker thread existed,
+/// so this cannot fail at a distance.
+fn new_worker_solver(policy: DevicePolicy, executor: ExecutorConfig) -> Solver {
+    Solver::builder()
+        .device_policy(policy)
+        .executor_config(executor)
+        .build()
+        .expect("executor config validated by ServiceBuilder::build")
+}
+
 /// One pool worker: owns a warm [`Solver`] for its whole lifetime, so every
 /// job it runs after the first reuses per-algorithm workspaces and the
 /// session device.
 fn worker_loop(index: usize, policy: DevicePolicy, executor: ExecutorConfig, shared: &Shared) {
-    let mut solver = Solver::builder().device_policy(policy).executor_config(executor).build();
+    let mut solver = new_worker_solver(policy, executor);
     loop {
         let job = {
             let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -328,7 +349,7 @@ fn worker_loop(index: usize, policy: DevicePolicy, executor: ExecutorConfig, sha
             run_job(index, &mut solver, shared, &job.spec, queue_seconds, started)
         }))
         .unwrap_or_else(|payload| {
-            solver = Solver::builder().device_policy(policy).executor_config(executor).build();
+            solver = new_worker_solver(policy, executor);
             Err(ServiceError::JobPanicked { message: panic_message(payload.as_ref()) })
         });
         record(shared, &job.spec, queue_seconds, &result);

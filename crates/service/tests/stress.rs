@@ -37,7 +37,10 @@ fn eight_clients_agree_with_the_single_threaded_oracle() {
     assert!(graphs.len() >= 8, "mini suite should cover all families");
 
     // Single-threaded oracle: one warm Solver session, same algorithms.
-    let mut oracle = Solver::builder().device_policy(DevicePolicy::Sequential).build();
+    let mut oracle = Solver::builder()
+        .device_policy(DevicePolicy::Sequential)
+        .build()
+        .expect("valid solver config");
     let mut expected = Vec::new();
     for graph in &graphs {
         let mut per_graph = Vec::new();
@@ -123,10 +126,12 @@ fn oversubscribed_executor_config_is_honored_and_stays_correct() {
         .take(6)
         .map(|spec| Arc::new(spec.generate(Scale::Tiny).expect("generate")))
         .collect();
-    let gpu_algorithms =
-        [Algorithm::gpr_default(), Algorithm::GpuHopcroftKarp(gpm_core::GhkVariant::Hkdw)];
+    let gpu_algorithms = [Algorithm::gpr_default(), Algorithm::ghk(gpm_core::GhkVariant::Hkdw)];
 
-    let mut oracle = Solver::builder().device_policy(DevicePolicy::Sequential).build();
+    let mut oracle = Solver::builder()
+        .device_policy(DevicePolicy::Sequential)
+        .build()
+        .expect("valid solver config");
     let expected: Vec<usize> = graphs
         .iter()
         .map(|g| oracle.solve(g, Algorithm::HopcroftKarp).expect("oracle").cardinality)

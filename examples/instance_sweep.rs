@@ -17,7 +17,7 @@ fn main() {
     );
     // One warm solver session sweeps the whole suite: the device and all
     // per-algorithm buffers are created once and reused.
-    let mut solver = Solver::builder().build();
+    let mut solver = Solver::builder().build().expect("valid solver config");
     for spec in mini_suite() {
         let graph = spec.generate(scale).expect("generator");
         let initial = cheap_matching(&graph);

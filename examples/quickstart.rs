@@ -26,7 +26,7 @@ fn main() {
 
     // A solver session owns the virtual GPU and warm per-algorithm buffers;
     // run G-PR (shrinking active lists, adaptive global relabeling) on it.
-    let mut solver = Solver::builder().build();
+    let mut solver = Solver::builder().build().expect("valid solver config");
     let report = solver.solve(&graph, Algorithm::gpr_default()).expect("solve");
     println!(
         "{}: maximum matching of {} pairs ({} found by the initializer)",

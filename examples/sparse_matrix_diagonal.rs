@@ -41,7 +41,7 @@ fn main() {
         graph.num_edges()
     );
 
-    let mut solver = Solver::builder().build();
+    let mut solver = Solver::builder().build().expect("valid solver config");
     let report = solver.solve(&graph, Algorithm::gpr_default()).unwrap_or_else(|e| {
         eprintln!("solve failed: {e}");
         std::process::exit(1);

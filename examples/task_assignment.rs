@@ -44,7 +44,7 @@ fn main() {
     println!("\n{:<10} {:>12} {:>14} {:>14}", "algorithm", "assignments", "host ms", "device ms");
     // Batch-solve the whole comparison on one warm session: one Result per
     // job, so a misconfigured algorithm would not abort the sweep.
-    let mut solver = Solver::builder().build();
+    let mut solver = Solver::builder().build().expect("valid solver config");
     let jobs = paper_comparison_set().into_iter().map(|alg| (&graph, alg));
     for result in solver.solve_batch(jobs) {
         let report = result.expect("solve");

@@ -22,7 +22,7 @@
 //!
 //! // A solver session: owns the virtual GPU and a warm workspace per
 //! // algorithm, so repeated solves skip the per-call setup.
-//! let mut solver = Solver::builder().build();
+//! let mut solver = Solver::builder().build().unwrap();
 //!
 //! // A 300-row graph with a planted perfect matching plus 1 200 noise edges.
 //! let graph = gen::planted_perfect(300, 1_200, 7).unwrap();

@@ -4,7 +4,7 @@
 //! verification oracles, across a corpus of structurally diverse instances.
 
 use gpu_pr_matching::core::solver::{solve, solve_with_initial, Algorithm};
-use gpu_pr_matching::core::{GhkVariant, GprVariant, GrStrategy};
+use gpu_pr_matching::core::{GhkVariant, GprVariant, GrStrategy, WorklistMode};
 use gpu_pr_matching::graph::heuristics::{cheap_matching, karp_sipser};
 use gpu_pr_matching::graph::verify::{
     is_maximum, is_valid_matching, koenig_cover, maximum_matching_cardinality,
@@ -12,14 +12,23 @@ use gpu_pr_matching::graph::verify::{
 use gpu_pr_matching::graph::{gen, BipartiteCsr, Matching};
 
 /// One configuration per `Algorithm` variant, plus extra G-PR coverage so
-/// all three kernel variants and both strategy families are exercised.
+/// all three kernel variants, both strategy families, and all three device
+/// worklist representations are exercised.
 fn every_algorithm() -> Vec<Algorithm> {
     vec![
-        Algorithm::GpuPushRelabel(GprVariant::First, GrStrategy::paper_default()),
-        Algorithm::GpuPushRelabel(GprVariant::ActiveList, GrStrategy::Fixed(10)),
-        Algorithm::GpuPushRelabel(GprVariant::Shrink, GrStrategy::Adaptive(0.7)),
-        Algorithm::GpuHopcroftKarp(GhkVariant::Hk),
-        Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw),
+        Algorithm::gpr(GprVariant::First, GrStrategy::paper_default()),
+        Algorithm::gpr(GprVariant::ActiveList, GrStrategy::Fixed(10)),
+        Algorithm::gpr(GprVariant::Shrink, GrStrategy::Adaptive(0.7)),
+        Algorithm::gpr(GprVariant::Shrink, GrStrategy::Adaptive(0.7))
+            .with_worklist(WorklistMode::DenseStamp),
+        Algorithm::gpr(GprVariant::Shrink, GrStrategy::Adaptive(0.7))
+            .with_worklist(WorklistMode::AtomicQueue),
+        Algorithm::gpr(GprVariant::ActiveList, GrStrategy::paper_default())
+            .with_worklist(WorklistMode::AtomicQueue),
+        Algorithm::ghk(GhkVariant::Hk),
+        Algorithm::ghk(GhkVariant::Hkdw),
+        Algorithm::ghk(GhkVariant::Hk).with_worklist(WorklistMode::AtomicQueue),
+        Algorithm::ghk(GhkVariant::Hkdw).with_worklist(WorklistMode::Compacted),
         Algorithm::SequentialPushRelabel(0.5),
         Algorithm::PothenFan,
         Algorithm::HopcroftKarp,

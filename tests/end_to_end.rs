@@ -13,11 +13,11 @@ use gpu_pr_matching::graph::{gen, io, BipartiteCsr, Matching};
 
 fn all_algorithms() -> Vec<Algorithm> {
     vec![
-        Algorithm::GpuPushRelabel(GprVariant::First, GrStrategy::paper_default()),
-        Algorithm::GpuPushRelabel(GprVariant::ActiveList, GrStrategy::paper_default()),
+        Algorithm::gpr(GprVariant::First, GrStrategy::paper_default()),
+        Algorithm::gpr(GprVariant::ActiveList, GrStrategy::paper_default()),
         Algorithm::gpr_default(),
-        Algorithm::GpuHopcroftKarp(GhkVariant::Hk),
-        Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw),
+        Algorithm::ghk(GhkVariant::Hk),
+        Algorithm::ghk(GhkVariant::Hkdw),
         Algorithm::SequentialPushRelabel(0.5),
         Algorithm::PothenFan,
         Algorithm::HopcroftKarp,
@@ -76,7 +76,7 @@ fn sequential_and_parallel_backends_agree_on_cardinality() {
         let initial = cheap_matching(&graph);
         let seq_gpu = VirtualGpu::sequential();
         let par_gpu = VirtualGpu::parallel();
-        for alg in [Algorithm::gpr_default(), Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw)] {
+        for alg in [Algorithm::gpr_default(), Algorithm::ghk(GhkVariant::Hkdw)] {
             let s = solve_with_initial(&graph, &initial, alg, Some(&seq_gpu)).unwrap();
             let p = solve_with_initial(&graph, &initial, alg, Some(&par_gpu)).unwrap();
             assert_eq!(s.cardinality, p.cardinality, "seed {seed}");

@@ -124,7 +124,7 @@ fn gpr_beats_ghkdw_in_modelled_time_on_kron_family() {
     let ghkdw_report = solve_with_initial(
         &graph,
         &initial,
-        Algorithm::GpuHopcroftKarp(gpu_pr_matching::core::GhkVariant::Hkdw),
+        Algorithm::ghk(gpu_pr_matching::core::GhkVariant::Hkdw),
         Some(&gpu),
     )
     .unwrap();
