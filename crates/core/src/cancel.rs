@@ -1,0 +1,212 @@
+//! Cancellation and deadlines for in-flight solves.
+//!
+//! The paper's engines are all round-structured: every kernel iteration
+//! passes through the worklist's `begin_round` (or the frontier's
+//! `advance_frontier`), so the host regains control between rounds.  This
+//! module packages the two host-side stop signals — an explicit
+//! [`CancelToken`] and a wall-clock deadline — into a [`SolveCtx`] the
+//! solver threads down to those round boundaries via
+//! [`gpm_gpu::StopCheck`].
+//!
+//! A stopped solve is not a crash: the engine finishes its current round,
+//! repairs device state (e.g. G-PR's `fix_matching`), and surfaces
+//! [`SolveError::Cancelled`] / [`SolveError::DeadlineExceeded`] carrying the
+//! rounds completed and the cardinality of the consistent partial matching
+//! it left behind.
+
+use crate::error::SolveError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shared, clonable cancellation flag.
+///
+/// Clones observe the same flag; [`CancelToken::cancel`] is sticky (there is
+/// no un-cancel).  The token is safe to trip from any thread — a service
+/// handler can cancel a solve running in a pool worker, or a second TCP
+/// connection can cancel a solve started by a first.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation.  Engines honour it at the next worklist-round
+    /// boundary; queued jobs that have not started are failed immediately.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on this token or
+    /// any clone of it.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// `true` when `other` is a clone of this token (shares the flag).
+    pub fn same_token(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+/// Why a solve was asked to stop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The [`CancelToken`] was tripped.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+impl StopReason {
+    /// Builds the structured [`SolveError`] for this reason, carrying the
+    /// progress made before the stop.
+    pub fn into_error(self, rounds_completed: u64, partial_cardinality: usize) -> SolveError {
+        match self {
+            StopReason::Cancelled => {
+                SolveError::Cancelled { rounds_completed, partial_cardinality }
+            }
+            StopReason::DeadlineExceeded => {
+                SolveError::DeadlineExceeded { rounds_completed, partial_cardinality }
+            }
+        }
+    }
+}
+
+/// Per-solve control context: cancellation and deadline.
+///
+/// The default context carries neither signal and adds no per-round cost
+/// (the engine-side [`gpm_gpu::StopCheck`] degenerates to
+/// [`gpm_gpu::StopCheck::never`]).  Cancellation wins ties: a solve that is
+/// both cancelled and past its deadline reports [`StopReason::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct SolveCtx {
+    /// Cooperative cancellation flag, shared with whoever may cancel.
+    pub cancel: Option<CancelToken>,
+    /// Absolute wall-clock deadline for the solve.
+    pub deadline: Option<Instant>,
+}
+
+impl SolveCtx {
+    /// A context with no stop signals — solves run to completion.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A context stopping when `token` trips.
+    pub fn with_cancel(token: CancelToken) -> Self {
+        Self { cancel: Some(token), deadline: None }
+    }
+
+    /// A context stopping when the wall clock reaches `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self { cancel: None, deadline: Some(deadline) }
+    }
+
+    /// `true` when the context carries no signal at all.
+    pub fn is_unbounded(&self) -> bool {
+        self.cancel.is_none() && self.deadline.is_none()
+    }
+
+    /// Polls both signals.  `None` means keep going.
+    pub fn check(&self) -> Option<StopReason> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
+    /// Renders the context as the [`gpm_gpu::StopCheck`] the round loops
+    /// poll.  An unbounded context yields [`gpm_gpu::StopCheck::never`], so
+    /// the common path stays free.
+    pub fn stop_check(&self) -> gpm_gpu::StopCheck {
+        if self.is_unbounded() {
+            return gpm_gpu::StopCheck::never();
+        }
+        let ctx = self.clone();
+        gpm_gpu::StopCheck::from_fn(move || ctx.check().is_some())
+    }
+
+    /// The error a stopped solve should report, given the progress it made.
+    /// Falls back to [`SolveError::Cancelled`] if the signal raced away
+    /// between the engine observing the stop and this call.
+    pub fn stop_error(&self, rounds_completed: u64, partial_cardinality: usize) -> SolveError {
+        self.check()
+            .unwrap_or(StopReason::Cancelled)
+            .into_error(rounds_completed, partial_cardinality)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn token_is_sticky_and_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled());
+        assert!(token.same_token(&clone));
+        assert!(!token.same_token(&CancelToken::new()));
+    }
+
+    #[test]
+    fn unbounded_ctx_never_stops_and_costs_nothing() {
+        let ctx = SolveCtx::unbounded();
+        assert!(ctx.is_unbounded());
+        assert_eq!(ctx.check(), None);
+        assert!(ctx.stop_check().is_never());
+    }
+
+    #[test]
+    fn cancel_dominates_deadline() {
+        let token = CancelToken::new();
+        let ctx = SolveCtx {
+            cancel: Some(token.clone()),
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+        };
+        assert_eq!(ctx.check(), Some(StopReason::DeadlineExceeded));
+        token.cancel();
+        assert_eq!(ctx.check(), Some(StopReason::Cancelled));
+        assert_eq!(
+            ctx.stop_error(3, 17),
+            SolveError::Cancelled { rounds_completed: 3, partial_cardinality: 17 }
+        );
+    }
+
+    #[test]
+    fn deadline_in_the_future_does_not_fire() {
+        let ctx = SolveCtx::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(ctx.check(), None);
+        let check = ctx.stop_check();
+        assert!(!check.is_never());
+        assert!(!check.should_stop());
+    }
+
+    #[test]
+    fn expired_deadline_maps_to_the_right_error() {
+        let ctx = SolveCtx::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(ctx.check(), Some(StopReason::DeadlineExceeded));
+        assert!(ctx.stop_check().should_stop());
+        assert_eq!(
+            ctx.stop_error(0, 0),
+            SolveError::DeadlineExceeded { rounds_completed: 0, partial_cardinality: 0 }
+        );
+    }
+}

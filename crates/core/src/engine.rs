@@ -8,6 +8,7 @@
 //! engine per [`Algorithm`] it has run, so repeated solves on same-shaped
 //! graphs skip the setup cost the paper excludes from its reported runtimes.
 
+use crate::cancel::SolveCtx;
 use crate::error::SolveError;
 use crate::ghk::{self, GhkVariant, GhkWorkspace};
 use crate::gpr::{self, GprConfig, GprWorkspace};
@@ -19,10 +20,13 @@ use gpm_gpu::{DeviceStats, VirtualGpu};
 use gpm_graph::{BipartiteCsr, Matching};
 
 /// Per-solve context handed to an engine: the (optional) virtual device the
-/// solver session resolved for this call.
+/// solver session resolved for this call, plus the cancellation/deadline
+/// signals the round loops poll.
 pub struct EngineCtx<'a> {
     /// The device GPU engines run on; `None` under a CPU-only policy.
     pub device: Option<&'a VirtualGpu>,
+    /// Cancellation and deadline for this solve (default: unbounded).
+    pub stop: SolveCtx,
 }
 
 impl EngineCtx<'_> {
@@ -118,7 +122,11 @@ impl Engine for GprEngine {
         ctx: &mut EngineCtx<'_>,
     ) -> Result<EngineOutput, SolveError> {
         let device = ctx.require_device(&self.algorithm)?;
-        let r = gpr::run_with(device, graph, initial, self.config, &mut self.workspace);
+        let stop = ctx.stop.stop_check();
+        let r = gpr::run_with_stop(device, graph, initial, self.config, &mut self.workspace, &stop);
+        if r.stats.stopped {
+            return Err(ctx.stop.stop_error(r.stats.loops, r.matching.cardinality()));
+        }
         Ok(EngineOutput {
             matching: r.matching,
             wall_seconds: r.stats.seconds,
@@ -147,14 +155,19 @@ impl Engine for GhkEngine {
         ctx: &mut EngineCtx<'_>,
     ) -> Result<EngineOutput, SolveError> {
         let device = ctx.require_device(&self.algorithm)?;
-        let r = ghk::run_with_mode(
+        let stop = ctx.stop.stop_check();
+        let r = ghk::run_with_mode_stop(
             device,
             graph,
             initial,
             self.variant,
             self.worklist,
             &mut self.workspace,
+            &stop,
         );
+        if r.stats.stopped {
+            return Err(ctx.stop.stop_error(r.stats.phases, r.matching.cardinality()));
+        }
         Ok(EngineOutput {
             matching: r.matching,
             wall_seconds: r.stats.seconds,
@@ -293,7 +306,7 @@ mod tests {
         for alg in seven_families() {
             let mut engine = engine_for(alg).unwrap();
             assert_eq!(engine.algorithm(), alg);
-            let mut ctx = EngineCtx { device: Some(&gpu) };
+            let mut ctx = EngineCtx { device: Some(&gpu), stop: SolveCtx::default() };
             let out = engine.solve(&g, &initial, &mut ctx).unwrap();
             assert_eq!(out.matching.cardinality(), opt, "{alg}");
             assert_eq!(out.device_stats.is_some(), alg.is_gpu(), "{alg}");
@@ -312,7 +325,7 @@ mod tests {
             Algorithm::ghk(GhkVariant::Hk),
         ] {
             let mut engine = engine_for(alg).unwrap();
-            let mut ctx = EngineCtx { device: None };
+            let mut ctx = EngineCtx { device: None, stop: SolveCtx::default() };
             let err = engine.solve(&g, &initial, &mut ctx).unwrap_err();
             assert!(matches!(err, SolveError::DeviceRequired { .. }), "{alg}");
         }

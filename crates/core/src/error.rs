@@ -32,6 +32,23 @@ pub enum SolveError {
         /// (rows, cols) of the initial matching.
         initial: (usize, usize),
     },
+    /// The solve was cancelled through its [`crate::cancel::CancelToken`].
+    /// Engines stop at worklist-round granularity, so the partial matching
+    /// left behind is consistent (no half-applied augmentation).
+    Cancelled {
+        /// Worklist rounds the engine finished before honouring the signal.
+        rounds_completed: u64,
+        /// Cardinality of the (valid, partial) matching at the stop point.
+        partial_cardinality: usize,
+    },
+    /// The solve's deadline expired before it finished.  Like
+    /// [`SolveError::Cancelled`], the stop lands on a round boundary.
+    DeadlineExceeded {
+        /// Worklist rounds the engine finished before the deadline fired.
+        rounds_completed: u64,
+        /// Cardinality of the (valid, partial) matching at the stop point.
+        partial_cardinality: usize,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -47,6 +64,16 @@ impl fmt::Display for SolveError {
                 f,
                 "initial matching shape {}x{} does not match graph shape {}x{}",
                 initial.0, initial.1, graph.0, graph.1
+            ),
+            SolveError::Cancelled { rounds_completed, partial_cardinality } => write!(
+                f,
+                "solve cancelled after {rounds_completed} rounds \
+                 (partial matching of cardinality {partial_cardinality})"
+            ),
+            SolveError::DeadlineExceeded { rounds_completed, partial_cardinality } => write!(
+                f,
+                "solve deadline exceeded after {rounds_completed} rounds \
+                 (partial matching of cardinality {partial_cardinality})"
             ),
         }
     }
@@ -110,6 +137,12 @@ mod tests {
         let e = SolveError::ShapeMismatch { graph: (4, 5), initial: (3, 5) };
         assert!(e.to_string().contains("3x5"));
         assert!(e.to_string().contains("4x5"));
+        let e = SolveError::Cancelled { rounds_completed: 7, partial_cardinality: 123 };
+        assert!(e.to_string().contains("cancelled after 7 rounds"));
+        assert!(e.to_string().contains("123"));
+        let e = SolveError::DeadlineExceeded { rounds_completed: 2, partial_cardinality: 9 };
+        assert!(e.to_string().contains("deadline exceeded after 2 rounds"));
+        assert!(e.to_string().contains("9"));
     }
 
     #[test]

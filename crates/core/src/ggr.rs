@@ -20,7 +20,7 @@
 //! ([`global_relabel_with`]).
 
 use crate::device::{DeviceState, MU_UNMATCHED};
-use gpm_gpu::{VirtualGpu, Worklist, WorklistKernels, WorklistMode};
+use gpm_gpu::{StopCheck, VirtualGpu, Worklist, WorklistKernels, WorklistMode};
 use gpm_graph::BipartiteCsr;
 
 /// Kernel names the G-GR frontier worklist charges its maintenance to.
@@ -39,6 +39,11 @@ pub struct GlobalRelabelOutcome {
     pub max_level: u32,
     /// Number of BFS level kernels launched.
     pub levels: u32,
+    /// `true` when the BFS was abandoned mid-way by a
+    /// [`gpm_gpu::StopCheck`].  The labels are then incomplete (some ψ may
+    /// remain at `m + n`); the matching arrays are untouched either way, so
+    /// the caller can stop the whole solve safely.
+    pub stopped: bool,
 }
 
 /// Runs `G-GR` on the device, overwriting `ψ` with exact distances, with the
@@ -59,6 +64,20 @@ pub fn global_relabel_with(
     graph: &BipartiteCsr,
     state: &DeviceState,
     mode: WorklistMode,
+) -> GlobalRelabelOutcome {
+    global_relabel_with_stop(gpu, graph, state, mode, &StopCheck::never())
+}
+
+/// Runs `G-GR` like [`global_relabel_with`], polling `stop` between BFS
+/// levels.  A long relabeling (the deepest alternating path can span the
+/// whole graph) is abandoned at level granularity with
+/// [`GlobalRelabelOutcome::stopped`] set.
+pub fn global_relabel_with_stop(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    state: &DeviceState,
+    mode: WorklistMode,
+    stop: &StopCheck,
 ) -> GlobalRelabelOutcome {
     let m = graph.num_rows();
     let unreachable = state.unreachable;
@@ -86,7 +105,12 @@ pub fn global_relabel_with(
     frontier.seed_by_predicate(|u| state.mu_row.get(u) == MU_UNMATCHED);
     let mut c_level: u32 = 0;
     let mut levels = 0u32;
+    let mut stopped = false;
     loop {
+        if stop.should_stop() {
+            stopped = true;
+            break;
+        }
         frontier.for_each_frontier("G-GR-KRNL", |ctx, u, frontier| {
             for &v in graph.row_neighbors(u as u32) {
                 ctx.add_work(1);
@@ -110,7 +134,7 @@ pub fn global_relabel_with(
 
     // maxLevel is the level counter reached when the BFS stopped adding rows
     // (Algorithm 4 line 8).
-    GlobalRelabelOutcome { max_level: c_level, levels }
+    GlobalRelabelOutcome { max_level: c_level, levels, stopped }
 }
 
 #[cfg(test)]
@@ -252,6 +276,44 @@ mod tests {
         assert_eq!(state.psi_row.to_vec(), vec![4, 2, 0]);
         assert_eq!(state.psi_col.to_vec(), vec![5, 3, 1]);
         assert!(out.max_level >= 4);
+    }
+
+    #[test]
+    fn stop_check_abandons_bfs_between_levels() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        // Long alternating path → many BFS levels, so a stop firing on the
+        // third poll must leave the deepest labels unwritten.
+        let n = 40;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, i));
+            if i + 1 < n {
+                edges.push((i, i + 1));
+            }
+        }
+        let g = BipartiteCsr::from_edges(n as usize, n as usize, &edges).unwrap();
+        let mut m = Matching::empty_for(&g);
+        for i in 0..n - 1 {
+            m.match_pair(i, i + 1);
+        }
+        let gpu = VirtualGpu::sequential();
+
+        let state = DeviceState::upload(&g, &m);
+        let full = global_relabel(&gpu, &g, &state);
+        assert!(!full.stopped);
+        assert!(full.levels > 3, "need a deep BFS for this test, got {}", full.levels);
+
+        let state = DeviceState::upload(&g, &m);
+        let polls = Arc::new(AtomicU32::new(0));
+        let p = Arc::clone(&polls);
+        let stop = StopCheck::from_fn(move || p.fetch_add(1, Ordering::Relaxed) >= 3);
+        let out = global_relabel_with_stop(&gpu, &g, &state, WorklistMode::DenseStamp, &stop);
+        assert!(out.stopped);
+        // Stopped within one level of the signal: exactly the polls that
+        // returned `false` ran a level kernel.
+        assert_eq!(out.levels, 3);
+        assert!(out.levels < full.levels);
     }
 
     #[test]

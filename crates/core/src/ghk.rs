@@ -29,7 +29,9 @@
 //! same order.
 
 use crate::device::{DeviceState, MU_UNMATCHED};
-use gpm_gpu::{DeviceBuffer, DeviceStats, VirtualGpu, Worklist, WorklistKernels, WorklistMode};
+use gpm_gpu::{
+    DeviceBuffer, DeviceStats, StopCheck, VirtualGpu, Worklist, WorklistKernels, WorklistMode,
+};
 use gpm_graph::{BipartiteCsr, Matching, VertexId};
 
 const INF: u32 = u32::MAX;
@@ -82,6 +84,10 @@ pub struct GhkRunStats {
     pub device: DeviceStats,
     /// Host wall-clock time, seconds.
     pub seconds: f64,
+    /// `true` when the run was stopped early by its
+    /// [`gpm_gpu::StopCheck`] (cancellation or deadline): the matching is a
+    /// consistent partial matching, not necessarily maximum.
+    pub stopped: bool,
 }
 
 /// Result of a G-HK / G-HKDW run.
@@ -150,6 +156,22 @@ pub fn run_with_mode(
     mode: WorklistMode,
     workspace: &mut GhkWorkspace,
 ) -> GhkResult {
+    run_with_mode_stop(gpu, graph, initial, variant, mode, workspace, &StopCheck::never())
+}
+
+/// Runs G-HK / G-HKDW like [`run_with_mode`], polling `stop` at every phase
+/// and between BFS levels.  G-HK keeps µ consistent at all times, so a
+/// stopped run simply downloads the matching as it stands and returns with
+/// [`GhkRunStats::stopped`] set.
+pub fn run_with_mode_stop(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    initial: &Matching,
+    variant: GhkVariant,
+    mode: WorklistMode,
+    workspace: &mut GhkWorkspace,
+    stop: &StopCheck,
+) -> GhkResult {
     let start = std::time::Instant::now();
     let base_stats = gpu.stats();
     let GhkWorkspace { state: state_slot, dist_col: dist_slot } = workspace;
@@ -165,6 +187,10 @@ pub fn run_with_mode(
     let mut frontier = Worklist::new(gpu, mode, n, GHK_WORKLIST_KERNELS);
 
     loop {
+        if stop.should_stop() {
+            stats.stopped = true;
+            break;
+        }
         // ---- BFS phase (level-synchronous kernels over columns) ----
         gpu.launch("G-HK-BFS-INIT", n, |ctx| {
             let v = ctx.global_id;
@@ -178,6 +204,10 @@ pub fn run_with_mode(
         found_free_row.set(0, false);
         let mut level = 0u32;
         loop {
+            if stop.should_stop() {
+                stats.stopped = true;
+                break;
+            }
             frontier.for_each_frontier("G-HK-BFS-KRNL", |ctx, v, frontier| {
                 for &u in graph.col_neighbors(v as u32) {
                     ctx.add_work(1);
@@ -197,6 +227,9 @@ pub fn run_with_mode(
                 break;
             }
             level += 1;
+        }
+        if stats.stopped {
+            break;
         }
         if !found_free_row.get(0) {
             break; // no augmenting path: maximum reached
@@ -723,6 +756,51 @@ mod tests {
             queue_threads < dense_threads,
             "queue frontier should launch fewer BFS threads ({queue_threads} vs {dense_threads})"
         );
+    }
+
+    #[test]
+    fn stop_check_halts_within_one_phase() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let gpu = VirtualGpu::sequential();
+        let g = gen::rmat(gen::RmatParams::graph500(10, 4), 8).unwrap();
+        let init = cheap_matching(&g);
+        for variant in [GhkVariant::Hk, GhkVariant::Hkdw] {
+            let polls = Arc::new(AtomicU64::new(0));
+            let p = Arc::clone(&polls);
+            let stop = StopCheck::from_fn(move || p.fetch_add(1, Ordering::Relaxed) >= 2);
+            let r = run_with_mode_stop(
+                &gpu,
+                &g,
+                &init,
+                variant,
+                variant.default_worklist(),
+                &mut GhkWorkspace::new(),
+                &stop,
+            );
+            assert!(r.stats.stopped, "{}", variant.label());
+            // Every phase polls at least twice (phase head + first BFS
+            // level), so a signal tripped at poll 2 stops within phase 1.
+            assert!(r.stats.phases <= 1, "{}: {} phases", variant.label(), r.stats.phases);
+            // µ stays consistent at all times in G-HK.
+            r.matching.validate_against(&g).unwrap();
+            assert!(r.matching.cardinality() >= init.cardinality());
+        }
+
+        // A pre-tripped stop performs no phase at all.
+        let stop = StopCheck::from_fn(|| true);
+        let r = run_with_mode_stop(
+            &gpu,
+            &g,
+            &init,
+            GhkVariant::Hk,
+            WorklistMode::DenseStamp,
+            &mut GhkWorkspace::new(),
+            &stop,
+        );
+        assert!(r.stats.stopped);
+        assert_eq!(r.stats.phases, 0);
+        assert_eq!(r.matching.cardinality(), init.cardinality());
     }
 
     #[test]

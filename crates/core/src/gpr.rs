@@ -30,10 +30,11 @@
 //! [`GprConfig::worklist`].
 
 use crate::device::{DeviceState, MU_UNMATCHABLE, MU_UNMATCHED};
-use crate::ggr::global_relabel_with;
+use crate::ggr::global_relabel_with_stop;
 use crate::strategy::GrStrategy;
 use gpm_gpu::{
-    ActiveView, DeviceStats, SlotAction, VirtualGpu, Worklist, WorklistKernels, WorklistMode,
+    ActiveView, DeviceStats, SlotAction, StopCheck, VirtualGpu, Worklist, WorklistKernels,
+    WorklistMode,
 };
 use gpm_graph::{BipartiteCsr, Matching};
 
@@ -179,6 +180,10 @@ pub struct GprRunStats {
     pub device: DeviceStats,
     /// Host wall-clock time of the whole solve, seconds.
     pub seconds: f64,
+    /// `true` when the run was stopped early by its
+    /// [`gpm_gpu::StopCheck`] (cancellation or deadline): the matching is a
+    /// consistent partial matching, not necessarily maximum.
+    pub stopped: bool,
 }
 
 /// Result of a G-PR run: the maximum matching plus counters.
@@ -237,6 +242,22 @@ pub fn run_with(
     config: GprConfig,
     workspace: &mut GprWorkspace,
 ) -> GprResult {
+    run_with_stop(gpu, graph, initial, config, workspace, &StopCheck::never())
+}
+
+/// Runs G-PR like [`run_with`], polling `stop` at every main-loop round
+/// (and between global-relabeling BFS levels).  When the check fires, the
+/// run finishes its current round, repairs the matching with `FIXMATCHING`,
+/// and returns with [`GprRunStats::stopped`] set — the matching is a valid
+/// partial matching of whatever cardinality was reached.
+pub fn run_with_stop(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    initial: &Matching,
+    config: GprConfig,
+    workspace: &mut GprWorkspace,
+    stop: &StopCheck,
+) -> GprResult {
     let start = std::time::Instant::now();
     let base_stats = gpu.stats();
     let GprWorkspace { state: state_slot } = workspace;
@@ -249,9 +270,9 @@ pub fn run_with(
     };
 
     match config.variant {
-        GprVariant::First => run_first(gpu, graph, state, &config, &mut stats),
+        GprVariant::First => run_first(gpu, graph, state, &config, &mut stats, stop),
         GprVariant::ActiveList | GprVariant::Shrink => {
-            run_active_list(gpu, graph, state, &config, &mut stats)
+            run_active_list(gpu, graph, state, &config, &mut stats, stop)
         }
     }
 
@@ -358,6 +379,7 @@ fn run_first(
     state: &DeviceState,
     config: &GprConfig,
     stats: &mut GprRunStats,
+    stop: &StopCheck,
 ) {
     let n = graph.num_cols();
     let mut loop_iter: u64 = 0;
@@ -374,9 +396,17 @@ fn run_first(
             loop_iter < max_loops,
             "G-PR-First exceeded the safety iteration cap ({max_loops}); this indicates a bug"
         );
+        if stop.should_stop() {
+            stats.stopped = true;
+            break;
+        }
         if loop_iter == iter_gr {
-            let outcome = global_relabel_with(gpu, graph, state, config.worklist);
+            let outcome = global_relabel_with_stop(gpu, graph, state, config.worklist, stop);
             stats.global_relabels += 1;
+            if outcome.stopped {
+                stats.stopped = true;
+                break;
+            }
             iter_gr = config.strategy.next_relabel_iteration(outcome.max_level, loop_iter);
         }
         active_exists = worklist.scan_domain("G-PR-KRNL", |ctx, v, marker| {
@@ -401,6 +431,7 @@ fn run_active_list(
     state: &DeviceState,
     config: &GprConfig,
     stats: &mut GprRunStats,
+    stop: &StopCheck,
 ) {
     let n = graph.num_cols();
     let max_loops = config.effective_max_loops(graph);
@@ -426,9 +457,17 @@ fn run_active_list(
             loop_iter < max_loops,
             "G-PR active-list variant exceeded the safety iteration cap ({max_loops}); this indicates a bug"
         );
+        if stop.should_stop() {
+            stats.stopped = true;
+            break;
+        }
         if loop_iter == iter_gr {
-            let outcome = global_relabel_with(gpu, graph, state, config.worklist);
+            let outcome = global_relabel_with_stop(gpu, graph, state, config.worklist, stop);
             stats.global_relabels += 1;
+            if outcome.stopped {
+                stats.stopped = true;
+                break;
+            }
             iter_gr = config.strategy.next_relabel_iteration(outcome.max_level, loop_iter);
             shrink_pending = true;
         }
@@ -781,6 +820,88 @@ mod tests {
         let r3 = run_with(&gpu, &g3, &cheap_matching(&g3), GprConfig::paper_default(), &mut ws);
         assert_eq!(r3.matching.cardinality(), maximum_matching_cardinality(&g3));
         assert!(ws.is_warm_for(&g3));
+    }
+
+    #[test]
+    fn stop_check_halts_within_one_round() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let gpu = VirtualGpu::sequential();
+        // Table-I-scale-ish RMAT instance: plenty of rounds to interrupt.
+        let g = gen::rmat(gen::RmatParams::graph500(11, 4), 4).unwrap();
+        let init = cheap_matching(&g);
+        let opt = maximum_matching_cardinality(&g);
+        for variant in all_variants() {
+            // Trip the signal on the fourth poll: at most three rounds (plus
+            // GR level polls, which only shrink the budget) may have run.
+            let polls = Arc::new(AtomicU64::new(0));
+            let p = Arc::clone(&polls);
+            let stop = StopCheck::from_fn(move || p.fetch_add(1, Ordering::Relaxed) >= 3);
+            let r = run_with_stop(
+                &gpu,
+                &g,
+                &init,
+                GprConfig::with_variant(variant),
+                &mut GprWorkspace::new(),
+                &stop,
+            );
+            assert!(r.stats.stopped, "{}", variant.label());
+            // Each completed round burned at least one poll, so the round
+            // count bounds how far past the signal the engine ran: within
+            // one round of the poll that tripped.
+            assert!(
+                r.stats.loops <= 3,
+                "{} ran {} rounds past a signal tripped at poll 3",
+                variant.label(),
+                r.stats.loops
+            );
+            // The partial matching is consistent (FIXMATCHING ran) and no
+            // better than the optimum.
+            r.matching.validate_against(&g).unwrap();
+            assert!(r.matching.cardinality() <= opt);
+            assert!(r.matching.cardinality() >= init.cardinality().saturating_sub(1));
+        }
+    }
+
+    #[test]
+    fn pre_tripped_stop_completes_zero_rounds() {
+        let gpu = VirtualGpu::sequential();
+        let g = gen::uniform_random(100, 100, 500, 3).unwrap();
+        let init = cheap_matching(&g);
+        for variant in all_variants() {
+            let stop = StopCheck::from_fn(|| true);
+            let r = run_with_stop(
+                &gpu,
+                &g,
+                &init,
+                GprConfig::with_variant(variant),
+                &mut GprWorkspace::new(),
+                &stop,
+            );
+            assert!(r.stats.stopped, "{}", variant.label());
+            assert_eq!(r.stats.loops, 0, "{}", variant.label());
+            r.matching.validate_against(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn never_stop_matches_plain_run() {
+        let gpu = VirtualGpu::sequential();
+        let g = gen::uniform_random(80, 80, 400, 7).unwrap();
+        let init = cheap_matching(&g);
+        let plain = run(&gpu, &g, &init, GprConfig::paper_default());
+        let stopped = run_with_stop(
+            &gpu,
+            &g,
+            &init,
+            GprConfig::paper_default(),
+            &mut GprWorkspace::new(),
+            &StopCheck::never(),
+        );
+        assert!(!plain.stats.stopped);
+        assert!(!stopped.stats.stopped);
+        assert_eq!(plain.matching.cardinality(), stopped.matching.cardinality());
+        assert_eq!(plain.stats.loops, stopped.stats.loops);
     }
 
     #[test]

@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod device;
 pub mod engine;
 pub mod error;
@@ -66,6 +67,7 @@ pub mod gpr;
 pub mod solver;
 pub mod strategy;
 
+pub use cancel::{CancelToken, SolveCtx, StopReason};
 pub use engine::{Engine, EngineCtx, EngineOutput};
 pub use error::{ParseAlgorithmError, ParseInitHeuristicError, SolveError};
 pub use ghk::{GhkVariant, GhkWorkspace};

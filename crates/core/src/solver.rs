@@ -25,6 +25,7 @@
 //! The free functions [`solve`] and [`solve_with_initial`] of the original
 //! API remain as thin shims over a throwaway `Solver`.
 
+use crate::cancel::SolveCtx;
 use crate::engine::{engine_for, engine_for_tuned, Engine, EngineCtx};
 use crate::error::{ParseAlgorithmError, ParseInitHeuristicError, SolveError};
 use crate::ghk::GhkVariant;
@@ -595,6 +596,25 @@ impl Solver {
         initial: &Matching,
         algorithm: Algorithm,
     ) -> Result<SolveReport, SolveError> {
+        self.solve_with_initial_ctx(graph, initial, algorithm, &SolveCtx::unbounded())
+    }
+
+    /// Solves `graph` with `algorithm`, starting from `initial`, under the
+    /// cancellation/deadline signals of `ctx`.
+    ///
+    /// GPU engines poll the signals at worklist-round granularity and return
+    /// [`SolveError::Cancelled`] / [`SolveError::DeadlineExceeded`] with the
+    /// rounds completed and the cardinality of the consistent partial
+    /// matching they stopped at.  CPU engines are not round-interruptible;
+    /// for them (and for everything else) an already-tripped signal fails
+    /// fast before the engine runs, reporting zero rounds.
+    pub fn solve_with_initial_ctx(
+        &mut self,
+        graph: &BipartiteCsr,
+        initial: &Matching,
+        algorithm: Algorithm,
+        ctx: &SolveCtx,
+    ) -> Result<SolveReport, SolveError> {
         // Validate before creating a device, so an invalid GPU config is
         // InvalidConfig even on a CPU-only session.
         algorithm.validate()?;
@@ -612,7 +632,7 @@ impl Solver {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(v) => v.insert(engine_for_tuned(algorithm, &self.gpr)?),
         };
-        run_engine(engine.as_mut(), graph, initial, device)
+        run_engine(engine.as_mut(), graph, initial, device, ctx)
     }
 
     /// Solves a batch of `(graph, algorithm)` jobs with warm state reuse
@@ -649,6 +669,7 @@ fn run_engine(
     graph: &BipartiteCsr,
     initial: &Matching,
     device: Option<&VirtualGpu>,
+    stop: &SolveCtx,
 ) -> Result<SolveReport, SolveError> {
     if initial.num_rows() != graph.num_rows() || initial.num_cols() != graph.num_cols() {
         return Err(SolveError::ShapeMismatch {
@@ -656,8 +677,13 @@ fn run_engine(
             initial: (initial.num_rows(), initial.num_cols()),
         });
     }
+    // Fail fast on an already-tripped signal so even the CPU engines (which
+    // run uninterruptibly) honour a pre-start cancel or an expired deadline.
+    if let Some(reason) = stop.check() {
+        return Err(reason.into_error(0, 0));
+    }
     let initial_cardinality = initial.cardinality();
-    let mut ctx = EngineCtx { device };
+    let mut ctx = EngineCtx { device, stop: stop.clone() };
     let out = engine.solve(graph, initial, &mut ctx)?;
     let cardinality = out.matching.cardinality();
     let modelled_device_seconds = out.device_stats.as_ref().map(|s| s.modelled_time_secs());
@@ -696,7 +722,7 @@ pub fn solve_with_initial(
         None => Solver::new().solve_with_initial(graph, initial, algorithm),
         Some(device) => {
             let mut engine = engine_for(algorithm)?;
-            run_engine(engine.as_mut(), graph, initial, Some(device))
+            run_engine(engine.as_mut(), graph, initial, Some(device), &SolveCtx::unbounded())
         }
     }
 }

@@ -5,7 +5,10 @@
 use gpm_core::solver::{
     paper_comparison_set, solve, Algorithm, DevicePolicy, InitHeuristic, Solver,
 };
-use gpm_core::{ExecutorConfig, GhkVariant, GprConfig, GprVariant, GrStrategy, SolveError};
+use gpm_core::{
+    CancelToken, ExecutorConfig, GhkVariant, GprConfig, GprVariant, GrStrategy, SolveCtx,
+    SolveError,
+};
 use gpm_gpu::WorklistMode;
 use gpm_graph::gen;
 use gpm_graph::instances::{mini_suite, Scale};
@@ -304,6 +307,95 @@ fn all_worklist_modes_match_the_oracle_over_the_mini_suite() {
             }
         }
     }
+}
+
+#[test]
+fn pre_cancelled_solves_fail_fast_for_every_algorithm_family() {
+    // An already-tripped token never touches an engine: zero rounds, zero
+    // partial cardinality, for GPU and CPU families alike.
+    let g = gen::uniform_random(50, 50, 250, 12).unwrap();
+    let initial = Matching::empty_for(&g);
+    let token = CancelToken::new();
+    token.cancel();
+    let ctx = SolveCtx::with_cancel(token);
+    let mut solver = Solver::builder()
+        .device_policy(DevicePolicy::Sequential)
+        .build()
+        .expect("valid solver config");
+    for alg in every_algorithm() {
+        match solver.solve_with_initial_ctx(&g, &initial, alg, &ctx).unwrap_err() {
+            SolveError::Cancelled { rounds_completed, partial_cardinality } => {
+                assert_eq!(rounds_completed, 0, "{alg}");
+                assert_eq!(partial_cardinality, 0, "{alg}");
+            }
+            other => panic!("{alg}: expected Cancelled, got {other:?}"),
+        }
+    }
+    // The session is not poisoned: the same solver still solves.
+    let report = solver.solve(&g, Algorithm::HopcroftKarp).unwrap();
+    assert_eq!(report.cardinality, maximum_matching_cardinality(&g));
+}
+
+#[test]
+fn expired_deadline_is_deadline_exceeded_not_cancelled() {
+    let g = gen::uniform_random(40, 40, 200, 13).unwrap();
+    let initial = Matching::empty_for(&g);
+    let ctx =
+        SolveCtx::with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+    let mut solver = Solver::builder()
+        .device_policy(DevicePolicy::Sequential)
+        .build()
+        .expect("valid solver config");
+    for alg in [Algorithm::gpr_default(), Algorithm::HopcroftKarp] {
+        assert!(
+            matches!(
+                solver.solve_with_initial_ctx(&g, &initial, alg, &ctx).unwrap_err(),
+                SolveError::DeadlineExceeded { rounds_completed: 0, partial_cardinality: 0 }
+            ),
+            "{alg}"
+        );
+    }
+}
+
+#[test]
+fn mid_solve_cancellation_reports_rounds_and_partial_progress() {
+    // Cancel from a clone of the token on another thread after the engine
+    // has started: the G-PR solve must stop at a round boundary and report
+    // how far it got.
+    let g = gen::rmat(gen::RmatParams::graph500(11, 4), 21).unwrap();
+    let initial = Matching::empty_for(&g);
+    let opt = maximum_matching_cardinality(&g);
+
+    let token = CancelToken::new();
+    let trip = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            // Wait until the solve is plausibly inside its round loop.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            token.cancel();
+        })
+    };
+
+    let ctx = SolveCtx::with_cancel(token.clone());
+    let mut solver = Solver::builder()
+        .device_policy(DevicePolicy::Sequential)
+        .build()
+        .expect("valid solver config");
+    let result = solver.solve_with_initial_ctx(&g, &initial, Algorithm::gpr_default(), &ctx);
+    trip.join().unwrap();
+    match result {
+        // The usual outcome at this scale: cancelled mid-run with a
+        // consistent partial matching no better than the optimum.
+        Err(SolveError::Cancelled { partial_cardinality, .. }) => {
+            assert!(partial_cardinality <= opt);
+        }
+        // On a very fast machine the solve may legitimately finish first.
+        Ok(report) => assert_eq!(report.cardinality, opt),
+        Err(other) => panic!("expected Cancelled or success, got {other:?}"),
+    }
+    // Either way the session keeps working afterwards.
+    let report = solver.solve(&g, Algorithm::gpr_default()).unwrap();
+    assert_eq!(report.cardinality, opt);
 }
 
 #[test]

@@ -68,6 +68,7 @@ pub mod perfmodel;
 pub mod primitives;
 pub mod scratch;
 pub mod stats;
+pub mod stop;
 pub mod worklist;
 
 pub use buffer::{DeviceBuffer, DeviceScalar};
@@ -75,6 +76,7 @@ pub use engine::{Backend, ExecutorConfig, GpuConfig, LaunchRecord, ThreadCtx, Vi
 pub use perfmodel::PerfModel;
 pub use scratch::{ScratchArena, ScratchBuffer, ScratchStats};
 pub use stats::{DeviceStats, KernelStats};
+pub use stop::StopCheck;
 pub use worklist::{
     ActiveView, DomainMarker, FrontierView, ParseWorklistModeError, SlotAction, Worklist,
     WorklistKernels, WorklistMode, WL_EMPTY,

@@ -1,0 +1,102 @@
+//! Cooperative stop checks for round-structured device loops.
+//!
+//! Every frontier-driven engine built on the [`crate::worklist::Worklist`]
+//! advances in bulk-synchronous *rounds*: `begin_round` / `for_each_active`
+//! / `end_round`, or `for_each_frontier` / `advance_frontier`.  The host
+//! regains control between rounds, which makes the round boundary the
+//! natural preemption point for cancellation and deadlines — a kernel never
+//! has to be interrupted mid-flight, exactly like a real GPU where a launch
+//! is uninterruptible but the host decides whether to launch the next one.
+//!
+//! [`StopCheck`] packages that decision: a cheap, cloneable predicate the
+//! engine polls once per round.  The default ([`StopCheck::never`]) costs a
+//! single `Option` discriminant test, so uncancellable solves pay nothing.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A cooperative stop predicate polled by engines at worklist-round
+/// granularity.
+///
+/// `StopCheck` is deliberately one-directional: once the predicate returns
+/// `true` the engine is expected to wind down (finish the current round,
+/// repair state, report partial progress) — the check carries no reason;
+/// whoever installed it knows why it fired.
+#[derive(Clone, Default)]
+pub struct StopCheck {
+    predicate: Option<Arc<dyn Fn() -> bool + Send + Sync>>,
+}
+
+impl StopCheck {
+    /// A check that never requests a stop (the default).  Polling it is a
+    /// single `Option` discriminant test.
+    pub const fn never() -> Self {
+        Self { predicate: None }
+    }
+
+    /// Wraps an arbitrary predicate.  The predicate is polled once per
+    /// worklist round, so it may do real work (clock reads, atomic loads),
+    /// but it must be cheap relative to a kernel launch.
+    pub fn from_fn(predicate: impl Fn() -> bool + Send + Sync + 'static) -> Self {
+        Self { predicate: Some(Arc::new(predicate)) }
+    }
+
+    /// `true` when this is [`StopCheck::never`] — engines may use this to
+    /// skip per-round bookkeeping entirely.
+    pub fn is_never(&self) -> bool {
+        self.predicate.is_none()
+    }
+
+    /// Polls the predicate.  A `true` result is a request to stop at the
+    /// next round boundary; `false` means keep going.
+    pub fn should_stop(&self) -> bool {
+        match &self.predicate {
+            Some(p) => p(),
+            None => false,
+        }
+    }
+}
+
+impl fmt::Debug for StopCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StopCheck").field("never", &self.is_never()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    #[test]
+    fn never_never_stops() {
+        let check = StopCheck::never();
+        assert!(check.is_never());
+        assert!(!check.should_stop());
+        assert!(StopCheck::default().is_never());
+    }
+
+    #[test]
+    fn predicate_is_polled_each_time() {
+        let polls = Arc::new(AtomicU64::new(0));
+        let p = Arc::clone(&polls);
+        let check = StopCheck::from_fn(move || p.fetch_add(1, Ordering::Relaxed) >= 2);
+        assert!(!check.is_never());
+        assert!(!check.should_stop());
+        assert!(!check.should_stop());
+        assert!(check.should_stop());
+        assert_eq!(polls.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn clones_share_the_predicate() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f = Arc::clone(&flag);
+        let check = StopCheck::from_fn(move || f.load(Ordering::Relaxed));
+        let clone = check.clone();
+        assert!(!clone.should_stop());
+        flag.store(true, Ordering::Relaxed);
+        assert!(check.should_stop());
+        assert!(clone.should_stop());
+    }
+}

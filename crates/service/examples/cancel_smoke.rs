@@ -1,0 +1,79 @@
+//! Cross-connection cancellation smoke test against a running
+//! `gpm-service` server (CI runs this with a timeout guard):
+//!
+//! 1. Connection A submits a deliberately huge, low-priority, tagged solve
+//!    (a Table-I-scale RMAT instance from an empty initial matching).
+//! 2. Connection B cancels it by tag, retrying until the registry has the
+//!    job (the submit races the cancel) or a generous deadline passes.
+//! 3. The solve must come back as a prompt `cancelled` error — engines
+//!    honour the token at worklist-round granularity, so a cancel lands
+//!    within one round, not after the full solve.
+//!
+//! ```text
+//! cargo run --release -p gpm-service &               # listens on 127.0.0.1:7878
+//! cargo run --release -p gpm-service --example cancel_smoke
+//! ```
+//!
+//! Pass a different address as the first argument.  Set `KEEP_SERVER=1` to
+//! skip the final shutdown request.
+
+use gpm_core::{Algorithm, InitHeuristic};
+use gpm_graph::gen;
+use gpm_service::{Client, SolveOptions};
+use std::time::{Duration, Instant};
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".to_string());
+
+    // Connection A: a big tagged solve, run on its own thread because the
+    // protocol is blocking request/response per connection.
+    let graph = gen::rmat(gen::RmatParams::graph500(17, 16), 7).expect("generate graph");
+    println!(
+        "submitting {}x{} RMAT solve ({} edges) tagged 'smoke-victim' …",
+        graph.num_rows(),
+        graph.num_cols(),
+        graph.num_edges()
+    );
+    let solve_addr = addr.clone();
+    let started = Instant::now();
+    let solve = std::thread::spawn(move || -> std::io::Result<std::io::Error> {
+        let mut a = Client::connect(&solve_addr)?;
+        let options = SolveOptions { tag: Some("smoke-victim".to_string()), ..Default::default() };
+        // G-PR is a device engine: it polls the cancel token at worklist-round
+        // granularity, unlike the CPU algorithms which only fail fast when the
+        // token is already tripped before they start.
+        match a.solve_inline_with(&graph, Algorithm::gpr_default(), InitHeuristic::Empty, &options)
+        {
+            // The whole point is that this must NOT complete normally.
+            Ok(_) => Err(std::io::Error::other("solve finished before the cancel landed")),
+            Err(e) => Ok(e),
+        }
+    });
+
+    // Connection B: cancel by tag, retrying until the solve is registered.
+    let mut b = Client::connect(&addr)?;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let cancelled = b.cancel_tag("smoke-victim")?;
+        if cancelled > 0 {
+            println!("cancel reached {cancelled} job(s) after {:?}", started.elapsed());
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(std::io::Error::other("cancel never found the tagged job"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let err = solve.join().expect("solve thread panicked")?;
+    let message = err.to_string();
+    assert!(message.contains("cancelled"), "expected a cancelled error, got: {message}");
+    println!("solve failed as expected: {message}");
+    println!("cancelled end-to-end in {:?}", started.elapsed());
+
+    if std::env::var("KEEP_SERVER").is_err() {
+        b.shutdown()?;
+        println!("server shut down");
+    }
+    Ok(())
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! gpm-service [--addr HOST:PORT] [--workers N] [--cache N] [--device POLICY]
+//!             [--max-queue-depth N]
 //! ```
 //!
 //! * `--addr` — listen address (default `127.0.0.1:7878`; port 0 picks a
@@ -10,6 +11,9 @@
 //! * `--cache` — graph-cache capacity in graphs (default 32).
 //! * `--device` — `cpu-only`, `sequential`, `parallel:N`, or `auto`
 //!   (default `sequential`).
+//! * `--max-queue-depth` — bound the job queue; full-queue submissions are
+//!   rejected with an `overloaded` error instead of queuing (default:
+//!   unbounded).
 //!
 //! The process exits after a client sends `{"op":"shutdown"}`.
 
@@ -40,6 +44,7 @@ fn run() -> Result<(), String> {
     let mut workers = 2usize;
     let mut cache = 32usize;
     let mut device = DevicePolicy::Sequential;
+    let mut max_queue_depth: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -57,9 +62,17 @@ fn run() -> Result<(), String> {
                     .map_err(|_| "--cache requires an integer".to_string())?;
             }
             "--device" => device = parse_device(&value("--device")?)?,
+            "--max-queue-depth" => {
+                max_queue_depth = Some(
+                    value("--max-queue-depth")?
+                        .parse()
+                        .map_err(|_| "--max-queue-depth requires an integer".to_string())?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "gpm-service [--addr HOST:PORT] [--workers N] [--cache N] [--device POLICY]"
+                    "gpm-service [--addr HOST:PORT] [--workers N] [--cache N] [--device POLICY] \
+                     [--max-queue-depth N]"
                 );
                 return Ok(());
             }
@@ -69,8 +82,12 @@ fn run() -> Result<(), String> {
 
     let listener = TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
-    let service =
-        Service::builder().workers(workers).cache_capacity(cache).device_policy(device).build();
+    let mut builder =
+        Service::builder().workers(workers).cache_capacity(cache).device_policy(device);
+    if let Some(depth) = max_queue_depth {
+        builder = builder.max_queue_depth(depth);
+    }
+    let service = builder.build();
     // Scripts (and the CI smoke test) wait for this line before connecting.
     println!("gpm-service listening on {local} ({workers} workers, cache {cache})");
     serve(listener, service).map_err(|e| format!("server error: {e}"))

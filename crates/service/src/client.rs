@@ -68,19 +68,32 @@ impl Client {
     }
 
     /// Solves a previously uploaded graph by fingerprint.  Returns the full
-    /// response map (`report`, `worker`, `cache_hit`, …).
+    /// response map (`report`, `worker`, `cache_hit`, `job_id`, …).
     pub fn solve_cached(
         &mut self,
         fingerprint: u64,
         algorithm: Algorithm,
         init: InitHeuristic,
     ) -> std::io::Result<Value> {
-        self.request(vec![
+        self.solve_cached_with(fingerprint, algorithm, init, &SolveOptions::default())
+    }
+
+    /// [`Client::solve_cached`] with explicit scheduling options.
+    pub fn solve_cached_with(
+        &mut self,
+        fingerprint: u64,
+        algorithm: Algorithm,
+        init: InitHeuristic,
+        options: &SolveOptions,
+    ) -> std::io::Result<Value> {
+        let mut fields = vec![
             ("op".to_string(), Value::Str("solve".to_string())),
             ("algorithm".to_string(), Value::Str(algorithm.to_string())),
             ("init".to_string(), Value::Str(init.to_string())),
             ("fingerprint".to_string(), Value::Str(fingerprint_to_hex(fingerprint))),
-        ])
+        ];
+        options.extend_fields(&mut fields);
+        self.request(fields)
     }
 
     /// Solves a graph shipped inline with the request.
@@ -90,13 +103,45 @@ impl Client {
         algorithm: Algorithm,
         init: InitHeuristic,
     ) -> std::io::Result<Value> {
+        self.solve_inline_with(graph, algorithm, init, &SolveOptions::default())
+    }
+
+    /// [`Client::solve_inline`] with explicit scheduling options.
+    pub fn solve_inline_with(
+        &mut self,
+        graph: &BipartiteCsr,
+        algorithm: Algorithm,
+        init: InitHeuristic,
+        options: &SolveOptions,
+    ) -> std::io::Result<Value> {
         let mut fields = vec![
             ("op".to_string(), Value::Str("solve".to_string())),
             ("algorithm".to_string(), Value::Str(algorithm.to_string())),
             ("init".to_string(), Value::Str(init.to_string())),
         ];
+        options.extend_fields(&mut fields);
         fields.extend(graph_to_fields(graph));
         self.request(fields)
+    }
+
+    /// Cancels the in-flight solve with this server-assigned job id.
+    /// Returns how many jobs were signalled (0 when already finished).
+    pub fn cancel_job(&mut self, job_id: u64) -> std::io::Result<u64> {
+        let response = self.request(vec![
+            ("op".to_string(), Value::Str("cancel".to_string())),
+            ("job_id".to_string(), Value::U64(job_id)),
+        ])?;
+        cancelled_count(&response)
+    }
+
+    /// Cancels every in-flight solve carrying this tag (submitted from any
+    /// connection).  Returns how many jobs were signalled.
+    pub fn cancel_tag(&mut self, tag: &str) -> std::io::Result<u64> {
+        let response = self.request(vec![
+            ("op".to_string(), Value::Str("cancel".to_string())),
+            ("tag".to_string(), Value::Str(tag.to_string())),
+        ])?;
+        cancelled_count(&response)
     }
 
     /// Fetches the service stats snapshot (the `stats` sub-object).
@@ -111,4 +156,38 @@ impl Client {
     pub fn shutdown(&mut self) -> std::io::Result<()> {
         self.request(vec![("op".to_string(), Value::Str("shutdown".to_string()))]).map(|_| ())
     }
+}
+
+/// Optional scheduling attributes of a solve request: priority, deadline,
+/// and a tag for cross-connection cancellation.  The default is the
+/// protocol default (priority 0, no deadline, no tag).
+#[derive(Clone, Debug, Default)]
+pub struct SolveOptions {
+    /// Scheduling priority (0–255; higher dequeues first).
+    pub priority: u8,
+    /// Queue + solve budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Client-chosen label; `cancel` by tag reaches this solve from any
+    /// connection.
+    pub tag: Option<String>,
+}
+
+impl SolveOptions {
+    fn extend_fields(&self, fields: &mut Vec<(String, Value)>) {
+        if self.priority != 0 {
+            fields.push(("priority".to_string(), Value::U64(u64::from(self.priority))));
+        }
+        if let Some(ms) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), Value::U64(ms)));
+        }
+        if let Some(tag) = &self.tag {
+            fields.push(("tag".to_string(), Value::Str(tag.clone())));
+        }
+    }
+}
+
+fn cancelled_count(response: &Value) -> std::io::Result<u64> {
+    response.get("cancelled").and_then(Value::as_u64).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "no cancelled count in response")
+    })
 }

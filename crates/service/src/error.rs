@@ -2,6 +2,7 @@
 
 use gpm_core::SolveError;
 use std::fmt;
+use std::time::Duration;
 
 /// Everything a job submitted to the service can fail with.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,6 +24,32 @@ pub enum ServiceError {
         /// The panic message, when it was a string.
         message: String,
     },
+    /// The job was rejected at admission because the queue was full
+    /// (`ServiceBuilder::max_queue_depth`).  Submission never blocks;
+    /// resubmit after roughly `retry_after_hint`.
+    Overloaded {
+        /// Queue depth observed at rejection time (== the configured cap).
+        queue_depth: usize,
+        /// A backoff hint derived from the queue's recent drain rate.
+        retry_after_hint: Duration,
+    },
+    /// The job was cancelled through its [`crate::JobHandle`] (or the
+    /// protocol's `cancel` request).  Zero rounds/cardinality means it was
+    /// cancelled while still queued, without touching a solver.
+    Cancelled {
+        /// Worklist rounds the engine finished before honouring the signal.
+        rounds_completed: u64,
+        /// Cardinality of the consistent partial matching at the stop.
+        partial_cardinality: usize,
+    },
+    /// The job's deadline expired — while queued (zero rounds, never touched
+    /// a solver) or mid-solve (stopped at the next worklist round).
+    DeadlineExceeded {
+        /// Worklist rounds the engine finished before the deadline fired.
+        rounds_completed: u64,
+        /// Cardinality of the consistent partial matching at the stop.
+        partial_cardinality: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -38,6 +65,22 @@ impl fmt::Display for ServiceError {
             ServiceError::JobPanicked { message } => {
                 write!(f, "solve panicked in the worker: {message}")
             }
+            ServiceError::Overloaded { queue_depth, retry_after_hint } => write!(
+                f,
+                "service overloaded: queue is full at {queue_depth} jobs \
+                 (retry after ~{} ms)",
+                retry_after_hint.as_millis()
+            ),
+            ServiceError::Cancelled { rounds_completed, partial_cardinality } => write!(
+                f,
+                "job cancelled after {rounds_completed} rounds \
+                 (partial matching of cardinality {partial_cardinality})"
+            ),
+            ServiceError::DeadlineExceeded { rounds_completed, partial_cardinality } => write!(
+                f,
+                "job deadline exceeded after {rounds_completed} rounds \
+                 (partial matching of cardinality {partial_cardinality})"
+            ),
         }
     }
 }
@@ -53,7 +96,18 @@ impl std::error::Error for ServiceError {
 
 impl From<SolveError> for ServiceError {
     fn from(e: SolveError) -> Self {
-        ServiceError::Solve(e)
+        // Cancellation and deadline expiry are first-class at the service
+        // boundary: clients match on ServiceError::Cancelled, never on a
+        // nested Solve(SolveError::Cancelled).
+        match e {
+            SolveError::Cancelled { rounds_completed, partial_cardinality } => {
+                ServiceError::Cancelled { rounds_completed, partial_cardinality }
+            }
+            SolveError::DeadlineExceeded { rounds_completed, partial_cardinality } => {
+                ServiceError::DeadlineExceeded { rounds_completed, partial_cardinality }
+            }
+            other => ServiceError::Solve(other),
+        }
     }
 }
 
@@ -68,6 +122,29 @@ mod tests {
         let e = ServiceError::Solve(SolveError::DeviceRequired { algorithm: "G-PR-Shr".into() });
         assert!(e.to_string().contains("G-PR-Shr"));
         assert!(ServiceError::ShuttingDown.to_string().contains("shutting down"));
+        let e = ServiceError::Overloaded {
+            queue_depth: 64,
+            retry_after_hint: Duration::from_millis(250),
+        };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("250 ms"));
+        let e = ServiceError::Cancelled { rounds_completed: 5, partial_cardinality: 40 };
+        assert!(e.to_string().contains("cancelled after 5 rounds"));
+        let e = ServiceError::DeadlineExceeded { rounds_completed: 0, partial_cardinality: 0 };
+        assert!(e.to_string().contains("deadline exceeded"));
+    }
+
+    #[test]
+    fn solver_stop_errors_surface_as_service_variants_not_nested() {
+        let e: ServiceError =
+            SolveError::Cancelled { rounds_completed: 3, partial_cardinality: 12 }.into();
+        assert_eq!(e, ServiceError::Cancelled { rounds_completed: 3, partial_cardinality: 12 });
+        let e: ServiceError =
+            SolveError::DeadlineExceeded { rounds_completed: 9, partial_cardinality: 1 }.into();
+        assert_eq!(
+            e,
+            ServiceError::DeadlineExceeded { rounds_completed: 9, partial_cardinality: 1 }
+        );
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! ([`JobHandle`] → [`JobOutcome`]).
 
 use crate::error::ServiceError;
-use gpm_core::{Algorithm, InitHeuristic, SolveReport};
+use gpm_core::{Algorithm, CancelToken, InitHeuristic, SolveReport};
 use gpm_graph::BipartiteCsr;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// How a job names its graph.
 #[derive(Clone, Debug)]
@@ -31,7 +32,8 @@ impl From<Arc<BipartiteCsr>> for GraphSource {
 }
 
 /// One unit of work for the pool: an algorithm, an initialization
-/// heuristic, and a graph (by value or by cache key).
+/// heuristic, and a graph (by value or by cache key), plus the scheduling
+/// attributes the admission-controlled queue acts on.
 #[derive(Clone, Debug)]
 pub struct JobSpec {
     /// The algorithm to run (parsed from its round-trippable label on the
@@ -41,17 +43,58 @@ pub struct JobSpec {
     pub init: InitHeuristic,
     /// The graph to solve.
     pub graph: GraphSource,
+    /// Scheduling priority: higher values dequeue first; equal priorities
+    /// keep submission order.  Defaults to 0.
+    pub priority: u8,
+    /// Deadline relative to submission.  A job whose deadline expires while
+    /// queued fails fast with [`ServiceError::DeadlineExceeded`] without
+    /// touching a solver; an expiry mid-solve stops the engine at the next
+    /// worklist round.
+    pub deadline: Option<Duration>,
+    /// The job's cancellation token, shared with the [`JobHandle`] the
+    /// submit returns (and with anything else holding a clone).  Fresh per
+    /// [`JobSpec::new`]; override with [`JobSpec::with_cancel_token`] to
+    /// pre-register the token elsewhere (the TCP server does this so a
+    /// second connection can cancel by job id).
+    pub cancel: CancelToken,
 }
 
 impl JobSpec {
-    /// A job with the default (cheap greedy) initialization.
+    /// A job with the default (cheap greedy) initialization, priority 0,
+    /// no deadline, and a fresh cancellation token.
     pub fn new(graph: impl Into<GraphSource>, algorithm: Algorithm) -> Self {
-        Self { algorithm, init: InitHeuristic::default(), graph: graph.into() }
+        Self {
+            algorithm,
+            init: InitHeuristic::default(),
+            graph: graph.into(),
+            priority: 0,
+            deadline: None,
+            cancel: CancelToken::new(),
+        }
     }
 
     /// Replaces the initialization heuristic.
     pub fn with_init(mut self, init: InitHeuristic) -> Self {
         self.init = init;
+        self
+    }
+
+    /// Sets the scheduling priority (higher dequeues first).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the deadline, measured from the moment the job is submitted.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Replaces the cancellation token (e.g. with one registered in a
+    /// server-side job registry before submission).
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 }
@@ -95,19 +138,36 @@ impl JobSlot {
 ///
 /// `JobHandle` is `Send`, so a client can fan handles out to other threads;
 /// [`JobHandle::wait`] consumes the handle and blocks until a pool worker
-/// completes the job.
+/// completes the job.  [`JobHandle::cancel`] requests cancellation without
+/// consuming the handle — the job then completes with
+/// [`ServiceError::Cancelled`] (immediately if still queued, at the next
+/// worklist round if already solving).
 #[derive(Debug)]
 pub struct JobHandle {
     pub(crate) slot: Arc<JobSlot>,
+    pub(crate) cancel: CancelToken,
 }
 
 impl JobHandle {
     /// A handle that is already complete (used for jobs rejected at submit
-    /// time, e.g. after shutdown).
+    /// time, e.g. after shutdown or on a full queue).
     pub(crate) fn completed(result: Result<JobOutcome, ServiceError>) -> Self {
         let slot = Arc::new(JobSlot::default());
         slot.complete(result);
-        JobHandle { slot }
+        JobHandle { slot, cancel: CancelToken::new() }
+    }
+
+    /// Requests cancellation of this job.  Sticky and non-blocking: a queued
+    /// job fails fast without touching a solver, a running solve stops at
+    /// its next worklist round, and a finished job is unaffected.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// A clone of the job's cancellation token, for cancelling from
+    /// elsewhere after [`JobHandle::wait`] has consumed the handle.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Blocks until the job finishes and returns its outcome.
@@ -142,7 +202,7 @@ mod tests {
     #[test]
     fn wait_blocks_until_a_worker_completes() {
         let slot = Arc::new(JobSlot::default());
-        let handle = JobHandle { slot: Arc::clone(&slot) };
+        let handle = JobHandle { slot: Arc::clone(&slot), cancel: CancelToken::new() };
         assert!(!handle.is_done());
         let worker = std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(20));
@@ -150,6 +210,26 @@ mod tests {
         });
         assert_eq!(handle.wait().unwrap_err(), ServiceError::UnknownGraph { fingerprint: 7 });
         worker.join().unwrap();
+    }
+
+    #[test]
+    fn handle_cancel_trips_the_spec_token() {
+        let g = gen::uniform_random(5, 5, 10, 2).unwrap();
+        let spec = JobSpec::new(g, Algorithm::HopcroftKarp)
+            .with_priority(7)
+            .with_deadline(Duration::from_millis(250));
+        assert_eq!(spec.priority, 7);
+        assert_eq!(spec.deadline, Some(Duration::from_millis(250)));
+        let handle = JobHandle { slot: Arc::new(JobSlot::default()), cancel: spec.cancel.clone() };
+        assert!(!spec.cancel.is_cancelled());
+        handle.cancel();
+        assert!(spec.cancel.is_cancelled());
+        assert!(handle.cancel_token().is_cancelled());
+        // A replacement token swaps the shared flag.
+        let other = CancelToken::new();
+        let spec = spec.with_cancel_token(other.clone());
+        assert!(!spec.cancel.is_cancelled());
+        assert!(spec.cancel.same_token(&other));
     }
 
     #[test]

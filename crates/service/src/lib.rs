@@ -7,10 +7,19 @@
 //!
 //! * [`service::Service`] — a pool of N worker threads, each owning a warm
 //!   `Solver` (device + per-algorithm workspaces), pulling from a shared
-//!   MPMC job queue.  [`Service::submit`] / [`Service::submit_batch`] never
-//!   block on the solve; clients hold a [`job::JobHandle`] and `wait()`.
+//!   MPMC priority queue (highest [`JobSpec::priority`] first, FIFO within
+//!   a priority).  [`Service::submit`] / [`Service::submit_batch`] never
+//!   block on the solve — nor on admission: with
+//!   [`ServiceBuilder::max_queue_depth`] set, a full queue rejects with
+//!   [`ServiceError::Overloaded`].  Clients hold a [`job::JobHandle`] and
+//!   `wait()`, or `cancel()` it; jobs may also carry a deadline.  Both
+//!   signals reach running engines at worklist-round granularity and
+//!   surface as [`ServiceError::Cancelled`] /
+//!   [`ServiceError::DeadlineExceeded`] with the rounds completed and the
+//!   partial matching cardinality at the stop.
 //! * [`job::JobSpec`] — algorithm (round-trippable label), init heuristic,
-//!   and a graph **by value or by cache key**.
+//!   a graph **by value or by cache key**, plus priority, deadline, and a
+//!   [`CancelToken`].
 //! * [`cache::GraphCache`] — content-addressed by
 //!   [`gpm_graph::BipartiteCsr::fingerprint`], LRU-evicted, hit/miss
 //!   counted: repeated solves on the same instance skip re-upload.
@@ -53,9 +62,10 @@ pub mod service;
 pub mod stats;
 
 pub use cache::{CacheStats, GraphCache};
-pub use client::Client;
+pub use client::{Client, SolveOptions};
 pub use error::ServiceError;
+pub use gpm_core::CancelToken;
 pub use job::{GraphSource, JobHandle, JobOutcome, JobSpec};
-pub use server::serve;
+pub use server::{serve, ServerState};
 pub use service::{Service, ServiceBuilder};
 pub use stats::{AlgorithmStats, LatencyAgg, ServiceStats};

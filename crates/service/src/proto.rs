@@ -11,11 +11,20 @@
 //!   "fingerprint":"0x…"}` — solve a cached graph; or inline the graph with
 //!   `rows`/`cols`/`edges` instead of `fingerprint`.  `init` is optional
 //!   (default `cheap`); `"include_matching":true` adds the row-mate array.
+//!   Scheduling fields, all optional: `"priority"` (0–255, higher dequeues
+//!   first), `"deadline_ms"` (queue + solve budget in milliseconds), and
+//!   `"tag"` (a client-chosen label the job can be cancelled by from any
+//!   connection).  The response — success or error — carries the
+//!   server-assigned `job_id` for correlation.
+//! * `{"op":"cancel","job_id":7}` or `{"op":"cancel","tag":"batch-3"}` —
+//!   request cancellation of in-flight solves; the response reports how many
+//!   jobs were signalled.  Engines stop at worklist-round granularity, so
+//!   the cancelled solve fails promptly with a `cancelled` error.
 //! * `{"op":"stats"}` — service counters snapshot.
 //! * `{"op":"shutdown"}` — acknowledge, then stop the server.
 //!
 //! Responses always carry `"ok"`: `{"ok":true,…}` or
-//! `{"ok":false,"error":"…"}`.
+//! `{"ok":false,"error":"…"}` (plus `job_id` on solve errors).
 
 use gpm_core::{Algorithm, InitHeuristic};
 use gpm_graph::{BipartiteCsr, VertexId};
@@ -36,6 +45,20 @@ pub enum Request {
         graph: RequestGraph,
         /// Include the row-mate array in the response.
         include_matching: bool,
+        /// Scheduling priority (wire default: 0; higher dequeues first).
+        priority: u8,
+        /// Optional queue + solve budget in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Optional client-chosen label for cross-connection cancellation.
+        tag: Option<String>,
+    },
+    /// Cancel in-flight solves by server-assigned id or client tag (at
+    /// least one is present).
+    Cancel {
+        /// The `job_id` a solve response reported.
+        job_id: Option<u64>,
+        /// The `tag` the solve request carried.
+        tag: Option<String>,
     },
     /// Snapshot the service counters.
     Stats,
@@ -92,13 +115,48 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             };
             let include_matching =
                 value.get("include_matching").and_then(Value::as_bool).unwrap_or(false);
-            Ok(Request::Solve { algorithm, init, graph, include_matching })
+            let priority = match value.get("priority") {
+                None => 0,
+                Some(v) => v
+                    .as_u64()
+                    .and_then(|n| u8::try_from(n).ok())
+                    .ok_or_else(|| "solve: 'priority' must be an integer in 0..=255".to_string())?,
+            };
+            let deadline_ms = match value.get("deadline_ms") {
+                None => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    "solve: 'deadline_ms' must be a non-negative integer".to_string()
+                })?),
+            };
+            let tag = value.get("tag").and_then(Value::as_str).map(str::to_string);
+            Ok(Request::Solve {
+                algorithm,
+                init,
+                graph,
+                include_matching,
+                priority,
+                deadline_ms,
+                tag,
+            })
+        }
+        "cancel" => {
+            let job_id = match value.get("job_id") {
+                None => None,
+                Some(v) => Some(v.as_u64().ok_or_else(|| {
+                    "cancel: 'job_id' must be a non-negative integer".to_string()
+                })?),
+            };
+            let tag = value.get("tag").and_then(Value::as_str).map(str::to_string);
+            if job_id.is_none() && tag.is_none() {
+                return Err("cancel: provide 'job_id' and/or 'tag'".to_string());
+            }
+            Ok(Request::Cancel { job_id, tag })
         }
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
-        other => {
-            Err(format!("unknown op '{other}': expected put_graph, solve, stats, or shutdown"))
-        }
+        other => Err(format!(
+            "unknown op '{other}': expected put_graph, solve, cancel, stats, or shutdown"
+        )),
     }
 }
 
@@ -160,10 +218,19 @@ pub fn ok_response(fields: Vec<(String, Value)>) -> String {
 
 /// Builds a `{"ok":false,"error":…}` response line (no trailing newline).
 pub fn error_response(message: &str) -> String {
-    render(Value::Map(vec![
+    error_response_with(message, Vec::new())
+}
+
+/// Builds a `{"ok":false,"error":…, …}` response line carrying extra
+/// fields (e.g. the `job_id` of a failed solve, so a client can correlate
+/// the error with what it cancelled).
+pub fn error_response_with(message: &str, fields: Vec<(String, Value)>) -> String {
+    let mut entries = vec![
         ("ok".to_string(), Value::Bool(false)),
         ("error".to_string(), Value::Str(message.to_string())),
-    ]))
+    ];
+    entries.extend(fields);
+    render(Value::Map(entries))
 }
 
 fn render(value: Value) -> String {
@@ -200,11 +267,22 @@ mod tests {
     fn parses_solve_with_defaults_and_options() {
         let r = parse_request(r#"{"op":"solve","algorithm":"HK","fingerprint":"0xff"}"#).unwrap();
         match r {
-            Request::Solve { algorithm, init, graph, include_matching } => {
+            Request::Solve {
+                algorithm,
+                init,
+                graph,
+                include_matching,
+                priority,
+                deadline_ms,
+                tag,
+            } => {
                 assert_eq!(algorithm, Algorithm::HopcroftKarp);
                 assert_eq!(init, InitHeuristic::Cheap);
                 assert_eq!(graph, RequestGraph::Fingerprint(255));
                 assert!(!include_matching);
+                assert_eq!(priority, 0);
+                assert_eq!(deadline_ms, None);
+                assert_eq!(tag, None);
             }
             other => panic!("{other:?}"),
         }
@@ -223,6 +301,53 @@ mod tests {
         }
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(parse_request(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn parses_scheduling_fields_and_cancel() {
+        let r = parse_request(
+            r#"{"op":"solve","algorithm":"HK","fingerprint":"0x1",
+               "priority":9,"deadline_ms":2500,"tag":"batch-3"}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Solve { priority, deadline_ms, tag, .. } => {
+                assert_eq!(priority, 9);
+                assert_eq!(deadline_ms, Some(2500));
+                assert_eq!(tag.as_deref(), Some("batch-3"));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(
+            parse_request(r#"{"op":"cancel","job_id":7}"#).unwrap(),
+            Request::Cancel { job_id: Some(7), tag: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"cancel","tag":"batch-3"}"#).unwrap(),
+            Request::Cancel { job_id: None, tag: Some("batch-3".to_string()) }
+        );
+        for (line, want) in [
+            (r#"{"op":"solve","algorithm":"HK","fingerprint":"0x1","priority":256}"#, "0..=255"),
+            (
+                r#"{"op":"solve","algorithm":"HK","fingerprint":"0x1","deadline_ms":-3}"#,
+                "deadline_ms",
+            ),
+            (r#"{"op":"cancel"}"#, "'job_id' and/or 'tag'"),
+            (r#"{"op":"cancel","job_id":"seven"}"#, "job_id"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(want), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn error_responses_can_carry_extra_fields() {
+        let e = error_response_with(
+            "job cancelled after 3 rounds",
+            vec![("job_id".to_string(), Value::U64(12))],
+        );
+        assert!(e.starts_with(r#"{"ok":false"#), "{e}");
+        assert!(e.contains(r#""job_id":12"#), "{e}");
     }
 
     #[test]

@@ -3,21 +3,26 @@
 //!
 //! Submitting is non-blocking: [`Service::submit`] enqueues and returns a
 //! [`JobHandle`]; any number of client threads may submit concurrently.
-//! Workers pull jobs under a `Mutex` + `Condvar`, resolve the graph through
-//! the content-addressed [`GraphCache`], run the solve on their private warm
-//! session, and complete the handle.  Dropping the service drains the queue:
-//! already-accepted jobs still complete, then the workers exit.
+//! Admission is bounded when [`ServiceBuilder::max_queue_depth`] is set — a
+//! full queue rejects with [`ServiceError::Overloaded`] instead of blocking.
+//! Workers pull the highest-priority job (FIFO within a priority) under a
+//! `Mutex` + `Condvar`, honour cancellation and deadlines before touching a
+//! solver, resolve the graph through the content-addressed [`GraphCache`],
+//! run the solve on their private warm session, and complete the handle.
+//! Dropping the service drains the queue: already-accepted jobs still
+//! complete, then the workers exit.
 
 use crate::cache::GraphCache;
 use crate::error::ServiceError;
 use crate::job::{GraphSource, JobHandle, JobOutcome, JobSlot, JobSpec};
 use crate::stats::{AlgorithmStats, LatencyAgg, ServiceStats};
-use gpm_core::{DevicePolicy, ExecutorConfig, Solver};
+use gpm_core::{DevicePolicy, ExecutorConfig, SolveCtx, Solver};
 use gpm_graph::BipartiteCsr;
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configures and starts a [`Service`].
 #[derive(Clone, Copy, Debug)]
@@ -26,6 +31,7 @@ pub struct ServiceBuilder {
     device_policy: DevicePolicy,
     executor: ExecutorConfig,
     cache_capacity: usize,
+    max_queue_depth: Option<usize>,
 }
 
 impl Default for ServiceBuilder {
@@ -35,6 +41,7 @@ impl Default for ServiceBuilder {
             device_policy: DevicePolicy::Sequential,
             executor: ExecutorConfig::default(),
             cache_capacity: 32,
+            max_queue_depth: None,
         }
     }
 }
@@ -75,6 +82,16 @@ impl ServiceBuilder {
         self
     }
 
+    /// Bounds the queue: submissions that find `depth` jobs already waiting
+    /// are rejected immediately with [`ServiceError::Overloaded`] instead of
+    /// growing the backlog.  Submission never blocks either way.  A depth of
+    /// 0 is treated as 1 (a queue that can never admit would deadlock every
+    /// client).  Unset means unbounded, the previous behaviour.
+    pub fn max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = Some(depth.max(1));
+        self
+    }
+
     /// Starts the worker pool.
     ///
     /// # Panics
@@ -88,7 +105,12 @@ impl ServiceBuilder {
             panic!("invalid executor configuration for service workers: {reason}");
         }
         let shared = Arc::new(Shared {
-            queue: Mutex::new(Queue { jobs: VecDeque::new(), shutdown: false }),
+            queue: Mutex::new(Queue {
+                jobs: BinaryHeap::new(),
+                shutdown: false,
+                next_seq: 0,
+                max_depth: self.max_queue_depth,
+            }),
             available: Condvar::new(),
             cache: parking_lot::Mutex::new(GraphCache::new(self.cache_capacity)),
             stats: parking_lot::Mutex::new(StatsInner::default()),
@@ -145,14 +167,55 @@ struct Shared {
 }
 
 struct Queue {
-    jobs: VecDeque<QueuedJob>,
+    jobs: BinaryHeap<QueuedJob>,
     shutdown: bool,
+    /// Monotonic enqueue counter; ties on priority dequeue FIFO by it.
+    next_seq: u64,
+    max_depth: Option<usize>,
 }
 
 struct QueuedJob {
     spec: JobSpec,
     slot: Arc<JobSlot>,
     enqueued: Instant,
+    seq: u64,
+    /// Absolute deadline, computed from `spec.deadline` at enqueue time.
+    deadline: Option<Instant>,
+}
+
+// Max-heap order: highest priority first, FIFO (lowest seq) within a
+// priority.  `seq` is unique per queue, so equality can key on it alone.
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for QueuedJob {}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.spec.priority.cmp(&other.spec.priority).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl Queue {
+    /// Pushes under the lock: the enqueue timestamp (the base of both the
+    /// queue-wait metric and the job's absolute deadline) is taken here, not
+    /// at some earlier point outside the lock.
+    fn push(&mut self, spec: JobSpec, slot: Arc<JobSlot>) {
+        let enqueued = Instant::now();
+        let deadline = spec.deadline.map(|d| enqueued + d);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.jobs.push(QueuedJob { spec, slot, enqueued, seq, deadline });
+    }
 }
 
 #[derive(Default)]
@@ -160,9 +223,25 @@ struct StatsInner {
     submitted: u64,
     completed: u64,
     failed: u64,
+    rejected: u64,
+    cancelled: u64,
+    deadline_exceeded: u64,
     peak_queue_depth: usize,
     queue_wait: LatencyAgg,
     per_algorithm: BTreeMap<String, AlgorithmStats>,
+}
+
+impl StatsInner {
+    /// Backoff hint for [`ServiceError::Overloaded`]: the mean observed
+    /// queue wait, clamped to a sane band, or 100 ms before any job has
+    /// drained.
+    fn retry_after_hint(&self) -> Duration {
+        if self.queue_wait.count == 0 {
+            return Duration::from_millis(100);
+        }
+        let mean = self.queue_wait.mean_seconds().clamp(0.010, 5.0);
+        Duration::from_secs_f64(mean)
+    }
 }
 
 impl Service {
@@ -190,18 +269,22 @@ impl Service {
 
     /// Enqueues one job and returns a handle on its result.
     ///
-    /// Never blocks on the solve itself.  After shutdown has begun the job
-    /// is rejected with an already-completed handle carrying
-    /// [`ServiceError::ShuttingDown`].
+    /// Never blocks on the solve itself — nor on admission: after shutdown
+    /// has begun the job is rejected with an already-completed handle
+    /// carrying [`ServiceError::ShuttingDown`], and on a full queue (see
+    /// [`ServiceBuilder::max_queue_depth`]) with [`ServiceError::Overloaded`].
     pub fn submit(&self, spec: JobSpec) -> JobHandle {
         let slot = Arc::new(JobSlot::default());
-        let handle = JobHandle { slot: Arc::clone(&slot) };
+        let handle = JobHandle { slot: Arc::clone(&slot), cancel: spec.cancel.clone() };
         {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             if queue.shutdown {
                 return JobHandle::completed(Err(ServiceError::ShuttingDown));
             }
-            queue.jobs.push_back(QueuedJob { spec, slot, enqueued: Instant::now() });
+            if let Some(full) = self.admission_reject(&queue) {
+                return JobHandle::completed(Err(full));
+            }
+            queue.push(spec, slot);
             let depth = queue.jobs.len();
             let mut stats = self.shared.stats.lock();
             stats.submitted += 1;
@@ -213,29 +296,55 @@ impl Service {
 
     /// Enqueues a batch, returning one handle per job in order.
     ///
-    /// The batch is pushed under a single queue lock, so an N-worker pool
-    /// starts fanning out over it immediately.
+    /// The specs are collected **before** the queue lock is taken — a slow
+    /// caller iterator cannot stall concurrent submitters or the workers —
+    /// then pushed under a single lock, so an N-worker pool starts fanning
+    /// out over the batch immediately.  Jobs past the queue cap reject
+    /// individually with [`ServiceError::Overloaded`]; only jobs actually
+    /// enqueued count as submitted.
     pub fn submit_batch(&self, specs: impl IntoIterator<Item = JobSpec>) -> Vec<JobHandle> {
-        let now = Instant::now();
-        let mut handles = Vec::new();
+        let specs: Vec<JobSpec> = specs.into_iter().collect();
+        let mut handles = Vec::with_capacity(specs.len());
         {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let mut enqueued = 0u64;
             for spec in specs {
                 if queue.shutdown {
                     handles.push(JobHandle::completed(Err(ServiceError::ShuttingDown)));
                     continue;
                 }
+                if let Some(full) = self.admission_reject(&queue) {
+                    handles.push(JobHandle::completed(Err(full)));
+                    continue;
+                }
                 let slot = Arc::new(JobSlot::default());
-                handles.push(JobHandle { slot: Arc::clone(&slot) });
-                queue.jobs.push_back(QueuedJob { spec, slot, enqueued: now });
+                handles.push(JobHandle { slot: Arc::clone(&slot), cancel: spec.cancel.clone() });
+                queue.push(spec, slot);
+                enqueued += 1;
             }
             let depth = queue.jobs.len();
             let mut stats = self.shared.stats.lock();
-            stats.submitted += handles.len() as u64;
+            stats.submitted += enqueued;
             stats.peak_queue_depth = stats.peak_queue_depth.max(depth);
         }
         self.shared.available.notify_all();
         handles
+    }
+
+    /// Checks the queue cap; on a full queue bumps the rejection counter and
+    /// returns the [`ServiceError::Overloaded`] to complete the handle with.
+    fn admission_reject(&self, queue: &Queue) -> Option<ServiceError> {
+        let cap = queue.max_depth?;
+        let depth = queue.jobs.len();
+        if depth < cap {
+            return None;
+        }
+        let mut stats = self.shared.stats.lock();
+        stats.rejected += 1;
+        Some(ServiceError::Overloaded {
+            queue_depth: depth,
+            retry_after_hint: stats.retry_after_hint(),
+        })
     }
 
     /// `true` iff the service caches graphs (built with a non-zero cache
@@ -274,12 +383,28 @@ impl Service {
             submitted: stats.submitted,
             completed: stats.completed,
             failed: stats.failed,
+            rejected: stats.rejected,
+            cancelled: stats.cancelled,
+            deadline_exceeded: stats.deadline_exceeded,
             queue_depth,
             peak_queue_depth: stats.peak_queue_depth,
             queue_wait: stats.queue_wait,
             cache,
             per_algorithm: stats.per_algorithm.clone(),
         }
+    }
+
+    /// Stops admission without consuming the service: subsequent submits
+    /// reject with [`ServiceError::ShuttingDown`], already-accepted jobs
+    /// still drain.  Idempotent.  Workers are joined by the eventual drop
+    /// (or [`Service::shutdown`]); this only flips the flag, so it is safe
+    /// to call from another thread racing live submitters.
+    pub fn begin_shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.shutdown = true;
+        }
+        self.shared.available.notify_all();
     }
 
     /// Stops accepting jobs, drains the queue, and joins the workers.
@@ -289,11 +414,7 @@ impl Service {
 
 impl Drop for Service {
     fn drop(&mut self) {
-        {
-            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            queue.shutdown = true;
-        }
-        self.shared.available.notify_all();
+        self.begin_shutdown();
         for worker in self.workers.drain(..) {
             // A worker that panicked already completed no further jobs;
             // propagating the panic out of Drop would abort, so swallow it.
@@ -331,7 +452,7 @@ fn worker_loop(index: usize, policy: DevicePolicy, executor: ExecutorConfig, sha
         let job = {
             let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
-                if let Some(job) = queue.jobs.pop_front() {
+                if let Some(job) = queue.jobs.pop() {
                     break job;
                 }
                 if queue.shutdown {
@@ -342,16 +463,26 @@ fn worker_loop(index: usize, policy: DevicePolicy, executor: ExecutorConfig, sha
         };
         let queue_seconds = job.enqueued.elapsed().as_secs_f64();
         let started = Instant::now();
-        // A panicking solve must not hang the waiting client (the slot would
-        // never complete) or kill the worker: catch it, fail the job, and
-        // rebuild the session, whose warm state the unwind may have torn.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(index, &mut solver, shared, &job.spec, queue_seconds, started)
-        }))
-        .unwrap_or_else(|payload| {
-            solver = new_worker_solver(policy, executor);
-            Err(ServiceError::JobPanicked { message: panic_message(payload.as_ref()) })
-        });
+        // Fail fast before touching the solver: a job cancelled or expired
+        // while queued costs the pool nothing.  Cancellation dominates when
+        // both fired (mirrors SolveCtx::check).
+        let result = if job.spec.cancel.is_cancelled() {
+            Err(ServiceError::Cancelled { rounds_completed: 0, partial_cardinality: 0 })
+        } else if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            Err(ServiceError::DeadlineExceeded { rounds_completed: 0, partial_cardinality: 0 })
+        } else {
+            // A panicking solve must not hang the waiting client (the slot
+            // would never complete) or kill the worker: catch it, fail the
+            // job, and rebuild the session, whose warm state the unwind may
+            // have torn.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_job(index, &mut solver, shared, &job, queue_seconds, started)
+            }))
+            .unwrap_or_else(|payload| {
+                solver = new_worker_solver(policy, executor);
+                Err(ServiceError::JobPanicked { message: panic_message(payload.as_ref()) })
+            })
+        };
         record(shared, &job.spec, queue_seconds, &result);
         job.slot.complete(result);
     }
@@ -368,15 +499,18 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Resolves the job's graph (cache or inline), builds the initial matching,
-/// and solves on the worker's warm session.
+/// and solves on the worker's warm session under the job's cancellation
+/// token and absolute deadline (both polled by the engines at worklist-round
+/// granularity).
 fn run_job(
     index: usize,
     solver: &mut Solver,
     shared: &Shared,
-    spec: &JobSpec,
+    job: &QueuedJob,
     queue_seconds: f64,
     started: Instant,
 ) -> Result<JobOutcome, ServiceError> {
+    let spec = &job.spec;
     let (graph, cache_hit) = match &spec.graph {
         GraphSource::Inline(graph) => {
             // Register inline uploads so follow-up jobs can go by key.  The
@@ -395,8 +529,10 @@ fn run_job(
     // would reject the config anyway, but only after the init was built).
     spec.algorithm.validate().map_err(ServiceError::Solve)?;
     let initial = spec.init.build(&graph);
-    let report =
-        solver.solve_with_initial(&graph, &initial, spec.algorithm).map_err(ServiceError::Solve)?;
+    let ctx = SolveCtx { cancel: Some(spec.cancel.clone()), deadline: job.deadline };
+    let report = solver
+        .solve_with_initial_ctx(&graph, &initial, spec.algorithm, &ctx)
+        .map_err(ServiceError::from)?;
     Ok(JobOutcome {
         report,
         worker: index,
@@ -421,9 +557,14 @@ fn record(
             per_alg.solve.record(outcome.report.wall_seconds);
             stats.completed += 1;
         }
-        Err(_) => {
+        Err(e) => {
             per_alg.failed += 1;
             stats.failed += 1;
+            match e {
+                ServiceError::Cancelled { .. } => stats.cancelled += 1,
+                ServiceError::DeadlineExceeded { .. } => stats.deadline_exceeded += 1,
+                _ => {}
+            }
         }
     }
 }
@@ -546,6 +687,198 @@ mod tests {
         assert_eq!(panic_message(p.as_ref()), "boom 2");
         let p = std::panic::catch_unwind(|| std::panic::panic_any(42i32)).unwrap_err();
         assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
+    }
+
+    /// A job that keeps the single worker busy until the returned handle is
+    /// cancelled: a Table-I-scale RMAT instance solved from an empty
+    /// initial matching takes far longer than the test's enqueue work.
+    fn blocker(service: &Service) -> JobHandle {
+        let g = gen::rmat(gen::RmatParams::graph500(13, 8), 29).unwrap();
+        service.submit(JobSpec::new(g, Algorithm::HopcroftKarp).with_init(InitHeuristic::Empty))
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded_without_blocking() {
+        let service = Service::builder().workers(1).max_queue_depth(2).build();
+        let big = blocker(&service);
+        // Flood far more jobs than the cap while the worker chews on the
+        // blocker; submission is lock-push only, so the worker cannot drain
+        // the tiny backlog faster than we refill it.
+        let g = gen::uniform_random(10, 10, 40, 7).unwrap();
+        let handles =
+            service.submit_batch((0..30).map(|_| JobSpec::new(g.clone(), Algorithm::HopcroftKarp)));
+        let overloaded: Vec<_> = handles
+            .iter()
+            .filter(|h| {
+                h.is_done() // only rejected handles are complete mid-flood
+            })
+            .collect();
+        assert!(!overloaded.is_empty(), "expected rejections at depth cap 2");
+        big.cancel();
+        let mut rejected = 0u64;
+        for handle in handles {
+            match handle.wait() {
+                Ok(outcome) => assert!(outcome.report.cardinality > 0),
+                Err(ServiceError::Overloaded { queue_depth, retry_after_hint }) => {
+                    assert_eq!(queue_depth, 2);
+                    assert!(retry_after_hint > Duration::ZERO);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        let _ = big.wait();
+        let stats = service.stats();
+        assert_eq!(stats.rejected, rejected);
+        assert!(rejected > 0);
+        // Rejected jobs are not "submitted": the ledger still balances.
+        assert_eq!(stats.submitted, 1 + 30 - rejected);
+        assert_eq!(stats.submitted, stats.completed + stats.failed);
+    }
+
+    #[test]
+    fn queued_jobs_past_their_deadline_fail_fast_without_a_solver() {
+        let service = Service::builder().workers(1).build();
+        let big = blocker(&service);
+        // An already-expired deadline: by the time any worker can look at
+        // this job its deadline has passed, whatever the blocker does.
+        let g = gen::uniform_random(10, 10, 40, 7).unwrap();
+        let doomed =
+            service.submit(JobSpec::new(g, Algorithm::HopcroftKarp).with_deadline(Duration::ZERO));
+        big.cancel();
+        let err = doomed.wait().unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::DeadlineExceeded { rounds_completed: 0, partial_cardinality: 0 }
+        );
+        let _ = big.wait();
+        let stats = service.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.failed, stats.cancelled + stats.deadline_exceeded);
+    }
+
+    #[test]
+    fn cancelled_while_queued_never_touches_a_solver() {
+        let service = Service::builder().workers(1).build();
+        let g = gen::uniform_random(10, 10, 40, 7).unwrap();
+        let spec = JobSpec::new(g, Algorithm::HopcroftKarp);
+        spec.cancel.cancel(); // cancelled before the pool ever sees it
+        let err = service.submit(spec).wait().unwrap_err();
+        assert_eq!(err, ServiceError::Cancelled { rounds_completed: 0, partial_cardinality: 0 });
+        assert_eq!(service.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn cancelling_a_running_solve_stops_it_within_rounds() {
+        let service = Service::builder().workers(1).build();
+        let handle = blocker(&service);
+        std::thread::sleep(Duration::from_millis(5));
+        handle.cancel();
+        match handle.wait() {
+            Err(ServiceError::Cancelled { .. }) => {
+                assert_eq!(service.stats().cancelled, 1);
+            }
+            // The solve can win the race; it must then be a clean success.
+            Ok(outcome) => assert!(outcome.report.cardinality > 0),
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+        // The worker survives cancellation and keeps serving.
+        let g = gen::uniform_random(20, 20, 80, 5).unwrap();
+        let opt = maximum_matching_cardinality(&g);
+        let ok = service.submit(JobSpec::new(g, Algorithm::HopcroftKarp)).wait().unwrap();
+        assert_eq!(ok.report.cardinality, opt);
+    }
+
+    #[test]
+    fn higher_priority_jobs_dequeue_first_fifo_within_a_priority() {
+        let service = Service::builder().workers(1).build();
+        let big = blocker(&service);
+        // Order probe via the cache: the low-priority inline job registers
+        // the graph; a by-fingerprint job only succeeds if it runs AFTER it.
+        // The high-priority fingerprint job must therefore fail
+        // (UnknownGraph — it jumped the queue), while the equal-priority
+        // one submitted later succeeds (FIFO within priority 0).
+        let g = gen::uniform_random(30, 30, 120, 17).unwrap();
+        let fp = g.fingerprint();
+        let low_inline = service.submit(JobSpec::new(g, Algorithm::HopcroftKarp));
+        let high_cached = service.submit(
+            JobSpec::new(GraphSource::Cached(fp), Algorithm::HopcroftKarp).with_priority(9),
+        );
+        let low_cached =
+            service.submit(JobSpec::new(GraphSource::Cached(fp), Algorithm::HopcroftKarp));
+        big.cancel();
+        assert_eq!(
+            high_cached.wait().unwrap_err(),
+            ServiceError::UnknownGraph { fingerprint: fp },
+            "priority 9 job should have run before the inline upload"
+        );
+        assert!(low_inline.wait().is_ok());
+        assert!(low_cached.wait().unwrap().cache_hit);
+        let _ = big.wait();
+    }
+
+    #[test]
+    fn shutdown_rejections_do_not_count_as_submitted() {
+        let service = Service::builder().workers(1).build();
+        let g = gen::uniform_random(20, 20, 80, 5).unwrap();
+        service.submit(JobSpec::new(g.clone(), Algorithm::HopcroftKarp)).wait().unwrap();
+        service.begin_shutdown();
+        // Regression (submit_batch used to count these): rejected batches
+        // must leave `submitted` untouched on both submit paths.
+        let handles =
+            service.submit_batch((0..4).map(|_| JobSpec::new(g.clone(), Algorithm::HopcroftKarp)));
+        assert_eq!(handles.len(), 4);
+        for handle in handles {
+            assert_eq!(handle.wait().unwrap_err(), ServiceError::ShuttingDown);
+        }
+        assert_eq!(
+            service.submit(JobSpec::new(g, Algorithm::HopcroftKarp)).wait().unwrap_err(),
+            ServiceError::ShuttingDown
+        );
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.submitted, stats.completed + stats.failed + stats.queue_depth as u64);
+    }
+
+    #[test]
+    fn slow_batch_iterators_do_not_hold_the_queue_lock() {
+        let service = Arc::new(Service::builder().workers(1).build());
+        let g = gen::uniform_random(20, 20, 80, 5).unwrap();
+        // While the batch iterator dawdles (3 × 150 ms), a concurrent
+        // submitter must get in and out quickly: the specs are collected
+        // before the queue lock is taken.
+        let concurrent = {
+            let service = Arc::clone(&service);
+            let g = g.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                let started = Instant::now();
+                service.submit(JobSpec::new(g, Algorithm::HopcroftKarp)).wait().unwrap();
+                started.elapsed()
+            })
+        };
+        let batch_started = Instant::now();
+        let handles = service.submit_batch((0..3).map(|_| {
+            std::thread::sleep(Duration::from_millis(150));
+            JobSpec::new(g.clone(), Algorithm::HopcroftKarp)
+        }));
+        let batch_elapsed = batch_started.elapsed();
+        let concurrent_elapsed = concurrent.join().unwrap();
+        assert!(
+            concurrent_elapsed < batch_elapsed / 2,
+            "concurrent submit took {concurrent_elapsed:?} against a {batch_elapsed:?} batch"
+        );
+        for handle in handles {
+            let outcome = handle.wait().unwrap();
+            // Regression: `enqueued` used to be stamped before the iterator
+            // was drained, charging the iterator's dawdling (≥ 300 ms for
+            // the first job) to queue wait.
+            assert!(
+                outcome.queue_seconds < 0.140,
+                "queue wait {:.3}s includes iterator time",
+                outcome.queue_seconds
+            );
+        }
     }
 
     #[test]

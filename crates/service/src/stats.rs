@@ -82,6 +82,15 @@ pub struct ServiceStats {
     pub completed: u64,
     /// Jobs finished with an error.
     pub failed: u64,
+    /// Jobs rejected at admission because the queue was full
+    /// (`ServiceBuilder::max_queue_depth`).  Not counted in `submitted`.
+    pub rejected: u64,
+    /// Jobs that ended with [`crate::ServiceError::Cancelled`] (also counted
+    /// in `failed`).
+    pub cancelled: u64,
+    /// Jobs that ended with [`crate::ServiceError::DeadlineExceeded`] (also
+    /// counted in `failed`).
+    pub deadline_exceeded: u64,
     /// Jobs currently waiting in the queue.
     pub queue_depth: usize,
     /// Largest queue depth observed.
@@ -122,6 +131,9 @@ mod tests {
             submitted: 3,
             completed: 2,
             failed: 1,
+            rejected: 5,
+            cancelled: 1,
+            deadline_exceeded: 0,
             queue_depth: 0,
             peak_queue_depth: 3,
             queue_wait: LatencyAgg::default(),
@@ -133,5 +145,8 @@ mod tests {
         assert!(json.contains("\"HK\""), "{json}");
         assert!(json.contains("\"mean_seconds\""), "{json}");
         assert!(json.contains("\"peak_queue_depth\":3"), "{json}");
+        assert!(json.contains("\"rejected\":5"), "{json}");
+        assert!(json.contains("\"cancelled\":1"), "{json}");
+        assert!(json.contains("\"deadline_exceeded\":0"), "{json}");
     }
 }

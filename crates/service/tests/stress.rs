@@ -10,11 +10,13 @@
 //! sub-optimal matching.
 
 use gpm_core::solver::{Algorithm, DevicePolicy, Solver};
-use gpm_core::ExecutorConfig;
+use gpm_core::{ExecutorConfig, InitHeuristic};
+use gpm_graph::gen;
 use gpm_graph::instances::{mini_suite, Scale};
 use gpm_graph::{verify, BipartiteCsr};
-use gpm_service::{GraphSource, JobSpec, Service};
+use gpm_service::{Client, GraphSource, JobSpec, Service, ServiceError};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 8;
 
@@ -164,4 +166,182 @@ fn oversubscribed_executor_config_is_honored_and_stays_correct() {
         assert_eq!(outcome.report.cardinality, expected[graph_index], "job {j}");
     }
     assert_eq!(service.stats().failed, 0);
+}
+
+#[test]
+fn burst_admission_against_a_small_queue_rejects_cleanly() {
+    // 8 threads burst 25 jobs each at a 2-worker pool capped at 4 queued
+    // jobs.  Submission must never block, every accepted job must still
+    // match the oracle, and the rejected/submitted ledger must balance.
+    let graph = Arc::new(gen::uniform_random(300, 300, 3000, 41).unwrap());
+    let opt = verify::maximum_matching_cardinality(&graph);
+    let service = Arc::new(Service::builder().workers(2).max_queue_depth(4).build());
+
+    let mut accepted_total = 0u64;
+    let mut rejected_total = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|client| {
+                let service = Arc::clone(&service);
+                let graph = Arc::clone(&graph);
+                scope.spawn(move || {
+                    let mut accepted = 0u64;
+                    let mut rejected = 0u64;
+                    for burst in 0..5 {
+                        // Five back-to-back submissions, waited on only after
+                        // the whole burst is in: 8 such threads keep far more
+                        // jobs outstanding than cap + workers can absorb.
+                        let burst_handles: Vec<_> = (0..5)
+                            .map(|i| {
+                                service.submit(
+                                    JobSpec::new(Arc::clone(&graph), Algorithm::HopcroftKarp)
+                                        .with_priority(((client + burst + i) % 3) as u8),
+                                )
+                            })
+                            .collect();
+                        for handle in burst_handles {
+                            match handle.wait() {
+                                Ok(outcome) => {
+                                    assert_eq!(outcome.report.cardinality, opt);
+                                    accepted += 1;
+                                }
+                                Err(ServiceError::Overloaded { queue_depth, retry_after_hint }) => {
+                                    assert_eq!(queue_depth, 4);
+                                    assert!(retry_after_hint > Duration::ZERO);
+                                    rejected += 1;
+                                }
+                                Err(other) => panic!("client {client}: {other}"),
+                            }
+                        }
+                    }
+                    (accepted, rejected)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (accepted, rejected) = handle.join().unwrap();
+            accepted_total += accepted;
+            rejected_total += rejected;
+        }
+    });
+
+    assert_eq!(accepted_total + rejected_total, 8 * 25);
+    assert!(rejected_total > 0, "a 40-deep burst against cap 4 must reject");
+    let stats = service.stats();
+    assert_eq!(stats.submitted, accepted_total);
+    assert_eq!(stats.rejected, rejected_total);
+    assert_eq!(stats.completed, accepted_total);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.peak_queue_depth <= 4, "cap breached: {}", stats.peak_queue_depth);
+}
+
+#[test]
+fn cancel_storm_leaves_the_pool_healthy() {
+    // A dozen heavyweight solves, each cancelled from its own thread while
+    // (probably) running.  Whatever the races resolve to, every handle must
+    // complete, the counters must balance, and the pool must keep solving
+    // correctly afterwards.
+    let big = Arc::new(gen::rmat(gen::RmatParams::graph500(13, 8), 5).unwrap());
+    let service = Arc::new(Service::builder().workers(2).build());
+
+    let handles: Vec<_> = (0..12)
+        .map(|_| {
+            service.submit(
+                JobSpec::new(Arc::clone(&big), Algorithm::HopcroftKarp)
+                    .with_init(InitHeuristic::Empty),
+            )
+        })
+        .collect();
+    let cancellers: Vec<_> = handles
+        .iter()
+        .enumerate()
+        .map(|(i, handle)| {
+            let token = handle.cancel_token();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(i as u64));
+                token.cancel();
+            })
+        })
+        .collect();
+    let mut cancelled = 0u64;
+    let mut completed = 0u64;
+    for handle in handles {
+        match handle.wait() {
+            Err(ServiceError::Cancelled { .. }) => cancelled += 1,
+            Ok(outcome) => {
+                assert!(outcome.report.cardinality > 0);
+                completed += 1;
+            }
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+    for canceller in cancellers {
+        canceller.join().unwrap();
+    }
+    assert_eq!(cancelled + completed, 12);
+    assert!(cancelled > 0, "a storm of 12 cancels should catch at least one job");
+    let stats = service.stats();
+    assert_eq!(stats.cancelled, cancelled);
+    assert_eq!(stats.submitted, stats.completed + stats.failed);
+
+    // The pool survived: a fresh job still matches the oracle.
+    let g = gen::uniform_random(100, 100, 600, 77).unwrap();
+    let opt = verify::maximum_matching_cardinality(&g);
+    let outcome = service.submit(JobSpec::new(g, Algorithm::HopcroftKarp)).wait().unwrap();
+    assert_eq!(outcome.report.cardinality, opt);
+}
+
+#[test]
+fn slow_loris_client_does_not_wedge_the_server() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let service = Service::builder().workers(1).build();
+    let server = std::thread::spawn(move || gpm_service::serve(listener, service));
+
+    // Connection 1: connects and never sends a byte.
+    let mut idle = TcpStream::connect(addr).unwrap();
+    // Connection 2: dribbles a stats request one byte at a time.
+    let loris = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        for byte in b"{\"op\":\"stats\"}\n" {
+            stream.write_all(&[*byte]).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(15));
+        }
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        line
+    });
+
+    // A well-behaved client must get served promptly in the meantime: the
+    // server is one-thread-per-connection, so the loris can only wedge it
+    // by corrupting shared state, not by starving the accept loop.
+    let graph = gen::uniform_random(50, 50, 240, 3).unwrap();
+    let opt = verify::maximum_matching_cardinality(&graph) as u64;
+    let started = Instant::now();
+    let mut client = Client::connect(addr).unwrap();
+    let response =
+        client.solve_inline(&graph, Algorithm::HopcroftKarp, InitHeuristic::Cheap).unwrap();
+    assert_eq!(
+        response.get("report").unwrap().get("cardinality").and_then(serde::Value::as_u64),
+        Some(opt)
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "well-behaved client starved behind a slow-loris"
+    );
+
+    // The dribbled request still completes once fully delivered.
+    let loris_line = loris.join().unwrap();
+    assert!(loris_line.contains("\"ok\":true"), "{loris_line}");
+
+    // Shutdown must tear down the idle connection instead of hanging on it.
+    client.shutdown().unwrap();
+    server.join().unwrap().unwrap();
+    idle.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = [0u8; 8];
+    assert_eq!(idle.read(&mut buf).unwrap(), 0, "idle connection should see EOF");
 }

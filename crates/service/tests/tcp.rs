@@ -20,6 +20,9 @@ fn service_types_are_send() {
     assert_send::<gpm_service::JobOutcome>();
     assert_send::<gpm_service::ServiceError>();
     assert_send_sync::<Service>();
+    assert_send_sync::<gpm_service::CancelToken>();
+    assert_send_sync::<gpm_service::ServerState>();
+    assert_send::<gpm_service::SolveOptions>();
 }
 
 #[test]
@@ -75,6 +78,31 @@ fn full_protocol_round_trip_over_localhost() {
     let per_alg = stats.get("per_algorithm").unwrap();
     assert!(per_alg.get("HK").is_some());
     assert!(per_alg.get("G-PR-Shr@adaptive:0.7").is_some());
+
+    // Scheduling fields ride along and the response correlates by job_id;
+    // cancelling an already-finished job is a counted no-op.
+    let options = gpm_service::SolveOptions {
+        priority: 3,
+        deadline_ms: Some(60_000),
+        tag: Some("tcp-test".to_string()),
+    };
+    let response = other
+        .solve_cached_with(fingerprint, Algorithm::HopcroftKarp, InitHeuristic::Cheap, &options)
+        .unwrap();
+    assert_eq!(
+        response.get("report").unwrap().get("cardinality").and_then(Value::as_u64),
+        Some(opt)
+    );
+    let job_id = response.get("job_id").and_then(Value::as_u64).expect("job_id in response");
+    assert_eq!(client.cancel_job(job_id).unwrap(), 0, "finished job is no longer cancellable");
+    assert_eq!(client.cancel_tag("tcp-test").unwrap(), 0);
+
+    // An impossible deadline surfaces as a deadline error over the wire.
+    let strict = gpm_service::SolveOptions { deadline_ms: Some(0), ..Default::default() };
+    let err = other
+        .solve_cached_with(fingerprint, Algorithm::HopcroftKarp, InitHeuristic::Cheap, &strict)
+        .unwrap_err();
+    assert!(err.to_string().contains("deadline exceeded"), "{err}");
 
     // Shutdown stops the accept loop; serve() returns and the thread joins.
     client.shutdown().expect("shutdown");
