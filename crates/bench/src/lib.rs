@@ -11,7 +11,10 @@
 //! | `table1_runtimes` | Table I — per-instance runtimes of G-PR, G-HKDW, P-DBFS, PR |
 //!
 //! plus Criterion micro/ablation benches under `benches/` (including
-//! `solver_reuse`, which quantifies cold-per-call vs warm-session solving).
+//! `solver_reuse`, which quantifies cold-per-call vs warm-session solving),
+//! and the `gpm-bench` binary, which produces the canonical `BENCH_<n>.json`
+//! perf dump (`--dump-bench`) and diffs two dumps as the CI regression gate
+//! (`--diff`) — see [`dump`].
 //!
 //! The library part contains the pieces the binaries share: instance
 //! preparation ([`runner`]), profile computations ([`profiles`]), and report
@@ -27,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod dump;
 pub mod figures;
 pub mod profiles;
 pub mod report;

@@ -60,11 +60,18 @@ pub struct ExecutorConfig {
     /// persistent pool.  Kept for A/B benchmarking of the executor itself
     /// (`benches/launch_overhead.rs`); leave `false` for real use.
     pub per_launch_spawn: bool,
+    /// Tag baked into the pool's host thread names
+    /// (`gpm-gpu-t<tag>-worker-<i>`; tag 0, the default, keeps the plain
+    /// `gpm-gpu-worker-<i>` names).  A deployment running several executor
+    /// pools — one per `gpm-service` shard — sets a distinct tag per pool so
+    /// kernel threads are attributable to their shard in thread dumps and
+    /// profilers.  Purely observational: scheduling is unaffected.
+    pub pool_tag: usize,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        Self { parallel_threshold: 2048, chunk_size: 1024, per_launch_spawn: false }
+        Self { parallel_threshold: 2048, chunk_size: 1024, per_launch_spawn: false, pool_tag: 0 }
     }
 }
 
@@ -78,6 +85,13 @@ impl ExecutorConfig {
     /// Same configuration with a different chunk size.
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Same configuration with a different pool-name tag (see
+    /// [`ExecutorConfig::pool_tag`]).
+    pub fn with_pool_tag(mut self, tag: usize) -> Self {
+        self.pool_tag = tag;
         self
     }
 
@@ -349,7 +363,7 @@ impl VirtualGpu {
 
     /// The persistent pool, spawned on first use and reused afterwards.
     fn pool(&self, workers: usize) -> &WorkerPool {
-        self.pool.get_or_init(|| WorkerPool::spawn(workers))
+        self.pool.get_or_init(|| WorkerPool::spawn_tagged(workers, self.config.executor.pool_tag))
     }
 
     /// Snapshot of the accumulated statistics.

@@ -139,7 +139,11 @@ pub(crate) struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns `workers` host threads, parked until the first launch.
-    pub(crate) fn spawn(workers: usize) -> Self {
+    ///
+    /// `tag` is baked into the host thread names so pools belonging to
+    /// different owners (e.g. service shards) are distinguishable in thread
+    /// dumps.  Tag 0 keeps the historical `gpm-gpu-worker-<i>` names.
+    pub(crate) fn spawn_tagged(workers: usize, tag: usize) -> Self {
         debug_assert!(workers >= 1, "a pool needs at least one worker");
         let shared = Arc::new(PoolShared {
             dispatch: Mutex::new(Dispatch { epoch: 0, job: None, remaining: 0, shutdown: false }),
@@ -149,8 +153,13 @@ impl WorkerPool {
         let handles = (0..workers)
             .map(|index| {
                 let shared = Arc::clone(&shared);
+                let name = if tag == 0 {
+                    format!("gpm-gpu-worker-{index}")
+                } else {
+                    format!("gpm-gpu-t{tag}-worker-{index}")
+                };
                 std::thread::Builder::new()
-                    .name(format!("gpm-gpu-worker-{index}"))
+                    .name(name)
                     .spawn(move || worker_loop(&shared))
                     .expect("spawn virtual GPU worker")
             })
@@ -306,7 +315,7 @@ mod tests {
 
     #[test]
     fn pool_covers_the_grid_with_dynamic_chunks() {
-        let pool = WorkerPool::spawn(3);
+        let pool = WorkerPool::spawn_tagged(3, 0);
         let grid = 10_007; // not a multiple of any chunk size
         let out = DeviceBuffer::<u32>::new(grid, 0);
         for chunk in [1usize, 7, 64, 1024, 20_000] {
@@ -319,7 +328,7 @@ mod tests {
 
     #[test]
     fn work_counters_aggregate_across_workers() {
-        let pool = WorkerPool::spawn(4);
+        let pool = WorkerPool::spawn_tagged(4, 0);
         let kernel = |ctx: &ThreadCtx| ctx.add_work(ctx.global_id as u64);
         let (total, max) = pool.run(1000, 16, &kernel);
         assert_eq!(total, (0..1000u64).sum());
@@ -328,7 +337,7 @@ mod tests {
 
     #[test]
     fn panic_poisons_the_launch_but_not_the_pool() {
-        let pool = WorkerPool::spawn(2);
+        let pool = WorkerPool::spawn_tagged(2, 0);
         let boom = |ctx: &ThreadCtx| {
             if ctx.global_id == 123 {
                 panic!("injected");
@@ -344,8 +353,22 @@ mod tests {
     }
 
     #[test]
+    fn tagged_pool_names_threads_after_the_tag() {
+        let pool = WorkerPool::spawn_tagged(2, 7);
+        let seen = Mutex::new(Vec::new());
+        let kernel = |_ctx: &ThreadCtx| {
+            let name = std::thread::current().name().unwrap_or("").to_string();
+            lock(&seen).push(name);
+        };
+        pool.run(2, 1, &kernel);
+        for name in lock(&seen).iter() {
+            assert!(name.starts_with("gpm-gpu-t7-worker-"), "unexpected thread name {name}");
+        }
+    }
+
+    #[test]
     fn zero_grid_run_returns_immediately() {
-        let pool = WorkerPool::spawn(2);
+        let pool = WorkerPool::spawn_tagged(2, 0);
         let kernel = |_ctx: &ThreadCtx| panic!("no threads should run");
         assert_eq!(pool.run(0, 8, &kernel), (0, 0));
     }

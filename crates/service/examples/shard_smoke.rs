@@ -1,0 +1,135 @@
+//! End-to-end smoke test of the sharded control plane, driven over the
+//! wire against a running multi-shard `gpm-service` server:
+//!
+//! ```text
+//! cargo run --release -p gpm-service -- --shards 4 &
+//! cargo run --release -p gpm-service --example shard_smoke
+//! ```
+//!
+//! Pass a different address as the first argument.  The example uploads a
+//! corpus of graphs, solves each by fingerprint (the responses say which
+//! shard ran them), checks the per-shard counters fold to the aggregate
+//! stats, drains one shard that did work, proves new jobs homed there now
+//! land elsewhere, rebalances, and shuts the server down (set
+//! `KEEP_SERVER=1` to leave it running).  Exits non-zero on any broken
+//! invariant, so CI can gate on it.
+
+use gpm_core::{Algorithm, InitHeuristic};
+use gpm_graph::gen;
+use gpm_service::Client;
+use serde::Value;
+use std::collections::BTreeMap;
+
+fn shard_of(response: &Value) -> u64 {
+    response.get("shard").and_then(Value::as_u64).expect("solve response names its shard")
+}
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let mut client = Client::connect(&addr)?;
+    println!("connected to gpm-service at {addr}");
+
+    let shard_count = client.shard_stats()?.len();
+    println!("server runs {shard_count} shard(s)");
+    assert!(shard_count >= 2, "shard smoke needs a multi-shard server (got {shard_count})");
+
+    // A corpus wide enough that fingerprint-affinity placement must spread
+    // it over several shards.
+    let corpus: Vec<_> = (0..8)
+        .map(|i| gen::planted_perfect(40 + 4 * i, 320, 11 + i as u64).expect("generate graph"))
+        .collect();
+    let fingerprints: Vec<u64> =
+        corpus.iter().map(|g| client.put_graph(g)).collect::<std::io::Result<_>>()?;
+
+    // Two passes over the corpus by fingerprint: the second pass must ride
+    // the caches, and each fingerprint must stick to one shard.
+    let mut home: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut jobs = 0u64;
+    for pass in 0..2 {
+        for (graph, &fp) in corpus.iter().zip(&fingerprints) {
+            let response =
+                client.solve_cached(fp, Algorithm::HopcroftKarp, InitHeuristic::Cheap)?;
+            let cardinality =
+                response.get("report").and_then(|r| r.get("cardinality")).and_then(Value::as_u64);
+            assert_eq!(
+                cardinality,
+                Some(graph.num_rows() as u64),
+                "planted matching on fingerprint {fp:#x}"
+            );
+            let shard = shard_of(&response);
+            let previous = home.insert(fp, shard);
+            if pass > 0 {
+                assert_eq!(previous, Some(shard), "fingerprint {fp:#x} hopped shards");
+                assert_eq!(
+                    response.get("cache_hit").and_then(Value::as_bool),
+                    Some(true),
+                    "second solve of {fp:#x} must hit its home shard's cache"
+                );
+            }
+            jobs += 1;
+        }
+    }
+    let used: Vec<u64> = {
+        let mut shards: Vec<u64> = home.values().copied().collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    };
+    println!("{jobs} jobs spread over shards {used:?}");
+    assert!(used.len() >= 2, "affinity placement should use several shards, used only {used:?}");
+
+    // Per-shard counters must fold to the aggregate stats.
+    let stats = client.stats()?;
+    let stats = stats.get("stats").unwrap_or(&stats).clone();
+    let total_completed = stats.get("completed").and_then(Value::as_u64).expect("completed");
+    let shards = client.shard_stats()?;
+    assert_eq!(shards.len(), shard_count);
+    let mut folded = 0u64;
+    for entry in &shards {
+        let id = entry.get("id").and_then(Value::as_u64).expect("shard id");
+        let per_shard = entry.get("stats").expect("per-shard stats");
+        let completed = per_shard.get("completed").and_then(Value::as_u64).unwrap_or(0);
+        let submitted = per_shard.get("submitted").and_then(Value::as_u64).unwrap_or(0);
+        println!("shard {id}: submitted {submitted}, completed {completed}");
+        folded += completed;
+    }
+    assert_eq!(folded, total_completed, "per-shard completed must fold to the aggregate");
+    assert!(total_completed >= jobs, "all {jobs} burst jobs must be accounted for");
+
+    // Drain a shard that did work; its fingerprints must re-home elsewhere.
+    let drained = used[0];
+    let response = client.drain(drained as usize)?;
+    assert_eq!(response.get("kept").and_then(Value::as_u64), Some(0), "idle drain keeps nothing");
+    println!(
+        "drained shard {drained} (requeued {}, in flight {})",
+        response.get("requeued").and_then(Value::as_u64).unwrap_or(0),
+        response.get("in_flight").and_then(Value::as_u64).unwrap_or(0),
+    );
+    let shards = client.shard_stats()?;
+    let entry = &shards[drained as usize];
+    assert_eq!(entry.get("draining").and_then(Value::as_bool), Some(true));
+    for (&fp, &shard) in &home {
+        if shard != drained {
+            continue;
+        }
+        let response = client.solve_cached(fp, Algorithm::HopcroftKarp, InitHeuristic::Cheap)?;
+        let landed = shard_of(&response);
+        assert_ne!(landed, drained, "fingerprint {fp:#x} still placed on the drained shard");
+        println!("fingerprint {fp:#018x} re-homed: shard {shard} -> {landed}");
+    }
+
+    let response = client.rebalance()?;
+    let active = response.get("active_shards").and_then(Value::as_u64).expect("active_shards");
+    assert_eq!(active, shard_count as u64 - 1, "one shard drained, the rest active");
+    println!(
+        "rebalance: {} graph(s) moved, {active} shard(s) active",
+        response.get("moved").and_then(Value::as_u64).unwrap_or(0),
+    );
+
+    if std::env::var_os("KEEP_SERVER").is_none() {
+        client.shutdown()?;
+        println!("sent shutdown; server is stopping");
+    }
+    println!("shard smoke passed");
+    Ok(())
+}

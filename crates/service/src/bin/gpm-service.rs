@@ -1,19 +1,23 @@
 //! The `gpm-service` server binary: a JSON-lines matching service over TCP.
 //!
 //! ```text
-//! gpm-service [--addr HOST:PORT] [--workers N] [--cache N] [--device POLICY]
-//!             [--max-queue-depth N]
+//! gpm-service [--addr HOST:PORT] [--shards M] [--workers N] [--cache N]
+//!             [--device POLICY] [--max-queue-depth N]
 //! ```
 //!
 //! * `--addr` — listen address (default `127.0.0.1:7878`; port 0 picks a
 //!   free port, printed on startup).
-//! * `--workers` — pool size; each worker owns a warm solver (default 2).
-//! * `--cache` — graph-cache capacity in graphs (default 32).
+//! * `--shards` — device shards; each owns its own worker pool, queue, and
+//!   graph cache, and jobs are placed by fingerprint affinity (default 1).
+//! * `--workers` — pool size **per shard**; each worker owns a warm solver
+//!   (default 2).
+//! * `--cache` — graph-cache capacity **per shard**, in graphs (default
+//!   32).
 //! * `--device` — `cpu-only`, `sequential`, `parallel:N`, or `auto`
 //!   (default `sequential`).
-//! * `--max-queue-depth` — bound the job queue; full-queue submissions are
-//!   rejected with an `overloaded` error instead of queuing (default:
-//!   unbounded).
+//! * `--max-queue-depth` — bound each shard's queue; submissions finding
+//!   every shard full are rejected with an `overloaded` error instead of
+//!   queuing (default: unbounded).
 //!
 //! The process exits after a client sends `{"op":"shutdown"}`.
 
@@ -41,6 +45,7 @@ fn parse_device(s: &str) -> Result<DevicePolicy, String> {
 
 fn run() -> Result<(), String> {
     let mut addr = "127.0.0.1:7878".to_string();
+    let mut shards = 1usize;
     let mut workers = 2usize;
     let mut cache = 32usize;
     let mut device = DevicePolicy::Sequential;
@@ -51,6 +56,11 @@ fn run() -> Result<(), String> {
         let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} requires a value"));
         match flag.as_str() {
             "--addr" => addr = value("--addr")?,
+            "--shards" => {
+                shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards requires an integer".to_string())?;
+            }
             "--workers" => {
                 workers = value("--workers")?
                     .parse()
@@ -71,8 +81,8 @@ fn run() -> Result<(), String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "gpm-service [--addr HOST:PORT] [--workers N] [--cache N] [--device POLICY] \
-                     [--max-queue-depth N]"
+                    "gpm-service [--addr HOST:PORT] [--shards M] [--workers N] [--cache N] \
+                     [--device POLICY] [--max-queue-depth N]"
                 );
                 return Ok(());
             }
@@ -82,14 +92,21 @@ fn run() -> Result<(), String> {
 
     let listener = TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
-    let mut builder =
-        Service::builder().workers(workers).cache_capacity(cache).device_policy(device);
+    let mut builder = Service::builder()
+        .shards(shards)
+        .workers(workers)
+        .cache_capacity(cache)
+        .device_policy(device);
     if let Some(depth) = max_queue_depth {
         builder = builder.max_queue_depth(depth);
     }
     let service = builder.build();
     // Scripts (and the CI smoke test) wait for this line before connecting.
-    println!("gpm-service listening on {local} ({workers} workers, cache {cache})");
+    println!(
+        "gpm-service listening on {local} ({} shard(s), {workers} workers/shard, \
+         cache {cache}/shard)",
+        service.shard_count()
+    );
     serve(listener, service).map_err(|e| format!("server error: {e}"))
 }
 

@@ -41,6 +41,18 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Folds another cache's counters into this one (the service aggregates
+    /// its per-shard caches this way; capacities and lengths add).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.capacity += other.capacity;
+        self.len += other.len;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.collisions += other.collisions;
+    }
 }
 
 /// An LRU cache of [`BipartiteCsr`]s keyed by content fingerprint.
@@ -141,6 +153,28 @@ impl GraphCache {
     /// the hit/miss counters.
     pub fn contains(&self, fingerprint: u64) -> bool {
         self.entries.contains_key(&fingerprint)
+    }
+
+    /// Looks up a graph without touching recency or the hit/miss counters.
+    ///
+    /// Shards use this to probe *each other's* caches: a remote fetch must
+    /// not pollute the owner's LRU order or its hit ratio — the per-shard
+    /// counters are how placement quality is measured, so only the owning
+    /// shard's own lookups may count.
+    pub(crate) fn peek(&self, fingerprint: u64) -> Option<Arc<BipartiteCsr>> {
+        self.entries.get(&fingerprint).map(|(graph, _)| Arc::clone(graph))
+    }
+
+    /// Removes and returns a graph (rebalancing moves entries between shard
+    /// caches).  Not counted as an eviction: the graph is leaving by policy,
+    /// not by pressure.
+    pub(crate) fn remove(&mut self, fingerprint: u64) -> Option<Arc<BipartiteCsr>> {
+        self.entries.remove(&fingerprint).map(|(graph, _)| graph)
+    }
+
+    /// The fingerprints currently cached, in unspecified order.
+    pub(crate) fn fingerprints(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect()
     }
 
     /// Number of graphs currently cached.

@@ -152,6 +152,31 @@ impl Client {
         })
     }
 
+    /// Fetches the per-shard control-plane snapshots (the `shards` array:
+    /// one map per shard with `id`, `draining`, `running`, and `stats`).
+    pub fn shard_stats(&mut self) -> std::io::Result<Vec<Value>> {
+        let response = self.request(vec![("op".to_string(), Value::Str("shards".to_string()))])?;
+        response.get("shards").and_then(Value::as_seq).map(<[Value]>::to_vec).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "no shards in response")
+        })
+    }
+
+    /// Drains one shard: placement stops, queued jobs are re-homed,
+    /// in-flight jobs finish in place.  Returns the response map
+    /// (`requeued`, `kept`, `in_flight`).
+    pub fn drain(&mut self, shard: usize) -> std::io::Result<Value> {
+        self.request(vec![
+            ("op".to_string(), Value::Str("drain".to_string())),
+            ("shard".to_string(), Value::U64(shard as u64)),
+        ])
+    }
+
+    /// Moves every cached graph to its home shard; returns the response map
+    /// (`moved`, `active_shards`).
+    pub fn rebalance(&mut self) -> std::io::Result<Value> {
+        self.request(vec![("op".to_string(), Value::Str("rebalance".to_string()))])
+    }
+
     /// Asks the server to stop after acknowledging.
     pub fn shutdown(&mut self) -> std::io::Result<()> {
         self.request(vec![("op".to_string(), Value::Str("shutdown".to_string()))]).map(|_| ())

@@ -105,7 +105,9 @@ impl JobSpec {
 pub struct JobOutcome {
     /// The solver's report (matching, cardinality, timings).
     pub report: SolveReport,
-    /// Index of the pool worker that ran the job.
+    /// The shard the job ran on (0 on a single-shard service).
+    pub shard: usize,
+    /// Index of the worker within that shard's pool that ran the job.
     pub worker: usize,
     /// `true` iff the graph came out of the cache (a `Cached` source that
     /// hit); inline graphs are `false`.

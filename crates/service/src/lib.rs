@@ -1,33 +1,52 @@
-//! # gpm-service — a concurrent matching service
+//! # gpm-service — a sharded concurrent matching service
 //!
 //! The paper's workload (conf_icpp_DeveciKUC13) is batch sweeps over many
 //! instances; this crate turns the single-threaded [`gpm_core::Solver`]
-//! session into a multi-client service that amortizes warm solver state
-//! across a stream of jobs:
+//! session into a multi-client, multi-device service that amortizes warm
+//! solver state across a stream of jobs:
 //!
-//! * [`service::Service`] — a pool of N worker threads, each owning a warm
-//!   `Solver` (device + per-algorithm workspaces), pulling from a shared
-//!   MPMC priority queue (highest [`JobSpec::priority`] first, FIFO within
-//!   a priority).  [`Service::submit`] / [`Service::submit_batch`] never
-//!   block on the solve — nor on admission: with
-//!   [`ServiceBuilder::max_queue_depth`] set, a full queue rejects with
-//!   [`ServiceError::Overloaded`].  Clients hold a [`job::JobHandle`] and
-//!   `wait()`, or `cancel()` it; jobs may also carry a deadline.  Both
-//!   signals reach running engines at worklist-round granularity and
-//!   surface as [`ServiceError::Cancelled`] /
-//!   [`ServiceError::DeadlineExceeded`] with the rounds completed and the
-//!   partial matching cardinality at the stop.
+//! * Shard-per-device execution — the service runs M independent
+//!   **device shards** ([`ServiceBuilder::shards`], default 1).  Each shard
+//!   owns its own worker pool (each worker a warm `Solver`: device +
+//!   per-algorithm workspaces, kernel pool threads tagged with the shard
+//!   id), its own bounded priority queue (highest [`JobSpec::priority`]
+//!   first, FIFO within a priority), its own private
+//!   [`cache::GraphCache`], and its own lock-free statistics.  There is no
+//!   global queue and no global cache lock: submissions contend only on
+//!   the shard they are placed on.
+//! * [`placement`] — jobs are routed by graph-fingerprint **affinity**: a
+//!   fast path admits a job straight onto its *home shard*
+//!   (`fingerprint mod active shards`) when that shard holds the graph and
+//!   has room — O(1) in the shard count; otherwise the shard whose cache
+//!   holds the job's graph gets the job, misses spill to the least-loaded
+//!   shard with queue room, and ties break to the lowest shard id, so
+//!   placement is deterministic given a load snapshot.
+//!   [`Service::submit`] / [`Service::submit_batch`] never block on the
+//!   solve — nor on admission: with [`ServiceBuilder::max_queue_depth`]
+//!   set, a service whose every shard is full rejects with
+//!   [`ServiceError::Overloaded`] describing the *least-loaded* shard.
+//! * [`control`] — the control plane: per-shard snapshots
+//!   ([`Service::shard_stats`]), [`Service::drain_shard`] (queued jobs
+//!   re-homed, in-flight jobs finish in place, nothing lost or
+//!   duplicated), and [`Service::rebalance`] (cached graphs move to their
+//!   home shard `active[fingerprint mod |active|]`).
 //! * [`job::JobSpec`] — algorithm (round-trippable label), init heuristic,
 //!   a graph **by value or by cache key**, plus priority, deadline, and a
-//!   [`CancelToken`].
+//!   [`CancelToken`].  Cancellation and deadlines reach running engines at
+//!   worklist-round granularity and surface as [`ServiceError::Cancelled`]
+//!   / [`ServiceError::DeadlineExceeded`] with the rounds completed and
+//!   the partial matching cardinality at the stop.
 //! * [`cache::GraphCache`] — content-addressed by
 //!   [`gpm_graph::BipartiteCsr::fingerprint`], LRU-evicted, hit/miss
-//!   counted: repeated solves on the same instance skip re-upload.
+//!   counted: repeated solves on the same instance skip re-upload, and the
+//!   per-shard hit rate doubles as a placement-quality metric.
 //! * [`stats::ServiceStats`] — per-algorithm job counts, queue depth, and
-//!   latency aggregates, serialized as JSON.
+//!   latency aggregates, kept in per-shard atomics and folded on demand,
+//!   serialized as JSON.
 //! * [`server`]/[`client`] — a JSON-lines protocol over
-//!   `std::net::TcpListener` (see [`proto`] for the grammar) and the
-//!   matching blocking client; the `gpm-service` binary serves it.
+//!   `std::net::TcpListener` (see [`proto`] for the grammar, including the
+//!   `shards`/`drain`/`rebalance` control ops) and the matching blocking
+//!   client; the `gpm-service` binary serves it (`--shards M`).
 //!
 //! ```
 //! use gpm_core::Algorithm;
@@ -54,18 +73,23 @@
 
 pub mod cache;
 pub mod client;
+pub mod control;
 pub mod error;
 pub mod job;
+pub mod placement;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub(crate) mod shard;
 pub mod stats;
 
 pub use cache::{CacheStats, GraphCache};
 pub use client::{Client, SolveOptions};
+pub use control::{ControlError, DrainOutcome, RebalanceOutcome, ShardStats};
 pub use error::ServiceError;
 pub use gpm_core::CancelToken;
 pub use job::{GraphSource, JobHandle, JobOutcome, JobSpec};
+pub use placement::{decide, decide_requeue, Placement, ShardLoad};
 pub use server::{serve, ServerState};
 pub use service::{Service, ServiceBuilder};
 pub use stats::{AlgorithmStats, LatencyAgg, ServiceStats};

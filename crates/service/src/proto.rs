@@ -20,7 +20,16 @@
 //!   request cancellation of in-flight solves; the response reports how many
 //!   jobs were signalled.  Engines stop at worklist-round granularity, so
 //!   the cancelled solve fails promptly with a `cancelled` error.
-//! * `{"op":"stats"}` — service counters snapshot.
+//! * `{"op":"stats"}` — service counters snapshot (the fold across all
+//!   shards).
+//! * `{"op":"shards"}` — control plane: one entry per shard with its id,
+//!   lifecycle (`draining`), `running` count, and per-shard stats.
+//! * `{"op":"drain","shard":2}` — control plane: stop placing jobs on
+//!   shard 2, re-home its queued jobs onto active shards, let its in-flight
+//!   jobs finish.  Response reports `requeued`/`kept`/`in_flight`.
+//! * `{"op":"rebalance"}` — control plane: move every cached graph to its
+//!   home shard (`active[fingerprint mod |active|]`); response reports how
+//!   many graphs `moved` across how many `active_shards`.
 //! * `{"op":"shutdown"}` — acknowledge, then stop the server.
 //!
 //! Responses always carry `"ok"`: `{"ok":true,…}` or
@@ -62,6 +71,15 @@ pub enum Request {
     },
     /// Snapshot the service counters.
     Stats,
+    /// Snapshot every shard (control plane).
+    Shards,
+    /// Drain one shard (control plane).
+    Drain {
+        /// The shard id to drain.
+        shard: usize,
+    },
+    /// Move cached graphs to their home shards (control plane).
+    Rebalance,
     /// Stop the server after acknowledging.
     Shutdown,
 }
@@ -153,9 +171,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Cancel { job_id, tag })
         }
         "stats" => Ok(Request::Stats),
+        "shards" => Ok(Request::Shards),
+        "drain" => {
+            let shard = value
+                .get("shard")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| "drain: missing non-negative integer field 'shard'".to_string())?;
+            Ok(Request::Drain { shard: shard as usize })
+        }
+        "rebalance" => Ok(Request::Rebalance),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op '{other}': expected put_graph, solve, cancel, stats, or shutdown"
+            "unknown op '{other}': expected put_graph, solve, cancel, stats, shards, drain, \
+             rebalance, or shutdown"
         )),
     }
 }
@@ -301,6 +329,13 @@ mod tests {
         }
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(parse_request(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
+        assert_eq!(parse_request(r#"{"op":"shards"}"#).unwrap(), Request::Shards);
+        assert_eq!(parse_request(r#"{"op":"rebalance"}"#).unwrap(), Request::Rebalance);
+        assert_eq!(
+            parse_request(r#"{"op":"drain","shard":2}"#).unwrap(),
+            Request::Drain { shard: 2 }
+        );
+        assert!(parse_request(r#"{"op":"drain"}"#).unwrap_err().contains("'shard'"));
     }
 
     #[test]

@@ -286,6 +286,7 @@ pub fn handle_request_line(state: &ServerState, line: &str) -> (String, bool) {
                         ("op".to_string(), Value::Str("solve".to_string())),
                         ("job_id".to_string(), Value::U64(job_id)),
                         ("report".to_string(), outcome.report.to_value()),
+                        ("shard".to_string(), Value::U64(outcome.shard as u64)),
                         ("worker".to_string(), Value::U64(outcome.worker as u64)),
                         ("cache_hit".to_string(), Value::Bool(outcome.cache_hit)),
                         ("queue_seconds".to_string(), Value::F64(outcome.queue_seconds)),
@@ -315,6 +316,40 @@ pub fn handle_request_line(state: &ServerState, line: &str) -> (String, bool) {
             ]),
             false,
         ),
+        Ok(Request::Shards) => (
+            ok_response(vec![
+                ("op".to_string(), Value::Str("shards".to_string())),
+                (
+                    "shards".to_string(),
+                    Value::Seq(service.shard_stats().iter().map(Serialize::to_value).collect()),
+                ),
+            ]),
+            false,
+        ),
+        Ok(Request::Drain { shard }) => match service.drain_shard(shard) {
+            Err(e) => (error_response(&e.to_string()), false),
+            Ok(outcome) => (
+                ok_response(vec![
+                    ("op".to_string(), Value::Str("drain".to_string())),
+                    ("shard".to_string(), Value::U64(outcome.shard as u64)),
+                    ("requeued".to_string(), Value::U64(outcome.requeued as u64)),
+                    ("kept".to_string(), Value::U64(outcome.kept as u64)),
+                    ("in_flight".to_string(), Value::U64(outcome.in_flight as u64)),
+                ]),
+                false,
+            ),
+        },
+        Ok(Request::Rebalance) => {
+            let outcome = service.rebalance();
+            (
+                ok_response(vec![
+                    ("op".to_string(), Value::Str("rebalance".to_string())),
+                    ("moved".to_string(), Value::U64(outcome.moved as u64)),
+                    ("active_shards".to_string(), Value::U64(outcome.active_shards as u64)),
+                ]),
+                false,
+            )
+        }
         Ok(Request::Shutdown) => {
             (ok_response(vec![("op".to_string(), Value::Str("shutdown".to_string()))]), true)
         }
@@ -427,6 +462,49 @@ mod tests {
         );
         let v = parsed_ok(&response);
         assert_eq!(v.get("report").unwrap().get("cardinality").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn control_ops_flow_without_sockets() {
+        let state = ServerState::new(Service::builder().shards(3).workers(1).build());
+        let (response, stop) = handle_request_line(&state, r#"{"op":"shards"}"#);
+        assert!(!stop);
+        let v = parsed_ok(&response);
+        let shards = v.get("shards").and_then(Value::as_seq).unwrap();
+        assert_eq!(shards.len(), 3);
+        for (i, entry) in shards.iter().enumerate() {
+            assert_eq!(entry.get("id").and_then(Value::as_u64), Some(i as u64));
+            assert_eq!(entry.get("draining").and_then(Value::as_bool), Some(false));
+            assert!(entry.get("stats").unwrap().get("submitted").is_some());
+        }
+
+        let (response, _) = handle_request_line(&state, r#"{"op":"drain","shard":1}"#);
+        let v = parsed_ok(&response);
+        assert_eq!(v.get("shard").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("requeued").and_then(Value::as_u64), Some(0));
+        let (response, _) = handle_request_line(&state, r#"{"op":"shards"}"#);
+        let v = parsed_ok(&response);
+        let shards = v.get("shards").and_then(Value::as_seq).unwrap();
+        assert_eq!(shards[1].get("draining").and_then(Value::as_bool), Some(true));
+
+        let (response, _) = handle_request_line(&state, r#"{"op":"drain","shard":9}"#);
+        let v = serde_json::from_str(&response).unwrap();
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(v.get("error").and_then(Value::as_str).unwrap().contains("no shard 9"));
+
+        let (response, _) = handle_request_line(&state, r#"{"op":"rebalance"}"#);
+        let v = parsed_ok(&response);
+        assert_eq!(v.get("active_shards").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("moved").and_then(Value::as_u64), Some(0));
+
+        // Solve responses name the shard that ran the job.
+        let (response, _) = handle_request_line(
+            &state,
+            r#"{"op":"solve","algorithm":"HK","rows":1,"cols":1,"edges":[[0,0]]}"#,
+        );
+        let v = parsed_ok(&response);
+        let shard = v.get("shard").and_then(Value::as_u64).unwrap();
+        assert_ne!(shard, 1, "draining shard must not run new jobs");
     }
 
     #[test]

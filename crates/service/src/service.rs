@@ -1,32 +1,43 @@
-//! The [`Service`]: a pool of worker threads, each owning a warm
-//! [`Solver`] session, fed from a shared MPMC job queue.
+//! The [`Service`]: M independent device shards behind one submission API.
 //!
-//! Submitting is non-blocking: [`Service::submit`] enqueues and returns a
+//! Each shard owns its own worker pool of warm
+//! [`Solver`](gpm_core::Solver) sessions, bounded priority queue, and private
+//! [`crate::GraphCache`]; the [`crate::placement`] registry routes every
+//! job to one shard by graph-fingerprint affinity, spilling to the
+//! least-loaded shard.  There is no global queue and no global cache lock:
+//! submission contends only on the target shard, and all cross-shard reads
+//! (placement load snapshots, `stats`) are atomics.
+//!
+//! Submitting is non-blocking: [`Service::submit`] places and returns a
 //! [`JobHandle`]; any number of client threads may submit concurrently.
 //! Admission is bounded when [`ServiceBuilder::max_queue_depth`] is set — a
-//! full queue rejects with [`ServiceError::Overloaded`] instead of blocking.
-//! Workers pull the highest-priority job (FIFO within a priority) under a
-//! `Mutex` + `Condvar`, honour cancellation and deadlines before touching a
-//! solver, resolve the graph through the content-addressed [`GraphCache`],
-//! run the solve on their private warm session, and complete the handle.
-//! Dropping the service drains the queue: already-accepted jobs still
+//! service whose every shard is full rejects with
+//! [`ServiceError::Overloaded`](crate::ServiceError::Overloaded), reporting the least-loaded shard's depth
+//! and retry hint.  Workers pull the highest-priority job (FIFO within a
+//! priority) from their own shard, honour cancellation and deadlines before
+//! touching a solver, resolve the graph through their shard's cache, run
+//! the solve on their private warm session, and complete the handle.
+//! Dropping the service drains every shard: already-accepted jobs still
 //! complete, then the workers exit.
+//!
+//! The control plane — per-shard stats, drain, rebalance — lives in
+//! [`crate::control`].
 
-use crate::cache::GraphCache;
-use crate::error::ServiceError;
-use crate::job::{GraphSource, JobHandle, JobOutcome, JobSlot, JobSpec};
-use crate::stats::{AlgorithmStats, LatencyAgg, ServiceStats};
-use gpm_core::{DevicePolicy, ExecutorConfig, SolveCtx, Solver};
+use crate::cache::CacheStats;
+use crate::job::{JobHandle, JobSpec};
+use crate::placement::ShardRegistry;
+use crate::shard::{worker_loop, DeviceShard};
+use crate::stats::{LatencyAgg, ServiceStats};
+use gpm_core::{DevicePolicy, ExecutorConfig};
 use gpm_graph::BipartiteCsr;
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
 /// Configures and starts a [`Service`].
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceBuilder {
+    shards: usize,
     workers: usize,
     device_policy: DevicePolicy,
     executor: ExecutorConfig,
@@ -37,6 +48,7 @@ pub struct ServiceBuilder {
 impl Default for ServiceBuilder {
     fn default() -> Self {
         Self {
+            shards: 1,
             workers: 2,
             device_policy: DevicePolicy::Sequential,
             executor: ExecutorConfig::default(),
@@ -47,8 +59,17 @@ impl Default for ServiceBuilder {
 }
 
 impl ServiceBuilder {
-    /// Sets the number of pool workers (each owns one warm [`Solver`]).
-    /// A count of 0 is treated as 1.
+    /// Sets the number of device shards (default 1).  Each shard gets its
+    /// own worker pool, queue, and graph cache; jobs are placed across
+    /// shards by fingerprint affinity.  A count of 0 is treated as 1.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the number of workers **per shard** (each owns one warm
+    /// [`Solver`](gpm_core::Solver)).  A count of 0 is treated as 1.  The service's total
+    /// worker count is `shards × workers`.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self
@@ -69,30 +90,36 @@ impl ServiceBuilder {
     /// inline threshold.  With N service workers each owning a
     /// [`DevicePolicy::Parallel`] device, this is how the deployment keeps
     /// N × device-workers within the host's core budget instead of
-    /// oversubscribing it.
+    /// oversubscribing it.  The config's `pool_tag` is overridden per shard
+    /// (the shard id), so kernel threads are attributable to their shard.
     pub fn executor_config(mut self, executor: ExecutorConfig) -> Self {
         self.executor = executor;
         self
     }
 
-    /// Sets how many graphs the content-addressed cache holds (0 disables
-    /// caching; jobs must then carry their graph inline).
+    /// Sets how many graphs **each shard's** content-addressed cache holds
+    /// (0 disables caching; jobs must then carry their graph inline).  An
+    /// M-shard service therefore holds up to `M × capacity` graphs in
+    /// aggregate — affinity placement keeps the shard caches disjoint
+    /// rather than M copies of the same working set.
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
         self
     }
 
-    /// Bounds the queue: submissions that find `depth` jobs already waiting
-    /// are rejected immediately with [`ServiceError::Overloaded`] instead of
-    /// growing the backlog.  Submission never blocks either way.  A depth of
-    /// 0 is treated as 1 (a queue that can never admit would deadlock every
-    /// client).  Unset means unbounded, the previous behaviour.
+    /// Bounds **each shard's** queue: a submission that finds every active
+    /// shard holding `depth` queued jobs is rejected immediately with
+    /// [`ServiceError::Overloaded`](crate::ServiceError::Overloaded) instead of growing a backlog.
+    /// Submission never blocks either way; while any shard has room, the
+    /// job is placed there.  A depth of 0 is treated as 1 (a queue that can
+    /// never admit would deadlock every client).  Unset means unbounded,
+    /// the previous behaviour.
     pub fn max_queue_depth(mut self, depth: usize) -> Self {
         self.max_queue_depth = Some(depth.max(1));
         self
     }
 
-    /// Starts the worker pool.
+    /// Starts the shards and their worker pools.
     ///
     /// # Panics
     /// Panics when the executor configuration is invalid (e.g. a zero chunk
@@ -104,33 +131,31 @@ impl ServiceBuilder {
         if let Err(reason) = self.executor.validate() {
             panic!("invalid executor configuration for service workers: {reason}");
         }
-        let shared = Arc::new(Shared {
-            queue: Mutex::new(Queue {
-                jobs: BinaryHeap::new(),
-                shutdown: false,
-                next_seq: 0,
-                max_depth: self.max_queue_depth,
-            }),
-            available: Condvar::new(),
-            cache: parking_lot::Mutex::new(GraphCache::new(self.cache_capacity)),
-            stats: parking_lot::Mutex::new(StatsInner::default()),
-        });
-        let workers = (0..self.workers)
-            .map(|index| {
-                let shared = Arc::clone(&shared);
+        let shards: Vec<Arc<DeviceShard>> = (0..self.shards)
+            .map(|id| Arc::new(DeviceShard::new(id, self.cache_capacity, self.max_queue_depth)))
+            .collect();
+        let registry = Arc::new(ShardRegistry::new(shards));
+        let mut workers = Vec::with_capacity(self.shards * self.workers);
+        for shard_id in 0..self.shards {
+            for index in 0..self.workers {
+                let registry = Arc::clone(&registry);
                 let policy = self.device_policy;
                 let executor = self.executor;
-                std::thread::Builder::new()
-                    .name(format!("gpm-service-worker-{index}"))
-                    .spawn(move || worker_loop(index, policy, executor, &shared))
-                    .expect("spawn service worker")
-            })
-            .collect();
-        Service { shared, workers, worker_count: self.workers, executor: self.executor }
+                let handle = std::thread::Builder::new()
+                    .name(format!("gpm-service-s{shard_id}-worker-{index}"))
+                    .spawn(move || {
+                        let shard = Arc::clone(&registry.shards[shard_id]);
+                        worker_loop(&shard, &registry.shards, index, policy, executor);
+                    })
+                    .expect("spawn service worker");
+                workers.push(handle);
+            }
+        }
+        Service { registry, workers, workers_per_shard: self.workers, executor: self.executor }
     }
 }
 
-/// A concurrent matching service over a warm solver pool.
+/// A concurrent matching service over sharded warm solver pools.
 ///
 /// See the [crate docs](crate) for the architecture; in short:
 ///
@@ -139,11 +164,12 @@ impl ServiceBuilder {
 /// use gpm_service::{JobSpec, Service};
 /// use gpm_graph::gen;
 ///
-/// let service = Service::builder().workers(2).build();
+/// let service = Service::builder().shards(2).workers(1).build();
 /// let graph = gen::planted_perfect(100, 400, 7).unwrap();
 /// let fingerprint = service.put_graph(graph.clone());
 ///
-/// // Submit by value or by cache key; wait in any order.
+/// // Submit by value or by cache key; wait in any order.  Cached jobs are
+/// // routed to the shard holding the graph.
 /// let a = service.submit(JobSpec::new(graph, Algorithm::HopcroftKarp));
 /// let b = service.submit(JobSpec::new(
 ///     gpm_service::GraphSource::Cached(fingerprint),
@@ -153,95 +179,10 @@ impl ServiceBuilder {
 /// assert_eq!(a.wait().unwrap().report.cardinality, 100);
 /// ```
 pub struct Service {
-    shared: Arc<Shared>,
+    registry: Arc<ShardRegistry>,
     workers: Vec<JoinHandle<()>>,
-    worker_count: usize,
+    workers_per_shard: usize,
     executor: ExecutorConfig,
-}
-
-struct Shared {
-    queue: Mutex<Queue>,
-    available: Condvar,
-    cache: parking_lot::Mutex<GraphCache>,
-    stats: parking_lot::Mutex<StatsInner>,
-}
-
-struct Queue {
-    jobs: BinaryHeap<QueuedJob>,
-    shutdown: bool,
-    /// Monotonic enqueue counter; ties on priority dequeue FIFO by it.
-    next_seq: u64,
-    max_depth: Option<usize>,
-}
-
-struct QueuedJob {
-    spec: JobSpec,
-    slot: Arc<JobSlot>,
-    enqueued: Instant,
-    seq: u64,
-    /// Absolute deadline, computed from `spec.deadline` at enqueue time.
-    deadline: Option<Instant>,
-}
-
-// Max-heap order: highest priority first, FIFO (lowest seq) within a
-// priority.  `seq` is unique per queue, so equality can key on it alone.
-impl PartialEq for QueuedJob {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-
-impl Eq for QueuedJob {}
-
-impl PartialOrd for QueuedJob {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for QueuedJob {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.spec.priority.cmp(&other.spec.priority).then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl Queue {
-    /// Pushes under the lock: the enqueue timestamp (the base of both the
-    /// queue-wait metric and the job's absolute deadline) is taken here, not
-    /// at some earlier point outside the lock.
-    fn push(&mut self, spec: JobSpec, slot: Arc<JobSlot>) {
-        let enqueued = Instant::now();
-        let deadline = spec.deadline.map(|d| enqueued + d);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.jobs.push(QueuedJob { spec, slot, enqueued, seq, deadline });
-    }
-}
-
-#[derive(Default)]
-struct StatsInner {
-    submitted: u64,
-    completed: u64,
-    failed: u64,
-    rejected: u64,
-    cancelled: u64,
-    deadline_exceeded: u64,
-    peak_queue_depth: usize,
-    queue_wait: LatencyAgg,
-    per_algorithm: BTreeMap<String, AlgorithmStats>,
-}
-
-impl StatsInner {
-    /// Backoff hint for [`ServiceError::Overloaded`]: the mean observed
-    /// queue wait, clamped to a sane band, or 100 ms before any job has
-    /// drained.
-    fn retry_after_hint(&self) -> Duration {
-        if self.queue_wait.count == 0 {
-            return Duration::from_millis(100);
-        }
-        let mean = self.queue_wait.mean_seconds().clamp(0.010, 5.0);
-        Duration::from_secs_f64(mean)
-    }
 }
 
 impl Service {
@@ -250,165 +191,148 @@ impl Service {
         ServiceBuilder::default()
     }
 
-    /// A service with `workers` pool threads and default cache/device
-    /// settings.
+    /// A single-shard service with `workers` pool threads and default
+    /// cache/device settings.
     pub fn new(workers: usize) -> Self {
         Self::builder().workers(workers).build()
     }
 
-    /// Number of pool workers.
+    pub(crate) fn registry(&self) -> &ShardRegistry {
+        &self.registry
+    }
+
+    /// Number of pool workers across all shards.
     pub fn worker_count(&self) -> usize {
-        self.worker_count
+        self.workers_per_shard * self.registry.shards.len()
+    }
+
+    /// Number of device shards.
+    pub fn shard_count(&self) -> usize {
+        self.registry.shards.len()
+    }
+
+    /// Workers each shard runs.
+    pub(crate) fn workers_per_shard(&self) -> usize {
+        self.workers_per_shard
     }
 
     /// The executor tuning every worker's solver (and hence device) was
-    /// built with.
+    /// built with (before the per-shard pool tag is applied).
     pub fn executor_config(&self) -> ExecutorConfig {
         self.executor
     }
 
-    /// Enqueues one job and returns a handle on its result.
+    /// Places one job on a shard and returns a handle on its result.
     ///
-    /// Never blocks on the solve itself — nor on admission: after shutdown
-    /// has begun the job is rejected with an already-completed handle
-    /// carrying [`ServiceError::ShuttingDown`], and on a full queue (see
-    /// [`ServiceBuilder::max_queue_depth`]) with [`ServiceError::Overloaded`].
+    /// Placement is fingerprint-affine: the shard whose cache holds the
+    /// job's graph gets it (least-loaded such shard on ties), otherwise the
+    /// least-loaded shard with queue room.  Never blocks on the solve — nor
+    /// on admission: after shutdown has begun the job is rejected with an
+    /// already-completed handle carrying [`ServiceError::ShuttingDown`](crate::ServiceError::ShuttingDown),
+    /// and when every shard's queue is full (see
+    /// [`ServiceBuilder::max_queue_depth`]) with
+    /// [`ServiceError::Overloaded`](crate::ServiceError::Overloaded) describing the least-loaded shard.
     pub fn submit(&self, spec: JobSpec) -> JobHandle {
-        let slot = Arc::new(JobSlot::default());
-        let handle = JobHandle { slot: Arc::clone(&slot), cancel: spec.cancel.clone() };
-        {
-            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            if queue.shutdown {
-                return JobHandle::completed(Err(ServiceError::ShuttingDown));
-            }
-            if let Some(full) = self.admission_reject(&queue) {
-                return JobHandle::completed(Err(full));
-            }
-            queue.push(spec, slot);
-            let depth = queue.jobs.len();
-            let mut stats = self.shared.stats.lock();
-            stats.submitted += 1;
-            stats.peak_queue_depth = stats.peak_queue_depth.max(depth);
-        }
-        self.shared.available.notify_one();
-        handle
+        self.registry.submit(spec)
     }
 
-    /// Enqueues a batch, returning one handle per job in order.
+    /// Places a batch, returning one handle per job in order.
     ///
-    /// The specs are collected **before** the queue lock is taken — a slow
+    /// The specs are collected **before** any placement work — a slow
     /// caller iterator cannot stall concurrent submitters or the workers —
-    /// then pushed under a single lock, so an N-worker pool starts fanning
-    /// out over the batch immediately.  Jobs past the queue cap reject
-    /// individually with [`ServiceError::Overloaded`]; only jobs actually
+    /// then placed one by one, so an N-shard service starts fanning out
+    /// over the batch immediately.  Jobs that find every shard full reject
+    /// individually with [`ServiceError::Overloaded`](crate::ServiceError::Overloaded); only jobs actually
     /// enqueued count as submitted.
     pub fn submit_batch(&self, specs: impl IntoIterator<Item = JobSpec>) -> Vec<JobHandle> {
         let specs: Vec<JobSpec> = specs.into_iter().collect();
-        let mut handles = Vec::with_capacity(specs.len());
-        {
-            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            let mut enqueued = 0u64;
-            for spec in specs {
-                if queue.shutdown {
-                    handles.push(JobHandle::completed(Err(ServiceError::ShuttingDown)));
-                    continue;
-                }
-                if let Some(full) = self.admission_reject(&queue) {
-                    handles.push(JobHandle::completed(Err(full)));
-                    continue;
-                }
-                let slot = Arc::new(JobSlot::default());
-                handles.push(JobHandle { slot: Arc::clone(&slot), cancel: spec.cancel.clone() });
-                queue.push(spec, slot);
-                enqueued += 1;
-            }
-            let depth = queue.jobs.len();
-            let mut stats = self.shared.stats.lock();
-            stats.submitted += enqueued;
-            stats.peak_queue_depth = stats.peak_queue_depth.max(depth);
-        }
-        self.shared.available.notify_all();
-        handles
-    }
-
-    /// Checks the queue cap; on a full queue bumps the rejection counter and
-    /// returns the [`ServiceError::Overloaded`] to complete the handle with.
-    fn admission_reject(&self, queue: &Queue) -> Option<ServiceError> {
-        let cap = queue.max_depth?;
-        let depth = queue.jobs.len();
-        if depth < cap {
-            return None;
-        }
-        let mut stats = self.shared.stats.lock();
-        stats.rejected += 1;
-        Some(ServiceError::Overloaded {
-            queue_depth: depth,
-            retry_after_hint: stats.retry_after_hint(),
-        })
+        specs.into_iter().map(|spec| self.registry.submit(spec)).collect()
     }
 
     /// `true` iff the service caches graphs (built with a non-zero cache
     /// capacity).  When `false`, [`Service::put_graph`] is a no-op and only
     /// inline jobs can solve.
     pub fn cache_enabled(&self) -> bool {
-        self.shared.cache.lock().stats().capacity > 0
+        self.registry.shards[0].cache.lock().stats().capacity > 0
     }
 
-    /// Registers `graph` in the cache without solving, returning its
-    /// fingerprint for use in [`GraphSource::Cached`] jobs.
+    /// Registers `graph` in its home shard's cache without solving,
+    /// returning its fingerprint for use in
+    /// [`crate::GraphSource::Cached`] jobs.  The home shard —
+    /// `active[fingerprint mod |active|]` — is the same one `rebalance`
+    /// would move it to, so affinity routing is stable from the first
+    /// upload.
     ///
     /// On a service built with `cache_capacity(0)` the graph is **not**
     /// retained (the fingerprint is still returned); check
-    /// [`Service::cache_enabled`] first when that configuration is possible.
+    /// [`Service::cache_enabled`] first when that configuration is
+    /// possible.
     pub fn put_graph(&self, graph: impl Into<Arc<BipartiteCsr>>) -> u64 {
         let graph = graph.into();
         // Hash outside the lock: the fingerprint walk is O(E).
         let fingerprint = graph.fingerprint();
-        self.shared.cache.lock().insert_keyed(fingerprint, graph);
+        let home = self.registry.home_shard(fingerprint).unwrap_or(0);
+        self.registry.shards[home].cache.lock().insert_keyed(fingerprint, graph);
         fingerprint
     }
 
-    /// `true` iff a graph with this fingerprint is currently cached.
+    /// `true` iff a graph with this fingerprint is cached on any shard.
     pub fn contains_graph(&self, fingerprint: u64) -> bool {
-        self.shared.cache.lock().contains(fingerprint)
+        self.registry.shards.iter().any(|s| s.cache.lock().contains(fingerprint))
     }
 
-    /// A point-in-time snapshot of the service counters.
+    /// A point-in-time snapshot of the whole service: the fold of every
+    /// shard's counters (see [`ServiceStats`] for the fold rules).
+    /// Lock-free against admission and solving — only per-shard cache and
+    /// per-algorithm mutexes are touched, never a queue mutex.
     pub fn stats(&self) -> ServiceStats {
-        let queue_depth = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).jobs.len();
-        let cache = self.shared.cache.lock().stats();
-        let stats = self.shared.stats.lock();
-        ServiceStats {
-            workers: self.worker_count,
-            submitted: stats.submitted,
-            completed: stats.completed,
-            failed: stats.failed,
-            rejected: stats.rejected,
-            cancelled: stats.cancelled,
-            deadline_exceeded: stats.deadline_exceeded,
-            queue_depth,
-            peak_queue_depth: stats.peak_queue_depth,
-            queue_wait: stats.queue_wait,
-            cache,
-            per_algorithm: stats.per_algorithm.clone(),
+        let shards = &self.registry.shards;
+        let mut total = ServiceStats {
+            shards: shards.len(),
+            workers: self.worker_count(),
+            submitted: 0,
+            completed: 0,
+            failed: 0,
+            rejected: 0,
+            cancelled: 0,
+            deadline_exceeded: 0,
+            queue_depth: 0,
+            peak_queue_depth: 0,
+            queue_wait: LatencyAgg::default(),
+            cache: CacheStats::default(),
+            per_algorithm: BTreeMap::new(),
+        };
+        for shard in shards.iter() {
+            let s = shard.stats(self.workers_per_shard);
+            total.submitted += s.submitted;
+            total.completed += s.completed;
+            total.failed += s.failed;
+            total.rejected += s.rejected;
+            total.cancelled += s.cancelled;
+            total.deadline_exceeded += s.deadline_exceeded;
+            total.queue_depth += s.queue_depth;
+            total.peak_queue_depth = total.peak_queue_depth.max(s.peak_queue_depth);
+            total.queue_wait.merge(&s.queue_wait);
+            total.cache.merge(&s.cache);
+            for (algorithm, stats) in &s.per_algorithm {
+                total.per_algorithm.entry(algorithm.clone()).or_default().merge(stats);
+            }
         }
+        total
     }
 
     /// Stops admission without consuming the service: subsequent submits
-    /// reject with [`ServiceError::ShuttingDown`], already-accepted jobs
+    /// reject with [`ServiceError::ShuttingDown`](crate::ServiceError::ShuttingDown), already-accepted jobs
     /// still drain.  Idempotent.  Workers are joined by the eventual drop
     /// (or [`Service::shutdown`]); this only flips the flag, so it is safe
     /// to call from another thread racing live submitters.
     pub fn begin_shutdown(&self) {
-        {
-            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            queue.shutdown = true;
-        }
-        self.shared.available.notify_all();
+        self.registry.begin_shutdown();
     }
 
-    /// Stops accepting jobs, drains the queue, and joins the workers.
-    /// Equivalent to dropping the service, but explicit at call sites.
+    /// Stops accepting jobs, drains every shard's queue, and joins the
+    /// workers.  Equivalent to dropping the service, but explicit at call
+    /// sites.
     pub fn shutdown(self) {}
 }
 
@@ -426,155 +350,23 @@ impl Drop for Service {
 impl std::fmt::Debug for Service {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Service")
-            .field("workers", &self.worker_count)
-            .field("queue_depth", &self.shared.queue.lock().map(|q| q.jobs.len()).unwrap_or(0))
+            .field("shards", &self.registry.shards.len())
+            .field("workers", &self.worker_count())
+            .field("queue_depth", &self.stats().queue_depth)
             .finish()
-    }
-}
-
-/// Builds one worker's solver session.  The executor configuration was
-/// validated by [`ServiceBuilder::build`] before any worker thread existed,
-/// so this cannot fail at a distance.
-fn new_worker_solver(policy: DevicePolicy, executor: ExecutorConfig) -> Solver {
-    Solver::builder()
-        .device_policy(policy)
-        .executor_config(executor)
-        .build()
-        .expect("executor config validated by ServiceBuilder::build")
-}
-
-/// One pool worker: owns a warm [`Solver`] for its whole lifetime, so every
-/// job it runs after the first reuses per-algorithm workspaces and the
-/// session device.
-fn worker_loop(index: usize, policy: DevicePolicy, executor: ExecutorConfig, shared: &Shared) {
-    let mut solver = new_worker_solver(policy, executor);
-    loop {
-        let job = {
-            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            loop {
-                if let Some(job) = queue.jobs.pop() {
-                    break job;
-                }
-                if queue.shutdown {
-                    return;
-                }
-                queue = shared.available.wait(queue).unwrap_or_else(|e| e.into_inner());
-            }
-        };
-        let queue_seconds = job.enqueued.elapsed().as_secs_f64();
-        let started = Instant::now();
-        // Fail fast before touching the solver: a job cancelled or expired
-        // while queued costs the pool nothing.  Cancellation dominates when
-        // both fired (mirrors SolveCtx::check).
-        let result = if job.spec.cancel.is_cancelled() {
-            Err(ServiceError::Cancelled { rounds_completed: 0, partial_cardinality: 0 })
-        } else if job.deadline.is_some_and(|d| Instant::now() >= d) {
-            Err(ServiceError::DeadlineExceeded { rounds_completed: 0, partial_cardinality: 0 })
-        } else {
-            // A panicking solve must not hang the waiting client (the slot
-            // would never complete) or kill the worker: catch it, fail the
-            // job, and rebuild the session, whose warm state the unwind may
-            // have torn.
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_job(index, &mut solver, shared, &job, queue_seconds, started)
-            }))
-            .unwrap_or_else(|payload| {
-                solver = new_worker_solver(policy, executor);
-                Err(ServiceError::JobPanicked { message: panic_message(payload.as_ref()) })
-            })
-        };
-        record(shared, &job.spec, queue_seconds, &result);
-        job.slot.complete(result);
-    }
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Resolves the job's graph (cache or inline), builds the initial matching,
-/// and solves on the worker's warm session under the job's cancellation
-/// token and absolute deadline (both polled by the engines at worklist-round
-/// granularity).
-fn run_job(
-    index: usize,
-    solver: &mut Solver,
-    shared: &Shared,
-    job: &QueuedJob,
-    queue_seconds: f64,
-    started: Instant,
-) -> Result<JobOutcome, ServiceError> {
-    let spec = &job.spec;
-    let (graph, cache_hit) = match &spec.graph {
-        GraphSource::Inline(graph) => {
-            // Register inline uploads so follow-up jobs can go by key.  The
-            // O(E) hash runs before taking the lock so concurrent workers
-            // are not serialized on large-graph hashing.
-            let fingerprint = graph.fingerprint();
-            shared.cache.lock().insert_keyed(fingerprint, Arc::clone(graph));
-            (Arc::clone(graph), false)
-        }
-        GraphSource::Cached(fingerprint) => match shared.cache.lock().get(*fingerprint) {
-            Some(graph) => (graph, true),
-            None => return Err(ServiceError::UnknownGraph { fingerprint: *fingerprint }),
-        },
-    };
-    // Validate before paying for the O(E) init heuristic (solve_with_initial
-    // would reject the config anyway, but only after the init was built).
-    spec.algorithm.validate().map_err(ServiceError::Solve)?;
-    let initial = spec.init.build(&graph);
-    let ctx = SolveCtx { cancel: Some(spec.cancel.clone()), deadline: job.deadline };
-    let report = solver
-        .solve_with_initial_ctx(&graph, &initial, spec.algorithm, &ctx)
-        .map_err(ServiceError::from)?;
-    Ok(JobOutcome {
-        report,
-        worker: index,
-        cache_hit,
-        queue_seconds,
-        service_seconds: started.elapsed().as_secs_f64(),
-    })
-}
-
-fn record(
-    shared: &Shared,
-    spec: &JobSpec,
-    queue_seconds: f64,
-    result: &Result<JobOutcome, ServiceError>,
-) {
-    let mut stats = shared.stats.lock();
-    stats.queue_wait.record(queue_seconds);
-    let per_alg = stats.per_algorithm.entry(spec.algorithm.to_string()).or_default();
-    match result {
-        Ok(outcome) => {
-            per_alg.completed += 1;
-            per_alg.solve.record(outcome.report.wall_seconds);
-            stats.completed += 1;
-        }
-        Err(e) => {
-            per_alg.failed += 1;
-            stats.failed += 1;
-            match e {
-                ServiceError::Cancelled { .. } => stats.cancelled += 1,
-                ServiceError::DeadlineExceeded { .. } => stats.deadline_exceeded += 1,
-                _ => {}
-            }
-        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ServiceError;
+    use crate::job::GraphSource;
+    use crate::shard::panic_message;
     use gpm_core::{Algorithm, InitHeuristic, SolveError};
     use gpm_graph::gen;
     use gpm_graph::verify::maximum_matching_cardinality;
+    use std::time::{Duration, Instant};
 
     #[test]
     fn submit_solves_and_reports() {
@@ -587,7 +379,9 @@ mod tests {
         assert!(outcome.queue_seconds >= 0.0);
         assert!(outcome.service_seconds >= 0.0);
         assert!(outcome.worker < 2);
+        assert_eq!(outcome.shard, 0);
         let stats = service.stats();
+        assert_eq!(stats.shards, 1);
         assert_eq!(stats.submitted, 1);
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.per_algorithm["HK"].completed, 1);
@@ -689,11 +483,24 @@ mod tests {
         assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
     }
 
-    /// A job that keeps the single worker busy until the returned handle is
+    /// A job that keeps a single worker busy until the returned handle is
     /// cancelled: a Table-I-scale RMAT instance solved from an empty
     /// initial matching takes far longer than the test's enqueue work.
-    fn blocker(service: &Service) -> JobHandle {
-        let g = gen::rmat(gen::RmatParams::graph500(13, 8), 29).unwrap();
+    fn blocker(service: &Service) -> crate::JobHandle {
+        submit_blocker(service, blocker_graph(29))
+    }
+
+    /// A blocker's graph, by RMAT seed.  Multi-shard tests need *distinct*
+    /// blocker graphs: two blockers on the same graph share a fingerprint,
+    /// and affinity would route the second onto the first's shard instead
+    /// of spreading one per shard.  They also generate both graphs *before*
+    /// submitting either — generation is slow enough that the first blocker
+    /// could otherwise finish before the second is submitted.
+    fn blocker_graph(seed: u64) -> gpm_graph::BipartiteCsr {
+        gen::rmat(gen::RmatParams::graph500(15, 16), seed).unwrap()
+    }
+
+    fn submit_blocker(service: &Service, g: gpm_graph::BipartiteCsr) -> crate::JobHandle {
         service.submit(JobSpec::new(g, Algorithm::HopcroftKarp).with_init(InitHeuristic::Empty))
     }
 
@@ -841,12 +648,12 @@ mod tests {
     }
 
     #[test]
-    fn slow_batch_iterators_do_not_hold_the_queue_lock() {
+    fn slow_batch_iterators_do_not_stall_concurrent_submitters() {
         let service = Arc::new(Service::builder().workers(1).build());
         let g = gen::uniform_random(20, 20, 80, 5).unwrap();
         // While the batch iterator dawdles (3 × 150 ms), a concurrent
         // submitter must get in and out quickly: the specs are collected
-        // before the queue lock is taken.
+        // before any placement work happens.
         let concurrent = {
             let service = Arc::clone(&service);
             let g = g.clone();
@@ -898,5 +705,217 @@ mod tests {
             assert!(outcome.cache_hit);
         }
         assert_eq!(service.stats().cache.hits, 3);
+    }
+
+    // ---- sharded behaviour ------------------------------------------------
+
+    /// Polls until `predicate` holds or the timeout expires.
+    fn wait_until(timeout: Duration, mut predicate: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if predicate() {
+                return true;
+            }
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn cached_jobs_follow_their_graph_to_one_shard() {
+        let service = Service::builder().shards(4).workers(1).build();
+        assert_eq!(service.shard_count(), 4);
+        assert_eq!(service.worker_count(), 4);
+        let g = gen::planted_perfect(40, 160, 5).unwrap();
+        let fp = service.put_graph(g);
+        let home = service.registry().home_shard(fp).unwrap();
+        for _ in 0..6 {
+            let outcome = service
+                .submit(JobSpec::new(GraphSource::Cached(fp), Algorithm::HopcroftKarp))
+                .wait()
+                .unwrap();
+            assert_eq!(outcome.shard, home, "affinity should pin the job to the holder");
+            assert!(outcome.cache_hit);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.cache.hits, 6);
+        assert_eq!(stats.cache.misses, 0);
+        let per_shard = service.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(per_shard[home].stats.completed, 6);
+        for s in per_shard.iter().filter(|s| s.id != home) {
+            assert_eq!(s.stats.completed, 0, "shard {} ran a misrouted job", s.id);
+        }
+    }
+
+    #[test]
+    fn hot_shard_full_spills_to_empty_shard_and_hint_names_the_least_loaded() {
+        let service = Service::builder().shards(2).workers(1).max_queue_depth(1).build();
+        // Occupy both workers so queued jobs stay queued.
+        let (bg0, bg1) = (blocker_graph(29), blocker_graph(31));
+        let b0 = submit_blocker(&service, bg0);
+        let b1 = submit_blocker(&service, bg1);
+        assert!(
+            wait_until(Duration::from_secs(20), || {
+                service.shard_stats().iter().all(|s| s.running == 1)
+            }),
+            "blockers never started running"
+        );
+        let g = gen::uniform_random(10, 10, 40, 7).unwrap();
+        // Queue slot 1 of 1 on the first shard…
+        let c1 = service.submit(JobSpec::new(g.clone(), Algorithm::HopcroftKarp));
+        assert!(!c1.is_done(), "first small job must queue, not reject");
+        // …so this one MUST spill to the other (empty-queued) shard rather
+        // than reject: one hot shard being full is not "overloaded".
+        let c2 = service.submit(JobSpec::new(g.clone(), Algorithm::HopcroftKarp));
+        assert!(!c2.is_done(), "second small job must spill to the empty shard, not reject");
+        // Now every queue is full: rejection, with the least-loaded depth.
+        let c3 = service.submit(JobSpec::new(g.clone(), Algorithm::HopcroftKarp));
+        match c3.wait() {
+            Err(ServiceError::Overloaded { queue_depth, retry_after_hint }) => {
+                assert_eq!(queue_depth, 1, "hint must describe the least-loaded shard");
+                assert!(retry_after_hint > Duration::ZERO);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        b0.cancel();
+        b1.cancel();
+        assert!(c1.wait().is_ok());
+        assert!(c2.wait().is_ok());
+        // The blockers either succumbed to the cancel or won the race with
+        // a clean solve; either way the ledger must balance.
+        for b in [b0, b1] {
+            match b.wait() {
+                Ok(_) | Err(ServiceError::Cancelled { .. }) => {}
+                Err(other) => panic!("unexpected blocker error: {other}"),
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.submitted, stats.completed + stats.failed);
+        assert_eq!(stats.completed + stats.failed, 4);
+    }
+
+    #[test]
+    fn drained_shard_requeues_queued_jobs_and_finishes_in_flight() {
+        let service = Service::builder().shards(2).workers(1).build();
+        let (bg0, bg1) = (blocker_graph(29), blocker_graph(31));
+        let b0 = submit_blocker(&service, bg0);
+        let b1 = submit_blocker(&service, bg1);
+        assert!(
+            wait_until(Duration::from_secs(20), || {
+                service.shard_stats().iter().all(|s| s.running == 1)
+            }),
+            "blockers never started running"
+        );
+        // Queue small jobs; placement alternates by load, so both shards
+        // hold some.
+        let g = gen::uniform_random(20, 20, 80, 5).unwrap();
+        let opt = maximum_matching_cardinality(&g);
+        let handles =
+            service.submit_batch((0..6).map(|_| JobSpec::new(g.clone(), Algorithm::HopcroftKarp)));
+        let queued_on_0 = service.shard_stats()[0].stats.queue_depth;
+        assert!(queued_on_0 > 0, "expected jobs queued on shard 0");
+        let outcome = service.drain_shard(0).unwrap();
+        assert_eq!(outcome.shard, 0);
+        assert_eq!(outcome.requeued, queued_on_0);
+        assert_eq!(outcome.kept, 0);
+        assert_eq!(outcome.in_flight, 1, "the blocker is still running on shard 0");
+        assert_eq!(service.shard_stats()[0].stats.queue_depth, 0);
+        // New submissions go to shard 1 only.
+        let extra = service.submit(JobSpec::new(g.clone(), Algorithm::HopcroftKarp));
+        b0.cancel();
+        b1.cancel();
+        // Every accepted job completes exactly once, nothing lost.
+        for handle in handles {
+            assert_eq!(handle.wait().unwrap().report.cardinality, opt);
+        }
+        let extra_outcome = extra.wait().unwrap();
+        assert_eq!(extra_outcome.shard, 1, "draining shard must not receive placements");
+        let _ = b0.wait();
+        let _ = b1.wait();
+        let stats = service.stats();
+        assert_eq!(stats.submitted, stats.completed + stats.failed);
+        // The drained shard finished its in-flight blocker itself (the
+        // cancel may lose the race to a clean solve; either way it ends on
+        // shard 0 and nowhere else).
+        let s0 = service.shard_stats()[0].stats.clone();
+        assert_eq!(s0.completed + s0.failed, 1, "shard 0's blocker finished on shard 0");
+        // Draining the last shard quiesces the service.
+        service.drain_shard(1).unwrap();
+        let err = service.submit(JobSpec::new(g, Algorithm::HopcroftKarp)).wait().unwrap_err();
+        assert_eq!(err, ServiceError::ShuttingDown);
+        assert!(matches!(
+            service.drain_shard(7),
+            Err(crate::control::ControlError::UnknownShard { shard: 7, shards: 2 })
+        ));
+    }
+
+    #[test]
+    fn rebalance_moves_graphs_to_their_home_shards() {
+        let service = Service::builder().shards(3).workers(1).build();
+        // Upload via inline solves so the graphs land wherever their job
+        // ran, not at their home shard.
+        let graphs: Vec<_> =
+            (0..9).map(|i| gen::uniform_random(15, 15, 50, 40 + i).unwrap()).collect();
+        for g in &graphs {
+            service.submit(JobSpec::new(g.clone(), Algorithm::HopcroftKarp)).wait().unwrap();
+        }
+        let outcome = service.rebalance();
+        assert_eq!(outcome.active_shards, 3);
+        // Every graph now sits exactly on its home shard.
+        for g in &graphs {
+            let fp = g.fingerprint();
+            let home = service.registry().home_shard(fp).unwrap();
+            for shard in &service.registry().shards {
+                let holds = shard.cache.lock().contains(fp);
+                assert_eq!(
+                    holds,
+                    shard.id == home,
+                    "fingerprint {fp:#x} misplaced relative to shard {}",
+                    shard.id
+                );
+            }
+        }
+        // A second rebalance is a no-op: the invariant already holds.
+        assert_eq!(service.rebalance().moved, 0);
+        // Cached solves still hit after the shuffle (remote peeks are not
+        // needed once placement follows the graph).
+        for g in &graphs {
+            let outcome = service
+                .submit(JobSpec::new(GraphSource::Cached(g.fingerprint()), Algorithm::PothenFan))
+                .wait()
+                .unwrap();
+            assert!(outcome.cache_hit);
+        }
+    }
+
+    #[test]
+    fn remote_peek_resolves_graphs_cached_on_a_sibling_shard() {
+        let service = Service::builder().shards(2).workers(1).build();
+        let g = gen::planted_perfect(30, 120, 11).unwrap();
+        let fp = g.fingerprint();
+        let home = service.registry().home_shard(fp).unwrap();
+        let away = 1 - home;
+        // Plant the graph on the wrong shard, bypassing put_graph.
+        service.registry().shards[away].cache.lock().insert_keyed(fp, Arc::new(g));
+        // Drain the holder so placement must send the job to the other
+        // shard — wait: drain the *home* is unnecessary; affinity already
+        // routes to the actual holder.  Instead drain the holder to force a
+        // remote peek.
+        service.drain_shard(away).unwrap();
+        let outcome = service
+            .submit(JobSpec::new(GraphSource::Cached(fp), Algorithm::HopcroftKarp))
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.shard, home, "only the non-draining shard may run the job");
+        assert_eq!(outcome.report.cardinality, 30);
+        assert!(outcome.cache_hit, "remote peek should still resolve the graph");
+        // The local miss stays visible in the running shard's stats.
+        let per_shard = service.shard_stats();
+        assert_eq!(per_shard[home].stats.cache.misses, 1);
+        assert_eq!(per_shard[away].stats.cache.hits, 0, "peek must not count on the owner");
     }
 }

@@ -45,6 +45,24 @@ impl LatencyAgg {
             self.total_seconds / self.count as f64
         }
     }
+
+    /// Folds another aggregate into this one, as if every sample of `other`
+    /// had been recorded here (the service merges per-shard aggregates this
+    /// way).  An empty side contributes nothing, so the 0.0 placeholder
+    /// extremes of an empty population never leak into a merged min/max.
+    pub fn merge(&mut self, other: &LatencyAgg) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.total_seconds += other.total_seconds;
+        self.min_seconds = self.min_seconds.min(other.min_seconds);
+        self.max_seconds = self.max_seconds.max(other.max_seconds);
+    }
 }
 
 impl Serialize for LatencyAgg {
@@ -71,10 +89,30 @@ pub struct AlgorithmStats {
     pub solve: LatencyAgg,
 }
 
+impl AlgorithmStats {
+    /// Folds another shard's accounting for the same algorithm into this
+    /// one.
+    pub fn merge(&mut self, other: &AlgorithmStats) {
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.solve.merge(&other.solve);
+    }
+}
+
 /// A point-in-time snapshot of the whole service.
+///
+/// On a sharded service this is the fold of every shard's snapshot:
+/// counters and cache stats add, latency aggregates [`LatencyAgg::merge`],
+/// `queue_depth` sums, and `peak_queue_depth` is the largest single-shard
+/// peak (per-shard queues are independent, so a global depth was never
+/// observed anywhere).  Per-shard snapshots are available through
+/// [`crate::control::ShardStats`].
 #[derive(Clone, Debug, Serialize)]
 pub struct ServiceStats {
-    /// Number of pool workers.
+    /// Number of device shards the service runs (1 unless configured
+    /// otherwise).
+    pub shards: usize,
+    /// Number of pool workers (total across all shards).
     pub workers: usize,
     /// Jobs accepted so far (including ones still queued or running).
     pub submitted: u64,
@@ -121,12 +159,44 @@ mod tests {
     }
 
     #[test]
+    fn merge_folds_populations_and_ignores_empty_sides() {
+        let mut a = LatencyAgg::default();
+        a.record(0.2);
+        a.record(0.4);
+        let mut b = LatencyAgg::default();
+        b.record(0.1);
+        b.record(0.9);
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert!((a.min_seconds - 0.1).abs() < 1e-12);
+        assert!((a.max_seconds - 0.9).abs() < 1e-12);
+        assert!((a.mean_seconds() - 0.4).abs() < 1e-12);
+        // Empty sides contribute nothing — in either direction.
+        let before = a;
+        a.merge(&LatencyAgg::default());
+        assert_eq!(a, before);
+        let mut empty = LatencyAgg::default();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+
+        let mut alg = AlgorithmStats { completed: 1, ..AlgorithmStats::default() };
+        alg.solve.record(0.5);
+        let mut other = AlgorithmStats { completed: 2, failed: 1, ..AlgorithmStats::default() };
+        other.solve.record(0.25);
+        alg.merge(&other);
+        assert_eq!(alg.completed, 3);
+        assert_eq!(alg.failed, 1);
+        assert_eq!(alg.solve.count, 2);
+    }
+
+    #[test]
     fn snapshot_serializes_with_per_algorithm_keys() {
         let mut per_algorithm = BTreeMap::new();
         let mut hk = AlgorithmStats { completed: 2, ..AlgorithmStats::default() };
         hk.solve.record(0.25);
         per_algorithm.insert("HK".to_string(), hk);
         let stats = ServiceStats {
+            shards: 1,
             workers: 4,
             submitted: 3,
             completed: 2,
@@ -141,6 +211,7 @@ mod tests {
             per_algorithm,
         };
         let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"shards\":1"), "{json}");
         assert!(json.contains("\"workers\":4"), "{json}");
         assert!(json.contains("\"HK\""), "{json}");
         assert!(json.contains("\"mean_seconds\""), "{json}");

@@ -1,0 +1,134 @@
+//! Property-based tests for the placement decision.
+//!
+//! [`gpm_service::decide`] is a pure function over per-shard load
+//! snapshots, which makes the sharding subsystem's core guarantees —
+//! determinism, capacity respect, affinity preference, least-loaded
+//! rejection — directly checkable over arbitrary shard sets instead of a
+//! handful of hand-picked fixtures.
+
+use gpm_service::{decide, decide_requeue, Placement, ShardLoad};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: one shard's load snapshot (id is assigned positionally).
+/// Capacities stay small so "every shard full" actually happens; `0`
+/// encodes unbounded.
+fn arb_load_parts() -> impl Strategy<Value = (bool, usize, usize, usize, bool)> {
+    (any::<bool>(), 0..12usize, 0..4usize, 0..10usize, any::<bool>())
+}
+
+/// Strategy: a 1–8 shard cluster with ids `0..n`.
+fn arb_cluster() -> impl Strategy<Value = Vec<ShardLoad>> {
+    vec(arb_load_parts(), 1..8).prop_map(|parts| {
+        parts
+            .into_iter()
+            .enumerate()
+            .map(|(id, (draining, queue_depth, running, cap, holds_graph))| ShardLoad {
+                id,
+                draining,
+                queue_depth,
+                running,
+                capacity: if cap == 0 { None } else { Some(cap - 1) },
+                holds_graph,
+            })
+            .collect()
+    })
+}
+
+fn has_room(l: &ShardLoad) -> bool {
+    l.capacity.is_none_or(|cap| l.queue_depth < cap)
+}
+
+fn load_of(l: &ShardLoad) -> usize {
+    l.queue_depth + l.running
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Equal shard sets give equal placements regardless of the order the
+    /// snapshots were taken in: the decision depends on shard identity, not
+    /// slice position.
+    #[test]
+    fn decision_is_deterministic_and_order_independent(loads in arb_cluster()) {
+        let baseline = decide(&loads);
+        prop_assert_eq!(baseline, decide(&loads));
+        let mut reversed = loads.clone();
+        reversed.reverse();
+        prop_assert_eq!(baseline, decide(&reversed));
+        let mut rotated = loads.clone();
+        rotated.rotate_left(loads.len() / 2);
+        prop_assert_eq!(baseline, decide(&rotated));
+        prop_assert_eq!(decide_requeue(&loads), decide_requeue(&reversed));
+    }
+
+    /// A placed job always lands on an active shard with queue room, and
+    /// the placement is the least-loaded (lowest id on ties) within its
+    /// tier: affinity holders if any have room, otherwise all candidates.
+    #[test]
+    fn placement_respects_capacity_draining_and_least_loaded_order(loads in arb_cluster()) {
+        if let Placement::Shard(id) = decide(&loads) {
+            let chosen = loads.iter().find(|l| l.id == id).expect("placed on a known shard");
+            prop_assert!(!chosen.draining, "placed on a draining shard");
+            prop_assert!(has_room(chosen), "placed on a full shard");
+            let tier: Vec<&ShardLoad> = if chosen.holds_graph {
+                loads.iter().filter(|l| !l.draining && has_room(l) && l.holds_graph).collect()
+            } else {
+                // No affinity pick means no holder had room.
+                prop_assert!(
+                    !loads.iter().any(|l| !l.draining && has_room(l) && l.holds_graph),
+                    "spilled although an affinity holder had room"
+                );
+                loads.iter().filter(|l| !l.draining && has_room(l)).collect()
+            };
+            for other in tier {
+                prop_assert!(
+                    (load_of(chosen), chosen.id) <= (load_of(other), other.id),
+                    "shard {} (load {}) beaten by {} (load {})",
+                    chosen.id, load_of(chosen), other.id, load_of(other)
+                );
+            }
+        }
+    }
+
+    /// Rejection happens exactly when every active shard is full, and the
+    /// reported depth is the least-loaded active shard's; quiescence
+    /// happens exactly when every shard drains.
+    #[test]
+    fn reject_and_quiesce_conditions_are_exact(loads in arb_cluster()) {
+        let active: Vec<&ShardLoad> = loads.iter().filter(|l| !l.draining).collect();
+        match decide(&loads) {
+            Placement::Shard(_) => {
+                prop_assert!(active.iter().any(|l| has_room(l)));
+            }
+            Placement::Reject { least_loaded, queue_depth } => {
+                prop_assert!(!active.is_empty() && active.iter().all(|l| !has_room(l)));
+                let least = active
+                    .iter()
+                    .min_by_key(|l| (l.queue_depth, l.id))
+                    .expect("active is non-empty");
+                prop_assert_eq!(least_loaded, least.id);
+                prop_assert_eq!(queue_depth, least.queue_depth);
+            }
+            Placement::NoActiveShards => prop_assert!(active.is_empty()),
+        }
+    }
+
+    /// Requeue targets the least-loaded active shard no matter how full it
+    /// is (displaced jobs were already admitted), and gives up only when
+    /// every shard drains.
+    #[test]
+    fn requeue_ignores_capacity_but_never_picks_a_draining_shard(loads in arb_cluster()) {
+        let active: Vec<&ShardLoad> = loads.iter().filter(|l| !l.draining).collect();
+        match decide_requeue(&loads) {
+            None => prop_assert!(active.is_empty()),
+            Some(id) => {
+                let chosen = loads.iter().find(|l| l.id == id).expect("known shard");
+                prop_assert!(!chosen.draining);
+                for other in &active {
+                    prop_assert!((load_of(chosen), chosen.id) <= (load_of(other), other.id));
+                }
+            }
+        }
+    }
+}

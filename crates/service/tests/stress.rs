@@ -292,6 +292,116 @@ fn cancel_storm_leaves_the_pool_healthy() {
 }
 
 #[test]
+fn drain_mid_burst_keeps_the_ledger_balanced_and_results_exact() {
+    // 4 shards × 1 worker each, 6 client threads bursting the mixed
+    // mini-suite corpus while the control plane drains two shards
+    // mid-flight.  The acceptance bar: no accepted job may be lost,
+    // duplicated, or wrong — every handle resolves exactly once with the
+    // single-threaded oracle's cardinality, and the per-shard ledgers fold
+    // to the aggregate totals.
+    let graphs: Vec<Arc<BipartiteCsr>> = mini_suite()
+        .iter()
+        .map(|spec| Arc::new(spec.generate(Scale::Tiny).expect("generate")))
+        .collect();
+    let mut oracle = Solver::builder()
+        .device_policy(DevicePolicy::Sequential)
+        .build()
+        .expect("valid solver config");
+    let expected: Vec<usize> = graphs
+        .iter()
+        .map(|g| oracle.solve(g, Algorithm::HopcroftKarp).expect("oracle").cardinality)
+        .collect();
+
+    let service =
+        Arc::new(Service::builder().shards(4).workers(1).cache_capacity(graphs.len()).build());
+    let fingerprints: Vec<u64> = graphs.iter().map(|g| service.put_graph(Arc::clone(g))).collect();
+
+    const BURST_CLIENTS: usize = 6;
+    const ROUNDS: usize = 4;
+    std::thread::scope(|scope| {
+        for client in 0..BURST_CLIENTS {
+            let service = Arc::clone(&service);
+            let graphs = &graphs;
+            let expected = &expected;
+            let fingerprints = &fingerprints;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    // Burst-submit a full corpus pass, then wait: keeping
+                    // whole rounds outstanding is what gives the drain real
+                    // queued jobs to displace.
+                    let handles: Vec<_> = (0..graphs.len())
+                        .map(|offset| {
+                            let i = (offset + client) % graphs.len();
+                            let source = if (client + round + offset) % 2 == 0 {
+                                GraphSource::Cached(fingerprints[i])
+                            } else {
+                                GraphSource::Inline(Arc::clone(&graphs[i]))
+                            };
+                            let algorithm = algorithms()[(offset + round) % algorithms().len()];
+                            (i, service.submit(JobSpec::new(source, algorithm)))
+                        })
+                        .collect();
+                    for (i, handle) in handles {
+                        let outcome = handle
+                            .wait()
+                            .unwrap_or_else(|e| panic!("client {client} graph {i}: {e}"));
+                        verify::check_matching(&graphs[i], &outcome.report.matching)
+                            .unwrap_or_else(|e| panic!("client {client} graph {i}: {e}"));
+                        assert_eq!(outcome.report.cardinality, expected[i], "graph {i}");
+                    }
+                }
+            });
+        }
+        // Mid-burst, the control plane takes half the capacity away.
+        let service = Arc::clone(&service);
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            let drain = service.drain_shard(0).expect("shard 0 exists");
+            assert_eq!(drain.shard, 0);
+            assert_eq!(drain.kept, 0, "3 shards stayed active, nothing may stay behind");
+            std::thread::sleep(Duration::from_millis(20));
+            service.drain_shard(2).expect("shard 2 exists");
+        });
+    });
+
+    let total = (BURST_CLIENTS * ROUNDS * graphs.len()) as u64;
+    let stats = service.stats();
+    assert_eq!(stats.submitted, total, "unbounded queues must accept the whole burst");
+    assert_eq!(stats.completed, total, "every accepted job completes exactly once");
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.queue_depth, 0);
+
+    // The per-shard ledgers fold to the totals (a lost or double-counted
+    // requeue would break one of these sums), and the drained shards are
+    // marked and empty.
+    let shards = service.shard_stats();
+    assert_eq!(shards.len(), 4);
+    assert_eq!(shards.iter().map(|s| s.stats.submitted).sum::<u64>(), total);
+    assert_eq!(shards.iter().map(|s| s.stats.completed).sum::<u64>(), total);
+    assert_eq!(shards.iter().map(|s| s.stats.failed).sum::<u64>(), 0);
+    for id in [0usize, 2] {
+        assert!(shards[id].draining, "shard {id} was drained");
+        assert_eq!(shards[id].stats.queue_depth, 0, "drained shard {id} must end empty");
+    }
+    for id in [1usize, 3] {
+        assert!(!shards[id].draining);
+        assert!(shards[id].stats.completed > 0, "active shard {id} should have taken load");
+    }
+
+    // The drained shards' cached graphs stay reachable (remote peek), and a
+    // rebalance re-homes them onto the two remaining active shards.
+    let outcome = service
+        .submit(JobSpec::new(GraphSource::Cached(fingerprints[0]), Algorithm::HopcroftKarp))
+        .wait()
+        .expect("cached submission after drain");
+    assert_eq!(outcome.report.cardinality, expected[0]);
+    assert!([1usize, 3].contains(&outcome.shard), "job placed on a drained shard");
+    let rebalance = service.rebalance();
+    assert_eq!(rebalance.active_shards, 2);
+}
+
+#[test]
 fn slow_loris_client_does_not_wedge_the_server() {
     use std::io::{BufRead, BufReader, Read, Write};
     use std::net::{TcpListener, TcpStream};
