@@ -136,6 +136,9 @@ fn main() {
     for key in &report.missing {
         println!("MISSING {key}: pinned cell disappeared from {new_path}");
     }
+    for key in &report.new_cells {
+        println!("new (unpinned against {old_path}): {key}");
+    }
     if !report.passed() {
         eprintln!(
             "{}: {} regression(s), {} missing pinned cell(s)",

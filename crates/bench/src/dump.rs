@@ -31,9 +31,10 @@
 
 use crate::runner::{measure, prepare_instance};
 use gpm_core::solver::{self, Algorithm, DevicePolicy, Solver};
-use gpm_core::WorklistMode;
+use gpm_core::{SolveCtx, WorklistMode};
+use gpm_graph::heuristics::cheap_matching;
 use gpm_graph::instances::{mini_suite, InstanceSpec, Scale};
-use gpm_graph::BipartiteCsr;
+use gpm_graph::{BipartiteCsr, GraphDelta};
 use gpm_service::{GraphSource, JobSpec, Service, ServiceError};
 use serde::{Serialize, Value};
 use std::sync::{Arc, Barrier};
@@ -109,6 +110,34 @@ pub struct ServiceComparison {
     pub sharded: ServiceRun,
 }
 
+/// One delta-vs-cold comparison: the same patched graph solved cold (from
+/// the cheap initial matching) and warm (the parent's matching repaired
+/// through the delta by [`Solver::resolve`]), in one worklist mode.
+#[derive(Clone, Debug, Serialize)]
+pub struct DeltaComparison {
+    /// Parent instance name (a Table I family representative).
+    pub instance: String,
+    /// Structural family of the instance.
+    pub family: String,
+    /// Worklist mode of both measurements.
+    pub worklist: String,
+    /// Churn as a fraction of the parent's edges (`0.0001` = 0.01 %).
+    pub churn_fraction: f64,
+    /// Edges the delta actually touched.
+    pub touched_edges: usize,
+    /// Modelled device seconds of the cold solve of the patched graph.
+    pub cold_seconds: f64,
+    /// Modelled device seconds of the warm resolve.
+    pub warm_seconds: f64,
+    /// `cold_seconds / warm_seconds`, the headline ratio (>1 means the warm
+    /// resolve won).  A zero-cost warm resolve divides by a small epsilon so
+    /// the JSON stays finite.
+    pub speedup: f64,
+    /// `true` when the churn bound tripped the fallback and the "warm"
+    /// measurement is really a cold solve under the resolve API.
+    pub fell_back_to_cold: bool,
+}
+
 /// A complete dump.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchDump {
@@ -116,8 +145,12 @@ pub struct BenchDump {
     pub schema: u64,
     /// Instance scale the sweep ran at.
     pub scale: String,
-    /// The canonical sweep.
+    /// The canonical sweep (plus, from BENCH_8 on, the delta-vs-cold cells;
+    /// both halves of every comparison are pinned — modelled seconds).
     pub cells: Vec<BenchCell>,
+    /// The delta-vs-cold summary: speedups and fallback flags per
+    /// (family × churn × worklist mode), backing the cells.
+    pub deltas: Vec<DeltaComparison>,
     /// The sharding comparison.
     pub service: ServiceComparison,
 }
@@ -168,6 +201,98 @@ pub fn sweep_cells(specs: &[InstanceSpec], scale: Scale) -> Vec<BenchCell> {
         }
     }
     cells
+}
+
+/// The churn fractions of the delta sweep: 0.01 % to 10 % of the parent's
+/// edges, the range the issue sweeps (a live-service patch is almost always
+/// at the small end).
+const DELTA_FRACTIONS: [(f64, &str); 4] =
+    [(0.0001, "0.01%"), (0.001, "0.1%"), (0.01, "1%"), (0.1, "10%")];
+
+/// Runs the delta-vs-cold sweep over `specs`: per family × churn fraction ×
+/// worklist mode, solve the patched graph cold and warm-resolve it from the
+/// parent's matching, both measured in modelled device seconds (pinned).
+///
+/// The delta removes `fraction × E` edges spaced evenly through the edge
+/// list — deterministic, so the modelled seconds of both halves are exactly
+/// reproducible across runs and machines.
+pub fn sweep_delta(specs: &[InstanceSpec], scale: Scale) -> (Vec<BenchCell>, Vec<DeltaComparison>) {
+    let mut solver = Solver::builder()
+        .device_policy(DevicePolicy::Sequential)
+        .build()
+        .expect("valid solver config");
+    let algorithm_base = Algorithm::gpr_default();
+    let mut cells = Vec::new();
+    let mut comparisons = Vec::new();
+    for spec in specs {
+        let parent =
+            spec.generate(scale).unwrap_or_else(|e| panic!("generating {} failed: {e}", spec.name));
+        // The state a live service holds: the parent's last (maximum)
+        // matching, computed once with the same engine family.
+        let base = solver
+            .solve(&parent, algorithm_base)
+            .unwrap_or_else(|e| panic!("base solve on {}: {e}", spec.name));
+        let edges: Vec<(u32, u32)> = parent.edges().collect();
+        for (fraction, churn_label) in DELTA_FRACTIONS {
+            let k = ((edges.len() as f64 * fraction).round() as usize).clamp(1, edges.len());
+            let stride = (edges.len() / k).max(1);
+            let mut delta = GraphDelta::new();
+            delta.extend_removes(edges.iter().step_by(stride).take(k).copied());
+            let (child, _) = parent
+                .apply_delta_lineage(&delta)
+                .unwrap_or_else(|e| panic!("delta on {}: {e}", spec.name));
+            let touched = delta.touched_edge_bound(&child);
+            let child_initial = cheap_matching(&child);
+            let child_max = gpm_cpu::hopcroft_karp(&child, &child_initial).matching.cardinality();
+            let instance = format!("{}+d{churn_label}", spec.name);
+            for (mode, worklist) in worklist_modes() {
+                let algorithm = algorithm_base.with_worklist(mode);
+                let cold = solver
+                    .solve_with_initial(&child, &child_initial, algorithm)
+                    .unwrap_or_else(|e| panic!("cold {} on {instance}: {e}", algorithm));
+                assert_eq!(cold.cardinality, child_max, "cold solve wrong on {instance}");
+                let warm = solver
+                    .resolve_prepared_ctx(
+                        &child,
+                        &base.matching,
+                        &delta,
+                        algorithm,
+                        &SolveCtx::unbounded(),
+                    )
+                    .unwrap_or_else(|e| panic!("resolve {} on {instance}: {e}", algorithm));
+                assert_eq!(warm.report.cardinality, child_max, "warm resolve wrong on {instance}");
+                let cold_seconds = cold.modelled_device_seconds.expect("GPU cell is modelled");
+                let warm_seconds =
+                    warm.report.modelled_device_seconds.expect("GPU cell is modelled");
+                for (tag, seconds, wall) in [
+                    ("cold", cold_seconds, cold.wall_seconds),
+                    ("resolve", warm_seconds, warm.report.wall_seconds),
+                ] {
+                    cells.push(BenchCell {
+                        instance: instance.clone(),
+                        family: format!("{:?}", spec.family),
+                        algorithm: format!("{tag}({algorithm_base})"),
+                        worklist: worklist.to_string(),
+                        seconds,
+                        wall_seconds: wall,
+                        pinned: true,
+                    });
+                }
+                comparisons.push(DeltaComparison {
+                    instance: spec.name.to_string(),
+                    family: format!("{:?}", spec.family),
+                    worklist: worklist.to_string(),
+                    churn_fraction: fraction,
+                    touched_edges: touched,
+                    cold_seconds,
+                    warm_seconds,
+                    speedup: cold_seconds / warm_seconds.max(1e-12),
+                    fell_back_to_cold: warm.fell_back_to_cold,
+                });
+            }
+        }
+    }
+    (cells, comparisons)
 }
 
 /// The burst parameters of the service comparison.
@@ -395,10 +520,14 @@ pub fn service_comparison() -> ServiceComparison {
 
 /// Produces the full dump at `scale`.
 pub fn produce(scale: Scale) -> BenchDump {
+    let mut cells = sweep_cells(&mini_suite(), scale);
+    let (delta_cells, deltas) = sweep_delta(&mini_suite(), scale);
+    cells.extend(delta_cells);
     BenchDump {
         schema: SCHEMA_VERSION,
         scale: format!("{scale:?}").to_lowercase(),
-        cells: sweep_cells(&mini_suite(), scale),
+        cells,
+        deltas,
         service: service_comparison(),
     }
 }
@@ -415,6 +544,11 @@ pub struct DiffReport {
     pub missing: Vec<String>,
     /// `(cell key, old seconds, new seconds)` for cells that got faster.
     pub improvements: Vec<(String, f64, f64)>,
+    /// Cells that exist only in the newer dump.  Informational — a new cell
+    /// has no baseline, so it cannot regress; it is reported (rather than
+    /// silently ignored) so freshly added sweeps are visible in the gate
+    /// output, and becomes pinned against the *next* dump.
+    pub new_cells: Vec<String>,
 }
 
 impl DiffReport {
@@ -458,6 +592,9 @@ pub fn diff(old: &Value, new: &Value, max_regression: f64) -> Result<DiffReport,
     let new_cells: std::collections::BTreeMap<String, f64> =
         pinned_cells(new)?.into_iter().collect();
     let mut report = DiffReport::default();
+    let old_keys: std::collections::BTreeSet<String> =
+        old_cells.iter().map(|(key, _)| key.clone()).collect();
+    report.new_cells = new_cells.keys().filter(|key| !old_keys.contains(*key)).cloned().collect();
     for (key, old_seconds) in old_cells {
         let Some(&new_seconds) = new_cells.get(&key) else {
             report.missing.push(key);
@@ -517,6 +654,10 @@ mod tests {
         assert_eq!(report.regressions.len(), 1, "a regressed 20% > 15%");
         assert_eq!(report.missing.len(), 1, "pinned cell b vanished");
         assert!(!report.passed());
+        // Newer-only cells are reported, not silently ignored — and they
+        // never fail the gate (no baseline to regress against).
+        assert_eq!(report.new_cells.len(), 1, "cell d is new");
+        assert!(report.new_cells[0].starts_with("d /"), "{:?}", report.new_cells);
 
         let ok = diff(&old, &dump_with(&[("a", 1.1, true), ("b", 1.5, true)]), 0.15).unwrap();
         assert_eq!(ok.compared, 2);
@@ -524,6 +665,7 @@ mod tests {
         assert_eq!(ok.improvements.len(), 1, "b sped up");
         // Unpinned cells are never part of the gate.
         assert!(ok.missing.is_empty());
+        assert!(ok.new_cells.is_empty());
     }
 
     #[test]
@@ -550,5 +692,33 @@ mod tests {
         .unwrap();
         let parsed: Value = serde_json::from_str(&json).unwrap();
         assert_eq!(pinned_cells(&parsed).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn delta_sweep_is_deterministic_and_covers_every_fraction_and_mode() {
+        let specs = vec![instances::by_name("amazon0505").unwrap()];
+        let (cells, comparisons) = sweep_delta(&specs, Scale::Tiny);
+        // 4 churn fractions × 3 worklist modes × {cold, resolve}.
+        assert_eq!(cells.len(), 24);
+        assert!(cells.iter().all(|c| c.pinned), "delta cells are all pinned");
+        assert_eq!(comparisons.len(), 12);
+        for (fraction, label) in DELTA_FRACTIONS {
+            assert_eq!(
+                comparisons.iter().filter(|c| c.churn_fraction == fraction).count(),
+                3,
+                "{label}"
+            );
+            assert_eq!(
+                cells.iter().filter(|c| c.instance.ends_with(&format!("+d{label}"))).count(),
+                6,
+                "{label}"
+            );
+        }
+        // The strided removals are deterministic: a second sweep reproduces
+        // the modelled seconds exactly, so the cells are safe to pin.
+        let (again, _) = sweep_delta(&specs, Scale::Tiny);
+        for (a, b) in cells.iter().zip(&again) {
+            assert_eq!(a.seconds, b.seconds, "{} / {} + {}", a.instance, a.algorithm, a.worklist);
+        }
     }
 }

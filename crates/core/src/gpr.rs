@@ -438,7 +438,11 @@ fn run_active_list(
 
     // The worklist owns the A_c/A_p slot arrays, the iA stamps, and (in
     // queue mode) the append queue; seeding stages the unmatched columns to
-    // the device.
+    // the device as part of the one-time setup transfer, so it costs no
+    // kernel launch.  Under a warm start (an almost-complete initial
+    // matching, e.g. an incremental `Solver::resolve`) this filter selects
+    // only the columns whose matching state the graph change disturbed, so
+    // the first round's frontier is proportional to the delta, not to `n`.
     let mut worklist = Worklist::new(gpu, config.worklist, n, GPR_WORKLIST_KERNELS);
     worklist.seed((0..n).filter(|&v| state.mu_col.get(v) == MU_UNMATCHED));
     if worklist.is_empty() {

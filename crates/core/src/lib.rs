@@ -64,6 +64,7 @@ pub mod error;
 pub mod ggr;
 pub mod ghk;
 pub mod gpr;
+pub mod resolve;
 pub mod solver;
 pub mod strategy;
 
@@ -73,6 +74,7 @@ pub use error::{ParseAlgorithmError, ParseInitHeuristicError, SolveError};
 pub use ghk::{GhkVariant, GhkWorkspace};
 pub use gpm_gpu::{ExecutorConfig, WorklistMode};
 pub use gpr::{GprConfig, GprResult, GprVariant, GprWorkspace};
+pub use resolve::{ResolveOutcome, ResolveReport, WARM_START_CHURN_LIMIT};
 pub use solver::{
     solve, solve_with_initial, Algorithm, DevicePolicy, InitHeuristic, SolveReport, Solver,
 };

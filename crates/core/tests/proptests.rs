@@ -4,11 +4,12 @@
 //! backends, from both an empty and a greedy initial matching.
 
 use gpm_core::gpr::{self, GprConfig, GprVariant};
-use gpm_core::{ghk, GhkVariant, GrStrategy};
+use gpm_core::solver::{Algorithm, DevicePolicy, Solver};
+use gpm_core::{ghk, GhkVariant, GrStrategy, WorklistMode};
 use gpm_gpu::VirtualGpu;
 use gpm_graph::heuristics::cheap_matching;
 use gpm_graph::verify::{is_maximum, maximum_matching_cardinality};
-use gpm_graph::{BipartiteCsr, Matching};
+use gpm_graph::{BipartiteCsr, GraphDelta, Matching, VertexId};
 use gpm_testutil::arb_bipartite_with;
 use proptest::prelude::*;
 
@@ -59,6 +60,82 @@ proptest! {
             let r = ghk::run(&gpu, &g, &init, variant);
             prop_assert_eq!(r.matching.cardinality(), opt, "{}", variant.label());
             prop_assert!(is_maximum(&g, &r.matching));
+        }
+    }
+
+    #[test]
+    fn resolve_cardinality_matches_cold_oracle_for_every_engine(
+        g in arb_graph(),
+        inserts in proptest::collection::vec((0u32..35, 0u32..35), 0..15),
+        remove_picks in proptest::collection::vec(0usize..1000, 0..8),
+        clear_rows in proptest::collection::vec(0u32..35, 0..3),
+        clear_cols in proptest::collection::vec(0u32..35, 0..3),
+        dims in (0usize..3, 0usize..3),
+    ) {
+        let (add_rows, add_cols) = dims;
+        // Build an in-bounds delta that mixes inserts, removals of real
+        // edges (including a matched one, forced below), vertex clears, and
+        // dimension growth.
+        let new_rows = g.num_rows() + add_rows;
+        let new_cols = g.num_cols() + add_cols;
+        let mut delta = GraphDelta::new();
+        delta.add_rows(add_rows).add_cols(add_cols);
+        delta.extend_inserts(
+            inserts
+                .iter()
+                .filter(|&&(r, c)| (r as usize) < new_rows && (c as usize) < new_cols)
+                .copied(),
+        );
+        let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+        if !edges.is_empty() {
+            delta.extend_removes(remove_picks.iter().map(|&i| edges[i % edges.len()]));
+        }
+        for &r in clear_rows.iter().filter(|&&r| (r as usize) < new_rows) {
+            delta.clear_row(r);
+        }
+        for &c in clear_cols.iter().filter(|&&c| (c as usize) < new_cols) {
+            delta.clear_col(c);
+        }
+
+        // The full engine matrix: every family, every worklist mode, and
+        // both the sequential and the pooled virtual-GPU executor.
+        let mut algorithms = vec![
+            Algorithm::SequentialPushRelabel(0.5),
+            Algorithm::PothenFan,
+            Algorithm::HopcroftKarp,
+            Algorithm::Pdbfs(2),
+            Algorithm::gpr(GprVariant::First, GrStrategy::Fixed(4)),
+            Algorithm::ghk(GhkVariant::Hk),
+        ];
+        for mode in [WorklistMode::DenseStamp, WorklistMode::Compacted, WorklistMode::AtomicQueue] {
+            algorithms.push(
+                Algorithm::gpr(GprVariant::ActiveList, GrStrategy::Fixed(4)).with_worklist(mode),
+            );
+            algorithms.push(
+                Algorithm::gpr(GprVariant::Shrink, GrStrategy::Fixed(4)).with_worklist(mode),
+            );
+            algorithms.push(Algorithm::ghk(GhkVariant::Hkdw).with_worklist(mode));
+        }
+
+        for policy in [DevicePolicy::Sequential, DevicePolicy::Parallel(2)] {
+            let mut solver = Solver::builder().device_policy(policy).build().unwrap();
+            let base = solver.solve(&g, Algorithm::HopcroftKarp).unwrap();
+            // Force the delta to delete a matched edge when one exists.
+            let mut delta = delta.clone();
+            if let Some((r, c)) = base.matching.pairs().next() {
+                delta.remove_edge(r, c);
+            }
+            let oracle = maximum_matching_cardinality(&g.apply_delta(&delta).unwrap());
+            for &algorithm in &algorithms {
+                let out = solver
+                    .resolve(&g, &base.matching, &delta, algorithm)
+                    .unwrap();
+                prop_assert_eq!(
+                    out.report.report.cardinality, oracle,
+                    "{} under {:?}", algorithm, policy
+                );
+                prop_assert!(out.report.report.matching.validate_against(&out.graph).is_ok());
+            }
         }
     }
 

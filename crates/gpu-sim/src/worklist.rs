@@ -447,6 +447,27 @@ impl<'gpu> Worklist<'gpu> {
         self.refilled = false;
     }
 
+    /// Device-side seeding for slot-protocol drivers: like
+    /// [`Worklist::seed_by_predicate`], but the slot list is materialized in
+    /// **every** mode — [`WorklistMode::DenseStamp`] included — because
+    /// [`Worklist::begin_round`] / [`Worklist::for_each_active`] iterate the
+    /// slot list rather than scanning the domain.  The gather is charged to
+    /// the worklist's `refill` kernel, so a warm-started caller whose
+    /// predicate selects only a handful of disturbed items (e.g. an
+    /// incremental re-solve seeding the columns a graph delta touched) pays
+    /// the domain scan once and then works on a list proportional to the
+    /// seed, not to the domain.
+    pub fn seed_slots_by_predicate(&mut self, predicate: impl Fn(usize) -> bool + Sync) {
+        self.epoch += 2;
+        self.tail.set(0, 0);
+        self.nonempty.set(0, 0);
+        self.overflow.set(0, 0);
+        self.len = self.gather_into_current(&predicate, true);
+        self.fresh_seed = true;
+        self.compacted = false;
+        self.refilled = false;
+    }
+
     // ------------------------------------------------------------------
     // Slot protocol (push-relabel shape)
     // ------------------------------------------------------------------
@@ -1147,6 +1168,37 @@ mod tests {
                 assert_eq!(count, u64::from(v % 7 == 0), "{mode}: vertex {v}");
             }
             // The gather was charged to the device model, not done host-side.
+            assert!(gpu.stats().launches_of("wl_refill") >= 1, "{mode}");
+        }
+    }
+
+    #[test]
+    fn seed_slots_by_predicate_materializes_the_list_in_every_mode() {
+        for mode in WorklistMode::all() {
+            let gpu = VirtualGpu::sequential();
+            let n = 200;
+            let live = DeviceBuffer::<u64>::new(n, 0);
+            for v in (0..n).step_by(5) {
+                live.set(v, 1);
+            }
+            let mut wl = Worklist::new(&gpu, mode, n, NAMES);
+            wl.seed_slots_by_predicate(|v| live.get(v) != 0);
+            // Unlike the frontier-style seeding, the slot list has a real
+            // host-visible length in every mode (DenseStamp included), so
+            // slot-protocol drivers can size their launches and detect
+            // emptiness.
+            assert_eq!(wl.len(), n.div_ceil(5), "{mode}");
+            let visited = DeviceBuffer::<u64>::new(n, 0);
+            let any = wl.begin_round(|v| live.get(v) != 0, false);
+            assert!(any, "{mode}");
+            wl.for_each_active("wl_push", |_ctx, v, _view| {
+                visited.set(v, visited.get(v) + 1);
+                SlotAction::Finish
+            });
+            let host = visited.to_vec();
+            for (v, &count) in host.iter().enumerate() {
+                assert_eq!(count, u64::from(v % 5 == 0), "{mode}: vertex {v} visited {count}x");
+            }
             assert!(gpu.stats().launches_of("wl_refill") >= 1, "{mode}");
         }
     }

@@ -158,6 +158,34 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_depends_only_on_logical_edge_set() {
+        // The delta-lineage machinery keys caches by fingerprint, so the same
+        // logical edge set must fingerprint identically no matter how it was
+        // fed in: duplicates via `add_edge`, bulk inserts, permuted order, or
+        // `BipartiteCsr::from_edges` directly.
+        let edges = [(0u32, 1u32), (1, 0), (1, 2), (2, 2)];
+        let reference = BipartiteCsr::from_edges(3, 3, &edges).unwrap();
+
+        let mut dup = GraphBuilder::new(3, 3);
+        for &(r, c) in edges.iter().chain(edges.iter()).chain(edges.iter().rev()) {
+            dup.add_edge(r, c).unwrap();
+        }
+        let dup = dup.build();
+        assert_eq!(dup.num_edges(), edges.len());
+        assert_eq!(dup.fingerprint(), reference.fingerprint());
+
+        let mut bulk = GraphBuilder::with_capacity(3, 3, 8);
+        bulk.extend_edges(edges.iter().rev().copied()).unwrap();
+        bulk.extend_edges([(1, 0), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(bulk.build().fingerprint(), reference.fingerprint());
+
+        // And a different logical edge set does change the fingerprint.
+        let mut other = GraphBuilder::new(3, 3);
+        other.extend_edges([(0, 1), (1, 0), (1, 2)]).unwrap();
+        assert_ne!(other.build().fingerprint(), reference.fingerprint());
+    }
+
+    #[test]
     fn empty_builder_builds_empty_graph() {
         let b = GraphBuilder::new(5, 7);
         assert!(b.is_empty());

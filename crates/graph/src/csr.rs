@@ -349,6 +349,24 @@ impl BipartiteCsr {
         h
     }
 
+    /// Assembles a graph from pre-built CSR arrays for **both** orientations.
+    ///
+    /// The caller (the delta-patching machinery in [`crate::delta`]) is
+    /// responsible for upholding every invariant listed on the type; debug
+    /// builds re-check them exhaustively.
+    pub(crate) fn from_raw_parts(
+        num_rows: usize,
+        num_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<VertexId>,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<VertexId>,
+    ) -> Self {
+        let g = Self { num_rows, num_cols, row_ptr, col_idx, col_ptr, row_idx };
+        debug_assert!(g.validate().is_ok(), "from_raw_parts violated a CSR invariant");
+        g
+    }
+
     /// An empty graph with the given shape and no edges.
     pub fn empty(num_rows: usize, num_cols: usize) -> Self {
         Self {

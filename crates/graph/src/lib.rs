@@ -34,6 +34,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod gen;
 pub mod heuristics;
 pub mod instances;
@@ -44,6 +45,7 @@ pub mod verify;
 
 pub use builder::GraphBuilder;
 pub use csr::BipartiteCsr;
+pub use delta::{DeltaLineage, GraphDelta};
 pub use matching::{Matching, UNMATCHED};
 
 /// Vertex index type used throughout the workspace.

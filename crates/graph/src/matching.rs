@@ -247,6 +247,43 @@ impl Matching {
         Ok(())
     }
 
+    /// Projects this matching onto `graph`, which may have a different shape
+    /// (e.g. after [`BipartiteCsr::apply_delta`]).
+    ///
+    /// Every matched pair that is still an edge of `graph` is kept; pairs
+    /// invalidated by the graph change (edge gone, or an endpoint out of the
+    /// new shape) are dropped.  Returns the repaired matching — always
+    /// consistent and valid against `graph` — plus the number of pairs
+    /// dropped.
+    ///
+    /// `keep_unmatchable` controls whether `µ = −2` column sentinels
+    /// survive.  Pass `false` whenever the graph change may have *added*
+    /// edges: a column's unmatchability proof can be invalidated by new
+    /// edges anywhere in the graph, not just on the column itself.
+    pub fn project_onto(&self, graph: &BipartiteCsr, keep_unmatchable: bool) -> (Matching, usize) {
+        let mut out = Matching::empty_for(graph);
+        let mut dropped = 0usize;
+        for (r, c) in self.pairs() {
+            if (r as usize) < graph.num_rows()
+                && (c as usize) < graph.num_cols()
+                && graph.has_edge(r, c)
+            {
+                out.match_pair(r, c);
+            } else {
+                dropped += 1;
+            }
+        }
+        if keep_unmatchable {
+            let upto = self.num_cols().min(graph.num_cols());
+            for c in 0..upto {
+                if self.col_mate[c] == UNMATCHABLE && out.col_mate[c] == UNMATCHED {
+                    out.col_mate[c] = UNMATCHABLE;
+                }
+            }
+        }
+        (out, dropped)
+    }
+
     /// Iterates over matched `(row, col)` pairs.
     pub fn pairs(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         self.row_mate
@@ -398,6 +435,53 @@ mod tests {
         assert_eq!(m.deficiency_upper_bound(), 3);
         m.match_pair(0, 0);
         assert_eq!(m.deficiency_upper_bound(), 2);
+    }
+
+    #[test]
+    fn project_onto_drops_invalidated_pairs() {
+        let mut m = Matching::empty(2, 2);
+        m.match_pair(0, 0);
+        m.match_pair(1, 1);
+        // Edge (1, 1) disappears.
+        let g2 = BipartiteCsr::from_edges(2, 2, &[(0, 0), (1, 0)]).unwrap();
+        let (p, dropped) = m.project_onto(&g2, true);
+        assert_eq!(dropped, 1);
+        assert_eq!(p.cardinality(), 1);
+        p.validate_against(&g2).unwrap();
+    }
+
+    #[test]
+    fn project_onto_handles_shape_changes() {
+        let g = BipartiteCsr::from_edges(3, 3, &[(0, 0), (1, 1), (2, 2)]).unwrap();
+        let mut m = Matching::empty_for(&g);
+        m.match_pair(0, 0);
+        m.match_pair(2, 2);
+        // Shrink to 2x2: pair (2, 2) falls outside the new shape.
+        let small = BipartiteCsr::from_edges(2, 2, &[(0, 0)]).unwrap();
+        let (p, dropped) = m.project_onto(&small, true);
+        assert_eq!(dropped, 1);
+        assert_eq!(p.cardinality(), 1);
+        p.validate_against(&small).unwrap();
+        // Grow to 4x4: everything survives, new vertices unmatched.
+        let big = BipartiteCsr::from_edges(4, 4, &[(0, 0), (1, 1), (2, 2), (3, 3)]).unwrap();
+        let (p, dropped) = m.project_onto(&big, true);
+        assert_eq!(dropped, 0);
+        assert_eq!(p.cardinality(), 2);
+        assert_eq!(p.row_mate(3), None);
+        p.validate_against(&big).unwrap();
+    }
+
+    #[test]
+    fn project_onto_unmatchable_sentinel_policy() {
+        let g = BipartiteCsr::from_edges(1, 2, &[(0, 0)]).unwrap();
+        let mut m = Matching::empty_for(&g);
+        m.match_pair(0, 0);
+        m.mark_col_unmatchable(1);
+        let (kept, _) = m.project_onto(&g, true);
+        assert!(kept.is_col_unmatchable(1));
+        let (reset, _) = m.project_onto(&g, false);
+        assert!(!reset.is_col_unmatchable(1));
+        assert_eq!(reset.col_mate_raw(1), UNMATCHED);
     }
 
     #[test]

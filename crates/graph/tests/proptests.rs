@@ -11,9 +11,88 @@ use gpm_graph::verify::{
     is_maximal, is_maximum, is_valid_matching, koenig_cover, maximum_matching_cardinality,
     reference_maximum_matching,
 };
-use gpm_graph::{BipartiteCsr, GraphBuilder, VertexId};
+use gpm_graph::{BipartiteCsr, GraphBuilder, GraphDelta, VertexId};
 use gpm_testutil::arb_bipartite;
 use proptest::prelude::*;
+
+/// Raw material for an arbitrary [`GraphDelta`]: coordinate lists that the
+/// test clamps into the (graph-dependent) valid range before applying.
+#[derive(Clone, Debug)]
+struct RawDelta {
+    inserts: Vec<(VertexId, VertexId)>,
+    removes: Vec<(VertexId, VertexId)>,
+    clear_rows: Vec<VertexId>,
+    clear_cols: Vec<VertexId>,
+    add_rows: usize,
+    add_cols: usize,
+}
+
+fn arb_raw_delta() -> impl Strategy<Value = RawDelta> {
+    (
+        proptest::collection::vec((0u32..45, 0u32..45), 0..40),
+        proptest::collection::vec((0u32..45, 0u32..45), 0..40),
+        proptest::collection::vec(0u32..45, 0..6),
+        proptest::collection::vec(0u32..45, 0..6),
+        0usize..4,
+        0usize..4,
+    )
+        .prop_map(|(inserts, removes, clear_rows, clear_cols, add_rows, add_cols)| RawDelta {
+            inserts,
+            removes,
+            clear_rows,
+            clear_cols,
+            add_rows,
+            add_cols,
+        })
+}
+
+/// Builds an in-bounds [`GraphDelta`] for `g` from raw material.  Removals
+/// are biased towards edges that actually exist so deletions get exercised.
+fn make_delta(g: &BipartiteCsr, raw: &RawDelta) -> GraphDelta {
+    let new_rows = g.num_rows() + raw.add_rows;
+    let new_cols = g.num_cols() + raw.add_cols;
+    let mut d = GraphDelta::new();
+    d.add_rows(raw.add_rows).add_cols(raw.add_cols);
+    d.extend_inserts(
+        raw.inserts
+            .iter()
+            .filter(|&&(r, c)| (r as usize) < new_rows && (c as usize) < new_cols)
+            .copied(),
+    );
+    let all_edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    for (i, &(r, c)) in raw.removes.iter().enumerate() {
+        if i % 2 == 0 && !all_edges.is_empty() {
+            // target a real edge
+            let (er, ec) = all_edges[(r as usize + c as usize) % all_edges.len()];
+            d.remove_edge(er, ec);
+        } else if (r as usize) < new_rows && (c as usize) < new_cols {
+            d.remove_edge(r, c);
+        }
+    }
+    for &r in raw.clear_rows.iter().filter(|&&r| (r as usize) < new_rows) {
+        d.clear_row(r);
+    }
+    for &c in raw.clear_cols.iter().filter(|&&c| (c as usize) < new_cols) {
+        d.clear_col(c);
+    }
+    d
+}
+
+/// Oracle: apply the delta through a naive edge-set rebuild.
+fn rebuild_oracle(g: &BipartiteCsr, d: &GraphDelta) -> BipartiteCsr {
+    let d = d.to_canonical();
+    let mut edges: Vec<(VertexId, VertexId)> = g
+        .edges()
+        .filter(|&(r, c)| {
+            d.cleared_rows().binary_search(&r).is_err()
+                && d.cleared_cols().binary_search(&c).is_err()
+                && d.removes().binary_search(&(r, c)).is_err()
+        })
+        .collect();
+    edges.extend_from_slice(d.inserts());
+    BipartiteCsr::from_edges(g.num_rows() + d.added_rows(), g.num_cols() + d.added_cols(), &edges)
+        .unwrap()
+}
 
 /// Strategy: an arbitrary small bipartite graph (≤ 40×40, ≤ 200 edge
 /// draws), from the workspace-wide shrinking-friendly strategy.
@@ -105,6 +184,35 @@ proptest! {
         g.validate().unwrap();
         prop_assert!(g.num_edges() <= edges);
         prop_assert!(g.num_edges() <= m * n);
+    }
+
+    #[test]
+    fn apply_delta_equals_rebuild_from_scratch(g in arb_graph(), raw in arb_raw_delta()) {
+        let d = make_delta(&g, &raw);
+        let (patched, lineage) = g.apply_delta_lineage(&d).unwrap();
+        let oracle = rebuild_oracle(&g, &d);
+
+        // Structural equality covers neighbor sets in both orientations.
+        prop_assert_eq!(&patched, &oracle);
+        prop_assert_eq!(patched.fingerprint(), oracle.fingerprint());
+        prop_assert_eq!(lineage.parent, g.fingerprint());
+        prop_assert_eq!(lineage.child, patched.fingerprint());
+
+        // Every invariant (sortedness, pointer monotonicity, orientation
+        // agreement) holds on the patched result.
+        patched.validate().unwrap();
+        prop_assert_eq!(patched.transpose().transpose(), patched.clone());
+
+        // Canonical and non-canonical forms of the same delta agree.
+        let canon = d.to_canonical();
+        prop_assert_eq!(g.apply_delta(&canon).unwrap(), patched);
+    }
+
+    #[test]
+    fn empty_delta_preserves_fingerprint(g in arb_graph()) {
+        let patched = g.apply_delta(&GraphDelta::new()).unwrap();
+        prop_assert_eq!(patched.fingerprint(), g.fingerprint());
+        prop_assert_eq!(patched, g);
     }
 
     #[test]

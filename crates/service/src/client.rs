@@ -1,9 +1,9 @@
 //! A minimal blocking client for the JSON-lines protocol, used by the
 //! in-repo example, the TCP integration tests, and the CI smoke run.
 
-use crate::proto::{fingerprint_from_hex, fingerprint_to_hex, graph_to_fields};
+use crate::proto::{delta_to_fields, fingerprint_from_hex, fingerprint_to_hex, graph_to_fields};
 use gpm_core::{Algorithm, InitHeuristic};
-use gpm_graph::BipartiteCsr;
+use gpm_graph::{BipartiteCsr, GraphDelta};
 use serde::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -59,6 +59,24 @@ impl Client {
     pub fn put_graph(&mut self, graph: &BipartiteCsr) -> std::io::Result<u64> {
         let mut fields = vec![("op".to_string(), Value::Str("put_graph".to_string()))];
         fields.extend(graph_to_fields(graph));
+        let response = self.request(fields)?;
+        let hex = response.get("fingerprint").and_then(Value::as_str).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "no fingerprint")
+        })?;
+        fingerprint_from_hex(hex)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Applies `delta` to the cached graph `parent` on the server, without
+    /// re-uploading it; returns the patched child's fingerprint.  Solves may
+    /// then name either fingerprint, and a solve of the child warm-starts
+    /// from the parent's last matching when the server has one on file.
+    pub fn patch_graph(&mut self, parent: u64, delta: &GraphDelta) -> std::io::Result<u64> {
+        let mut fields = vec![
+            ("op".to_string(), Value::Str("patch_graph".to_string())),
+            ("parent".to_string(), Value::Str(fingerprint_to_hex(parent))),
+        ];
+        fields.extend(delta_to_fields(delta));
         let response = self.request(fields)?;
         let hex = response.get("fingerprint").and_then(Value::as_str).ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "no fingerprint")

@@ -176,7 +176,11 @@ impl Service {
             // the guard alive across the body, deadlocking on the re-locks.
             let fingerprints = shard.cache.lock().fingerprints();
             for fingerprint in fingerprints {
-                let home = active[(fingerprint % active.len() as u64) as usize];
+                // Home on the patch chain's root, not the fingerprint
+                // itself: a whole lineage chain re-homes together so
+                // warm-start state stays shard-local.
+                let root = registry.lineage_root(fingerprint);
+                let home = active[(root % active.len() as u64) as usize];
                 if home == shard.id {
                     continue;
                 }
@@ -185,6 +189,12 @@ impl Service {
                 };
                 registry.shards[home].cache.lock().insert_keyed(fingerprint, graph);
                 shard.cache.lock().remove(fingerprint);
+                // Warm-start state travels with the graph: the matching and
+                // delta are useless on a shard jobs are no longer routed to.
+                let (matching, delta) = shard.warm.lock().take(fingerprint);
+                if matching.is_some() || delta.is_some() {
+                    registry.shards[home].warm.lock().absorb(fingerprint, matching, delta);
+                }
                 moved += 1;
             }
         }

@@ -16,6 +16,13 @@ pub enum ServiceError {
         /// The fingerprint the job asked for.
         fingerprint: u64,
     },
+    /// A `patch_graph` request carried a delta that does not apply to its
+    /// parent graph (out-of-bounds endpoint, duplicate insert of an existing
+    /// edge, …).  The parent graph is left untouched.
+    BadDelta {
+        /// Why the delta was rejected.
+        reason: String,
+    },
     /// The job was submitted after the service began shutting down.
     ShuttingDown,
     /// The solve panicked inside a pool worker.  The worker survives (its
@@ -61,6 +68,9 @@ impl fmt::Display for ServiceError {
                 "no cached graph with fingerprint {fingerprint:#018x} \
                  (never uploaded, or evicted — re-upload and retry)"
             ),
+            ServiceError::BadDelta { reason } => {
+                write!(f, "delta does not apply to its parent graph: {reason}")
+            }
             ServiceError::ShuttingDown => f.write_str("service is shutting down"),
             ServiceError::JobPanicked { message } => {
                 write!(f, "solve panicked in the worker: {message}")
@@ -122,6 +132,8 @@ mod tests {
         let e = ServiceError::Solve(SolveError::DeviceRequired { algorithm: "G-PR-Shr".into() });
         assert!(e.to_string().contains("G-PR-Shr"));
         assert!(ServiceError::ShuttingDown.to_string().contains("shutting down"));
+        let e = ServiceError::BadDelta { reason: "row 9 out of bounds".into() };
+        assert!(e.to_string().contains("row 9 out of bounds"));
         let e = ServiceError::Overloaded {
             queue_depth: 64,
             retry_after_hint: Duration::from_millis(250),

@@ -43,10 +43,20 @@
 //! * [`stats::ServiceStats`] — per-algorithm job counts, queue depth, and
 //!   latency aggregates, kept in per-shard atomics and folded on demand,
 //!   serialized as JSON.
+//! * [`Service::patch_graph`] — dynamic graphs: applies a
+//!   [`gpm_graph::GraphDelta`] to a cached parent server-side, caches the
+//!   child under its own fingerprint on the **lineage's home shard**
+//!   (placement keys descendants by their root fingerprint, so patch
+//!   chains stay with their warm state, and drain/rebalance re-home
+//!   chains together).  A later solve of the child warm-starts from the
+//!   parent's last matching via [`gpm_core::Solver::resolve_prepared_ctx`]
+//!   when both the delta and that matching are on the shard; the
+//!   `patched` / `resolved` stats counters report how often.
 //! * [`server`]/[`client`] — a JSON-lines protocol over
 //!   `std::net::TcpListener` (see [`proto`] for the grammar, including the
-//!   `shards`/`drain`/`rebalance` control ops) and the matching blocking
-//!   client; the `gpm-service` binary serves it (`--shards M`).
+//!   `patch_graph` op and the `shards`/`drain`/`rebalance` control ops)
+//!   and the matching blocking client; the `gpm-service` binary serves it
+//!   (`--shards M`).
 //!
 //! ```
 //! use gpm_core::Algorithm;
@@ -88,6 +98,7 @@ pub use client::{Client, SolveOptions};
 pub use control::{ControlError, DrainOutcome, RebalanceOutcome, ShardStats};
 pub use error::ServiceError;
 pub use gpm_core::CancelToken;
+pub use gpm_graph::{DeltaLineage, GraphDelta};
 pub use job::{GraphSource, JobHandle, JobOutcome, JobSpec};
 pub use placement::{decide, decide_requeue, Placement, ShardLoad};
 pub use server::{serve, ServerState};

@@ -31,6 +31,7 @@
 use crate::error::ServiceError;
 use crate::job::{GraphSource, JobHandle, JobSlot, JobSpec};
 use crate::shard::{lock, DeviceShard, QueuedJob};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -126,11 +127,47 @@ pub(crate) struct ShardRegistry {
     /// so the admission fast path can skip the per-shard draining scan in
     /// the common all-active case.
     draining_count: AtomicUsize,
+    /// Delta lineage: child fingerprint → the fingerprint of its chain's
+    /// *root* (the originally uploaded graph).  Home-shard placement keys on
+    /// the root, so a whole patch chain shares one home and `rebalance` /
+    /// `drain` move it together — the warm-start state a child needs (its
+    /// parent's matching) is always on its own shard.
+    lineage: parking_lot::Mutex<HashMap<u64, u64>>,
+    /// Entry count of `lineage`, kept in step so the admission fast path
+    /// can skip the lock entirely while no graph was ever patched.
+    lineage_len: AtomicUsize,
 }
 
 impl ShardRegistry {
     pub(crate) fn new(shards: Vec<Arc<DeviceShard>>) -> Self {
-        Self { shards, shutdown: AtomicBool::new(false), draining_count: AtomicUsize::new(0) }
+        Self {
+            shards,
+            shutdown: AtomicBool::new(false),
+            draining_count: AtomicUsize::new(0),
+            lineage: parking_lot::Mutex::new(HashMap::new()),
+            lineage_len: AtomicUsize::new(0),
+        }
+    }
+
+    /// The root fingerprint of `fingerprint`'s patch chain — itself when it
+    /// was never produced by `patch_graph`.  Lock-free while no lineage was
+    /// ever recorded (the common, patch-free workload).
+    pub(crate) fn lineage_root(&self, fingerprint: u64) -> u64 {
+        if self.lineage_len.load(Ordering::Relaxed) == 0 {
+            return fingerprint;
+        }
+        self.lineage.lock().get(&fingerprint).copied().unwrap_or(fingerprint)
+    }
+
+    /// Records that `child` was patched out of `parent`, collapsing the
+    /// chain: `child` maps straight to `parent`'s root, so lookups stay one
+    /// hop no matter how long the chain grows.
+    pub(crate) fn record_lineage(&self, parent: u64, child: u64) {
+        let mut lineage = self.lineage.lock();
+        let root = lineage.get(&parent).copied().unwrap_or(parent);
+        if lineage.insert(child, root).is_none() {
+            self.lineage_len.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Flips one shard to draining, keeping the drained-shard count in
@@ -313,20 +350,23 @@ impl ShardRegistry {
     }
 
     /// The home shard of a fingerprint among the currently active shards:
-    /// `active[fingerprint mod |active|]`.  This is the invariant
-    /// `rebalance` restores and `put_graph` establishes.  Allocation-free:
-    /// it sits on the admission fast path.
+    /// `active[root mod |active|]`, where `root` is the fingerprint's patch
+    /// chain root ([`ShardRegistry::lineage_root`]) — so every graph in a
+    /// chain homes with its ancestor and warm-start state stays local.
+    /// This is the invariant `rebalance` restores and `put_graph`
+    /// establishes.  Allocation-free: it sits on the admission fast path.
     pub(crate) fn home_shard(&self, fingerprint: u64) -> Option<usize> {
+        let root = self.lineage_root(fingerprint);
         // Common case: nothing draining, the home is a plain modulo.
         if self.draining_count.load(Ordering::Relaxed) == 0 {
-            return Some((fingerprint % self.shards.len() as u64) as usize);
+            return Some((root % self.shards.len() as u64) as usize);
         }
         let active = || self.shards.iter().filter(|s| !s.draining.load(Ordering::Relaxed));
         let count = active().count() as u64;
         if count == 0 {
             return None;
         }
-        active().nth((fingerprint % count) as usize).map(|s| s.id)
+        active().nth((root % count) as usize).map(|s| s.id)
     }
 }
 

@@ -20,6 +20,14 @@
 //!   request cancellation of in-flight solves; the response reports how many
 //!   jobs were signalled.  Engines stop at worklist-round granularity, so
 //!   the cancelled solve fails promptly with a `cancelled` error.
+//! * `{"op":"patch_graph","parent":"0x…","insert":[[r,c],…],
+//!   "remove":[[r,c],…],"add_rows":n,"add_cols":n,"clear_rows":[r,…],
+//!   "clear_cols":[c,…]}` — apply a delta to the cached graph `parent`
+//!   without re-uploading it; every delta field is optional.  The response
+//!   echoes `parent` and carries the patched child's `fingerprint` — solve
+//!   against either.  The child is cached on its chain's home shard
+//!   together with the delta, so solving it warm-starts from the parent's
+//!   last matching when one is on file.
 //! * `{"op":"stats"}` — service counters snapshot (the fold across all
 //!   shards).
 //! * `{"op":"shards"}` — control plane: one entry per shard with its id,
@@ -36,7 +44,7 @@
 //! `{"ok":false,"error":"…"}` (plus `job_id` on solve errors).
 
 use gpm_core::{Algorithm, InitHeuristic};
-use gpm_graph::{BipartiteCsr, VertexId};
+use gpm_graph::{BipartiteCsr, GraphDelta, VertexId};
 use serde::Value;
 
 /// A parsed request line.
@@ -68,6 +76,13 @@ pub enum Request {
         job_id: Option<u64>,
         /// The `tag` the solve request carried.
         tag: Option<String>,
+    },
+    /// Apply a delta to a cached graph, caching the patched child.
+    PatchGraph {
+        /// Fingerprint of the cached graph the delta applies to.
+        parent: u64,
+        /// The batched mutation.
+        delta: GraphDelta,
     },
     /// Snapshot the service counters.
     Stats,
@@ -170,6 +185,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             Ok(Request::Cancel { job_id, tag })
         }
+        "patch_graph" => {
+            let parent = value
+                .get("parent")
+                .and_then(Value::as_str)
+                .ok_or_else(|| "patch_graph: missing string field 'parent'".to_string())?;
+            Ok(Request::PatchGraph {
+                parent: fingerprint_from_hex(parent)?,
+                delta: parse_delta(&value)?,
+            })
+        }
         "stats" => Ok(Request::Stats),
         "shards" => Ok(Request::Shards),
         "drain" => {
@@ -182,8 +207,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "rebalance" => Ok(Request::Rebalance),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op '{other}': expected put_graph, solve, cancel, stats, shards, drain, \
-             rebalance, or shutdown"
+            "unknown op '{other}': expected put_graph, patch_graph, solve, cancel, stats, shards, \
+             drain, rebalance, or shutdown"
         )),
     }
 }
@@ -216,6 +241,99 @@ fn parse_graph(value: &Value) -> Result<BipartiteCsr, String> {
         edges.push((endpoint(&pair[0], "row")?, endpoint(&pair[1], "column")?));
     }
     BipartiteCsr::from_edges(rows, cols, &edges).map_err(|e| format!("bad graph: {e}"))
+}
+
+/// Extracts the (all-optional) delta fields of a `patch_graph` request:
+/// `insert`/`remove` (arrays of `[row, col]` pairs), `add_rows`/`add_cols`
+/// (non-negative integers), `clear_rows`/`clear_cols` (arrays of vertex
+/// ids).
+fn parse_delta(value: &Value) -> Result<GraphDelta, String> {
+    let id = |v: &Value, what: &str| -> Result<VertexId, String> {
+        v.as_u64()
+            .and_then(|n| VertexId::try_from(n).ok())
+            .ok_or_else(|| format!("{what}: expected a non-negative vertex id"))
+    };
+    let pairs = |field: &str| -> Result<Vec<(VertexId, VertexId)>, String> {
+        let Some(seq) = value.get(field) else { return Ok(Vec::new()) };
+        let seq = seq
+            .as_seq()
+            .ok_or_else(|| format!("patch_graph: '{field}' must be an array of [row, col]"))?;
+        seq.iter()
+            .enumerate()
+            .map(|(i, pair)| {
+                let pair = pair.as_seq().filter(|p| p.len() == 2).ok_or_else(|| {
+                    format!("{field}[{i}]: expected a [row, col] pair of non-negative integers")
+                })?;
+                Ok((
+                    id(&pair[0], &format!("{field}[{i}] row"))?,
+                    id(&pair[1], &format!("{field}[{i}] column"))?,
+                ))
+            })
+            .collect()
+    };
+    let ids = |field: &str| -> Result<Vec<VertexId>, String> {
+        let Some(seq) = value.get(field) else { return Ok(Vec::new()) };
+        let seq = seq
+            .as_seq()
+            .ok_or_else(|| format!("patch_graph: '{field}' must be an array of vertex ids"))?;
+        seq.iter().enumerate().map(|(i, v)| id(v, &format!("{field}[{i}]"))).collect()
+    };
+    let count = |field: &str| -> Result<usize, String> {
+        match value.get(field) {
+            None => Ok(0),
+            Some(v) => v
+                .as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("patch_graph: '{field}' must be a non-negative integer")),
+        }
+    };
+    let mut delta = GraphDelta::new();
+    delta.add_rows(count("add_rows")?).add_cols(count("add_cols")?);
+    delta.extend_inserts(pairs("insert")?);
+    delta.extend_removes(pairs("remove")?);
+    for r in ids("clear_rows")? {
+        delta.clear_row(r);
+    }
+    for c in ids("clear_cols")? {
+        delta.clear_col(c);
+    }
+    Ok(delta)
+}
+
+/// Serializes a delta the way `patch_graph` requests carry it (used by the
+/// client).  Empty lists and zero counts are omitted — every field is
+/// optional on the wire.
+pub fn delta_to_fields(delta: &GraphDelta) -> Vec<(String, Value)> {
+    let pair_seq = |edges: &[(VertexId, VertexId)]| {
+        Value::Seq(
+            edges
+                .iter()
+                .map(|&(r, c)| Value::Seq(vec![Value::U64(u64::from(r)), Value::U64(u64::from(c))]))
+                .collect(),
+        )
+    };
+    let id_seq =
+        |ids: &[VertexId]| Value::Seq(ids.iter().map(|&v| Value::U64(u64::from(v))).collect());
+    let mut fields = Vec::new();
+    if !delta.inserts().is_empty() {
+        fields.push(("insert".to_string(), pair_seq(delta.inserts())));
+    }
+    if !delta.removes().is_empty() {
+        fields.push(("remove".to_string(), pair_seq(delta.removes())));
+    }
+    if delta.added_rows() > 0 {
+        fields.push(("add_rows".to_string(), Value::U64(delta.added_rows() as u64)));
+    }
+    if delta.added_cols() > 0 {
+        fields.push(("add_cols".to_string(), Value::U64(delta.added_cols() as u64)));
+    }
+    if !delta.cleared_rows().is_empty() {
+        fields.push(("clear_rows".to_string(), id_seq(delta.cleared_rows())));
+    }
+    if !delta.cleared_cols().is_empty() {
+        fields.push(("clear_cols".to_string(), id_seq(delta.cleared_cols())));
+    }
+    fields
 }
 
 /// Serializes a graph the way requests inline it (used by the client).
@@ -336,6 +454,43 @@ mod tests {
             Request::Drain { shard: 2 }
         );
         assert!(parse_request(r#"{"op":"drain"}"#).unwrap_err().contains("'shard'"));
+    }
+
+    #[test]
+    fn parses_patch_graph_and_round_trips_deltas() {
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(3, 4).remove_edge(0, 1).add_rows(2).clear_col(5);
+        let mut fields = vec![
+            ("op".to_string(), Value::Str("patch_graph".to_string())),
+            ("parent".to_string(), Value::Str(fingerprint_to_hex(0xabcd))),
+        ];
+        fields.extend(delta_to_fields(&delta));
+        let line = serde_json::to_string(&Value::Map(fields)).unwrap();
+        match parse_request(&line).unwrap() {
+            Request::PatchGraph { parent, delta: parsed } => {
+                assert_eq!(parent, 0xabcd);
+                assert_eq!(parsed, delta);
+            }
+            other => panic!("expected PatchGraph, got {other:?}"),
+        }
+        // Every delta field is optional: a bare patch is the empty delta.
+        match parse_request(r#"{"op":"patch_graph","parent":"0x1"}"#).unwrap() {
+            Request::PatchGraph { parent, delta } => {
+                assert_eq!(parent, 1);
+                assert!(delta.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        for (line, want) in [
+            (r#"{"op":"patch_graph"}"#, "'parent'"),
+            (r#"{"op":"patch_graph","parent":"xyz"}"#, "bad fingerprint"),
+            (r#"{"op":"patch_graph","parent":"0x1","insert":[[0]]}"#, "insert[0]"),
+            (r#"{"op":"patch_graph","parent":"0x1","clear_rows":[-1]}"#, "clear_rows[0]"),
+            (r#"{"op":"patch_graph","parent":"0x1","add_rows":-2}"#, "add_rows"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(want), "{line} → {err}");
+        }
     }
 
     #[test]

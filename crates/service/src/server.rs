@@ -309,6 +309,28 @@ pub fn handle_request_line(state: &ServerState, line: &str) -> (String, bool) {
                 false,
             )
         }
+        Ok(Request::PatchGraph { parent, delta }) => {
+            if !service.cache_enabled() {
+                return (
+                    error_response(
+                        "graph caching is disabled on this server (cache capacity 0); \
+                         there is no cached parent to patch",
+                    ),
+                    false,
+                );
+            }
+            match service.patch_graph(parent, &delta) {
+                Err(e) => (error_response(&e.to_string()), false),
+                Ok(lineage) => (
+                    ok_response(vec![
+                        ("op".to_string(), Value::Str("patch_graph".to_string())),
+                        ("parent".to_string(), Value::Str(fingerprint_to_hex(lineage.parent))),
+                        ("fingerprint".to_string(), Value::Str(fingerprint_to_hex(lineage.child))),
+                    ]),
+                    false,
+                ),
+            }
+        }
         Ok(Request::Stats) => (
             ok_response(vec![
                 ("op".to_string(), Value::Str("stats".to_string())),

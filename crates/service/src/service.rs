@@ -281,6 +281,50 @@ impl Service {
         self.registry.shards.iter().any(|s| s.cache.lock().contains(fingerprint))
     }
 
+    /// Applies `delta` to the cached graph with fingerprint `parent` and
+    /// caches the patched child — no re-upload of the full graph.  Returns
+    /// the lineage record; jobs may then solve against either fingerprint.
+    ///
+    /// The child is cached on the **chain's home shard** (the home of the
+    /// chain's root fingerprint), together with the delta itself, so a
+    /// subsequent solve of the child on that shard warm-starts from the
+    /// parent's last matching ([`gpm_core::Solver::resolve`] semantics:
+    /// repair, then finish; counted in [`ServiceStats::resolved`]).
+    /// `rebalance` and `drain` keep whole chains together for the same
+    /// reason.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ServiceError::UnknownGraph`] when no shard caches `parent`;
+    /// [`crate::ServiceError::BadDelta`] when the delta does not apply (the
+    /// parent is left untouched).  On a service built with
+    /// `cache_capacity(0)` patching is pointless (nothing is retained);
+    /// callers should check [`Service::cache_enabled`] first.
+    pub fn patch_graph(
+        &self,
+        parent: u64,
+        delta: &gpm_graph::GraphDelta,
+    ) -> Result<gpm_graph::DeltaLineage, crate::ServiceError> {
+        let graph = self
+            .registry
+            .shards
+            .iter()
+            .find_map(|s| s.cache.lock().peek(parent))
+            .ok_or(crate::ServiceError::UnknownGraph { fingerprint: parent })?;
+        let (child, lineage) = graph
+            .apply_delta_lineage(delta)
+            .map_err(|e| crate::ServiceError::BadDelta { reason: e.to_string() })?;
+        // Record lineage BEFORE computing the home: the child homes with its
+        // chain's root, keeping warm-start state and routing shard-local.
+        self.registry.record_lineage(parent, lineage.child);
+        let home = self.registry.home_shard(lineage.child).unwrap_or(0);
+        let shard = &self.registry.shards[home];
+        shard.cache.lock().insert_keyed(lineage.child, Arc::new(child));
+        shard.warm.lock().store_delta(lineage.child, parent, Arc::new(delta.clone()));
+        shard.counters.patched.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(lineage)
+    }
+
     /// A point-in-time snapshot of the whole service: the fold of every
     /// shard's counters (see [`ServiceStats`] for the fold rules).
     /// Lock-free against admission and solving — only per-shard cache and
@@ -296,6 +340,8 @@ impl Service {
             rejected: 0,
             cancelled: 0,
             deadline_exceeded: 0,
+            patched: 0,
+            resolved: 0,
             queue_depth: 0,
             peak_queue_depth: 0,
             queue_wait: LatencyAgg::default(),
@@ -310,6 +356,8 @@ impl Service {
             total.rejected += s.rejected;
             total.cancelled += s.cancelled;
             total.deadline_exceeded += s.deadline_exceeded;
+            total.patched += s.patched;
+            total.resolved += s.resolved;
             total.queue_depth += s.queue_depth;
             total.peak_queue_depth = total.peak_queue_depth.max(s.peak_queue_depth);
             total.queue_wait.merge(&s.queue_wait);
@@ -705,6 +753,122 @@ mod tests {
             assert!(outcome.cache_hit);
         }
         assert_eq!(service.stats().cache.hits, 3);
+    }
+
+    // ---- dynamic graphs ---------------------------------------------------
+
+    #[test]
+    fn patch_graph_caches_the_child_and_warm_starts_its_solve() {
+        let service = Service::builder().workers(1).build();
+        let g = gen::uniform_random(40, 40, 200, 19).unwrap();
+        let parent = service.put_graph(g.clone());
+        // Solve the parent first so its matching is on file for warm starts.
+        let outcome = service
+            .submit(JobSpec::new(GraphSource::Cached(parent), Algorithm::HopcroftKarp))
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.report.cardinality, maximum_matching_cardinality(&g));
+        // Patch: drop a real edge (possibly matched), add a fresh vertex
+        // with one edge.
+        let (r, c) = g.edges().next().unwrap();
+        let mut delta = gpm_graph::GraphDelta::new();
+        delta.remove_edge(r, c);
+        delta.add_rows(1);
+        delta.insert_edge(40, 0);
+        let lineage = service.patch_graph(parent, &delta).unwrap();
+        assert_eq!(lineage.parent, parent);
+        assert!(service.contains_graph(lineage.child), "patched child must be cached");
+        assert!(service.contains_graph(parent), "parent stays cached too");
+        let child_opt = maximum_matching_cardinality(&g.apply_delta(&delta).unwrap());
+        // Both fingerprints in the chain are solvable; the child's solve
+        // warm-starts from the parent's matching.
+        let child_outcome = service
+            .submit(JobSpec::new(GraphSource::Cached(lineage.child), Algorithm::HopcroftKarp))
+            .wait()
+            .unwrap();
+        assert_eq!(child_outcome.report.cardinality, child_opt);
+        let again = service
+            .submit(JobSpec::new(GraphSource::Cached(parent), Algorithm::PothenFan))
+            .wait()
+            .unwrap();
+        assert_eq!(again.report.cardinality, maximum_matching_cardinality(&g));
+        let stats = service.stats();
+        assert_eq!(stats.patched, 1);
+        assert_eq!(stats.resolved, 1, "the child's solve must have warm-started");
+    }
+
+    #[test]
+    fn patch_graph_rejects_unknown_parents_and_bad_deltas() {
+        let service = Service::builder().workers(1).build();
+        let g = gen::planted_perfect(20, 80, 3).unwrap();
+        let parent = service.put_graph(g);
+        let delta = gpm_graph::GraphDelta::new();
+        assert_eq!(
+            service.patch_graph(0xdead_beef, &delta).unwrap_err(),
+            ServiceError::UnknownGraph { fingerprint: 0xdead_beef }
+        );
+        // Out-of-bounds insert: rejected, parent untouched, nothing counted.
+        let mut bad = gpm_graph::GraphDelta::new();
+        bad.insert_edge(1_000, 0);
+        assert!(matches!(
+            service.patch_graph(parent, &bad).unwrap_err(),
+            ServiceError::BadDelta { .. }
+        ));
+        assert!(service.contains_graph(parent));
+        assert_eq!(service.stats().patched, 0);
+    }
+
+    #[test]
+    fn patch_chains_home_together_and_survive_rebalance() {
+        let service = Service::builder().shards(3).workers(1).build();
+        let g = gen::uniform_random(30, 30, 150, 23).unwrap();
+        let parent = service.put_graph(g.clone());
+        // Grow a chain of patches; every link must home with the root.
+        let mut fingerprints = vec![parent];
+        let mut current = g;
+        for step in 0..4u32 {
+            let mut delta = gpm_graph::GraphDelta::new();
+            let (r, c) = current.edges().nth(step as usize).unwrap();
+            delta.remove_edge(r, c);
+            let lineage = service.patch_graph(*fingerprints.last().unwrap(), &delta).unwrap();
+            current = current.apply_delta(&delta).unwrap();
+            fingerprints.push(lineage.child);
+        }
+        let root_home = service.registry().home_shard(parent).unwrap();
+        for &fp in &fingerprints {
+            assert_eq!(
+                service.registry().home_shard(fp),
+                Some(root_home),
+                "chain member {fp:#x} homed away from its root"
+            );
+            let holder: Vec<usize> = service
+                .registry()
+                .shards
+                .iter()
+                .filter(|s| s.cache.lock().contains(fp))
+                .map(|s| s.id)
+                .collect();
+            assert_eq!(holder, vec![root_home], "chain member {fp:#x} cached off-home");
+        }
+        // Rebalance finds nothing to move: the chain is already home.
+        assert_eq!(service.rebalance().moved, 0);
+        // Drain the home shard: the whole chain re-homes together, and the
+        // newest child still solves (warm state travels via rebalance).
+        service.drain_shard(root_home).unwrap();
+        let new_home = service.registry().home_shard(parent).unwrap();
+        assert_ne!(new_home, root_home);
+        service.rebalance();
+        for &fp in &fingerprints {
+            assert_eq!(service.registry().home_shard(fp), Some(new_home));
+        }
+        let tail = *fingerprints.last().unwrap();
+        let outcome = service
+            .submit(JobSpec::new(GraphSource::Cached(tail), Algorithm::HopcroftKarp))
+            .wait()
+            .unwrap();
+        assert_eq!(outcome.shard, new_home);
+        assert_eq!(outcome.report.cardinality, maximum_matching_cardinality(&current));
+        assert_eq!(service.stats().patched, 4);
     }
 
     // ---- sharded behaviour ------------------------------------------------

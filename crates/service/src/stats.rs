@@ -129,6 +129,12 @@ pub struct ServiceStats {
     /// Jobs that ended with [`crate::ServiceError::DeadlineExceeded`] (also
     /// counted in `failed`).
     pub deadline_exceeded: u64,
+    /// Graphs created by `patch_graph` (a delta applied to a cached parent).
+    pub patched: u64,
+    /// Successful jobs whose matching was warm-started from a recorded
+    /// parent matching + delta instead of the job's init heuristic (counts
+    /// warm attempts that internally fell back to a cold solve too).
+    pub resolved: u64,
     /// Jobs currently waiting in the queue.
     pub queue_depth: usize,
     /// Largest queue depth observed.
@@ -204,6 +210,8 @@ mod tests {
             rejected: 5,
             cancelled: 1,
             deadline_exceeded: 0,
+            patched: 0,
+            resolved: 0,
             queue_depth: 0,
             peak_queue_depth: 3,
             queue_wait: LatencyAgg::default(),

@@ -97,6 +97,34 @@ fn full_protocol_round_trip_over_localhost() {
     assert_eq!(client.cancel_job(job_id).unwrap(), 0, "finished job is no longer cancellable");
     assert_eq!(client.cancel_tag("tcp-test").unwrap(), 0);
 
+    // patch_graph: mutate the cached graph server-side, solve the child by
+    // its new fingerprint, and confirm the resolved counter ticked (the
+    // parent was already solved above, so the child's solve warm-starts).
+    let (r, c) = graph.edges().next().unwrap();
+    let mut delta = gpm_service::GraphDelta::new();
+    delta.remove_edge(r, c);
+    delta.add_cols(1);
+    delta.insert_edge(r, graph.num_cols() as u32);
+    let child = client.patch_graph(fingerprint, &delta).expect("patch_graph");
+    let patched = graph.apply_delta(&delta).unwrap();
+    assert_eq!(child, patched.fingerprint());
+    let child_opt = maximum_matching_cardinality(&patched) as u64;
+    let response =
+        client.solve_cached(child, Algorithm::HopcroftKarp, InitHeuristic::Cheap).unwrap();
+    assert_eq!(
+        response.get("report").unwrap().get("cardinality").and_then(Value::as_u64),
+        Some(child_opt)
+    );
+    assert_eq!(response.get("cache_hit").and_then(Value::as_bool), Some(true));
+    let stats = client.stats().expect("stats after patch");
+    assert_eq!(stats.get("patched").and_then(Value::as_u64), Some(1));
+    assert_eq!(stats.get("resolved").and_then(Value::as_u64), Some(1));
+    // A delta that does not apply is an error; the connection stays up.
+    let mut bad = gpm_service::GraphDelta::new();
+    bad.insert_edge(10_000, 0);
+    let err = client.patch_graph(fingerprint, &bad).unwrap_err();
+    assert!(err.to_string().contains("does not apply"), "{err}");
+
     // An impossible deadline surfaces as a deadline error over the wire.
     let strict = gpm_service::SolveOptions { deadline_ms: Some(0), ..Default::default() };
     let err = other
