@@ -113,8 +113,8 @@ pub fn usage() -> String {
      [--algorithms <spec,...>] [--json <path>]\n\
      algorithm specs: G-PR-First|G-PR-NoShr|G-PR-Shr[@adaptive:<k>|@fix:<k>], \
      G-HK, G-HKDW, PR[@<k>], PFP, HK, HKDW, P-DBFS[@<threads>]\n\
-     GPU specs accept a worklist suffix +dense|+compacted|+queue \
-     (e.g. G-PR-Shr@adaptive:0.7+queue, G-HKDW+queue)"
+     GPU specs accept a worklist suffix +dense|+compacted|+queue|+blocked \
+     (e.g. G-PR-Shr@adaptive:0.7+queue, G-HKDW+blocked)"
         .to_string()
 }
 
@@ -190,7 +190,8 @@ mod tests {
 
     #[test]
     fn parses_worklist_mode_suffixes() {
-        let o = parse(args(&["--algorithms", "G-PR-Shr@adaptive:0.7+queue,G-HKDW+queue"])).unwrap();
+        let o =
+            parse(args(&["--algorithms", "G-PR-Shr@adaptive:0.7+queue,G-HKDW+blocked"])).unwrap();
         let algs = o.algorithms.unwrap();
         assert_eq!(
             algs[0],
@@ -200,7 +201,7 @@ mod tests {
         assert_eq!(
             algs[1],
             gpm_core::solver::Algorithm::ghk(gpm_core::GhkVariant::Hkdw)
-                .with_worklist(gpm_core::WorklistMode::AtomicQueue)
+                .with_worklist(gpm_core::WorklistMode::BlockedQueue)
         );
         // Junk suffixes are rejected with a parse error.
         assert!(parse(args(&["--algorithms", "G-PR-Shr+stack"])).is_err());

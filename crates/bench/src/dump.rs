@@ -5,7 +5,8 @@
 //! * **cells** — the canonical sweep: every Table I family (one
 //!   representative instance each, [`mini_suite`]) × the paper's
 //!   comparison algorithms, with the GPU algorithms expanded over all
-//!   three worklist modes (`dense`, `compacted`, `queue`).  GPU cells
+//!   four worklist modes (`dense`, `compacted`, `queue`, `blocked`).  GPU
+//!   cells
 //!   report *modelled device seconds* — a deterministic function of the
 //!   engine's round/work counters, independent of the host — and are
 //!   marked `pinned: true`: CI diffs them strictly across dumps and fails
@@ -27,7 +28,11 @@
 //!   phase, where the miss happens.
 //!
 //! Produce a dump with `gpm-bench --dump-bench BENCH_<n>.json`; gate a PR
-//! with `gpm-bench --diff BENCH_<a>.json BENCH_<b>.json`.
+//! with `gpm-bench --diff BENCH_<a>.json BENCH_<b>.json`.  By default a
+//! pinned cell of the old dump that is *missing* from the new one is only
+//! warned about (renamed sweeps should not hard-fail a lenient local run);
+//! pass `--require-pinned` — CI does — to make vanished pinned cells fail
+//! the gate.
 
 use crate::runner::{measure, prepare_instance};
 use gpm_core::solver::{self, Algorithm, DevicePolicy, Solver};
@@ -52,8 +57,8 @@ pub struct BenchCell {
     pub family: String,
     /// Round-trippable algorithm spec (without the worklist suffix).
     pub algorithm: String,
-    /// Worklist mode (`dense` / `compacted` / `queue`) or `host` for CPU
-    /// algorithms.
+    /// Worklist mode (`dense` / `compacted` / `queue` / `blocked`) or
+    /// `host` for CPU algorithms.
     pub worklist: String,
     /// Comparable seconds: modelled device time for GPU cells, host
     /// wall-clock for CPU cells.
@@ -155,12 +160,13 @@ pub struct BenchDump {
     pub service: ServiceComparison,
 }
 
-/// The three worklist modes with their wire/cell labels.
-fn worklist_modes() -> [(WorklistMode, &'static str); 3] {
+/// The four worklist modes with their wire/cell labels.
+fn worklist_modes() -> [(WorklistMode, &'static str); 4] {
     [
         (WorklistMode::DenseStamp, "dense"),
         (WorklistMode::Compacted, "compacted"),
         (WorklistMode::AtomicQueue, "queue"),
+        (WorklistMode::BlockedQueue, "blocked"),
     ]
 }
 
@@ -540,8 +546,12 @@ pub struct DiffReport {
     /// `(cell key, old seconds, new seconds)` for cells slower by more
     /// than the allowed factor.
     pub regressions: Vec<(String, f64, f64)>,
-    /// Pinned cells of the old dump missing from the new one.
+    /// Pinned cells of the old dump missing from the new one.  Whether
+    /// these fail the gate is decided by `require_pinned`.
     pub missing: Vec<String>,
+    /// `true` when missing pinned cells fail the gate (CI's
+    /// `--require-pinned`); `false` degrades them to warnings.
+    pub require_pinned: bool,
     /// `(cell key, old seconds, new seconds)` for cells that got faster.
     pub improvements: Vec<(String, f64, f64)>,
     /// Cells that exist only in the newer dump.  Informational — a new cell
@@ -552,9 +562,11 @@ pub struct DiffReport {
 }
 
 impl DiffReport {
-    /// `true` iff the new dump passes the gate.
+    /// `true` iff the new dump passes the gate: no regression, and — under
+    /// `require_pinned` — no pinned cell of the old dump missing from the
+    /// new one.
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty() && self.missing.is_empty()
+        self.regressions.is_empty() && (!self.require_pinned || self.missing.is_empty())
     }
 }
 
@@ -585,13 +597,20 @@ fn pinned_cells(dump: &Value) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
-/// Diffs two parsed dumps: every pinned cell of `old` must exist in `new`
-/// and be no more than `max_regression` (fractional, e.g. `0.15`) slower.
-pub fn diff(old: &Value, new: &Value, max_regression: f64) -> Result<DiffReport, String> {
+/// Diffs two parsed dumps: every pinned cell of `old` present in `new`
+/// must be no more than `max_regression` (fractional, e.g. `0.15`) slower.
+/// With `require_pinned`, a pinned `old` cell absent from `new` also fails
+/// the gate; without it, missing cells are reported but only warn.
+pub fn diff(
+    old: &Value,
+    new: &Value,
+    max_regression: f64,
+    require_pinned: bool,
+) -> Result<DiffReport, String> {
     let old_cells = pinned_cells(old)?;
     let new_cells: std::collections::BTreeMap<String, f64> =
         pinned_cells(new)?.into_iter().collect();
-    let mut report = DiffReport::default();
+    let mut report = DiffReport { require_pinned, ..DiffReport::default() };
     let old_keys: std::collections::BTreeSet<String> =
         old_cells.iter().map(|(key, _)| key.clone()).collect();
     report.new_cells = new_cells.keys().filter(|key| !old_keys.contains(*key)).cloned().collect();
@@ -649,7 +668,7 @@ mod tests {
     fn diff_flags_regressions_missing_cells_and_improvements() {
         let old = dump_with(&[("a", 1.0, true), ("b", 2.0, true), ("c", 9.0, false)]);
         let new = dump_with(&[("a", 1.2, true), ("d", 1.0, true)]);
-        let report = diff(&old, &new, 0.15).unwrap();
+        let report = diff(&old, &new, 0.15, true).unwrap();
         assert_eq!(report.compared, 1);
         assert_eq!(report.regressions.len(), 1, "a regressed 20% > 15%");
         assert_eq!(report.missing.len(), 1, "pinned cell b vanished");
@@ -659,7 +678,7 @@ mod tests {
         assert_eq!(report.new_cells.len(), 1, "cell d is new");
         assert!(report.new_cells[0].starts_with("d /"), "{:?}", report.new_cells);
 
-        let ok = diff(&old, &dump_with(&[("a", 1.1, true), ("b", 1.5, true)]), 0.15).unwrap();
+        let ok = diff(&old, &dump_with(&[("a", 1.1, true), ("b", 1.5, true)]), 0.15, true).unwrap();
         assert_eq!(ok.compared, 2);
         assert!(ok.passed());
         assert_eq!(ok.improvements.len(), 1, "b sped up");
@@ -669,19 +688,37 @@ mod tests {
     }
 
     #[test]
+    fn missing_pinned_cells_fail_only_under_require_pinned() {
+        let old = dump_with(&[("a", 1.0, true), ("b", 2.0, true)]);
+        let new = dump_with(&[("a", 1.0, true)]);
+        // Lenient default: the vanished cell is reported but only warns.
+        let lenient = diff(&old, &new, 0.15, false).unwrap();
+        assert_eq!(lenient.missing.len(), 1);
+        assert!(lenient.passed(), "lenient diff warns on missing cells");
+        // CI's strict mode: the same diff fails.
+        let strict = diff(&old, &new, 0.15, true).unwrap();
+        assert_eq!(strict.missing.len(), 1);
+        assert!(!strict.passed(), "--require-pinned fails on missing cells");
+        // Regressions fail either way.
+        let regressed =
+            diff(&old, &dump_with(&[("a", 2.0, true), ("b", 2.0, true)]), 0.15, false).unwrap();
+        assert!(!regressed.passed());
+    }
+
+    #[test]
     fn diff_rejects_malformed_dumps() {
         let bad: Value = serde_json::from_str("{\"cells\": 3}").unwrap();
-        assert!(diff(&bad, &bad, 0.15).is_err());
+        assert!(diff(&bad, &bad, 0.15, true).is_err());
     }
 
     #[test]
     fn sweep_emits_pinned_gpu_cells_for_every_worklist_mode() {
         let specs = vec![instances::by_name("amazon0505").unwrap()];
         let cells = sweep_cells(&specs, Scale::Tiny);
-        // 2 GPU algorithms × 3 worklist modes + 2 CPU algorithms.
-        assert_eq!(cells.len(), 8);
-        assert_eq!(cells.iter().filter(|c| c.pinned).count(), 6);
-        for mode in ["dense", "compacted", "queue"] {
+        // 2 GPU algorithms × 4 worklist modes + 2 CPU algorithms.
+        assert_eq!(cells.len(), 10);
+        assert_eq!(cells.iter().filter(|c| c.pinned).count(), 8);
+        for mode in ["dense", "compacted", "queue", "blocked"] {
             assert_eq!(cells.iter().filter(|c| c.worklist == mode).count(), 2, "{mode}");
         }
         // The dump round-trips through serde_json and keeps its cell keys.
@@ -691,26 +728,26 @@ mod tests {
         )]))
         .unwrap();
         let parsed: Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(pinned_cells(&parsed).unwrap().len(), 6);
+        assert_eq!(pinned_cells(&parsed).unwrap().len(), 8);
     }
 
     #[test]
     fn delta_sweep_is_deterministic_and_covers_every_fraction_and_mode() {
         let specs = vec![instances::by_name("amazon0505").unwrap()];
         let (cells, comparisons) = sweep_delta(&specs, Scale::Tiny);
-        // 4 churn fractions × 3 worklist modes × {cold, resolve}.
-        assert_eq!(cells.len(), 24);
+        // 4 churn fractions × 4 worklist modes × {cold, resolve}.
+        assert_eq!(cells.len(), 32);
         assert!(cells.iter().all(|c| c.pinned), "delta cells are all pinned");
-        assert_eq!(comparisons.len(), 12);
+        assert_eq!(comparisons.len(), 16);
         for (fraction, label) in DELTA_FRACTIONS {
             assert_eq!(
                 comparisons.iter().filter(|c| c.churn_fraction == fraction).count(),
-                3,
+                4,
                 "{label}"
             );
             assert_eq!(
                 cells.iter().filter(|c| c.instance.ends_with(&format!("+d{label}"))).count(),
-                6,
+                8,
                 "{label}"
             );
         }

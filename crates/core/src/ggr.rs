@@ -29,6 +29,7 @@ const GGR_WORKLIST_KERNELS: WorklistKernels = WorklistKernels {
     compact_count: "G-GR-WL-COMPACT",
     compact_scatter: "G-GR-WL-SCATTER",
     refill: "G-GR-WL-REFILL",
+    stitch: "G-GR-WL-STITCH",
 };
 
 /// Result of one global relabeling pass.
@@ -120,7 +121,7 @@ pub fn global_relabel_with_stop(
                     let mate = state.mu_col.get(v);
                     if mate > MU_UNMATCHED && state.mu_row.get(mate as usize) == v as i64 {
                         state.psi_row.set(mate as usize, c_level + 2);
-                        frontier.push(mate as usize);
+                        frontier.push(ctx, mate as usize);
                     }
                 }
             }

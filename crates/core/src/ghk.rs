@@ -42,6 +42,7 @@ const GHK_WORKLIST_KERNELS: WorklistKernels = WorklistKernels {
     compact_count: "G-HK-WL-COMPACT",
     compact_scatter: "G-HK-WL-SCATTER",
     refill: "G-HK-WL-REFILL",
+    stitch: "G-HK-WL-STITCH",
 };
 
 /// Which GPU augmenting-path baseline to run.
@@ -80,6 +81,9 @@ pub struct GhkRunStats {
     pub augmentations: u64,
     /// Number of tentative paths discarded because of conflicts.
     pub conflicts: u64,
+    /// Total atomic read-modify-write operations charged during this run
+    /// (queue-tail claims plus the executor's chunk-cursor claims).
+    pub atomics: u64,
     /// Device statistics for this run.
     pub device: DeviceStats,
     /// Host wall-clock time, seconds.
@@ -218,7 +222,7 @@ pub fn run_with_mode_stop(
                         let w = mate as usize;
                         if dist_col.get(w) == INF {
                             dist_col.set(w, level + 1);
-                            frontier.push(w);
+                            frontier.push(ctx, w);
                         }
                     }
                 }
@@ -277,6 +281,7 @@ pub fn run_with_mode_stop(
     let matching = state.download_matching();
     let mut run_device = gpu.stats();
     subtract(&mut run_device, &base_stats);
+    stats.atomics = run_device.total_atomics();
     stats.device = run_device;
     stats.seconds = start.elapsed().as_secs_f64();
     GhkResult { matching, stats }
@@ -286,13 +291,18 @@ fn subtract(total: &mut DeviceStats, base: &DeviceStats) {
     for (name, b) in &base.kernels {
         if let Some(t) = total.kernels.get_mut(name) {
             t.launches -= b.launches;
+            t.fused_tails -= b.fused_tails;
             t.total_threads -= b.total_threads;
             t.total_work -= b.total_work;
+            t.total_atomics -= b.total_atomics;
+            t.hot_word_atomics -= b.hot_word_atomics;
             t.modelled_time_ns -= b.modelled_time_ns;
             t.wall_time_ns -= b.wall_time_ns;
         }
     }
-    total.kernels.retain(|_, k| k.launches > 0);
+    // Keep fused-only rows (e.g. a blocked-queue stitch): they launch
+    // nothing but still represent this run's device work.
+    total.kernels.retain(|_, k| k.launches > 0 || k.fused_tails > 0);
 }
 
 /// Runs the DFS kernel: one thread per free column builds a tentative

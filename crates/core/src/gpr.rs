@@ -18,10 +18,12 @@
 //! All kernels are lock- and atomic-free: device words are written with plain
 //! (relaxed) stores, races are benign by the paper's argument, and remaining
 //! matching inconsistencies are repaired by `FIXMATCHING` at the very end.
-//! (The optional [`WorklistMode::AtomicQueue`] representation is the one
-//! exception: it appends to the next active list with an atomic fetch-add,
-//! the worklist-centric design of the GPU BFS literature, and skips the
-//! per-iteration `G-PR-INITKRNL` scan entirely.)
+//! (The optional queue representations are the one exception:
+//! [`WorklistMode::AtomicQueue`] appends to the next active list with an
+//! atomic fetch-add — the worklist-centric design of the GPU BFS
+//! literature — and [`WorklistMode::BlockedQueue`] amortizes that fetch-add
+//! over cache-line-sized slot blocks; both skip the per-iteration
+//! `G-PR-INITKRNL` scan entirely.)
 //!
 //! The active-column machinery itself — the two-array `A_c`/`A_p` scheme,
 //! the `iA` stamps, and the `G-PR-SHRKRNL` compaction — lives in the shared
@@ -45,6 +47,7 @@ const GPR_WORKLIST_KERNELS: WorklistKernels = WorklistKernels {
     compact_count: "G-PR-SHRKRNL_count",
     compact_scatter: "G-PR-SHRKRNL_scatter",
     refill: "G-PR-WL-REFILL",
+    stitch: "G-PR-WL-STITCH",
 };
 
 /// Which G-PR variant to run.
@@ -165,7 +168,8 @@ impl Default for GprConfig {
 pub struct GprRunStats {
     /// Variant label.
     pub variant: &'static str,
-    /// Worklist-representation label (`dense`, `compacted`, `queue`).
+    /// Worklist-representation label (`dense`, `compacted`, `queue`,
+    /// `blocked`).
     pub worklist: &'static str,
     /// GR-strategy label.
     pub strategy: String,
@@ -175,6 +179,10 @@ pub struct GprRunStats {
     pub global_relabels: u64,
     /// Number of shrink (list compaction) passes performed.
     pub shrinks: u64,
+    /// Total atomic read-modify-write operations charged during this run
+    /// (queue-tail claims plus the executor's chunk-cursor claims) — the
+    /// contention the blocked representation exists to amortize.
+    pub atomics: u64,
     /// Device statistics accumulated during this run (kernel launches,
     /// modelled time, wall time).
     pub device: DeviceStats,
@@ -283,6 +291,7 @@ pub fn run_with_stop(
     // reuses one VirtualGpu across runs.
     let mut run_device = gpu.stats();
     subtract_stats(&mut run_device, &base_stats);
+    stats.atomics = run_device.total_atomics();
     stats.device = run_device;
     stats.seconds = start.elapsed().as_secs_f64();
     GprResult { matching, stats }
@@ -294,13 +303,18 @@ fn subtract_stats(total: &mut DeviceStats, base: &DeviceStats) {
     for (name, b) in &base.kernels {
         if let Some(t) = total.kernels.get_mut(name) {
             t.launches -= b.launches;
+            t.fused_tails -= b.fused_tails;
             t.total_threads -= b.total_threads;
             t.total_work -= b.total_work;
+            t.total_atomics -= b.total_atomics;
+            t.hot_word_atomics -= b.hot_word_atomics;
             t.modelled_time_ns -= b.modelled_time_ns;
             t.wall_time_ns -= b.wall_time_ns;
         }
     }
-    total.kernels.retain(|_, k| k.launches > 0);
+    // Fused-only rows (the drained-queue refill, the blocked stitch) never
+    // launch, but they are real work this run did — keep them.
+    total.kernels.retain(|_, k| k.launches > 0 || k.fused_tails > 0);
 }
 
 /// The push-relabel step shared by Algorithm 6 and Algorithm 9: scans `Γ(v)`
@@ -490,15 +504,19 @@ fn run_active_list(
         }
 
         if active_exists {
-            // G-PR-PUSHKRNL (Algorithm 9).
-            worklist.for_each_active("G-PR-PUSHKRNL", |ctx, v, view| {
-                match push_relabel_step(graph, state, ctx, v, Some(view)) {
+            // G-PR-PUSHKRNL (Algorithm 9), with the drained-queue refill
+            // fused into the kernel tail: a queue round that ends empty
+            // re-scans by predicate without paying another launch.
+            worklist.for_each_active_refill(
+                "G-PR-PUSHKRNL",
+                |ctx, v, view| match push_relabel_step(graph, state, ctx, v, Some(view)) {
                     PushOutcome::Pushed(Some(displaced)) => SlotAction::Push(displaced as usize),
                     PushOutcome::Pushed(None) => SlotAction::Finish,
                     PushOutcome::Unmatchable => SlotAction::Retire,
                     PushOutcome::Deferred => SlotAction::Defer,
-                }
-            });
+                },
+                is_active,
+            );
             worklist.end_round();
         }
         loop_iter += 1;
@@ -730,20 +748,24 @@ mod tests {
 
     #[test]
     fn queue_worklist_skips_the_init_kernel() {
-        let gpu = VirtualGpu::sequential();
-        let g = gen::rmat(gen::RmatParams::web_like(9, 4), 17).unwrap();
-        let init = cheap_matching(&g);
-        let config =
-            GprConfig::with_variant(GprVariant::Shrink).with_worklist(WorklistMode::AtomicQueue);
-        let r = run(&gpu, &g, &init, config);
-        assert_eq!(r.matching.cardinality(), maximum_matching_cardinality(&g));
-        // No per-iteration scan of any kind: neither INITKRNL nor the shrink
-        // kernels ever launch; the only rebuilds are the drained-queue
-        // termination checks.
-        assert_eq!(r.stats.device.launches_of("G-PR-INITKRNL"), 0);
-        assert_eq!(r.stats.device.launches_of("G-PR-SHRKRNL_count"), 0);
-        assert!(r.stats.device.launches_of("G-PR-WL-REFILL") >= 1);
-        assert_eq!(r.stats.shrinks, 0);
+        for mode in [WorklistMode::AtomicQueue, WorklistMode::BlockedQueue] {
+            let gpu = VirtualGpu::sequential();
+            let g = gen::rmat(gen::RmatParams::web_like(9, 4), 17).unwrap();
+            let init = cheap_matching(&g);
+            let config = GprConfig::with_variant(GprVariant::Shrink).with_worklist(mode);
+            let r = run(&gpu, &g, &init, config);
+            assert_eq!(r.matching.cardinality(), maximum_matching_cardinality(&g), "{mode}");
+            // No per-iteration scan of any kind: neither INITKRNL nor the
+            // shrink kernels ever launch, and the drained-queue termination
+            // checks run fused into the push kernel's tail — zero refill
+            // launches, only fused tails.
+            assert_eq!(r.stats.device.launches_of("G-PR-INITKRNL"), 0, "{mode}");
+            assert_eq!(r.stats.device.launches_of("G-PR-SHRKRNL_count"), 0, "{mode}");
+            assert_eq!(r.stats.device.launches_of("G-PR-WL-REFILL"), 0, "{mode}");
+            assert!(r.stats.device.fused_tails_of("G-PR-WL-REFILL") >= 1, "{mode}");
+            assert_eq!(r.stats.shrinks, 0, "{mode}");
+            assert!(r.stats.atomics > 0, "{mode}: queue pushes must charge atomics");
+        }
     }
 
     #[test]

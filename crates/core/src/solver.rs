@@ -191,8 +191,9 @@ impl Hash for Algorithm {
 
 /// Round-trippable label: `G-PR-Shr@adaptive:0.7`, `G-HKDW`, `PR@0.5`,
 /// `P-DBFS@8`, `PFP`, `HK`, `HKDW`.  GPU algorithms append `+dense`,
-/// `+compacted`, or `+queue` when the worklist representation differs from
-/// the variant's default (e.g. `G-PR-Shr@adaptive:0.7+queue`, `G-HK+queue`).
+/// `+compacted`, `+queue`, or `+blocked` when the worklist representation
+/// differs from the variant's default (e.g. `G-PR-Shr@adaptive:0.7+queue`,
+/// `G-HK+blocked`).
 impl fmt::Display for Algorithm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -222,7 +223,8 @@ impl fmt::Display for Algorithm {
 /// Parses the labels produced by [`fmt::Display`].  Parameters may be
 /// omitted, in which case the paper's defaults apply: `G-PR-Shr` ≡
 /// `G-PR-Shr@adaptive:0.7`, `PR` ≡ `PR@0.5`, `P-DBFS` ≡ `P-DBFS@8`.  GPU
-/// algorithms accept a trailing `+dense` / `+compacted` / `+queue` worklist
+/// algorithms accept a trailing `+dense` / `+compacted` / `+queue` /
+/// `+blocked` worklist
 /// suffix (default: the variant's paper representation).
 impl FromStr for Algorithm {
     type Err = ParseAlgorithmError;

@@ -20,7 +20,7 @@ use proptest::prelude::*;
 /// parameters, including every worklist representation of the GPU families
 /// (so the `+mode` label suffix is exercised by the round-trip property).
 fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
-    (0usize..10, 1u32..100, 1u32..40, 1usize..16, 0usize..3).prop_map(
+    (0usize..10, 1u32..100, 1u32..40, 1usize..16, 0usize..4).prop_map(
         |(which, fix_k, tenths, threads, mode)| {
             let adaptive = GrStrategy::Adaptive(f64::from(tenths) / 10.0);
             let mode = WorklistMode::all()[mode];
@@ -248,6 +248,14 @@ fn worklist_labels_parse_and_reject_junk() {
     assert_eq!(
         "G-HK+queue".parse::<Algorithm>().unwrap(),
         Algorithm::ghk(GhkVariant::Hk).with_worklist(WorklistMode::AtomicQueue)
+    );
+    assert_eq!(
+        "G-HK+blocked".parse::<Algorithm>().unwrap(),
+        Algorithm::ghk(GhkVariant::Hk).with_worklist(WorklistMode::BlockedQueue)
+    );
+    assert_eq!(
+        "G-PR-Shr@adaptive:0.7+blocked".parse::<Algorithm>().unwrap(),
+        Algorithm::gpr_default().with_worklist(WorklistMode::BlockedQueue)
     );
     // A default-mode suffix parses to the same algorithm as no suffix.
     assert_eq!(

@@ -170,12 +170,27 @@ impl DeviceBuffer<u64> {
     /// This is the one read-modify-write operation the crate exposes.  The
     /// paper's matching kernels never use it (their races are benign by
     /// construction); it exists for the worklist subsystem's
-    /// [`AtomicQueue`](crate::worklist::WorklistMode::AtomicQueue)
-    /// representation, whose device-side appends mirror the atomic-append
+    /// [`AtomicQueue`](crate::worklist::WorklistMode::AtomicQueue) and
+    /// [`BlockedQueue`](crate::worklist::WorklistMode::BlockedQueue)
+    /// representations, whose device-side appends mirror the atomic-append
     /// frontier queues of the GPU BFS literature.
+    ///
+    /// RMW traffic is what the device cost model charges contention for:
+    /// kernels that call this should report it through
+    /// [`crate::ThreadCtx::add_atomic`] with [`DeviceBuffer::word_id`] of
+    /// the touched word, so same-word serialization shows up in the
+    /// modelled launch time.
     #[inline]
     pub fn fetch_add(&self, i: usize, delta: u64) -> u64 {
         self.cells[i].fetch_add(delta, Ordering::Relaxed)
+    }
+
+    /// A stable identifier of word `i` for contention accounting
+    /// ([`crate::ThreadCtx::add_atomic`]).  Distinct live words always get
+    /// distinct ids; the value itself is meaningless beyond equality.
+    #[inline]
+    pub fn word_id(&self, i: usize) -> u64 {
+        &self.cells[i] as *const _ as u64
     }
 }
 

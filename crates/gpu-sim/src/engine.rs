@@ -157,11 +157,26 @@ pub struct ThreadCtx {
     /// Total number of logical threads in the launch.
     pub grid_size: usize,
     work: Cell<u64>,
+    atomics: Cell<u64>,
+    /// Per-word RMW counts, `(word_id, count)`.  A kernel thread touches at
+    /// most a couple of contended words (a queue tail, an overflow flag), so
+    /// a tiny inline array beats any map; counts beyond the last slot are
+    /// still in `atomics` but lose their word attribution.
+    atomic_words: Cell<[(u64, u64); ThreadCtx::ATOMIC_WORD_SLOTS]>,
 }
 
 impl ThreadCtx {
+    /// Distinct contended words tracked per thread.
+    const ATOMIC_WORD_SLOTS: usize = 4;
+
     pub(crate) fn new(global_id: usize, grid_size: usize) -> Self {
-        Self { global_id, grid_size, work: Cell::new(0) }
+        Self {
+            global_id,
+            grid_size,
+            work: Cell::new(0),
+            atomics: Cell::new(0),
+            atomic_words: Cell::new([(0, 0); Self::ATOMIC_WORD_SLOTS]),
+        }
     }
 
     /// Reports `units` of memory work (one unit ≈ one adjacency entry /
@@ -177,6 +192,34 @@ impl ThreadCtx {
     pub fn work(&self) -> u64 {
         self.work.get()
     }
+
+    /// Reports one atomic read-modify-write on the given word (see
+    /// [`crate::DeviceBuffer::word_id`]).  The launch folds these into a
+    /// total RMW count and a per-word histogram; the cost model charges
+    /// throughput for every RMW and serialization for RMWs that pile onto a
+    /// single word.  Like [`ThreadCtx::add_work`], purely observational.
+    #[inline]
+    pub fn add_atomic(&self, word: u64) {
+        self.atomics.set(self.atomics.get() + 1);
+        let mut words = self.atomic_words.get();
+        for slot in words.iter_mut() {
+            if slot.1 == 0 {
+                *slot = (word, 1);
+                break;
+            }
+            if slot.0 == word {
+                slot.1 += 1;
+                break;
+            }
+        }
+        self.atomic_words.set(words);
+    }
+
+    /// Atomics reported so far by this thread.
+    #[inline]
+    pub fn atomics(&self) -> u64 {
+        self.atomics.get()
+    }
 }
 
 /// Outcome of a single kernel launch.
@@ -188,10 +231,69 @@ pub struct LaunchRecord {
     pub work: u64,
     /// Maximum work reported by a single thread (divergence indicator).
     pub max_thread_work: u64,
+    /// Total atomic RMW operations, kernel-reported plus the executor's
+    /// modelled chunk-cursor claims.
+    pub atomics: u64,
+    /// RMWs on the single most contended word of the launch.
+    pub hot_word_atomics: u64,
     /// Modelled device time of the launch, nanoseconds.
     pub modelled_time_ns: f64,
     /// Host wall-clock time of the launch, nanoseconds.
     pub wall_time_ns: f64,
+}
+
+/// Work and atomic counters aggregated over the threads of one launch.
+/// Workers fold thread counters in locally and merge once per worker, so
+/// the only cross-thread traffic on the hot path is the final merge.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct LaunchTotals {
+    /// Sum of per-thread work units.
+    pub(crate) work: u64,
+    /// Maximum single-thread work.
+    pub(crate) max_thread_work: u64,
+    /// Total RMW operations reported by kernel threads.
+    pub(crate) atomics: u64,
+    /// Per-word RMW counts, `(word_id, count)`.  A launch touches at most a
+    /// handful of contended words, so linear search is the fast path.
+    pub(crate) atomic_words: Vec<(u64, u64)>,
+}
+
+impl LaunchTotals {
+    /// Folds one finished thread's counters in.
+    pub(crate) fn absorb_thread(&mut self, ctx: &ThreadCtx) {
+        let work = ctx.work();
+        self.work += work;
+        self.max_thread_work = self.max_thread_work.max(work);
+        self.atomics += ctx.atomics.get();
+        for (word, count) in ctx.atomic_words.get() {
+            if count > 0 {
+                self.add_word(word, count);
+            }
+        }
+    }
+
+    /// Folds another worker's totals in.
+    pub(crate) fn merge(&mut self, other: &LaunchTotals) {
+        self.work += other.work;
+        self.max_thread_work = self.max_thread_work.max(other.max_thread_work);
+        self.atomics += other.atomics;
+        for &(word, count) in &other.atomic_words {
+            self.add_word(word, count);
+        }
+    }
+
+    fn add_word(&mut self, word: u64, count: u64) {
+        if let Some(entry) = self.atomic_words.iter_mut().find(|(w, _)| *w == word) {
+            entry.1 += count;
+        } else {
+            self.atomic_words.push((word, count));
+        }
+    }
+
+    /// RMW count on the launch's most contended word.
+    pub(crate) fn hot_word_atomics(&self) -> u64 {
+        self.atomic_words.iter().map(|&(_, count)| count).max().unwrap_or(0)
+    }
 }
 
 /// One launch's raw statistics, queued off the hot path and merged into the
@@ -201,8 +303,13 @@ struct LaunchEvent {
     name: &'static str,
     threads: usize,
     work: u64,
+    atomics: u64,
+    hot_word_atomics: u64,
     modelled_time_ns: f64,
     wall_time_ns: f64,
+    /// `true` for work fused into the tail of the preceding launch: charged
+    /// to the same kernel without counting as a launch of its own.
+    fused: bool,
 }
 
 /// Pending launch events plus the merged per-kernel aggregate.  `record` is
@@ -228,13 +335,27 @@ impl StatsAccum {
 
     fn flush(&mut self) {
         for event in self.pending.drain(..) {
-            self.merged.record(
-                event.name,
-                event.threads,
-                event.work,
-                event.modelled_time_ns,
-                event.wall_time_ns,
-            );
+            if event.fused {
+                self.merged.record_fused(
+                    event.name,
+                    event.threads,
+                    event.work,
+                    event.atomics,
+                    event.hot_word_atomics,
+                    event.modelled_time_ns,
+                    event.wall_time_ns,
+                );
+            } else {
+                self.merged.record(
+                    event.name,
+                    event.threads,
+                    event.work,
+                    event.atomics,
+                    event.hot_word_atomics,
+                    event.modelled_time_ns,
+                    event.wall_time_ns,
+                );
+            }
         }
     }
 
@@ -333,30 +454,97 @@ impl VirtualGpu {
     where
         F: Fn(&ThreadCtx) + Sync,
     {
+        self.launch_inner(name, grid, &kernel, false)
+    }
+
+    /// Launches a kernel as the **fused tail** of the immediately preceding
+    /// launch of the same `name`: the threads run exactly like
+    /// [`VirtualGpu::launch`], but the modelled cost omits the per-launch
+    /// overhead and the statistics fold the work into the preceding kernel's
+    /// row without counting a new launch (only
+    /// [`crate::KernelStats::fused_tails`] is bumped).
+    ///
+    /// This models the CUDA last-block-done idiom: the final thread block of
+    /// a kernel detects a condition (e.g. "the append queue stayed empty")
+    /// and performs an epilogue sweep inside the same kernel, so no second
+    /// launch and no second 7 µs of driver latency exist on the device.
+    pub fn launch_fused<F>(&self, name: &'static str, grid: usize, kernel: F) -> LaunchRecord
+    where
+        F: Fn(&ThreadCtx) + Sync,
+    {
+        self.launch_inner(name, grid, &kernel, true)
+    }
+
+    fn launch_inner(
+        &self,
+        name: &'static str,
+        grid: usize,
+        kernel: &(dyn Fn(&ThreadCtx) + Sync),
+        fused: bool,
+    ) -> LaunchRecord {
         let start = std::time::Instant::now();
         let executor = self.config.executor;
-        let (work, max_thread_work) = match self.config.backend {
-            Backend::Sequential => run_range(0, grid, grid, &kernel),
+        let mut pooled_workers = 0;
+        let totals = match self.config.backend {
+            Backend::Sequential => run_range(0, grid, grid, kernel),
             Backend::Parallel { workers } => {
                 if grid < executor.parallel_threshold || workers <= 1 {
-                    run_range(0, grid, grid, &kernel)
+                    run_range(0, grid, grid, kernel)
                 } else if executor.per_launch_spawn {
-                    run_scoped(grid, workers, &kernel)
+                    run_scoped(grid, workers, kernel)
                 } else {
-                    self.pool(workers).run(grid, executor.chunk_size, &kernel)
+                    pooled_workers = workers;
+                    self.pool(workers).run(grid, executor.chunk_size, kernel)
                 }
             }
         };
+        // The executor's chunk cursor is itself a contended RMW word: every
+        // pooled chunk claim is one fetch_add.  Charge it through the same
+        // model, deterministically (the claim count is a function of the
+        // grid and the effective chunk, not of scheduling).  Inline and
+        // sequential paths have no cursor, so they charge nothing and the
+        // deterministic bench cells stay structurally unchanged.
+        let cursor_claims = if pooled_workers > 0 {
+            grid.div_ceil(crate::exec::effective_chunk(executor.chunk_size, grid, pooled_workers))
+                as u64
+        } else {
+            0
+        };
+        let atomics = totals.atomics + cursor_claims;
+        // The cursor lives on its own cache line, away from any kernel word,
+        // so it competes for "hottest word" only with its own claim count.
+        let hot_word_atomics = totals.hot_word_atomics().max(cursor_claims);
         let wall_time_ns = start.elapsed().as_nanos() as f64;
-        let modelled_time_ns = self.config.perf.launch_cost_ns(grid, work, max_thread_work);
-        let record =
-            LaunchRecord { threads: grid, work, max_thread_work, modelled_time_ns, wall_time_ns };
+        let mut modelled_time_ns = self.config.perf.launch_cost_with_atomics_ns(
+            grid,
+            totals.work,
+            totals.max_thread_work,
+            atomics,
+            hot_word_atomics,
+        );
+        if fused {
+            // A fused tail rides the previous launch: no driver round-trip.
+            modelled_time_ns =
+                (modelled_time_ns - self.config.perf.kernel_launch_overhead_ns).max(0.0);
+        }
+        let record = LaunchRecord {
+            threads: grid,
+            work: totals.work,
+            max_thread_work: totals.max_thread_work,
+            atomics,
+            hot_word_atomics,
+            modelled_time_ns,
+            wall_time_ns,
+        };
         self.stats.lock().record(LaunchEvent {
             name,
             threads: grid,
-            work,
+            work: totals.work,
+            atomics,
+            hot_word_atomics,
             modelled_time_ns,
             wall_time_ns,
+            fused,
         });
         record
     }
@@ -378,33 +566,27 @@ impl VirtualGpu {
 }
 
 /// Runs logical threads `start..end` of a `grid`-sized launch inline,
-/// returning `(total_work, max_thread_work)`.
-fn run_range<F>(start: usize, end: usize, grid: usize, kernel: &F) -> (u64, u64)
+/// returning the aggregated [`LaunchTotals`].
+fn run_range<F>(start: usize, end: usize, grid: usize, kernel: &F) -> LaunchTotals
 where
-    F: Fn(&ThreadCtx) + Sync,
+    F: Fn(&ThreadCtx) + Sync + ?Sized,
 {
-    let mut total = 0u64;
-    let mut max = 0u64;
+    let mut totals = LaunchTotals::default();
     for id in start..end {
         let ctx = ThreadCtx::new(id, grid);
         kernel(&ctx);
-        let w = ctx.work();
-        total += w;
-        max = max.max(w);
+        totals.absorb_thread(&ctx);
     }
-    (total, max)
+    totals
 }
 
 /// The legacy execution strategy: spawn `workers` scoped threads over static
 /// equal partitions and join them, once per launch.  Kept behind
 /// [`ExecutorConfig::per_launch_spawn`] as the benchmark baseline the
 /// persistent pool is measured against.
-fn run_scoped<F>(grid: usize, workers: usize, kernel: &F) -> (u64, u64)
-where
-    F: Fn(&ThreadCtx) + Sync,
-{
+fn run_scoped(grid: usize, workers: usize, kernel: &(dyn Fn(&ThreadCtx) + Sync)) -> LaunchTotals {
     let chunk = grid.div_ceil(workers);
-    let mut results: Vec<(u64, u64)> = Vec::with_capacity(workers);
+    let mut results: Vec<LaunchTotals> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
@@ -430,7 +612,11 @@ where
             std::panic::resume_unwind(payload);
         }
     });
-    results.iter().fold((0, 0), |(t, m), &(w, mw)| (t + w, m.max(mw)))
+    let mut totals = LaunchTotals::default();
+    for result in &results {
+        totals.merge(result);
+    }
+    totals
 }
 
 impl std::fmt::Debug for VirtualGpu {
@@ -560,6 +746,64 @@ mod tests {
         assert_eq!(s.launches_of("flush_me"), launches as u64);
         assert_eq!(s.kernels["flush_me"].total_work, 3 * launches as u64);
         assert_eq!(gpu.stats().launches_of("flush_me"), launches as u64);
+    }
+
+    #[test]
+    fn atomic_accounting_separates_hot_word_from_total() {
+        let gpu = VirtualGpu::sequential();
+        let tail = DeviceBuffer::<u64>::new(1, 0);
+        let spread = DeviceBuffer::<u64>::new(64, 0);
+        let rec = gpu.launch("atomics", 64, |ctx| {
+            tail.fetch_add(0, 1);
+            ctx.add_atomic(tail.word_id(0));
+            spread.fetch_add(ctx.global_id, 1);
+            ctx.add_atomic(spread.word_id(ctx.global_id));
+        });
+        // Sequential backend: no executor cursor, so the counts are exactly
+        // what the kernel reported.
+        assert_eq!(rec.atomics, 128);
+        assert_eq!(rec.hot_word_atomics, 64);
+        let s = gpu.stats();
+        assert_eq!(s.kernels["atomics"].total_atomics, 128);
+        assert_eq!(s.kernels["atomics"].hot_word_atomics, 64);
+        // And the model charged for them.
+        let base = gpu.config().perf.launch_cost_ns(64, 0, 0);
+        assert!(rec.modelled_time_ns > base);
+    }
+
+    #[test]
+    fn pooled_launches_charge_the_chunk_cursor() {
+        let workers = 4;
+        let chunk = 64;
+        let grid = 10_000;
+        let gpu = pooled(workers, 8, chunk);
+        let rec = gpu.launch("cursor", grid, |_ctx| {});
+        let claims = grid.div_ceil(crate::exec::effective_chunk(chunk, grid, workers)) as u64;
+        assert!(claims > 0);
+        assert_eq!(rec.atomics, claims);
+        assert_eq!(rec.hot_word_atomics, claims);
+        // The sequential device charges nothing for the cursor it does not
+        // have, keeping deterministic runs structurally unchanged.
+        let seq = VirtualGpu::sequential().launch("cursor", grid, |_ctx| {});
+        assert_eq!(seq.atomics, 0);
+    }
+
+    #[test]
+    fn fused_launch_skips_launch_overhead_and_launch_count() {
+        let gpu = VirtualGpu::sequential();
+        let normal = gpu.launch("tail", 1000, |ctx| ctx.add_work(1));
+        let fused = gpu.launch_fused("tail", 1000, |ctx| ctx.add_work(1));
+        let overhead = gpu.config().perf.kernel_launch_overhead_ns;
+        assert!((normal.modelled_time_ns - fused.modelled_time_ns - overhead).abs() < 1e-6);
+        let s = gpu.stats();
+        assert_eq!(s.launches_of("tail"), 1);
+        assert_eq!(s.fused_tails_of("tail"), 1);
+        assert_eq!(s.kernels["tail"].total_threads, 2000);
+        assert_eq!(s.kernels["tail"].total_work, 2000);
+        // A fused tail cheaper than the overhead clamps at zero rather than
+        // crediting time back.
+        let tiny = gpu.launch_fused("tiny", 0, |_ctx| {});
+        assert_eq!(tiny.modelled_time_ns, 0.0);
     }
 
     #[test]

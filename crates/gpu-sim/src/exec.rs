@@ -41,12 +41,36 @@
 
 #![allow(unsafe_code)]
 
-use crate::engine::ThreadCtx;
+use crate::engine::{LaunchTotals, ThreadCtx};
+use crate::primitives::QUEUE_BLOCK;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+
+/// The per-launch chunk size the pool actually schedules with.
+///
+/// Two constraints on top of the configured [`chunk_size`]:
+///
+/// * every worker participating in the launch barrier should get a share of
+///   mid-sized grids, so the chunk is capped at `grid / workers` (rounded
+///   up);
+/// * chunks are aligned up to a multiple of [`QUEUE_BLOCK`] (one modelled
+///   cache line) so a worker's chunk of grid indices and the queue-slot
+///   blocks it claims tile the same granularity — in the cost model, an
+///   executor chunk boundary never splits a blocked queue segment across
+///   two workers' cache lines (no modelled false sharing between the chunk
+///   cursor's claims and blocked appends).
+///
+/// Shared by [`WorkerPool::run`] and the engine's deterministic
+/// chunk-cursor cost accounting, which must agree on the claim count.
+///
+/// [`chunk_size`]: crate::ExecutorConfig::chunk_size
+pub(crate) fn effective_chunk(chunk: usize, grid: usize, workers: usize) -> usize {
+    let chunk = chunk.max(1).min(grid.div_ceil(workers.max(1)).max(1));
+    chunk.div_ceil(QUEUE_BLOCK) * QUEUE_BLOCK
+}
 
 /// Locks a `std::sync` mutex, ignoring poison: a kernel panic is contained
 /// by `catch_unwind` and re-raised on the launcher, so a poisoned lock only
@@ -90,10 +114,8 @@ struct LaunchBody {
     chunk: usize,
     /// Next unclaimed grid index.
     cursor: AtomicUsize,
-    /// Sum of per-thread work units (folded in once per worker).
-    total_work: AtomicU64,
-    /// Maximum single-thread work (folded in once per worker).
-    max_work: AtomicU64,
+    /// Work and atomic counters, folded in once per worker at launch end.
+    totals: Mutex<LaunchTotals>,
     /// Set by the first panicking worker; stops further chunk claims.
     poisoned: AtomicBool,
     /// The first panic payload, re-raised on the launcher after the barrier.
@@ -174,7 +196,7 @@ impl WorkerPool {
 
     /// Runs one launch over the pool and blocks until every worker reached
     /// the end-of-launch barrier (the implicit device-wide barrier of a CUDA
-    /// launch).  Returns `(total_work, max_thread_work)`.
+    /// launch).  Returns the launch's aggregated [`LaunchTotals`].
     ///
     /// Re-raises the payload of the first panicking kernel thread, after the
     /// barrier, leaving the pool intact for the next launch.
@@ -183,20 +205,18 @@ impl WorkerPool {
         grid: usize,
         chunk: usize,
         kernel: &(dyn Fn(&ThreadCtx) + Sync),
-    ) -> (u64, u64) {
+    ) -> LaunchTotals {
         let _gate = lock(&self.gate);
         // Every worker participates in the barrier (that is what makes the
-        // erased kernel pointer sound), so clamp the chunk to hand each
-        // woken worker at least one chunk when the grid allows it instead of
-        // letting a few workers claim everything while the rest wake for
-        // nothing.
-        let chunk = chunk.max(1).min(grid.div_ceil(self.workers).max(1));
+        // erased kernel pointer sound); `effective_chunk` hands each woken
+        // worker a share of mid-sized grids and keeps chunks aligned to the
+        // modelled cache line.
+        let chunk = effective_chunk(chunk, grid, self.workers);
         let body = Arc::new(LaunchBody {
             grid,
             chunk,
             cursor: AtomicUsize::new(0),
-            total_work: AtomicU64::new(0),
-            max_work: AtomicU64::new(0),
+            totals: Mutex::new(LaunchTotals::default()),
             poisoned: AtomicBool::new(false),
             panic: Mutex::new(None),
         });
@@ -221,7 +241,8 @@ impl WorkerPool {
                 lock(&body.panic).take().unwrap_or_else(|| Box::new("virtual GPU kernel panicked"));
             resume_unwind(payload);
         }
-        (body.total_work.load(Ordering::Relaxed), body.max_work.load(Ordering::Relaxed))
+        let totals = std::mem::take(&mut *lock(&body.totals));
+        totals
     }
 }
 
@@ -275,8 +296,7 @@ fn run_chunks(job: &Job) {
     let kernel = unsafe { &*job.kernel.0 };
     let body = &*job.body;
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let mut total = 0u64;
-        let mut max = 0u64;
+        let mut totals = LaunchTotals::default();
         while !body.poisoned.load(Ordering::Relaxed) {
             let start = body.cursor.fetch_add(body.chunk, Ordering::Relaxed);
             if start >= body.grid {
@@ -286,17 +306,14 @@ fn run_chunks(job: &Job) {
             for id in start..end {
                 let ctx = ThreadCtx::new(id, body.grid);
                 kernel(&ctx);
-                let work = ctx.work();
-                total += work;
-                max = max.max(work);
+                totals.absorb_thread(&ctx);
             }
         }
-        (total, max)
+        totals
     }));
     match outcome {
-        Ok((total, max)) => {
-            body.total_work.fetch_add(total, Ordering::Relaxed);
-            body.max_work.fetch_max(max, Ordering::Relaxed);
+        Ok(totals) => {
+            lock(&body.totals).merge(&totals);
         }
         Err(payload) => {
             body.poisoned.store(true, Ordering::Relaxed);
@@ -330,9 +347,46 @@ mod tests {
     fn work_counters_aggregate_across_workers() {
         let pool = WorkerPool::spawn_tagged(4, 0);
         let kernel = |ctx: &ThreadCtx| ctx.add_work(ctx.global_id as u64);
-        let (total, max) = pool.run(1000, 16, &kernel);
-        assert_eq!(total, (0..1000u64).sum());
-        assert_eq!(max, 999);
+        let totals = pool.run(1000, 16, &kernel);
+        assert_eq!(totals.work, (0..1000u64).sum());
+        assert_eq!(totals.max_thread_work, 999);
+    }
+
+    #[test]
+    fn atomic_counters_aggregate_per_word_across_workers() {
+        let pool = WorkerPool::spawn_tagged(3, 0);
+        let hot = DeviceBuffer::<u64>::new(1, 0);
+        let spread = DeviceBuffer::<u64>::new(1000, 0);
+        let kernel = |ctx: &ThreadCtx| {
+            // Every thread hits the shared word; even threads also hit a
+            // private word, so the totals must separate "all RMWs" from
+            // "RMWs on the hottest word".
+            hot.fetch_add(0, 1);
+            ctx.add_atomic(hot.word_id(0));
+            if ctx.global_id.is_multiple_of(2) {
+                spread.fetch_add(ctx.global_id, 1);
+                ctx.add_atomic(spread.word_id(ctx.global_id));
+            }
+        };
+        let totals = pool.run(1000, 16, &kernel);
+        assert_eq!(totals.atomics, 1500);
+        assert_eq!(totals.hot_word_atomics(), 1000);
+    }
+
+    #[test]
+    fn effective_chunk_is_cache_line_aligned_and_capped() {
+        // Alignment: every effective chunk is a whole number of modelled
+        // cache lines, so executor chunks and blocked queue segments never
+        // share a line.
+        for (chunk, grid, workers) in [(1, 10_007, 3), (7, 64, 2), (1024, 100_000, 4)] {
+            let eff = effective_chunk(chunk, grid, workers);
+            assert_eq!(eff % QUEUE_BLOCK, 0, "chunk {chunk} grid {grid} workers {workers}");
+            assert!(eff >= 1);
+        }
+        // The per-worker cap still engages before alignment.
+        assert_eq!(effective_chunk(1024, 64, 4), QUEUE_BLOCK * 2);
+        // Degenerate inputs stay sane.
+        assert_eq!(effective_chunk(0, 0, 0), QUEUE_BLOCK);
     }
 
     #[test]
@@ -370,6 +424,8 @@ mod tests {
     fn zero_grid_run_returns_immediately() {
         let pool = WorkerPool::spawn_tagged(2, 0);
         let kernel = |_ctx: &ThreadCtx| panic!("no threads should run");
-        assert_eq!(pool.run(0, 8, &kernel), (0, 0));
+        let totals = pool.run(0, 8, &kernel);
+        assert_eq!(totals.work, 0);
+        assert_eq!(totals.atomics, 0);
     }
 }

@@ -30,10 +30,12 @@
 //!    *benign races* without undefined behaviour.  No read-modify-write
 //!    operation is ever used by the matching kernels.)
 //! 3. **A calibrated cost model.** Each launch is charged launch overhead,
-//!    warp issue cost, and per-work-item memory cost
-//!    ([`perfmodel::PerfModel`]), so that *modelled device time* can be
-//!    compared across algorithms the same way the paper compares wall-clock
-//!    seconds on the C2050.  Wall-clock host time is recorded as well, and
+//!    warp issue cost, per-work-item memory cost, and — for the kernels
+//!    that do use read-modify-writes, like the queue append — a per-atomic
+//!    throughput cost plus a serialization surcharge on the launch's most
+//!    contended word ([`perfmodel::PerfModel`]), so that *modelled device
+//!    time* can be compared across algorithms the same way the paper
+//!    compares wall-clock seconds on the C2050.  Wall-clock host time is recorded as well, and
 //!    per-kernel statistics are queued off the launch hot path and merged
 //!    only when [`VirtualGpu::stats`] snapshots them.
 //!
@@ -47,10 +49,12 @@
 //!
 //! On top of the primitives sits the [`worklist`] module: a [`Worklist`]
 //! type that owns the *active set* every frontier-driven engine iterates,
-//! behind three interchangeable [`WorklistMode`] representations —
-//! dense stamp scans, `G-PR-SHRKRNL`-style compaction, and a device-side
-//! atomic-append queue.  See that module's docs for the round protocols and
-//! the AtomicQueue memory model under the pooled executor.
+//! behind four interchangeable [`WorklistMode`] representations —
+//! dense stamp scans, `G-PR-SHRKRNL`-style compaction, a device-side
+//! atomic-append queue, and a blocked-claim variant of that queue that
+//! amortizes the contended tail `fetch_add` over cache-line-sized slot
+//! blocks.  See that module's docs for the round protocols and the queue
+//! memory model under the pooled executor.
 //!
 //! Executor tuning (inline threshold, chunk size, the legacy spawn flag)
 //! lives in [`ExecutorConfig`] and is plumbed upward through `gpm-core`'s

@@ -11,6 +11,8 @@
 //! launch_cost = kernel_launch_overhead
 //!             + ceil(threads / (num_sms × warp_size)) × warp_round_cost
 //!             + work_items × memory_cost × divergence_penalty
+//!             + atomics × atomic_cost
+//!             + hot_word_atomics × hot_word_serialization_cost
 //! ```
 //!
 //! * `threads` is the grid size of the launch;
@@ -18,7 +20,17 @@
 //!   [`crate::ThreadCtx::add_work`] — the matching kernels report one unit
 //!   per adjacency-list entry they touch, i.e. per memory transaction;
 //! * `divergence_penalty` grows with the imbalance between the average and
-//!   maximum per-thread work of the launch, modelling SIMT divergence.
+//!   maximum per-thread work of the launch, modelling SIMT divergence;
+//! * `atomics` is the total number of read-modify-write operations the
+//!   launch reported through [`crate::ThreadCtx::add_atomic`] — a
+//!   throughput term: every atomic occupies an L2 slot whether or not it
+//!   contends;
+//! * `hot_word_atomics` is the largest number of those RMWs that landed on
+//!   a *single* word.  Fermi's L2 serializes same-address atomics, so a
+//!   kernel that funnels every append through one queue-tail word pays this
+//!   term linearly in the append count no matter how many SMs it fills —
+//!   the single-tail bottleneck the blocked-append worklist exists to
+//!   break.
 //!
 //! Constants default to values derived from the Tesla C2050's published
 //! characteristics and are identical for every algorithm, so ratios between
@@ -34,7 +46,16 @@
 //!   effective random-access throughput is ≈ 18–36 GB/s, i.e. ≈ 1–2 ns per
 //!   useful word when the device is saturated.  The default uses 2 ns — the
 //!   pessimistic end of that range — because the matching kernels rarely
-//!   saturate all SMs.
+//!   saturate all SMs;
+//! * atomic cost: an uncontended Fermi `atomicAdd` costs about one L2
+//!   round-trip amortized across the in-flight window — ≈ 1 ns of device
+//!   throughput per operation;
+//! * hot-word serialization: same-address atomics serialize in the L2
+//!   atomic unit at a handful of ns each (Fermi sustains on the order of
+//!   one same-word RMW per few clocks), charged on top of the throughput
+//!   term for every RMW on the launch's most contended word.  The default
+//!   of 4 ns keeps the model conservative while still making a
+//!   single-tail queue visibly slower than a blocked-append one.
 
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +75,11 @@ pub struct PerfModel {
     /// Weight of the divergence penalty: 0.0 disables it, 1.0 applies the
     /// full max/avg imbalance factor.
     pub divergence_weight: f64,
+    /// Throughput cost of one atomic read-modify-write operation.
+    pub atomic_cost_ns: f64,
+    /// Extra serialization cost per RMW on the launch's hottest word
+    /// (same-address atomics serialize in the L2 atomic unit).
+    pub hot_word_serialization_ns: f64,
 }
 
 impl PerfModel {
@@ -66,6 +92,8 @@ impl PerfModel {
             num_sms: 14,
             warp_size: 32,
             divergence_weight: 0.25,
+            atomic_cost_ns: 1.0,
+            hot_word_serialization_ns: 4.0,
         }
     }
 
@@ -79,6 +107,8 @@ impl PerfModel {
             num_sms: 14,
             warp_size: 32,
             divergence_weight: 0.0,
+            atomic_cost_ns: 0.0,
+            hot_word_serialization_ns: 0.0,
         }
     }
 
@@ -87,14 +117,38 @@ impl PerfModel {
         (self.num_sms * self.warp_size).max(1)
     }
 
-    /// Modelled cost (ns) of one kernel launch.
+    /// Modelled cost (ns) of one kernel launch with no reported atomic
+    /// traffic.
     ///
     /// * `threads`: grid size;
     /// * `work_items`: total work units reported by the kernel's threads;
     /// * `max_thread_work`: largest per-thread work observed (0 if unknown).
     pub fn launch_cost_ns(&self, threads: usize, work_items: u64, max_thread_work: u64) -> f64 {
+        self.launch_cost_with_atomics_ns(threads, work_items, max_thread_work, 0, 0)
+    }
+
+    /// Modelled cost (ns) of one kernel launch including its atomic traffic.
+    ///
+    /// On top of [`PerfModel::launch_cost_ns`]'s terms:
+    ///
+    /// * `atomics`: total RMW operations reported by the launch's threads
+    ///   (each charged [`PerfModel::atomic_cost_ns`] of device throughput);
+    /// * `hot_word_atomics`: RMWs landing on the single most contended word
+    ///   (each additionally charged
+    ///   [`PerfModel::hot_word_serialization_ns`], modelling the L2's
+    ///   same-address serialization).
+    pub fn launch_cost_with_atomics_ns(
+        &self,
+        threads: usize,
+        work_items: u64,
+        max_thread_work: u64,
+        atomics: u64,
+        hot_word_atomics: u64,
+    ) -> f64 {
+        let atomic_cost = atomics as f64 * self.atomic_cost_ns
+            + hot_word_atomics as f64 * self.hot_word_serialization_ns;
         if threads == 0 {
-            return self.kernel_launch_overhead_ns;
+            return self.kernel_launch_overhead_ns + atomic_cost;
         }
         let rounds = threads.div_ceil(self.threads_per_round());
         let avg_work = work_items as f64 / threads as f64;
@@ -106,6 +160,7 @@ impl PerfModel {
         self.kernel_launch_overhead_ns
             + rounds as f64 * self.warp_round_cost_ns
             + work_items as f64 * self.memory_cost_ns * divergence
+            + atomic_cost
     }
 }
 
@@ -147,6 +202,38 @@ mod tests {
         let balanced = m.launch_cost_ns(1000, 10_000, 10);
         let skewed = m.launch_cost_ns(1000, 10_000, 5_000);
         assert!(skewed > balanced);
+    }
+
+    #[test]
+    fn atomics_add_throughput_and_hot_word_serialization() {
+        let m = PerfModel::tesla_c2050();
+        let base = m.launch_cost_ns(1000, 10_000, 10);
+        let spread = m.launch_cost_with_atomics_ns(1000, 10_000, 10, 1000, 0);
+        let funneled = m.launch_cost_with_atomics_ns(1000, 10_000, 10, 1000, 1000);
+        assert_eq!(spread, base + 1000.0 * m.atomic_cost_ns);
+        assert_eq!(funneled, spread + 1000.0 * m.hot_word_serialization_ns);
+        // Blocked append: same payload, one claim per 8-slot block, and the
+        // hot word only sees the block claims — an 8x cut of both terms.
+        let blocked = m.launch_cost_with_atomics_ns(1000, 10_000, 10, 125, 125);
+        assert!(blocked < funneled);
+    }
+
+    #[test]
+    fn zero_model_charges_no_atomics() {
+        let m = PerfModel::zero();
+        assert_eq!(m.launch_cost_with_atomics_ns(1000, 5000, 50, 777, 777), 0.0);
+    }
+
+    #[test]
+    fn empty_launch_still_charges_atomics() {
+        // A zero-grid launch can still carry modelled atomic traffic (the
+        // executor's chunk cursor never does, but the formula must not lose
+        // the term).
+        let m = PerfModel::tesla_c2050();
+        assert_eq!(
+            m.launch_cost_with_atomics_ns(0, 0, 0, 10, 10),
+            m.kernel_launch_overhead_ns + 10.0 * (m.atomic_cost_ns + m.hot_word_serialization_ns)
+        );
     }
 
     #[test]

@@ -8,10 +8,21 @@ use std::collections::BTreeMap;
 pub struct KernelStats {
     /// Number of launches of this kernel.
     pub launches: u64,
+    /// Number of fused tail passes charged to this kernel: device-side work
+    /// that piggybacks on an already-running launch (the CUDA
+    /// last-block-done idiom) and therefore pays no launch overhead and does
+    /// not count as a launch.
+    pub fused_tails: u64,
     /// Total threads across all launches.
     pub total_threads: u64,
     /// Total work items (memory transactions) reported by kernel threads.
     pub total_work: u64,
+    /// Total atomic read-modify-write operations reported by kernel threads
+    /// (plus the executor's modelled chunk-cursor claims).
+    pub total_atomics: u64,
+    /// Total RMWs charged at the hot-word serialization rate: for each
+    /// launch, the RMW count of its single most contended word.
+    pub hot_word_atomics: u64,
     /// Total modelled device time in nanoseconds.
     pub modelled_time_ns: f64,
     /// Total host wall-clock time spent executing the launches, nanoseconds.
@@ -29,11 +40,14 @@ pub struct DeviceStats {
 
 impl DeviceStats {
     /// Records one launch.
+    #[allow(clippy::too_many_arguments)]
     pub fn record(
         &mut self,
         kernel: &str,
         threads: usize,
         work: u64,
+        atomics: u64,
+        hot_word_atomics: u64,
         modelled_time_ns: f64,
         wall_time_ns: f64,
     ) {
@@ -41,6 +55,34 @@ impl DeviceStats {
         entry.launches += 1;
         entry.total_threads += threads as u64;
         entry.total_work += work;
+        entry.total_atomics += atomics;
+        entry.hot_word_atomics += hot_word_atomics;
+        entry.modelled_time_ns += modelled_time_ns;
+        entry.wall_time_ns += wall_time_ns;
+        entry.max_grid = entry.max_grid.max(threads as u64);
+    }
+
+    /// Records one fused tail pass: accumulates threads/work/atomics/times
+    /// like [`DeviceStats::record`] but bumps `fused_tails` instead of
+    /// `launches` — the pass rode an existing launch, so it must not inflate
+    /// launch counts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_fused(
+        &mut self,
+        kernel: &str,
+        threads: usize,
+        work: u64,
+        atomics: u64,
+        hot_word_atomics: u64,
+        modelled_time_ns: f64,
+        wall_time_ns: f64,
+    ) {
+        let entry = self.kernels.entry(kernel.to_string()).or_default();
+        entry.fused_tails += 1;
+        entry.total_threads += threads as u64;
+        entry.total_work += work;
+        entry.total_atomics += atomics;
+        entry.hot_word_atomics += hot_word_atomics;
         entry.modelled_time_ns += modelled_time_ns;
         entry.wall_time_ns += wall_time_ns;
         entry.max_grid = entry.max_grid.max(threads as u64);
@@ -66,9 +108,19 @@ impl DeviceStats {
         self.kernels.values().map(|k| k.total_work).sum()
     }
 
+    /// Total atomic RMW operations across all kernels.
+    pub fn total_atomics(&self) -> u64 {
+        self.kernels.values().map(|k| k.total_atomics).sum()
+    }
+
     /// Launch count for a specific kernel (0 if it never ran).
     pub fn launches_of(&self, kernel: &str) -> u64 {
         self.kernels.get(kernel).map(|k| k.launches).unwrap_or(0)
+    }
+
+    /// Fused-tail count for a specific kernel (0 if it never ran fused).
+    pub fn fused_tails_of(&self, kernel: &str) -> u64 {
+        self.kernels.get(kernel).map(|k| k.fused_tails).unwrap_or(0)
     }
 
     /// Merges another statistics block into this one.
@@ -76,8 +128,11 @@ impl DeviceStats {
         for (name, k) in &other.kernels {
             let entry = self.kernels.entry(name.clone()).or_default();
             entry.launches += k.launches;
+            entry.fused_tails += k.fused_tails;
             entry.total_threads += k.total_threads;
             entry.total_work += k.total_work;
+            entry.total_atomics += k.total_atomics;
+            entry.hot_word_atomics += k.hot_word_atomics;
             entry.modelled_time_ns += k.modelled_time_ns;
             entry.wall_time_ns += k.wall_time_ns;
             entry.max_grid = entry.max_grid.max(k.max_grid);
@@ -92,9 +147,9 @@ mod tests {
     #[test]
     fn record_accumulates_per_kernel() {
         let mut s = DeviceStats::default();
-        s.record("push", 100, 500, 1000.0, 2000.0);
-        s.record("push", 50, 100, 500.0, 700.0);
-        s.record("relabel", 10, 10, 10.0, 20.0);
+        s.record("push", 100, 500, 40, 10, 1000.0, 2000.0);
+        s.record("push", 50, 100, 10, 5, 500.0, 700.0);
+        s.record("relabel", 10, 10, 0, 0, 10.0, 20.0);
         assert_eq!(s.total_launches(), 3);
         assert_eq!(s.launches_of("push"), 2);
         assert_eq!(s.launches_of("relabel"), 1);
@@ -102,22 +157,51 @@ mod tests {
         let push = &s.kernels["push"];
         assert_eq!(push.total_threads, 150);
         assert_eq!(push.total_work, 600);
+        assert_eq!(push.total_atomics, 50);
+        assert_eq!(push.hot_word_atomics, 15);
         assert_eq!(push.max_grid, 100);
+        assert_eq!(push.fused_tails, 0);
         assert!((s.modelled_time_secs() - 1.51e-6).abs() < 1e-12);
         assert!((s.wall_time_secs() - 2.72e-6).abs() < 1e-12);
         assert_eq!(s.total_work(), 610);
+        assert_eq!(s.total_atomics(), 50);
+    }
+
+    #[test]
+    fn fused_tails_accumulate_without_counting_as_launches() {
+        let mut s = DeviceStats::default();
+        s.record("push", 100, 500, 0, 0, 1000.0, 2000.0);
+        s.record_fused("push", 200, 50, 8, 8, 100.0, 150.0);
+        let push = &s.kernels["push"];
+        assert_eq!(push.launches, 1);
+        assert_eq!(push.fused_tails, 1);
+        assert_eq!(s.fused_tails_of("push"), 1);
+        assert_eq!(s.fused_tails_of("missing"), 0);
+        assert_eq!(push.total_threads, 300);
+        assert_eq!(push.total_work, 550);
+        assert_eq!(push.total_atomics, 8);
+        assert_eq!(push.max_grid, 200);
+        assert_eq!(s.total_launches(), 1);
+        // A fused pass on a never-launched kernel still creates the row.
+        s.record_fused("stitch", 16, 4, 2, 2, 10.0, 10.0);
+        assert_eq!(s.launches_of("stitch"), 0);
+        assert_eq!(s.fused_tails_of("stitch"), 1);
     }
 
     #[test]
     fn merge_combines_blocks() {
         let mut a = DeviceStats::default();
-        a.record("k", 10, 10, 1.0, 1.0);
+        a.record("k", 10, 10, 3, 1, 1.0, 1.0);
         let mut b = DeviceStats::default();
-        b.record("k", 20, 5, 2.0, 2.0);
-        b.record("j", 1, 1, 1.0, 1.0);
+        b.record("k", 20, 5, 2, 2, 2.0, 2.0);
+        b.record("j", 1, 1, 0, 0, 1.0, 1.0);
+        b.record_fused("k", 5, 5, 1, 1, 1.0, 1.0);
         a.merge(&b);
         assert_eq!(a.total_launches(), 3);
-        assert_eq!(a.kernels["k"].total_threads, 30);
+        assert_eq!(a.kernels["k"].total_threads, 35);
+        assert_eq!(a.kernels["k"].total_atomics, 6);
+        assert_eq!(a.kernels["k"].hot_word_atomics, 4);
+        assert_eq!(a.kernels["k"].fused_tails, 1);
         assert_eq!(a.kernels["k"].max_grid, 20);
         assert_eq!(a.launches_of("j"), 1);
     }
@@ -128,5 +212,6 @@ mod tests {
         assert_eq!(s.total_launches(), 0);
         assert_eq!(s.modelled_time_secs(), 0.0);
         assert_eq!(s.total_work(), 0);
+        assert_eq!(s.total_atomics(), 0);
     }
 }

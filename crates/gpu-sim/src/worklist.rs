@@ -1,4 +1,4 @@
-//! The device worklist: one API over three active-set representations.
+//! The device worklist: one API over four active-set representations.
 //!
 //! Every frontier-driven engine in the workspace — the paper's G-PR
 //! push-relabel kernels, the G-GR global-relabeling BFS, and the G-HK /
@@ -6,7 +6,7 @@
 //! vertices for the next round while processing the current one, and
 //! periodically rebuilds the set.  How that set is **represented on the
 //! device** is the performance knob the paper's Section III-C is about, so
-//! this module factors it out as a [`Worklist`] with three interchangeable
+//! this module factors it out as a [`Worklist`] with four interchangeable
 //! [`WorklistMode`]s:
 //!
 //! * [`WorklistMode::DenseStamp`] — membership is a per-vertex stamp (the
@@ -25,7 +25,21 @@
 //!   literature.  No scan of any kind runs between rounds: the next launch
 //!   is exactly as wide as the number of appended items, which makes this
 //!   the representation of choice for launch-bound instances whose active
-//!   set collapses quickly.
+//!   set collapses quickly.  Every push, however, funnels through the one
+//!   queue-tail word, and the device model charges same-address atomics a
+//!   serialization cost — the single-tail bottleneck.
+//! * [`WorklistMode::BlockedQueue`] — the same append-driven design, but
+//!   pushes claim cache-line-sized **slot blocks** (one `fetch_add` per
+//!   [`primitives::QUEUE_BLOCK`] slots, held in a per-worker thread-local
+//!   cursor) instead of single slots, cutting tail contention by the block
+//!   factor.  Partial blocks leave holes; a *wide* round handoff runs a
+//!   cheap two-pass *stitch* over at most one block per claim — not a
+//!   domain scan — fused into the preceding launch's tail
+//!   ([`VirtualGpu::launch_fused`]), compacting the claimed blocks into the
+//!   dense prefix the next round launches over.  Rounds narrower than one
+//!   warp-issue quantum skip the stitch and adopt the claimed blocks
+//!   verbatim: iteration skips the hole markers, and at that width the
+//!   holes cannot cost an extra issue round while the stitch passes would.
 //!
 //! # Protocols
 //!
@@ -73,10 +87,30 @@
 //!    whose queue runs dry re-scans by predicate before concluding it is
 //!    done, so an item lost to a rolled-back push can never end the solve
 //!    early).
+//!
+//! [`WorklistMode::BlockedQueue`] adds block claims on top, and two more
+//! races with them:
+//!
+//! 4. *Claim vs. fill* — a worker that claims a block immediately pre-fills
+//!    it with the hole marker before storing any item.  No other thread
+//!    touches those slots during the launch: the `fetch_add` on the tail
+//!    hands out disjoint slot ranges, so the block is exclusively owned
+//!    until the end-of-launch barrier publishes it (the same happens-before
+//!    edge as race 2).  The stitch — and any other reader — only runs after
+//!    that barrier, so it sees every hole marker and every stored item.
+//! 5. *Stale cursors* — a worker's thread-local cursor could outlive the
+//!    round that claimed it and point at slots the (reset) tail no longer
+//!    covers.  Queue views carry a unique id per construction and the
+//!    cursor is keyed by it, so a new round's first push re-claims instead
+//!    of resurrecting dead slots; abandoned partial blocks are just holes,
+//!    which a wide round's stitch compacts away and a narrow round's
+//!    iteration skips in place.  Blocked claims can also round the
+//!    tail past capacity even without duplicate races; the overflow path is
+//!    the same stamp rebuild as race 3.
 
 use crate::buffer::DeviceBuffer;
 use crate::engine::{ThreadCtx, VirtualGpu};
-use crate::primitives::{self, DeviceQueue};
+use crate::primitives::{self, DeviceQueue, QUEUE_BLOCK};
 use crate::scratch::ScratchBuffer;
 use std::cell::OnceCell;
 use std::fmt;
@@ -84,6 +118,13 @@ use std::str::FromStr;
 
 /// Sentinel for an empty worklist slot.
 pub const WL_EMPTY: u64 = u64::MAX;
+
+/// Widest blocked-queue round that adopts its claimed blocks verbatim
+/// (holes included) instead of stitching them into a dense prefix.  One
+/// warp-issue quantum of the modelled device — `num_sms × warp_size`
+/// threads retire per issue round — so below this width the holes cannot
+/// add an issue round, while the two fused stitch passes always would.
+const STITCH_THRESHOLD: usize = 448;
 
 /// How a [`Worklist`] represents its active set on the device.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -97,22 +138,38 @@ pub enum WorklistMode {
     /// Device-side atomic-append queue: each round launches over exactly
     /// the items pushed by the previous round, with no scan in between.
     AtomicQueue,
+    /// Atomic-append queue with blocked claims: one tail `fetch_add` per
+    /// cache-line-sized slot block instead of per item, with a fused stitch
+    /// compacting partial blocks at the round handoff.
+    BlockedQueue,
 }
 
 impl WorklistMode {
-    /// All three representations, in ablation order.
-    pub fn all() -> [WorklistMode; 3] {
-        [WorklistMode::DenseStamp, WorklistMode::Compacted, WorklistMode::AtomicQueue]
+    /// All four representations, in ablation order.
+    pub fn all() -> [WorklistMode; 4] {
+        [
+            WorklistMode::DenseStamp,
+            WorklistMode::Compacted,
+            WorklistMode::AtomicQueue,
+            WorklistMode::BlockedQueue,
+        ]
     }
 
     /// The round-trippable label used in `Algorithm` specs (`+dense`,
-    /// `+compacted`, `+queue`).
+    /// `+compacted`, `+queue`, `+blocked`).
     pub fn label(&self) -> &'static str {
         match self {
             WorklistMode::DenseStamp => "dense",
             WorklistMode::Compacted => "compacted",
             WorklistMode::AtomicQueue => "queue",
+            WorklistMode::BlockedQueue => "blocked",
         }
+    }
+
+    /// `true` for the append-driven representations (per-item or blocked
+    /// queue), which share storage layout, epochs, and recovery paths.
+    pub fn is_queue(&self) -> bool {
+        matches!(self, WorklistMode::AtomicQueue | WorklistMode::BlockedQueue)
     }
 }
 
@@ -133,7 +190,7 @@ impl fmt::Display for ParseWorklistModeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cannot parse worklist mode '{}': expected one of dense, compacted, queue",
+            "cannot parse worklist mode '{}': expected one of dense, compacted, queue, blocked",
             self.input
         )
     }
@@ -149,6 +206,7 @@ impl FromStr for WorklistMode {
             "dense" => Ok(WorklistMode::DenseStamp),
             "compacted" => Ok(WorklistMode::Compacted),
             "queue" => Ok(WorklistMode::AtomicQueue),
+            "blocked" => Ok(WorklistMode::BlockedQueue),
             _ => Err(ParseWorklistModeError { input: s.to_string() }),
         }
     }
@@ -167,8 +225,15 @@ pub struct WorklistKernels {
     /// device prefix sum).
     pub compact_scatter: &'static str,
     /// Queue rebuild passes (predicate re-scan on a drained queue, stamp
-    /// re-scan after an overflow).
+    /// re-scan after an overflow).  Also the name the **fused** drained-queue
+    /// refill is charged to: with [`Worklist::for_each_active_refill`] the
+    /// refill stops appearing as launches and shows up as
+    /// [`fused_tails`](crate::KernelStats::fused_tails) instead.
     pub refill: &'static str,
+    /// Blocked-append stitch passes (compact claimed blocks, then gather the
+    /// block fronts into the dense prefix); both are fused tails, so this
+    /// kernel accrues `fused_tails`, never `launches`.
+    pub stitch: &'static str,
 }
 
 /// What a slot-protocol thread decided about its item; applied by the
@@ -193,7 +258,7 @@ pub enum SlotAction {
 pub struct ActiveView<'a> {
     stamp: &'a DeviceBuffer<u64>,
     epoch: u64,
-    /// Present only in the [`WorklistMode::AtomicQueue`] representation.
+    /// Present only in the queue representations.
     queue: Option<DeviceQueue<'a>>,
 }
 
@@ -207,11 +272,11 @@ impl ActiveView<'_> {
 
     /// Queue-mode append for the next round, deduplicated by stamp.
     #[inline]
-    fn queue_push(&self, v: usize) {
+    fn queue_push(&self, ctx: &ThreadCtx, v: usize) {
         let next = self.epoch + 1;
         if self.stamp.get(v) != next {
             self.stamp.set(v, next);
-            self.queue.as_ref().expect("queue present in AtomicQueue mode").push(v as u64);
+            self.queue.as_ref().expect("queue present in queue modes").push(ctx, v as u64);
         }
     }
 }
@@ -222,7 +287,7 @@ pub struct FrontierView<'a> {
     stamp: &'a DeviceBuffer<u64>,
     epoch: u64,
     nonempty: &'a DeviceBuffer<u64>,
-    /// Present only in the [`WorklistMode::AtomicQueue`] representation.
+    /// Present only in the queue representations.
     queue: Option<DeviceQueue<'a>>,
 }
 
@@ -230,17 +295,17 @@ impl FrontierView<'_> {
     /// Schedules `v` for the next round (the next BFS level).  Racy
     /// duplicate pushes of the same vertex are benign in every mode.
     #[inline]
-    pub fn push(&self, v: usize) {
+    pub fn push(&self, ctx: &ThreadCtx, v: usize) {
         let next = self.epoch + 1;
         match self.mode {
             WorklistMode::DenseStamp | WorklistMode::Compacted => {
                 self.stamp.set(v, next);
                 self.nonempty.set(0, 1);
             }
-            WorklistMode::AtomicQueue => {
+            WorklistMode::AtomicQueue | WorklistMode::BlockedQueue => {
                 if self.stamp.get(v) != next {
                     self.stamp.set(v, next);
-                    self.queue.as_ref().expect("queue present in AtomicQueue mode").push(v as u64);
+                    self.queue.as_ref().expect("queue present in queue modes").push(ctx, v as u64);
                 }
             }
         }
@@ -285,6 +350,13 @@ pub struct Worklist<'gpu> {
     compacted: bool,
     refilled: bool,
     fresh_seed: bool,
+    /// Set when a drained-queue predicate refill already ran **fused** into
+    /// the tail of the round's processing kernel
+    /// ([`Worklist::for_each_active_refill`]): the next
+    /// [`Worklist::begin_round`] must not launch a second refill — either
+    /// the fused sweep appended survivors (the queue is non-empty) or it
+    /// proved the set empty.
+    fused_refill_done: bool,
 }
 
 impl<'gpu> Worklist<'gpu> {
@@ -312,6 +384,20 @@ impl<'gpu> Worklist<'gpu> {
             compacted: false,
             refilled: false,
             fresh_seed: false,
+            fused_refill_done: false,
+        }
+    }
+
+    /// A fresh queue view over the pending/tail/overflow buffers, blocked or
+    /// per-item per the mode.  Built per launch: the view's identity is what
+    /// keys (and invalidates) the blocked representation's thread-local
+    /// block cursors.
+    fn queue_view(&self) -> DeviceQueue<'_> {
+        let pending = self.pending_buf();
+        if self.mode == WorklistMode::BlockedQueue {
+            DeviceQueue::new_blocked(pending, &self.tail, &self.overflow)
+        } else {
+            DeviceQueue::new(pending, &self.tail, &self.overflow)
         }
     }
 
@@ -389,11 +475,8 @@ impl<'gpu> Worklist<'gpu> {
             // round-one resolve of an EMPTY slot memory is a no-op —
             // identical behavior, one less domain-sized fill for protocols
             // that never read it.
-            let pending = if self.mode == WorklistMode::AtomicQueue {
-                None
-            } else {
-                self.pending.get().map(|buf| &**buf)
-            };
+            let pending =
+                if self.mode.is_queue() { None } else { self.pending.get().map(|buf| &**buf) };
             for v in items {
                 debug_assert!(v < self.domain, "worklist item {v} outside domain {}", self.domain);
                 current.set(k, v as u64);
@@ -411,6 +494,7 @@ impl<'gpu> Worklist<'gpu> {
         self.fresh_seed = true;
         self.compacted = false;
         self.refilled = false;
+        self.fused_refill_done = false;
     }
 
     /// Device-side seeding: stamps (and, for list-materializing modes,
@@ -438,13 +522,14 @@ impl<'gpu> Worklist<'gpu> {
                 });
                 self.len = 0;
             }
-            WorklistMode::Compacted | WorklistMode::AtomicQueue => {
+            WorklistMode::Compacted | WorklistMode::AtomicQueue | WorklistMode::BlockedQueue => {
                 self.len = self.gather_into_current(&predicate, true);
             }
         }
         self.fresh_seed = true;
         self.compacted = false;
         self.refilled = false;
+        self.fused_refill_done = false;
     }
 
     /// Device-side seeding for slot-protocol drivers: like
@@ -466,6 +551,7 @@ impl<'gpu> Worklist<'gpu> {
         self.fresh_seed = true;
         self.compacted = false;
         self.refilled = false;
+        self.fused_refill_done = false;
     }
 
     // ------------------------------------------------------------------
@@ -501,7 +587,7 @@ impl<'gpu> Worklist<'gpu> {
                 }
                 self.nonempty.get(0) != 0
             }
-            WorklistMode::AtomicQueue => {
+            WorklistMode::AtomicQueue | WorklistMode::BlockedQueue => {
                 if self.fresh_seed {
                     // The seed already stamped and listed this round's items.
                     self.fresh_seed = false;
@@ -509,13 +595,17 @@ impl<'gpu> Worklist<'gpu> {
                     self.epoch += 1;
                     self.take_appended_queue();
                 }
-                if self.len == 0 {
+                if self.len == 0 && !self.fused_refill_done {
                     // Drained queue: re-scan by predicate before concluding
                     // the set is empty, so items lost to rolled-back racy
                     // pushes are recovered instead of silently dropped.
+                    // (When the previous round already swept the predicate
+                    // fused into its kernel tail — `fused_refill_done` — an
+                    // empty queue IS the verdict, launch-free.)
                     self.refill_from_predicate(&predicate);
                     self.refilled = true;
                 }
+                self.fused_refill_done = false;
                 self.len > 0
             }
         }
@@ -536,8 +626,7 @@ impl<'gpu> Worklist<'gpu> {
         let view = ActiveView {
             stamp: self.stamp_buf(),
             epoch: self.epoch,
-            queue: (self.mode == WorklistMode::AtomicQueue)
-                .then(|| DeviceQueue::new(pending, &self.tail, &self.overflow)),
+            queue: self.mode.is_queue().then(|| self.queue_view()),
         };
         match self.mode {
             WorklistMode::DenseStamp | WorklistMode::Compacted => {
@@ -559,7 +648,7 @@ impl<'gpu> Worklist<'gpu> {
                     }
                 });
             }
-            WorklistMode::AtomicQueue => {
+            WorklistMode::AtomicQueue | WorklistMode::BlockedQueue => {
                 self.gpu.launch(name, self.len, |ctx| {
                     let i = ctx.global_id;
                     ctx.add_work(1);
@@ -568,8 +657,8 @@ impl<'gpu> Worklist<'gpu> {
                         return;
                     }
                     match f(ctx, v as usize, &view) {
-                        SlotAction::Push(w) => view.queue_push(w),
-                        SlotAction::Defer => view.queue_push(v as usize),
+                        SlotAction::Push(w) => view.queue_push(ctx, w),
+                        SlotAction::Defer => view.queue_push(ctx, v as usize),
                         SlotAction::Finish | SlotAction::Retire => {}
                     }
                 });
@@ -577,11 +666,56 @@ impl<'gpu> Worklist<'gpu> {
         }
     }
 
+    /// [`Worklist::for_each_active`] with the drained-queue refill **fused
+    /// into the kernel tail**: when the round's launch ends with an empty
+    /// append queue, the predicate sweep that [`Worklist::begin_round`]
+    /// would otherwise run as separate launches executes as a fused tail of
+    /// this round instead (the CUDA last-block-done idiom —
+    /// [`VirtualGpu::launch_fused`]), so the drained round pays no extra
+    /// launch overhead and non-drained rounds pay nothing at all.
+    ///
+    /// `predicate` must be the same liveness test the caller passes to
+    /// [`Worklist::begin_round`].  A round whose queue is non-empty never
+    /// evaluates it.  Non-queue modes ignore it and behave exactly like
+    /// [`Worklist::for_each_active`].
+    pub fn for_each_active_refill(
+        &mut self,
+        name: &'static str,
+        f: impl Fn(&ThreadCtx, usize, &ActiveView<'_>) -> SlotAction + Sync,
+        predicate: impl Fn(usize) -> bool + Sync,
+    ) {
+        self.for_each_active(name, f);
+        if self.mode.is_queue() && self.tail.get(0) == 0 {
+            self.fused_refill(&predicate);
+        }
+    }
+
+    /// The fused drained-queue sweep: stamps and appends every live item for
+    /// the next round, charged to the `refill` kernel name as a fused tail
+    /// (no launch count, no launch overhead).  Racing pushes are harmless —
+    /// the stamp dedupe makes a double append idempotent — so running the
+    /// sweep when a push lands concurrently is merely redundant, never
+    /// wrong.
+    fn fused_refill(&mut self, predicate: &(impl Fn(usize) -> bool + Sync)) {
+        let next = self.epoch + 1;
+        let stamp = self.stamp_buf();
+        let queue = self.queue_view();
+        self.gpu.launch_fused(self.names.refill, self.domain, |ctx| {
+            let v = ctx.global_id;
+            ctx.add_work(1);
+            if predicate(v) && stamp.get(v) != next {
+                stamp.set(v, next);
+                queue.push(ctx, v as u64);
+            }
+        });
+        self.fused_refill_done = true;
+    }
+
     /// Ends a slot-protocol round.  List modes swap the slot arrays (the
     /// paper's `A_c`/`A_p` exchange); the queue representation has nothing
     /// to do — the next round's queue was built during processing.
     pub fn end_round(&mut self) {
-        if self.mode != WorklistMode::AtomicQueue {
+        if !self.mode.is_queue() {
             std::mem::swap(&mut self.current, &mut self.pending);
         }
     }
@@ -607,8 +741,7 @@ impl<'gpu> Worklist<'gpu> {
             stamp,
             epoch,
             nonempty: &self.nonempty,
-            queue: (self.mode == WorklistMode::AtomicQueue)
-                .then(|| DeviceQueue::new(self.pending_buf(), &self.tail, &self.overflow)),
+            queue: self.mode.is_queue().then(|| self.queue_view()),
         };
         match self.mode {
             WorklistMode::DenseStamp => {
@@ -620,12 +753,18 @@ impl<'gpu> Worklist<'gpu> {
                     }
                 });
             }
-            WorklistMode::Compacted | WorklistMode::AtomicQueue => {
+            WorklistMode::Compacted | WorklistMode::AtomicQueue | WorklistMode::BlockedQueue => {
                 let current = self.current_buf();
                 self.gpu.launch(name, self.len, |ctx| {
                     let i = ctx.global_id;
                     ctx.add_work(1);
-                    f(ctx, current.get(i) as usize, &view);
+                    let v = current.get(i);
+                    // Narrow blocked rounds adopt their claimed blocks
+                    // without stitching, so the frontier may carry holes.
+                    if v == WL_EMPTY {
+                        return;
+                    }
+                    f(ctx, v as usize, &view);
                 });
             }
         }
@@ -637,6 +776,7 @@ impl<'gpu> Worklist<'gpu> {
     /// appended queue (rebuilding from stamps after an overflow).
     pub fn advance_frontier(&mut self) -> bool {
         self.fresh_seed = false;
+        self.fused_refill_done = false;
         self.epoch += 1;
         match self.mode {
             WorklistMode::DenseStamp => {
@@ -654,7 +794,7 @@ impl<'gpu> Worklist<'gpu> {
                 }
                 self.len > 0
             }
-            WorklistMode::AtomicQueue => {
+            WorklistMode::AtomicQueue | WorklistMode::BlockedQueue => {
                 self.take_appended_queue();
                 self.len > 0
             }
@@ -666,6 +806,10 @@ impl<'gpu> Worklist<'gpu> {
     /// current epoch's stamps when appends were dropped on overflow.  The
     /// caller has already advanced the epoch.
     fn take_appended_queue(&mut self) {
+        if self.mode == WorklistMode::BlockedQueue {
+            self.take_blocked_queue();
+            return;
+        }
         std::mem::swap(&mut self.current, &mut self.pending);
         let appended = self.tail.get(0) as usize;
         self.tail.set(0, 0);
@@ -678,6 +822,95 @@ impl<'gpu> Worklist<'gpu> {
         } else {
             self.len = appended.min(self.domain);
         }
+    }
+
+    /// Blocked-queue round handoff: the claimed blocks in `pending` hold the
+    /// appended items interleaved with [`WL_EMPTY`] holes (partial blocks,
+    /// abandoned cursors).  The *stitch* compacts them into a dense prefix
+    /// of `current` with two fused tail passes over the claimed blocks only
+    /// — never the domain — so its cost scales with the append volume:
+    ///
+    /// 1. each block compacts itself in place and reports its live count
+    ///    (one cache-line read + write per block: 2 work units);
+    /// 2. the host stages the per-block prefix offsets (like every D2D copy
+    ///    in this simulator) and each block copies its dense front to its
+    ///    offset in `current`.
+    ///
+    /// Unlike the per-item path, the buffers do **not** swap: `pending`
+    /// stays the append target, which is safe precisely because blocked
+    /// claims pre-fill with holes — stale slots from this round can never
+    /// masquerade as next round's items.
+    ///
+    /// Rounds narrower than [`STITCH_THRESHOLD`] skip the stitch entirely
+    /// and *adopt* the claimed blocks as-is (swapping the buffers like the
+    /// per-item path): iteration already skips [`WL_EMPTY`] holes, and
+    /// below one warp-issue quantum the two fused passes would cost more
+    /// model time than the holes waste.  Only wide rounds — where the
+    /// hole overhead compounds across issue rounds — pay for density.
+    fn take_blocked_queue(&mut self) {
+        let claimed = self.tail.get(0) as usize;
+        self.tail.set(0, 0);
+        if self.overflow.get(0) != 0 {
+            self.overflow.set(0, 0);
+            self.compact_from_stamps();
+            self.refilled = true;
+            return;
+        }
+        if claimed == 0 {
+            self.len = 0;
+            return;
+        }
+        let covered = claimed.min(self.domain);
+        if covered <= STITCH_THRESHOLD {
+            // Narrow round: adopt the blocks, holes and all.  The swap makes
+            // the old `current` the next append target; blocked claims
+            // pre-fill every claimed slot with `WL_EMPTY` before exposing
+            // it, so whatever this round left there is never read as data.
+            std::mem::swap(&mut self.current, &mut self.pending);
+            self.len = covered;
+            return;
+        }
+        let blocks = covered.div_ceil(QUEUE_BLOCK);
+        let counts = self.gpu.scratch().acquire(blocks, 0);
+        let pending = self.pending_buf();
+        self.gpu.launch_fused(self.names.stitch, blocks, |ctx| {
+            let b = ctx.global_id;
+            let start = b * QUEUE_BLOCK;
+            let end = (start + QUEUE_BLOCK).min(covered);
+            ctx.add_work(2);
+            let mut k = start;
+            for i in start..end {
+                let v = pending.get(i);
+                if v != WL_EMPTY {
+                    pending.set(k, v);
+                    k += 1;
+                }
+            }
+            counts.set(b, (k - start) as u64);
+        });
+        // Host-staged exclusive prefix over ≤ one word per block — the same
+        // staging every D2D copy in this simulator goes through.  A device
+        // prefix-sum ladder would cost more launches than it saves for the
+        // handful of partially filled blocks a round produces.
+        let host_counts = counts.to_vec();
+        let offsets = self.gpu.scratch().acquire(blocks, 0);
+        let mut total = 0u64;
+        for (b, &c) in host_counts.iter().enumerate() {
+            offsets.set(b, total);
+            total += c;
+        }
+        let current = self.current_buf();
+        self.gpu.launch_fused(self.names.stitch, blocks, |ctx| {
+            let b = ctx.global_id;
+            let start = b * QUEUE_BLOCK;
+            let n = counts.get(b) as usize;
+            let at = offsets.get(b) as usize;
+            ctx.add_work(2);
+            for i in 0..n {
+                current.set(at + i, pending.get(start + i));
+            }
+        });
+        self.len = total as usize;
     }
 
     // ------------------------------------------------------------------
@@ -853,7 +1086,10 @@ mod tests {
         compact_count: "wl_count",
         compact_scatter: "wl_scatter",
         refill: "wl_refill",
+        stitch: "wl_stitch",
     };
+
+    const QUEUE_MODES: [WorklistMode; 2] = [WorklistMode::AtomicQueue, WorklistMode::BlockedQueue];
 
     fn gpus() -> Vec<VirtualGpu> {
         vec![VirtualGpu::sequential(), VirtualGpu::parallel()]
@@ -986,14 +1222,204 @@ mod tests {
     }
 
     #[test]
-    fn queue_mode_launches_no_init_kernel() {
+    fn queue_modes_launch_no_init_kernel() {
+        for mode in QUEUE_MODES {
+            let gpu = VirtualGpu::sequential();
+            assert_eq!(run_chain(mode, &gpu, 128), 128, "{mode}");
+            let stats = gpu.stats();
+            assert_eq!(stats.launches_of("wl_init"), 0, "{mode}");
+            assert_eq!(stats.launches_of("wl_count"), 0, "{mode}");
+            // The termination check ran at least once.
+            assert!(stats.launches_of("wl_refill") >= 1, "{mode}");
+        }
+    }
+
+    #[test]
+    fn blocked_stitch_runs_fused_and_appends_fewer_tail_rmws() {
+        // Same fan-out workload (binary-tree BFS, wide rounds pushing many
+        // items per launch) in both queue representations: the blocked one
+        // must report strictly fewer hot-word RMWs on the push kernel while
+        // the stitch never counts as a launch.  The tree is deep enough
+        // that its widest levels exceed STITCH_THRESHOLD, so the dense
+        // stitch genuinely runs (narrower levels adopt their blocks
+        // without it).
+        let n = 4096usize;
+        let hot_rmws: Vec<u64> = QUEUE_MODES
+            .iter()
+            .map(|&mode| {
+                let gpu = VirtualGpu::sequential();
+                let reached = DeviceBuffer::<u64>::new(n, 0);
+                reached.set(0, 1);
+                let mut wl = Worklist::new(&gpu, mode, n, NAMES);
+                wl.seed([0]);
+                loop {
+                    wl.for_each_frontier("wl_fanout", |ctx, v, frontier| {
+                        ctx.add_work(1);
+                        for w in [2 * v + 1, 2 * v + 2] {
+                            if w < n && reached.get(w) == 0 {
+                                reached.set(w, 1);
+                                frontier.push(ctx, w);
+                            }
+                        }
+                    });
+                    if !wl.advance_frontier() {
+                        break;
+                    }
+                }
+                assert_eq!(reached.to_vec().iter().sum::<u64>(), n as u64, "{mode}");
+                let stats = gpu.stats();
+                if mode == WorklistMode::BlockedQueue {
+                    assert_eq!(stats.launches_of("wl_stitch"), 0);
+                    assert!(stats.fused_tails_of("wl_stitch") >= 1);
+                } else {
+                    assert_eq!(stats.fused_tails_of("wl_stitch"), 0);
+                }
+                stats.kernels["wl_fanout"].hot_word_atomics
+            })
+            .collect();
+        assert!(
+            hot_rmws[1] < hot_rmws[0],
+            "blocked hot-word RMWs {} should undercut per-item {}",
+            hot_rmws[1],
+            hot_rmws[0]
+        );
+    }
+
+    #[test]
+    fn blocked_narrow_rounds_adopt_blocks_without_stitching() {
+        // A chain drain pushes one item per round — far under
+        // STITCH_THRESHOLD — so the blocked queue must never stitch
+        // (neither as a launch nor as a fused tail) and still drain the
+        // whole chain through its hole-skipping frontier.
         let gpu = VirtualGpu::sequential();
-        assert_eq!(run_chain(WorklistMode::AtomicQueue, &gpu, 128), 128);
+        let n = 64;
+        assert_eq!(run_chain(WorklistMode::BlockedQueue, &gpu, n), n as u64);
         let stats = gpu.stats();
-        assert_eq!(stats.launches_of("wl_init"), 0);
-        assert_eq!(stats.launches_of("wl_count"), 0);
-        // The termination check ran at least once.
-        assert!(stats.launches_of("wl_refill") >= 1);
+        assert_eq!(stats.launches_of("wl_stitch"), 0);
+        assert_eq!(stats.fused_tails_of("wl_stitch"), 0);
+    }
+
+    /// Chain drain driven through the fused-refill entry point.
+    fn run_chain_fused(mode: WorklistMode, gpu: &VirtualGpu, n: usize) -> u64 {
+        let live = DeviceBuffer::<u64>::new(n, 1);
+        let processed = DeviceBuffer::<u64>::new(1, 0);
+        let mut wl = Worklist::new(gpu, mode, n, NAMES);
+        wl.seed([n - 1]);
+        let mut rounds = 0;
+        while wl.begin_round(|v| live.get(v) != 0, false) {
+            wl.for_each_active_refill(
+                "wl_process",
+                |_ctx, v, _view| {
+                    live.set(v, 0);
+                    processed.fetch_add(0, 1);
+                    if v > 0 {
+                        SlotAction::Push(v - 1)
+                    } else {
+                        SlotAction::Retire
+                    }
+                },
+                |v| live.get(v) != 0,
+            );
+            wl.end_round();
+            rounds += 1;
+            assert!(rounds < 10 * n as u64 + 16, "worklist failed to converge");
+        }
+        processed.get(0)
+    }
+
+    #[test]
+    fn fused_refill_removes_the_drained_round_launch() {
+        for mode in QUEUE_MODES {
+            for gpu in gpus() {
+                assert_eq!(run_chain_fused(mode, &gpu, 128), 128, "{mode}");
+                let stats = gpu.stats();
+                // The drained-queue predicate sweep ran fused into the final
+                // round's kernel tail: zero refill launches, at least one
+                // fused tail.
+                assert_eq!(stats.launches_of("wl_refill"), 0, "{mode}");
+                assert!(stats.fused_tails_of("wl_refill") >= 1, "{mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_refill_recovers_items_like_the_launched_refill() {
+        // The rescue scenario of `queue_refill_recovers_items_the_queue_lost`
+        // driven through the fused path: a drained queue with a live
+        // predicate item must still find it, without a refill launch.
+        for mode in QUEUE_MODES {
+            let gpu = VirtualGpu::sequential();
+            let found = DeviceBuffer::<u64>::new(1, 0);
+            let mut wl = Worklist::new(&gpu, mode, 16, NAMES);
+            wl.seed([3]);
+            let mut rounds = 0;
+            while wl.begin_round(|v| v == 7 && found.get(0) == 0, false) {
+                wl.for_each_active_refill(
+                    "wl_rescue",
+                    |_ctx, v, _view| {
+                        if v == 7 {
+                            found.set(0, 1);
+                        }
+                        SlotAction::Finish
+                    },
+                    |v| v == 7 && found.get(0) == 0,
+                );
+                rounds += 1;
+                assert!(rounds < 16, "{mode}");
+            }
+            assert_eq!(found.get(0), 1, "{mode}");
+            assert_eq!(gpu.stats().launches_of("wl_refill"), 0, "{mode}");
+        }
+    }
+
+    #[test]
+    fn blocked_claims_past_capacity_stitch_back_dense() {
+        // Block rounding claims past the capacity on a tiny domain
+        // (ceil(12/8)*8 = 16 > 12); as long as no push *lands* past it, the
+        // stitch alone recovers the dense list.
+        let gpu = VirtualGpu::sequential();
+        let n = 12;
+        let mut wl = Worklist::new(&gpu, WorklistMode::BlockedQueue, n, NAMES);
+        wl.seed(0..n);
+        assert!(wl.begin_round(|_| true, false));
+        wl.for_each_active("wl_push", |_ctx, v, _view| SlotAction::Push((v + 1) % n));
+        assert!(wl.begin_round(|_| true, false));
+        assert_eq!(wl.len(), n);
+        let seen = DeviceBuffer::<u64>::new(n, 0);
+        wl.for_each_active("wl_collect", |_ctx, v, _view| {
+            seen.set(v, 1);
+            SlotAction::Retire
+        });
+        assert_eq!(seen.to_vec(), vec![1; n]);
+    }
+
+    #[test]
+    fn blocked_overflow_rebuilds_from_stamps() {
+        // Mirror of `queue_overflow_rebuilds_from_stamps` for the blocked
+        // representation: with the overflow flag raised, the stamps must
+        // reconstruct the full membership no matter what the blocks hold.
+        let gpu = VirtualGpu::sequential();
+        let mut wl = Worklist::new(&gpu, WorklistMode::BlockedQueue, 16, NAMES);
+        wl.seed([0]);
+        assert!(wl.begin_round(|_| true, false));
+        wl.for_each_active("wl_push", |ctx, _v, view| {
+            for w in 1..5usize {
+                view.queue_push(ctx, w);
+            }
+            SlotAction::Push(5)
+        });
+        wl.overflow.set(0, 1);
+        assert!(wl.begin_round(|_| false, false));
+        assert!(wl.refilled_last_round());
+        assert_eq!(wl.len(), 5);
+        let got = DeviceBuffer::<u64>::new(16, 0);
+        wl.for_each_active("wl_collect", |_ctx, v, _view| {
+            got.set(v, 1);
+            SlotAction::Retire
+        });
+        let mut expected = vec![0u64; 16];
+        expected[1..6].fill(1);
+        assert_eq!(got.to_vec(), expected);
     }
 
     #[test]
@@ -1029,9 +1455,9 @@ mod tests {
         assert!(wl.begin_round(|_| true, false));
         // Push the full next frontier through the slot action, then corrupt
         // the tail to look overflowed: the stamps must reconstruct it.
-        wl.for_each_active("wl_push", |_ctx, _v, view| {
+        wl.for_each_active("wl_push", |ctx, _v, view| {
             for w in 1..5usize {
-                view.queue_push(w);
+                view.queue_push(ctx, w);
             }
             SlotAction::Push(5)
         });
@@ -1061,7 +1487,7 @@ mod tests {
                 for w in [v.wrapping_sub(1), v + 1] {
                     if w < n && dist.get(w) == u64::MAX {
                         dist.set(w, level + 1);
-                        frontier.push(w);
+                        frontier.push(ctx, w);
                     }
                 }
             });
@@ -1095,10 +1521,19 @@ mod tests {
             })
             .collect();
         // Dense launches n threads per level; the materialized frontiers
-        // launch exactly one thread per frontier vertex.
+        // launch exactly one thread per frontier vertex.  The blocked
+        // variant's narrow rounds adopt whole claimed blocks (holes
+        // included), so its launches are block-rounded — at most one
+        // cache-line block per visit, still nowhere near a domain scan.
         assert!(per_mode[0] > per_mode[1], "dense {} vs compacted {}", per_mode[0], per_mode[1]);
         assert!(per_mode[0] > per_mode[2], "dense {} vs queue {}", per_mode[0], per_mode[2]);
+        assert!(per_mode[0] > per_mode[3], "dense {} vs blocked {}", per_mode[0], per_mode[3]);
         assert_eq!(per_mode[2], n as u64, "queue launches one thread per visit");
+        assert!(
+            per_mode[3] >= n as u64 && per_mode[3] <= (n * QUEUE_BLOCK) as u64,
+            "blocked launches between one thread and one block per visit, got {}",
+            per_mode[3]
+        );
     }
 
     #[test]
@@ -1110,10 +1545,10 @@ mod tests {
                 let visited = DeviceBuffer::<u64>::new(32, 0);
                 wl.seed([4]);
                 loop {
-                    wl.for_each_frontier("wl_bfs", |_ctx, v, frontier| {
+                    wl.for_each_frontier("wl_bfs", |ctx, v, frontier| {
                         visited.set(v, visited.get(v) + 1);
                         if v + 1 < 8 {
-                            frontier.push(v + 1);
+                            frontier.push(ctx, v + 1);
                         }
                     });
                     if !wl.advance_frontier() {
@@ -1138,7 +1573,7 @@ mod tests {
             let gpu = VirtualGpu::sequential();
             let mut wl = Worklist::new(&gpu, mode, 16, NAMES);
             wl.seed([0]);
-            wl.for_each_frontier("wl_bfs", |_ctx, _v, frontier| frontier.push(5));
+            wl.for_each_frontier("wl_bfs", |ctx, _v, frontier| frontier.push(ctx, 5));
             // No advance_frontier: the push to 5 is abandoned by the re-seed.
             wl.seed([1]);
             let visited = DeviceBuffer::<u64>::new(16, 0);

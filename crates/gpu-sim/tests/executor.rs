@@ -155,47 +155,64 @@ proptest! {
         prop_assert_eq!(scan_seq.to_vec(), scan_par.to_vec());
     }
 
-    /// The atomic-append queue collects the same multiset of items under the
-    /// pooled executor as under the sequential backend, whatever the chunk
-    /// size — order is unspecified, membership is not.
+    /// Both append representations — per-item and blocked claims — collect
+    /// the same multiset of items under the pooled executor as under the
+    /// sequential backend, whatever the chunk size does to the claim
+    /// pattern.  Order is unspecified, membership is not.
     #[test]
     fn queue_appends_agree_across_backends(
         data in proptest::collection::vec(0u64..50_000, 0..3_000),
         chunk in 1usize..600,
         workers in 2usize..5,
     ) {
-        let sequential = VirtualGpu::sequential();
-        let parallel = pooled(workers, 4, chunk);
-        let mut collected = Vec::new();
-        for gpu in [&sequential, &parallel] {
-            let src = DeviceBuffer::from_slice(&data);
-            let items = DeviceBuffer::<u64>::new(data.len(), u64::MAX);
-            let tail = DeviceBuffer::<u64>::new(1, 0);
-            let overflow = DeviceBuffer::<u64>::new(1, 0);
-            let queue = primitives::DeviceQueue::new(&items, &tail, &overflow);
-            gpu.launch("prop_queue", data.len(), |ctx| {
-                // Only even values are appended, so the claim pattern is
-                // data-dependent and divergent across chunks.
-                let v = src.get(ctx.global_id);
-                if v % 2 == 0 {
-                    assert!(queue.push(v), "queue sized to the grid cannot overflow");
-                }
-                ctx.add_work(1);
-            });
-            prop_assert!(!queue.overflowed());
-            let mut got = items.to_vec();
-            got.truncate(queue.len());
-            got.sort_unstable();
-            collected.push(got);
-        }
         let mut expected: Vec<u64> = data.iter().copied().filter(|v| v % 2 == 0).collect();
         expected.sort_unstable();
-        prop_assert_eq!(&collected[0], &expected);
-        prop_assert_eq!(&collected[1], &expected);
+        for blocked in [false, true] {
+            let sequential = VirtualGpu::sequential();
+            let parallel = pooled(workers, 4, chunk);
+            for gpu in [&sequential, &parallel] {
+                let src = DeviceBuffer::from_slice(&data);
+                // Blocked claims round the tail up to whole blocks, so give
+                // every potential claimant (workers + the inline path) one
+                // spare block of slack past the exact item count.
+                let cap = data.len() + (workers + 1) * primitives::QUEUE_BLOCK;
+                let items = DeviceBuffer::<u64>::new(cap, u64::MAX);
+                let tail = DeviceBuffer::<u64>::new(1, 0);
+                let overflow = DeviceBuffer::<u64>::new(1, 0);
+                let queue = if blocked {
+                    primitives::DeviceQueue::new_blocked(&items, &tail, &overflow)
+                } else {
+                    primitives::DeviceQueue::new(&items, &tail, &overflow)
+                };
+                gpu.launch("prop_queue", data.len(), |ctx| {
+                    // Only even values are appended, so the claim pattern is
+                    // data-dependent and divergent across chunks.
+                    let v = src.get(ctx.global_id);
+                    if v % 2 == 0 {
+                        assert!(queue.push(ctx, v), "queue with block slack cannot overflow");
+                    }
+                    ctx.add_work(1);
+                });
+                prop_assert!(!queue.overflowed());
+                // Blocked claims leave hole markers in partial blocks; the
+                // live items are everything under the tail that isn't one.
+                let mut got: Vec<u64> = items.to_vec()[..queue.len().min(cap)]
+                    .iter()
+                    .copied()
+                    .filter(|&v| v != primitives::QUEUE_EMPTY)
+                    .collect();
+                got.sort_unstable();
+                prop_assert_eq!(&got, &expected, "blocked={}", blocked);
+            }
+        }
     }
 
-    /// A full worklist BFS (queue representation) reaches the same vertices
-    /// at the same depths under both backends.
+    /// A full worklist BFS reaches the same vertices at the same depths
+    /// under both backends and under three representations — the dense
+    /// stamp scan, the per-item queue tail, and the blocked-claim tail.
+    /// Small domains force the blocked variant through its overflow path
+    /// (block claims round past capacity and rebuild from stamps), so
+    /// membership survives that too.
     #[test]
     fn worklist_queue_bfs_agrees_across_backends(
         n in 2usize..400,
@@ -208,33 +225,42 @@ proptest! {
             compact_count: "wl_count",
             compact_scatter: "wl_scatter",
             refill: "wl_refill",
+            stitch: "wl_stitch",
         };
-        let sequential = VirtualGpu::sequential();
-        let parallel = pooled(3, 4, chunk);
         let mut depths = Vec::new();
-        for gpu in [&sequential, &parallel] {
-            let dist = DeviceBuffer::<u64>::new(n, u64::MAX);
-            dist.set(0, 0);
-            let mut wl = Worklist::new(gpu, WorklistMode::AtomicQueue, n, NAMES);
-            wl.seed([0]);
-            let mut level = 0u64;
-            loop {
-                wl.for_each_frontier("wl_bfs", |ctx, v, frontier| {
-                    ctx.add_work(1);
-                    for w in [v.wrapping_sub(stride), v + stride, v + 1] {
-                        if w < n && dist.get(w) == u64::MAX {
-                            dist.set(w, level + 1);
-                            frontier.push(w);
+        for mode in [
+            WorklistMode::DenseStamp,
+            WorklistMode::AtomicQueue,
+            WorklistMode::BlockedQueue,
+        ] {
+            let sequential = VirtualGpu::sequential();
+            let parallel = pooled(3, 4, chunk);
+            for gpu in [&sequential, &parallel] {
+                let dist = DeviceBuffer::<u64>::new(n, u64::MAX);
+                dist.set(0, 0);
+                let mut wl = Worklist::new(gpu, mode, n, NAMES);
+                wl.seed([0]);
+                let mut level = 0u64;
+                loop {
+                    wl.for_each_frontier("wl_bfs", |ctx, v, frontier| {
+                        ctx.add_work(1);
+                        for w in [v.wrapping_sub(stride), v + stride, v + 1] {
+                            if w < n && dist.get(w) == u64::MAX {
+                                dist.set(w, level + 1);
+                                frontier.push(ctx, w);
+                            }
                         }
+                    });
+                    if !wl.advance_frontier() {
+                        break;
                     }
-                });
-                if !wl.advance_frontier() {
-                    break;
+                    level += 1;
                 }
-                level += 1;
+                depths.push(dist.to_vec());
             }
-            depths.push(dist.to_vec());
         }
-        prop_assert_eq!(&depths[0], &depths[1]);
+        for d in &depths[1..] {
+            prop_assert_eq!(&depths[0], d);
+        }
     }
 }

@@ -91,4 +91,91 @@ proptest! {
         let more = model.launch_cost_ns(threads, work * 2 + 1, work / threads.max(1) as u64 + 1);
         prop_assert!(more >= base);
     }
+
+    /// The atomic terms of the cost model are monotone too: more RMWs cost
+    /// more, and shifting RMWs onto a single hot word costs strictly more
+    /// than spreading the same count (serialization beats throughput).
+    #[test]
+    fn modelled_cost_is_monotone_in_atomics(
+        threads in 1usize..100_000,
+        work in 0u64..1_000_000,
+        atomics in 0u64..100_000,
+    ) {
+        let model = gpm_gpu::PerfModel::tesla_c2050();
+        let max_work = work / threads.max(1) as u64 + 1;
+        let spread = model.launch_cost_with_atomics_ns(threads, work, max_work, atomics, 0);
+        let more = model.launch_cost_with_atomics_ns(threads, work, max_work, atomics * 2 + 1, 0);
+        prop_assert!(more > spread);
+        let hot = model.launch_cost_with_atomics_ns(threads, work, max_work, atomics, atomics);
+        prop_assert!(hot >= spread);
+        if atomics > 0 {
+            prop_assert!(hot > spread, "hot-word serialization must cost extra");
+        }
+        // And with no atomics at all, the extended form collapses to the
+        // plain launch cost.
+        let plain = model.launch_cost_ns(threads, work, max_work);
+        let zero = model.launch_cost_with_atomics_ns(threads, work, max_work, 0, 0);
+        prop_assert_eq!(plain, zero);
+    }
+
+    /// Overflow-forcing capacities: a blocked queue whose capacity cannot
+    /// hold every rounded-up block claim must raise the overflow flag
+    /// rather than corrupt memory — every slot under the clamped tail holds
+    /// either a hole marker or a genuinely pushed value, never garbage.
+    #[test]
+    fn blocked_queue_overflow_is_flagged_and_items_stay_valid(
+        pushes in 1usize..600,
+        cap_slack in 0usize..64,
+        chunk in 1usize..128,
+        workers in 2usize..5,
+    ) {
+        use gpm_gpu::primitives::{DeviceQueue, QUEUE_BLOCK, QUEUE_EMPTY};
+        let cap = cap_slack.min(pushes + (workers + 1) * QUEUE_BLOCK);
+        for gpu in [
+            VirtualGpu::sequential(),
+            VirtualGpu::new(
+                GpuConfig::tesla_c2050(Backend::Parallel { workers }).with_executor(
+                    ExecutorConfig {
+                        parallel_threshold: 4,
+                        chunk_size: chunk,
+                        ..Default::default()
+                    },
+                ),
+            ),
+        ] {
+            let items = DeviceBuffer::<u64>::new(cap, QUEUE_EMPTY);
+            let tail = DeviceBuffer::<u64>::new(1, 0);
+            let overflow = DeviceBuffer::<u64>::new(1, 0);
+            let queue = DeviceQueue::new_blocked(&items, &tail, &overflow);
+            gpu.launch("prop_blocked_overflow", pushes, |ctx| {
+                // The value encodes its producer, so corruption is
+                // detectable: anything outside 1000..1000+pushes is junk.
+                queue.push(ctx, 1_000 + ctx.global_id as u64);
+            });
+            let stored: Vec<u64> = items.to_vec()[..queue.len().min(cap)]
+                .iter()
+                .copied()
+                .filter(|&v| v != QUEUE_EMPTY)
+                .collect();
+            for &v in &stored {
+                prop_assert!(
+                    (1_000..1_000 + pushes as u64).contains(&v),
+                    "corrupt slot value {v}"
+                );
+            }
+            // No duplicates: each claimed slot is exclusively owned.
+            let mut sorted = stored.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), stored.len(), "duplicated slot values");
+            if queue.overflowed() {
+                // Some push was dropped; the stored prefix holds fewer
+                // values than were pushed.
+                prop_assert!(stored.len() < pushes);
+            } else {
+                // Every push landed.
+                prop_assert_eq!(stored.len(), pushes);
+            }
+        }
+    }
 }
