@@ -4,7 +4,12 @@
 //! ```text
 //! gpm-bench --dump-bench BENCH_7.json [--scale tiny|small|medium|large]
 //! gpm-bench --diff BENCH_6.json BENCH_7.json [--max-regression 0.15] [--require-pinned]
+//! gpm-bench --list-algorithms
 //! ```
+//!
+//! `--list-algorithms` prints the full algorithm-label grammar — every GPU
+//! family × worklist mode × execution mode plus the CPU baselines — each
+//! line a label `--algorithms` (and the service wire protocol) accepts.
 //!
 //! The dump's GPU cells carry modelled device seconds (deterministic, so
 //! `pinned: true`); `--diff` fails (exit 1) when any pinned cell present
@@ -20,13 +25,15 @@ use serde::Value;
 fn usage() -> String {
     "usage: gpm-bench --dump-bench <path> [--scale tiny|small|medium|large]\n\
      \u{20}      gpm-bench --diff <old.json> <new.json> [--max-regression <fraction>] \
-     [--require-pinned]"
+     [--require-pinned]\n\
+     \u{20}      gpm-bench --list-algorithms"
         .to_string()
 }
 
 struct Cli {
     dump_path: Option<String>,
     diff_paths: Option<(String, String)>,
+    list_algorithms: bool,
     scale: Scale,
     max_regression: f64,
     require_pinned: bool,
@@ -36,6 +43,7 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
     let mut cli = Cli {
         dump_path: None,
         diff_paths: None,
+        list_algorithms: false,
         scale: Scale::Tiny,
         max_regression: 0.15,
         require_pinned: false,
@@ -46,6 +54,7 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
             "--dump-bench" => {
                 cli.dump_path = Some(it.next().ok_or("--dump-bench requires a path")?);
             }
+            "--list-algorithms" => cli.list_algorithms = true,
             "--diff" => {
                 let old = it.next().ok_or("--diff requires two paths")?;
                 let new = it.next().ok_or("--diff requires two paths")?;
@@ -73,8 +82,14 @@ fn parse(args: Vec<String>) -> Result<Cli, String> {
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
         }
     }
-    if cli.dump_path.is_some() == cli.diff_paths.is_some() {
-        return Err(format!("exactly one of --dump-bench / --diff is required\n{}", usage()));
+    let modes = usize::from(cli.dump_path.is_some())
+        + usize::from(cli.diff_paths.is_some())
+        + usize::from(cli.list_algorithms);
+    if modes != 1 {
+        return Err(format!(
+            "exactly one of --dump-bench / --diff / --list-algorithms is required\n{}",
+            usage()
+        ));
     }
     Ok(cli)
 }
@@ -98,6 +113,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if cli.list_algorithms {
+        print!("{}", gpm_bench::cli::label_grammar());
+        return;
+    }
 
     if let Some(path) = cli.dump_path {
         let produced = dump::produce(cli.scale);

@@ -114,8 +114,60 @@ pub fn usage() -> String {
      algorithm specs: G-PR-First|G-PR-NoShr|G-PR-Shr[@adaptive:<k>|@fix:<k>], \
      G-HK, G-HKDW, PR[@<k>], PFP, HK, HKDW, P-DBFS[@<threads>]\n\
      GPU specs accept a worklist suffix +dense|+compacted|+queue|+blocked \
-     (e.g. G-PR-Shr@adaptive:0.7+queue, G-HKDW+blocked)"
+     (e.g. G-PR-Shr@adaptive:0.7+queue, G-HKDW+blocked) and a final \
+     execution-mode suffix @launch|@resident \
+     (e.g. G-PR-Shr@adaptive:0.7+blocked@resident); \
+     see gpm-bench --list-algorithms for the full grammar"
         .to_string()
+}
+
+/// The full algorithm-label grammar, enumerated: the grammar rule, then
+/// every GPU family × worklist mode × execution mode, then the CPU
+/// baselines.  Every non-comment line after a section header is a
+/// round-trippable [`Algorithm`] label (`gpm-bench --list-algorithms`).
+pub fn label_grammar() -> String {
+    use gpm_core::{ExecMode, GhkVariant, GprVariant, GrStrategy, WorklistMode};
+    let mut out = String::from(
+        "algorithm label grammar:\n\
+         \u{20} <family>[@<strategy>][+<worklist>][@<exec>]\n\
+         \u{20} families:  G-PR-First | G-PR-NoShr | G-PR-Shr  \
+         (strategy @adaptive:<k> | @fix:<k>, default @adaptive:0.7)\n\
+         \u{20}            G-HK | G-HKDW | PR[@<k>] | PFP | HK | HKDW | P-DBFS[@<threads>]\n\
+         \u{20} worklist (GPU only):  +dense | +compacted | +queue | +blocked  \
+         (default: the family's paper representation, printed suffix-free)\n\
+         \u{20} exec (GPU only):  @launch (default: one kernel launch per round) | \
+         @resident (persistent megakernel round loop behind the device's \
+         software global barrier)\n",
+    );
+    out.push_str("\nGPU labels (family x worklist x exec):\n");
+    for algorithm in [
+        Algorithm::gpr(GprVariant::First, GrStrategy::paper_default()),
+        Algorithm::gpr(GprVariant::ActiveList, GrStrategy::paper_default()),
+        Algorithm::gpr(GprVariant::Shrink, GrStrategy::paper_default()),
+        Algorithm::ghk(GhkVariant::Hk),
+        Algorithm::ghk(GhkVariant::Hkdw),
+    ] {
+        for mode in WorklistMode::all() {
+            for exec in ExecMode::all() {
+                out.push_str("  ");
+                out.push_str(&algorithm.with_worklist(mode).with_exec(exec).to_string());
+                out.push('\n');
+            }
+        }
+    }
+    out.push_str("\nCPU labels (shown with their defaults spelled out):\n");
+    for algorithm in [
+        Algorithm::SequentialPushRelabel(0.5),
+        Algorithm::PothenFan,
+        Algorithm::HopcroftKarp,
+        Algorithm::Hkdw,
+        Algorithm::Pdbfs(8),
+    ] {
+        out.push_str("  ");
+        out.push_str(&algorithm.to_string());
+        out.push('\n');
+    }
+    out
 }
 
 /// Parses `std::env::args()` and exits with a message on error.
@@ -206,6 +258,54 @@ mod tests {
         // Junk suffixes are rejected with a parse error.
         assert!(parse(args(&["--algorithms", "G-PR-Shr+stack"])).is_err());
         assert!(parse(args(&["--algorithms", "HK+queue"])).is_err());
+    }
+
+    #[test]
+    fn parses_exec_mode_suffixes() {
+        let o = parse(args(&[
+            "--algorithms",
+            "G-PR-Shr@adaptive:0.7+blocked@resident,G-HKDW@resident",
+        ]))
+        .unwrap();
+        let algs = o.algorithms.unwrap();
+        assert_eq!(
+            algs[0],
+            gpm_core::solver::Algorithm::gpr_default()
+                .with_worklist(gpm_core::WorklistMode::BlockedQueue)
+                .with_exec(gpm_core::ExecMode::Persistent)
+        );
+        assert_eq!(
+            algs[1],
+            gpm_core::solver::Algorithm::ghk(gpm_core::GhkVariant::Hkdw)
+                .with_exec(gpm_core::ExecMode::Persistent)
+        );
+        assert!(parse(args(&["--algorithms", "HK@resident"])).is_err());
+    }
+
+    #[test]
+    fn every_enumerated_grammar_label_round_trips() {
+        let grammar = label_grammar();
+        let mut labels = Vec::new();
+        let mut in_labels = false;
+        for line in grammar.lines() {
+            if line.ends_with(':') {
+                in_labels = line.starts_with("GPU labels") || line.starts_with("CPU labels");
+                continue;
+            }
+            if in_labels && !line.trim().is_empty() {
+                labels.push(line.trim());
+            }
+        }
+        // 5 GPU families × 4 worklist modes × 2 exec modes + 5 CPU labels.
+        assert_eq!(labels.len(), 45, "{grammar}");
+        for label in labels {
+            let alg: Algorithm = label.parse().unwrap_or_else(|e| panic!("{label}: {e}"));
+            // Default suffixes are allowed to vanish when re-printed, but
+            // re-parsing the printed form must be a fixed point.
+            let printed = alg.to_string();
+            assert_eq!(printed.parse::<Algorithm>().unwrap(), alg, "{label}");
+        }
+        assert!(grammar.contains("@resident"), "{grammar}");
     }
 
     #[test]

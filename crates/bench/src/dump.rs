@@ -5,7 +5,9 @@
 //! * **cells** — the canonical sweep: every Table I family (one
 //!   representative instance each, [`mini_suite`]) × the paper's
 //!   comparison algorithms, with the GPU algorithms expanded over all
-//!   four worklist modes (`dense`, `compacted`, `queue`, `blocked`).  GPU
+//!   four worklist modes (`dense`, `compacted`, `queue`, `blocked`) and
+//!   both execution modes (launch-per-round and the persistent
+//!   `@resident` megakernel loop, keyed apart by the label suffix).  GPU
 //!   cells
 //!   report *modelled device seconds* — a deterministic function of the
 //!   engine's round/work counters, independent of the host — and are
@@ -36,7 +38,7 @@
 
 use crate::runner::{measure, prepare_instance};
 use gpm_core::solver::{self, Algorithm, DevicePolicy, Solver};
-use gpm_core::{SolveCtx, WorklistMode};
+use gpm_core::{ExecMode, SolveCtx, WorklistMode};
 use gpm_graph::heuristics::cheap_matching;
 use gpm_graph::instances::{mini_suite, InstanceSpec, Scale};
 use gpm_graph::{BipartiteCsr, GraphDelta};
@@ -55,7 +57,10 @@ pub struct BenchCell {
     pub instance: String,
     /// Structural family of the instance.
     pub family: String,
-    /// Round-trippable algorithm spec (without the worklist suffix).
+    /// Round-trippable algorithm spec (without the worklist suffix, but
+    /// *with* the `@resident` execution-mode suffix when the cell ran the
+    /// persistent megakernel loop — persistent cells are distinct keys in
+    /// the regression diff).
     pub algorithm: String,
     /// Worklist mode (`dense` / `compacted` / `queue` / `blocked`) or
     /// `host` for CPU algorithms.
@@ -160,19 +165,14 @@ pub struct BenchDump {
     pub service: ServiceComparison,
 }
 
-/// The four worklist modes with their wire/cell labels.
-fn worklist_modes() -> [(WorklistMode, &'static str); 4] {
-    [
-        (WorklistMode::DenseStamp, "dense"),
-        (WorklistMode::Compacted, "compacted"),
-        (WorklistMode::AtomicQueue, "queue"),
-        (WorklistMode::BlockedQueue, "blocked"),
-    ]
-}
-
 /// Runs the canonical sweep over `specs`: GPU algorithms × all worklist
-/// modes (pinned, modelled seconds) plus the CPU comparison algorithms
-/// (unpinned, wall-clock).
+/// modes × both execution modes (pinned, modelled seconds) plus the CPU
+/// comparison algorithms (unpinned, wall-clock).
+///
+/// Launch-per-round cells keep their historical keys (the exec mode never
+/// appears in a default-mode label); persistent cells carry the `@resident`
+/// suffix in their `algorithm` field and therefore arrive as *new* keys in
+/// the diff, pinned against the next dump.
 pub fn sweep_cells(specs: &[InstanceSpec], scale: Scale) -> Vec<BenchCell> {
     let mut solver = Solver::builder()
         .device_policy(DevicePolicy::Sequential)
@@ -184,9 +184,13 @@ pub fn sweep_cells(specs: &[InstanceSpec], scale: Scale) -> Vec<BenchCell> {
         for algorithm in solver::paper_comparison_set() {
             let gpu = algorithm.label().starts_with("G-");
             let variants: Vec<(Algorithm, &'static str)> = if gpu {
-                worklist_modes()
+                ExecMode::all()
                     .into_iter()
-                    .map(|(mode, label)| (algorithm.with_worklist(mode), label))
+                    .flat_map(|exec| {
+                        WorklistMode::all().into_iter().map(move |mode| {
+                            (algorithm.with_worklist(mode).with_exec(exec), mode.label())
+                        })
+                    })
                     .collect()
             } else {
                 vec![(algorithm, "host")]
@@ -194,10 +198,14 @@ pub fn sweep_cells(specs: &[InstanceSpec], scale: Scale) -> Vec<BenchCell> {
             for (variant, worklist) in variants {
                 let m = measure(&instance, variant, &mut solver)
                     .unwrap_or_else(|e| panic!("{} on {}: {e}", variant, spec.name));
+                let spec_label = match variant.exec() {
+                    Some(exec) => algorithm.with_exec(exec).to_string(),
+                    None => algorithm.to_string(),
+                };
                 cells.push(BenchCell {
                     instance: spec.name.to_string(),
                     family: format!("{:?}", spec.family),
-                    algorithm: algorithm.to_string(),
+                    algorithm: spec_label,
                     worklist: worklist.to_string(),
                     seconds: m.seconds,
                     wall_seconds: m.wall_seconds,
@@ -251,7 +259,8 @@ pub fn sweep_delta(specs: &[InstanceSpec], scale: Scale) -> (Vec<BenchCell>, Vec
             let child_initial = cheap_matching(&child);
             let child_max = gpm_cpu::hopcroft_karp(&child, &child_initial).matching.cardinality();
             let instance = format!("{}+d{churn_label}", spec.name);
-            for (mode, worklist) in worklist_modes() {
+            for mode in WorklistMode::all() {
+                let worklist = mode.label();
                 let algorithm = algorithm_base.with_worklist(mode);
                 let cold = solver
                     .solve_with_initial(&child, &child_initial, algorithm)
@@ -712,15 +721,19 @@ mod tests {
     }
 
     #[test]
-    fn sweep_emits_pinned_gpu_cells_for_every_worklist_mode() {
+    fn sweep_emits_pinned_gpu_cells_for_every_worklist_and_exec_mode() {
         let specs = vec![instances::by_name("amazon0505").unwrap()];
         let cells = sweep_cells(&specs, Scale::Tiny);
-        // 2 GPU algorithms × 4 worklist modes + 2 CPU algorithms.
-        assert_eq!(cells.len(), 10);
-        assert_eq!(cells.iter().filter(|c| c.pinned).count(), 8);
-        for mode in ["dense", "compacted", "queue", "blocked"] {
-            assert_eq!(cells.iter().filter(|c| c.worklist == mode).count(), 2, "{mode}");
+        // 2 GPU algorithms × 4 worklist modes × 2 exec modes + 2 CPU
+        // algorithms.
+        assert_eq!(cells.len(), 18);
+        assert_eq!(cells.iter().filter(|c| c.pinned).count(), 16);
+        for mode in WorklistMode::all() {
+            assert_eq!(cells.iter().filter(|c| c.worklist == mode.label()).count(), 4, "{mode}");
         }
+        // Persistent cells are keyed apart by the `@resident` suffix; the
+        // launch-per-round cells keep their historical suffix-free keys.
+        assert_eq!(cells.iter().filter(|c| c.algorithm.ends_with("@resident")).count(), 8);
         // The dump round-trips through serde_json and keeps its cell keys.
         let json = serde_json::to_string(&Value::Map(vec![(
             "cells".to_string(),
@@ -728,7 +741,7 @@ mod tests {
         )]))
         .unwrap();
         let parsed: Value = serde_json::from_str(&json).unwrap();
-        assert_eq!(pinned_cells(&parsed).unwrap().len(), 8);
+        assert_eq!(pinned_cells(&parsed).unwrap().len(), 16);
     }
 
     #[test]

@@ -83,14 +83,18 @@ pub fn engine_for_tuned(
 ) -> Result<Box<dyn Engine + Send>, SolveError> {
     algorithm.validate()?;
     Ok(match algorithm {
-        Algorithm::GpuPushRelabel(variant, strategy, worklist) => Box::new(GprEngine {
+        Algorithm::GpuPushRelabel(variant, strategy, worklist, exec) => Box::new(GprEngine {
             algorithm,
-            config: GprConfig { variant, strategy, worklist, ..*gpr_base },
+            config: GprConfig { variant, strategy, worklist, exec, ..*gpr_base },
             workspace: GprWorkspace::new(),
         }),
-        Algorithm::GpuHopcroftKarp(variant, worklist) => {
-            Box::new(GhkEngine { algorithm, variant, worklist, workspace: GhkWorkspace::new() })
-        }
+        Algorithm::GpuHopcroftKarp(variant, worklist, exec) => Box::new(GhkEngine {
+            algorithm,
+            variant,
+            worklist,
+            exec,
+            workspace: GhkWorkspace::new(),
+        }),
         Algorithm::SequentialPushRelabel(k) => Box::new(PrEngine {
             algorithm,
             config: PrConfig { global_relabel_k: k, ..PrConfig::default() },
@@ -140,6 +144,7 @@ struct GhkEngine {
     algorithm: Algorithm,
     variant: GhkVariant,
     worklist: gpm_gpu::WorklistMode,
+    exec: gpm_gpu::ExecMode,
     workspace: GhkWorkspace,
 }
 
@@ -156,12 +161,13 @@ impl Engine for GhkEngine {
     ) -> Result<EngineOutput, SolveError> {
         let device = ctx.require_device(&self.algorithm)?;
         let stop = ctx.stop.stop_check();
-        let r = ghk::run_with_mode_stop(
+        let r = ghk::run_with_exec_stop(
             device,
             graph,
             initial,
             self.variant,
             self.worklist,
+            self.exec,
             &mut self.workspace,
             &stop,
         );

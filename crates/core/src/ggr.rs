@@ -20,7 +20,8 @@
 //! ([`global_relabel_with`]).
 
 use crate::device::{DeviceState, MU_UNMATCHED};
-use gpm_gpu::{StopCheck, VirtualGpu, Worklist, WorklistKernels, WorklistMode};
+use crate::roundloop::{drive_rounds, resident_scope, RoundOutcome};
+use gpm_gpu::{ExecMode, StopCheck, VirtualGpu, Worklist, WorklistKernels, WorklistMode};
 use gpm_graph::BipartiteCsr;
 
 /// Kernel names the G-GR frontier worklist charges its maintenance to.
@@ -80,6 +81,42 @@ pub fn global_relabel_with_stop(
     mode: WorklistMode,
     stop: &StopCheck,
 ) -> GlobalRelabelOutcome {
+    global_relabel_with_exec(gpu, graph, state, mode, ExecMode::LaunchPerRound, stop)
+}
+
+/// Runs `G-GR` like [`global_relabel_with_stop`] under an explicit
+/// [`ExecMode`].  Under [`ExecMode::Persistent`] the whole BFS — the init
+/// kernels and every level — executes inside one
+/// [`gpm_gpu::VirtualGpu::resident`] scope, so each level pays a software
+/// global-barrier crossing instead of a kernel launch.
+///
+/// This is the entry point for a *standalone* persistent relabeling.  When
+/// G-GR runs inside a persistent G-PR solve, the engine passes
+/// [`ExecMode::LaunchPerRound`] here instead: the kernels then inherit the
+/// enclosing solve's resident scope (nesting scopes is an error).
+pub fn global_relabel_with_exec(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    state: &DeviceState,
+    mode: WorklistMode,
+    exec: ExecMode,
+    stop: &StopCheck,
+) -> GlobalRelabelOutcome {
+    match resident_scope(exec, "G-GR-RESIDENT", graph.num_rows().max(graph.num_cols())) {
+        Some((name, domain)) => {
+            gpu.resident(name, domain, || global_relabel_body(gpu, graph, state, mode, stop))
+        }
+        None => global_relabel_body(gpu, graph, state, mode, stop),
+    }
+}
+
+fn global_relabel_body(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    state: &DeviceState,
+    mode: WorklistMode,
+    stop: &StopCheck,
+) -> GlobalRelabelOutcome {
     let m = graph.num_rows();
     let unreachable = state.unreachable;
 
@@ -106,12 +143,7 @@ pub fn global_relabel_with_stop(
     frontier.seed_by_predicate(|u| state.mu_row.get(u) == MU_UNMATCHED);
     let mut c_level: u32 = 0;
     let mut levels = 0u32;
-    let mut stopped = false;
-    loop {
-        if stop.should_stop() {
-            stopped = true;
-            break;
-        }
+    let stopped = drive_rounds(gpu, None, stop, || {
         frontier.for_each_frontier("G-GR-KRNL", |ctx, u, frontier| {
             for &v in graph.row_neighbors(u as u32) {
                 ctx.add_work(1);
@@ -128,10 +160,12 @@ pub fn global_relabel_with_stop(
         });
         c_level += 2;
         levels += 1;
-        if !frontier.advance_frontier() {
-            break;
+        if frontier.advance_frontier() {
+            RoundOutcome::Continue
+        } else {
+            RoundOutcome::Done
         }
-    }
+    });
 
     // maxLevel is the level counter reached when the BFS stopped adding rows
     // (Algorithm 4 line 8).
@@ -315,6 +349,43 @@ mod tests {
         // returned `false` ran a level kernel.
         assert_eq!(out.levels, 3);
         assert!(out.levels < full.levels);
+    }
+
+    #[test]
+    fn persistent_relabeling_writes_identical_labels_without_launches() {
+        let g = gen::uniform_random(80, 80, 360, 13).unwrap();
+        let matching = cheap_matching(&g);
+        let (er, ec) = exact_labels_host(&g, &matching);
+        for make_gpu in [VirtualGpu::sequential as fn() -> VirtualGpu, VirtualGpu::parallel] {
+            for mode in WorklistMode::all() {
+                let lpr_gpu = make_gpu();
+                let state = DeviceState::upload(&g, &matching);
+                let lpr = global_relabel_with(&lpr_gpu, &g, &state, mode);
+
+                let gpu = make_gpu();
+                let state = DeviceState::upload(&g, &matching);
+                let out = global_relabel_with_exec(
+                    &gpu,
+                    &g,
+                    &state,
+                    mode,
+                    ExecMode::Persistent,
+                    &StopCheck::never(),
+                );
+                assert!(!out.stopped);
+                assert_eq!(state.psi_row.to_vec(), er, "{mode}");
+                assert_eq!(state.psi_col.to_vec(), ec, "{mode}");
+                assert_eq!(out.max_level, lpr.max_level, "{mode}");
+                assert_eq!(out.levels, lpr.levels, "{mode}");
+                // Every level kernel ran as a device-resident round behind
+                // the global barrier; only the scope entry launched.
+                let stats = gpu.stats();
+                assert_eq!(stats.launches_of("G-GR-KRNL"), 0, "{mode}");
+                assert_eq!(stats.resident_rounds_of("G-GR-KRNL"), out.levels as u64, "{mode}");
+                assert_eq!(stats.launches_of("G-GR-RESIDENT"), 1, "{mode}");
+                assert!(stats.total_barriers() >= out.levels as u64, "{mode}");
+            }
+        }
     }
 
     #[test]

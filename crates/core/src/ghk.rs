@@ -29,8 +29,10 @@
 //! same order.
 
 use crate::device::{DeviceState, MU_UNMATCHED};
+use crate::roundloop::{drive_rounds, resident_scope, subtract_device_stats, RoundOutcome};
 use gpm_gpu::{
-    DeviceBuffer, DeviceStats, StopCheck, VirtualGpu, Worklist, WorklistKernels, WorklistMode,
+    DeviceBuffer, DeviceStats, ExecMode, StopCheck, VirtualGpu, Worklist, WorklistKernels,
+    WorklistMode,
 };
 use gpm_graph::{BipartiteCsr, Matching, VertexId};
 
@@ -176,6 +178,35 @@ pub fn run_with_mode_stop(
     workspace: &mut GhkWorkspace,
     stop: &StopCheck,
 ) -> GhkResult {
+    run_with_exec_stop(
+        gpu,
+        graph,
+        initial,
+        variant,
+        mode,
+        ExecMode::LaunchPerRound,
+        workspace,
+        stop,
+    )
+}
+
+/// Runs G-HK / G-HKDW like [`run_with_mode_stop`] under an explicit
+/// [`ExecMode`].  Under [`ExecMode::Persistent`] the whole phase loop —
+/// BFS levels, DFS kernels, commit charges, and the Duff–Wiberg sweep —
+/// executes inside one [`gpm_gpu::VirtualGpu::resident`] scope, so every
+/// per-phase kernel crosses the software global barrier instead of paying a
+/// fresh launch.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_exec_stop(
+    gpu: &VirtualGpu,
+    graph: &BipartiteCsr,
+    initial: &Matching,
+    variant: GhkVariant,
+    mode: WorklistMode,
+    exec: ExecMode,
+    workspace: &mut GhkWorkspace,
+    stop: &StopCheck,
+) -> GhkResult {
     let start = std::time::Instant::now();
     let base_stats = gpu.stats();
     let GhkWorkspace { state: state_slot, dist_col: dist_slot } = workspace;
@@ -190,11 +221,8 @@ pub fn run_with_mode_stop(
     // the layer array itself stays algorithm state, feeding the DFS.
     let mut frontier = Worklist::new(gpu, mode, n, GHK_WORKLIST_KERNELS);
 
-    loop {
-        if stop.should_stop() {
-            stats.stopped = true;
-            break;
-        }
+    let resident = resident_scope(exec, "G-HK-RESIDENT", n.max(m));
+    stats.stopped = drive_rounds(gpu, resident, stop, || {
         // ---- BFS phase (level-synchronous kernels over columns) ----
         gpu.launch("G-HK-BFS-INIT", n, |ctx| {
             let v = ctx.global_id;
@@ -207,11 +235,9 @@ pub fn run_with_mode_stop(
         frontier.seed(free_cols.iter().map(|&v| v as usize));
         found_free_row.set(0, false);
         let mut level = 0u32;
-        loop {
-            if stop.should_stop() {
-                stats.stopped = true;
-                break;
-            }
+        // The inner level loop shares the driver (and under a persistent
+        // launch, the ambient resident scope — hence no scope of its own).
+        let bfs_stopped = drive_rounds(gpu, None, stop, || {
             frontier.for_each_frontier("G-HK-BFS-KRNL", |ctx, v, frontier| {
                 for &u in graph.col_neighbors(v as u32) {
                     ctx.add_work(1);
@@ -228,15 +254,16 @@ pub fn run_with_mode_stop(
                 }
             });
             if found_free_row.get(0) || !frontier.advance_frontier() {
-                break;
+                return RoundOutcome::Done;
             }
             level += 1;
-        }
-        if stats.stopped {
-            break;
+            RoundOutcome::Continue
+        });
+        if bfs_stopped {
+            return RoundOutcome::Stopped;
         }
         if !found_free_row.get(0) {
-            break; // no augmenting path: maximum reached
+            return RoundOutcome::Done; // no augmenting path: maximum reached
         }
         stats.phases += 1;
 
@@ -272,37 +299,20 @@ pub fn run_with_mode_stop(
             if host_augment_one(graph, state) {
                 stats.augmentations += 1;
             } else {
-                break;
+                return RoundOutcome::Done;
             }
         }
-    }
+        RoundOutcome::Continue
+    });
 
     // G-HK/G-HKDW keep µ consistent; download directly.
     let matching = state.download_matching();
     let mut run_device = gpu.stats();
-    subtract(&mut run_device, &base_stats);
+    subtract_device_stats(&mut run_device, &base_stats);
     stats.atomics = run_device.total_atomics();
     stats.device = run_device;
     stats.seconds = start.elapsed().as_secs_f64();
     GhkResult { matching, stats }
-}
-
-fn subtract(total: &mut DeviceStats, base: &DeviceStats) {
-    for (name, b) in &base.kernels {
-        if let Some(t) = total.kernels.get_mut(name) {
-            t.launches -= b.launches;
-            t.fused_tails -= b.fused_tails;
-            t.total_threads -= b.total_threads;
-            t.total_work -= b.total_work;
-            t.total_atomics -= b.total_atomics;
-            t.hot_word_atomics -= b.hot_word_atomics;
-            t.modelled_time_ns -= b.modelled_time_ns;
-            t.wall_time_ns -= b.wall_time_ns;
-        }
-    }
-    // Keep fused-only rows (e.g. a blocked-queue stitch): they launch
-    // nothing but still represent this run's device work.
-    total.kernels.retain(|_, k| k.launches > 0 || k.fused_tails > 0);
 }
 
 /// Runs the DFS kernel: one thread per free column builds a tentative
@@ -735,6 +745,63 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn persistent_exec_matches_launch_per_round() {
+        let gpu = VirtualGpu::sequential();
+        for seed in 0..2u64 {
+            let g = gen::uniform_random(70, 65, 340, seed + 70).unwrap();
+            let opt = maximum_matching_cardinality(&g);
+            let init = cheap_matching(&g);
+            for variant in [GhkVariant::Hk, GhkVariant::Hkdw] {
+                for mode in WorklistMode::all() {
+                    let lpr =
+                        run_with_mode(&gpu, &g, &init, variant, mode, &mut GhkWorkspace::new());
+                    let per = run_with_exec_stop(
+                        &gpu,
+                        &g,
+                        &init,
+                        variant,
+                        mode,
+                        ExecMode::Persistent,
+                        &mut GhkWorkspace::new(),
+                        &StopCheck::never(),
+                    );
+                    let tag = format!("{} + {mode}, seed {seed}", variant.label());
+                    assert_eq!(per.matching.cardinality(), opt, "{tag}");
+                    per.matching.validate_against(&g).unwrap();
+                    assert_eq!(per.stats.phases, lpr.stats.phases, "{tag}");
+                    assert_eq!(per.stats.augmentations, lpr.stats.augmentations, "{tag}");
+                    assert_eq!(per.stats.conflicts, lpr.stats.conflicts, "{tag}");
+                    assert!(!per.stats.stopped, "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_runs_keep_launches_to_the_entry_kernel() {
+        let gpu = VirtualGpu::parallel();
+        let g = gen::uniform_random(200, 200, 900, 31).unwrap();
+        let init = cheap_matching(&g);
+        let r = run_with_exec_stop(
+            &gpu,
+            &g,
+            &init,
+            GhkVariant::Hkdw,
+            WorklistMode::BlockedQueue,
+            ExecMode::Persistent,
+            &mut GhkWorkspace::new(),
+            &StopCheck::never(),
+        );
+        assert_eq!(r.matching.cardinality(), maximum_matching_cardinality(&g));
+        // One resident entry launch; every per-phase kernel became a round.
+        assert_eq!(r.stats.device.total_launches(), 1);
+        assert_eq!(r.stats.device.launches_of("G-HK-RESIDENT"), 1);
+        assert_eq!(r.stats.device.launches_of("G-HK-BFS-KRNL"), 0);
+        assert!(r.stats.device.resident_rounds_of("G-HK-BFS-KRNL") >= r.stats.phases);
+        assert!(r.stats.device.total_barriers() > 0);
     }
 
     #[test]

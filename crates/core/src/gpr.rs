@@ -33,10 +33,11 @@
 
 use crate::device::{DeviceState, MU_UNMATCHABLE, MU_UNMATCHED};
 use crate::ggr::global_relabel_with_stop;
+use crate::roundloop::{drive_rounds, resident_scope, subtract_device_stats, RoundOutcome};
 use crate::strategy::GrStrategy;
 use gpm_gpu::{
-    ActiveView, DeviceStats, SlotAction, StopCheck, VirtualGpu, Worklist, WorklistKernels,
-    WorklistMode,
+    ActiveView, DeviceStats, ExecMode, SlotAction, StopCheck, VirtualGpu, Worklist,
+    WorklistKernels, WorklistMode,
 };
 use gpm_graph::{BipartiteCsr, Matching};
 
@@ -94,6 +95,13 @@ pub struct GprConfig {
     /// the global-relabeling BFS frontier).  [`GprVariant::First`] predates
     /// active lists and ignores this knob for its main loop.
     pub worklist: WorklistMode,
+    /// How the round loop executes: one kernel launch per round (the
+    /// default), or a persistent megakernel whose rounds cross a software
+    /// global barrier ([`ExecMode::Persistent`]) — the whole main loop,
+    /// global relabelings included, then runs inside one
+    /// [`gpm_gpu::VirtualGpu::resident`] scope and only `FIXMATCHING` pays a
+    /// separate launch.
+    pub exec: ExecMode,
     /// Minimum active-list length for which the shrink kernel is worth its
     /// overhead (the paper uses 512; line 11 of Algorithm 7).  Must be at
     /// least 1 ([`GprConfig::validate`]).
@@ -113,6 +121,7 @@ impl GprConfig {
             variant: GprVariant::Shrink,
             strategy: GrStrategy::paper_default(),
             worklist: GprVariant::Shrink.default_worklist(),
+            exec: ExecMode::LaunchPerRound,
             shrink_threshold: 512,
             max_loops: 0, // 0 = derive from graph size at run time
         }
@@ -132,6 +141,12 @@ impl GprConfig {
     /// Same configuration but with an explicit worklist representation.
     pub fn with_worklist(mut self, worklist: WorklistMode) -> Self {
         self.worklist = worklist;
+        self
+    }
+
+    /// Same configuration but with an explicit execution mode.
+    pub fn with_exec(mut self, exec: ExecMode) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -171,6 +186,8 @@ pub struct GprRunStats {
     /// Worklist-representation label (`dense`, `compacted`, `queue`,
     /// `blocked`).
     pub worklist: &'static str,
+    /// Execution-mode label (`launch` or `resident`).
+    pub exec: &'static str,
     /// GR-strategy label.
     pub strategy: String,
     /// Number of main-loop iterations executed.
@@ -273,6 +290,7 @@ pub fn run_with_stop(
     let mut stats = GprRunStats {
         variant: config.variant.label(),
         worklist: config.worklist.label(),
+        exec: config.exec.label(),
         strategy: config.strategy.label(),
         ..Default::default()
     };
@@ -290,31 +308,11 @@ pub fn run_with_stop(
     // Report only the device work done by this run, even if the caller
     // reuses one VirtualGpu across runs.
     let mut run_device = gpu.stats();
-    subtract_stats(&mut run_device, &base_stats);
+    subtract_device_stats(&mut run_device, &base_stats);
     stats.atomics = run_device.total_atomics();
     stats.device = run_device;
     stats.seconds = start.elapsed().as_secs_f64();
     GprResult { matching, stats }
-}
-
-/// Subtracts `base` (a previous snapshot) from `total`, leaving only the work
-/// performed after the snapshot was taken.
-fn subtract_stats(total: &mut DeviceStats, base: &DeviceStats) {
-    for (name, b) in &base.kernels {
-        if let Some(t) = total.kernels.get_mut(name) {
-            t.launches -= b.launches;
-            t.fused_tails -= b.fused_tails;
-            t.total_threads -= b.total_threads;
-            t.total_work -= b.total_work;
-            t.total_atomics -= b.total_atomics;
-            t.hot_word_atomics -= b.hot_word_atomics;
-            t.modelled_time_ns -= b.modelled_time_ns;
-            t.wall_time_ns -= b.wall_time_ns;
-        }
-    }
-    // Fused-only rows (the drained-queue refill, the blocked stitch) never
-    // launch, but they are real work this run did — keep them.
-    total.kernels.retain(|_, k| k.launches > 0 || k.fused_tails > 0);
 }
 
 /// The push-relabel step shared by Algorithm 6 and Algorithm 9: scans `Γ(v)`
@@ -404,22 +402,21 @@ fn run_first(
     // (the configured representation cannot change the launch shape).
     let mut worklist = Worklist::new(gpu, WorklistMode::DenseStamp, n, GPR_WORKLIST_KERNELS);
 
+    let resident = resident_scope(config.exec, "G-PR-RESIDENT", n.max(graph.num_rows()));
     let mut active_exists = true;
-    while active_exists {
+    stats.stopped = drive_rounds(gpu, resident, stop, || {
+        if !active_exists {
+            return RoundOutcome::Done;
+        }
         assert!(
             loop_iter < max_loops,
             "G-PR-First exceeded the safety iteration cap ({max_loops}); this indicates a bug"
         );
-        if stop.should_stop() {
-            stats.stopped = true;
-            break;
-        }
         if loop_iter == iter_gr {
             let outcome = global_relabel_with_stop(gpu, graph, state, config.worklist, stop);
             stats.global_relabels += 1;
             if outcome.stopped {
-                stats.stopped = true;
-                break;
+                return RoundOutcome::Stopped;
             }
             iter_gr = config.strategy.next_relabel_iteration(outcome.max_level, loop_iter);
         }
@@ -431,7 +428,8 @@ fn run_first(
             let _ = push_relabel_step(graph, state, ctx, v, None);
         });
         loop_iter += 1;
-    }
+        RoundOutcome::Continue
+    });
     stats.loops = loop_iter;
 }
 
@@ -468,23 +466,18 @@ fn run_active_list(
     let mut loop_iter: u64 = 0;
     let mut iter_gr: u64 = 0;
     let mut shrink_pending = false;
-    let mut active_exists = true;
 
-    while active_exists {
+    let resident = resident_scope(config.exec, "G-PR-RESIDENT", n.max(graph.num_rows()));
+    stats.stopped = drive_rounds(gpu, resident, stop, || {
         assert!(
             loop_iter < max_loops,
             "G-PR active-list variant exceeded the safety iteration cap ({max_loops}); this indicates a bug"
         );
-        if stop.should_stop() {
-            stats.stopped = true;
-            break;
-        }
         if loop_iter == iter_gr {
             let outcome = global_relabel_with_stop(gpu, graph, state, config.worklist, stop);
             stats.global_relabels += 1;
             if outcome.stopped {
-                stats.stopped = true;
-                break;
+                return RoundOutcome::Stopped;
             }
             iter_gr = config.strategy.next_relabel_iteration(outcome.max_level, loop_iter);
             shrink_pending = true;
@@ -497,30 +490,36 @@ fn run_active_list(
         let want_shrink = config.variant == GprVariant::Shrink
             && shrink_pending
             && worklist.len() >= config.shrink_threshold;
-        active_exists = worklist.begin_round(is_active, want_shrink);
+        // The in-loop transition: close the previous round (the A_c/A_p
+        // swap) and open the next in one step — under a persistent launch
+        // the leader executes this whole edge between two barrier
+        // crossings.
+        let active_exists = worklist.round_transition(is_active, want_shrink);
         if worklist.compacted_last_round() {
             stats.shrinks += 1;
             shrink_pending = false;
         }
-
-        if active_exists {
-            // G-PR-PUSHKRNL (Algorithm 9), with the drained-queue refill
-            // fused into the kernel tail: a queue round that ends empty
-            // re-scans by predicate without paying another launch.
-            worklist.for_each_active_refill(
-                "G-PR-PUSHKRNL",
-                |ctx, v, view| match push_relabel_step(graph, state, ctx, v, Some(view)) {
-                    PushOutcome::Pushed(Some(displaced)) => SlotAction::Push(displaced as usize),
-                    PushOutcome::Pushed(None) => SlotAction::Finish,
-                    PushOutcome::Unmatchable => SlotAction::Retire,
-                    PushOutcome::Deferred => SlotAction::Defer,
-                },
-                is_active,
-            );
-            worklist.end_round();
+        if !active_exists {
+            loop_iter += 1;
+            return RoundOutcome::Done;
         }
+
+        // G-PR-PUSHKRNL (Algorithm 9), with the drained-queue refill
+        // fused into the kernel tail: a queue round that ends empty
+        // re-scans by predicate without paying another launch.
+        worklist.for_each_active_refill(
+            "G-PR-PUSHKRNL",
+            |ctx, v, view| match push_relabel_step(graph, state, ctx, v, Some(view)) {
+                PushOutcome::Pushed(Some(displaced)) => SlotAction::Push(displaced as usize),
+                PushOutcome::Pushed(None) => SlotAction::Finish,
+                PushOutcome::Unmatchable => SlotAction::Retire,
+                PushOutcome::Deferred => SlotAction::Defer,
+            },
+            is_active,
+        );
         loop_iter += 1;
-    }
+        RoundOutcome::Continue
+    });
     stats.loops = loop_iter;
 }
 
@@ -797,6 +796,92 @@ mod tests {
             queue_threads <= dense_threads,
             "queue should not launch more push threads ({queue_threads} vs {dense_threads})"
         );
+    }
+
+    #[test]
+    fn persistent_exec_matches_launch_per_round() {
+        // Same code path drives both modes, so matching, round counts, and
+        // relabel/shrink schedules must agree exactly.
+        let gpu = VirtualGpu::sequential();
+        for seed in 0..2u64 {
+            let g = gen::uniform_random(70, 65, 340, seed + 60).unwrap();
+            let init = cheap_matching(&g);
+            for variant in all_variants() {
+                for mode in WorklistMode::all() {
+                    let base = GprConfig::with_variant(variant).with_worklist(mode);
+                    let lpr = run(&gpu, &g, &init, base);
+                    let per = run(&gpu, &g, &init, base.with_exec(ExecMode::Persistent));
+                    let tag = format!("{} + {mode}, seed {seed}", variant.label());
+                    assert_eq!(per.matching.cardinality(), lpr.matching.cardinality(), "{tag}");
+                    per.matching.validate_against(&g).unwrap();
+                    assert_eq!(per.stats.loops, lpr.stats.loops, "{tag}");
+                    assert_eq!(per.stats.global_relabels, lpr.stats.global_relabels, "{tag}");
+                    assert_eq!(per.stats.shrinks, lpr.stats.shrinks, "{tag}");
+                    assert!(!per.stats.stopped, "{tag}");
+                    assert_eq!(per.stats.exec, "resident", "{tag}");
+                    assert_eq!(lpr.stats.exec, "launch", "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn persistent_runs_launch_a_small_constant_number_of_kernels() {
+        for make_gpu in [VirtualGpu::sequential as fn() -> VirtualGpu, VirtualGpu::parallel] {
+            let gpu = make_gpu();
+            let g = gen::rmat(gen::RmatParams::graph500(9, 4), 4).unwrap();
+            let init = cheap_matching(&g);
+            let config = GprConfig::paper_default().with_exec(ExecMode::Persistent);
+            let r = run(&gpu, &g, &init, config);
+            assert_eq!(r.matching.cardinality(), maximum_matching_cardinality(&g));
+            // The whole solve is one resident launch plus FIXMATCHING; every
+            // round loop kernel crossed the global barrier instead.
+            assert_eq!(r.stats.device.launches_of("G-PR-RESIDENT"), 1);
+            assert_eq!(r.stats.device.launches_of("FIXMATCHING"), 1);
+            assert_eq!(r.stats.device.total_launches(), 2);
+            assert!(r.stats.device.total_resident_rounds() > 0);
+            assert!(r.stats.device.total_barriers() > 0);
+            assert_eq!(r.stats.device.launches_of("G-PR-PUSHKRNL"), 0);
+            assert!(r.stats.device.resident_rounds_of("G-PR-PUSHKRNL") >= r.stats.loops - 1);
+        }
+    }
+
+    #[test]
+    fn persistent_exec_is_cheaper_when_launch_bound() {
+        // A long, narrow solve: many rounds over small frontiers, the
+        // regime where launch overhead dominates and the barrier wins.
+        let gpu = VirtualGpu::sequential();
+        let g = gen::road_network(40, 40, 0.1, 5).unwrap();
+        let init = cheap_matching(&g);
+        let base = GprConfig::paper_default().with_worklist(WorklistMode::BlockedQueue);
+        let lpr = run(&gpu, &g, &init, base);
+        let per = run(&gpu, &g, &init, base.with_exec(ExecMode::Persistent));
+        assert_eq!(lpr.matching.cardinality(), per.matching.cardinality());
+        assert!(
+            per.stats.device.modelled_time_secs() < lpr.stats.device.modelled_time_secs(),
+            "persistent ({:.6}s) should beat launch-per-round ({:.6}s)",
+            per.stats.device.modelled_time_secs(),
+            lpr.stats.device.modelled_time_secs()
+        );
+    }
+
+    #[test]
+    fn persistent_stop_check_still_lands_within_one_round() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let gpu = VirtualGpu::sequential();
+        let g = gen::rmat(gen::RmatParams::graph500(10, 4), 4).unwrap();
+        let init = cheap_matching(&g);
+        for variant in all_variants() {
+            let polls = Arc::new(AtomicU64::new(0));
+            let p = Arc::clone(&polls);
+            let stop = StopCheck::from_fn(move || p.fetch_add(1, Ordering::Relaxed) >= 3);
+            let config = GprConfig::with_variant(variant).with_exec(ExecMode::Persistent);
+            let r = run_with_stop(&gpu, &g, &init, config, &mut GprWorkspace::new(), &stop);
+            assert!(r.stats.stopped, "{}", variant.label());
+            assert!(r.stats.loops <= 3, "{}: {} rounds", variant.label(), r.stats.loops);
+            r.matching.validate_against(&g).unwrap();
+        }
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod ggr;
 pub mod ghk;
 pub mod gpr;
 pub mod resolve;
+pub mod roundloop;
 pub mod solver;
 pub mod strategy;
 
@@ -72,9 +73,10 @@ pub use cancel::{CancelToken, SolveCtx, StopReason};
 pub use engine::{Engine, EngineCtx, EngineOutput};
 pub use error::{ParseAlgorithmError, ParseInitHeuristicError, SolveError};
 pub use ghk::{GhkVariant, GhkWorkspace};
-pub use gpm_gpu::{ExecutorConfig, WorklistMode};
+pub use gpm_gpu::{ExecMode, ExecutorConfig, WorklistMode};
 pub use gpr::{GprConfig, GprResult, GprVariant, GprWorkspace};
 pub use resolve::{ResolveOutcome, ResolveReport, WARM_START_CHURN_LIMIT};
+pub use roundloop::{drive_rounds, resident_scope, RoundOutcome};
 pub use solver::{
     solve, solve_with_initial, Algorithm, DevicePolicy, InitHeuristic, SolveReport, Solver,
 };

@@ -31,7 +31,9 @@ use crate::error::{ParseAlgorithmError, ParseInitHeuristicError, SolveError};
 use crate::ghk::GhkVariant;
 use crate::gpr::{GprConfig, GprVariant};
 use crate::strategy::GrStrategy;
-use gpm_gpu::{Backend, DeviceStats, ExecutorConfig, GpuConfig, VirtualGpu, WorklistMode};
+use gpm_gpu::{
+    Backend, DeviceStats, ExecMode, ExecutorConfig, GpuConfig, VirtualGpu, WorklistMode,
+};
 use gpm_graph::heuristics::{cheap_matching, karp_sipser};
 use gpm_graph::{BipartiteCsr, Matching};
 use serde::{Deserialize, Serialize, Value};
@@ -48,16 +50,19 @@ use std::str::FromStr;
 /// [`FromStr`] with labels like `G-PR-Shr@adaptive:0.7` or
 /// `G-PR-Shr@adaptive:0.7+queue` (see the `FromStr` impl for the grammar).
 /// The GPU algorithms carry a [`WorklistMode`] selecting how their active
-/// set / BFS frontier is represented on the device; the `+mode` suffix is
-/// omitted from labels when it equals the variant's paper default.
+/// set / BFS frontier is represented on the device, and an [`ExecMode`]
+/// selecting launch-per-round or persistent (megakernel) execution; the
+/// `+mode` suffix is omitted from labels when it equals the variant's paper
+/// default, and the trailing `@resident` suffix appears only under
+/// [`ExecMode::Persistent`].
 #[derive(Clone, Copy, Debug)]
 pub enum Algorithm {
     /// G-PR (GPU push-relabel), any of the three variants, with a GR
-    /// strategy and a worklist representation.
-    GpuPushRelabel(GprVariant, GrStrategy, WorklistMode),
+    /// strategy, a worklist representation, and an execution mode.
+    GpuPushRelabel(GprVariant, GrStrategy, WorklistMode, ExecMode),
     /// G-HK or G-HKDW (GPU augmenting path) with a BFS-frontier
-    /// representation.
-    GpuHopcroftKarp(GhkVariant, WorklistMode),
+    /// representation and an execution mode.
+    GpuHopcroftKarp(GhkVariant, WorklistMode, ExecMode),
     /// Sequential push-relabel (the paper's "PR" baseline), with the GR
     /// frequency factor `k` (the paper uses 0.5).
     SequentialPushRelabel(f64),
@@ -80,12 +85,17 @@ impl Algorithm {
 
     /// A G-PR algorithm with the variant's default worklist representation.
     pub fn gpr(variant: GprVariant, strategy: GrStrategy) -> Self {
-        Algorithm::GpuPushRelabel(variant, strategy, variant.default_worklist())
+        Algorithm::GpuPushRelabel(
+            variant,
+            strategy,
+            variant.default_worklist(),
+            ExecMode::default(),
+        )
     }
 
     /// A G-HK / G-HKDW algorithm with the default dense BFS frontier.
     pub fn ghk(variant: GhkVariant) -> Self {
-        Algorithm::GpuHopcroftKarp(variant, variant.default_worklist())
+        Algorithm::GpuHopcroftKarp(variant, variant.default_worklist(), ExecMode::default())
     }
 
     /// Same algorithm with a different worklist representation.
@@ -94,9 +104,22 @@ impl Algorithm {
     /// Panics for CPU algorithms, which have no device worklist.
     pub fn with_worklist(self, mode: WorklistMode) -> Self {
         match self {
-            Algorithm::GpuPushRelabel(v, s, _) => Algorithm::GpuPushRelabel(v, s, mode),
-            Algorithm::GpuHopcroftKarp(v, _) => Algorithm::GpuHopcroftKarp(v, mode),
+            Algorithm::GpuPushRelabel(v, s, _, e) => Algorithm::GpuPushRelabel(v, s, mode, e),
+            Algorithm::GpuHopcroftKarp(v, _, e) => Algorithm::GpuHopcroftKarp(v, mode, e),
             other => panic!("{} has no device worklist", other.label()),
+        }
+    }
+
+    /// Same algorithm with a different execution mode (launch-per-round vs
+    /// persistent megakernel).
+    ///
+    /// # Panics
+    /// Panics for CPU algorithms, which have no device round loop.
+    pub fn with_exec(self, exec: ExecMode) -> Self {
+        match self {
+            Algorithm::GpuPushRelabel(v, s, w, _) => Algorithm::GpuPushRelabel(v, s, w, exec),
+            Algorithm::GpuHopcroftKarp(v, w, _) => Algorithm::GpuHopcroftKarp(v, w, exec),
+            other => panic!("{} has no device round loop", other.label()),
         }
     }
 
@@ -104,8 +127,18 @@ impl Algorithm {
     /// algorithms).
     pub fn worklist(&self) -> Option<WorklistMode> {
         match self {
-            Algorithm::GpuPushRelabel(_, _, mode) | Algorithm::GpuHopcroftKarp(_, mode) => {
+            Algorithm::GpuPushRelabel(_, _, mode, _) | Algorithm::GpuHopcroftKarp(_, mode, _) => {
                 Some(*mode)
+            }
+            _ => None,
+        }
+    }
+
+    /// The execution mode of a GPU algorithm (`None` for CPU algorithms).
+    pub fn exec(&self) -> Option<ExecMode> {
+        match self {
+            Algorithm::GpuPushRelabel(.., exec) | Algorithm::GpuHopcroftKarp(.., exec) => {
+                Some(*exec)
             }
             _ => None,
         }
@@ -116,7 +149,7 @@ impl Algorithm {
     pub fn label(&self) -> String {
         match self {
             Algorithm::GpuPushRelabel(variant, ..) => variant.label().to_string(),
-            Algorithm::GpuHopcroftKarp(variant, _) => variant.label().to_string(),
+            Algorithm::GpuHopcroftKarp(variant, ..) => variant.label().to_string(),
             Algorithm::SequentialPushRelabel(_) => "PR".to_string(),
             Algorithm::PothenFan => "PFP".to_string(),
             Algorithm::HopcroftKarp => "HK".to_string(),
@@ -144,7 +177,7 @@ impl Algorithm {
                 Err(invalid(format!("global-relabel factor k must be non-negative, got {k}")))
             }
             Algorithm::Pdbfs(0) => Err(invalid("thread count must be at least 1".to_string())),
-            Algorithm::GpuPushRelabel(_, GrStrategy::Adaptive(k), _)
+            Algorithm::GpuPushRelabel(_, GrStrategy::Adaptive(k), ..)
                 if !k.is_finite() || k <= 0.0 =>
             {
                 Err(invalid(format!("adaptive GR factor must be finite and positive, got {k}")))
@@ -156,16 +189,18 @@ impl Algorithm {
     /// A collision-free key: variant discriminants plus the bit patterns of
     /// numeric parameters.  Backs `Eq`/`Hash` so algorithms can key the
     /// solver's engine map (NaN parameters never get that far — they are
-    /// rejected by [`Algorithm::validate`]).
+    /// rejected by [`Algorithm::validate`]).  The last byte packs the
+    /// worklist mode in its low nibble and the exec mode in its high nibble.
     fn key(&self) -> (u8, u8, u64, u8) {
+        let pack = |w: WorklistMode, e: ExecMode| (w as u8) | ((e as u8) << 4);
         match *self {
-            Algorithm::GpuPushRelabel(v, GrStrategy::Fixed(k), w) => {
-                (0, v as u8, u64::from(k), w as u8)
+            Algorithm::GpuPushRelabel(v, GrStrategy::Fixed(k), w, e) => {
+                (0, v as u8, u64::from(k), pack(w, e))
             }
-            Algorithm::GpuPushRelabel(v, GrStrategy::Adaptive(k), w) => {
-                (1, v as u8, k.to_bits(), w as u8)
+            Algorithm::GpuPushRelabel(v, GrStrategy::Adaptive(k), w, e) => {
+                (1, v as u8, k.to_bits(), pack(w, e))
             }
-            Algorithm::GpuHopcroftKarp(v, w) => (2, v as u8, 0, w as u8),
+            Algorithm::GpuHopcroftKarp(v, w, e) => (2, v as u8, 0, pack(w, e)),
             Algorithm::SequentialPushRelabel(k) => (3, 0, k.to_bits(), 0),
             Algorithm::PothenFan => (4, 0, 0, 0),
             Algorithm::HopcroftKarp => (5, 0, 0, 0),
@@ -193,23 +228,31 @@ impl Hash for Algorithm {
 /// `P-DBFS@8`, `PFP`, `HK`, `HKDW`.  GPU algorithms append `+dense`,
 /// `+compacted`, `+queue`, or `+blocked` when the worklist representation
 /// differs from the variant's default (e.g. `G-PR-Shr@adaptive:0.7+queue`,
-/// `G-HK+blocked`).
+/// `G-HK+blocked`), and a final `@resident` suffix when the persistent
+/// execution mode is selected (e.g. `G-PR-Shr@adaptive:0.7+blocked@resident`).
 impl fmt::Display for Algorithm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let exec_suffix = |f: &mut fmt::Formatter<'_>, exec: &ExecMode| {
+            if *exec == ExecMode::Persistent {
+                write!(f, "@{}", exec.label())
+            } else {
+                Ok(())
+            }
+        };
         match self {
-            Algorithm::GpuPushRelabel(variant, strategy, worklist) => {
+            Algorithm::GpuPushRelabel(variant, strategy, worklist, exec) => {
                 write!(f, "{}@{strategy}", variant.label())?;
                 if *worklist != variant.default_worklist() {
                     write!(f, "+{worklist}")?;
                 }
-                Ok(())
+                exec_suffix(f, exec)
             }
-            Algorithm::GpuHopcroftKarp(variant, worklist) => {
+            Algorithm::GpuHopcroftKarp(variant, worklist, exec) => {
                 f.write_str(variant.label())?;
                 if *worklist != variant.default_worklist() {
                     write!(f, "+{worklist}")?;
                 }
-                Ok(())
+                exec_suffix(f, exec)
             }
             Algorithm::SequentialPushRelabel(k) => write!(f, "PR@{k}"),
             Algorithm::PothenFan => f.write_str("PFP"),
@@ -225,21 +268,33 @@ impl fmt::Display for Algorithm {
 /// `G-PR-Shr@adaptive:0.7`, `PR` ≡ `PR@0.5`, `P-DBFS` ≡ `P-DBFS@8`.  GPU
 /// algorithms accept a trailing `+dense` / `+compacted` / `+queue` /
 /// `+blocked` worklist
-/// suffix (default: the variant's paper representation).
+/// suffix (default: the variant's paper representation) and a final
+/// `@resident` / `@launch` execution-mode suffix (default: `launch`, one
+/// kernel launch per round).
 impl FromStr for Algorithm {
     type Err = ParseAlgorithmError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = |expected| ParseAlgorithmError { input: s.to_string(), expected };
-        // A worklist suffix is the text after the *last* '+', and only when
-        // it is a mode label — numeric parameters may legitimately carry a
-        // leading '+' sign (`PR@+0.5`), which must keep parsing as before.
-        let (body, worklist) = match s.rsplit_once('+') {
-            Some((body, mode)) => match mode.parse::<WorklistMode>() {
-                Ok(mode) => (body, Some(mode)),
+        // The execution-mode suffix is appended last by `Display`, so it is
+        // stripped first.  Only the exact mode labels count — every other
+        // '@' segment (strategy parameters, thread counts) parses as before.
+        let (rest, exec) = match s.rsplit_once('@') {
+            Some((rest, mode)) => match mode.parse::<ExecMode>() {
+                Ok(mode) => (rest, Some(mode)),
                 Err(_) => (s, None),
             },
             None => (s, None),
+        };
+        // A worklist suffix is the text after the *last* '+', and only when
+        // it is a mode label — numeric parameters may legitimately carry a
+        // leading '+' sign (`PR@+0.5`), which must keep parsing as before.
+        let (body, worklist) = match rest.rsplit_once('+') {
+            Some((body, mode)) => match mode.parse::<WorklistMode>() {
+                Ok(mode) => (body, Some(mode)),
+                Err(_) => (rest, None),
+            },
+            None => (rest, None),
         };
         let (name, param) = match body.split_once('@') {
             Some((name, param)) => (name, Some(param)),
@@ -254,6 +309,7 @@ impl FromStr for Algorithm {
                 variant,
                 strategy,
                 worklist.unwrap_or_else(|| variant.default_worklist()),
+                exec.unwrap_or_default(),
             ))
         };
         let ghk_variant = |variant: GhkVariant| -> Result<Algorithm, ParseAlgorithmError> {
@@ -263,12 +319,15 @@ impl FromStr for Algorithm {
                 Ok(Algorithm::GpuHopcroftKarp(
                     variant,
                     worklist.unwrap_or_else(|| variant.default_worklist()),
+                    exec.unwrap_or_default(),
                 ))
             }
         };
         let cpu = |alg: Result<Algorithm, ParseAlgorithmError>| {
             if worklist.is_some() {
                 Err(err("no '+' worklist mode for a CPU algorithm"))
+            } else if exec.is_some() {
+                Err(err("no '@' execution mode for a CPU algorithm"))
             } else {
                 alg
             }

@@ -5,7 +5,7 @@
 
 use gpm_core::gpr::{self, GprConfig, GprVariant};
 use gpm_core::solver::{Algorithm, DevicePolicy, Solver};
-use gpm_core::{ghk, GhkVariant, GrStrategy, WorklistMode};
+use gpm_core::{ghk, ExecMode, GhkVariant, GrStrategy, WorklistMode};
 use gpm_gpu::VirtualGpu;
 use gpm_graph::heuristics::cheap_matching;
 use gpm_graph::verify::{is_maximum, maximum_matching_cardinality};
@@ -64,6 +64,56 @@ proptest! {
     }
 
     #[test]
+    fn persistent_exec_is_equivalent_for_every_gpu_engine(g in arb_graph()) {
+        // The persistent megakernel loop is the same round loop as
+        // launch-per-round, merely device-resident: on arbitrary graphs,
+        // every GPU engine × worklist mode must produce the same
+        // cardinality and (sequential backend, deterministic counters) the
+        // same per-round kernel work, with the whole resident solve issuing
+        // at most entry + fix-up launches.
+        let gpu = VirtualGpu::sequential();
+        let init = cheap_matching(&g);
+        for mode in WorklistMode::all() {
+            for variant in [GprVariant::First, GprVariant::ActiveList, GprVariant::Shrink] {
+                let base = GprConfig::with_variant(variant).with_worklist(mode);
+                let launch = gpr::run(&gpu, &g, &init, base);
+                let resident = gpr::run(&gpu, &g, &init, base.with_exec(ExecMode::Persistent));
+                prop_assert_eq!(
+                    launch.matching.cardinality(),
+                    resident.matching.cardinality(),
+                    "{} + {}", variant.label(), mode
+                );
+                prop_assert_eq!(
+                    launch.stats.loops, resident.stats.loops,
+                    "{} + {}", variant.label(), mode
+                );
+                prop_assert!(resident.stats.device.total_launches() <= 2);
+            }
+            for variant in [GhkVariant::Hk, GhkVariant::Hkdw] {
+                let launch = ghk::run_with_exec_stop(
+                    &gpu, &g, &init, variant, mode, ExecMode::LaunchPerRound,
+                    &mut gpm_core::GhkWorkspace::new(), &gpm_gpu::StopCheck::never(),
+                );
+                let resident = ghk::run_with_exec_stop(
+                    &gpu, &g, &init, variant, mode, ExecMode::Persistent,
+                    &mut gpm_core::GhkWorkspace::new(), &gpm_gpu::StopCheck::never(),
+                );
+                prop_assert_eq!(
+                    launch.matching.cardinality(),
+                    resident.matching.cardinality(),
+                    "{} + {}", variant.label(), mode
+                );
+                prop_assert_eq!(
+                    launch.stats.phases, resident.stats.phases,
+                    "{} + {}", variant.label(), mode
+                );
+                prop_assert!(!launch.stats.stopped && !resident.stats.stopped);
+                prop_assert!(resident.stats.device.total_launches() <= 1);
+            }
+        }
+    }
+
+    #[test]
     fn resolve_cardinality_matches_cold_oracle_for_every_engine(
         g in arb_graph(),
         inserts in proptest::collection::vec((0u32..35, 0u32..35), 0..15),
@@ -107,7 +157,7 @@ proptest! {
             Algorithm::gpr(GprVariant::First, GrStrategy::Fixed(4)),
             Algorithm::ghk(GhkVariant::Hk),
         ];
-        for mode in [WorklistMode::DenseStamp, WorklistMode::Compacted, WorklistMode::AtomicQueue] {
+        for mode in WorklistMode::all() {
             algorithms.push(
                 Algorithm::gpr(GprVariant::ActiveList, GrStrategy::Fixed(4)).with_worklist(mode),
             );

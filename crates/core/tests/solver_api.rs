@@ -6,7 +6,7 @@ use gpm_core::solver::{
     paper_comparison_set, solve, Algorithm, DevicePolicy, InitHeuristic, Solver,
 };
 use gpm_core::{
-    CancelToken, ExecutorConfig, GhkVariant, GprConfig, GprVariant, GrStrategy, SolveCtx,
+    CancelToken, ExecMode, ExecutorConfig, GhkVariant, GprConfig, GprVariant, GrStrategy, SolveCtx,
     SolveError,
 };
 use gpm_gpu::WorklistMode;
@@ -17,23 +17,26 @@ use gpm_graph::{BipartiteCsr, Matching};
 use proptest::prelude::*;
 
 /// Arbitrary valid algorithm covering all seven families with varied
-/// parameters, including every worklist representation of the GPU families
-/// (so the `+mode` label suffix is exercised by the round-trip property).
+/// parameters, including every worklist representation and both execution
+/// modes of the GPU families (so the `+mode` and `@resident` label suffixes
+/// are exercised by the round-trip property).
 fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
-    (0usize..10, 1u32..100, 1u32..40, 1usize..16, 0usize..4).prop_map(
-        |(which, fix_k, tenths, threads, mode)| {
+    (0usize..10, 1u32..100, 1u32..40, 1usize..16, 0usize..4, 0usize..2).prop_map(
+        |(which, fix_k, tenths, threads, mode, exec)| {
             let adaptive = GrStrategy::Adaptive(f64::from(tenths) / 10.0);
             let mode = WorklistMode::all()[mode];
+            let exec = ExecMode::all()[exec];
             match which {
-                0 => Algorithm::GpuPushRelabel(GprVariant::First, adaptive, mode),
+                0 => Algorithm::GpuPushRelabel(GprVariant::First, adaptive, mode, exec),
                 1 => Algorithm::GpuPushRelabel(
                     GprVariant::ActiveList,
                     GrStrategy::Fixed(fix_k),
                     mode,
+                    exec,
                 ),
-                2 => Algorithm::GpuPushRelabel(GprVariant::Shrink, adaptive, mode),
-                3 => Algorithm::GpuHopcroftKarp(GhkVariant::Hk, mode),
-                4 => Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw, mode),
+                2 => Algorithm::GpuPushRelabel(GprVariant::Shrink, adaptive, mode, exec),
+                3 => Algorithm::GpuHopcroftKarp(GhkVariant::Hk, mode, exec),
+                4 => Algorithm::GpuHopcroftKarp(GhkVariant::Hkdw, mode, exec),
                 5 => Algorithm::SequentialPushRelabel(f64::from(tenths) / 10.0),
                 6 => Algorithm::PothenFan,
                 7 => Algorithm::HopcroftKarp,
@@ -60,10 +63,15 @@ proptest! {
         if let Some(mode) = alg.worklist() {
             let default_mode = match alg {
                 Algorithm::GpuPushRelabel(v, ..) => v.default_worklist(),
-                Algorithm::GpuHopcroftKarp(v, _) => v.default_worklist(),
+                Algorithm::GpuHopcroftKarp(v, ..) => v.default_worklist(),
                 _ => unreachable!(),
             };
             prop_assert_eq!(label.contains('+'), mode != default_mode, "{}", label);
+        }
+        // The persistent execution mode always prints (and only it does).
+        if let Some(exec) = alg.exec() {
+            prop_assert_eq!(
+                label.ends_with("@resident"), exec == ExecMode::Persistent, "{}", label);
         }
     }
 }
@@ -287,6 +295,47 @@ fn worklist_labels_parse_and_reject_junk() {
     );
 }
 
+#[test]
+fn exec_mode_labels_parse_and_reject_junk() {
+    // The full grammar: strategy, worklist, and execution-mode suffixes.
+    let full = Algorithm::gpr_default()
+        .with_worklist(WorklistMode::BlockedQueue)
+        .with_exec(ExecMode::Persistent);
+    assert_eq!(full.to_string(), "G-PR-Shr@adaptive:0.7+blocked@resident");
+    assert_eq!("G-PR-Shr@adaptive:0.7+blocked@resident".parse::<Algorithm>().unwrap(), full);
+    // Resident without a worklist suffix.
+    assert_eq!(
+        "G-HK@resident".parse::<Algorithm>().unwrap(),
+        Algorithm::ghk(GhkVariant::Hk).with_exec(ExecMode::Persistent)
+    );
+    assert_eq!(
+        Algorithm::ghk(GhkVariant::Hkdw).with_exec(ExecMode::Persistent).to_string(),
+        "G-HKDW@resident"
+    );
+    // The default mode may be spelled out and parses to the suffix-free form.
+    assert_eq!(
+        "G-PR-Shr@launch".parse::<Algorithm>().unwrap(),
+        "G-PR-Shr".parse::<Algorithm>().unwrap()
+    );
+    assert_eq!(Algorithm::gpr_default().with_exec(ExecMode::LaunchPerRound), {
+        let alg: Algorithm = "G-PR-Shr".parse().unwrap();
+        alg
+    });
+    // Launch-per-round is the default, so it never prints.
+    assert_eq!(
+        Algorithm::gpr_default().with_exec(ExecMode::LaunchPerRound).to_string(),
+        "G-PR-Shr@adaptive:0.7"
+    );
+    // CPU algorithms have no device round loop to make resident.
+    assert!("HK@resident".parse::<Algorithm>().is_err());
+    assert!("PR@0.5@resident".parse::<Algorithm>().is_err());
+    assert!("P-DBFS@8@launch".parse::<Algorithm>().is_err());
+    // Junk exec modes fall through to (and fail) ordinary parsing.
+    assert!("G-HK@megakernel".parse::<Algorithm>().is_err());
+    // Suffix order is fixed: worklist, then exec.
+    assert!("G-PR-Shr@resident+blocked".parse::<Algorithm>().is_err());
+}
+
 /// The cross-representation acceptance test: every worklist mode, under both
 /// the sequential and the pooled executor, produces the oracle cardinality
 /// on every instance family of the mini suite.
@@ -311,6 +360,70 @@ fn all_worklist_modes_match_the_oracle_over_the_mini_suite() {
                 ] {
                     let report = solver.solve(g, alg).unwrap();
                     assert_eq!(report.cardinality, *opt, "{alg} on {name} under {policy:?}");
+                }
+            }
+        }
+    }
+}
+
+/// The persistent-execution acceptance test: on every instance family of
+/// the mini suite, every GPU engine × worklist mode solved `@resident`
+/// agrees with its launch-per-round twin — same cardinality under both the
+/// sequential and the pooled executor, and (sequential executor, where the
+/// modelled counters are deterministic) the same number of device rounds,
+/// with the whole solve riding on a small constant number of launches.
+#[test]
+fn persistent_exec_matches_launch_per_round_over_the_mini_suite() {
+    let instances: Vec<_> = mini_suite()
+        .iter()
+        .map(|spec| {
+            let g = spec.generate(Scale::Tiny).expect("generate mini instance");
+            let opt = maximum_matching_cardinality(&g);
+            (spec.name, g, opt)
+        })
+        .collect();
+    for policy in [DevicePolicy::Sequential, DevicePolicy::Parallel(3)] {
+        let mut solver =
+            Solver::builder().device_policy(policy).build().expect("valid solver config");
+        for mode in WorklistMode::all() {
+            for (name, g, opt) in &instances {
+                for base in [
+                    Algorithm::gpr_default().with_worklist(mode),
+                    Algorithm::ghk(GhkVariant::Hkdw).with_worklist(mode),
+                ] {
+                    let launch = solver.solve(g, base).unwrap();
+                    let resident = solver.solve(g, base.with_exec(ExecMode::Persistent)).unwrap();
+                    assert_eq!(
+                        launch.cardinality, resident.cardinality,
+                        "{base} on {name} under {policy:?}"
+                    );
+                    assert_eq!(launch.cardinality, *opt, "{base} on {name} under {policy:?}");
+                    let stats = resident.device_stats.as_ref().expect("GPU solve has stats");
+                    assert!(
+                        stats.total_launches() <= 2,
+                        "{base}@resident on {name} under {policy:?}: {} launches",
+                        stats.total_launches()
+                    );
+                    if policy == DevicePolicy::Sequential {
+                        // Same rounds, just resident: the per-round kernel
+                        // launches of the one mode reappear one-for-one as
+                        // barrier-separated resident rounds of the other.
+                        let launch_stats = launch.device_stats.as_ref().unwrap();
+                        let lpr_rounds: u64 =
+                            launch_stats.kernels.values().map(|k| k.launches).sum();
+                        let res_rounds: u64 =
+                            stats.kernels.values().map(|k| k.resident_rounds).sum();
+                        // Every launch-per-round kernel invocation reappears
+                        // either as a resident round or (the out-of-scope
+                        // fix-up) as one of the surviving launches; the one
+                        // launch that is new is the resident entry kernel.
+                        assert_eq!(
+                            lpr_rounds,
+                            res_rounds + stats.total_launches() - 1,
+                            "{base} on {name}: launch-per-round kernel launches should equal \
+                             resident rounds plus the non-entry launches"
+                        );
+                    }
                 }
             }
         }

@@ -1,12 +1,12 @@
 //! The virtual GPU device and its kernel-launch engine.
 
-use crate::exec::WorkerPool;
+use crate::exec::{ResidentBody, WorkerPool};
 use crate::perfmodel::PerfModel;
 use crate::scratch::ScratchArena;
 use crate::stats::DeviceStats;
 use parking_lot::Mutex;
-use std::cell::Cell;
-use std::sync::OnceLock;
+use std::cell::{Cell, RefCell};
+use std::sync::{Arc, OnceLock};
 
 /// How kernel threads are executed on the host.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,6 +30,74 @@ impl Backend {
     pub fn parallel_auto() -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         Backend::Parallel { workers }
+    }
+}
+
+/// How an engine's round loop drives the device.
+///
+/// Threaded end-to-end the way [`crate::WorklistMode`] is: through
+/// `GprConfig` / `Solver::builder()`, the `@resident` algorithm-label
+/// suffix, the service wire format, and the bench sweep axis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// One kernel launch per round — the paper's execution model: the host
+    /// relaunches the round kernel until the termination condition holds,
+    /// paying [`PerfModel::kernel_launch_overhead_ns`] every round.
+    #[default]
+    LaunchPerRound,
+    /// Persistent (megakernel) execution: one resident launch stays alive
+    /// for the whole solve ([`VirtualGpu::resident`]) and rounds cross a
+    /// software global barrier ([`crate::GlobalBarrier`]) instead of
+    /// relaunching, paying [`PerfModel::global_barrier_cost_ns`] per round.
+    Persistent,
+}
+
+impl ExecMode {
+    /// Both execution modes, launch-per-round first (the paper baseline).
+    pub fn all() -> [ExecMode; 2] {
+        [ExecMode::LaunchPerRound, ExecMode::Persistent]
+    }
+
+    /// The round-trippable label used in `Algorithm` specs: the default
+    /// `launch`, or `resident` (spelled `@resident` as a label suffix).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecMode::LaunchPerRound => "launch",
+            ExecMode::Persistent => "resident",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when a string is not an [`ExecMode`] label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseExecModeError {
+    /// The string that failed to parse.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseExecModeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot parse exec mode '{}': expected one of launch, resident", self.input)
+    }
+}
+
+impl std::error::Error for ParseExecModeError {}
+
+impl std::str::FromStr for ExecMode {
+    type Err = ParseExecModeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "launch" => Ok(ExecMode::LaunchPerRound),
+            "resident" => Ok(ExecMode::Persistent),
+            _ => Err(ParseExecModeError { input: s.to_string() }),
+        }
     }
 }
 
@@ -310,6 +378,10 @@ struct LaunchEvent {
     /// `true` for work fused into the tail of the preceding launch: charged
     /// to the same kernel without counting as a launch of its own.
     fused: bool,
+    /// `true` for a device-resident round: charged a barrier crossing
+    /// instead of launch overhead, counted as `resident_rounds`/`barriers`
+    /// rather than `launches`.
+    resident: bool,
 }
 
 /// Pending launch events plus the merged per-kernel aggregate.  `record` is
@@ -335,7 +407,17 @@ impl StatsAccum {
 
     fn flush(&mut self) {
         for event in self.pending.drain(..) {
-            if event.fused {
+            if event.resident {
+                self.merged.record_resident(
+                    event.name,
+                    event.threads,
+                    event.work,
+                    event.atomics,
+                    event.hot_word_atomics,
+                    event.modelled_time_ns,
+                    event.wall_time_ns,
+                );
+            } else if event.fused {
                 self.merged.record_fused(
                     event.name,
                     event.threads,
@@ -367,6 +449,57 @@ impl StatsAccum {
     fn reset(&mut self) {
         self.pending.clear();
         self.merged = DeviceStats::default();
+    }
+}
+
+/// Ambient state of an open [`VirtualGpu::resident`] scope on the current
+/// host thread.  `launch_inner` consults it first: launches issued on the
+/// scope's device while it is open execute as barrier-separated rounds of
+/// the persistent grid instead of fresh launches.
+struct ResidentScope {
+    /// Identity of the device that opened the scope (its address), so
+    /// launches on *other* devices keep launching normally.
+    device: usize,
+    /// Resident threads the entry launch kept alive; what each round's
+    /// barrier crossing is priced for.
+    participants: usize,
+    /// Pool workers executing rounds; 0 when rounds run inline.
+    workers: usize,
+    /// The device's configured chunk size, for round scheduling and the
+    /// deterministic cursor-claim accounting.
+    chunk_size: usize,
+    /// The pooled round-loop state; `None` runs rounds inline on the
+    /// calling thread (sequential backend, single worker, or the legacy
+    /// spawn-per-launch strategy).
+    body: Option<Arc<ResidentBody>>,
+}
+
+thread_local! {
+    static RESIDENT: RefCell<Option<ResidentScope>> = const { RefCell::new(None) };
+}
+
+/// Panic-safe occupancy of the thread-local resident slot: entering twice
+/// is a programming error, and the slot is cleared even when the scope body
+/// unwinds.
+struct ResidentScopeGuard;
+
+impl ResidentScopeGuard {
+    fn enter(scope: ResidentScope) -> Self {
+        RESIDENT.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            assert!(
+                slot.is_none(),
+                "nested VirtualGpu::resident scopes on one thread are not supported"
+            );
+            *slot = Some(scope);
+        });
+        ResidentScopeGuard
+    }
+}
+
+impl Drop for ResidentScopeGuard {
+    fn drop(&mut self) {
+        RESIDENT.with(|slot| slot.borrow_mut().take());
     }
 }
 
@@ -475,6 +608,153 @@ impl VirtualGpu {
         self.launch_inner(name, grid, &kernel, true)
     }
 
+    /// Opens a **persistent (megakernel) scope**: one resident launch named
+    /// `name` enters the device and stays alive while `body` runs, and every
+    /// launch `body` issues *on this device from this thread* executes as a
+    /// device-resident round of that grid — synchronized by a software
+    /// global barrier ([`crate::GlobalBarrier`]) instead of returning to the
+    /// host — until the scope closes.
+    ///
+    /// Cost-model view: entering charges one real launch of
+    /// `min(domain, resident_capacity)` threads (the megakernel's single
+    /// driver round-trip); each round then pays its work/atomic terms plus
+    /// one [`PerfModel::global_barrier_cost_ns`] crossing *instead of*
+    /// [`PerfModel::kernel_launch_overhead_ns`].  Rounds are accounted as
+    /// [`crate::KernelStats::resident_rounds`]/[`crate::KernelStats::barriers`]
+    /// under their own kernel names; fused tails
+    /// ([`VirtualGpu::launch_fused`]) still fuse (same round, no extra
+    /// barrier).
+    ///
+    /// Execution view: with a pooled parallel backend the pool workers enter
+    /// a resident loop for the whole scope — the grid monopolizes the
+    /// device, like a real megakernel occupying every SM, so concurrent
+    /// launches from other threads on this device block until the scope
+    /// closes.  The sequential backend (and the legacy
+    /// [`ExecutorConfig::per_launch_spawn`] strategy, and single-worker
+    /// pools) runs rounds inline, preserving deterministic thread order.
+    /// Either way the kernels and counters are identical to launch-per-round
+    /// execution; only launch overhead becomes barrier crossings.
+    ///
+    /// # Panics
+    /// Panics if a resident scope is already open on this thread.  A panic
+    /// inside `body` (host code or kernel) closes the scope cleanly: the
+    /// workers leave the resident loop and the pool survives.
+    pub fn resident<R>(&self, name: &'static str, domain: usize, body: impl FnOnce() -> R) -> R {
+        // Check before touching the pool: a nested scope must fail fast, not
+        // deadlock on the launch gate the outer scope is holding.
+        RESIDENT.with(|slot| {
+            assert!(
+                slot.borrow().is_none(),
+                "nested VirtualGpu::resident scopes on one thread are not supported"
+            );
+        });
+        let participants = domain.clamp(1, self.config.perf.resident_capacity());
+        let start = std::time::Instant::now();
+        let session = match self.config.backend {
+            Backend::Parallel { workers }
+                if workers > 1 && !self.config.executor.per_launch_spawn =>
+            {
+                Some(self.pool(workers).begin_resident())
+            }
+            _ => None,
+        };
+        // The megakernel's one driver round-trip: a real launch of the
+        // resident grid, with no work yet (the rounds report their own).
+        self.stats.lock().record(LaunchEvent {
+            name,
+            threads: participants,
+            work: 0,
+            atomics: 0,
+            hot_word_atomics: 0,
+            modelled_time_ns: self.config.perf.launch_cost_ns(participants, 0, 0),
+            wall_time_ns: start.elapsed().as_nanos() as f64,
+            fused: false,
+            resident: false,
+        });
+        let _guard = ResidentScopeGuard::enter(ResidentScope {
+            device: self as *const VirtualGpu as usize,
+            participants,
+            workers: session.as_ref().map_or(0, |s| s.workers()),
+            chunk_size: self.config.executor.chunk_size,
+            body: session.as_ref().map(|s| s.body()),
+        });
+        // Drop order on exit (including unwind): `_guard` first (clears the
+        // thread-local before any non-resident launch could reach the still
+        // gated pool), then `session` (exits the workers' resident loop and
+        // releases the device gate).
+        body()
+    }
+
+    /// Executes one launch as a round of the open resident scope, if the
+    /// calling thread has one on this device.
+    fn resident_round(
+        &self,
+        name: &'static str,
+        grid: usize,
+        kernel: &(dyn Fn(&ThreadCtx) + Sync),
+        fused: bool,
+    ) -> Option<LaunchRecord> {
+        let (participants, workers, chunk_size, round_body) = RESIDENT.with(|slot| {
+            let slot = slot.borrow();
+            let scope = slot.as_ref()?;
+            if scope.device != self as *const VirtualGpu as usize {
+                return None;
+            }
+            Some((scope.participants, scope.workers, scope.chunk_size, scope.body.clone()))
+        })?;
+        let start = std::time::Instant::now();
+        let totals = match &round_body {
+            Some(body) => body.round(grid, chunk_size, kernel),
+            None => run_range(0, grid, grid, kernel),
+        };
+        // Same deterministic chunk-cursor accounting as a pooled launch:
+        // resident workers claim grid chunks from a per-round cursor.
+        let cursor_claims = if round_body.is_some() && workers > 0 {
+            grid.div_ceil(crate::exec::effective_chunk(chunk_size, grid, workers)) as u64
+        } else {
+            0
+        };
+        let atomics = totals.atomics + cursor_claims;
+        let hot_word_atomics = totals.hot_word_atomics().max(cursor_claims);
+        let wall_time_ns = start.elapsed().as_nanos() as f64;
+        // A round pays everything a launch pays except the driver
+        // round-trip; a non-fused round then adds its barrier crossing.
+        // (A fused tail rides the *same* round as its host kernel, so it
+        // crosses no extra barrier — exactly as it pays no extra launch.)
+        let mut modelled_time_ns = (self.config.perf.launch_cost_with_atomics_ns(
+            grid,
+            totals.work,
+            totals.max_thread_work,
+            atomics,
+            hot_word_atomics,
+        ) - self.config.perf.kernel_launch_overhead_ns)
+            .max(0.0);
+        if !fused {
+            modelled_time_ns += self.config.perf.global_barrier_cost_ns(participants);
+        }
+        let record = LaunchRecord {
+            threads: grid,
+            work: totals.work,
+            max_thread_work: totals.max_thread_work,
+            atomics,
+            hot_word_atomics,
+            modelled_time_ns,
+            wall_time_ns,
+        };
+        self.stats.lock().record(LaunchEvent {
+            name,
+            threads: grid,
+            work: totals.work,
+            atomics,
+            hot_word_atomics,
+            modelled_time_ns,
+            wall_time_ns,
+            fused,
+            resident: !fused,
+        });
+        Some(record)
+    }
+
     fn launch_inner(
         &self,
         name: &'static str,
@@ -482,6 +762,9 @@ impl VirtualGpu {
         kernel: &(dyn Fn(&ThreadCtx) + Sync),
         fused: bool,
     ) -> LaunchRecord {
+        if let Some(record) = self.resident_round(name, grid, kernel, fused) {
+            return record;
+        }
         let start = std::time::Instant::now();
         let executor = self.config.executor;
         let mut pooled_workers = 0;
@@ -545,6 +828,7 @@ impl VirtualGpu {
             modelled_time_ns,
             wall_time_ns,
             fused,
+            resident: false,
         });
         record
     }
@@ -864,5 +1148,167 @@ mod tests {
         let gpu = VirtualGpu::sequential();
         let s = format!("{gpu:?}");
         assert!(s.contains("C2050"));
+    }
+
+    #[test]
+    fn exec_mode_labels_round_trip() {
+        for mode in ExecMode::all() {
+            assert_eq!(mode.label().parse::<ExecMode>().unwrap(), mode);
+            assert_eq!(mode.to_string(), mode.label());
+        }
+        assert_eq!(ExecMode::default(), ExecMode::LaunchPerRound);
+        let err = "megakernel".parse::<ExecMode>().unwrap_err();
+        assert!(err.to_string().contains("launch, resident"), "{err}");
+    }
+
+    #[test]
+    fn resident_scope_turns_launches_into_rounds() {
+        for gpu in [VirtualGpu::sequential(), pooled(3, 16, 64)] {
+            let grid = 10_000;
+            let out = DeviceBuffer::<u32>::new(grid, 0);
+            let rounds = 7u32;
+            gpu.resident("MEGA", grid, || {
+                for _ in 0..rounds {
+                    gpu.launch("STEP", grid, |ctx| {
+                        out.set(ctx.global_id, out.get(ctx.global_id) + 1);
+                        ctx.add_work(1);
+                    });
+                }
+            });
+            assert!(out.to_vec().iter().all(|&v| v == rounds));
+            let s = gpu.stats();
+            // One real launch enters the megakernel; the rounds are
+            // barrier crossings, not launches.
+            assert_eq!(s.total_launches(), 1);
+            assert_eq!(s.launches_of("MEGA"), 1);
+            assert_eq!(s.launches_of("STEP"), 0);
+            assert_eq!(s.resident_rounds_of("STEP"), u64::from(rounds));
+            assert_eq!(s.kernels["STEP"].barriers, u64::from(rounds));
+            assert_eq!(s.kernels["STEP"].total_work, u64::from(rounds) * grid as u64);
+        }
+    }
+
+    #[test]
+    fn resident_rounds_price_barriers_instead_of_launches() {
+        let gpu = VirtualGpu::sequential();
+        let grid = 1000;
+        let baseline = gpu.launch("lpr", grid, |ctx| ctx.add_work(1)).modelled_time_ns;
+        let mut round_cost = 0.0;
+        gpu.resident("scope", grid, || {
+            round_cost = gpu.launch("res", grid, |ctx| ctx.add_work(1)).modelled_time_ns;
+        });
+        let perf = gpu.config().perf;
+        let participants = grid.clamp(1, perf.resident_capacity());
+        let expected =
+            baseline - perf.kernel_launch_overhead_ns + perf.global_barrier_cost_ns(participants);
+        assert!((round_cost - expected).abs() < 1e-6, "{round_cost} vs {expected}");
+        // The entry launch is priced as a real launch of the resident grid.
+        let s = gpu.stats();
+        assert_eq!(s.kernels["scope"].modelled_time_ns, perf.launch_cost_ns(participants, 0, 0));
+    }
+
+    #[test]
+    fn fused_tails_inside_a_resident_scope_stay_fused() {
+        let gpu = VirtualGpu::sequential();
+        gpu.resident("scope", 500, || {
+            gpu.launch("host_kernel", 500, |ctx| ctx.add_work(1));
+            let rec = gpu.launch_fused("tail", 500, |ctx| ctx.add_work(1));
+            // No launch overhead and no *extra* barrier: the tail rides its
+            // host kernel's round.
+            let work_only = gpu.config().perf.launch_cost_ns(500, 500, 1)
+                - gpu.config().perf.kernel_launch_overhead_ns;
+            assert!((rec.modelled_time_ns - work_only).abs() < 1e-6);
+        });
+        let s = gpu.stats();
+        assert_eq!(s.fused_tails_of("tail"), 1);
+        assert_eq!(s.resident_rounds_of("tail"), 0);
+        assert_eq!(s.resident_rounds_of("host_kernel"), 1);
+    }
+
+    #[test]
+    fn resident_participants_clamp_to_device_capacity() {
+        let gpu = VirtualGpu::sequential();
+        let cap = gpu.config().perf.resident_capacity();
+        gpu.resident("huge", 10 * cap, || {});
+        gpu.resident("tiny", 0, || {});
+        let s = gpu.stats();
+        assert_eq!(s.kernels["huge"].max_grid, cap as u64);
+        assert_eq!(s.kernels["tiny"].max_grid, 1);
+    }
+
+    #[test]
+    fn launches_on_other_devices_ignore_the_scope() {
+        let a = VirtualGpu::sequential();
+        let b = VirtualGpu::sequential();
+        a.resident("scope", 100, || {
+            b.launch("other", 100, |_| {});
+        });
+        assert_eq!(b.stats().launches_of("other"), 1);
+        assert_eq!(b.stats().total_resident_rounds(), 0);
+        assert_eq!(a.stats().resident_rounds_of("other"), 0);
+    }
+
+    #[test]
+    fn resident_scope_results_match_launch_per_round() {
+        // The same kernel sequence produces identical memory images and
+        // work counters under both execution modes, on both backends.
+        let grid = 30_000;
+        let mut images = Vec::new();
+        for resident in [false, true] {
+            for gpu in [VirtualGpu::sequential(), pooled(4, 8, 128)] {
+                let data = DeviceBuffer::<u64>::new(grid, 1);
+                let run = || {
+                    for shift in 0..4u64 {
+                        gpu.launch("STEP", grid, |ctx| {
+                            let v = data.get(ctx.global_id);
+                            data.set(ctx.global_id, v + (ctx.global_id as u64 >> shift));
+                            ctx.add_work(1 + shift);
+                        });
+                    }
+                };
+                if resident {
+                    gpu.resident("scope", grid, run);
+                } else {
+                    run();
+                }
+                let stats = gpu.stats();
+                assert_eq!(stats.kernels["STEP"].total_work, grid as u64 * (1 + 2 + 3 + 4));
+                images.push(data.to_vec());
+            }
+        }
+        for image in &images[1..] {
+            assert_eq!(image, &images[0]);
+        }
+    }
+
+    #[test]
+    fn panicking_kernel_inside_resident_scope_leaves_device_usable() {
+        let gpu = pooled(3, 8, 64);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gpu.resident("scope", 1000, || {
+                gpu.launch("ok", 1000, |_| {});
+                gpu.launch("boom", 1000, |ctx| {
+                    if ctx.global_id == 500 {
+                        panic!("resident kernel panic");
+                    }
+                });
+            })
+        }))
+        .unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"resident kernel panic"));
+        // Scope unwound: both resident state and the pool are clean.
+        let out = DeviceBuffer::<u32>::new(1000, 0);
+        gpu.launch("after", 1000, |ctx| out.set(ctx.global_id, 1));
+        assert_eq!(out.to_vec().iter().map(|&v| u64::from(v)).sum::<u64>(), 1000);
+        assert_eq!(gpu.stats().launches_of("after"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested VirtualGpu::resident")]
+    fn nested_resident_scopes_panic() {
+        let gpu = VirtualGpu::sequential();
+        gpu.resident("outer", 10, || {
+            gpu.resident("inner", 10, || {});
+        });
     }
 }

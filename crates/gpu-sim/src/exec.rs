@@ -41,6 +41,7 @@
 
 #![allow(unsafe_code)]
 
+use crate::barrier::GlobalBarrier;
 use crate::engine::{LaunchTotals, ThreadCtx};
 use crate::primitives::QUEUE_BLOCK;
 use std::any::Any;
@@ -129,12 +130,24 @@ struct Job {
     body: Arc<LaunchBody>,
 }
 
+/// What one dispatch epoch asks the workers to do.
+#[derive(Clone)]
+enum Work {
+    /// One ordinary launch: claim chunks, aggregate, hit the end barrier.
+    Launch(Job),
+    /// Enter a resident (persistent) loop: stay in
+    /// [`resident_worker_loop`] executing barrier-separated rounds until
+    /// the session signals exit.  One dispatch epoch covers the whole
+    /// persistent launch, however many rounds it runs.
+    Resident(Arc<ResidentBody>),
+}
+
 /// Dispatch slot the workers wait on.
 struct Dispatch {
     /// Bumped once per launch; workers run each epoch exactly once.
     epoch: u64,
     /// The current launch, present while `remaining > 0`.
-    job: Option<Job>,
+    job: Option<Work>,
     /// Workers that have not yet finished the current epoch.
     remaining: usize,
     /// Set by `Drop`; workers exit instead of waiting for the next epoch.
@@ -220,29 +233,176 @@ impl WorkerPool {
             poisoned: AtomicBool::new(false),
             panic: Mutex::new(None),
         });
-        {
-            let mut dispatch = lock(&self.shared.dispatch);
-            dispatch.job = Some(Job { kernel: KernelPtr::erase(kernel), body: Arc::clone(&body) });
-            dispatch.epoch += 1;
-            dispatch.remaining = self.workers;
-        }
+        self.dispatch_epoch(Work::Launch(Job {
+            kernel: KernelPtr::erase(kernel),
+            body: Arc::clone(&body),
+        }));
+        self.await_epoch();
+        body.reap()
+    }
+
+    /// Starts a **resident launch**: every worker enters a persistent loop
+    /// executing barrier-separated rounds ([`ResidentBody::round`]) instead
+    /// of returning to the dispatch slot after one kernel.  The launch gate
+    /// is held for the whole session — the resident grid monopolizes the
+    /// device, exactly like a real megakernel occupying every SM — and is
+    /// released when the returned session drops, which also exits the
+    /// workers' loops and completes the dispatch epoch.
+    pub(crate) fn begin_resident(&self) -> ResidentSession<'_> {
+        let gate = lock(&self.gate);
+        let body = Arc::new(ResidentBody {
+            barrier: GlobalBarrier::new(self.workers),
+            exit: AtomicBool::new(false),
+            round: Mutex::new(None),
+        });
+        self.dispatch_epoch(Work::Resident(Arc::clone(&body)));
+        ResidentSession { pool: self, body, _gate: gate }
+    }
+
+    /// Posts one dispatch epoch and wakes the workers.
+    fn dispatch_epoch(&self, work: Work) {
+        let mut dispatch = lock(&self.shared.dispatch);
+        dispatch.job = Some(work);
+        dispatch.epoch += 1;
+        dispatch.remaining = self.workers;
+        drop(dispatch);
         self.shared.go.notify_all();
-        {
-            let mut dispatch = lock(&self.shared.dispatch);
-            while dispatch.remaining > 0 {
-                dispatch = self.shared.done.wait(dispatch).unwrap_or_else(PoisonError::into_inner);
-            }
-            // Clear the erased pointer before returning: after this, no
-            // worker can reach it, so the kernel borrow may safely end.
-            dispatch.job = None;
+    }
+
+    /// Blocks until every worker has finished the current epoch, then clears
+    /// the dispatch slot (for [`Work::Launch`], this is what lets the erased
+    /// kernel borrow end safely).
+    fn await_epoch(&self) {
+        let mut dispatch = lock(&self.shared.dispatch);
+        while dispatch.remaining > 0 {
+            dispatch = self.shared.done.wait(dispatch).unwrap_or_else(PoisonError::into_inner);
         }
-        if body.poisoned.load(Ordering::Relaxed) {
+        // Clear the erased pointer before returning: after this, no
+        // worker can reach it, so the kernel borrow may safely end.
+        dispatch.job = None;
+    }
+}
+
+impl LaunchBody {
+    /// Consumes the launch outcome: re-raises the first panic, or returns
+    /// the aggregated totals.
+    fn reap(&self) -> LaunchTotals {
+        if self.poisoned.load(Ordering::Relaxed) {
             let payload =
-                lock(&body.panic).take().unwrap_or_else(|| Box::new("virtual GPU kernel panicked"));
+                lock(&self.panic).take().unwrap_or_else(|| Box::new("virtual GPU kernel panicked"));
             resume_unwind(payload);
         }
-        let totals = std::mem::take(&mut *lock(&body.totals));
-        totals
+        std::mem::take(&mut *lock(&self.totals))
+    }
+}
+
+/// Shared state of one resident (persistent) launch: the software global
+/// barrier the rounds synchronize through and the per-round job slot the
+/// leader re-arms between crossings.
+///
+/// The leader is the *launcher* thread (it never claims chunks itself —
+/// it plays the role CUDA's host code would play if it could talk to a
+/// running grid): per round it arms the job slot, crosses the barrier
+/// twice ([`GlobalBarrier::release`] to open the round,
+/// [`GlobalBarrier::await_full`] to close it), and harvests the totals.
+/// Workers only ever [`GlobalBarrier::wait_past`], execute, and
+/// [`GlobalBarrier::arrive`].
+pub(crate) struct ResidentBody {
+    barrier: GlobalBarrier,
+    /// Set by the session's `Drop`; workers exit the loop at the next
+    /// release instead of running another round.
+    exit: AtomicBool,
+    /// The current round's launch, present between `release` and the
+    /// post-`await_full` clear.
+    round: Mutex<Option<Job>>,
+}
+
+impl ResidentBody {
+    /// Runs one device-resident round over the persistent workers and
+    /// blocks until every worker has crossed the end-of-round barrier.
+    /// Returns the round's aggregated totals; re-raises the payload of the
+    /// first panicking worker (after the crossing, so the loop stays
+    /// deadlock-free and the pool survives).
+    pub(crate) fn round(
+        &self,
+        grid: usize,
+        chunk: usize,
+        kernel: &(dyn Fn(&ThreadCtx) + Sync),
+    ) -> LaunchTotals {
+        let chunk = effective_chunk(chunk, grid, self.barrier.participants());
+        let body = Arc::new(LaunchBody {
+            grid,
+            chunk,
+            cursor: AtomicUsize::new(0),
+            totals: Mutex::new(LaunchTotals::default()),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        });
+        *lock(&self.round) =
+            Some(Job { kernel: KernelPtr::erase(kernel), body: Arc::clone(&body) });
+        self.barrier.release();
+        let full = self.barrier.await_full();
+        assert!(full, "resident barrier poisoned mid-round");
+        self.barrier.depart_all();
+        // Every worker has arrived, i.e. finished executing; clearing the
+        // slot ends the erased pointer's reachable life, so the kernel
+        // borrow may safely end when this returns (same argument as
+        // `WorkerPool::run`).
+        *lock(&self.round) = None;
+        body.reap()
+    }
+}
+
+/// RAII handle of one resident launch on a [`WorkerPool`].  Rounds run via
+/// [`ResidentBody::round`]; dropping the session exits the workers' loops
+/// (even during unwind, so a panicking round cannot wedge the pool) and
+/// releases the device's launch gate.
+pub(crate) struct ResidentSession<'pool> {
+    pool: &'pool WorkerPool,
+    body: Arc<ResidentBody>,
+    _gate: MutexGuard<'pool, ()>,
+}
+
+impl ResidentSession<'_> {
+    /// The shared round-loop state, for the engine's ambient resident scope.
+    pub(crate) fn body(&self) -> Arc<ResidentBody> {
+        Arc::clone(&self.body)
+    }
+
+    /// Number of pool workers participating in each round.
+    pub(crate) fn workers(&self) -> usize {
+        self.body.barrier.participants()
+    }
+}
+
+impl Drop for ResidentSession<'_> {
+    fn drop(&mut self) {
+        self.body.exit.store(true, Ordering::Release);
+        // Wake the workers parked at the round barrier; they observe `exit`
+        // and leave the resident loop, finishing the dispatch epoch.
+        self.body.barrier.release();
+        self.pool.await_epoch();
+    }
+}
+
+/// The worker half of the resident protocol: wait for the leader to open
+/// round `epoch`, run it, arrive, repeat — until the session exits.  Panics
+/// inside a round are contained by [`run_chunks`] (the worker still
+/// arrives), so a failing kernel surfaces on the launcher without ever
+/// leaving the barrier short of participants.
+fn resident_worker_loop(body: &ResidentBody) {
+    let mut epoch = 0u64;
+    loop {
+        if !body.barrier.wait_past(epoch) {
+            return; // poisoned: bail rather than spin forever
+        }
+        epoch += 1;
+        if body.exit.load(Ordering::Acquire) {
+            return;
+        }
+        let job = lock(&body.round).clone().expect("a released round carries a job");
+        run_chunks(&job);
+        body.barrier.arrive();
     }
 }
 
@@ -264,7 +424,7 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &PoolShared) {
     let mut seen_epoch = 0u64;
     loop {
-        let job = {
+        let work = {
             let mut dispatch = lock(&shared.dispatch);
             loop {
                 if dispatch.shutdown {
@@ -277,7 +437,10 @@ fn worker_loop(shared: &PoolShared) {
                 dispatch = shared.go.wait(dispatch).unwrap_or_else(PoisonError::into_inner);
             }
         };
-        run_chunks(&job);
+        match work {
+            Work::Launch(job) => run_chunks(&job),
+            Work::Resident(body) => resident_worker_loop(&body),
+        }
         let mut dispatch = lock(&shared.dispatch);
         dispatch.remaining -= 1;
         if dispatch.remaining == 0 {
@@ -427,5 +590,90 @@ mod tests {
         let totals = pool.run(0, 8, &kernel);
         assert_eq!(totals.work, 0);
         assert_eq!(totals.atomics, 0);
+    }
+
+    #[test]
+    fn resident_rounds_cover_the_grid_and_aggregate_totals() {
+        let pool = WorkerPool::spawn_tagged(3, 0);
+        let grid = 10_007;
+        let out = DeviceBuffer::<u32>::new(grid, 0);
+        {
+            let session = pool.begin_resident();
+            for round in 1..=5u32 {
+                let kernel =
+                    |ctx: &ThreadCtx| out.set(ctx.global_id, out.get(ctx.global_id) + round);
+                let totals = session.body().round(grid, 64, &kernel);
+                assert_eq!(totals.atomics, 0);
+            }
+            let counting = |ctx: &ThreadCtx| ctx.add_work(ctx.global_id as u64);
+            let totals = session.body().round(1000, 16, &counting);
+            assert_eq!(totals.work, (0..1000u64).sum());
+            assert_eq!(totals.max_thread_work, 999);
+        }
+        assert!(out.to_vec().iter().all(|&v| v == 1 + 2 + 3 + 4 + 5));
+        // The session released the gate and completed the epoch: ordinary
+        // launches work again afterwards.
+        out.fill(0);
+        pool.run(grid, 64, &|ctx: &ThreadCtx| out.set(ctx.global_id, 1));
+        assert!(out.to_vec().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn one_resident_session_is_one_dispatch_epoch() {
+        // However many rounds run, the pool dispatches exactly once — the
+        // point of persistent execution.
+        let pool = WorkerPool::spawn_tagged(2, 0);
+        let epoch_before = lock(&pool.shared.dispatch).epoch;
+        {
+            let session = pool.begin_resident();
+            for _ in 0..100 {
+                session.body().round(64, 8, &|_ctx: &ThreadCtx| {});
+            }
+        }
+        let epoch_after = lock(&pool.shared.dispatch).epoch;
+        assert_eq!(epoch_after, epoch_before + 1);
+    }
+
+    #[test]
+    fn panic_in_a_resident_round_does_not_deadlock_the_pool() {
+        let pool = WorkerPool::spawn_tagged(3, 0);
+        {
+            let session = pool.begin_resident();
+            session.body().round(500, 8, &|_ctx: &ThreadCtx| {});
+            let boom = |ctx: &ThreadCtx| {
+                if ctx.global_id == 123 {
+                    panic!("resident boom");
+                }
+            };
+            let err = catch_unwind(AssertUnwindSafe(|| session.body().round(1000, 8, &boom)))
+                .unwrap_err();
+            assert_eq!(err.downcast_ref::<&str>(), Some(&"resident boom"));
+            // The same session still runs later rounds: the barrier crossed
+            // despite the panic, and only the round body was poisoned.
+            let out = DeviceBuffer::<u32>::new(256, 0);
+            session.body().round(256, 8, &|ctx: &ThreadCtx| out.set(ctx.global_id, 1));
+            assert_eq!(out.to_vec().iter().map(|&v| u64::from(v)).sum::<u64>(), 256);
+        }
+        // And the pool itself survives the session.
+        let out = DeviceBuffer::<u32>::new(500, 0);
+        pool.run(500, 8, &|ctx: &ThreadCtx| out.set(ctx.global_id, 1));
+        assert_eq!(out.to_vec().iter().map(|&v| u64::from(v)).sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn dropping_a_session_mid_unwind_cleans_up() {
+        // Simulates an engine panicking on host code between rounds: the
+        // session drops during unwind and the workers exit cleanly.
+        let pool = WorkerPool::spawn_tagged(2, 0);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            let session = pool.begin_resident();
+            session.body().round(64, 8, &|_ctx: &ThreadCtx| {});
+            panic!("host-side failure");
+        }))
+        .unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"host-side failure"));
+        let out = DeviceBuffer::<u32>::new(100, 0);
+        pool.run(100, 8, &|ctx: &ThreadCtx| out.set(ctx.global_id, 1));
+        assert_eq!(out.to_vec().iter().map(|&v| u64::from(v)).sum::<u64>(), 100);
     }
 }

@@ -59,12 +59,22 @@
 //! Executor tuning (inline threshold, chunk size, the legacy spawn flag)
 //! lives in [`ExecutorConfig`] and is plumbed upward through `gpm-core`'s
 //! `Solver::builder()` and `gpm-service`'s `Service::builder()`.
+//!
+//! Finally, the device supports **persistent (megakernel) execution**:
+//! [`VirtualGpu::resident`] keeps one launch alive for a whole solve and
+//! turns the launches issued inside it into device-resident rounds
+//! synchronized by a sense-reversing software global barrier
+//! ([`barrier::GlobalBarrier`]), so launch-bound round loops pay
+//! [`PerfModel::global_barrier_cost_ns`] per round instead of
+//! [`PerfModel::kernel_launch_overhead_ns`].  Engines select this with
+//! [`ExecMode`], threaded end-to-end like [`WorklistMode`].
 
 #![deny(unsafe_code)]
 // re-allowed only in `exec` for the lifetime erasure the
 // persistent pool needs; see that module's soundness argument.
 #![warn(missing_docs)]
 
+pub mod barrier;
 pub mod buffer;
 pub mod engine;
 pub(crate) mod exec;
@@ -75,8 +85,12 @@ pub mod stats;
 pub mod stop;
 pub mod worklist;
 
+pub use barrier::{BarrierRole, GlobalBarrier};
 pub use buffer::{DeviceBuffer, DeviceScalar};
-pub use engine::{Backend, ExecutorConfig, GpuConfig, LaunchRecord, ThreadCtx, VirtualGpu};
+pub use engine::{
+    Backend, ExecMode, ExecutorConfig, GpuConfig, LaunchRecord, ParseExecModeError, ThreadCtx,
+    VirtualGpu,
+};
 pub use perfmodel::PerfModel;
 pub use scratch::{ScratchArena, ScratchBuffer, ScratchStats};
 pub use stats::{DeviceStats, KernelStats};

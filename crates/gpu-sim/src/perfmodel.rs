@@ -117,6 +117,34 @@ impl PerfModel {
         (self.num_sms * self.warp_size).max(1)
     }
 
+    /// Largest grid a persistent (megakernel) launch keeps resident on the
+    /// device: Fermi sustains up to 48 warps per SM, and a persistent grid
+    /// must not exceed what can be co-resident, because blocks beyond that
+    /// would never be scheduled and the software barrier would deadlock on a
+    /// real GPU.  `VirtualGpu::resident` clamps its participant count here.
+    pub fn resident_capacity(&self) -> usize {
+        (self.num_sms * self.warp_size * 48).max(1)
+    }
+
+    /// Modelled cost (ns) of one software global-barrier crossing by
+    /// `threads` resident threads ([`crate::GlobalBarrier`]).
+    ///
+    /// Per crossing, each warp's leader lane performs one RMW on the shared
+    /// arrival word — all on the *same* word, so every one of them pays both
+    /// the atomic throughput and the L2 same-address serialization rate —
+    /// and the release broadcast costs one warp round of issue latency while
+    /// the spinning warps re-read the generation word.  This is the quantity
+    /// a persistent round pays *instead of*
+    /// [`PerfModel::kernel_launch_overhead_ns`]: a barrier crossing is an
+    /// on-device L2 round-trip affair (hundreds of ns), not a host driver
+    /// round-trip (microseconds), which is the entire payoff of
+    /// persistent execution on launch-bound solves.
+    pub fn global_barrier_cost_ns(&self, threads: usize) -> f64 {
+        let warps = threads.div_ceil(self.warp_size.max(1)).max(1);
+        warps as f64 * (self.atomic_cost_ns + self.hot_word_serialization_ns)
+            + self.warp_round_cost_ns
+    }
+
     /// Modelled cost (ns) of one kernel launch with no reported atomic
     /// traffic.
     ///
@@ -240,6 +268,36 @@ mod tests {
     fn threads_per_round_matches_c2050() {
         let m = PerfModel::tesla_c2050();
         assert_eq!(m.threads_per_round(), 14 * 32);
+    }
+
+    #[test]
+    fn resident_capacity_matches_fermi_occupancy() {
+        let m = PerfModel::tesla_c2050();
+        assert_eq!(m.resident_capacity(), 14 * 32 * 48);
+    }
+
+    #[test]
+    fn barrier_crossing_is_far_cheaper_than_a_launch() {
+        let m = PerfModel::tesla_c2050();
+        // Even a full-occupancy resident grid crosses the software barrier
+        // for less than the driver latency of one kernel launch — the
+        // premise of persistent mode.
+        let full = m.global_barrier_cost_ns(m.resident_capacity());
+        assert!(full < m.kernel_launch_overhead_ns, "{full}");
+        // The cost scales with the number of arriving warps.
+        let small = m.global_barrier_cost_ns(448);
+        assert!(small < full);
+        assert_eq!(
+            small,
+            14.0 * (m.atomic_cost_ns + m.hot_word_serialization_ns) + m.warp_round_cost_ns
+        );
+        // Degenerate grids still pay for one warp's crossing.
+        assert_eq!(m.global_barrier_cost_ns(0), m.global_barrier_cost_ns(1));
+    }
+
+    #[test]
+    fn zero_model_charges_no_barrier() {
+        assert_eq!(PerfModel::zero().global_barrier_cost_ns(21_504), 0.0);
     }
 
     #[test]

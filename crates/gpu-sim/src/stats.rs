@@ -13,6 +13,14 @@ pub struct KernelStats {
     /// last-block-done idiom) and therefore pays no launch overhead and does
     /// not count as a launch.
     pub fused_tails: u64,
+    /// Number of device-resident rounds charged to this kernel: round work
+    /// executed inside a persistent launch (`VirtualGpu::resident`), which
+    /// pays a software-barrier crossing instead of a launch and does not
+    /// count as a launch.
+    pub resident_rounds: u64,
+    /// Number of software global-barrier crossings charged to this kernel
+    /// (one per resident round).
+    pub barriers: u64,
     /// Total threads across all launches.
     pub total_threads: u64,
     /// Total work items (memory transactions) reported by kernel threads.
@@ -88,6 +96,34 @@ impl DeviceStats {
         entry.max_grid = entry.max_grid.max(threads as u64);
     }
 
+    /// Records one device-resident round: accumulates
+    /// threads/work/atomics/times like [`DeviceStats::record`] but bumps
+    /// `resident_rounds` and `barriers` instead of `launches` — the round
+    /// ran inside a persistent launch and crossed the software global
+    /// barrier instead of paying a driver round-trip.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_resident(
+        &mut self,
+        kernel: &str,
+        threads: usize,
+        work: u64,
+        atomics: u64,
+        hot_word_atomics: u64,
+        modelled_time_ns: f64,
+        wall_time_ns: f64,
+    ) {
+        let entry = self.kernels.entry(kernel.to_string()).or_default();
+        entry.resident_rounds += 1;
+        entry.barriers += 1;
+        entry.total_threads += threads as u64;
+        entry.total_work += work;
+        entry.total_atomics += atomics;
+        entry.hot_word_atomics += hot_word_atomics;
+        entry.modelled_time_ns += modelled_time_ns;
+        entry.wall_time_ns += wall_time_ns;
+        entry.max_grid = entry.max_grid.max(threads as u64);
+    }
+
     /// Total number of kernel launches.
     pub fn total_launches(&self) -> u64 {
         self.kernels.values().map(|k| k.launches).sum()
@@ -123,12 +159,30 @@ impl DeviceStats {
         self.kernels.get(kernel).map(|k| k.fused_tails).unwrap_or(0)
     }
 
+    /// Resident-round count for a specific kernel (0 if it never ran inside
+    /// a persistent launch).
+    pub fn resident_rounds_of(&self, kernel: &str) -> u64 {
+        self.kernels.get(kernel).map(|k| k.resident_rounds).unwrap_or(0)
+    }
+
+    /// Total device-resident rounds across all kernels.
+    pub fn total_resident_rounds(&self) -> u64 {
+        self.kernels.values().map(|k| k.resident_rounds).sum()
+    }
+
+    /// Total software global-barrier crossings across all kernels.
+    pub fn total_barriers(&self) -> u64 {
+        self.kernels.values().map(|k| k.barriers).sum()
+    }
+
     /// Merges another statistics block into this one.
     pub fn merge(&mut self, other: &DeviceStats) {
         for (name, k) in &other.kernels {
             let entry = self.kernels.entry(name.clone()).or_default();
             entry.launches += k.launches;
             entry.fused_tails += k.fused_tails;
+            entry.resident_rounds += k.resident_rounds;
+            entry.barriers += k.barriers;
             entry.total_threads += k.total_threads;
             entry.total_work += k.total_work;
             entry.total_atomics += k.total_atomics;
@@ -196,14 +250,36 @@ mod tests {
         b.record("k", 20, 5, 2, 2, 2.0, 2.0);
         b.record("j", 1, 1, 0, 0, 1.0, 1.0);
         b.record_fused("k", 5, 5, 1, 1, 1.0, 1.0);
+        b.record_resident("k", 7, 2, 1, 1, 3.0, 3.0);
         a.merge(&b);
         assert_eq!(a.total_launches(), 3);
-        assert_eq!(a.kernels["k"].total_threads, 35);
-        assert_eq!(a.kernels["k"].total_atomics, 6);
-        assert_eq!(a.kernels["k"].hot_word_atomics, 4);
+        assert_eq!(a.kernels["k"].total_threads, 42);
+        assert_eq!(a.kernels["k"].total_atomics, 7);
+        assert_eq!(a.kernels["k"].hot_word_atomics, 5);
         assert_eq!(a.kernels["k"].fused_tails, 1);
+        assert_eq!(a.kernels["k"].resident_rounds, 1);
+        assert_eq!(a.kernels["k"].barriers, 1);
         assert_eq!(a.kernels["k"].max_grid, 20);
         assert_eq!(a.launches_of("j"), 1);
+    }
+
+    #[test]
+    fn resident_rounds_accumulate_without_counting_as_launches() {
+        let mut s = DeviceStats::default();
+        s.record("loop", 100, 500, 0, 0, 7000.0, 100.0);
+        s.record_resident("loop", 100, 400, 14, 14, 800.0, 90.0);
+        s.record_resident("loop", 100, 300, 14, 14, 700.0, 80.0);
+        let k = &s.kernels["loop"];
+        assert_eq!(k.launches, 1);
+        assert_eq!(k.resident_rounds, 2);
+        assert_eq!(k.barriers, 2);
+        assert_eq!(k.total_threads, 300);
+        assert_eq!(k.total_work, 1200);
+        assert_eq!(s.total_launches(), 1);
+        assert_eq!(s.resident_rounds_of("loop"), 2);
+        assert_eq!(s.resident_rounds_of("missing"), 0);
+        assert_eq!(s.total_resident_rounds(), 2);
+        assert_eq!(s.total_barriers(), 2);
     }
 
     #[test]

@@ -357,6 +357,10 @@ pub struct Worklist<'gpu> {
     /// the fused sweep appended survivors (the queue is non-empty) or it
     /// proved the set empty.
     fused_refill_done: bool,
+    /// `true` between a [`Worklist::begin_round`] and its
+    /// [`Worklist::end_round`]; lets [`Worklist::round_transition`] close
+    /// the previous round exactly when one is open.
+    round_open: bool,
 }
 
 impl<'gpu> Worklist<'gpu> {
@@ -385,6 +389,7 @@ impl<'gpu> Worklist<'gpu> {
             refilled: false,
             fresh_seed: false,
             fused_refill_done: false,
+            round_open: false,
         }
     }
 
@@ -495,6 +500,7 @@ impl<'gpu> Worklist<'gpu> {
         self.compacted = false;
         self.refilled = false;
         self.fused_refill_done = false;
+        self.round_open = false;
     }
 
     /// Device-side seeding: stamps (and, for list-materializing modes,
@@ -530,6 +536,7 @@ impl<'gpu> Worklist<'gpu> {
         self.compacted = false;
         self.refilled = false;
         self.fused_refill_done = false;
+        self.round_open = false;
     }
 
     /// Device-side seeding for slot-protocol drivers: like
@@ -552,6 +559,7 @@ impl<'gpu> Worklist<'gpu> {
         self.compacted = false;
         self.refilled = false;
         self.fused_refill_done = false;
+        self.round_open = false;
     }
 
     // ------------------------------------------------------------------
@@ -574,6 +582,7 @@ impl<'gpu> Worklist<'gpu> {
     pub fn begin_round(&mut self, predicate: impl Fn(usize) -> bool + Sync, compact: bool) -> bool {
         self.compacted = false;
         self.refilled = false;
+        self.round_open = true;
         match self.mode {
             WorklistMode::DenseStamp | WorklistMode::Compacted => {
                 self.fresh_seed = false;
@@ -715,9 +724,36 @@ impl<'gpu> Worklist<'gpu> {
     /// paper's `A_c`/`A_p` exchange); the queue representation has nothing
     /// to do — the next round's queue was built during processing.
     pub fn end_round(&mut self) {
+        self.round_open = false;
         if !self.mode.is_queue() {
             std::mem::swap(&mut self.current, &mut self.pending);
         }
+    }
+
+    /// The **in-loop round transition**: closes the previous round (when one
+    /// is open) and opens the next in a single call — the `A_c`/`A_p` swap,
+    /// the epoch bump, the resolve/stamp or compaction pass, the
+    /// appended-queue takeover, and the drained/overflowed-queue rebuild
+    /// fallback, per the representation.  Returns [`Worklist::begin_round`]'s
+    /// verdict: `true` iff any item is active.
+    ///
+    /// This is the form a persistent round loop needs: under
+    /// [`ExecMode::Persistent`](crate::ExecMode) the leader executes the
+    /// whole transition between two barrier crossings (inside the
+    /// [`VirtualGpu::resident`] scope), so its kernels are charged as
+    /// resident rounds; the host-mediated paths — the queue-overflow rebuild
+    /// and the host-staged parts of compaction — still run on the leader
+    /// exactly as they would between launches.  Launch-per-round loops may
+    /// use it too; it is equivalent to `end_round()` + `begin_round(..)`.
+    pub fn round_transition(
+        &mut self,
+        predicate: impl Fn(usize) -> bool + Sync,
+        compact: bool,
+    ) -> bool {
+        if self.round_open {
+            self.end_round();
+        }
+        self.begin_round(predicate, compact)
     }
 
     // ------------------------------------------------------------------
@@ -1128,6 +1164,45 @@ mod tests {
             for mode in WorklistMode::all() {
                 assert_eq!(run_chain(mode, &gpu, 64), 64, "{mode}");
             }
+        }
+    }
+
+    /// `run_chain` restructured on the in-loop transition: one
+    /// `round_transition` at the top of the loop instead of split
+    /// `begin_round`/`end_round` calls.
+    fn run_chain_transition(mode: WorklistMode, gpu: &VirtualGpu, n: usize) -> (u64, u64) {
+        let live = DeviceBuffer::<u64>::new(n, 1);
+        let processed = DeviceBuffer::<u64>::new(1, 0);
+        let mut wl = Worklist::new(gpu, mode, n, NAMES);
+        wl.seed([n - 1]);
+        let mut rounds = 0;
+        while wl.round_transition(|v| live.get(v) != 0, rounds % 3 == 0) {
+            wl.for_each_active("wl_process", |_ctx, v, _view| {
+                live.set(v, 0);
+                processed.fetch_add(0, 1);
+                if v > 0 {
+                    SlotAction::Push(v - 1)
+                } else {
+                    SlotAction::Retire
+                }
+            });
+            rounds += 1;
+            assert!(rounds < 10 * n as u64 + 16, "worklist failed to converge");
+        }
+        (processed.get(0), rounds)
+    }
+
+    #[test]
+    fn round_transition_is_equivalent_to_split_begin_end() {
+        for mode in WorklistMode::all() {
+            let gpu = VirtualGpu::sequential();
+            let (processed, rounds) = run_chain_transition(mode, &gpu, 64);
+            assert_eq!(processed, 64, "{mode}");
+            // Same rounds as the split protocol walking the same chain.
+            let split_gpu = VirtualGpu::sequential();
+            assert_eq!(run_chain(mode, &split_gpu, 64), 64, "{mode}");
+            let split_rounds = split_gpu.stats().launches_of("wl_process");
+            assert_eq!(rounds, split_rounds, "{mode}");
         }
     }
 

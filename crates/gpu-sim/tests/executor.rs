@@ -228,11 +228,7 @@ proptest! {
             stitch: "wl_stitch",
         };
         let mut depths = Vec::new();
-        for mode in [
-            WorklistMode::DenseStamp,
-            WorklistMode::AtomicQueue,
-            WorklistMode::BlockedQueue,
-        ] {
+        for mode in WorklistMode::all() {
             let sequential = VirtualGpu::sequential();
             let parallel = pooled(3, 4, chunk);
             for gpu in [&sequential, &parallel] {

@@ -1,0 +1,118 @@
+//! Persistent-execution smoke test against a running `gpm-service` server
+//! (CI runs this with a timeout guard):
+//!
+//! 1. Uploads a launch-bound road-network-style instance and solves it
+//!    twice by fingerprint — once launch-per-round, once with the
+//!    `@resident` persistent megakernel loop — and asserts both reach the
+//!    same cardinality: the whole label grammar, execution-mode suffix
+//!    included, works over the wire.
+//! 2. Submits a deliberately huge, tagged `@resident` solve on a second
+//!    connection and cancels it by tag mid-solve.  The persistent loop
+//!    polls the stop signal at its software global barrier, so the cancel
+//!    must land within one device round — not after the full solve.
+//!
+//! ```text
+//! cargo run --release -p gpm-service &               # listens on 127.0.0.1:7878
+//! cargo run --release -p gpm-service --example resident_smoke
+//! ```
+//!
+//! Pass a different address as the first argument.  Set `KEEP_SERVER=1` to
+//! skip the final shutdown request.
+
+use gpm_core::{Algorithm, ExecMode, InitHeuristic, WorklistMode};
+use gpm_graph::gen;
+use gpm_service::{Client, SolveOptions};
+use serde::Value;
+use std::time::{Duration, Instant};
+
+fn cardinality(response: &Value) -> u64 {
+    response
+        .get("report")
+        .and_then(|r| r.get("cardinality"))
+        .and_then(Value::as_u64)
+        .expect("solve response carries report.cardinality")
+}
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let mut client = Client::connect(&addr)?;
+    println!("connected to gpm-service at {addr}");
+
+    // Part 1: the persistent loop agrees with launch-per-round over the
+    // wire.  A long-diameter mesh-like instance is the launch-bound regime
+    // the resident mode exists for.
+    let graph = gen::road_network(220, 220, 0.05, 11).expect("generate graph");
+    let fingerprint = client.put_graph(&graph)?;
+    let launch = Algorithm::gpr_default().with_worklist(WorklistMode::BlockedQueue);
+    let resident = launch.with_exec(ExecMode::Persistent);
+    println!(
+        "solving {}x{} road grid with '{launch}' and '{resident}' …",
+        graph.num_rows(),
+        graph.num_cols()
+    );
+    let launch_response = client.solve_cached(fingerprint, launch, InitHeuristic::Cheap)?;
+    let resident_response = client.solve_cached(fingerprint, resident, InitHeuristic::Cheap)?;
+    let (launch_card, resident_card) =
+        (cardinality(&launch_response), cardinality(&resident_response));
+    assert_eq!(
+        launch_card, resident_card,
+        "persistent and launch-per-round must agree over the wire"
+    );
+    // The report echoes the paper's family label; the full spec (worklist
+    // and exec suffixes included) lives in the request grammar.
+    let echoed = resident_response
+        .get("report")
+        .and_then(|r| r.get("algorithm"))
+        .and_then(Value::as_str)
+        .map(str::to_string);
+    assert_eq!(echoed.as_deref(), Some("G-PR-Shr"), "unexpected report label");
+    println!("both execution modes matched {launch_card} pairs");
+
+    // Part 2: cancellation stays round-granular under the megakernel.  One
+    // entry launch keeps the device threads resident for the whole solve,
+    // so only the stop poll at the global barrier can honour this cancel.
+    let huge = gen::rmat(gen::RmatParams::graph500(17, 16), 7).expect("generate graph");
+    println!(
+        "submitting {}x{} RMAT '@resident' solve ({} edges) tagged 'resident-victim' …",
+        huge.num_rows(),
+        huge.num_cols(),
+        huge.num_edges()
+    );
+    let solve_addr = addr.clone();
+    let started = Instant::now();
+    let solve = std::thread::spawn(move || -> std::io::Result<std::io::Error> {
+        let mut a = Client::connect(&solve_addr)?;
+        let options =
+            SolveOptions { tag: Some("resident-victim".to_string()), ..Default::default() };
+        let victim = Algorithm::gpr_default().with_exec(ExecMode::Persistent);
+        match a.solve_inline_with(&huge, victim, InitHeuristic::Empty, &options) {
+            Ok(_) => Err(std::io::Error::other("solve finished before the cancel landed")),
+            Err(e) => Ok(e),
+        }
+    });
+
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let cancelled = client.cancel_tag("resident-victim")?;
+        if cancelled > 0 {
+            println!("cancel reached {cancelled} job(s) after {:?}", started.elapsed());
+            break;
+        }
+        if Instant::now() > deadline {
+            return Err(std::io::Error::other("cancel never found the tagged job"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let err = solve.join().expect("solve thread panicked")?;
+    let message = err.to_string();
+    assert!(message.contains("cancelled"), "expected a cancelled error, got: {message}");
+    println!("resident solve failed as expected: {message}");
+    println!("cancelled end-to-end in {:?}", started.elapsed());
+
+    if std::env::var("KEEP_SERVER").is_err() {
+        client.shutdown()?;
+        println!("server shut down");
+    }
+    Ok(())
+}

@@ -445,6 +445,28 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        // Wire labels carry the whole algorithm grammar, including the
+        // persistent execution-mode suffix.
+        let r = parse_request(
+            r#"{"op":"solve","algorithm":"G-PR-Shr@adaptive:0.7+blocked@resident","fingerprint":"0x1"}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Solve { algorithm, .. } => {
+                assert_eq!(
+                    algorithm,
+                    Algorithm::gpr_default()
+                        .with_worklist(gpm_core::WorklistMode::BlockedQueue)
+                        .with_exec(gpm_core::ExecMode::Persistent)
+                );
+                assert_eq!(algorithm.to_string(), "G-PR-Shr@adaptive:0.7+blocked@resident");
+            }
+            other => panic!("{other:?}"),
+        }
+        // CPU algorithms reject the suffix at the wire boundary.
+        assert!(parse_request(r#"{"op":"solve","algorithm":"HK@resident","fingerprint":"0x1"}"#)
+            .unwrap_err()
+            .contains("execution mode"));
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
         assert_eq!(parse_request(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
         assert_eq!(parse_request(r#"{"op":"shards"}"#).unwrap(), Request::Shards);
